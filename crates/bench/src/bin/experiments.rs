@@ -1,0 +1,585 @@
+//! `dpc-experiments` — regenerates every table row and figure of
+//! *Distributed Partial Clustering* (SPAA 2017) as a measured experiment.
+//!
+//! The paper's evaluation artefacts are Tables 1–2 (communication / round /
+//! runtime bounds) and Figure 1 (the compressed graph construction); each
+//! subcommand below measures the corresponding claim on seeded synthetic
+//! workloads and prints paper-style rows. See DESIGN.md §5 for the index
+//! and EXPERIMENTS.md for recorded paper-vs-measured results.
+//!
+//! Usage:
+//!   cargo run --release -p dpc-bench --bin dpc-experiments -- all
+//!   cargo run --release -p dpc-bench --bin dpc-experiments -- e1 e4 e8
+
+use dpc::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let run_all = args.is_empty() || args.iter().any(|a| a == "all");
+    let want = |id: &str| run_all || args.iter().any(|a| a == id);
+
+    if want("e1") {
+        e1_median_comm();
+    }
+    if want("e2") {
+        e2_median_quality();
+    }
+    if want("e3") {
+        e3_means();
+    }
+    if want("e4") {
+        e4_center();
+    }
+    if want("e5") {
+        e5_scaling();
+    }
+    if want("e6") {
+        e6_subquadratic();
+    }
+    if want("e7") {
+        e7_uncertain();
+    }
+    if want("e8") {
+        e8_compressed_graph();
+    }
+    if want("e9") {
+        e9_center_g();
+    }
+    if want("e10") {
+        e10_delta_variant();
+    }
+    if want("e11") {
+        e11_one_round();
+    }
+    if want("a1") {
+        a1_grid();
+    }
+    if want("a2") {
+        a2_partition();
+    }
+    if want("a3") {
+        a3_lambda();
+    }
+}
+
+fn header(id: &str, claim: &str) {
+    println!("\n================================================================");
+    println!("{id}: {claim}");
+    println!("================================================================");
+}
+
+fn med_shards(s: usize, n: usize, t: usize, seed: u64) -> Vec<PointSet> {
+    let mix = gaussian_mixture(MixtureSpec {
+        clusters: 4,
+        inliers: n,
+        outliers: t,
+        seed,
+        ..Default::default()
+    });
+    partition(&mix.points, s, PartitionStrategy::Random, &mix.outlier_ids, seed ^ 0xabc)
+}
+
+/// E1 — Table 1 "median O(1+1/ε)" row: total communication O((sk+t)B),
+/// measured in bytes, vs the O((sk+st)B) 1-round baseline.
+fn e1_median_comm() {
+    header(
+        "E1",
+        "Table 1 median row: comm O((sk+t)B) for 2-round vs O((sk+st)B) 1-round",
+    );
+    let (k, t, n) = (4, 48, 1600);
+    println!(
+        "{:>4} {:>12} {:>12} {:>8} | t fixed at {t}, k={k}, n={n}",
+        "s", "2round(B)", "1round(B)", "ratio"
+    );
+    for &s in &[2usize, 4, 8, 16, 32] {
+        let sh = med_shards(s, n, t, 1000 + s as u64);
+        let cfg = MedianConfig::new(k, t);
+        let two = run_distributed_median(&sh, cfg, RunOptions::default());
+        let one = run_one_round_median(&sh, cfg, RunOptions::default());
+        println!(
+            "{:>4} {:>12} {:>12} {:>8.2}",
+            s,
+            two.stats.upstream_bytes(),
+            one.stats.upstream_bytes(),
+            one.stats.upstream_bytes() as f64 / two.stats.upstream_bytes() as f64
+        );
+    }
+    println!("\n{:>6} {:>12} {:>12} | s fixed at 8", "t", "2round(B)", "1round(B)");
+    for &t in &[8usize, 16, 32, 64, 128] {
+        let sh = med_shards(8, n, t, 2000 + t as u64);
+        let cfg = MedianConfig::new(k, t);
+        let two = run_distributed_median(&sh, cfg, RunOptions::default());
+        let one = run_one_round_median(&sh, cfg, RunOptions::default());
+        println!("{:>6} {:>12} {:>12}", t, two.stats.upstream_bytes(), one.stats.upstream_bytes());
+    }
+    println!("\npaper: 2-round comm has NO s·t term -> ratio grows with s; measured above.");
+}
+
+/// E2 — Table 1 median row, approximation column: O(1+1/ε) with (1+ε)t
+/// outliers, vs centralized bicriteria and exact small instances.
+fn e2_median_quality() {
+    header("E2", "Table 1 median row: (O(1+1/eps), 1+eps)-approximation quality");
+    let (k, t) = (4, 12);
+    println!("{:>6} {:>14} {:>14} {:>8}", "seed", "distributed", "centralized", "ratio");
+    let mut worst: f64 = 0.0;
+    for seed in 0..6u64 {
+        let sh = med_shards(6, 600, t, 3000 + seed);
+        let out = run_distributed_median(&sh, MedianConfig::new(k, t), RunOptions::default());
+        let (dist, _) = evaluate_on_full_data(&sh, &out.output.centers, 2 * t, Objective::Median);
+        // centralized reference
+        let all = merge_shards(&sh);
+        let w = WeightedSet::unit(all.len());
+        let m = EuclideanMetric::new(&all);
+        let c = median_bicriteria(&m, &w, k, t as f64, Objective::Median, BicriteriaParams::default());
+        let centers = all.subset(&c.centers);
+        let (cen, _) = evaluate_on_full_data(&[all.clone()], &centers, 2 * t, Objective::Median);
+        let ratio = dist / cen.max(1e-9);
+        worst = worst.max(ratio);
+        println!("{:>6} {:>14.2} {:>14.2} {:>8.2}", seed, dist, cen, ratio);
+    }
+    println!("\npaper: constant-factor (paper bound 6/eps = 6 at eps=1, vs *optimal*);");
+    println!("measured worst distributed/centralized ratio: {worst:.2}");
+
+    // Exact reference on a tiny instance.
+    let mix = gaussian_mixture(MixtureSpec {
+        clusters: 2,
+        inliers: 14,
+        outliers: 2,
+        ..Default::default()
+    });
+    let shards = partition(&mix.points, 2, PartitionStrategy::Random, &mix.outlier_ids, 5);
+    let out = run_distributed_median(&shards, MedianConfig::new(2, 2), RunOptions::default());
+    let (dist, _) = evaluate_on_full_data(&shards, &out.output.centers, 4, Objective::Median);
+    let all = merge_shards(&shards);
+    let w = WeightedSet::unit(all.len());
+    let m = EuclideanMetric::new(&all);
+    let exact = exact_best(&m, &w, 2, 4.0, Objective::Median, 1_000_000);
+    println!(
+        "tiny-instance check: distributed {:.3} vs exact optimum {:.3} (ratio {:.2}, bound 6)",
+        dist,
+        exact.cost,
+        dist / exact.cost.max(1e-9)
+    );
+}
+
+/// E3 — Table 1 means row.
+fn e3_means() {
+    header("E3", "Table 1 means row: same comm shape, squared objective");
+    let (k, t) = (4, 16);
+    println!("{:>4} {:>12} {:>14} {:>14}", "s", "bytes", "dist_cost", "central_cost");
+    for &s in &[4usize, 8, 16] {
+        let sh = med_shards(s, 800, t, 4000 + s as u64);
+        let out =
+            run_distributed_median(&sh, MedianConfig::new(k, t).means(), RunOptions::default());
+        let (dist, _) = evaluate_on_full_data(&sh, &out.output.centers, 2 * t, Objective::Means);
+        let all = merge_shards(&sh);
+        let w = WeightedSet::unit(all.len());
+        let m = SquaredMetric::new(EuclideanMetric::new(&all));
+        let c = median_bicriteria(&m, &w, k, t as f64, Objective::Median, BicriteriaParams::default());
+        let centers = all.subset(&c.centers);
+        let (cen, _) = evaluate_on_full_data(&[all.clone()], &centers, 2 * t, Objective::Means);
+        println!("{:>4} {:>12} {:>14.1} {:>14.1}", s, out.stats.upstream_bytes(), dist, cen);
+    }
+    println!("\npaper: means matches median up to constants (relaxed triangle inequality).");
+}
+
+/// E4 — Table 1 center row + the improvement over Malkomes et al. [19].
+fn e4_center() {
+    header("E4", "Table 1 center row: O((sk+t)B) vs [19]-style O((sk+st)B), cost parity");
+    let (k, t, n) = (4, 40, 2000);
+    println!(
+        "{:>4} {:>12} {:>12} {:>10} {:>10}",
+        "s", "2round(B)", "1round(B)", "cost_2r", "cost_1r"
+    );
+    for &s in &[4usize, 8, 16, 32] {
+        let sh = med_shards(s, n, t, 5000 + s as u64);
+        let cfg = CenterConfig::new(k, t);
+        let two = run_distributed_center(&sh, cfg, RunOptions::default());
+        let one = run_one_round_center(&sh, cfg, RunOptions::default());
+        let (c2, _) = evaluate_on_full_data(&sh, &two.output.centers, t, Objective::Center);
+        let (c1, _) = evaluate_on_full_data(&sh, &one.output.centers, t, Objective::Center);
+        println!(
+            "{:>4} {:>12} {:>12} {:>10.3} {:>10.3}",
+            s,
+            two.stats.upstream_bytes(),
+            one.stats.upstream_bytes(),
+            c2,
+            c1
+        );
+    }
+    println!("\npaper: Theorem 4.3 removes the st term of [19] at matching O(1) cost.");
+}
+
+/// E5 — Table 1 "Local Time" column: per-site work shrinks with s.
+///
+/// Sites are timed under sequential execution so wall-clock equals CPU
+/// time (parallel threads oversubscribe cores and inflate per-site wall
+/// time). NOTE: the paper's site solver is the O(n_i^2) primal-dual; our
+/// Theorem 3.1 substitute is a sampled local search with O(n_i · C) work,
+/// so the honest expectation here is critical path ~ 1/s (not 1/s^2) —
+/// the *shape* "distribute to shrink per-site time" is what matters, and
+/// the coordinator's (sk+t)^2 term growing with s is visible as well.
+fn e5_scaling() {
+    header("E5", "Table 1 local-time column: per-site time falls with s; coordinator grows");
+    let (k, t, n) = (4, 24, 4000);
+    println!(
+        "{:>4} {:>10} {:>16} {:>16} {:>14}",
+        "s", "n/s", "max_site_time", "sum_site_time", "coord_time"
+    );
+    for &s in &[2usize, 4, 8, 16] {
+        let sh = med_shards(s, n, t, 6000 + s as u64);
+        let out = run_distributed_median(
+            &sh,
+            MedianConfig::new(k, t),
+            RunOptions { parallel: false, ..Default::default() },
+        );
+        let crit = out.stats.site_critical_path().as_secs_f64();
+        let total = out.stats.total_site_compute().as_secs_f64();
+        let coord = out.stats.coordinator_compute().as_secs_f64();
+        println!(
+            "{:>4} {:>10} {:>15.3}s {:>15.3}s {:>13.3}s",
+            s,
+            n / s,
+            crit,
+            total,
+            coord
+        );
+    }
+    println!("\nexpect: max_site_time ~ 1/s with our O(n_i·C) site solver (the paper's");
+    println!("O(n_i^2) solver would fall ~1/s^2); coordinator time grows with sk+t.");
+}
+
+/// E6 — Theorem 3.10: subquadratic centralized (k,t)-median.
+fn e6_subquadratic() {
+    header("E6", "Theorem 3.10: subquadratic centralized (k,t)-median crossover");
+    let k = 4;
+    println!("{:>7} {:>5} {:>14} {:>14} {:>10} {:>10}", "n", "t", "quad(ms)", "subq(ms)", "cost_q", "cost_s");
+    for &n in &[1000usize, 2000, 4000, 8000] {
+        let t = ((n as f64).sqrt() as usize) / 2;
+        let mix = gaussian_mixture(MixtureSpec {
+            clusters: k,
+            inliers: n,
+            outliers: t,
+            seed: 7000 + n as u64,
+            ..Default::default()
+        });
+        let w = WeightedSet::unit(mix.points.len());
+        let m = EuclideanMetric::new(&mix.points);
+        let t0 = Instant::now();
+        let quad =
+            median_bicriteria(&m, &w, k, t as f64, Objective::Median, BicriteriaParams::default());
+        let quad_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        let sub = subquadratic_median(&mix.points, k, t, SubquadraticParams::default());
+        let sub_ms = t1.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "{:>7} {:>5} {:>14.1} {:>14.1} {:>10.1} {:>10.1}",
+            n + t,
+            t,
+            quad_ms,
+            sub_ms,
+            quad.cost,
+            sub.cost
+        );
+    }
+    println!("\npaper: O(t^2 + n^(4/3) k^2) vs O(n^2): the subq column's growth rate");
+    println!("must be visibly smaller, with constant-factor cost parity.");
+}
+
+/// E7 — Table 1 uncertain median/means/center-pp row.
+fn e7_uncertain() {
+    header("E7", "Table 1 uncertain row: comm as deterministic + O(n_i T) site time");
+    let t = 6;
+    let variants: [(&str, fn(UncertainConfig) -> UncertainConfig); 3] = [
+        ("median", |c| c),
+        ("means", |c| c.means()),
+        ("center-pp", |c| c.center_pp()),
+    ];
+    for (name, mk) in variants {
+        let sh = uncertain_mixture(UncertainSpec {
+            clusters: 3,
+            nodes_per_site: 40,
+            sites: 4,
+            noise_nodes: t,
+            support: 4,
+            jitter: 1.5,
+            separation: 120.0,
+            seed: 8000,
+        });
+        let cfg = mk(UncertainConfig::new(3, t));
+        let out = run_uncertain_median(&sh, cfg, RunOptions::default());
+        let cost = match name {
+            "means" => estimate_expected_cost(&sh, &out.output.centers, 2 * t, true, false),
+            "center-pp" => estimate_expected_cost(&sh, &out.output.centers, 2 * t, false, true),
+            _ => estimate_expected_cost(&sh, &out.output.centers, 2 * t, false, false),
+        };
+        println!(
+            "{:<10} bytes {:>8}  rounds {}  site_time {:>8.3}s  true_cost {:>10.2}",
+            name,
+            out.stats.total_bytes(),
+            out.stats.num_rounds(),
+            out.stats.site_critical_path().as_secs_f64(),
+            cost
+        );
+    }
+    // Comm vs n: must not grow.
+    let small = uncertain_mixture(UncertainSpec { nodes_per_site: 20, seed: 8001, ..Default::default() });
+    let big = uncertain_mixture(UncertainSpec { nodes_per_site: 80, seed: 8001, ..Default::default() });
+    let cfg = UncertainConfig::new(3, 4);
+    let a = run_uncertain_median(&small, cfg, RunOptions::default());
+    let b = run_uncertain_median(&big, cfg, RunOptions::default());
+    println!(
+        "\ncomm at 20 nodes/site: {}B; at 80 nodes/site: {}B (paper: independent of n)",
+        a.stats.upstream_bytes(),
+        b.stats.upstream_bytes()
+    );
+}
+
+/// E8 — Figure 1 / Lemmas 5.3–5.5: the compressed-graph sandwich.
+fn e8_compressed_graph() {
+    header("E8", "Figure 1: clustering on the compressed graph ~ true uncertain cost");
+    println!("{:>6} {:>12} {:>12} {:>14}", "seed", "graph_cost", "true_cost", "true/graph");
+    let mut worst: f64 = 0.0;
+    for seed in 0..8u64 {
+        let sh = uncertain_mixture(UncertainSpec {
+            clusters: 3,
+            nodes_per_site: 25,
+            sites: 1,
+            noise_nodes: 3,
+            support: 3,
+            jitter: 2.0,
+            separation: 100.0,
+            seed: 9000 + seed,
+        });
+        let all = &sh[0];
+        let (graph, demands) = CompressedGraph::from_nodes(all, false);
+        let sol = median_bicriteria(
+            &graph,
+            &demands,
+            3,
+            3.0,
+            Objective::Median,
+            BicriteriaParams { eps: 0.0, ..Default::default() },
+        );
+        let mut centers = PointSet::new(2);
+        for &c in &sol.centers {
+            centers.push(graph.y_coords(c));
+        }
+        let true_cost = estimate_expected_cost(&[all.clone()], &centers, 3, false, false);
+        let ratio = true_cost / sol.cost.max(1e-9);
+        worst = worst.max(ratio);
+        println!("{:>6} {:>12.3} {:>12.3} {:>14.3}", seed, sol.cost, true_cost, ratio);
+    }
+    println!("\npaper (Lemma 5.4): true cost <= 2 x graph cost. measured worst ratio: {worst:.3}");
+}
+
+/// E9 — Table 1 center-g row (Theorem 5.14).
+fn e9_center_g() {
+    header("E9", "Table 1 center-g row: comm O(skB + tI + s logDelta); cost vs E[max]");
+    let t = 4;
+    println!("{:>9} {:>10} {:>10} {:>12} {:>12}", "support", "bytes", "rounds", "E[max]", "max-E");
+    for &support in &[2usize, 4, 8] {
+        let sh = uncertain_mixture(UncertainSpec {
+            clusters: 3,
+            nodes_per_site: 15,
+            sites: 3,
+            noise_nodes: t,
+            support,
+            jitter: 1.5,
+            separation: 100.0,
+            seed: 10_000 + support as u64,
+        });
+        let out = run_center_g(&sh, CenterGConfig::new(3, t), RunOptions::default());
+        let emax = estimate_center_g_cost(&sh, &out.output.centers, t, 1000, 13);
+        let ppe = estimate_expected_cost(&sh, &out.output.centers, t, false, true);
+        println!(
+            "{:>9} {:>10} {:>10} {:>12.2} {:>12.2}",
+            support,
+            out.stats.total_bytes(),
+            out.stats.num_rounds(),
+            emax,
+            ppe
+        );
+    }
+    println!("\npaper: outliers ship full distributions (I ~ support x (B+8)) -> bytes");
+    println!("grow with support size; E[max] >= max-E always (E and max do not commute).");
+
+    // Table 2's 1-round center-g row: O(s(kB+tI) log Delta) — the full tau
+    // sweep ships in one round (distance range assumed known a priori).
+    let sh = uncertain_mixture(UncertainSpec {
+        clusters: 3,
+        nodes_per_site: 15,
+        sites: 3,
+        noise_nodes: t,
+        support: 4,
+        jitter: 1.5,
+        separation: 100.0,
+        seed: 10_500,
+    });
+    let mut lo = f64::INFINITY;
+    let mut hi = 0.0f64;
+    for s in &sh {
+        if let Some((a, b)) = dpc::uncertain::truncated::distance_range(&s.ground) {
+            lo = lo.min(a);
+            hi = hi.max(b);
+        }
+    }
+    let adaptive = run_center_g(&sh, CenterGConfig::new(3, t), RunOptions::default());
+    let one = dpc::uncertain::run_center_g_one_round(
+        &sh,
+        CenterGConfig::new(3, t),
+        lo,
+        hi,
+        RunOptions::default(),
+    );
+    let e_adaptive = estimate_center_g_cost(&sh, &adaptive.output.centers, t, 1000, 17);
+    let e_one = estimate_center_g_cost(&sh, &one.output.centers, t, 1000, 17);
+    println!("\n1-round vs adaptive (Table 2 last row):");
+    println!(
+        "  adaptive: {} rounds, {:>7}B, E[max] {:.2}",
+        adaptive.stats.num_rounds(),
+        adaptive.stats.total_bytes(),
+        e_adaptive
+    );
+    println!(
+        "  1-round:  {} rounds, {:>7}B, E[max] {:.2}  (ships the whole tau sweep)",
+        one.stats.num_rounds(),
+        one.stats.total_bytes(),
+        e_one
+    );
+}
+
+/// E10 — Theorem 3.8 / Table 2: the (2+eps+delta)t counts-only trade-off.
+fn e10_delta_variant() {
+    header("E10", "Theorem 3.8: comm O(s/delta + skB) vs outlier blow-up (2+eps+delta)t");
+    let (k, t) = (4, 64);
+    let sh = med_shards(8, 1600, t, 11_000);
+    let ship = run_distributed_median(&sh, MedianConfig::new(k, t), RunOptions::default());
+    let (ship_cost, _) =
+        evaluate_on_full_data(&sh, &ship.output.centers, 2 * t, Objective::Median);
+    println!(
+        "{:<22} {:>10} {:>12} {:>12}",
+        "variant", "bytes", "budget", "true_cost"
+    );
+    println!(
+        "{:<22} {:>10} {:>12} {:>12.2}",
+        "Alg.1 (ship outliers)",
+        ship.stats.upstream_bytes(),
+        2 * t,
+        ship_cost
+    );
+    for &delta in &[0.125f64, 0.25, 0.5, 1.0] {
+        let out = run_distributed_median(
+            &sh,
+            MedianConfig::new(k, t).counts_only(delta),
+            RunOptions::default(),
+        );
+        let budget = ((2.0 + 1.0 + delta) * t as f64) as usize;
+        let (cost, _) = evaluate_on_full_data(&sh, &out.output.centers, budget, Objective::Median);
+        println!(
+            "{:<22} {:>10} {:>12} {:>12.2}",
+            format!("Thm 3.8 delta={delta}"),
+            out.stats.upstream_bytes(),
+            budget,
+            cost
+        );
+    }
+    println!("\npaper: counts-only drops the t B-sized points from the wire; smaller delta");
+    println!("means finer grids (more hull bytes) but fewer excess outliers.");
+}
+
+/// E11 — Table 2's 1-round rows across all three objectives.
+fn e11_one_round() {
+    header("E11", "Table 2 1-round rows: O((sk+st)B) across objectives");
+    let (k, t, s) = (4, 32, 8);
+    let sh = med_shards(s, 1200, t, 12_000);
+    let m1 = run_one_round_median(&sh, MedianConfig::new(k, t), RunOptions::default());
+    let m2 = run_distributed_median(&sh, MedianConfig::new(k, t), RunOptions::default());
+    let e1 = run_one_round_median(&sh, MedianConfig::new(k, t).means(), RunOptions::default());
+    let c1 = run_one_round_center(&sh, CenterConfig::new(k, t), RunOptions::default());
+    let c2 = run_distributed_center(&sh, CenterConfig::new(k, t), RunOptions::default());
+    println!("{:<22} {:>8} {:>12}", "protocol", "rounds", "bytes");
+    println!("{:<22} {:>8} {:>12}", "median 1-round", m1.stats.num_rounds(), m1.stats.upstream_bytes());
+    println!("{:<22} {:>8} {:>12}", "median 2-round", m2.stats.num_rounds(), m2.stats.upstream_bytes());
+    println!("{:<22} {:>8} {:>12}", "means 1-round", e1.stats.num_rounds(), e1.stats.upstream_bytes());
+    println!("{:<22} {:>8} {:>12}", "center 1-round", c1.stats.num_rounds(), c1.stats.upstream_bytes());
+    println!("{:<22} {:>8} {:>12}", "center 2-round", c2.stats.num_rounds(), c2.stats.upstream_bytes());
+    println!("\npaper: one fewer round costs a factor ~s on the t-term.");
+}
+
+/// A1 — ablation: geometric grid resolution rho.
+fn a1_grid() {
+    header("A1", "ablation: grid ratio rho — site time vs quality vs Sigma t_i");
+    let (k, t) = (4, 48);
+    let sh = med_shards(6, 900, t, 13_000);
+    println!("{:>6} {:>12} {:>14} {:>12} {:>10}", "rho", "bytes", "site_time(s)", "true_cost", "sum_ti");
+    for &rho in &[1.25f64, 1.5, 2.0, 4.0] {
+        let mut cfg = MedianConfig::new(k, t);
+        cfg.rho = rho;
+        let out = run_distributed_median(&sh, cfg, RunOptions::default());
+        let (cost, _) = evaluate_on_full_data(&sh, &out.output.centers, 2 * t, Objective::Median);
+        println!(
+            "{:>6} {:>12} {:>14.3} {:>12.2} {:>10}",
+            rho,
+            out.stats.upstream_bytes(),
+            out.stats.site_critical_path().as_secs_f64(),
+            cost,
+            out.output.shipped_outliers
+        );
+    }
+    println!("\nfiner grids: more local solves (time) and hull bytes, tighter Sigma t_i.");
+}
+
+/// A2 — ablation: partition adversariality.
+fn a2_partition() {
+    header("A2", "ablation: partition strategy robustness");
+    let (k, t) = (4, 16);
+    let mix = gaussian_mixture(MixtureSpec {
+        clusters: k,
+        inliers: 800,
+        outliers: t,
+        seed: 14_000,
+        ..Default::default()
+    });
+    println!("{:>14} {:>12} {:>12} {:>10}", "strategy", "bytes", "true_cost", "sum_ti");
+    for strat in [
+        PartitionStrategy::Random,
+        PartitionStrategy::RoundRobin,
+        PartitionStrategy::ByBlock,
+        PartitionStrategy::OutlierSkew,
+    ] {
+        let sh = partition(&mix.points, 6, strat, &mix.outlier_ids, 77);
+        let out = run_distributed_median(&sh, MedianConfig::new(k, t), RunOptions::default());
+        let (cost, _) = evaluate_on_full_data(&sh, &out.output.centers, 2 * t, Objective::Median);
+        println!(
+            "{:>14} {:>12} {:>12.2} {:>10}",
+            format!("{strat:?}"),
+            out.stats.upstream_bytes(),
+            cost,
+            out.output.shipped_outliers
+        );
+    }
+    println!("\nthe allocation must route the outlier budget to the skewed site.");
+}
+
+/// A3 — ablation: lambda-search iterations in the Theorem 3.1 substitute.
+fn a3_lambda() {
+    header("A3", "ablation: lambda-bisection iterations vs quality/time");
+    let (k, t) = (4, 16);
+    let sh = med_shards(6, 700, t, 15_000);
+    println!("{:>8} {:>14} {:>12}", "iters", "site_time(s)", "true_cost");
+    for &iters in &[4usize, 8, 16, 32] {
+        let mut cfg = MedianConfig::new(k, t);
+        cfg.lambda_iters = iters;
+        let out = run_distributed_median(&sh, cfg, RunOptions::default());
+        let (cost, _) = evaluate_on_full_data(&sh, &out.output.centers, 2 * t, Objective::Median);
+        println!(
+            "{:>8} {:>14.3} {:>12.2}",
+            iters,
+            out.stats.site_critical_path().as_secs_f64(),
+            cost
+        );
+    }
+    println!("\ngeometric bisection: ~12 iterations suffice across 12 orders of magnitude.");
+}

@@ -1,0 +1,2 @@
+//! Experiment harness support (see the `dpc-experiments` binary and the
+//! Criterion benches); the library surface is intentionally minimal.

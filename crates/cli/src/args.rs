@@ -1,0 +1,222 @@
+//! Hand-rolled argument parsing (no external CLI dependency).
+
+use std::fmt;
+
+/// Which protocol to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Distributed `(k,(1+ε)t)`-median (Algorithm 1).
+    Median,
+    /// Distributed `(k,(1+ε)t)`-means.
+    Means,
+    /// Distributed `(k,t)`-center (Algorithm 2).
+    Center,
+    /// Uncertain `(k,t)`-median via the compressed graph (Algorithm 3).
+    UncertainMedian,
+    /// Centralized subquadratic `(k,2t)`-median (Theorem 3.10).
+    Subquadratic,
+}
+
+impl Command {
+    fn parse(s: &str) -> Result<Self, ParseError> {
+        match s {
+            "median" => Ok(Command::Median),
+            "means" => Ok(Command::Means),
+            "center" => Ok(Command::Center),
+            "uncertain-median" => Ok(Command::UncertainMedian),
+            "subquadratic" => Ok(Command::Subquadratic),
+            other => Err(ParseError(format!("unknown command '{other}'"))),
+        }
+    }
+}
+
+/// Parsed invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Options {
+    /// Protocol to run.
+    pub command: Command,
+    /// Input CSV path.
+    pub input: String,
+    /// Number of centers.
+    pub k: usize,
+    /// Outlier budget.
+    pub t: usize,
+    /// Number of simulated sites.
+    pub sites: usize,
+    /// Outlier relaxation ε.
+    pub eps: f64,
+    /// Partition seed.
+    pub seed: u64,
+    /// Use the 1-round variant (center/median only).
+    pub one_round: bool,
+    /// Counts-only δ-variant (median/means; 0 disables).
+    pub delta: f64,
+    /// Emit machine-readable JSON instead of text.
+    pub json: bool,
+}
+
+/// A human-readable parse failure.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Usage string printed on error / `--help`.
+pub const USAGE: &str = "\
+usage: dpc <command> [options] <input.csv>
+
+commands:
+  median             distributed (k,(1+eps)t)-median   (Algorithm 1)
+  means              distributed (k,(1+eps)t)-means
+  center             distributed (k,t)-center          (Algorithm 2)
+  uncertain-median   uncertain (k,t)-median            (Algorithm 3)
+  subquadratic       centralized subquadratic (k,2t)-median (Theorem 3.10)
+
+options:
+  --k <int>        number of centers            (default 5)
+  --t <int>        outlier budget               (default 0)
+  --sites <int>    simulated sites              (default 4)
+  --eps <float>    outlier relaxation epsilon   (default 1.0)
+  --seed <int>     partition seed               (default 42)
+  --delta <float>  counts-only variant delta    (default off)
+  --one-round      use the 1-round baseline protocol
+  --json           emit JSON
+";
+
+/// Parses `argv[1..]`.
+pub fn parse_args(args: &[String]) -> Result<Options, ParseError> {
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        return Err(ParseError(USAGE.to_string()));
+    }
+    let command = Command::parse(&args[0])?;
+    let mut opts = Options {
+        command,
+        input: String::new(),
+        k: 5,
+        t: 0,
+        sites: 4,
+        eps: 1.0,
+        seed: 42,
+        one_round: false,
+        delta: 0.0,
+        json: false,
+    };
+    let mut i = 1;
+    while i < args.len() {
+        let a = &args[i];
+        let take_value = |i: &mut usize| -> Result<String, ParseError> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| ParseError(format!("missing value after '{a}'")))
+        };
+        match a.as_str() {
+            "--k" => opts.k = parse_num(&take_value(&mut i)?, "--k")?,
+            "--t" => opts.t = parse_num(&take_value(&mut i)?, "--t")?,
+            "--sites" => opts.sites = parse_num(&take_value(&mut i)?, "--sites")?,
+            "--seed" => opts.seed = parse_num(&take_value(&mut i)?, "--seed")?,
+            "--eps" => opts.eps = parse_float(&take_value(&mut i)?, "--eps")?,
+            "--delta" => opts.delta = parse_float(&take_value(&mut i)?, "--delta")?,
+            "--one-round" => opts.one_round = true,
+            "--json" => opts.json = true,
+            other if other.starts_with("--") => {
+                return Err(ParseError(format!("unknown option '{other}'")));
+            }
+            path => {
+                if !opts.input.is_empty() {
+                    return Err(ParseError(format!("unexpected extra argument '{path}'")));
+                }
+                opts.input = path.to_string();
+            }
+        }
+        i += 1;
+    }
+    if opts.input.is_empty() {
+        return Err(ParseError("missing input CSV path".into()));
+    }
+    if opts.k == 0 {
+        return Err(ParseError("--k must be positive".into()));
+    }
+    if opts.sites == 0 {
+        return Err(ParseError("--sites must be positive".into()));
+    }
+    if opts.eps < 0.0 || opts.delta < 0.0 {
+        return Err(ParseError("--eps/--delta must be non-negative".into()));
+    }
+    Ok(opts)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, ParseError> {
+    s.parse().map_err(|_| ParseError(format!("invalid value '{s}' for {flag}")))
+}
+
+fn parse_float(s: &str, flag: &str) -> Result<f64, ParseError> {
+    let v: f64 =
+        s.parse().map_err(|_| ParseError(format!("invalid value '{s}' for {flag}")))?;
+    if !v.is_finite() {
+        return Err(ParseError(format!("non-finite value for {flag}")));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_full_invocation() {
+        let o = parse_args(&sv(&[
+            "median", "--k", "7", "--t", "12", "--sites", "3", "--eps", "0.5", "--seed", "9",
+            "--json", "data.csv",
+        ]))
+        .unwrap();
+        assert_eq!(o.command, Command::Median);
+        assert_eq!((o.k, o.t, o.sites, o.seed), (7, 12, 3, 9));
+        assert_eq!(o.eps, 0.5);
+        assert!(o.json);
+        assert_eq!(o.input, "data.csv");
+    }
+
+    #[test]
+    fn defaults_applied() {
+        let o = parse_args(&sv(&["center", "x.csv"])).unwrap();
+        assert_eq!(o.command, Command::Center);
+        assert_eq!((o.k, o.t, o.sites), (5, 0, 4));
+        assert!(!o.one_round && !o.json);
+    }
+
+    #[test]
+    fn rejects_unknown_command_and_flags() {
+        assert!(parse_args(&sv(&["fit", "x.csv"])).is_err());
+        assert!(parse_args(&sv(&["median", "--bogus", "x.csv"])).is_err());
+        assert!(parse_args(&sv(&["median", "--k"])).is_err());
+        assert!(parse_args(&sv(&["median"])).is_err());
+        assert!(parse_args(&sv(&["median", "--k", "0", "x.csv"])).is_err());
+        assert!(parse_args(&sv(&["median", "a.csv", "b.csv"])).is_err());
+    }
+
+    #[test]
+    fn help_returns_usage() {
+        let err = parse_args(&sv(&["--help"])).unwrap_err();
+        assert!(err.0.contains("usage"));
+    }
+
+    #[test]
+    fn one_round_and_delta() {
+        let o = parse_args(&sv(&["center", "--one-round", "x.csv"])).unwrap();
+        assert!(o.one_round);
+        let o = parse_args(&sv(&["median", "--delta", "0.25", "x.csv"])).unwrap();
+        assert_eq!(o.delta, 0.25);
+        assert!(parse_args(&sv(&["median", "--delta", "-1", "x.csv"])).is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! Minimal CSV readers (no external dependency): numeric point rows and
+//! the uncertain-node format.
+
+use dpc::prelude::{NodeSet, PointSet, UncertainNode};
+use std::collections::BTreeMap;
+
+/// A CSV parse failure with a line number.
+#[derive(Debug, PartialEq, Eq)]
+pub struct CsvError {
+    /// 1-based line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+fn split_row(line: &str) -> Vec<&str> {
+    line.split(',').map(str::trim).collect()
+}
+
+fn is_numeric_row(fields: &[&str]) -> bool {
+    !fields.is_empty() && fields.iter().all(|f| f.parse::<f64>().is_ok())
+}
+
+/// Parses a deterministic point CSV: one point per row, all columns
+/// numeric. A single non-numeric first row is treated as a header. Empty
+/// lines and `#` comments are skipped.
+pub fn parse_points_csv(text: &str) -> Result<PointSet, CsvError> {
+    let mut points: Option<PointSet> = None;
+    let mut saw_header = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields = split_row(line);
+        if !is_numeric_row(&fields) {
+            if points.is_none() && !saw_header {
+                saw_header = true;
+                continue; // header row
+            }
+            return Err(CsvError {
+                line: idx + 1,
+                message: format!("non-numeric field in '{line}'"),
+            });
+        }
+        let coords: Vec<f64> = fields.iter().map(|f| f.parse().expect("checked")).collect();
+        let ps = points.get_or_insert_with(|| PointSet::new(coords.len()));
+        if coords.len() != ps.dim() {
+            return Err(CsvError {
+                line: idx + 1,
+                message: format!("expected {} columns, found {}", ps.dim(), coords.len()),
+            });
+        }
+        ps.push(&coords);
+    }
+    points.ok_or(CsvError { line: 0, message: "no data rows".into() })
+}
+
+/// Parses the uncertain-node CSV: `node_id,prob,coord0,coord1,…`. Rows
+/// sharing a `node_id` form one distribution; probabilities per node are
+/// normalized (so raw weights are accepted).
+pub fn parse_uncertain_csv(text: &str) -> Result<NodeSet, CsvError> {
+    let mut rows: BTreeMap<u64, Vec<(f64, Vec<f64>)>> = BTreeMap::new();
+    let mut dim: Option<usize> = None;
+    let mut saw_header = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields = split_row(line);
+        if fields.len() < 3 {
+            return Err(CsvError {
+                line: idx + 1,
+                message: "need at least node_id, prob, one coordinate".into(),
+            });
+        }
+        if !is_numeric_row(&fields) {
+            if rows.is_empty() && !saw_header {
+                saw_header = true;
+                continue;
+            }
+            return Err(CsvError { line: idx + 1, message: format!("non-numeric field in '{line}'") });
+        }
+        let id: u64 = fields[0].parse().map_err(|_| CsvError {
+            line: idx + 1,
+            message: "node_id must be an integer".into(),
+        })?;
+        let prob: f64 = fields[1].parse().expect("checked");
+        if prob <= 0.0 {
+            return Err(CsvError { line: idx + 1, message: "prob must be positive".into() });
+        }
+        let coords: Vec<f64> = fields[2..].iter().map(|f| f.parse().expect("checked")).collect();
+        if let Some(d) = dim {
+            if coords.len() != d {
+                return Err(CsvError {
+                    line: idx + 1,
+                    message: format!("expected {} coords, found {}", d, coords.len()),
+                });
+            }
+        } else {
+            dim = Some(coords.len());
+        }
+        rows.entry(id).or_default().push((prob, coords));
+    }
+    let dim = dim.ok_or(CsvError { line: 0, message: "no data rows".into() })?;
+    let mut ns = NodeSet::new(dim);
+    for (_, support_rows) in rows {
+        let total: f64 = support_rows.iter().map(|(p, _)| p).sum();
+        let mut support = Vec::with_capacity(support_rows.len());
+        let mut probs = Vec::with_capacity(support_rows.len());
+        for (p, coords) in &support_rows {
+            support.push(ns.ground.push(coords));
+            probs.push(p / total);
+        }
+        let drift: f64 = 1.0 - probs.iter().sum::<f64>();
+        probs[0] += drift;
+        ns.nodes.push(UncertainNode::new(support, probs));
+    }
+    Ok(ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_points_with_header() {
+        let ps = parse_points_csv("x,y\n1,2\n3,4\n# comment\n\n5,6\n").unwrap();
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps.dim(), 2);
+        assert_eq!(ps.point(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn parses_points_without_header() {
+        let ps = parse_points_csv("1.5,2.5\n-3,4e2\n").unwrap();
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.point(1), &[-3.0, 400.0]);
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let err = parse_points_csv("1,2\n3\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn rejects_mid_file_garbage() {
+        let err = parse_points_csv("1,2\nfoo,bar\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(parse_points_csv("# nothing\n").is_err());
+    }
+
+    #[test]
+    fn parses_uncertain_nodes() {
+        let text = "node,prob,x,y\n0,0.5,0,0\n0,0.5,1,0\n1,2,5,5\n1,1,6,5\n";
+        let ns = parse_uncertain_csv(text).unwrap();
+        assert_eq!(ns.len(), 2);
+        assert_eq!(ns.nodes[0].support_size(), 2);
+        // Node 1 had raw weights 2 and 1 -> normalized 2/3, 1/3.
+        assert!((ns.nodes[1].probs[0] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncertain_rejects_bad_rows() {
+        assert!(parse_uncertain_csv("0,0.5\n").is_err()); // too few columns
+        assert!(parse_uncertain_csv("0,-1,2,3\n").is_err()); // bad prob
+        let err = parse_uncertain_csv("0,0.5,1,2\n0,0.5,1\n").unwrap_err();
+        assert_eq!(err.line, 2); // dim mismatch
+    }
+}

@@ -1,0 +1,23 @@
+//! Library backing the `dpc` command-line tool.
+//!
+//! Split out of `main.rs` so parsing and orchestration are unit-testable.
+//! The CLI runs the distributed partial-clustering protocols on CSV data:
+//!
+//! ```text
+//! dpc median  --k 5 --t 20 --sites 8 data.csv
+//! dpc means   --k 5 --t 20 --sites 8 --eps 0.5 data.csv
+//! dpc center  --k 5 --t 20 --sites 8 --one-round data.csv
+//! dpc uncertain-median --k 3 --t 4 --sites 3 nodes.csv
+//! ```
+//!
+//! Deterministic point CSV: one point per row, numeric columns, optional
+//! header. Uncertain CSV: `node_id,prob,coord0,coord1,…` rows; rows sharing
+//! a `node_id` form one distribution.
+
+pub mod args;
+pub mod csv;
+pub mod run;
+
+pub use args::{parse_args, Command, Options};
+pub use csv::{parse_points_csv, parse_uncertain_csv};
+pub use run::{execute, Report};

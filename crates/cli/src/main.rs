@@ -1,0 +1,36 @@
+//! `dpc` — distributed partial clustering on CSV data from the command
+//! line. See `dpc --help` (or [`dpc_cli::args::USAGE`]).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match dpc_cli::parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&opts.input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read '{}': {e}", opts.input);
+            return ExitCode::from(1);
+        }
+    };
+    match dpc_cli::execute(&opts, &text) {
+        Ok(report) => {
+            if opts.json {
+                println!("{}", report.json());
+            } else {
+                print!("{}", report.text());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Orchestration: load data, run the selected protocol, build a report.
+
+use crate::args::{Command, Options};
+use crate::csv::{parse_points_csv, parse_uncertain_csv};
+use dpc::prelude::*;
+
+/// The result of a CLI run, renderable as text or JSON.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Which protocol ran.
+    pub command: Command,
+    /// Chosen centers (coordinates).
+    pub centers: Vec<Vec<f64>>,
+    /// Objective value over retained points at the output budget.
+    pub cost: f64,
+    /// Exclusion budget used in the final evaluation.
+    pub budget: usize,
+    /// Total bytes on the simulated wire (0 for centralized commands).
+    pub bytes: usize,
+    /// Protocol rounds (0 for centralized commands).
+    pub rounds: usize,
+    /// Input size.
+    pub n: usize,
+}
+
+impl Report {
+    /// Plain-text rendering.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:?}: n={}, cost={:.6} (budget {}), comm={}B over {} rounds\ncenters:\n",
+            self.command, self.n, self.cost, self.budget, self.bytes, self.rounds
+        ));
+        for c in &self.centers {
+            let coords: Vec<String> = c.iter().map(|v| format!("{v}")).collect();
+            out.push_str(&format!("  [{}]\n", coords.join(", ")));
+        }
+        out
+    }
+
+    /// JSON rendering (hand-built; values are plain numbers/arrays).
+    pub fn json(&self) -> String {
+        let centers: Vec<String> = self
+            .centers
+            .iter()
+            .map(|c| {
+                let coords: Vec<String> = c.iter().map(|v| format!("{v}")).collect();
+                format!("[{}]", coords.join(","))
+            })
+            .collect();
+        format!(
+            "{{\"command\":\"{:?}\",\"n\":{},\"cost\":{},\"budget\":{},\"bytes\":{},\"rounds\":{},\"centers\":[{}]}}",
+            self.command,
+            self.n,
+            self.cost,
+            self.budget,
+            self.bytes,
+            self.rounds,
+            centers.join(",")
+        )
+    }
+}
+
+fn centers_to_rows(ps: &PointSet) -> Vec<Vec<f64>> {
+    (0..ps.len()).map(|i| ps.point(i).to_vec()).collect()
+}
+
+/// Executes the parsed invocation on CSV text.
+pub fn execute(opts: &Options, csv_text: &str) -> Result<Report, String> {
+    match opts.command {
+        Command::Median | Command::Means | Command::Center | Command::Subquadratic => {
+            let points = parse_points_csv(csv_text).map_err(|e| e.to_string())?;
+            let n = points.len();
+            if n < opts.k {
+                return Err(format!("k={} exceeds the {} input points", opts.k, n));
+            }
+            match opts.command {
+                Command::Subquadratic => {
+                    let sol = subquadratic_median(
+                        &points,
+                        opts.k,
+                        opts.t,
+                        SubquadraticParams { eps: opts.eps, ..Default::default() },
+                    );
+                    Ok(Report {
+                        command: opts.command,
+                        centers: centers_to_rows(&sol.centers),
+                        cost: sol.cost,
+                        budget: sol.excluded,
+                        bytes: 0,
+                        rounds: 0,
+                        n,
+                    })
+                }
+                Command::Center => {
+                    let shards = partition(
+                        &points,
+                        opts.sites,
+                        PartitionStrategy::Random,
+                        &[],
+                        opts.seed,
+                    );
+                    let cfg = CenterConfig::new(opts.k, opts.t);
+                    let out = if opts.one_round {
+                        run_one_round_center(&shards, cfg, RunOptions::default())
+                    } else {
+                        run_distributed_center(&shards, cfg, RunOptions::default())
+                    };
+                    let (cost, budget) = evaluate_on_full_data(
+                        &shards,
+                        &out.output.centers,
+                        opts.t,
+                        Objective::Center,
+                    );
+                    Ok(Report {
+                        command: opts.command,
+                        centers: centers_to_rows(&out.output.centers),
+                        cost,
+                        budget,
+                        bytes: out.stats.total_bytes(),
+                        rounds: out.stats.num_rounds(),
+                        n,
+                    })
+                }
+                _ => {
+                    let shards = partition(
+                        &points,
+                        opts.sites,
+                        PartitionStrategy::Random,
+                        &[],
+                        opts.seed,
+                    );
+                    let mut cfg = MedianConfig::new(opts.k, opts.t);
+                    cfg.eps = opts.eps;
+                    if opts.command == Command::Means {
+                        cfg = cfg.means();
+                    }
+                    if opts.delta > 0.0 {
+                        cfg = cfg.counts_only(opts.delta);
+                    }
+                    let out = if opts.one_round {
+                        run_one_round_median(&shards, cfg, RunOptions::default())
+                    } else {
+                        run_distributed_median(&shards, cfg, RunOptions::default())
+                    };
+                    let objective = if opts.command == Command::Means {
+                        Objective::Means
+                    } else {
+                        Objective::Median
+                    };
+                    let factor = if opts.delta > 0.0 { 2.0 + opts.eps + opts.delta } else { 1.0 + opts.eps };
+                    let budget = (factor * opts.t as f64).floor() as usize;
+                    let (cost, budget) =
+                        evaluate_on_full_data(&shards, &out.output.centers, budget, objective);
+                    Ok(Report {
+                        command: opts.command,
+                        centers: centers_to_rows(&out.output.centers),
+                        cost,
+                        budget,
+                        bytes: out.stats.total_bytes(),
+                        rounds: out.stats.num_rounds(),
+                        n,
+                    })
+                }
+            }
+        }
+        Command::UncertainMedian => {
+            let nodes = parse_uncertain_csv(csv_text).map_err(|e| e.to_string())?;
+            let n = nodes.len();
+            if n < opts.k {
+                return Err(format!("k={} exceeds the {} input nodes", opts.k, n));
+            }
+            // Split nodes round-robin across the simulated sites.
+            let mut shards: Vec<NodeSet> =
+                (0..opts.sites).map(|_| NodeSet::new(nodes.ground.dim())).collect();
+            for (i, node) in nodes.nodes.iter().enumerate() {
+                let shard = &mut shards[i % opts.sites];
+                let mut support = Vec::with_capacity(node.support.len());
+                for &sp in &node.support {
+                    support.push(shard.ground.push(nodes.ground.point(sp)));
+                }
+                shard.nodes.push(UncertainNode::new(support, node.probs.clone()));
+            }
+            let mut cfg = UncertainConfig::new(opts.k, opts.t);
+            cfg.eps = opts.eps;
+            let out = run_uncertain_median(&shards, cfg, RunOptions::default());
+            let budget = ((1.0 + opts.eps) * opts.t as f64).floor() as usize;
+            let cost =
+                estimate_expected_cost(&shards, &out.output.centers, budget, false, false);
+            Ok(Report {
+                command: opts.command,
+                centers: centers_to_rows(&out.output.centers),
+                cost,
+                budget,
+                bytes: out.stats.total_bytes(),
+                rounds: out.stats.num_rounds(),
+                n,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    fn opts(parts: &[&str]) -> Options {
+        let v: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        parse_args(&v).unwrap()
+    }
+
+    fn toy_csv() -> String {
+        let mut s = String::from("x,y\n");
+        for i in 0..20 {
+            s.push_str(&format!("{},0\n", (i % 5) as f64 * 0.1));
+        }
+        for i in 0..20 {
+            s.push_str(&format!("{},0\n", 100.0 + (i % 5) as f64 * 0.1));
+        }
+        s.push_str("5000,5000\n");
+        s
+    }
+
+    #[test]
+    fn median_end_to_end() {
+        let o = opts(&["median", "--k", "2", "--t", "1", "--sites", "3", "in.csv"]);
+        let r = execute(&o, &toy_csv()).unwrap();
+        assert_eq!(r.n, 41);
+        assert!(r.cost < 20.0, "cost {}", r.cost);
+        assert_eq!(r.rounds, 2);
+        assert!(r.bytes > 0);
+        assert_eq!(r.centers.len(), 2);
+    }
+
+    #[test]
+    fn center_one_round_end_to_end() {
+        let o = opts(&["center", "--k", "2", "--t", "1", "--one-round", "in.csv"]);
+        let r = execute(&o, &toy_csv()).unwrap();
+        assert_eq!(r.rounds, 1);
+        assert!(r.cost < 5.0, "cost {}", r.cost);
+    }
+
+    #[test]
+    fn subquadratic_end_to_end() {
+        let o = opts(&["subquadratic", "--k", "2", "--t", "1", "in.csv"]);
+        let r = execute(&o, &toy_csv()).unwrap();
+        assert_eq!(r.bytes, 0);
+        assert!(r.cost < 20.0);
+    }
+
+    #[test]
+    fn uncertain_end_to_end() {
+        let mut csv = String::from("node,prob,x,y\n");
+        for n in 0..12 {
+            let c = if n % 2 == 0 { 0.0 } else { 80.0 };
+            csv.push_str(&format!("{n},0.5,{},{}\n", c, 0.1 * n as f64));
+            csv.push_str(&format!("{n},0.5,{},{}\n", c + 0.5, 0.1 * n as f64));
+        }
+        let o = opts(&["uncertain-median", "--k", "2", "--t", "0", "--sites", "2", "in.csv"]);
+        let r = execute(&o, &csv).unwrap();
+        assert_eq!(r.n, 12);
+        assert!(r.cost < 30.0, "cost {}", r.cost);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let o = opts(&["median", "--k", "100", "in.csv"]);
+        assert!(execute(&o, "1,1\n2,2\n").is_err());
+        let o = opts(&["median", "in.csv"]);
+        assert!(execute(&o, "not,a,number\nstill,not,numbers\n").is_err());
+    }
+
+    #[test]
+    fn json_and_text_rendering() {
+        let r = Report {
+            command: Command::Median,
+            centers: vec![vec![1.0, 2.0]],
+            cost: 3.5,
+            budget: 2,
+            bytes: 100,
+            rounds: 2,
+            n: 10,
+        };
+        let j = r.json();
+        assert!(j.contains("\"cost\":3.5") && j.contains("[1,2]"), "{j}");
+        let t = r.text();
+        assert!(t.contains("cost=3.5") && t.contains("[1, 2]"), "{t}");
+    }
+}

@@ -1,0 +1,137 @@
+//! Brute-force optimal solvers for small instances.
+//!
+//! These are the *test oracles*: every approximation-ratio claim in the
+//! workspace is validated against `exact_best` on instances small enough to
+//! enumerate all `C(n, k)` center subsets.
+
+use dpc_metric::{cost_excluding_outliers, Metric, Objective, WeightedSet};
+
+/// An exact optimum over enumerated center subsets.
+#[derive(Clone, Debug)]
+pub struct ExactSolution {
+    /// Optimal centers (ids into the metric space).
+    pub centers: Vec<usize>,
+    /// Optimal cost (`C_opt(Z, k, t, d)`).
+    pub cost: f64,
+}
+
+/// Enumerates all `k`-subsets of the weighted set's ids as centers and
+/// returns the minimum `(k,t)` objective.
+///
+/// # Panics
+/// Panics if the number of subsets exceeds `max_subsets` (guards against
+/// accidental exponential blow-ups in tests), if `points` is empty, or if
+/// `k == 0`.
+pub fn exact_best<M: Metric>(
+    metric: &M,
+    points: &WeightedSet,
+    k: usize,
+    t: f64,
+    objective: Objective,
+    max_subsets: u64,
+) -> ExactSolution {
+    assert!(!points.is_empty(), "exact solver requires points");
+    assert!(k > 0, "need at least one center");
+    // Candidate centers: distinct ids.
+    let mut cands: Vec<usize> = points.ids().to_vec();
+    cands.sort_unstable();
+    cands.dedup();
+    let n = cands.len();
+    let k = k.min(n);
+
+    let total = binomial(n as u64, k as u64);
+    assert!(
+        total <= max_subsets,
+        "C({n},{k}) = {total} exceeds the {max_subsets}-subset guard"
+    );
+
+    let mut best_cost = f64::INFINITY;
+    let mut best_centers = Vec::new();
+    let mut subset: Vec<usize> = (0..k).collect();
+    loop {
+        let centers: Vec<usize> = subset.iter().map(|&i| cands[i]).collect();
+        let c = cost_excluding_outliers(metric, points, &centers, t, objective).cost;
+        if c < best_cost {
+            best_cost = c;
+            best_centers = centers;
+        }
+        // Next combination in lexicographic order.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return ExactSolution { centers: best_centers, cost: best_cost };
+            }
+            i -= 1;
+            if subset[i] != i + n - k {
+                break;
+            }
+        }
+        subset[i] += 1;
+        for j in i + 1..k {
+            subset[j] = subset[j - 1] + 1;
+        }
+    }
+}
+
+fn binomial(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u64 = 1;
+    for i in 0..k {
+        acc = acc.saturating_mul(n - i) / (i + 1);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_metric::{EuclideanMetric, PointSet};
+
+    #[test]
+    fn exact_two_clusters() {
+        let ps = PointSet::from_rows(&[vec![0.0], vec![1.0], vec![10.0], vec![11.0]]);
+        let m = EuclideanMetric::new(&ps);
+        let w = WeightedSet::unit(4);
+        let sol = exact_best(&m, &w, 2, 0.0, Objective::Median, 1_000);
+        assert_eq!(sol.cost, 2.0);
+    }
+
+    #[test]
+    fn exact_with_outlier() {
+        let ps = PointSet::from_rows(&[vec![0.0], vec![1.0], vec![100.0]]);
+        let m = EuclideanMetric::new(&ps);
+        let w = WeightedSet::unit(3);
+        let sol = exact_best(&m, &w, 1, 1.0, Objective::Median, 1_000);
+        assert_eq!(sol.cost, 1.0); // center at 0 or 1, exclude 100
+    }
+
+    #[test]
+    fn center_objective() {
+        let ps = PointSet::from_rows(&[vec![0.0], vec![4.0], vec![8.0]]);
+        let m = EuclideanMetric::new(&ps);
+        let w = WeightedSet::unit(3);
+        let sol = exact_best(&m, &w, 1, 0.0, Objective::Center, 1_000);
+        assert_eq!(sol.cost, 4.0);
+        assert_eq!(sol.centers, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn guard_trips() {
+        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let ps = PointSet::from_rows(&rows);
+        let m = EuclideanMetric::new(&ps);
+        let w = WeightedSet::unit(30);
+        let _ = exact_best(&m, &w, 10, 0.0, Objective::Median, 100);
+    }
+
+    #[test]
+    fn binomial_sanity() {
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(10, 0), 1);
+        assert_eq!(binomial(4, 5), 0);
+    }
+}

@@ -1,0 +1,286 @@
+//! Lloyd's k-means with optional trimming — the classical baseline the
+//! partial-clustering objectives are compared against in the experiments
+//! (it has no outlier robustness, which is precisely the paper's
+//! motivation for the `(k,t)` objectives).
+//!
+//! Unlike the other solvers, Lloyd's centers are arbitrary points of `R^d`
+//! (centroids), not input points, so it operates directly on a
+//! [`PointSet`].
+
+use dpc_metric::{PointSet, WeightedSet};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Tuning for [`lloyd_kmeans`].
+#[derive(Clone, Copy, Debug)]
+pub struct LloydParams {
+    /// Maximum assign/update rounds.
+    pub max_iters: usize,
+    /// Relative cost-improvement threshold for convergence.
+    pub tol: f64,
+    /// Number of points (by weight) to exclude from centroid updates and the
+    /// final cost — `0.0` is classic Lloyd, `t` gives trimmed k-means.
+    pub trim: f64,
+    /// RNG seed for k-means++ initialization.
+    pub seed: u64,
+    /// Independent restarts (the lowest-cost run wins); trimmed k-means in
+    /// particular needs restarts to escape seedings that capture outliers.
+    pub restarts: usize,
+}
+
+impl Default for LloydParams {
+    fn default() -> Self {
+        Self { max_iters: 50, tol: 1e-6, trim: 0.0, seed: 0x5eed, restarts: 4 }
+    }
+}
+
+/// Output of [`lloyd_kmeans`].
+#[derive(Clone, Debug)]
+pub struct LloydResult {
+    /// Final centroids (row-major, `k × dim`).
+    pub centroids: PointSet,
+    /// Sum of squared distances over retained weight.
+    pub cost: f64,
+    /// Entry positions excluded by trimming in the final iteration.
+    pub trimmed: Vec<usize>,
+}
+
+/// Runs weighted (trimmed) Lloyd's algorithm with k-means++ seeding.
+///
+/// # Panics
+/// Panics if `points` is empty, `k == 0`, or weights mismatch.
+pub fn lloyd_kmeans(
+    points: &PointSet,
+    weighted: &WeightedSet,
+    k: usize,
+    params: LloydParams,
+) -> LloydResult {
+    let restarts = params.restarts.max(1);
+    let mut best: Option<LloydResult> = None;
+    for r in 0..restarts {
+        let run = lloyd_kmeans_once(
+            points,
+            weighted,
+            k,
+            LloydParams { seed: params.seed.wrapping_add(r as u64), ..params },
+        );
+        if best.as_ref().map_or(true, |b| run.cost < b.cost) {
+            best = Some(run);
+        }
+    }
+    best.expect("at least one restart")
+}
+
+/// A single seeded run of (trimmed) Lloyd.
+fn lloyd_kmeans_once(
+    points: &PointSet,
+    weighted: &WeightedSet,
+    k: usize,
+    params: LloydParams,
+) -> LloydResult {
+    assert!(!weighted.is_empty(), "lloyd requires points");
+    assert!(k > 0, "need at least one center");
+    let ids = weighted.ids();
+    let weights = weighted.weights();
+    let n = ids.len();
+    let dim = points.dim();
+    let k = k.min(n);
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+
+    // k-means++ seeding over entries.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let first = rng.gen_range(0..n);
+    centroids.push(points.point(ids[first]).to_vec());
+    let mut d2: Vec<f64> = (0..n)
+        .map(|e| points.sq_dist_to(ids[e], &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let mut scores: Vec<f64> = d2.iter().zip(weights).map(|(&d, &w)| d * w).collect();
+        // Robust seeding (k-means-- style): the `trim` most expensive weight
+        // is assumed outlier and removed from the sampling distribution, so
+        // planted outliers do not capture seeds.
+        if params.trim > 0.0 {
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| d2[b].total_cmp(&d2[a]));
+            let mut budget = params.trim;
+            for &e in &order {
+                if budget <= 0.0 {
+                    break;
+                }
+                if weights[e] <= budget {
+                    budget -= weights[e];
+                    scores[e] = 0.0;
+                } else {
+                    scores[e] *= (weights[e] - budget) / weights[e];
+                    budget = 0.0;
+                }
+            }
+        }
+        let total: f64 = scores.iter().sum();
+        let pick = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut p = n - 1;
+            for (e, &s) in scores.iter().enumerate() {
+                if target < s {
+                    p = e;
+                    break;
+                }
+                target -= s;
+            }
+            p
+        };
+        centroids.push(points.point(ids[pick]).to_vec());
+        for e in 0..n {
+            let d = points.sq_dist_to(ids[e], centroids.last().expect("just pushed"));
+            if d < d2[e] {
+                d2[e] = d;
+            }
+        }
+    }
+
+    let mut prev_cost = f64::INFINITY;
+    let mut trimmed: Vec<usize> = Vec::new();
+    for _ in 0..params.max_iters {
+        // Assign.
+        let mut assign = vec![0usize; n];
+        let mut dist2 = vec![0.0f64; n];
+        for e in 0..n {
+            let mut bd = f64::INFINITY;
+            let mut bc = 0;
+            for (c, cen) in centroids.iter().enumerate() {
+                let d = points.sq_dist_to(ids[e], cen);
+                if d < bd {
+                    bd = d;
+                    bc = c;
+                }
+            }
+            assign[e] = bc;
+            dist2[e] = bd;
+        }
+        // Trim: drop the most expensive `trim` weight from updates & cost.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| dist2[b].total_cmp(&dist2[a]));
+        let mut budget = params.trim;
+        let mut keep_w = weights.to_vec();
+        trimmed.clear();
+        for &e in &order {
+            if budget <= 0.0 {
+                break;
+            }
+            let cut = budget.min(keep_w[e]);
+            keep_w[e] -= cut;
+            budget -= cut;
+            if cut > 0.0 {
+                trimmed.push(e);
+            }
+        }
+        // Update.
+        let mut sums = vec![vec![0.0f64; dim]; centroids.len()];
+        let mut wsum = vec![0.0f64; centroids.len()];
+        for e in 0..n {
+            let w = keep_w[e];
+            if w <= 0.0 {
+                continue;
+            }
+            let p = points.point(ids[e]);
+            for (s, &c) in sums[assign[e]].iter_mut().zip(p) {
+                *s += w * c;
+            }
+            wsum[assign[e]] += w;
+        }
+        let mut relocation_order: Option<Vec<usize>> = None;
+        let mut relocated = 0usize;
+        for (c, cen) in centroids.iter_mut().enumerate() {
+            if wsum[c] > 0.0 {
+                for (x, s) in cen.iter_mut().zip(&sums[c]) {
+                    *x = s / wsum[c];
+                }
+            } else {
+                // Empty (or fully trimmed) cluster: relocate its centroid to
+                // the costliest retained point so it cannot strand on a
+                // trimmed outlier.
+                let order = relocation_order.get_or_insert_with(|| {
+                    let mut o: Vec<usize> =
+                        (0..n).filter(|&e| keep_w[e] > 0.0).collect();
+                    o.sort_by(|&a, &b| dist2[b].total_cmp(&dist2[a]));
+                    o
+                });
+                if relocated < order.len() {
+                    let e = order[relocated];
+                    relocated += 1;
+                    cen.copy_from_slice(points.point(ids[e]));
+                }
+            }
+        }
+        // Cost over retained weight.
+        let cost: f64 = (0..n).map(|e| keep_w[e] * dist2[e]).sum();
+        if prev_cost.is_finite() && (prev_cost - cost).abs() <= params.tol * prev_cost.max(1e-30)
+        {
+            prev_cost = cost;
+            break;
+        }
+        prev_cost = cost;
+    }
+
+    let mut cps = PointSet::with_capacity(dim, centroids.len());
+    for c in &centroids {
+        cps.push(c);
+    }
+    LloydResult { centroids: cps, cost: prev_cost, trimmed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clumps() -> PointSet {
+        let mut rows = Vec::new();
+        for i in 0..20 {
+            rows.push(vec![(i % 4) as f64 * 0.1, 0.0]);
+        }
+        for i in 0..20 {
+            rows.push(vec![50.0 + (i % 4) as f64 * 0.1, 0.0]);
+        }
+        PointSet::from_rows(&rows)
+    }
+
+    #[test]
+    fn converges_on_clumps() {
+        let ps = clumps();
+        let w = WeightedSet::unit(ps.len());
+        let r = lloyd_kmeans(&ps, &w, 2, LloydParams::default());
+        assert!(r.cost < 1.0, "cost {}", r.cost);
+        let a = r.centroids.point(0)[0];
+        let b = r.centroids.point(1)[0];
+        assert!((a < 25.0) != (b < 25.0));
+    }
+
+    #[test]
+    fn outlier_wrecks_untrimmed_kmeans() {
+        // The motivating phenomenon: one far outlier drags a center away.
+        let mut ps = clumps();
+        ps.push(&[1e6, 0.0]);
+        let w = WeightedSet::unit(ps.len());
+        let plain = lloyd_kmeans(&ps, &w, 2, LloydParams::default());
+        let trimmed =
+            lloyd_kmeans(&ps, &w, 2, LloydParams { trim: 1.0, ..Default::default() });
+        assert!(
+            trimmed.cost < plain.cost / 100.0,
+            "trimmed {} vs plain {}",
+            trimmed.cost,
+            plain.cost
+        );
+        assert_eq!(trimmed.trimmed, vec![40]);
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let ps = PointSet::from_rows(&[vec![0.0, 0.0], vec![2.0, 0.0], vec![1.0, 3.0]]);
+        let w = WeightedSet::unit(3);
+        let r = lloyd_kmeans(&ps, &w, 1, LloydParams::default());
+        let c = r.centroids.point(0);
+        assert!((c[0] - 1.0).abs() < 1e-9 && (c[1] - 1.0).abs() < 1e-9);
+    }
+}

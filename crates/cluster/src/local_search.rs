@@ -1,0 +1,368 @@
+//! Weighted k-median/means local search with a Lagrangian per-point penalty.
+//!
+//! This is the computational core of the Theorem 3.1 substitute (see
+//! DESIGN.md §3): each point either pays its assignment distance or opts out
+//! for a fixed penalty `λ`, i.e. we minimize
+//!
+//! ```text
+//!   Σ_e  w_e · min( d(e, K), λ )         over |K| ≤ k
+//! ```
+//!
+//! which is exactly the Lagrangian relaxation of the `(k,t)` objective that
+//! the primal-dual algorithms of \[17\] (and their outlier extension in
+//! \[4\]) optimize. `λ = ∞` recovers the plain k-median. For the means
+//! objective, run this over a [`dpc_metric::SquaredMetric`].
+//!
+//! The search is the classic single-swap heuristic with the `O(n + k)`
+//! per-candidate delta evaluation (maintaining nearest and second-nearest
+//! center distances), plus weighted D-sampling seeding. Single-swap local
+//! search is a constant-factor approximation for k-median (Arya et al.),
+//! which is all the downstream lemmas require of the preclustering oracle.
+
+use crate::solution::Solution;
+use dpc_metric::{Metric, WeightedSet};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Tuning for [`penalty_local_search`].
+#[derive(Clone, Copy, Debug)]
+pub struct LocalSearchParams {
+    /// Maximum improving swaps applied.
+    pub max_iters: usize,
+    /// Candidate insertion points sampled per iteration (capped to `n`).
+    pub swap_candidates: usize,
+    /// Relative improvement threshold for accepting a swap.
+    pub min_rel_gain: f64,
+    /// RNG seed (seeding + candidate sampling are the only random choices).
+    pub seed: u64,
+}
+
+impl Default for LocalSearchParams {
+    fn default() -> Self {
+        Self { max_iters: 60, swap_candidates: 48, min_rel_gain: 1e-6, seed: 0x5eed }
+    }
+}
+
+/// State carried by the search: nearest / second-nearest center per entry.
+struct NearestState {
+    /// Position (within `centers`) of the nearest center.
+    c1: Vec<usize>,
+    /// Distance to nearest center.
+    d1: Vec<f64>,
+    /// Distance to second-nearest center.
+    d2: Vec<f64>,
+}
+
+fn recompute_state<M: Metric>(
+    metric: &M,
+    ids: &[usize],
+    centers: &[usize],
+) -> NearestState {
+    let n = ids.len();
+    let mut c1 = vec![0usize; n];
+    let mut d1 = vec![f64::INFINITY; n];
+    let mut d2 = vec![f64::INFINITY; n];
+    for (e, &id) in ids.iter().enumerate() {
+        for (pos, &c) in centers.iter().enumerate() {
+            let d = metric.dist(id, c);
+            if d < d1[e] {
+                d2[e] = d1[e];
+                d1[e] = d;
+                c1[e] = pos;
+            } else if d < d2[e] {
+                d2[e] = d;
+            }
+        }
+    }
+    NearestState { c1, d1, d2 }
+}
+
+/// Penalized cost of the current state.
+fn penalized_cost(state: &NearestState, weights: &[f64], penalty: f64) -> f64 {
+    state
+        .d1
+        .iter()
+        .zip(weights)
+        .map(|(&d, &w)| w * d.min(penalty))
+        .sum()
+}
+
+/// Weighted D-sampling seeding (k-means++ style) under the penalty metric:
+/// the first center is the weighted medoid-ish heaviest point, subsequent
+/// centers are sampled proportionally to `w · min(d, λ)`.
+fn seed_centers<M: Metric>(
+    metric: &M,
+    points: &WeightedSet,
+    k: usize,
+    penalty: f64,
+    rng: &mut SmallRng,
+) -> Vec<usize> {
+    let ids = points.ids();
+    let weights = points.weights();
+    let n = ids.len();
+    let k = k.min(n);
+    let mut centers = Vec::with_capacity(k);
+
+    // First center: the entry with maximum weight (deterministic anchor).
+    let first = (0..n)
+        .max_by(|&a, &b| weights[a].total_cmp(&weights[b]))
+        .expect("non-empty points");
+    centers.push(ids[first]);
+
+    let mut d1: Vec<f64> = ids.iter().map(|&id| metric.dist(id, ids[first])).collect();
+    while centers.len() < k {
+        let scores: Vec<f64> =
+            d1.iter().zip(weights).map(|(&d, &w)| w * d.min(penalty)).collect();
+        let total: f64 = scores.iter().sum();
+        let chosen = if total <= 0.0 {
+            // Everything already covered at distance 0: any remaining entry.
+            (0..n).find(|&e| d1[e] > 0.0).unwrap_or(centers.len() % n)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut pick = n - 1;
+            for (e, &s) in scores.iter().enumerate() {
+                if target < s {
+                    pick = e;
+                    break;
+                }
+                target -= s;
+            }
+            pick
+        };
+        centers.push(ids[chosen]);
+        for (e, &id) in ids.iter().enumerate() {
+            let d = metric.dist(id, ids[chosen]);
+            if d < d1[e] {
+                d1[e] = d;
+            }
+        }
+    }
+    centers
+}
+
+/// Runs the penalized single-swap local search.
+///
+/// Returns the chosen centers together with the *penalized* objective in
+/// `cost`; `outliers` lists entries whose nearest-center distance strictly
+/// exceeds `penalty` (their full weight is charged the penalty), and
+/// `assignment` is nearest-center as usual. Callers wanting the `(k,t)`
+/// semantics should re-evaluate the centers with
+/// [`Solution::evaluate`](crate::solution::Solution::evaluate).
+///
+/// # Panics
+/// Panics if `points` is empty or `k == 0`.
+pub fn penalty_local_search<M: Metric>(
+    metric: &M,
+    points: &WeightedSet,
+    k: usize,
+    penalty: f64,
+    params: LocalSearchParams,
+) -> Solution {
+    assert!(!points.is_empty(), "local search requires points");
+    assert!(k > 0, "need at least one center");
+    let ids = points.ids();
+    let weights = points.weights();
+    let n = ids.len();
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+
+    let mut centers = seed_centers(metric, points, k, penalty, &mut rng);
+    let mut state = recompute_state(metric, ids, &centers);
+    let mut cost = penalized_cost(&state, weights, penalty);
+
+    for _ in 0..params.max_iters {
+        let kk = centers.len();
+        // Sample candidate insertions.
+        let cand_count = params.swap_candidates.min(n);
+        let mut best: Option<(usize, usize, f64)> = None; // (cand entry, removed pos, delta)
+        for _ in 0..cand_count {
+            let cand = rng.gen_range(0..n);
+            let x = ids[cand];
+            if centers.contains(&x) {
+                continue;
+            }
+            // Delta decomposition: delta(x, ci) = a + b[ci], where
+            //   a      = Σ_e w_e (min(dx, d1, λ) − min(d1, λ))
+            //   b[ci]  = Σ_{e: c1=ci} w_e (min(d2, dx, λ) − min(dx, d1, λ))
+            let mut a = 0.0f64;
+            let mut b = vec![0.0f64; kk];
+            for e in 0..n {
+                let w = weights[e];
+                if w == 0.0 {
+                    continue;
+                }
+                let dx = metric.dist(ids[e], x);
+                let old = state.d1[e].min(penalty);
+                let with_x = dx.min(state.d1[e]).min(penalty);
+                a += w * (with_x - old);
+                let without_c1 = state.d2[e].min(dx).min(penalty);
+                b[state.c1[e]] += w * (without_c1 - with_x);
+            }
+            for (ci, &bc) in b.iter().enumerate() {
+                let delta = a + bc;
+                if best.map_or(true, |(_, _, bd)| delta < bd) {
+                    best = Some((cand, ci, delta));
+                }
+            }
+        }
+        match best {
+            Some((cand, ci, delta)) if delta < -params.min_rel_gain * cost.max(1e-30) => {
+                centers[ci] = ids[cand];
+                state = recompute_state(metric, ids, &centers);
+                cost += delta;
+                // Guard against floating drift.
+                debug_assert!(
+                    (penalized_cost(&state, weights, penalty) - cost).abs()
+                        <= 1e-6 * cost.abs().max(1.0)
+                );
+                cost = penalized_cost(&state, weights, penalty);
+            }
+            _ => break,
+        }
+    }
+
+    let outliers: Vec<(usize, f64)> = state
+        .d1
+        .iter()
+        .enumerate()
+        .filter(|&(e, &d)| d > penalty && weights[e] > 0.0)
+        .map(|(e, _)| (e, weights[e]))
+        .collect();
+    Solution { centers, cost, outliers, assignment: state.c1 }
+}
+
+/// Plain weighted k-median local search (no penalty): a convenience wrapper
+/// used for `t = 0` instances and baselines.
+pub fn kmedian_local_search<M: Metric>(
+    metric: &M,
+    points: &WeightedSet,
+    k: usize,
+    params: LocalSearchParams,
+) -> Solution {
+    let mut sol = penalty_local_search(metric, points, k, f64::INFINITY, params);
+    sol.outliers.clear();
+    sol
+}
+
+/// Evaluates the penalized objective for arbitrary centers (test helper and
+/// cross-check used by the λ-search).
+pub fn penalized_objective<M: Metric>(
+    metric: &M,
+    points: &WeightedSet,
+    centers: &[usize],
+    penalty: f64,
+) -> f64 {
+    points
+        .iter()
+        .map(|(id, w)| {
+            let d = centers
+                .iter()
+                .map(|&c| metric.dist(id, c))
+                .fold(f64::INFINITY, f64::min);
+            w * d.min(penalty)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_metric::{EuclideanMetric, PointSet, SquaredMetric};
+
+    fn two_clumps() -> PointSet {
+        let mut rows = Vec::new();
+        for i in 0..10 {
+            rows.push(vec![0.0 + 0.01 * i as f64, 0.0]);
+        }
+        for i in 0..10 {
+            rows.push(vec![100.0 + 0.01 * i as f64, 0.0]);
+        }
+        PointSet::from_rows(&rows)
+    }
+
+    #[test]
+    fn finds_both_clumps() {
+        let ps = two_clumps();
+        let m = EuclideanMetric::new(&ps);
+        let w = WeightedSet::unit(20);
+        let sol = kmedian_local_search(&m, &w, 2, LocalSearchParams::default());
+        // One center in each clump: cost well below 1.0 (vs ~1000 for a
+        // single-clump placement).
+        assert!(sol.cost < 1.0, "cost {}", sol.cost);
+        let c0 = ps.point(sol.centers[0])[0];
+        let c1 = ps.point(sol.centers[1])[0];
+        assert!((c0 < 50.0) != (c1 < 50.0), "centers must split the clumps");
+    }
+
+    #[test]
+    fn penalty_marks_far_points_outliers() {
+        let ps = PointSet::from_rows(&[vec![0.0], vec![0.1], vec![0.2], vec![500.0]]);
+        let m = EuclideanMetric::new(&ps);
+        let w = WeightedSet::unit(4);
+        let sol = penalty_local_search(&m, &w, 1, 10.0, LocalSearchParams::default());
+        assert_eq!(sol.outliers.len(), 1);
+        assert_eq!(sol.outliers[0].0, 3);
+        // Penalized cost = within-clump cost + λ for the outlier.
+        assert!(sol.cost <= 0.3 + 10.0 + 1e-9);
+    }
+
+    #[test]
+    fn infinite_penalty_equals_plain() {
+        let ps = two_clumps();
+        let m = EuclideanMetric::new(&ps);
+        let w = WeightedSet::unit(20);
+        let a = penalty_local_search(&m, &w, 2, f64::INFINITY, LocalSearchParams::default());
+        let b = kmedian_local_search(&m, &w, 2, LocalSearchParams::default());
+        assert_eq!(a.centers, b.centers);
+        assert!(b.outliers.is_empty());
+    }
+
+    #[test]
+    fn respects_weights() {
+        // A weight-100 point far away must attract a center over a weight-1
+        // clump when k=1.
+        let ps = PointSet::from_rows(&[vec![0.0], vec![1.0], vec![1000.0]]);
+        let m = EuclideanMetric::new(&ps);
+        let w = WeightedSet::from_parts(vec![0, 1, 2], vec![1.0, 1.0, 100.0]);
+        let sol = kmedian_local_search(&m, &w, 1, LocalSearchParams::default());
+        assert_eq!(sol.centers, vec![2]);
+    }
+
+    #[test]
+    fn works_with_squared_metric_for_means() {
+        let ps = two_clumps();
+        let m = SquaredMetric::new(EuclideanMetric::new(&ps));
+        let w = WeightedSet::unit(20);
+        let sol = kmedian_local_search(&m, &w, 2, LocalSearchParams::default());
+        assert!(sol.cost < 1.0, "means cost {}", sol.cost);
+    }
+
+    #[test]
+    fn k_larger_than_n_caps() {
+        let ps = PointSet::from_rows(&[vec![0.0], vec![5.0]]);
+        let m = EuclideanMetric::new(&ps);
+        let w = WeightedSet::unit(2);
+        let sol = kmedian_local_search(&m, &w, 5, LocalSearchParams::default());
+        assert!(sol.cost <= 1e-12);
+    }
+
+    #[test]
+    fn objective_helper_matches_search_cost() {
+        let ps = two_clumps();
+        let m = EuclideanMetric::new(&ps);
+        let w = WeightedSet::unit(20);
+        let sol = penalty_local_search(&m, &w, 2, 3.0, LocalSearchParams::default());
+        let check = penalized_objective(&m, &w, &sol.centers, 3.0);
+        assert!((sol.cost - check).abs() <= 1e-9 * check.max(1.0));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let ps = two_clumps();
+        let m = EuclideanMetric::new(&ps);
+        let w = WeightedSet::unit(20);
+        let p = LocalSearchParams { seed: 42, ..Default::default() };
+        let a = kmedian_local_search(&m, &w, 3, p);
+        let b = kmedian_local_search(&m, &w, 3, p);
+        assert_eq!(a.centers, b.centers);
+    }
+}

@@ -1,0 +1,336 @@
+//! Bicriteria `(k, (1+ε)t)`-median/means — the Theorem 3.1 analogue.
+//!
+//! Theorem 3.1 promises `sol(Z, k, (1+ε)t)` with cost at most
+//! `max{6, 6/ε} · C_opt(Z, k, t)` in `O(|Z|²)` time, built from the
+//! Lagrangian primal-dual machinery of \[17\] with the outlier handling of
+//! \[4\]. We reproduce the same *interface and guarantee shape* with the
+//! λ-penalty local search of [`crate::local_search`] plus a parametric
+//! search on λ (see DESIGN.md §3 for the substitution rationale):
+//!
+//! * for a given λ, the search returns centers where every point pays
+//!   `min(d, λ)` — points preferring the penalty are the implied outliers;
+//! * λ is bisected until the implied outlier weight lands in
+//!   `[0, (1+ε)t]`, keeping the best candidate (evaluated with the full
+//!   `(1+ε)t` exclusion budget) seen anywhere along the search;
+//! * the `λ = ∞` (no-outlier) solution is always included as a candidate,
+//!   which guards degenerate instances where outliers are irrelevant.
+
+use crate::local_search::{penalty_local_search, LocalSearchParams};
+use crate::solution::Solution;
+use dpc_metric::{Metric, Objective, WeightedSet};
+
+/// Tuning for [`median_bicriteria`].
+#[derive(Clone, Copy, Debug)]
+pub struct BicriteriaParams {
+    /// Outlier budget relaxation: the solution may exclude `(1+ε)t` weight.
+    pub eps: f64,
+    /// Bisection iterations on λ.
+    pub lambda_iters: usize,
+    /// Inner local-search parameters.
+    pub ls: LocalSearchParams,
+}
+
+impl Default for BicriteriaParams {
+    fn default() -> Self {
+        Self { eps: 1.0, lambda_iters: 24, ls: LocalSearchParams::default() }
+    }
+}
+
+/// Computes `sol(Z, k, (1+ε)t)` for the median objective (pass a
+/// [`dpc_metric::SquaredMetric`] and `Objective::Means` for means).
+///
+/// `t` is an outlier weight budget. The returned solution excludes at most
+/// `(1+ε)t` weight (its `outliers`/`cost` come from a final evaluation with
+/// that budget).
+///
+/// # Panics
+/// Panics if `points` is empty or `k == 0` (with points present), or if
+/// `eps < 0`.
+pub fn median_bicriteria<M: Metric>(
+    metric: &M,
+    points: &WeightedSet,
+    k: usize,
+    t: f64,
+    objective: Objective,
+    params: BicriteriaParams,
+) -> Solution {
+    assert!(params.eps >= 0.0, "eps must be non-negative");
+    if points.is_empty() {
+        return Solution { centers: Vec::new(), cost: 0.0, outliers: Vec::new(), assignment: Vec::new() };
+    }
+    let budget = (1.0 + params.eps) * t;
+
+    // Candidate 1: ignore the outlier structure entirely (λ = ∞), then let
+    // the evaluation discard the worst (1+ε)t weight.
+    let plain = penalty_local_search(metric, points, k, f64::INFINITY, params.ls);
+    let mut best =
+        Solution::evaluate(metric, points, plain.centers.clone(), budget, objective);
+
+    if t <= 0.0 {
+        return best;
+    }
+
+    // λ range: [0, upper] where upper is the max assignment distance of the
+    // plain solution (λ beyond that implies no outliers at all).
+    let ids = points.ids();
+    let mut upper = 0.0f64;
+    for &id in ids {
+        let d = plain
+            .centers
+            .iter()
+            .map(|&c| metric.dist(id, c))
+            .fold(f64::INFINITY, f64::min);
+        upper = upper.max(d);
+    }
+    if upper == 0.0 {
+        return best;
+    }
+
+    // Geometric (log-space) bisection: assignment distances can span many
+    // orders of magnitude (squared metrics especially), and the useful λ
+    // scale is unknown a priori; halving in log-space reaches any scale in
+    // O(log log(Δ)) steps instead of O(log Δ).
+    let mut lo = upper * 1e-12;
+    for &id in ids {
+        let d = plain
+            .centers
+            .iter()
+            .map(|&c| metric.dist(id, c))
+            .fold(f64::INFINITY, f64::min);
+        if d > 0.0 && d < lo {
+            lo = d;
+        }
+    }
+    let mut hi = upper;
+    for it in 0..params.lambda_iters {
+        let lambda = (lo * hi).sqrt();
+        let mut ls = params.ls;
+        ls.seed = ls.seed.wrapping_add(it as u64 + 1); // decorrelate restarts
+        let cand = penalty_local_search(metric, points, k, lambda, ls);
+        let implied_outlier_weight: f64 = cand.outliers.iter().map(|&(_, w)| w).sum();
+        let evaluated =
+            Solution::evaluate(metric, points, cand.centers.clone(), budget, objective);
+        if evaluated.cost < best.cost
+            || (evaluated.cost == best.cost && evaluated.outlier_weight() < best.outlier_weight())
+        {
+            best = evaluated;
+        }
+        if implied_outlier_weight > budget {
+            // Too many points prefer the penalty: λ too small.
+            lo = lambda;
+        } else {
+            hi = lambda;
+        }
+        if hi / lo <= 1.0 + 1e-9 {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_metric::{median_cost, EuclideanMetric, PointSet, SquaredMetric};
+
+    /// Two tight clumps plus `t` far-flung noise points.
+    fn noisy_instance() -> (PointSet, usize) {
+        let mut rows = Vec::new();
+        for i in 0..15 {
+            rows.push(vec![(i % 5) as f64 * 0.05, 0.0]);
+        }
+        for i in 0..15 {
+            rows.push(vec![100.0 + (i % 5) as f64 * 0.05, 0.0]);
+        }
+        // 3 planted outliers
+        rows.push(vec![1e4, 0.0]);
+        rows.push(vec![-2e4, 0.0]);
+        rows.push(vec![3e4, 3e4]);
+        (PointSet::from_rows(&rows), 3)
+    }
+
+    #[test]
+    fn excludes_planted_outliers() {
+        let (ps, t) = noisy_instance();
+        let m = EuclideanMetric::new(&ps);
+        let w = WeightedSet::unit(ps.len());
+        let sol = median_bicriteria(
+            &m,
+            &w,
+            2,
+            t as f64,
+            Objective::Median,
+            BicriteriaParams::default(),
+        );
+        // With the planted outliers removed, two centers cover the clumps
+        // at tiny cost; any solution paying for an outlier costs >= 1e4.
+        assert!(sol.cost < 50.0, "cost {}", sol.cost);
+        assert!(sol.outlier_weight() <= 2.0 * t as f64 + 1e-9);
+        let excluded: Vec<usize> = sol.outlier_positions();
+        for planted in [30usize, 31, 32] {
+            assert!(excluded.contains(&planted), "planted outlier {planted} kept");
+        }
+    }
+
+    #[test]
+    fn budget_respected() {
+        let (ps, t) = noisy_instance();
+        let m = EuclideanMetric::new(&ps);
+        let w = WeightedSet::unit(ps.len());
+        let p = BicriteriaParams { eps: 0.5, ..Default::default() };
+        let sol = median_bicriteria(&m, &w, 2, t as f64, Objective::Median, p);
+        assert!(sol.outlier_weight() <= 1.5 * t as f64 + 1e-9);
+    }
+
+    #[test]
+    fn t_zero_reduces_to_plain_kmedian() {
+        let ps = PointSet::from_rows(&[vec![0.0], vec![1.0], vec![10.0], vec![11.0]]);
+        let m = EuclideanMetric::new(&ps);
+        let w = WeightedSet::unit(4);
+        let sol =
+            median_bicriteria(&m, &w, 2, 0.0, Objective::Median, BicriteriaParams::default());
+        assert!(sol.outliers.is_empty());
+        assert!(sol.cost <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn constant_factor_vs_bruteforce() {
+        let (ps, t) = noisy_instance();
+        let m = EuclideanMetric::new(&ps);
+        let w = WeightedSet::unit(ps.len());
+        let sol = median_bicriteria(
+            &m,
+            &w,
+            2,
+            t as f64,
+            Objective::Median,
+            BicriteriaParams::default(),
+        );
+        // Brute-force the optimum over all 2-subsets with exactly t outliers.
+        let n = ps.len();
+        let mut opt = f64::INFINITY;
+        for a in 0..n {
+            for b in 0..a {
+                opt = opt.min(median_cost(&m, &[a, b], t));
+            }
+        }
+        // Theorem 3.1 bound with eps=1 is 6·opt; we check it holds (opt is
+        // tiny but nonzero because clump points are spread).
+        assert!(sol.cost <= 6.0 * opt + 1e-6, "sol {} vs opt {}", sol.cost, opt);
+    }
+
+    #[test]
+    fn means_objective_squares() {
+        let (ps, t) = noisy_instance();
+        let sq = SquaredMetric::new(EuclideanMetric::new(&ps));
+        let w = WeightedSet::unit(ps.len());
+        // NOTE: with a squared metric the evaluation objective must be
+        // Median (the metric already squares); this mirrors how the solvers
+        // are invoked by the distributed layer.
+        let sol =
+            median_bicriteria(&sq, &w, 2, t as f64, Objective::Median, BicriteriaParams::default());
+        assert!(sol.cost < 100.0, "means cost {}", sol.cost);
+    }
+
+    #[test]
+    fn weighted_instance_fractional_budget() {
+        // One heavy far point (w=4) and budget 2: can only be partially
+        // excluded; cost must include the remaining 2 units.
+        let ps = PointSet::from_rows(&[vec![0.0], vec![0.5], vec![1000.0]]);
+        let m = EuclideanMetric::new(&ps);
+        let w = WeightedSet::from_parts(vec![0, 1, 2], vec![1.0, 1.0, 4.0]);
+        let p = BicriteriaParams { eps: 0.0, ..Default::default() };
+        let sol = median_bicriteria(&m, &w, 1, 2.0, Objective::Median, p);
+        assert!(sol.outlier_weight() <= 2.0 + 1e-9);
+        // Either the center sits on the heavy point (cost ~ small) or 2
+        // units of it remain charged; both are valid constant-factor
+        // outcomes — just assert evaluation consistency.
+        assert!(sol.cost.is_finite());
+    }
+}
+
+/// The second form of Theorem 3.1: `sol(Z, (1+ε)k, t)` — relax the number
+/// of *centers* instead of the outliers, excluding exactly `t` weight.
+///
+/// Used for Table 2's `(1+ε)k, t` rows, where the output must name exactly
+/// `t` outliers but may open up to `⌈(1+ε)k⌉` centers. Internally this is
+/// the same λ-penalty machinery with the enlarged center budget; the final
+/// evaluation uses the *exact* outlier budget `t`.
+pub fn median_bicriteria_relaxed_centers<M: Metric>(
+    metric: &M,
+    points: &WeightedSet,
+    k: usize,
+    t: f64,
+    objective: Objective,
+    params: BicriteriaParams,
+) -> Solution {
+    assert!(params.eps >= 0.0, "eps must be non-negative");
+    if points.is_empty() {
+        return Solution { centers: Vec::new(), cost: 0.0, outliers: Vec::new(), assignment: Vec::new() };
+    }
+    let k_relaxed = (((1.0 + params.eps) * k as f64).ceil() as usize).max(k);
+    let inner = BicriteriaParams { eps: 0.0, ..params };
+    // Solve with the enlarged center budget and an exact outlier budget.
+    median_bicriteria(metric, points, k_relaxed, t, objective, inner)
+}
+
+#[cfg(test)]
+mod relaxed_center_tests {
+    use super::*;
+    use dpc_metric::{EuclideanMetric, PointSet};
+
+    fn instance() -> PointSet {
+        let mut rows = Vec::new();
+        for c in [0.0, 50.0, 120.0] {
+            for i in 0..8 {
+                rows.push(vec![c + 0.1 * i as f64]);
+            }
+        }
+        rows.push(vec![9e3]);
+        rows.push(vec![-6e3]);
+        PointSet::from_rows(&rows)
+    }
+
+    #[test]
+    fn exact_outlier_budget_respected() {
+        let ps = instance();
+        let m = EuclideanMetric::new(&ps);
+        let w = WeightedSet::unit(ps.len());
+        let p = BicriteriaParams { eps: 0.5, ..Default::default() };
+        let sol = median_bicriteria_relaxed_centers(&m, &w, 2, 2.0, Objective::Median, p);
+        assert!(sol.outlier_weight() <= 2.0 + 1e-9, "must exclude at most exactly t");
+        // (1+0.5)*2 = 3 centers allowed: all three clumps can be covered.
+        assert!(sol.centers.len() <= 3);
+        assert!(sol.cost < 10.0, "cost {}", sol.cost);
+    }
+
+    #[test]
+    fn beats_unrelaxed_when_k_too_small() {
+        let ps = instance();
+        let m = EuclideanMetric::new(&ps);
+        let w = WeightedSet::unit(ps.len());
+        let tight =
+            median_bicriteria(&m, &w, 2, 2.0, Objective::Median, BicriteriaParams { eps: 0.0, ..Default::default() });
+        let relaxed = median_bicriteria_relaxed_centers(
+            &m,
+            &w,
+            2,
+            2.0,
+            Objective::Median,
+            BicriteriaParams { eps: 0.5, ..Default::default() },
+        );
+        // Extra centers can only help (3 clumps, k=2 must merge two).
+        assert!(relaxed.cost <= tight.cost + 1e-9, "relaxed {} > tight {}", relaxed.cost, tight.cost);
+    }
+
+    #[test]
+    fn eps_zero_is_identity() {
+        let ps = instance();
+        let m = EuclideanMetric::new(&ps);
+        let w = WeightedSet::unit(ps.len());
+        let p = BicriteriaParams { eps: 0.0, ..Default::default() };
+        let a = median_bicriteria_relaxed_centers(&m, &w, 2, 1.0, Objective::Median, p);
+        let b = median_bicriteria(&m, &w, 2, 1.0, Objective::Median, p);
+        assert_eq!(a.centers, b.centers);
+    }
+}

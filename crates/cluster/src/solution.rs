@@ -1,0 +1,60 @@
+//! Common solution representation: the paper's `sol(Z, k, t, d)`.
+
+use dpc_metric::{cost_excluding_outliers, Metric, Objective, WeightedSet};
+
+/// A clustering solution over some metric index space.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// Chosen center ids (at most `k`).
+    pub centers: Vec<usize>,
+    /// Objective value over retained weight (`C_sol`).
+    pub cost: f64,
+    /// Excluded weight: `(position in the evaluated weighted set, weight)`.
+    pub outliers: Vec<(usize, f64)>,
+    /// Nearest-center position (within `centers`) per weighted-set entry.
+    pub assignment: Vec<usize>,
+}
+
+impl Solution {
+    /// Evaluates fixed `centers` against `points` with outlier budget `t`,
+    /// producing a full solution record.
+    pub fn evaluate<M: Metric>(
+        metric: &M,
+        points: &WeightedSet,
+        centers: Vec<usize>,
+        t: f64,
+        objective: Objective,
+    ) -> Self {
+        let r = cost_excluding_outliers(metric, points, &centers, t, objective);
+        Solution { centers, cost: r.cost, outliers: r.excluded, assignment: r.assignment }
+    }
+
+    /// Total excluded weight.
+    pub fn outlier_weight(&self) -> f64 {
+        self.outliers.iter().map(|&(_, w)| w).sum()
+    }
+
+    /// Entry positions (into the evaluated weighted set) with any excluded
+    /// weight.
+    pub fn outlier_positions(&self) -> Vec<usize> {
+        self.outliers.iter().map(|&(p, _)| p).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_metric::{EuclideanMetric, PointSet};
+
+    #[test]
+    fn evaluate_records_everything() {
+        let ps = PointSet::from_rows(&[vec![0.0], vec![1.0], vec![9.0]]);
+        let m = EuclideanMetric::new(&ps);
+        let w = WeightedSet::unit(3);
+        let sol = Solution::evaluate(&m, &w, vec![0], 1.0, Objective::Median);
+        assert_eq!(sol.cost, 1.0);
+        assert_eq!(sol.outlier_weight(), 1.0);
+        assert_eq!(sol.outlier_positions(), vec![2]);
+        assert_eq!(sol.assignment, vec![0, 0, 0]);
+    }
+}

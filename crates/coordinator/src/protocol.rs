@@ -1,0 +1,299 @@
+//! The round-based protocol runner.
+//!
+//! Algorithms implement [`Site`] (per-site logic) and [`Coordinator`]
+//! (central logic); [`run_protocol`] alternates them until the coordinator
+//! finishes, charging every byte and timing every compute phase.
+
+use crate::stats::{CommStats, RoundStats};
+use bytes::Bytes;
+use std::time::{Duration, Instant};
+
+/// Per-site protocol logic.
+///
+/// `Send` so sites can run on worker threads; each site owns its shard of
+/// the input.
+pub trait Site: Send {
+    /// Handles the coordinator's message for `round` and produces the reply.
+    ///
+    /// Round numbering starts at 0. An empty message is a legal "kick".
+    fn handle(&mut self, round: usize, msg: &Bytes) -> Bytes;
+}
+
+/// What the coordinator wants to do next.
+pub enum CoordinatorStep {
+    /// Send the same message to every site.
+    Broadcast(Bytes),
+    /// Send an individual message to each site (length must equal the
+    /// number of sites).
+    Messages(Vec<Bytes>),
+    /// Terminate the protocol.
+    Finish,
+}
+
+/// Central protocol logic.
+pub trait Coordinator {
+    /// The protocol's result type.
+    type Output;
+
+    /// Consumes the site replies of the previous round (empty on the first
+    /// call) and decides the next step.
+    fn step(&mut self, round: usize, replies: Vec<Bytes>) -> CoordinatorStep;
+
+    /// Produces the final output after [`CoordinatorStep::Finish`].
+    fn finish(self) -> Self::Output;
+}
+
+/// Runner knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOptions {
+    /// Execute sites on parallel OS threads (`true`, the realistic mode) or
+    /// sequentially (deterministic timing, useful under test).
+    pub parallel: bool,
+    /// Safety cap on rounds (a protocol that exceeds it panics — all
+    /// algorithms in this workspace finish in 1–2 rounds plus the kick).
+    pub max_rounds: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self { parallel: true, max_rounds: 64 }
+    }
+}
+
+/// Result of a protocol execution.
+pub struct ProtocolOutput<O> {
+    /// The coordinator's answer.
+    pub output: O,
+    /// Full communication/compute accounting.
+    pub stats: CommStats,
+}
+
+/// Runs the protocol to completion.
+///
+/// Round `r` consists of: coordinator emits messages (timed as round `r-1`
+/// coordinator compute), sites handle them concurrently (timed per site),
+/// and the replies are handed to the coordinator at the start of round
+/// `r+1`.
+///
+/// # Panics
+/// Panics if the coordinator returns a `Messages` vector of the wrong
+/// length, or exceeds `max_rounds`.
+pub fn run_protocol<C: Coordinator>(
+    sites: &mut [Box<dyn Site + '_>],
+    mut coordinator: C,
+    options: RunOptions,
+) -> ProtocolOutput<C::Output> {
+    let s = sites.len();
+    let mut stats = CommStats::default();
+    let mut replies: Vec<Bytes> = Vec::new();
+
+    for round in 0..=options.max_rounds {
+        let t0 = Instant::now();
+        let step = coordinator.step(round, std::mem::take(&mut replies));
+        let coord_time = t0.elapsed();
+        if let Some(last) = stats.rounds.last_mut() {
+            last.coordinator_compute += coord_time;
+        }
+
+        let msgs: Vec<Bytes> = match step {
+            CoordinatorStep::Broadcast(m) => vec![m; s],
+            CoordinatorStep::Messages(ms) => {
+                assert_eq!(ms.len(), s, "one message per site required");
+                ms
+            }
+            CoordinatorStep::Finish => {
+                return ProtocolOutput { output: coordinator.finish(), stats };
+            }
+        };
+
+        let mut round_stats = RoundStats {
+            coordinator_to_sites: msgs.iter().map(Bytes::len).collect(),
+            sites_to_coordinator: vec![0; s],
+            site_compute: vec![Duration::ZERO; s],
+            coordinator_compute: Duration::ZERO,
+        };
+
+        let mut new_replies: Vec<Bytes> = vec![Bytes::new(); s];
+        let mut timings: Vec<Duration> = vec![Duration::ZERO; s];
+        if options.parallel && s > 1 {
+            crossbeam::scope(|scope| {
+                for (((site, reply), timing), msg) in sites
+                    .iter_mut()
+                    .zip(new_replies.iter_mut())
+                    .zip(timings.iter_mut())
+                    .zip(msgs.iter())
+                {
+                    scope.spawn(move |_| {
+                        let t = Instant::now();
+                        *reply = site.handle(round, msg);
+                        *timing = t.elapsed();
+                    });
+                }
+            })
+            .expect("site thread panicked");
+        } else {
+            for i in 0..s {
+                let t = Instant::now();
+                new_replies[i] = sites[i].handle(round, &msgs[i]);
+                timings[i] = t.elapsed();
+            }
+        }
+
+        round_stats.sites_to_coordinator = new_replies.iter().map(Bytes::len).collect();
+        round_stats.site_compute = timings;
+        stats.rounds.push(round_stats);
+        replies = new_replies;
+    }
+    panic!("protocol exceeded max_rounds = {}", options.max_rounds);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::{BufMut, BytesMut};
+
+    /// Toy protocol: coordinator broadcasts a factor, each site replies with
+    /// factor * its value, coordinator sums; second round echoes the sum
+    /// back and sites ack with one byte.
+    struct ToySite {
+        value: u64,
+    }
+
+    impl Site for ToySite {
+        fn handle(&mut self, round: usize, msg: &Bytes) -> Bytes {
+            match round {
+                0 => {
+                    let factor = u64::from_le_bytes(msg[..8].try_into().unwrap());
+                    let mut b = BytesMut::new();
+                    b.put_u64_le(factor * self.value);
+                    b.freeze()
+                }
+                _ => Bytes::from_static(b"k"),
+            }
+        }
+    }
+
+    struct ToyCoordinator {
+        factor: u64,
+        sum: u64,
+    }
+
+    impl Coordinator for ToyCoordinator {
+        type Output = u64;
+
+        fn step(&mut self, round: usize, replies: Vec<Bytes>) -> CoordinatorStep {
+            match round {
+                0 => {
+                    let mut b = BytesMut::new();
+                    b.put_u64_le(self.factor);
+                    CoordinatorStep::Broadcast(b.freeze())
+                }
+                1 => {
+                    self.sum = replies
+                        .iter()
+                        .map(|r| u64::from_le_bytes(r[..8].try_into().unwrap()))
+                        .sum();
+                    CoordinatorStep::Broadcast(Bytes::new())
+                }
+                _ => CoordinatorStep::Finish,
+            }
+        }
+
+        fn finish(self) -> u64 {
+            self.sum
+        }
+    }
+
+    fn run(parallel: bool) -> ProtocolOutput<u64> {
+        let mut sites: Vec<Box<dyn Site>> = (1..=4u64)
+            .map(|v| Box::new(ToySite { value: v }) as Box<dyn Site>)
+            .collect();
+        run_protocol(
+            &mut sites,
+            ToyCoordinator { factor: 3, sum: 0 },
+            RunOptions { parallel, max_rounds: 8 },
+        )
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let a = run(false);
+        let b = run(true);
+        assert_eq!(a.output, 3 * (1 + 2 + 3 + 4));
+        assert_eq!(a.output, b.output);
+        assert_eq!(a.stats.num_rounds(), 2);
+        assert_eq!(b.stats.num_rounds(), 2);
+    }
+
+    #[test]
+    fn byte_charges_match_messages() {
+        let out = run(false);
+        let r0 = &out.stats.rounds[0];
+        // broadcast of 8 bytes to 4 sites; replies of 8 bytes each
+        assert_eq!(r0.coordinator_to_sites, vec![8, 8, 8, 8]);
+        assert_eq!(r0.sites_to_coordinator, vec![8, 8, 8, 8]);
+        let r1 = &out.stats.rounds[1];
+        assert_eq!(r1.coordinator_to_sites, vec![0, 0, 0, 0]);
+        assert_eq!(r1.sites_to_coordinator, vec![1, 1, 1, 1]);
+        assert_eq!(out.stats.total_bytes(), 4 * 8 * 2 + 4);
+        assert_eq!(out.stats.upstream_bytes(), 36);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_rounds")]
+    fn runaway_protocol_trips_guard() {
+        struct Loopy;
+        impl Coordinator for Loopy {
+            type Output = ();
+            fn step(&mut self, _round: usize, _replies: Vec<Bytes>) -> CoordinatorStep {
+                CoordinatorStep::Broadcast(Bytes::new())
+            }
+            fn finish(self) {}
+        }
+        struct Echo;
+        impl Site for Echo {
+            fn handle(&mut self, _round: usize, _msg: &Bytes) -> Bytes {
+                Bytes::new()
+            }
+        }
+        let mut sites: Vec<Box<dyn Site>> = vec![Box::new(Echo)];
+        let _ = run_protocol(&mut sites, Loopy, RunOptions { parallel: false, max_rounds: 3 });
+    }
+
+    #[test]
+    fn per_site_messages() {
+        struct PickySite {
+            expect: u8,
+        }
+        impl Site for PickySite {
+            fn handle(&mut self, _round: usize, msg: &Bytes) -> Bytes {
+                assert_eq!(msg[0], self.expect);
+                Bytes::copy_from_slice(&[self.expect])
+            }
+        }
+        struct PerSiteCoord;
+        impl Coordinator for PerSiteCoord {
+            type Output = ();
+            fn step(&mut self, round: usize, replies: Vec<Bytes>) -> CoordinatorStep {
+                match round {
+                    0 => CoordinatorStep::Messages(vec![
+                        Bytes::copy_from_slice(&[7]),
+                        Bytes::copy_from_slice(&[9]),
+                    ]),
+                    _ => {
+                        assert_eq!(replies[0][0], 7);
+                        assert_eq!(replies[1][0], 9);
+                        CoordinatorStep::Finish
+                    }
+                }
+            }
+            fn finish(self) {}
+        }
+        let mut sites: Vec<Box<dyn Site>> = vec![
+            Box::new(PickySite { expect: 7 }),
+            Box::new(PickySite { expect: 9 }),
+        ];
+        let out = run_protocol(&mut sites, PerSiteCoord, RunOptions::default());
+        assert_eq!(out.stats.num_rounds(), 1);
+    }
+}

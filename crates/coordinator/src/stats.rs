@@ -1,0 +1,129 @@
+//! Communication and computation accounting.
+//!
+//! The paper's results are stated as communication bounds (`O˜((sk+t)B)`
+//! etc.) and local-time bounds (`O˜(n_i²)` at sites, `O˜((sk+t)²)` at the
+//! coordinator). This module records exactly those quantities per round.
+
+use std::time::Duration;
+
+/// Accounting for one protocol round.
+#[derive(Clone, Debug, Default)]
+pub struct RoundStats {
+    /// Bytes sent by the coordinator to each site in this round.
+    pub coordinator_to_sites: Vec<usize>,
+    /// Bytes sent by each site back to the coordinator.
+    pub sites_to_coordinator: Vec<usize>,
+    /// Wall-clock compute time spent by each site this round.
+    pub site_compute: Vec<Duration>,
+    /// Wall-clock compute time spent by the coordinator *after* receiving
+    /// the replies of this round (includes producing next-round messages).
+    pub coordinator_compute: Duration,
+}
+
+impl RoundStats {
+    /// Total bytes moved in this round, both directions.
+    pub fn total_bytes(&self) -> usize {
+        self.coordinator_to_sites.iter().sum::<usize>()
+            + self.sites_to_coordinator.iter().sum::<usize>()
+    }
+
+    /// Longest site compute time (the round's wall-clock critical path on
+    /// the site side).
+    pub fn max_site_compute(&self) -> Duration {
+        self.site_compute.iter().max().copied().unwrap_or_default()
+    }
+}
+
+/// Accounting for a whole protocol execution.
+#[derive(Clone, Debug, Default)]
+pub struct CommStats {
+    /// One entry per executed round.
+    pub rounds: Vec<RoundStats>,
+}
+
+impl CommStats {
+    /// Number of rounds executed (the "Rounds" column).
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Total bytes in both directions over all rounds (the "Total Comm."
+    /// column, measured rather than bounded).
+    pub fn total_bytes(&self) -> usize {
+        self.rounds.iter().map(RoundStats::total_bytes).sum()
+    }
+
+    /// Bytes from sites to the coordinator only.
+    pub fn upstream_bytes(&self) -> usize {
+        self.rounds
+            .iter()
+            .map(|r| r.sites_to_coordinator.iter().sum::<usize>())
+            .sum()
+    }
+
+    /// Bytes from the coordinator to sites only.
+    pub fn downstream_bytes(&self) -> usize {
+        self.rounds
+            .iter()
+            .map(|r| r.coordinator_to_sites.iter().sum::<usize>())
+            .sum()
+    }
+
+    /// Sum over rounds of the slowest site (site-side critical path).
+    pub fn site_critical_path(&self) -> Duration {
+        self.rounds.iter().map(RoundStats::max_site_compute).sum()
+    }
+
+    /// Total CPU time spent across all sites and rounds.
+    pub fn total_site_compute(&self) -> Duration {
+        self.rounds
+            .iter()
+            .flat_map(|r| r.site_compute.iter())
+            .sum()
+    }
+
+    /// Total coordinator compute time.
+    pub fn coordinator_compute(&self) -> Duration {
+        self.rounds.iter().map(|r| r.coordinator_compute).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_accounting() {
+        let stats = CommStats {
+            rounds: vec![
+                RoundStats {
+                    coordinator_to_sites: vec![10, 20],
+                    sites_to_coordinator: vec![100, 200],
+                    site_compute: vec![Duration::from_millis(5), Duration::from_millis(9)],
+                    coordinator_compute: Duration::from_millis(1),
+                },
+                RoundStats {
+                    coordinator_to_sites: vec![1, 1],
+                    sites_to_coordinator: vec![50, 60],
+                    site_compute: vec![Duration::from_millis(2), Duration::from_millis(1)],
+                    coordinator_compute: Duration::from_millis(3),
+                },
+            ],
+        };
+        assert_eq!(stats.num_rounds(), 2);
+        assert_eq!(stats.total_bytes(), 10 + 20 + 100 + 200 + 1 + 1 + 50 + 60);
+        assert_eq!(stats.upstream_bytes(), 410);
+        assert_eq!(stats.downstream_bytes(), 32);
+        assert_eq!(stats.site_critical_path(), Duration::from_millis(11));
+        assert_eq!(stats.total_site_compute(), Duration::from_millis(17));
+        assert_eq!(stats.coordinator_compute(), Duration::from_millis(4));
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = CommStats::default();
+        assert_eq!(s.num_rounds(), 0);
+        assert_eq!(s.total_bytes(), 0);
+        assert_eq!(s.site_critical_path(), Duration::ZERO);
+    }
+}

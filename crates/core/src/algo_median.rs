@@ -1,0 +1,629 @@
+//! **Algorithm 1**: distributed `(k, (1+ε)t)`-median / means clustering
+//! (Theorem 3.6), plus the `ρ = 1+δ` counts-only variant (Theorem 3.8).
+//!
+//! The 2-round protocol (plus the configuration kick, which the paper folds
+//! into round 1):
+//!
+//! 1. each site computes local bicriteria solutions `sol(A_i, 2k, q)` for
+//!    every `q` in the geometric grid `I`, takes the lower convex hull of
+//!    the cost profile, and ships the `O(log t)` hull vertices;
+//! 2. the coordinator water-fills the outlier budget across sites
+//!    ([`crate::allocation`]) and returns the rank-`ρt` threshold marginal
+//!    `ℓ(i₀, q₀)` to every site;
+//! 3. each site derives its own `t_i` from the threshold (a hull vertex for
+//!    all `i ≠ i₀`; the exceptional site snaps up to the next vertex — or,
+//!    in the δ-variant, merges the two bracketing vertex solutions into a
+//!    `4k`-center solution, Lemma 3.7) and ships the `2k` weighted centers
+//!    plus its `t_i` unassigned points (counts only in the δ-variant);
+//! 4. the coordinator solves the induced weighted `(k, (1+ε)t)` instance
+//!    with the Theorem 3.1 solver.
+//!
+//! Communication: `O((sk + t)·B)` bytes (`O(s/δ + sk·B)` for the
+//! δ-variant) — measured, not just bounded, by the runner.
+
+use crate::allocation::allocate_outliers;
+use crate::hull::{geometric_grid, ConvexProfile};
+use crate::merge::merge_solutions;
+use crate::wire::{DistributedSolution, PreclusterMsg, ThresholdMsg};
+use bytes::Bytes;
+use dpc_cluster::{
+    median_bicriteria, median_bicriteria_relaxed_centers, BicriteriaParams, LocalSearchParams,
+    Solution,
+};
+use dpc_coordinator::{
+    run_protocol, Coordinator, CoordinatorStep, ProtocolOutput, RunOptions, Site,
+};
+use dpc_metric::{
+    EuclideanMetric, Objective, PointSet, SquaredMetric, WeightedSet, WireWriter,
+};
+
+/// Which flavour of Algorithm 1 to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaVariant {
+    /// Standard Algorithm 1 (`ρ = 2` recommended): sites ship their `t_i`
+    /// unassigned points; the output excludes `(1+ε)t` points
+    /// (Theorem 3.6).
+    ShipOutliers,
+    /// Theorem 3.8 (`ρ = 1+δ` recommended): sites ship only the *count*
+    /// `t_i`; the exceptional site ships a merged `4k`-center solution; the
+    /// output excludes up to `(2+ε+δ)t` points but communication drops to
+    /// `O(s/δ + sk·B)`.
+    CountsOnly,
+}
+
+/// Configuration for the distributed median/means protocol.
+#[derive(Clone, Copy, Debug)]
+pub struct MedianConfig {
+    /// Number of centers `k`.
+    pub k: usize,
+    /// Outlier budget `t`.
+    pub t: usize,
+    /// Grid/allocation ratio `ρ` (`2.0` for Theorem 3.6, `1+δ` for 3.8).
+    pub rho: f64,
+    /// Coordinator-side outlier relaxation `ε` (output excludes `(1+ε)t`).
+    pub eps: f64,
+    /// `false` = median (distances), `true` = means (squared distances).
+    pub means: bool,
+    /// Ship outliers or counts only.
+    pub variant: DeltaVariant,
+    /// λ-bisection iterations inside the Theorem 3.1 substitute.
+    pub lambda_iters: usize,
+    /// Inner local-search tuning.
+    pub ls: LocalSearchParams,
+    /// Use the second form of Theorem 3.1 at the coordinator: open up to
+    /// `(1+ε)k` centers but exclude only exactly `t` weight (Table 2's
+    /// `(1+ε)k` rows).
+    pub relax_centers: bool,
+}
+
+impl MedianConfig {
+    /// Sensible defaults for `(k, t)`-median with `ρ = 2`, `ε = 1`.
+    pub fn new(k: usize, t: usize) -> Self {
+        Self {
+            k,
+            t,
+            rho: 2.0,
+            eps: 1.0,
+            means: false,
+            variant: DeltaVariant::ShipOutliers,
+            lambda_iters: 12,
+            ls: LocalSearchParams::default(),
+            relax_centers: false,
+        }
+    }
+
+    /// Switches the coordinator to the `(1+ε)k` center-relaxed output
+    /// (exactly `t` excluded).
+    pub fn relax_centers(mut self) -> Self {
+        self.relax_centers = true;
+        self
+    }
+
+    /// Switches to the means objective.
+    pub fn means(mut self) -> Self {
+        self.means = true;
+        self
+    }
+
+    /// Switches to the Theorem 3.8 counts-only variant with ratio `1+δ`.
+    pub fn counts_only(mut self, delta: f64) -> Self {
+        self.variant = DeltaVariant::CountsOnly;
+        self.rho = 1.0 + delta;
+        self
+    }
+
+    fn site_solver_params(&self) -> BicriteriaParams {
+        // Sites solve at *exact* budgets (the grid point q), so no
+        // relaxation inside; relaxation happens at the coordinator.
+        BicriteriaParams { eps: 0.0, lambda_iters: self.lambda_iters, ls: self.ls }
+    }
+
+    fn encode(&self) -> Bytes {
+        let mut w = WireWriter::new();
+        w.put_varint(self.k as u64);
+        w.put_varint(self.t as u64);
+        w.put_f64(self.rho);
+        w.put_f64(self.eps);
+        w.put_varint(u64::from(self.means));
+        w.put_varint(u64::from(self.variant == DeltaVariant::CountsOnly));
+        w.finish()
+    }
+}
+
+/// Solves the local bicriteria problem on a shard (dispatching the metric
+/// by objective).
+fn local_solve(
+    data: &PointSet,
+    means: bool,
+    k: usize,
+    budget: f64,
+    params: BicriteriaParams,
+) -> Solution {
+    let w = WeightedSet::unit(data.len());
+    if means {
+        let m = SquaredMetric::new(EuclideanMetric::new(data));
+        median_bicriteria(&m, &w, k, budget, Objective::Median, params)
+    } else {
+        let m = EuclideanMetric::new(data);
+        median_bicriteria(&m, &w, k, budget, Objective::Median, params)
+    }
+}
+
+/// Re-evaluates `centers` on a shard at an exact integral budget, returning
+/// the full assignment record.
+fn local_evaluate(data: &PointSet, means: bool, centers: Vec<usize>, budget: f64) -> Solution {
+    let w = WeightedSet::unit(data.len());
+    if means {
+        let m = SquaredMetric::new(EuclideanMetric::new(data));
+        Solution::evaluate(&m, &w, centers, budget, Objective::Median)
+    } else {
+        let m = EuclideanMetric::new(data);
+        Solution::evaluate(&m, &w, centers, budget, Objective::Median)
+    }
+}
+
+/// Builds the site→coordinator preclustering summary from a local solution.
+pub(crate) fn precluster_msg(
+    data: &PointSet,
+    sol: &Solution,
+    ship_outliers: bool,
+    t_i: usize,
+) -> PreclusterMsg {
+    let excluded: Vec<usize> = sol.outlier_positions();
+    let mut is_out = vec![false; data.len()];
+    for &e in &excluded {
+        is_out[e] = true;
+    }
+    let mut weights = vec![0.0f64; sol.centers.len()];
+    for (e, &a) in sol.assignment.iter().enumerate() {
+        if !is_out[e] {
+            weights[a] += 1.0;
+        }
+    }
+    let centers = data.subset(&sol.centers);
+    let outliers = if ship_outliers {
+        data.subset(&excluded)
+    } else {
+        PointSet::new(data.dim())
+    };
+    PreclusterMsg { centers, weights, outliers, t_i: t_i as u64 }
+}
+
+/// Site-side state of Algorithm 1.
+struct MedianSite<'a> {
+    data: &'a PointSet,
+    site_id: usize,
+    cfg: MedianConfig,
+    grid: Vec<usize>,
+    /// One local solution per grid point (empty shard ⇒ empty).
+    sols: Vec<Solution>,
+    profile: Option<ConvexProfile>,
+}
+
+impl<'a> MedianSite<'a> {
+    fn new(data: &'a PointSet, site_id: usize, cfg: MedianConfig) -> Self {
+        Self { data, site_id, cfg, grid: Vec::new(), sols: Vec::new(), profile: None }
+    }
+
+    /// Round 0: build the cost profile and ship its hull.
+    fn build_profile(&mut self) -> Bytes {
+        self.grid = geometric_grid(self.cfg.t, self.cfg.rho.max(1.0 + 1e-9));
+        let n = self.data.len();
+        let mut pts = Vec::with_capacity(self.grid.len());
+        let mut ls = self.cfg.ls;
+        ls.seed = ls.seed.wrapping_add(self.site_id as u64);
+        for &q in &self.grid {
+            let sol = if n == 0 || q >= n {
+                // Degenerate grid point: the whole shard can be ignored.
+                Solution {
+                    centers: if n == 0 { Vec::new() } else { vec![0] },
+                    cost: 0.0,
+                    outliers: Vec::new(),
+                    assignment: vec![0; n],
+                }
+            } else {
+                let mut params = self.cfg.site_solver_params();
+                params.ls = ls;
+                local_solve(self.data, self.cfg.means, 2 * self.cfg.k, q as f64, params)
+            };
+            pts.push((q, sol.cost));
+            self.sols.push(sol);
+        }
+        let profile = ConvexProfile::lower_hull(&pts);
+        let mut w = WireWriter::new();
+        profile.encode(&mut w);
+        self.profile = Some(profile);
+        w.finish()
+    }
+
+    /// The sorted-prefix rule: the largest `q` whose marginal ranks at or
+    /// before the threshold element `(ℓ₀, i₀, q₀)` in the coordinator's
+    /// stable order (ties broken lexicographically by `(i, q)`).
+    fn t_from_threshold(&self, thr: &ThresholdMsg) -> usize {
+        let prof = self.profile.as_ref().expect("profile built in round 0");
+        let mut ti = 0usize;
+        for q in 1..=self.cfg.t {
+            let m = prof.marginal(q);
+            let wins = m > thr.threshold
+                || (m == thr.threshold
+                    && (self.site_id as u64, q as u64) <= (thr.i0, thr.q0));
+            if wins {
+                ti = q;
+            } else {
+                break; // marginals are non-increasing in q
+            }
+        }
+        ti
+    }
+
+    /// Round 1: derive `t_i`, pick/merge the local solution, ship it.
+    fn respond_threshold(&mut self, msg: &Bytes) -> Bytes {
+        let thr = ThresholdMsg::decode(msg.clone());
+        let prof = self.profile.as_ref().expect("profile built in round 0");
+        let n = self.data.len();
+        if n == 0 {
+            return PreclusterMsg {
+                centers: PointSet::new(self.data.dim()),
+                weights: Vec::new(),
+                outliers: PointSet::new(self.data.dim()),
+                t_i: 0,
+            }
+            .encode();
+        }
+        let ship = self.cfg.variant == DeltaVariant::ShipOutliers;
+
+        if thr.exceptional && self.cfg.variant == DeltaVariant::CountsOnly {
+            // Lemma 3.7 merge of the two vertex solutions bracketing q₀.
+            let ti = (thr.q0 as usize).min(self.cfg.t);
+            let lo_v = prof
+                .vertices()
+                .filter(|&(q, _)| q <= ti)
+                .map(|(q, _)| q)
+                .last()
+                .unwrap_or(0);
+            let hi_v = prof.next_vertex_at_or_after(ti);
+            let s1 = &self.sols[self.grid_index(lo_v)];
+            let s2 = &self.sols[self.grid_index(hi_v)];
+            let merged = self.merge_local(s1, s2, ti);
+            return precluster_msg(self.data, &merged, false, ti).encode();
+        }
+
+        let ti = if thr.exceptional {
+            // Line 13: snap up to the next hull vertex ≥ q₀.
+            prof.next_vertex_at_or_after((thr.q0 as usize).min(self.cfg.t))
+        } else {
+            self.t_from_threshold(&thr)
+        };
+        // Non-exceptional t_i is always a hull vertex (Lemma 3.4); hull
+        // vertices are grid points, so the round-0 solution is reusable.
+        let gi = self.grid_index(ti);
+        let centers = self.sols[gi].centers.clone();
+        let budget = (ti.min(n)) as f64;
+        let sol = local_evaluate(self.data, self.cfg.means, centers, budget);
+        precluster_msg(self.data, &sol, ship, ti).encode()
+    }
+
+    fn grid_index(&self, q: usize) -> usize {
+        self.grid.binary_search(&q).unwrap_or_else(|_| {
+            panic!("t_i = {q} is not a grid point (grid {:?})", self.grid)
+        })
+    }
+
+    fn merge_local(&self, s1: &Solution, s2: &Solution, ti: usize) -> Solution {
+        let w = WeightedSet::unit(self.data.len());
+        let budget = (ti.min(self.data.len())) as f64;
+        if self.cfg.means {
+            let m = SquaredMetric::new(EuclideanMetric::new(self.data));
+            merge_solutions(&m, &w, s1, s2, budget, Objective::Median)
+        } else {
+            let m = EuclideanMetric::new(self.data);
+            merge_solutions(&m, &w, s1, s2, budget, Objective::Median)
+        }
+    }
+}
+
+impl Site for MedianSite<'_> {
+    fn handle(&mut self, round: usize, msg: &Bytes) -> Bytes {
+        match round {
+            0 => self.build_profile(),
+            1 => self.respond_threshold(msg),
+            r => panic!("median site has no round {r}"),
+        }
+    }
+}
+
+/// Coordinator-side state of Algorithm 1.
+struct MedianCoordinator {
+    cfg: MedianConfig,
+    dim: usize,
+    result: Option<DistributedSolution>,
+}
+
+impl Coordinator for MedianCoordinator {
+    type Output = DistributedSolution;
+
+    fn step(&mut self, round: usize, replies: Vec<Bytes>) -> CoordinatorStep {
+        match round {
+            0 => CoordinatorStep::Broadcast(self.cfg.encode()),
+            1 => {
+                let profiles: Vec<ConvexProfile> = replies
+                    .iter()
+                    .map(|b| {
+                        let mut r = dpc_metric::WireReader::new(b.clone());
+                        ConvexProfile::decode(&mut r)
+                    })
+                    .collect();
+                let alloc = allocate_outliers(&profiles, self.cfg.t, self.cfg.rho);
+                let msgs = (0..replies.len())
+                    .map(|i| {
+                        ThresholdMsg {
+                            threshold: alloc.threshold,
+                            i0: alloc.i0 as u64,
+                            q0: alloc.q0 as u64,
+                            exceptional: i == alloc.i0 && self.cfg.t > 0,
+                        }
+                        .encode()
+                    })
+                    .collect();
+                CoordinatorStep::Messages(msgs)
+            }
+            2 => {
+                self.result = Some(self.solve_final(replies));
+                CoordinatorStep::Finish
+            }
+            r => panic!("median coordinator has no round {r}"),
+        }
+    }
+
+    fn finish(self) -> DistributedSolution {
+        self.result.expect("protocol finished")
+    }
+}
+
+impl MedianCoordinator {
+    /// Round 2: merge the summaries into one weighted instance and run the
+    /// Theorem 3.1 solver with the `(1+ε)t` budget.
+    fn solve_final(&mut self, replies: Vec<Bytes>) -> DistributedSolution {
+        let msgs: Vec<PreclusterMsg> = replies.into_iter().map(PreclusterMsg::decode).collect();
+        let dim = msgs
+            .iter()
+            .find(|m| m.centers.len() > 0 || m.outliers.len() > 0)
+            .map(|m| m.centers.dim())
+            .unwrap_or(self.dim);
+        let mut merged = PointSet::new(dim);
+        let mut weighted = WeightedSet::new();
+        let mut shipped: u64 = 0;
+        for m in &msgs {
+            shipped += m.t_i;
+            let off = merged.extend_from(&m.centers);
+            for (j, &w) in m.weights.iter().enumerate() {
+                weighted.push(off + j, w);
+            }
+            let off = merged.extend_from(&m.outliers);
+            for j in 0..m.outliers.len() {
+                weighted.push(off + j, 1.0);
+            }
+        }
+        if weighted.is_empty() {
+            return DistributedSolution {
+                centers: PointSet::new(dim),
+                coordinator_cost: 0.0,
+                excluded_weight: 0.0,
+                shipped_outliers: 0,
+            };
+        }
+        // Budget at the coordinator: t (ε-relaxed inside the solver). In
+        // the counts-only variant the t_i locally ignored points were never
+        // shipped, hence the (2+ε+δ)t total of Theorem 3.8.
+        let params = BicriteriaParams {
+            eps: self.cfg.eps,
+            lambda_iters: self.cfg.lambda_iters,
+            ls: self.cfg.ls,
+        };
+        let solve = |relax: bool| {
+            if self.cfg.means {
+                let m = SquaredMetric::new(EuclideanMetric::new(&merged));
+                if relax {
+                    median_bicriteria_relaxed_centers(
+                        &m, &weighted, self.cfg.k, self.cfg.t as f64, Objective::Median, params,
+                    )
+                } else {
+                    median_bicriteria(
+                        &m, &weighted, self.cfg.k, self.cfg.t as f64, Objective::Median, params,
+                    )
+                }
+            } else {
+                let m = EuclideanMetric::new(&merged);
+                if relax {
+                    median_bicriteria_relaxed_centers(
+                        &m, &weighted, self.cfg.k, self.cfg.t as f64, Objective::Median, params,
+                    )
+                } else {
+                    median_bicriteria(
+                        &m, &weighted, self.cfg.k, self.cfg.t as f64, Objective::Median, params,
+                    )
+                }
+            }
+        };
+        let sol = solve(self.cfg.relax_centers);
+        DistributedSolution {
+            centers: merged.subset(&sol.centers),
+            coordinator_cost: sol.cost,
+            excluded_weight: sol.outlier_weight(),
+            shipped_outliers: shipped,
+        }
+    }
+}
+
+/// Runs the full distributed `(k,(1+ε)t)`-median/means protocol over the
+/// given shards.
+///
+/// Returns the coordinator's solution plus the complete communication /
+/// compute accounting.
+pub fn run_distributed_median(
+    shards: &[PointSet],
+    cfg: MedianConfig,
+    options: RunOptions,
+) -> ProtocolOutput<DistributedSolution> {
+    assert!(!shards.is_empty(), "need at least one site");
+    let dim = shards[0].dim();
+    let mut sites: Vec<Box<dyn Site + '_>> = shards
+        .iter()
+        .enumerate()
+        .map(|(i, ps)| Box::new(MedianSite::new(ps, i, cfg)) as Box<dyn Site + '_>)
+        .collect();
+    let coordinator = MedianCoordinator { cfg, dim, result: None };
+    run_protocol(&mut sites, coordinator, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::evaluate_on_full_data;
+
+    /// Two sites, each with a clump; outliers planted on site 1.
+    fn shards_with_outliers() -> Vec<PointSet> {
+        let mut a = Vec::new();
+        for i in 0..20 {
+            a.push(vec![(i % 5) as f64 * 0.1, 0.0]);
+        }
+        let mut b = Vec::new();
+        for i in 0..20 {
+            b.push(vec![200.0 + (i % 5) as f64 * 0.1, 0.0]);
+        }
+        b.push(vec![5e4, 0.0]);
+        b.push(vec![-7e4, 0.0]);
+        b.push(vec![9e4, 9e4]);
+        vec![PointSet::from_rows(&a), PointSet::from_rows(&b)]
+    }
+
+    #[test]
+    fn recovers_clumps_and_outliers() {
+        let shards = shards_with_outliers();
+        let cfg = MedianConfig::new(2, 3);
+        let out = run_distributed_median(&shards, cfg, RunOptions { parallel: false, ..Default::default() });
+        let sol = out.output;
+        // Evaluate on the full data with the (1+eps)t budget.
+        let (cost, _) =
+            evaluate_on_full_data(&shards, &sol.centers, 6, Objective::Median);
+        assert!(cost < 50.0, "true cost {cost}");
+        assert_eq!(out.stats.num_rounds(), 2); // the paper's 2 rounds
+        assert!(sol.shipped_outliers <= 3 * 3); // Σ t_i ≤ ρt + t = 3t
+    }
+
+    #[test]
+    fn means_variant_runs() {
+        let shards = shards_with_outliers();
+        let cfg = MedianConfig::new(2, 3).means();
+        let out = run_distributed_median(&shards, cfg, RunOptions { parallel: false, ..Default::default() });
+        let (cost, _) =
+            evaluate_on_full_data(&shards, &out.output.centers, 6, Objective::Means);
+        assert!(cost < 100.0, "true means cost {cost}");
+    }
+
+    #[test]
+    fn counts_only_ships_no_outliers() {
+        let shards = shards_with_outliers();
+        let cfg = MedianConfig::new(2, 3).counts_only(0.5);
+        let out = run_distributed_median(&shards, cfg, RunOptions { parallel: false, ..Default::default() });
+        // Communication in the final round must carry no outlier points:
+        // compare against the ship variant.
+        let ship = run_distributed_median(
+            &shards,
+            MedianConfig::new(2, 3),
+            RunOptions { parallel: false, ..Default::default() },
+        );
+        let last = out.stats.rounds.last().unwrap();
+        let last_ship = ship.stats.rounds.last().unwrap();
+        assert!(
+            last.sites_to_coordinator.iter().sum::<usize>()
+                < last_ship.sites_to_coordinator.iter().sum::<usize>(),
+            "counts-only must ship fewer bytes"
+        );
+        // Quality still holds with the (2+ε+δ)t budget.
+        let (cost, _) =
+            evaluate_on_full_data(&shards, &out.output.centers, 11, Objective::Median);
+        assert!(cost < 100.0, "true cost {cost}");
+    }
+
+    #[test]
+    fn t_zero_no_outlier_machinery() {
+        let shards = shards_with_outliers();
+        let cfg = MedianConfig::new(3, 0); // 3 centers can cover clumps + 1 outlier... not needed; just runs
+        let out = run_distributed_median(&shards, cfg, RunOptions { parallel: false, ..Default::default() });
+        assert_eq!(out.output.shipped_outliers, 0);
+    }
+
+    #[test]
+    fn single_site_degenerates_gracefully() {
+        let shards = vec![shards_with_outliers().remove(1)];
+        let cfg = MedianConfig::new(1, 3);
+        let out = run_distributed_median(&shards, cfg, RunOptions { parallel: false, ..Default::default() });
+        let (cost, _) =
+            evaluate_on_full_data(&shards, &out.output.centers, 6, Objective::Median);
+        assert!(cost < 50.0, "true cost {cost}");
+    }
+
+    #[test]
+    fn empty_site_tolerated() {
+        let mut shards = shards_with_outliers();
+        shards.push(PointSet::new(2));
+        let cfg = MedianConfig::new(2, 3);
+        let out = run_distributed_median(&shards, cfg, RunOptions { parallel: false, ..Default::default() });
+        let (cost, _) =
+            evaluate_on_full_data(&shards, &out.output.centers, 6, Objective::Median);
+        assert!(cost < 50.0, "true cost {cost}");
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let shards = shards_with_outliers();
+        let cfg = MedianConfig::new(2, 3);
+        let a = run_distributed_median(&shards, cfg, RunOptions { parallel: false, ..Default::default() });
+        let b = run_distributed_median(&shards, cfg, RunOptions { parallel: true, ..Default::default() });
+        assert_eq!(a.output.centers, b.output.centers);
+        assert_eq!(a.stats.total_bytes(), b.stats.total_bytes());
+    }
+
+    #[test]
+    fn profile_messages_are_logarithmic() {
+        // Hull messages must be O(log t) vertices, not O(t).
+        let shards = shards_with_outliers();
+        let cfg = MedianConfig::new(2, 16);
+        let out = run_distributed_median(&shards, cfg, RunOptions { parallel: false, ..Default::default() });
+        let r0 = &out.stats.rounds[0];
+        for &bytes in &r0.sites_to_coordinator {
+            // grid of t=16, rho=2 has ≤ 7 points; each vertex ≤ ~11 bytes.
+            assert!(bytes < 120, "profile message too large: {bytes}B");
+        }
+    }
+}
+
+#[cfg(test)]
+mod relax_centers_tests {
+    use super::*;
+    use crate::evaluate::evaluate_on_full_data;
+
+    #[test]
+    fn relaxed_centers_exact_t_exclusions() {
+        let mut a = Vec::new();
+        for c in [0.0f64, 60.0, 140.0] {
+            for i in 0..10 {
+                a.push(vec![c + 0.1 * i as f64, 0.0]);
+            }
+        }
+        a.push(vec![7e4, 0.0]);
+        a.push(vec![-9e4, 1e4]);
+        let shards = vec![
+            PointSet::from_rows(&a[..16]),
+            PointSet::from_rows(&a[16..]),
+        ];
+        let cfg = MedianConfig { eps: 0.5, ..MedianConfig::new(2, 2) }.relax_centers();
+        let out = run_distributed_median(&shards, cfg, RunOptions { parallel: false, ..Default::default() });
+        // (1+0.5)*2 = 3 centers may open; coordinator excludes exactly t=2.
+        assert!(out.output.centers.len() <= 3);
+        assert!(out.output.excluded_weight <= 2.0 + 1e-9);
+        let (cost, _) = evaluate_on_full_data(&shards, &out.output.centers, 2, Objective::Median);
+        assert!(cost < 50.0, "cost {cost}");
+    }
+}

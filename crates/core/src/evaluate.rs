@@ -1,0 +1,103 @@
+//! Ground-truth evaluation of distributed solutions.
+//!
+//! The coordinator only ever sees preclustered summaries; experiments and
+//! tests need the *true* `(k, t')` objective of the returned centers over
+//! the union of all site shards. This module recomputes it exactly (it is
+//! not part of any protocol and charges no communication).
+
+use dpc_metric::{CrossMetric, Objective, PointSet};
+
+/// Concatenates site shards into one point set (dimension must agree).
+pub fn merge_shards(shards: &[PointSet]) -> PointSet {
+    assert!(!shards.is_empty(), "need at least one shard");
+    let mut all = PointSet::new(shards[0].dim());
+    for s in shards {
+        all.extend_from(s);
+    }
+    all
+}
+
+/// Evaluates `centers` against the full data, excluding the `budget` worst
+/// points (whole points; the original input is unweighted).
+///
+/// Returns `(cost, excluded point count)`.
+pub fn evaluate_on_full_data(
+    shards: &[PointSet],
+    centers: &PointSet,
+    budget: usize,
+    objective: Objective,
+) -> (f64, usize) {
+    let all = merge_shards(shards);
+    if all.is_empty() || centers.is_empty() {
+        return (0.0, 0);
+    }
+    let x = CrossMetric::new(&all, centers);
+    let mut dists: Vec<f64> = (0..all.len())
+        .map(|q| {
+            let (_, d) = x.nearest(q).expect("non-empty centers");
+            objective.transform(d)
+        })
+        .collect();
+    dists.sort_by(|a, b| b.total_cmp(a));
+    let excluded = budget.min(dists.len());
+    let rest = &dists[excluded..];
+    let cost = match objective {
+        Objective::Center => rest.first().copied().unwrap_or(0.0),
+        _ => rest.iter().sum(),
+    };
+    (cost, excluded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_preserves_order() {
+        let a = PointSet::from_rows(&[vec![1.0]]);
+        let b = PointSet::from_rows(&[vec![2.0], vec![3.0]]);
+        let m = merge_shards(&[a, b]);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.point(2), &[3.0]);
+    }
+
+    #[test]
+    fn full_data_median_eval() {
+        let shards = vec![
+            PointSet::from_rows(&[vec![0.0], vec![1.0]]),
+            PointSet::from_rows(&[vec![2.0], vec![50.0]]),
+        ];
+        let centers = PointSet::from_rows(&[vec![1.0]]);
+        let (c0, e0) = evaluate_on_full_data(&shards, &centers, 0, Objective::Median);
+        assert_eq!(c0, 1.0 + 0.0 + 1.0 + 49.0);
+        assert_eq!(e0, 0);
+        let (c1, e1) = evaluate_on_full_data(&shards, &centers, 1, Objective::Median);
+        assert_eq!(c1, 2.0);
+        assert_eq!(e1, 1);
+    }
+
+    #[test]
+    fn full_data_center_eval() {
+        let shards = vec![PointSet::from_rows(&[vec![0.0], vec![3.0], vec![10.0]])];
+        let centers = PointSet::from_rows(&[vec![0.0]]);
+        let (c, _) = evaluate_on_full_data(&shards, &centers, 1, Objective::Center);
+        assert_eq!(c, 3.0);
+    }
+
+    #[test]
+    fn means_eval_squares() {
+        let shards = vec![PointSet::from_rows(&[vec![0.0], vec![3.0]])];
+        let centers = PointSet::from_rows(&[vec![0.0]]);
+        let (c, _) = evaluate_on_full_data(&shards, &centers, 0, Objective::Means);
+        assert_eq!(c, 9.0);
+    }
+
+    #[test]
+    fn budget_exceeding_n_zeroes_cost() {
+        let shards = vec![PointSet::from_rows(&[vec![5.0]])];
+        let centers = PointSet::from_rows(&[vec![0.0]]);
+        let (c, e) = evaluate_on_full_data(&shards, &centers, 10, Objective::Median);
+        assert_eq!(c, 0.0);
+        assert_eq!(e, 1);
+    }
+}

@@ -1,0 +1,345 @@
+//! 1-round variants (Appendix A, Table 2): set `t_i = t` at every site.
+//!
+//! Without the allocation round each site must hedge by ignoring the full
+//! `t` points locally, so communication grows to `O((sk + st)·B)` — the
+//! `Θ(st)` burden the paper's 2-round algorithms remove. For the center
+//! objective this is precisely the Malkomes et al. \[19\] algorithm (each
+//! site ships its `k + t` Gonzalez prefix), which Theorem 4.3 improves on;
+//! it doubles as the experimental baseline for E4/E11.
+
+use crate::algo_median::MedianConfig;
+use crate::algo_center::CenterConfig;
+use crate::wire::{DistributedSolution, PreclusterMsg};
+use bytes::Bytes;
+use dpc_cluster::{charikar_center, gonzalez, median_bicriteria, BicriteriaParams, Solution};
+use dpc_coordinator::{
+    run_protocol, Coordinator, CoordinatorStep, ProtocolOutput, RunOptions, Site,
+};
+use dpc_metric::{EuclideanMetric, Metric, Objective, PointSet, SquaredMetric, WeightedSet};
+
+/// Site for the 1-round median/means protocol: one shot, full hedge.
+struct OneRoundMedianSite<'a> {
+    data: &'a PointSet,
+    site_id: usize,
+    cfg: MedianConfig,
+}
+
+impl Site for OneRoundMedianSite<'_> {
+    fn handle(&mut self, round: usize, _msg: &Bytes) -> Bytes {
+        assert_eq!(round, 0, "one-round site called twice");
+        let n = self.data.len();
+        if n == 0 {
+            return PreclusterMsg {
+                centers: PointSet::new(self.data.dim()),
+                weights: Vec::new(),
+                outliers: PointSet::new(self.data.dim()),
+                t_i: 0,
+            }
+            .encode();
+        }
+        let t_local = self.cfg.t.min(n);
+        let mut params = BicriteriaParams {
+            eps: 0.0,
+            lambda_iters: self.cfg.lambda_iters,
+            ls: self.cfg.ls,
+        };
+        params.ls.seed = params.ls.seed.wrapping_add(self.site_id as u64);
+        let w = WeightedSet::unit(n);
+        let sol = if self.cfg.means {
+            let m = SquaredMetric::new(EuclideanMetric::new(self.data));
+            let s = median_bicriteria(&m, &w, 2 * self.cfg.k, t_local as f64, Objective::Median, params);
+            Solution::evaluate(&m, &w, s.centers, t_local as f64, Objective::Median)
+        } else {
+            let m = EuclideanMetric::new(self.data);
+            let s = median_bicriteria(&m, &w, 2 * self.cfg.k, t_local as f64, Objective::Median, params);
+            Solution::evaluate(&m, &w, s.centers, t_local as f64, Objective::Median)
+        };
+        crate::algo_median::precluster_msg(self.data, &sol, true, t_local).encode()
+    }
+}
+
+/// Coordinator for the 1-round median/means protocol.
+struct OneRoundMedianCoordinator {
+    cfg: MedianConfig,
+    dim: usize,
+    result: Option<DistributedSolution>,
+}
+
+impl Coordinator for OneRoundMedianCoordinator {
+    type Output = DistributedSolution;
+
+    fn step(&mut self, round: usize, replies: Vec<Bytes>) -> CoordinatorStep {
+        match round {
+            0 => CoordinatorStep::Broadcast(Bytes::new()),
+            1 => {
+                let msgs: Vec<PreclusterMsg> =
+                    replies.into_iter().map(PreclusterMsg::decode).collect();
+                let dim = msgs
+                    .iter()
+                    .find(|m| m.centers.len() > 0 || m.outliers.len() > 0)
+                    .map(|m| m.centers.dim())
+                    .unwrap_or(self.dim);
+                let mut merged = PointSet::new(dim);
+                let mut weighted = WeightedSet::new();
+                let mut shipped = 0u64;
+                for m in &msgs {
+                    shipped += m.t_i;
+                    let off = merged.extend_from(&m.centers);
+                    for (j, &w) in m.weights.iter().enumerate() {
+                        weighted.push(off + j, w);
+                    }
+                    let off = merged.extend_from(&m.outliers);
+                    for j in 0..m.outliers.len() {
+                        weighted.push(off + j, 1.0);
+                    }
+                }
+                let result = if weighted.is_empty() {
+                    DistributedSolution {
+                        centers: PointSet::new(dim),
+                        coordinator_cost: 0.0,
+                        excluded_weight: 0.0,
+                        shipped_outliers: 0,
+                    }
+                } else {
+                    let params = BicriteriaParams {
+                        eps: self.cfg.eps,
+                        lambda_iters: self.cfg.lambda_iters,
+                        ls: self.cfg.ls,
+                    };
+                    let sol = if self.cfg.means {
+                        let m = SquaredMetric::new(EuclideanMetric::new(&merged));
+                        median_bicriteria(&m, &weighted, self.cfg.k, self.cfg.t as f64, Objective::Median, params)
+                    } else {
+                        let m = EuclideanMetric::new(&merged);
+                        median_bicriteria(&m, &weighted, self.cfg.k, self.cfg.t as f64, Objective::Median, params)
+                    };
+                    DistributedSolution {
+                        centers: merged.subset(&sol.centers),
+                        coordinator_cost: sol.cost,
+                        excluded_weight: sol.outlier_weight(),
+                        shipped_outliers: shipped,
+                    }
+                };
+                self.result = Some(result);
+                CoordinatorStep::Finish
+            }
+            r => panic!("one-round coordinator has no round {r}"),
+        }
+    }
+
+    fn finish(self) -> DistributedSolution {
+        self.result.expect("protocol finished")
+    }
+}
+
+/// Runs the 1-round `(k, (1+ε)t)`-median/means protocol (`t_i = t`
+/// everywhere; `O((sk+st)B)` communication).
+pub fn run_one_round_median(
+    shards: &[PointSet],
+    cfg: MedianConfig,
+    options: RunOptions,
+) -> ProtocolOutput<DistributedSolution> {
+    assert!(!shards.is_empty(), "need at least one site");
+    let dim = shards[0].dim();
+    let mut sites: Vec<Box<dyn Site + '_>> = shards
+        .iter()
+        .enumerate()
+        .map(|(i, ps)| Box::new(OneRoundMedianSite { data: ps, site_id: i, cfg }) as Box<dyn Site + '_>)
+        .collect();
+    let coordinator = OneRoundMedianCoordinator { cfg, dim, result: None };
+    run_protocol(&mut sites, coordinator, options)
+}
+
+/// Site for the 1-round center protocol (the Malkomes et al. baseline):
+/// ships the `k + t` Gonzalez prefix, weighted by attachment counts.
+struct OneRoundCenterSite<'a> {
+    data: &'a PointSet,
+    cfg: CenterConfig,
+}
+
+impl Site for OneRoundCenterSite<'_> {
+    fn handle(&mut self, round: usize, _msg: &Bytes) -> Bytes {
+        assert_eq!(round, 0, "one-round site called twice");
+        let n = self.data.len();
+        if n == 0 {
+            return PreclusterMsg {
+                centers: PointSet::new(self.data.dim()),
+                weights: Vec::new(),
+                outliers: PointSet::new(self.data.dim()),
+                t_i: 0,
+            }
+            .encode();
+        }
+        let m = EuclideanMetric::new(self.data);
+        let ids: Vec<usize> = (0..n).collect();
+        let prefix_len = (self.cfg.k + self.cfg.t).min(n);
+        let ord = gonzalez(&m, &ids, prefix_len, 0);
+        let chosen = &ord.order[..];
+        let mut weights = vec![0.0f64; chosen.len()];
+        for p in 0..n {
+            let (pos, _) = m.nearest(p, chosen).expect("non-empty prefix");
+            weights[pos] += 1.0;
+        }
+        PreclusterMsg {
+            centers: self.data.subset(chosen),
+            weights,
+            outliers: PointSet::new(self.data.dim()),
+            t_i: self.cfg.t as u64,
+        }
+        .encode()
+    }
+}
+
+/// Coordinator for the 1-round center protocol.
+struct OneRoundCenterCoordinator {
+    cfg: CenterConfig,
+    dim: usize,
+    result: Option<DistributedSolution>,
+}
+
+impl Coordinator for OneRoundCenterCoordinator {
+    type Output = DistributedSolution;
+
+    fn step(&mut self, round: usize, replies: Vec<Bytes>) -> CoordinatorStep {
+        match round {
+            0 => CoordinatorStep::Broadcast(Bytes::new()),
+            1 => {
+                let msgs: Vec<PreclusterMsg> =
+                    replies.into_iter().map(PreclusterMsg::decode).collect();
+                let dim = msgs
+                    .iter()
+                    .find(|m| m.centers.len() > 0)
+                    .map(|m| m.centers.dim())
+                    .unwrap_or(self.dim);
+                let mut merged = PointSet::new(dim);
+                let mut weighted = WeightedSet::new();
+                for m in &msgs {
+                    let off = merged.extend_from(&m.centers);
+                    for (j, &w) in m.weights.iter().enumerate() {
+                        weighted.push(off + j, w);
+                    }
+                }
+                let result = if weighted.is_empty() {
+                    DistributedSolution {
+                        centers: PointSet::new(dim),
+                        coordinator_cost: 0.0,
+                        excluded_weight: 0.0,
+                        shipped_outliers: 0,
+                    }
+                } else {
+                    let metric = EuclideanMetric::new(&merged);
+                    let sol = charikar_center(
+                        &metric,
+                        &weighted,
+                        self.cfg.k,
+                        self.cfg.t as f64,
+                        self.cfg.charikar,
+                    );
+                    DistributedSolution {
+                        centers: merged.subset(&sol.centers),
+                        coordinator_cost: sol.cost,
+                        excluded_weight: sol.outlier_weight(),
+                        shipped_outliers: msgs.iter().map(|m| m.t_i).sum(),
+                    }
+                };
+                self.result = Some(result);
+                CoordinatorStep::Finish
+            }
+            r => panic!("one-round coordinator has no round {r}"),
+        }
+    }
+
+    fn finish(self) -> DistributedSolution {
+        self.result.expect("protocol finished")
+    }
+}
+
+/// Runs the 1-round `(k,t)`-center protocol (Malkomes et al. style,
+/// `O((sk+st)B)` communication).
+pub fn run_one_round_center(
+    shards: &[PointSet],
+    cfg: CenterConfig,
+    options: RunOptions,
+) -> ProtocolOutput<DistributedSolution> {
+    assert!(!shards.is_empty(), "need at least one site");
+    let dim = shards[0].dim();
+    let mut sites: Vec<Box<dyn Site + '_>> = shards
+        .iter()
+        .map(|ps| Box::new(OneRoundCenterSite { data: ps, cfg }) as Box<dyn Site + '_>)
+        .collect();
+    let coordinator = OneRoundCenterCoordinator { cfg, dim, result: None };
+    run_protocol(&mut sites, coordinator, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo_center::run_distributed_center;
+    use crate::algo_median::run_distributed_median;
+    use crate::evaluate::evaluate_on_full_data;
+
+    fn shards(s: usize, outliers: usize) -> Vec<PointSet> {
+        (0..s)
+            .map(|i| {
+                let mut rows: Vec<Vec<f64>> = (0..30)
+                    .map(|j| vec![(i * 100) as f64 + (j % 5) as f64 * 0.1, 0.0])
+                    .collect();
+                if i == 0 {
+                    for o in 0..outliers {
+                        rows.push(vec![1e5 + (o as f64) * 1e4, 5e4]);
+                    }
+                }
+                PointSet::from_rows(&rows)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn one_round_median_works_but_ships_more() {
+        let sh = shards(4, 3);
+        let cfg = MedianConfig::new(4, 3);
+        let one = run_one_round_median(&sh, cfg, RunOptions { parallel: false, ..Default::default() });
+        let two = run_distributed_median(&sh, cfg, RunOptions { parallel: false, ..Default::default() });
+        let (c1, _) = evaluate_on_full_data(&sh, &one.output.centers, 6, Objective::Median);
+        let (c2, _) = evaluate_on_full_data(&sh, &two.output.centers, 6, Objective::Median);
+        assert!(c1 < 50.0, "one-round cost {c1}");
+        assert!(c2 < 50.0, "two-round cost {c2}");
+        assert_eq!(one.stats.num_rounds(), 1);
+        // Every site hedges t outliers in one round: Σ t_i = s·t versus ≤ 3t.
+        assert_eq!(one.output.shipped_outliers, 4 * 3);
+        assert!(two.output.shipped_outliers <= 3 * 3);
+    }
+
+    #[test]
+    fn one_round_center_is_malkomes_baseline() {
+        // The 2-round win needs the paper's regime t >> s, k (each 1-round
+        // site hedges a full t extra points; 2-round pays only O(log t)
+        // profile values plus a shared ~rho*t).
+        let sh = shards(3, 20);
+        let cfg = CenterConfig::new(3, 20);
+        let one = run_one_round_center(&sh, cfg, RunOptions { parallel: false, ..Default::default() });
+        let two = run_distributed_center(&sh, cfg, RunOptions { parallel: false, ..Default::default() });
+        let (c1, _) = evaluate_on_full_data(&sh, &one.output.centers, 20, Objective::Center);
+        let (c2, _) = evaluate_on_full_data(&sh, &two.output.centers, 20, Objective::Center);
+        assert!(c1 <= 6.0, "one-round center cost {c1}");
+        assert!(c2 <= 6.0, "two-round center cost {c2}");
+        // The 1-round protocol ships k+t points per site; the 2-round one
+        // ships k + t_i with Σ t_i ≤ ~ρt, so it wins once s > ~ρ + k-ish.
+        assert!(
+            two.stats.upstream_bytes() < one.stats.upstream_bytes(),
+            "2-round {}B vs 1-round {}B",
+            two.stats.upstream_bytes(),
+            one.stats.upstream_bytes()
+        );
+    }
+
+    #[test]
+    fn empty_shards_one_round() {
+        let mut sh = shards(2, 1);
+        sh.push(PointSet::new(2));
+        let m = run_one_round_median(&sh, MedianConfig::new(2, 1), RunOptions { parallel: false, ..Default::default() });
+        assert!(m.output.centers.len() <= 2);
+        let c = run_one_round_center(&sh, CenterConfig::new(2, 1), RunOptions { parallel: false, ..Default::default() });
+        assert!(c.output.centers.len() <= 2);
+    }
+}

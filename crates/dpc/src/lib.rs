@@ -1,0 +1,74 @@
+//! # Distributed Partial Clustering
+//!
+//! A from-scratch Rust implementation of *Distributed Partial Clustering*
+//! (Guha, Li, Zhang — SPAA 2017): communication-efficient distributed
+//! `(k,t)`-median, `(k,t)`-means and `(k,t)`-center clustering — `k`
+//! centers, up to `t` points disregarded as outliers — plus the paper's
+//! uncertain-data algorithms and its subquadratic centralized corollary.
+//!
+//! This facade re-exports the whole workspace:
+//!
+//! * [`metric`] — points, distance oracles, weighted sets, outlier-aware
+//!   costs, wire encoding;
+//! * [`cluster`] — centralized substrates (Gonzalez, Charikar-style
+//!   `(k,t)`-center, Lagrangian bicriteria `(k,t)`-median/means, Lloyd,
+//!   exact oracles);
+//! * [`coordinator`] — the coordinator-model simulator with exact byte
+//!   accounting;
+//! * [`core`] — Algorithms 1–2, the Theorem 3.8 δ-variant, 1-round
+//!   baselines, and the Theorem 3.10 subquadratic centralized algorithm;
+//! * [`uncertain`] — uncertain nodes, the compressed graph (Figure 1),
+//!   Algorithm 3, and the center-g Algorithm 4;
+//! * [`workloads`] — seeded synthetic workload generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dpc::prelude::*;
+//!
+//! // Generate a noisy mixture and split it across 4 sites.
+//! let mix = gaussian_mixture(MixtureSpec { inliers: 200, outliers: 5, ..Default::default() });
+//! let shards = partition(&mix.points, 4, PartitionStrategy::Random, &mix.outlier_ids, 7);
+//!
+//! // Run the 2-round distributed (k, (1+eps)t)-median protocol.
+//! let cfg = MedianConfig::new(5, 5);
+//! let out = run_distributed_median(&shards, cfg, RunOptions::default());
+//!
+//! // Exact bytes on the wire, and the solution quality on the full data.
+//! println!("{} bytes over {} rounds", out.stats.total_bytes(), out.stats.num_rounds());
+//! let (cost, _) = evaluate_on_full_data(&shards, &out.output.centers, 10, Objective::Median);
+//! assert!(cost.is_finite());
+//! ```
+
+pub use dpc_cluster as cluster;
+pub use dpc_coordinator as coordinator;
+pub use dpc_core as core;
+pub use dpc_metric as metric;
+pub use dpc_uncertain as uncertain;
+pub use dpc_workloads as workloads;
+
+/// One-stop imports for applications and examples.
+pub mod prelude {
+    pub use dpc_cluster::{
+        charikar_center, exact_best, gonzalez, lloyd_kmeans, median_bicriteria,
+        BicriteriaParams, CenterParams, LloydParams, LocalSearchParams, Solution,
+    };
+    pub use dpc_coordinator::{CommStats, RunOptions};
+    pub use dpc_core::{
+        evaluate_on_full_data, merge_shards, run_distributed_center, run_distributed_median,
+        run_one_round_center, run_one_round_median, subquadratic_median, CenterConfig,
+        DeltaVariant, MedianConfig, SubquadraticParams,
+    };
+    pub use dpc_metric::{
+        center_cost, median_cost, means_cost, EuclideanMetric, Metric, Objective, PointSet,
+        SquaredMetric, WeightedSet,
+    };
+    pub use dpc_uncertain::{
+        estimate_center_g_cost, estimate_expected_cost, run_center_g, run_uncertain_median,
+        CenterGConfig, CompressedGraph, NodeSet, UncertainConfig, UncertainNode,
+    };
+    pub use dpc_workloads::{
+        gaussian_mixture, partition, uncertain_mixture, Mixture, MixtureSpec,
+        PartitionStrategy, UncertainSpec,
+    };
+}

@@ -1,0 +1,240 @@
+//! Outlier-aware cost evaluation: the paper's `C_sol(Z, k, t, d)`.
+//!
+//! Given a metric, a weighted point multiset, and a set of centers, computes
+//! the objective value after discarding up to `t` units of weight — always
+//! the *most expensive* weight first, which is optimal for every objective
+//! once centers are fixed. Weight may be removed fractionally from an
+//! aggregated point (Remark 1: the coordinator may exclude fewer copies than
+//! a preclustered point carries).
+
+use crate::metric::Metric;
+use crate::weighted::WeightedSet;
+
+/// Which of the three objectives of Definition 1.1 is being evaluated.
+///
+/// `Median` sums distances, `Means` sums squared distances, `Center` takes
+/// the maximum distance. For `Means`, pair this with a plain metric — the
+/// squaring is applied here (equivalently, use [`Objective::Median`] over a
+/// [`crate::SquaredMetric`]; the solvers do the latter, the evaluators take
+/// this enum for convenience).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// `Σ d(p, K)` over non-outliers.
+    Median,
+    /// `Σ d²(p, K)` over non-outliers.
+    Means,
+    /// `max d(p, K)` over non-outliers.
+    Center,
+}
+
+impl Objective {
+    /// Applies the per-point distance transform (`d` or `d²`).
+    #[inline]
+    pub fn transform(self, d: f64) -> f64 {
+        match self {
+            Objective::Median | Objective::Center => d,
+            Objective::Means => d * d,
+        }
+    }
+
+    /// True for the max-aggregation objective.
+    #[inline]
+    pub fn is_center(self) -> bool {
+        matches!(self, Objective::Center)
+    }
+}
+
+/// Result of an outlier-aware cost evaluation.
+#[derive(Clone, Debug)]
+pub struct OutlierCost {
+    /// Objective value over the retained weight.
+    pub cost: f64,
+    /// Entries `(position in the weighted set, excluded weight)`, most
+    /// expensive first. Weight not listed here was retained.
+    pub excluded: Vec<(usize, f64)>,
+    /// For each entry of the weighted set, the position (within `centers`)
+    /// of its nearest center.
+    pub assignment: Vec<usize>,
+}
+
+/// Evaluates the `(k,t)` objective for fixed `centers` over weighted points.
+///
+/// `t` is the *weight budget* of outliers; the most expensive weight is
+/// excluded greedily (optimal for fixed centers). Points whose weight is
+/// fully excluded contribute nothing; a point may be partially excluded, in
+/// which case (for `Center`) its distance still counts towards the max.
+///
+/// # Panics
+/// Panics if `centers` is empty while the weighted set is non-empty, or if
+/// `t` is negative.
+pub fn cost_excluding_outliers<M: Metric>(
+    metric: &M,
+    points: &WeightedSet,
+    centers: &[usize],
+    t: f64,
+    objective: Objective,
+) -> OutlierCost {
+    assert!(t >= 0.0, "outlier budget must be non-negative");
+    if points.is_empty() {
+        return OutlierCost { cost: 0.0, excluded: Vec::new(), assignment: Vec::new() };
+    }
+    assert!(!centers.is_empty(), "need at least one center");
+
+    let n = points.len();
+    let mut dists = Vec::with_capacity(n);
+    let mut assignment = Vec::with_capacity(n);
+    for (id, _w) in points.iter() {
+        // `nearest` is Some because centers is non-empty.
+        let (pos, d) = metric.nearest(id, centers).expect("non-empty centers");
+        dists.push(objective.transform(d));
+        assignment.push(pos);
+    }
+
+    // Exclude the largest transformed distances first.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| dists[b].total_cmp(&dists[a]));
+
+    let weights = points.weights();
+    let mut budget = t;
+    let mut excluded = Vec::new();
+    let mut retained = vec![0.0f64; n]; // retained weight per entry
+    for &idx in &order {
+        let w = weights[idx];
+        if budget >= w {
+            budget -= w;
+            if w > 0.0 {
+                excluded.push((idx, w));
+            }
+        } else {
+            if budget > 0.0 {
+                excluded.push((idx, budget));
+            }
+            retained[idx] = w - budget;
+            budget = 0.0;
+        }
+    }
+
+    let cost = if objective.is_center() {
+        retained
+            .iter()
+            .zip(&dists)
+            .filter(|(&r, _)| r > 0.0)
+            .map(|(_, &d)| d)
+            .fold(0.0, f64::max)
+    } else {
+        retained.iter().zip(&dists).map(|(&r, &d)| r * d).sum()
+    };
+
+    OutlierCost { cost, excluded, assignment }
+}
+
+/// `(k,t)`-median cost over unit-weight points `0..metric.len()`.
+pub fn median_cost<M: Metric>(metric: &M, centers: &[usize], t: usize) -> f64 {
+    let w = WeightedSet::unit(metric.len());
+    cost_excluding_outliers(metric, &w, centers, t as f64, Objective::Median).cost
+}
+
+/// `(k,t)`-means cost over unit-weight points `0..metric.len()`.
+pub fn means_cost<M: Metric>(metric: &M, centers: &[usize], t: usize) -> f64 {
+    let w = WeightedSet::unit(metric.len());
+    cost_excluding_outliers(metric, &w, centers, t as f64, Objective::Means).cost
+}
+
+/// `(k,t)`-center cost over unit-weight points `0..metric.len()`.
+pub fn center_cost<M: Metric>(metric: &M, centers: &[usize], t: usize) -> f64 {
+    let w = WeightedSet::unit(metric.len());
+    cost_excluding_outliers(metric, &w, centers, t as f64, Objective::Center).cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::EuclideanMetric;
+    use crate::points::PointSet;
+
+    fn line() -> PointSet {
+        // points at 0, 1, 2, 10 (10 is the obvious outlier)
+        PointSet::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![10.0]])
+    }
+
+    #[test]
+    fn median_cost_excludes_farthest() {
+        let ps = line();
+        let m = EuclideanMetric::new(&ps);
+        // center at point 1 (coordinate 1)
+        assert_eq!(median_cost(&m, &[1], 0), 1.0 + 0.0 + 1.0 + 9.0);
+        assert_eq!(median_cost(&m, &[1], 1), 2.0); // drops the 9
+        assert_eq!(median_cost(&m, &[1], 3), 0.0);
+        assert_eq!(median_cost(&m, &[1], 4), 0.0);
+    }
+
+    #[test]
+    fn center_cost_max_semantics() {
+        let ps = line();
+        let m = EuclideanMetric::new(&ps);
+        assert_eq!(center_cost(&m, &[0], 0), 10.0);
+        assert_eq!(center_cost(&m, &[0], 1), 2.0);
+        assert_eq!(center_cost(&m, &[0], 3), 0.0);
+    }
+
+    #[test]
+    fn means_squares() {
+        let ps = line();
+        let m = EuclideanMetric::new(&ps);
+        assert_eq!(means_cost(&m, &[0], 1), 1.0 + 4.0);
+    }
+
+    #[test]
+    fn weighted_fractional_exclusion() {
+        let ps = line();
+        let m = EuclideanMetric::new(&ps);
+        // point 3 (distance 9 from center 1) carries weight 2; budget 1
+        // removes half of it.
+        let w = WeightedSet::from_parts(vec![0, 1, 2, 3], vec![1.0, 1.0, 1.0, 2.0]);
+        let r = cost_excluding_outliers(&m, &w, &[1], 1.0, Objective::Median);
+        assert_eq!(r.cost, 1.0 + 0.0 + 1.0 + 9.0);
+        assert_eq!(r.excluded, vec![(3, 1.0)]);
+    }
+
+    #[test]
+    fn center_partial_exclusion_keeps_max() {
+        let ps = line();
+        let m = EuclideanMetric::new(&ps);
+        let w = WeightedSet::from_parts(vec![0, 3], vec![1.0, 2.0]);
+        // Only 1 unit of the weight-2 far point can be dropped: its distance
+        // still dominates the max.
+        let r = cost_excluding_outliers(&m, &w, &[0], 1.0, Objective::Center);
+        assert_eq!(r.cost, 10.0);
+        // Budget 2 removes it fully.
+        let r = cost_excluding_outliers(&m, &w, &[0], 2.0, Objective::Center);
+        assert_eq!(r.cost, 0.0);
+    }
+
+    #[test]
+    fn empty_points_is_free() {
+        let ps = line();
+        let m = EuclideanMetric::new(&ps);
+        let w = WeightedSet::new();
+        let r = cost_excluding_outliers(&m, &w, &[], 0.0, Objective::Median);
+        assert_eq!(r.cost, 0.0);
+        assert!(r.excluded.is_empty());
+    }
+
+    #[test]
+    fn assignment_points_to_nearest() {
+        let ps = line();
+        let m = EuclideanMetric::new(&ps);
+        let w = WeightedSet::unit(4);
+        let r = cost_excluding_outliers(&m, &w, &[0, 3], 0.0, Objective::Median);
+        assert_eq!(r.assignment, vec![0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn zero_weight_entries_ignored() {
+        let ps = line();
+        let m = EuclideanMetric::new(&ps);
+        let w = WeightedSet::from_parts(vec![3, 0], vec![0.0, 1.0]);
+        let r = cost_excluding_outliers(&m, &w, &[0], 0.0, Objective::Center);
+        assert_eq!(r.cost, 0.0); // the far point carries no weight
+    }
+}

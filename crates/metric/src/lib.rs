@@ -1,0 +1,35 @@
+//! Metric substrate for distributed partial clustering.
+//!
+//! This crate provides the geometric and metric primitives every other crate
+//! builds on:
+//!
+//! * [`PointSet`] — a dense, flat collection of points in `R^d`;
+//! * [`Metric`] — the distance-oracle abstraction used by all clustering
+//!   algorithms (the paper's `d(·,·)`), with Euclidean, squared-Euclidean
+//!   (for `(k,t)`-means), matrix-backed and truncated (`L_τ`) implementations;
+//! * [`weighted`] — weighted point sets produced by preclustering (a center
+//!   standing in for the points attached to it);
+//! * [`cost`] — outlier-aware cost evaluation for the three objectives
+//!   (median / means / center), the paper's `C_sol(Z, k, t, d)`;
+//! * [`encode`] — the compact wire encoding used to charge *actual bytes* to
+//!   every message in the coordinator model (the paper's `B`).
+//!
+//! The paper's Definition 1.1 (`(k,t)`-median/means/center) is expressed here
+//! as: choose `k` center indices and discard up to `t` units of weight so the
+//! remaining assignment cost is minimized. Everything in this crate is
+//! deterministic and allocation-conscious; distance evaluation is the hot
+//! path of the whole workspace.
+
+pub mod cost;
+pub mod encode;
+pub mod metric;
+pub mod points;
+pub mod truncated;
+pub mod weighted;
+
+pub use cost::{center_cost, cost_excluding_outliers, median_cost, means_cost, Objective};
+pub use encode::{WireReader, WireWriter};
+pub use metric::{CrossMetric, EuclideanMetric, MatrixMetric, Metric, SquaredMetric};
+pub use points::{PointId, PointSet};
+pub use truncated::TruncatedMetric;
+pub use weighted::WeightedSet;

@@ -1,0 +1,309 @@
+//! The distance-oracle abstraction (the paper's `d(·,·)`).
+//!
+//! All clustering algorithms in this workspace are generic over [`Metric`],
+//! which exposes distances between indexed points. Concrete implementations:
+//!
+//! * [`EuclideanMetric`] — `d(i,j) = ‖x_i − x_j‖₂` over a [`PointSet`];
+//! * [`SquaredMetric`] — squares another metric, used for the `(k,t)`-means
+//!   objective (note: only a *relaxed* triangle inequality holds, with
+//!   factor 2, exactly as the paper's Lemma 3.2 / Corollary 2.2 exploit);
+//! * [`MatrixMetric`] — an explicit distance matrix, used for arbitrary
+//!   graphs/oracles (e.g. the compressed graph of Figure 1) and test
+//!   fixtures;
+//! * [`TruncatedMetric`](crate::truncated::TruncatedMetric) — the paper's
+//!   `L_τ(x,y) = max{d(x,y) − τ, 0}` (Definition 5.7).
+
+use crate::points::PointSet;
+
+/// A (pseudo-)metric over `n` indexed points.
+///
+/// Implementations must be cheap to query and `Sync` so sites can evaluate
+/// distances from worker threads. The trait deliberately does *not* require
+/// the triangle inequality — `(k,t)`-means works with squared distances,
+/// which satisfy only `d(x,z) ≤ 2(d(x,y) + d(y,z))`.
+pub trait Metric: Sync {
+    /// Number of points the oracle covers (valid indices are `0..len()`).
+    fn len(&self) -> usize;
+
+    /// Distance between points `i` and `j`.
+    fn dist(&self, i: usize, j: usize) -> f64;
+
+    /// True when the oracle covers no points.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Distance from `i` to the nearest point in `centers`, together with
+    /// the arg-min position *within the slice*. Returns `None` on an empty
+    /// slice.
+    fn nearest(&self, i: usize, centers: &[usize]) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (pos, &c) in centers.iter().enumerate() {
+            let d = self.dist(i, c);
+            if best.map_or(true, |(_, bd)| d < bd) {
+                best = Some((pos, d));
+            }
+        }
+        best
+    }
+}
+
+impl<M: Metric + ?Sized> Metric for &M {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn dist(&self, i: usize, j: usize) -> f64 {
+        (**self).dist(i, j)
+    }
+}
+
+/// Euclidean distance over a borrowed [`PointSet`].
+#[derive(Clone, Copy, Debug)]
+pub struct EuclideanMetric<'a> {
+    points: &'a PointSet,
+}
+
+impl<'a> EuclideanMetric<'a> {
+    /// Wraps a point set.
+    pub fn new(points: &'a PointSet) -> Self {
+        Self { points }
+    }
+
+    /// The underlying points.
+    pub fn points(&self) -> &'a PointSet {
+        self.points
+    }
+}
+
+impl Metric for EuclideanMetric<'_> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    #[inline]
+    fn dist(&self, i: usize, j: usize) -> f64 {
+        self.points.dist(i, j)
+    }
+}
+
+/// Squares an inner metric; the distance function of the `(k,t)`-means
+/// objective (`d²(p, K)` in Definition 1.1).
+#[derive(Clone, Copy, Debug)]
+pub struct SquaredMetric<M> {
+    inner: M,
+}
+
+impl<M: Metric> SquaredMetric<M> {
+    /// Wraps `inner`, returning `inner.dist(i,j)²` from [`Metric::dist`].
+    pub fn new(inner: M) -> Self {
+        Self { inner }
+    }
+
+    /// The wrapped metric.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<M: Metric> Metric for SquaredMetric<M> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    #[inline]
+    fn dist(&self, i: usize, j: usize) -> f64 {
+        let d = self.inner.dist(i, j);
+        d * d
+    }
+}
+
+/// An explicit symmetric distance matrix.
+///
+/// Used for arbitrary finite metrics: test fixtures, shortest-path metrics,
+/// and the compressed graph of the uncertain-data reduction. Stores the full
+/// `n × n` matrix for O(1) queries.
+#[derive(Clone, Debug)]
+pub struct MatrixMetric {
+    n: usize,
+    d: Vec<f64>,
+}
+
+impl MatrixMetric {
+    /// Builds from a full row-major `n × n` matrix.
+    ///
+    /// # Panics
+    /// Panics if the buffer is not `n²` long, the diagonal is non-zero, the
+    /// matrix is asymmetric, or any entry is negative/NaN.
+    pub fn from_matrix(n: usize, d: Vec<f64>) -> Self {
+        assert_eq!(d.len(), n * n, "matrix buffer must be n^2 long");
+        for i in 0..n {
+            assert_eq!(d[i * n + i], 0.0, "diagonal must be zero");
+            for j in 0..i {
+                let a = d[i * n + j];
+                let b = d[j * n + i];
+                assert!(a.is_finite() && a >= 0.0, "distances must be finite and non-negative");
+                assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0), "matrix must be symmetric");
+            }
+        }
+        Self { n, d }
+    }
+
+    /// Materializes any metric into a matrix (O(n²) space/time).
+    pub fn from_metric<M: Metric>(m: &M) -> Self {
+        let n = m.len();
+        let mut d = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..i {
+                let v = m.dist(i, j);
+                d[i * n + j] = v;
+                d[j * n + i] = v;
+            }
+        }
+        Self { n, d }
+    }
+
+    /// Builds by evaluating `f(i, j)` for every pair `j < i` and mirroring.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut d = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..i {
+                let v = f(i, j);
+                assert!(v.is_finite() && v >= 0.0, "distances must be finite and non-negative");
+                d[i * n + j] = v;
+                d[j * n + i] = v;
+            }
+        }
+        Self { n, d }
+    }
+}
+
+impl Metric for MatrixMetric {
+    #[inline]
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn dist(&self, i: usize, j: usize) -> f64 {
+        self.d[i * self.n + j]
+    }
+}
+
+/// Distances between two *different* point sets (queries from one set,
+/// candidate centers from another), used when the coordinator evaluates the
+/// final solution against original data.
+#[derive(Clone, Copy, Debug)]
+pub struct CrossMetric<'a> {
+    queries: &'a PointSet,
+    centers: &'a PointSet,
+}
+
+impl<'a> CrossMetric<'a> {
+    /// Builds the oracle; `dist(q, c)` is Euclidean between `queries[q]` and
+    /// `centers[c]`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn new(queries: &'a PointSet, centers: &'a PointSet) -> Self {
+        assert_eq!(queries.dim(), centers.dim(), "dimension mismatch");
+        Self { queries, centers }
+    }
+
+    /// Distance between query `q` and center `c`.
+    #[inline]
+    pub fn dist(&self, q: usize, c: usize) -> f64 {
+        self.queries.sq_dist_to(q, self.centers.point(c)).sqrt()
+    }
+
+    /// Nearest center for query `q`; `None` if `centers` is empty.
+    pub fn nearest(&self, q: usize) -> Option<(usize, f64)> {
+        (0..self.centers.len())
+            .map(|c| (c, self.dist(q, c)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_points() -> PointSet {
+        PointSet::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0], vec![6.0, 8.0]])
+    }
+
+    #[test]
+    fn euclidean_basics() {
+        let ps = three_points();
+        let m = EuclideanMetric::new(&ps);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.dist(0, 1), 5.0);
+        assert_eq!(m.dist(1, 2), 5.0);
+        assert_eq!(m.dist(0, 2), 10.0);
+        assert_eq!(m.dist(2, 2), 0.0);
+    }
+
+    #[test]
+    fn squared_metric_squares() {
+        let ps = three_points();
+        let m = SquaredMetric::new(EuclideanMetric::new(&ps));
+        assert_eq!(m.dist(0, 1), 25.0);
+        assert_eq!(m.dist(0, 2), 100.0);
+    }
+
+    #[test]
+    fn squared_relaxed_triangle() {
+        // d²(0,2) ≤ 2 (d²(0,1) + d²(1,2)) — the relaxed triangle inequality
+        // the means analysis relies on.
+        let ps = three_points();
+        let m = SquaredMetric::new(EuclideanMetric::new(&ps));
+        assert!(m.dist(0, 2) <= 2.0 * (m.dist(0, 1) + m.dist(1, 2)));
+    }
+
+    #[test]
+    fn nearest_picks_min() {
+        let ps = three_points();
+        let m = EuclideanMetric::new(&ps);
+        let (pos, d) = m.nearest(0, &[2, 1]).unwrap();
+        assert_eq!(pos, 1); // point 1 (slice position 1) at distance 5
+        assert_eq!(d, 5.0);
+        assert!(m.nearest(0, &[]).is_none());
+    }
+
+    #[test]
+    fn matrix_roundtrip() {
+        let ps = three_points();
+        let e = EuclideanMetric::new(&ps);
+        let m = MatrixMetric::from_metric(&e);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((m.dist(i, j) - e.dist(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn matrix_rejects_asymmetry() {
+        let _ = MatrixMetric::from_matrix(2, vec![0.0, 1.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn cross_metric_nearest() {
+        let q = PointSet::from_rows(&[vec![0.0, 0.0]]);
+        let c = PointSet::from_rows(&[vec![1.0, 0.0], vec![0.0, 0.5]]);
+        let x = CrossMetric::new(&q, &c);
+        let (idx, d) = x.nearest(0).unwrap();
+        assert_eq!(idx, 1);
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_fn_builds_symmetric() {
+        let m = MatrixMetric::from_fn(3, |i, j| (i + j) as f64);
+        assert_eq!(m.dist(2, 1), 3.0);
+        assert_eq!(m.dist(1, 2), 3.0);
+        assert_eq!(m.dist(0, 0), 0.0);
+    }
+}

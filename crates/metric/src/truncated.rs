@@ -1,0 +1,102 @@
+//! The truncated distance `L_τ` of Definition 5.7.
+//!
+//! `L_τ(x,y) = max{d(x,y) − τ, 0}`. For `τ > 0` this is *not* a metric, but
+//! it satisfies the weak triangle inequality
+//! `L_τ(u₁,u₂) + L_τ(u₂,u₃) ≥ L_{2τ}(u₁,u₃)` that Lemma 5.12 relies on, and
+//! the hop-scaling `ρ_{3τ}(j,m) ≤ ρ_τ(j,m') + ρ_τ(i,m') + ρ_τ(i,m)` used in
+//! Lemma 5.9. Algorithm 4 performs a parametric search over `τ` on this
+//! family.
+
+use crate::metric::Metric;
+
+/// Wraps a metric with the truncation `max{d − τ, 0}`.
+#[derive(Clone, Copy, Debug)]
+pub struct TruncatedMetric<M> {
+    inner: M,
+    tau: f64,
+}
+
+impl<M: Metric> TruncatedMetric<M> {
+    /// Builds `L_τ` over `inner`.
+    ///
+    /// # Panics
+    /// Panics if `tau` is negative or not finite.
+    pub fn new(inner: M, tau: f64) -> Self {
+        assert!(tau.is_finite() && tau >= 0.0, "tau must be finite and non-negative");
+        Self { inner, tau }
+    }
+
+    /// The truncation threshold τ.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// The wrapped metric.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+/// Scalar form of the truncation, usable without a wrapper.
+#[inline]
+pub fn truncate(d: f64, tau: f64) -> f64 {
+    (d - tau).max(0.0)
+}
+
+impl<M: Metric> Metric for TruncatedMetric<M> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    #[inline]
+    fn dist(&self, i: usize, j: usize) -> f64 {
+        truncate(self.inner.dist(i, j), self.tau)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::{EuclideanMetric, MatrixMetric};
+    use crate::points::PointSet;
+
+    #[test]
+    fn truncation_clamps_at_zero() {
+        let ps = PointSet::from_rows(&[vec![0.0], vec![1.0], vec![10.0]]);
+        let m = TruncatedMetric::new(EuclideanMetric::new(&ps), 2.0);
+        assert_eq!(m.dist(0, 1), 0.0); // 1 - 2 clamps
+        assert_eq!(m.dist(0, 2), 8.0); // 10 - 2
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.tau(), 2.0);
+    }
+
+    #[test]
+    fn tau_zero_is_identity() {
+        let ps = PointSet::from_rows(&[vec![0.0], vec![3.0]]);
+        let e = EuclideanMetric::new(&ps);
+        let m = TruncatedMetric::new(e, 0.0);
+        assert_eq!(m.dist(0, 1), e.dist(0, 1));
+    }
+
+    #[test]
+    fn weak_triangle_inequality() {
+        // L_tau(u1,u2) + L_tau(u2,u3) >= L_{2tau}(u1,u3) (used by Lemma 5.12).
+        let m = MatrixMetric::from_fn(3, |i, j| ((i as f64) - (j as f64)).abs() * 4.0);
+        for tau in [0.0, 0.5, 1.0, 3.0, 10.0] {
+            let lt = TruncatedMetric::new(&m, tau);
+            let l2t = TruncatedMetric::new(&m, 2.0 * tau);
+            assert!(
+                lt.dist(0, 1) + lt.dist(1, 2) + 1e-12 >= l2t.dist(0, 2),
+                "violated at tau={tau}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_tau() {
+        let ps = PointSet::from_rows(&[vec![0.0]]);
+        let _ = TruncatedMetric::new(EuclideanMetric::new(&ps), -1.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Weighted point sets.
+//!
+//! Preclustering replaces each local cluster with its center, weighted by the
+//! number of attached points (Theorem 2.1). The coordinator then solves a
+//! *weighted* `(k,t)` problem where excluding an outlier removes *units of
+//! weight* — and, per Remark 1 of the paper, the coordinator may exclude
+//! fewer copies of an aggregated point than its full weight.
+
+use crate::points::PointId;
+
+/// A multiset of points: parallel arrays of ids (into some [`crate::PointSet`]
+/// or [`crate::Metric`] index space) and non-negative weights.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WeightedSet {
+    ids: Vec<PointId>,
+    weights: Vec<f64>,
+}
+
+impl WeightedSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self { ids: Vec::new(), weights: Vec::new() }
+    }
+
+    /// Builds from parallel arrays.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or a negative/non-finite weight.
+    pub fn from_parts(ids: Vec<PointId>, weights: Vec<f64>) -> Self {
+        assert_eq!(ids.len(), weights.len(), "ids/weights length mismatch");
+        for &w in &weights {
+            assert!(w.is_finite() && w >= 0.0, "weights must be finite and non-negative");
+        }
+        Self { ids, weights }
+    }
+
+    /// Uniform unit weights over `0..n`.
+    pub fn unit(n: usize) -> Self {
+        Self { ids: (0..n).collect(), weights: vec![1.0; n] }
+    }
+
+    /// Adds a weighted point.
+    pub fn push(&mut self, id: PointId, weight: f64) {
+        assert!(weight.is_finite() && weight >= 0.0, "weight must be finite and non-negative");
+        self.ids.push(id);
+        self.weights.push(weight);
+    }
+
+    /// Number of (distinct) entries.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when no entries are present.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Total weight (multiset cardinality).
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// The id array.
+    pub fn ids(&self) -> &[PointId] {
+        &self.ids
+    }
+
+    /// The weight array.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Iterator over `(id, weight)`.
+    pub fn iter(&self) -> impl Iterator<Item = (PointId, f64)> + '_ {
+        self.ids.iter().copied().zip(self.weights.iter().copied())
+    }
+}
+
+impl Default for WeightedSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_weights() {
+        let w = WeightedSet::unit(3);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.total_weight(), 3.0);
+        assert_eq!(w.ids(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn push_and_iter() {
+        let mut w = WeightedSet::new();
+        assert!(w.is_empty());
+        w.push(7, 2.5);
+        w.push(3, 0.0);
+        assert_eq!(w.total_weight(), 2.5);
+        let v: Vec<_> = w.iter().collect();
+        assert_eq!(v, vec![(7, 2.5), (3, 0.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_weight() {
+        let mut w = WeightedSet::new();
+        w.push(0, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_parts() {
+        let _ = WeightedSet::from_parts(vec![1, 2], vec![1.0]);
+    }
+}

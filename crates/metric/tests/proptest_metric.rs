@@ -1,0 +1,124 @@
+//! Property-based tests of the metric substrate.
+
+use dpc_metric::*;
+use proptest::prelude::*;
+
+fn arb_points(max_n: usize, dim: usize) -> impl Strategy<Value = PointSet> {
+    proptest::collection::vec(
+        proptest::collection::vec(-1e4f64..1e4, dim..=dim),
+        2..max_n,
+    )
+    .prop_map(|rows| PointSet::from_rows(&rows))
+}
+
+proptest! {
+    #[test]
+    fn euclidean_triangle_inequality(ps in arb_points(12, 3)) {
+        let m = EuclideanMetric::new(&ps);
+        let n = m.len();
+        for a in 0..n {
+            for b in 0..n {
+                for c in 0..n {
+                    prop_assert!(m.dist(a, c) <= m.dist(a, b) + m.dist(b, c) + 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn euclidean_symmetry_and_identity(ps in arb_points(12, 2)) {
+        let m = EuclideanMetric::new(&ps);
+        for a in 0..m.len() {
+            prop_assert_eq!(m.dist(a, a), 0.0);
+            for b in 0..m.len() {
+                prop_assert_eq!(m.dist(a, b), m.dist(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn squared_relaxed_triangle(ps in arb_points(10, 2)) {
+        let m = SquaredMetric::new(EuclideanMetric::new(&ps));
+        let n = m.len();
+        for a in 0..n {
+            for b in 0..n {
+                for c in 0..n {
+                    prop_assert!(m.dist(a, c) <= 2.0 * (m.dist(a, b) + m.dist(b, c)) + 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cost_monotone_in_budget(ps in arb_points(16, 2), t1 in 0usize..8, extra in 0usize..8) {
+        let m = EuclideanMetric::new(&ps);
+        let c1 = median_cost(&m, &[0], t1);
+        let c2 = median_cost(&m, &[0], t1 + extra);
+        prop_assert!(c2 <= c1 + 1e-9, "more exclusions cannot cost more");
+    }
+
+    #[test]
+    fn cost_monotone_in_centers(ps in arb_points(16, 2), t in 0usize..4) {
+        let m = EuclideanMetric::new(&ps);
+        let c1 = median_cost(&m, &[0], t);
+        let c2 = median_cost(&m, &[0, 1], t);
+        prop_assert!(c2 <= c1 + 1e-9, "adding a center cannot cost more");
+    }
+
+    #[test]
+    fn center_cost_is_max_of_survivors(ps in arb_points(16, 2)) {
+        let m = EuclideanMetric::new(&ps);
+        // t = 0: center cost equals the max distance to the center.
+        let c = center_cost(&m, &[0], 0);
+        let manual = (0..m.len()).map(|i| m.dist(i, 0)).fold(0.0, f64::max);
+        prop_assert!((c - manual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn varint_roundtrip(v in any::<u64>()) {
+        let mut w = WireWriter::new();
+        w.put_varint(v);
+        let mut r = WireReader::new(w.finish());
+        prop_assert_eq!(r.get_varint(), v);
+    }
+
+    #[test]
+    fn f64_roundtrip(v in any::<f64>()) {
+        let mut w = WireWriter::new();
+        w.put_f64(v);
+        let mut r = WireReader::new(w.finish());
+        let back = r.get_f64();
+        prop_assert!(back == v || (back.is_nan() && v.is_nan()));
+    }
+
+    #[test]
+    fn truncated_weak_triangle(ps in arb_points(8, 2), tau in 0.0f64..100.0) {
+        let e = EuclideanMetric::new(&ps);
+        let lt = TruncatedMetric::new(&e, tau);
+        let l2t = TruncatedMetric::new(&e, 2.0 * tau);
+        let n = ps.len();
+        for a in 0..n {
+            for b in 0..n {
+                for c in 0..n {
+                    prop_assert!(lt.dist(a, b) + lt.dist(b, c) + 1e-6 >= l2t.dist(a, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fractional_exclusion_conserves_weight(
+        ps in arb_points(10, 1),
+        budget in 0.0f64..5.0,
+    ) {
+        let w = WeightedSet::unit(ps.len());
+        let m = EuclideanMetric::new(&ps);
+        let r = cost_excluding_outliers(&m, &w, &[0], budget, Objective::Median);
+        let excluded: f64 = r.excluded.iter().map(|&(_, x)| x).sum();
+        prop_assert!(excluded <= budget + 1e-9);
+        // If budget < total weight, it is used fully (greedy exclusion).
+        if budget < ps.len() as f64 {
+            prop_assert!((excluded - budget).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Clustering uncertain data (§5).
+//!
+//! Input nodes are *distributions* over a finite ground set `P` of points
+//! (the "assigned clustering" model of Cormode–McGregor \[8\]): node `j`
+//! realizes at `σ(j) ∼ D_j` but is always assigned to the same center
+//! `π(j)`. This crate implements the paper's full uncertain-data machinery:
+//!
+//! * [`node`] — discrete-distribution nodes, expected distances
+//!   `d̂(j,p) = E[d(σ(j),p)]`, and the 1-median / 1-mean "collapse" targets
+//!   (Definition 5.1), including the paper's `T`-time accounting;
+//! * [`compressed`] — the compressed graph `G(A)` of Figure 1 /
+//!   Definition 5.2: a clique over the 1-medians with a tentacle `p_j — y_j`
+//!   of length `ℓ_j = E[d(σ(j), y_j)]` per node, exposed as an implicit
+//!   [`dpc_metric::Metric`]; Lemmas 5.3–5.5 make clustering on `G`
+//!   equivalent (up to constants 5 and 2) to the true uncertain objective;
+//! * [`algo_uncertain`] — **Algorithm 3**: the distributed compression
+//!   scheme — every site builds its local compressed graph and runs the
+//!   deterministic machinery of [`dpc_core`] on it, shipping `(y_j, ℓ_j)`
+//!   alongside every outlier node (Theorem 5.6);
+//! * [`truncated`] — truncated expected distances
+//!   `ρ_τ(j,u) = E[max(d(σ(j),u) − τ, 0)]` (Definition 5.7) and the
+//!   parametric grid `T = {2^i · d_min/18}`;
+//! * [`algo_center_g`] — **Algorithm 4**: the `(k,t)`-center-g algorithm —
+//!   parametric search on `τ`, per-τ preclustering under `ρ_{6τ}`, the
+//!   coordinator's `Σ C_sol ≤ 12τ̂` selection rule, and the final weighted
+//!   center-g solve (Theorem 5.14);
+//! * [`monte_carlo`] — realization sampling to estimate the
+//!   `E[max]` objective (Equation 3) for experimental validation.
+
+pub mod algo_center_g;
+pub mod algo_uncertain;
+pub mod compressed;
+pub mod monte_carlo;
+pub mod node;
+pub mod truncated;
+
+pub use algo_center_g::{run_center_g, run_center_g_one_round, CenterGConfig};
+pub use algo_uncertain::{run_uncertain_median, UncertainConfig, UncertainSolution};
+pub use compressed::CompressedGraph;
+pub use monte_carlo::{estimate_center_g_cost, estimate_expected_cost};
+pub use node::{NodeSet, UncertainNode};
+pub use truncated::{tau_grid, truncated_expected_distance};

@@ -1,0 +1,313 @@
+//! Uncertain nodes: discrete distributions over a ground point set.
+//!
+//! Node `j` follows an independent distribution `D_j` over the metric space
+//! `P` (here: a finite support inside a [`PointSet`]). The key derived
+//! quantities (Definition 5.1):
+//!
+//! * `d̂(j, u) = E_σ[d(σ(j), u)]` — expected distance to a point;
+//! * the 1-median `y_j = argmin_{y∈P} E[d(σ(j), y)]` and its cost
+//!   `ℓ_j = E[d(σ(j), y_j)]` (the "collapse cost", the tentacle length of
+//!   Figure 1);
+//! * the 1-mean `y'_j` with `ℓ'_j = E[d²(σ(j), y'_j)]` for the means
+//!   objective.
+//!
+//! Computing a 1-median over the support is `T = O(m²)` distance
+//! evaluations (the paper's footnote 2 lists `T = O(m)` for 1-means in
+//! Euclidean space via the centroid; we keep `y ∈ P` per Definition 1.2, so
+//! 1-mean over the support is also `O(m²)`, with the `O(m)` centroid
+//! available separately for Euclidean experiments).
+
+use dpc_metric::{PointSet, WireReader, WireWriter};
+use rand::Rng;
+
+/// A discrete distribution over points of a ground [`PointSet`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct UncertainNode {
+    /// Support: ids into the owning [`NodeSet`]'s ground points.
+    pub support: Vec<usize>,
+    /// Probabilities, parallel to `support` (positive, summing to 1).
+    pub probs: Vec<f64>,
+}
+
+impl UncertainNode {
+    /// Builds a node, validating the distribution.
+    ///
+    /// # Panics
+    /// Panics on empty support, mismatched lengths, non-positive
+    /// probabilities, or probabilities not summing to 1 (±1e-6).
+    pub fn new(support: Vec<usize>, probs: Vec<f64>) -> Self {
+        assert!(!support.is_empty(), "support must be non-empty");
+        assert_eq!(support.len(), probs.len(), "support/probs mismatch");
+        let sum: f64 = probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "probabilities sum to {sum}, not 1");
+        for &p in &probs {
+            assert!(p > 0.0, "probabilities must be positive");
+        }
+        Self { support, probs }
+    }
+
+    /// A deterministic node (point mass).
+    pub fn deterministic(point: usize) -> Self {
+        Self { support: vec![point], probs: vec![1.0] }
+    }
+
+    /// Support size `m` (drives `T` and the encoding size `I`).
+    pub fn support_size(&self) -> usize {
+        self.support.len()
+    }
+
+    /// `E[d(σ, u)]` for coordinates `u`.
+    pub fn expected_distance(&self, ground: &PointSet, u: &[f64]) -> f64 {
+        self.support
+            .iter()
+            .zip(&self.probs)
+            .map(|(&s, &p)| p * ground.sq_dist_to(s, u).sqrt())
+            .sum()
+    }
+
+    /// `E[d²(σ, u)]` for coordinates `u`.
+    pub fn expected_sq_distance(&self, ground: &PointSet, u: &[f64]) -> f64 {
+        self.support
+            .iter()
+            .zip(&self.probs)
+            .map(|(&s, &p)| p * ground.sq_dist_to(s, u))
+            .sum()
+    }
+
+    /// 1-median over the support: `(y_j, ℓ_j)`. `O(m²)` time.
+    pub fn one_median(&self, ground: &PointSet) -> (usize, f64) {
+        self.argmin_over(ground, &self.support, false)
+    }
+
+    /// 1-mean over the support: `(y'_j, ℓ'_j)` with squared distances.
+    pub fn one_mean(&self, ground: &PointSet) -> (usize, f64) {
+        self.argmin_over(ground, &self.support, true)
+    }
+
+    /// 1-median/mean restricted to an explicit candidate set (the paper's
+    /// `y ∈ P`; pass all of `P` for the exact definition).
+    pub fn argmin_over(
+        &self,
+        ground: &PointSet,
+        candidates: &[usize],
+        squared: bool,
+    ) -> (usize, f64) {
+        assert!(!candidates.is_empty(), "need candidates");
+        let mut best = (candidates[0], f64::INFINITY);
+        for &c in candidates {
+            let u = ground.point(c);
+            let v = if squared {
+                self.expected_sq_distance(ground, u)
+            } else {
+                self.expected_distance(ground, u)
+            };
+            if v < best.1 {
+                best = (c, v);
+            }
+        }
+        best
+    }
+
+    /// Euclidean 1-mean centroid (`T = O(m)`, footnote 2) — the
+    /// unconstrained minimizer of `E[d²]`, not necessarily in `P`.
+    pub fn centroid(&self, ground: &PointSet) -> Vec<f64> {
+        let mut acc = vec![0.0; ground.dim()];
+        for (&s, &p) in self.support.iter().zip(&self.probs) {
+            for (a, &c) in acc.iter_mut().zip(ground.point(s)) {
+                *a += p * c;
+            }
+        }
+        acc
+    }
+
+    /// Samples a realization (an id into the ground set).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let mut target: f64 = rng.gen();
+        for (&s, &p) in self.support.iter().zip(&self.probs) {
+            if target < p {
+                return s;
+            }
+            target -= p;
+        }
+        *self.support.last().expect("non-empty support")
+    }
+
+    /// Serializes the full distribution (the paper's `I` bytes): support
+    /// coordinates and probabilities.
+    pub fn encode(&self, ground: &PointSet, w: &mut WireWriter) {
+        w.put_varint(self.support.len() as u64);
+        for (&s, &p) in self.support.iter().zip(&self.probs) {
+            w.put_point(ground.point(s));
+            w.put_f64(p);
+        }
+    }
+
+    /// Decodes a node encoded by [`Self::encode`], appending its support
+    /// points to `ground` and referencing them.
+    pub fn decode(ground: &mut PointSet, r: &mut WireReader) -> Self {
+        let m = r.get_varint() as usize;
+        let mut support = Vec::with_capacity(m);
+        let mut probs = Vec::with_capacity(m);
+        let dim = ground.dim();
+        for _ in 0..m {
+            let pt = r.get_point(dim);
+            support.push(ground.push(&pt));
+            probs.push(r.get_f64());
+        }
+        Self { support, probs }
+    }
+
+    /// Wire size in bytes (the `I` of Tables 1–2).
+    pub fn wire_bytes(&self, dim: usize) -> usize {
+        // varint(m) + m · (point + prob)
+        let m = self.support.len();
+        dpc_metric::encode::varint_bytes(m as u64) + m * (8 * dim + 8)
+    }
+}
+
+/// A site's shard of uncertain input: the local ground points plus the
+/// nodes defined over them.
+#[derive(Clone, Debug)]
+pub struct NodeSet {
+    /// Ground points this shard's supports live in.
+    pub ground: PointSet,
+    /// The uncertain nodes.
+    pub nodes: Vec<UncertainNode>,
+}
+
+impl NodeSet {
+    /// Empty shard of the given dimension.
+    pub fn new(dim: usize) -> Self {
+        Self { ground: PointSet::new(dim), nodes: Vec::new() }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the shard holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All 1-medians (or 1-means) with their collapse costs.
+    pub fn collapse(&self, squared: bool) -> Vec<(usize, f64)> {
+        self.nodes
+            .iter()
+            .map(|n| if squared { n.one_mean(&self.ground) } else { n.one_median(&self.ground) })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn ground() -> PointSet {
+        PointSet::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![10.0]])
+    }
+
+    #[test]
+    fn expected_distance_linearity() {
+        let g = ground();
+        let n = UncertainNode::new(vec![0, 2], vec![0.5, 0.5]);
+        // E[d to coordinate 1.0] = 0.5·1 + 0.5·1 = 1
+        assert_eq!(n.expected_distance(&g, &[1.0]), 1.0);
+        // E[d² to 1.0] = 0.5·1 + 0.5·1 = 1
+        assert_eq!(n.expected_sq_distance(&g, &[1.0]), 1.0);
+        assert_eq!(n.expected_distance(&g, &[0.0]), 1.0);
+        assert_eq!(n.expected_sq_distance(&g, &[0.0]), 2.0);
+    }
+
+    #[test]
+    fn one_median_picks_support_minimizer() {
+        let g = ground();
+        // Mass 0.8 at 0, 0.2 at 10: 1-median is 0 (E[d]=2), not 10 (E[d]=8).
+        let n = UncertainNode::new(vec![0, 3], vec![0.8, 0.2]);
+        let (y, ell) = n.one_median(&g);
+        assert_eq!(y, 0);
+        assert!((ell - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmin_over_full_ground_beats_support() {
+        let g = PointSet::from_rows(&[vec![0.0], vec![4.0], vec![5.0]]);
+        // Mass 0.5/0.5 at 0 and 5. Over the support, E[d²] ties at 12.5;
+        // over all of P, the point 4 wins with E[d²] = 8.5.
+        let n = UncertainNode::new(vec![0, 2], vec![0.5, 0.5]);
+        let (y_sup, c_sup) = n.one_mean(&g);
+        assert_eq!(y_sup, 0);
+        assert!((c_sup - 12.5).abs() < 1e-12);
+        let (y_all, c_all) = n.argmin_over(&g, &[0, 1, 2], true);
+        assert_eq!(y_all, 1);
+        assert!((c_all - 8.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_node_is_point_mass() {
+        let g = ground();
+        let n = UncertainNode::deterministic(2);
+        assert_eq!(n.one_median(&g), (2, 0.0));
+        assert_eq!(n.expected_distance(&g, &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn centroid_is_weighted_mean() {
+        let g = ground();
+        let n = UncertainNode::new(vec![0, 3], vec![0.5, 0.5]);
+        assert_eq!(n.centroid(&g), vec![5.0]);
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let g = ground();
+        let n = UncertainNode::new(vec![0, 3], vec![0.25, 0.75]);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut hits = 0usize;
+        let trials = 20_000;
+        for _ in 0..trials {
+            if n.sample(&mut rng) == 3 {
+                hits += 1;
+            }
+        }
+        let freq = hits as f64 / trials as f64;
+        assert!((freq - 0.75).abs() < 0.02, "freq {freq}");
+        let _ = g;
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let g = ground();
+        let n = UncertainNode::new(vec![1, 3], vec![0.3, 0.7]);
+        let mut w = WireWriter::new();
+        n.encode(&g, &mut w);
+        assert_eq!(w.len(), n.wire_bytes(1));
+        let mut new_ground = PointSet::new(1);
+        let mut r = WireReader::new(w.finish());
+        let back = UncertainNode::decode(&mut new_ground, &mut r);
+        assert_eq!(back.probs, n.probs);
+        assert_eq!(new_ground.point(back.support[0]), g.point(1));
+        assert_eq!(new_ground.point(back.support[1]), g.point(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "sum")]
+    fn rejects_unnormalized() {
+        let _ = UncertainNode::new(vec![0, 1], vec![0.5, 0.6]);
+    }
+
+    #[test]
+    fn collapse_of_nodeset() {
+        let mut ns = NodeSet::new(1);
+        ns.ground = ground();
+        ns.nodes.push(UncertainNode::deterministic(1));
+        ns.nodes.push(UncertainNode::new(vec![0, 3], vec![0.9, 0.1]));
+        let c = ns.collapse(false);
+        assert_eq!(c[0], (1, 0.0));
+        assert_eq!(c[1].0, 0);
+        assert!((c[1].1 - 1.0).abs() < 1e-12);
+    }
+}

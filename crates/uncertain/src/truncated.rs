@@ -1,0 +1,113 @@
+//! Truncated expected distances (Definition 5.7) and the parametric τ grid.
+//!
+//! `L_τ(x,y) = max{d(x,y) − τ, 0}` and `ρ_τ(j,u) = E_σ[L_τ(σ(j), u)]`.
+//! `L_τ` is not a metric, but satisfies `L_τ(a,b) + L_τ(b,c) ≥ L_{2τ}(a,c)`
+//! (Lemma 5.12's engine) and the 3-hop pseudo-triangle inequality of
+//! \[15, Lemma 4.1\] that Lemma 5.9 uses. Algorithm 4 sweeps
+//! `τ ∈ T = {2^i · d_min/18 : 0 ≤ i ≤ ⌈log₂ Δ⌉ + 2}`.
+
+use crate::node::UncertainNode;
+use dpc_metric::PointSet;
+
+/// `ρ_τ(j, u) = E[max(d(σ(j), u) − τ, 0)]` for coordinates `u`.
+pub fn truncated_expected_distance(
+    node: &UncertainNode,
+    ground: &PointSet,
+    u: &[f64],
+    tau: f64,
+) -> f64 {
+    node.support
+        .iter()
+        .zip(&node.probs)
+        .map(|(&s, &p)| {
+            let d = ground.sq_dist_to(s, u).sqrt();
+            p * (d - tau).max(0.0)
+        })
+        .sum()
+}
+
+/// The parametric grid `T = {2^i · d_min/18 : 0 ≤ i ≤ ⌈log₂ Δ⌉ + 2}`
+/// (Algorithm 4, line 2), where `Δ = d_max/d_min`.
+///
+/// # Panics
+/// Panics unless `0 < d_min ≤ d_max`.
+pub fn tau_grid(d_min: f64, d_max: f64) -> Vec<f64> {
+    assert!(d_min > 0.0 && d_max >= d_min, "need 0 < d_min <= d_max");
+    let delta = d_max / d_min;
+    let imax = delta.log2().ceil() as usize + 2;
+    (0..=imax).map(|i| (2.0f64).powi(i as i32) * d_min / 18.0).collect()
+}
+
+/// Minimum and maximum pairwise distance over a point set (`d_min`,
+/// `d_max`), ignoring coincident pairs. Returns `None` when fewer than two
+/// distinct points exist.
+pub fn distance_range(points: &PointSet) -> Option<(f64, f64)> {
+    let n = points.len();
+    let mut dmin = f64::INFINITY;
+    let mut dmax: f64 = 0.0;
+    for a in 0..n {
+        for b in 0..a {
+            let d = points.dist(a, b);
+            if d > 0.0 {
+                dmin = dmin.min(d);
+                dmax = dmax.max(d);
+            }
+        }
+    }
+    if dmin.is_finite() {
+        Some((dmin, dmax))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncation_at_zero_is_expected_distance() {
+        let g = PointSet::from_rows(&[vec![0.0], vec![10.0]]);
+        let n = UncertainNode::new(vec![0, 1], vec![0.5, 0.5]);
+        let at = truncated_expected_distance(&n, &g, &[0.0], 0.0);
+        assert!((at - n.expected_distance(&g, &[0.0])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncation_clamps_per_realization() {
+        let g = PointSet::from_rows(&[vec![0.0], vec![10.0]]);
+        let n = UncertainNode::new(vec![0, 1], vec![0.5, 0.5]);
+        // from u=0: realizations at distance 0 and 10; tau=4 clamps to 0, 6
+        let v = truncated_expected_distance(&n, &g, &[0.0], 4.0);
+        assert!((v - 3.0).abs() < 1e-12);
+        // tau beyond dmax: 0
+        assert_eq!(truncated_expected_distance(&n, &g, &[0.0], 100.0), 0.0);
+    }
+
+    #[test]
+    fn grid_covers_range() {
+        let grid = tau_grid(1.0, 64.0);
+        // i up to ceil(log2 64)+2 = 8 -> 9 values
+        assert_eq!(grid.len(), 9);
+        assert!((grid[0] - 1.0 / 18.0).abs() < 1e-12);
+        // The top value exceeds d_max/6 (the τ_max feasibility anchor of
+        // Lemma 5.10).
+        assert!(*grid.last().unwrap() > 64.0 / 6.0);
+        // geometric doubling
+        for w in grid.windows(2) {
+            assert!((w[1] / w[0] - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn distance_range_ignores_duplicates() {
+        let ps = PointSet::from_rows(&[vec![0.0], vec![0.0], vec![3.0], vec![7.0]]);
+        let (dmin, dmax) = distance_range(&ps).unwrap();
+        assert_eq!(dmin, 3.0);
+        assert_eq!(dmax, 7.0);
+        let solo = PointSet::from_rows(&[vec![1.0]]);
+        assert!(distance_range(&solo).is_none());
+        let dup = PointSet::from_rows(&[vec![1.0], vec![1.0]]);
+        assert!(distance_range(&dup).is_none());
+    }
+}

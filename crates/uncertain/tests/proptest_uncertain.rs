@@ -1,0 +1,122 @@
+//! Property-based tests of the uncertain-data machinery.
+
+use dpc_metric::{Metric, PointSet};
+use dpc_uncertain::*;
+use proptest::prelude::*;
+
+fn arb_nodeset(max_nodes: usize) -> impl Strategy<Value = NodeSet> {
+    let node = (
+        proptest::collection::vec(
+            proptest::collection::vec(-1e3f64..1e3, 2..=2),
+            1..4usize,
+        ),
+        proptest::collection::vec(0.05f64..1.0, 1..4usize),
+    );
+    proptest::collection::vec(node, 2..max_nodes).prop_map(|raw| {
+        let mut ground = PointSet::new(2);
+        let mut nodes = Vec::new();
+        for (coords, weights) in raw {
+            let m = coords.len().min(weights.len());
+            let support: Vec<usize> = coords[..m].iter().map(|c| ground.push(c)).collect();
+            let total: f64 = weights[..m].iter().sum();
+            let mut probs: Vec<f64> = weights[..m].iter().map(|w| w / total).collect();
+            let sum: f64 = probs.iter().sum();
+            probs[0] += 1.0 - sum;
+            nodes.push(UncertainNode::new(support, probs));
+        }
+        NodeSet { ground, nodes }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn one_median_minimizes_over_support(ns in arb_nodeset(8)) {
+        for node in &ns.nodes {
+            let (y, ell) = node.one_median(&ns.ground);
+            prop_assert!(node.support.contains(&y));
+            for &s in &node.support {
+                let alt = node.expected_distance(&ns.ground, ns.ground.point(s));
+                prop_assert!(ell <= alt + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn expected_distance_respects_triangle_via_y(ns in arb_nodeset(6)) {
+        // d-hat(j, u) <= ell_j + d(y_j, u): the collapse inequality used
+        // throughout Section 5.
+        for node in &ns.nodes {
+            let (y, ell) = node.one_median(&ns.ground);
+            for g in 0..ns.ground.len() {
+                let u = ns.ground.point(g);
+                let dhat = node.expected_distance(&ns.ground, u);
+                let via = ell + ns.ground.sq_dist_to(y, u).sqrt();
+                prop_assert!(dhat <= via + 1e-6);
+                // and the reverse direction within 2x (y is the 1-median):
+                prop_assert!(via <= 2.0 * dhat + ell + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_graph_is_a_metric(ns in arb_nodeset(6)) {
+        let (g, _) = CompressedGraph::from_nodes(&ns, false);
+        let n = g.len();
+        for a in 0..n {
+            prop_assert_eq!(g.dist(a, a), 0.0);
+            for b in 0..n {
+                prop_assert!((g.dist(a, b) - g.dist(b, a)).abs() < 1e-9);
+                for c in 0..n {
+                    prop_assert!(g.dist(a, c) <= g.dist(a, b) + g.dist(b, c) + 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_monotone_in_tau(ns in arb_nodeset(5), tau in 0.0f64..50.0) {
+        for node in &ns.nodes {
+            for gpt in 0..ns.ground.len() {
+                let u = ns.ground.point(gpt);
+                let a = truncated_expected_distance(node, &ns.ground, u, tau);
+                let b = truncated_expected_distance(node, &ns.ground, u, tau + 1.0);
+                prop_assert!(b <= a + 1e-9, "rho_tau must decrease in tau");
+                prop_assert!(a <= node.expected_distance(&ns.ground, u) + 1e-9);
+                // 1-Lipschitz in tau:
+                prop_assert!(a - b <= 1.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn node_encode_decode(ns in arb_nodeset(5)) {
+        use dpc_metric::{WireReader, WireWriter};
+        for node in &ns.nodes {
+            let mut w = WireWriter::new();
+            node.encode(&ns.ground, &mut w);
+            prop_assert_eq!(w.len(), node.wire_bytes(2));
+            let mut ground2 = PointSet::new(2);
+            let mut r = WireReader::new(w.finish());
+            let back = UncertainNode::decode(&mut ground2, &mut r);
+            prop_assert_eq!(&back.probs, &node.probs);
+            for (i, &s) in back.support.iter().enumerate() {
+                prop_assert_eq!(ground2.point(s), ns.ground.point(node.support[i]));
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_stays_in_support(ns in arb_nodeset(5), seed in 0u64..16) {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for node in &ns.nodes {
+            for _ in 0..16 {
+                let s = node.sample(&mut rng);
+                prop_assert!(node.support.contains(&s));
+            }
+        }
+    }
+}

@@ -1,0 +1,399 @@
+//! Seeded synthetic workload generators.
+//!
+//! The paper reports no datasets (it is a theory paper), so the experiments
+//! run on generators that exercise exactly the regimes its introduction
+//! motivates: `n ≫ t ≫ k`, `t ≫ s`, and costs dominated by noise unless
+//! the objective is allowed to disregard outliers. Everything is seeded
+//! and deterministic.
+//!
+//! * [`gaussian_mixture`] — `k` well-separated Gaussian clusters (optionally
+//!   power-law sized) plus uniform far-flung outliers;
+//! * [`partition`] — splitting a dataset across `s` sites: random,
+//!   round-robin, by-cluster (adversarial for preclustering), or
+//!   outlier-skewed (all noise lands on one site — adversarial for the
+//!   `t_i` allocation);
+//! * [`uncertain_mixture`] — uncertain nodes whose supports jitter around
+//!   cluster locations, plus noise nodes with scattered support.
+
+use dpc_metric::PointSet;
+use dpc_uncertain::{NodeSet, UncertainNode};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Specification of a Gaussian mixture with planted outliers.
+#[derive(Clone, Copy, Debug)]
+pub struct MixtureSpec {
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Total inlier points.
+    pub inliers: usize,
+    /// Planted outliers, uniform in a huge box far from every cluster.
+    pub outliers: usize,
+    /// Dimension.
+    pub dim: usize,
+    /// Cluster standard deviation.
+    pub sigma: f64,
+    /// Distance scale between cluster centers.
+    pub separation: f64,
+    /// If true, cluster sizes follow a power law (`size ∝ 1/rank`);
+    /// otherwise clusters are balanced.
+    pub power_law: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MixtureSpec {
+    fn default() -> Self {
+        Self {
+            clusters: 5,
+            inliers: 1000,
+            outliers: 20,
+            dim: 2,
+            sigma: 1.0,
+            separation: 100.0,
+            power_law: false,
+            seed: 0xda7a,
+        }
+    }
+}
+
+/// Output of [`gaussian_mixture`]: the points plus ground-truth labels.
+#[derive(Clone, Debug)]
+pub struct Mixture {
+    /// All points; inliers first, then outliers.
+    pub points: PointSet,
+    /// Cluster id per inlier point.
+    pub labels: Vec<usize>,
+    /// Ids (into `points`) of the planted outliers.
+    pub outlier_ids: Vec<usize>,
+    /// The true cluster centers.
+    pub centers: PointSet,
+}
+
+/// Approximate standard normal from 12 uniforms (Irwin–Hall); plenty for
+/// workload generation and avoids a Box–Muller edge case at 0.
+fn gauss(rng: &mut SmallRng) -> f64 {
+    let s: f64 = (0..12).map(|_| rng.gen::<f64>()).sum();
+    s - 6.0
+}
+
+/// Generates the mixture.
+pub fn gaussian_mixture(spec: MixtureSpec) -> Mixture {
+    assert!(spec.clusters > 0 && spec.dim > 0);
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+
+    // Cluster centers on a random lattice-ish layout, separated by
+    // `separation`.
+    let mut centers = PointSet::new(spec.dim);
+    for c in 0..spec.clusters {
+        let mut coords = vec![0.0; spec.dim];
+        for (d, x) in coords.iter_mut().enumerate() {
+            // deterministic well-separated anchors, jittered
+            let anchor = ((c * (d + 3) + c * c) % (2 * spec.clusters)) as f64;
+            *x = anchor * spec.separation + rng.gen_range(-0.1..0.1) * spec.separation;
+        }
+        centers.push(&coords);
+    }
+
+    // Cluster sizes.
+    let sizes: Vec<usize> = if spec.power_law {
+        let weights: Vec<f64> = (1..=spec.clusters).map(|r| 1.0 / r as f64).collect();
+        let total: f64 = weights.iter().sum();
+        let mut sizes: Vec<usize> = weights
+            .iter()
+            .map(|w| ((w / total) * spec.inliers as f64).floor() as usize)
+            .collect();
+        let assigned: usize = sizes.iter().sum();
+        sizes[0] += spec.inliers - assigned;
+        sizes
+    } else {
+        let base = spec.inliers / spec.clusters;
+        let mut sizes = vec![base; spec.clusters];
+        sizes[0] += spec.inliers - base * spec.clusters;
+        sizes
+    };
+
+    let mut points = PointSet::with_capacity(spec.dim, spec.inliers + spec.outliers);
+    let mut labels = Vec::with_capacity(spec.inliers);
+    for (c, &sz) in sizes.iter().enumerate() {
+        for _ in 0..sz {
+            let mut coords = centers.point(c).to_vec();
+            for x in coords.iter_mut() {
+                *x += spec.sigma * gauss(&mut rng);
+            }
+            points.push(&coords);
+            labels.push(c);
+        }
+    }
+    // Outliers: uniform in a box 100× the separation, offset away.
+    let big = 100.0 * spec.separation * (spec.clusters as f64);
+    let mut outlier_ids = Vec::with_capacity(spec.outliers);
+    for _ in 0..spec.outliers {
+        let mut coords = Vec::with_capacity(spec.dim);
+        for _ in 0..spec.dim {
+            let v = big + rng.gen_range(0.0..big);
+            coords.push(if rng.gen::<bool>() { v } else { -v });
+        }
+        outlier_ids.push(points.push(&coords));
+    }
+    Mixture { points, labels, outlier_ids, centers }
+}
+
+/// How to split a dataset across sites.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// Uniformly random assignment.
+    Random,
+    /// Round-robin by index.
+    RoundRobin,
+    /// Contiguous index blocks — with mixtures generated cluster-by-cluster
+    /// this sends whole clusters to single sites (adversarial for
+    /// preclustering diversity).
+    ByBlock,
+    /// Like `Random`, but every planted outlier is forced onto site 0
+    /// (adversarial for the `t_i` allocation: one site needs the whole
+    /// outlier budget).
+    OutlierSkew,
+}
+
+/// Splits `points` across `s` sites.
+///
+/// `outlier_ids` is only consulted by [`PartitionStrategy::OutlierSkew`].
+pub fn partition(
+    points: &PointSet,
+    s: usize,
+    strategy: PartitionStrategy,
+    outlier_ids: &[usize],
+    seed: u64,
+) -> Vec<PointSet> {
+    assert!(s > 0, "need at least one site");
+    let n = points.len();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut assignment = vec![0usize; n];
+    match strategy {
+        PartitionStrategy::Random => {
+            for a in assignment.iter_mut() {
+                *a = rng.gen_range(0..s);
+            }
+        }
+        PartitionStrategy::RoundRobin => {
+            for (i, a) in assignment.iter_mut().enumerate() {
+                *a = i % s;
+            }
+        }
+        PartitionStrategy::ByBlock => {
+            let per = n.div_ceil(s);
+            for (i, a) in assignment.iter_mut().enumerate() {
+                *a = (i / per).min(s - 1);
+            }
+        }
+        PartitionStrategy::OutlierSkew => {
+            for a in assignment.iter_mut() {
+                *a = rng.gen_range(0..s);
+            }
+            for &o in outlier_ids {
+                assignment[o] = 0;
+            }
+        }
+    }
+    let mut shards = vec![PointSet::new(points.dim()); s];
+    for (i, a) in assignment.into_iter().enumerate() {
+        shards[a].push(points.point(i));
+    }
+    shards
+}
+
+/// Specification for an uncertain-node workload.
+#[derive(Clone, Copy, Debug)]
+pub struct UncertainSpec {
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Honest nodes per site.
+    pub nodes_per_site: usize,
+    /// Sites.
+    pub sites: usize,
+    /// Noise nodes (scattered support) in total, all on the last site.
+    pub noise_nodes: usize,
+    /// Support size per node.
+    pub support: usize,
+    /// Jitter of support points around the node's true location.
+    pub jitter: f64,
+    /// Cluster separation.
+    pub separation: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for UncertainSpec {
+    fn default() -> Self {
+        Self {
+            clusters: 3,
+            nodes_per_site: 20,
+            sites: 3,
+            noise_nodes: 4,
+            support: 3,
+            jitter: 1.0,
+            separation: 80.0,
+            seed: 0xfade,
+        }
+    }
+}
+
+/// Generates per-site [`NodeSet`] shards: honest nodes jitter around their
+/// cluster's center; noise nodes have support scattered across a huge box.
+pub fn uncertain_mixture(spec: UncertainSpec) -> Vec<NodeSet> {
+    assert!(spec.support > 0 && spec.sites > 0);
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let mut shards = Vec::with_capacity(spec.sites);
+    for site in 0..spec.sites {
+        let mut ground = PointSet::new(2);
+        let mut nodes = Vec::new();
+        for j in 0..spec.nodes_per_site {
+            let c = (site + j) % spec.clusters;
+            let cx = (c as f64) * spec.separation;
+            let cy = ((c * c + 1) as f64) * 0.5 * spec.separation;
+            let mut support = Vec::with_capacity(spec.support);
+            for _ in 0..spec.support {
+                let p = ground.push(&[
+                    cx + spec.jitter * gauss(&mut rng),
+                    cy + spec.jitter * gauss(&mut rng),
+                ]);
+                support.push(p);
+            }
+            let probs = uniform_probs(spec.support);
+            nodes.push(UncertainNode::new(support, probs));
+        }
+        if site == spec.sites - 1 {
+            let big = 200.0 * spec.separation;
+            for _ in 0..spec.noise_nodes {
+                let mut support = Vec::with_capacity(spec.support);
+                for _ in 0..spec.support {
+                    let p = ground.push(&[
+                        rng.gen_range(big..2.0 * big) * if rng.gen::<bool>() { 1.0 } else { -1.0 },
+                        rng.gen_range(big..2.0 * big),
+                    ]);
+                    support.push(p);
+                }
+                nodes.push(UncertainNode::new(support, uniform_probs(spec.support)));
+            }
+        }
+        shards.push(NodeSet { ground, nodes });
+    }
+    shards
+}
+
+fn uniform_probs(m: usize) -> Vec<f64> {
+    // Exact normalization (avoid 1/m rounding drift tripping validation).
+    let mut probs = vec![1.0 / m as f64; m];
+    let sum: f64 = probs.iter().sum();
+    probs[0] += 1.0 - sum;
+    probs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixture_counts_and_labels() {
+        let m = gaussian_mixture(MixtureSpec { inliers: 100, outliers: 7, ..Default::default() });
+        assert_eq!(m.points.len(), 107);
+        assert_eq!(m.labels.len(), 100);
+        assert_eq!(m.outlier_ids.len(), 7);
+        assert_eq!(m.centers.len(), 5);
+    }
+
+    #[test]
+    fn outliers_are_far() {
+        let m = gaussian_mixture(MixtureSpec::default());
+        // Every outlier is far from every cluster center.
+        for &o in &m.outlier_ids {
+            let p = m.points.point(o);
+            for c in 0..m.centers.len() {
+                let d = dpc_metric::points::sq_dist(p, m.centers.point(c)).sqrt();
+                assert!(d > 50.0 * 100.0, "outlier {o} too close: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn inliers_near_their_center() {
+        let m = gaussian_mixture(MixtureSpec::default());
+        for (i, &lab) in m.labels.iter().enumerate() {
+            let d = dpc_metric::points::sq_dist(m.points.point(i), m.centers.point(lab)).sqrt();
+            assert!(d < 10.0, "inlier {i} at distance {d} (sigma 1, dim 2)");
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = gaussian_mixture(MixtureSpec::default());
+        let b = gaussian_mixture(MixtureSpec::default());
+        assert_eq!(a.points, b.points);
+        let c = gaussian_mixture(MixtureSpec { seed: 1, ..Default::default() });
+        assert_ne!(a.points, c.points);
+    }
+
+    #[test]
+    fn power_law_sizes_decrease() {
+        let m = gaussian_mixture(MixtureSpec { power_law: true, inliers: 1000, ..Default::default() });
+        let mut counts = vec![0usize; 5];
+        for &l in &m.labels {
+            counts[l] += 1;
+        }
+        for w in counts.windows(2) {
+            assert!(w[0] >= w[1], "sizes {counts:?}");
+        }
+    }
+
+    #[test]
+    fn partition_preserves_points() {
+        let m = gaussian_mixture(MixtureSpec { inliers: 50, outliers: 5, ..Default::default() });
+        for strat in [
+            PartitionStrategy::Random,
+            PartitionStrategy::RoundRobin,
+            PartitionStrategy::ByBlock,
+            PartitionStrategy::OutlierSkew,
+        ] {
+            let shards = partition(&m.points, 4, strat, &m.outlier_ids, 1);
+            let total: usize = shards.iter().map(PointSet::len).sum();
+            assert_eq!(total, 55, "{strat:?}");
+        }
+    }
+
+    #[test]
+    fn outlier_skew_pins_outliers_to_site_zero() {
+        let m = gaussian_mixture(MixtureSpec { inliers: 50, outliers: 8, ..Default::default() });
+        let shards = partition(&m.points, 4, PartitionStrategy::OutlierSkew, &m.outlier_ids, 1);
+        // Count far points per shard: all 8 must be on shard 0.
+        let far = |p: &[f64]| p.iter().any(|&x| x.abs() > 1e4);
+        let far0 = (0..shards[0].len()).filter(|&i| far(shards[0].point(i))).count();
+        assert_eq!(far0, 8);
+        for s in &shards[1..] {
+            let f = (0..s.len()).filter(|&i| far(s.point(i))).count();
+            assert_eq!(f, 0);
+        }
+    }
+
+    #[test]
+    fn uncertain_mixture_shapes() {
+        let shards = uncertain_mixture(UncertainSpec::default());
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards[0].len(), 20);
+        assert_eq!(shards[2].len(), 24); // + noise nodes
+        for shard in &shards {
+            for node in &shard.nodes {
+                assert_eq!(node.support_size(), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_balanced() {
+        let m = gaussian_mixture(MixtureSpec { inliers: 40, outliers: 0, ..Default::default() });
+        let shards = partition(&m.points, 4, PartitionStrategy::RoundRobin, &[], 0);
+        for s in &shards {
+            assert_eq!(s.len(), 10);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Quickstart: distributed `(k,t)`-median over noisy data.
+//!
+//! Generates a Gaussian mixture with planted outliers, splits it across
+//! sites, runs the 2-round protocol of Algorithm 1, and reports measured
+//! communication plus solution quality against the ground truth.
+//!
+//! Run with: `cargo run --release -p dpc --example quickstart`
+
+use dpc::prelude::*;
+
+fn main() {
+    let k = 5;
+    let t = 25;
+    let sites = 8;
+
+    println!("== distributed (k,t)-median quickstart ==");
+    println!("k = {k}, t = {t}, sites = {sites}");
+
+    // A mixture of 5 clusters, 2000 inliers, 25 planted outliers.
+    let mix = gaussian_mixture(MixtureSpec {
+        clusters: k,
+        inliers: 2000,
+        outliers: t,
+        ..Default::default()
+    });
+    let shards = partition(&mix.points, sites, PartitionStrategy::Random, &mix.outlier_ids, 42);
+    println!(
+        "n = {} points in {} dims across {} sites",
+        mix.points.len(),
+        2,
+        shards.len()
+    );
+
+    // 2-round distributed (k, (1+eps)t)-median (Theorem 3.6).
+    let cfg = MedianConfig::new(k, t);
+    let out = run_distributed_median(&shards, cfg, RunOptions::default());
+    let sol = &out.output;
+
+    println!("\n-- protocol --");
+    println!("rounds:            {}", out.stats.num_rounds());
+    println!("total bytes:       {}", out.stats.total_bytes());
+    println!("upstream bytes:    {}", out.stats.upstream_bytes());
+    println!("shipped outliers:  {} (<= 3t = {})", sol.shipped_outliers, 3 * t);
+    println!(
+        "site critical path: {:?}, coordinator: {:?}",
+        out.stats.site_critical_path(),
+        out.stats.coordinator_compute()
+    );
+
+    // Quality vs doing nothing about outliers.
+    let budget = 2 * t; // (1+eps)t with eps = 1
+    let (cost, excluded) =
+        evaluate_on_full_data(&shards, &sol.centers, budget, Objective::Median);
+    println!("\n-- quality --");
+    println!("(k,{budget})-median cost of returned centers: {cost:.2} ({excluded} excluded)");
+
+    // Reference: the same centers but forced to pay for every point.
+    let (cost_all, _) = evaluate_on_full_data(&shards, &sol.centers, 0, Objective::Median);
+    println!("same centers, no exclusions:                {cost_all:.2}");
+    println!(
+        "outlier robustness bought a {:.0}x cost reduction",
+        cost_all / cost.max(1e-9)
+    );
+
+    // Sanity: recovered centers sit near the true ones.
+    let mut worst = 0.0f64;
+    for c in 0..mix.centers.len() {
+        let true_c = mix.centers.point(c);
+        let best = (0..sol.centers.len())
+            .map(|i| dpc::metric::points::sq_dist(sol.centers.point(i), true_c).sqrt())
+            .fold(f64::INFINITY, f64::min);
+        worst = worst.max(best);
+    }
+    println!("worst distance from a true center to its recovered center: {worst:.2}");
+}

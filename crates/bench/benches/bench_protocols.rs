@@ -12,7 +12,13 @@ fn shards(s: usize, n: usize, t: usize, seed: u64) -> Vec<PointSet> {
         seed,
         ..Default::default()
     });
-    partition(&mix.points, s, PartitionStrategy::Random, &mix.outlier_ids, seed)
+    partition(
+        &mix.points,
+        s,
+        PartitionStrategy::Random,
+        &mix.outlier_ids,
+        seed,
+    )
 }
 
 fn bench_median_protocol(c: &mut Criterion) {
@@ -25,7 +31,10 @@ fn bench_median_protocol(c: &mut Criterion) {
                 run_distributed_median(
                     &sh,
                     MedianConfig::new(4, 16),
-                    RunOptions { parallel: false, ..Default::default() },
+                    RunOptions {
+                        parallel: false,
+                        ..Default::default()
+                    },
                 )
             });
         });
@@ -41,12 +50,26 @@ fn bench_center_protocol(c: &mut Criterion) {
         let cfg = CenterConfig::new(4, 24);
         g.bench_with_input(BenchmarkId::new("2round", s), &s, |b, _| {
             b.iter(|| {
-                run_distributed_center(&sh, cfg, RunOptions { parallel: false, ..Default::default() })
+                run_distributed_center(
+                    &sh,
+                    cfg,
+                    RunOptions {
+                        parallel: false,
+                        ..Default::default()
+                    },
+                )
             });
         });
         g.bench_with_input(BenchmarkId::new("1round_malkomes", s), &s, |b, _| {
             b.iter(|| {
-                run_one_round_center(&sh, cfg, RunOptions { parallel: false, ..Default::default() })
+                run_one_round_center(
+                    &sh,
+                    cfg,
+                    RunOptions {
+                        parallel: false,
+                        ..Default::default()
+                    },
+                )
             });
         });
     }
@@ -71,7 +94,10 @@ fn bench_uncertain_protocol(c: &mut Criterion) {
             run_uncertain_median(
                 &sh,
                 UncertainConfig::new(3, 4),
-                RunOptions { parallel: false, ..Default::default() },
+                RunOptions {
+                    parallel: false,
+                    ..Default::default()
+                },
             )
         });
     });
@@ -80,12 +106,20 @@ fn bench_uncertain_protocol(c: &mut Criterion) {
             run_center_g(
                 &sh,
                 CenterGConfig::new(3, 4),
-                RunOptions { parallel: false, ..Default::default() },
+                RunOptions {
+                    parallel: false,
+                    ..Default::default()
+                },
             )
         });
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_median_protocol, bench_center_protocol, bench_uncertain_protocol);
+criterion_group!(
+    benches,
+    bench_median_protocol,
+    bench_center_protocol,
+    bench_uncertain_protocol
+);
 criterion_main!(benches);

@@ -20,13 +20,22 @@ fn bench_site_scaling(c: &mut Criterion) {
         ..Default::default()
     });
     for &s in &[2usize, 4, 8, 16] {
-        let sh = partition(&mix.points, s, PartitionStrategy::Random, &mix.outlier_ids, 5);
+        let sh = partition(
+            &mix.points,
+            s,
+            PartitionStrategy::Random,
+            &mix.outlier_ids,
+            5,
+        );
         g.bench_with_input(BenchmarkId::new("median", s), &s, |b, _| {
             b.iter(|| {
                 run_distributed_median(
                     &sh,
                     MedianConfig::new(4, t),
-                    RunOptions { parallel: false, ..Default::default() },
+                    RunOptions {
+                        parallel: false,
+                        ..Default::default()
+                    },
                 )
             });
         });

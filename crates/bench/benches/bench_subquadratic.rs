@@ -20,7 +20,14 @@ fn bench_subquadratic(c: &mut Criterion) {
             let w = WeightedSet::unit(mix.points.len());
             let m = EuclideanMetric::new(&mix.points);
             b.iter(|| {
-                median_bicriteria(&m, &w, 4, t as f64, Objective::Median, BicriteriaParams::default())
+                median_bicriteria(
+                    &m,
+                    &w,
+                    4,
+                    t as f64,
+                    Objective::Median,
+                    BicriteriaParams::default(),
+                )
             });
         });
         g.bench_with_input(BenchmarkId::new("subquadratic", n), &n, |b, _| {

@@ -55,7 +55,14 @@ fn bench_bicriteria(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("k4_t8", n), &n, |b, _| {
             let m = EuclideanMetric::new(&ps);
             b.iter(|| {
-                median_bicriteria(&m, &w, 4, 8.0, Objective::Median, BicriteriaParams::default())
+                median_bicriteria(
+                    &m,
+                    &w,
+                    4,
+                    8.0,
+                    Objective::Median,
+                    BicriteriaParams::default(),
+                )
             });
         });
     }
@@ -76,12 +83,22 @@ fn bench_hull_allocation(c: &mut Criterion) {
                 ConvexProfile::lower_hull(&pts)
             })
             .collect();
-        g.bench_with_input(BenchmarkId::new("water_fill", format!("s{s}_t{t}")), &t, |b, _| {
-            b.iter(|| allocate_outliers(&profiles, t, 2.0));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("water_fill", format!("s{s}_t{t}")),
+            &t,
+            |b, _| {
+                b.iter(|| allocate_outliers(&profiles, t, 2.0));
+            },
+        );
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_gonzalez, bench_charikar, bench_bicriteria, bench_hull_allocation);
+criterion_group!(
+    benches,
+    bench_gonzalez,
+    bench_charikar,
+    bench_bicriteria,
+    bench_hull_allocation
+);
 criterion_main!(benches);

@@ -77,7 +77,13 @@ fn med_shards(s: usize, n: usize, t: usize, seed: u64) -> Vec<PointSet> {
         seed,
         ..Default::default()
     });
-    partition(&mix.points, s, PartitionStrategy::Random, &mix.outlier_ids, seed ^ 0xabc)
+    partition(
+        &mix.points,
+        s,
+        PartitionStrategy::Random,
+        &mix.outlier_ids,
+        seed ^ 0xabc,
+    )
 }
 
 /// E1 — Table 1 "median O(1+1/ε)" row: total communication O((sk+t)B),
@@ -105,13 +111,21 @@ fn e1_median_comm() {
             one.stats.upstream_bytes() as f64 / two.stats.upstream_bytes() as f64
         );
     }
-    println!("\n{:>6} {:>12} {:>12} | s fixed at 8", "t", "2round(B)", "1round(B)");
+    println!(
+        "\n{:>6} {:>12} {:>12} | s fixed at 8",
+        "t", "2round(B)", "1round(B)"
+    );
     for &t in &[8usize, 16, 32, 64, 128] {
         let sh = med_shards(8, n, t, 2000 + t as u64);
         let cfg = MedianConfig::new(k, t);
         let two = run_distributed_median(&sh, cfg, RunOptions::default());
         let one = run_one_round_median(&sh, cfg, RunOptions::default());
-        println!("{:>6} {:>12} {:>12}", t, two.stats.upstream_bytes(), one.stats.upstream_bytes());
+        println!(
+            "{:>6} {:>12} {:>12}",
+            t,
+            two.stats.upstream_bytes(),
+            one.stats.upstream_bytes()
+        );
     }
     println!("\npaper: 2-round comm has NO s·t term -> ratio grows with s; measured above.");
 }
@@ -119,9 +133,15 @@ fn e1_median_comm() {
 /// E2 — Table 1 median row, approximation column: O(1+1/ε) with (1+ε)t
 /// outliers, vs centralized bicriteria and exact small instances.
 fn e2_median_quality() {
-    header("E2", "Table 1 median row: (O(1+1/eps), 1+eps)-approximation quality");
+    header(
+        "E2",
+        "Table 1 median row: (O(1+1/eps), 1+eps)-approximation quality",
+    );
     let (k, t) = (4, 12);
-    println!("{:>6} {:>14} {:>14} {:>8}", "seed", "distributed", "centralized", "ratio");
+    println!(
+        "{:>6} {:>14} {:>14} {:>8}",
+        "seed", "distributed", "centralized", "ratio"
+    );
     let mut worst: f64 = 0.0;
     for seed in 0..6u64 {
         let sh = med_shards(6, 600, t, 3000 + seed);
@@ -131,9 +151,21 @@ fn e2_median_quality() {
         let all = merge_shards(&sh);
         let w = WeightedSet::unit(all.len());
         let m = EuclideanMetric::new(&all);
-        let c = median_bicriteria(&m, &w, k, t as f64, Objective::Median, BicriteriaParams::default());
+        let c = median_bicriteria(
+            &m,
+            &w,
+            k,
+            t as f64,
+            Objective::Median,
+            BicriteriaParams::default(),
+        );
         let centers = all.subset(&c.centers);
-        let (cen, _) = evaluate_on_full_data(&[all.clone()], &centers, 2 * t, Objective::Median);
+        let (cen, _) = evaluate_on_full_data(
+            std::slice::from_ref(&all),
+            &centers,
+            2 * t,
+            Objective::Median,
+        );
         let ratio = dist / cen.max(1e-9);
         worst = worst.max(ratio);
         println!("{:>6} {:>14.2} {:>14.2} {:>8.2}", seed, dist, cen, ratio);
@@ -148,7 +180,13 @@ fn e2_median_quality() {
         outliers: 2,
         ..Default::default()
     });
-    let shards = partition(&mix.points, 2, PartitionStrategy::Random, &mix.outlier_ids, 5);
+    let shards = partition(
+        &mix.points,
+        2,
+        PartitionStrategy::Random,
+        &mix.outlier_ids,
+        5,
+    );
     let out = run_distributed_median(&shards, MedianConfig::new(2, 2), RunOptions::default());
     let (dist, _) = evaluate_on_full_data(&shards, &out.output.centers, 4, Objective::Median);
     let all = merge_shards(&shards);
@@ -165,9 +203,15 @@ fn e2_median_quality() {
 
 /// E3 — Table 1 means row.
 fn e3_means() {
-    header("E3", "Table 1 means row: same comm shape, squared objective");
+    header(
+        "E3",
+        "Table 1 means row: same comm shape, squared objective",
+    );
     let (k, t) = (4, 16);
-    println!("{:>4} {:>12} {:>14} {:>14}", "s", "bytes", "dist_cost", "central_cost");
+    println!(
+        "{:>4} {:>12} {:>14} {:>14}",
+        "s", "bytes", "dist_cost", "central_cost"
+    );
     for &s in &[4usize, 8, 16] {
         let sh = med_shards(s, 800, t, 4000 + s as u64);
         let out =
@@ -176,17 +220,38 @@ fn e3_means() {
         let all = merge_shards(&sh);
         let w = WeightedSet::unit(all.len());
         let m = SquaredMetric::new(EuclideanMetric::new(&all));
-        let c = median_bicriteria(&m, &w, k, t as f64, Objective::Median, BicriteriaParams::default());
+        let c = median_bicriteria(
+            &m,
+            &w,
+            k,
+            t as f64,
+            Objective::Median,
+            BicriteriaParams::default(),
+        );
         let centers = all.subset(&c.centers);
-        let (cen, _) = evaluate_on_full_data(&[all.clone()], &centers, 2 * t, Objective::Means);
-        println!("{:>4} {:>12} {:>14.1} {:>14.1}", s, out.stats.upstream_bytes(), dist, cen);
+        let (cen, _) = evaluate_on_full_data(
+            std::slice::from_ref(&all),
+            &centers,
+            2 * t,
+            Objective::Means,
+        );
+        println!(
+            "{:>4} {:>12} {:>14.1} {:>14.1}",
+            s,
+            out.stats.upstream_bytes(),
+            dist,
+            cen
+        );
     }
     println!("\npaper: means matches median up to constants (relaxed triangle inequality).");
 }
 
 /// E4 — Table 1 center row + the improvement over Malkomes et al. [19].
 fn e4_center() {
-    header("E4", "Table 1 center row: O((sk+t)B) vs [19]-style O((sk+st)B), cost parity");
+    header(
+        "E4",
+        "Table 1 center row: O((sk+t)B) vs [19]-style O((sk+st)B), cost parity",
+    );
     let (k, t, n) = (4, 40, 2000);
     println!(
         "{:>4} {:>12} {:>12} {:>10} {:>10}",
@@ -221,7 +286,10 @@ fn e4_center() {
 /// the *shape* "distribute to shrink per-site time" is what matters, and
 /// the coordinator's (sk+t)^2 term growing with s is visible as well.
 fn e5_scaling() {
-    header("E5", "Table 1 local-time column: per-site time falls with s; coordinator grows");
+    header(
+        "E5",
+        "Table 1 local-time column: per-site time falls with s; coordinator grows",
+    );
     let (k, t, n) = (4, 24, 4000);
     println!(
         "{:>4} {:>10} {:>16} {:>16} {:>14}",
@@ -232,7 +300,10 @@ fn e5_scaling() {
         let out = run_distributed_median(
             &sh,
             MedianConfig::new(k, t),
-            RunOptions { parallel: false, ..Default::default() },
+            RunOptions {
+                parallel: false,
+                ..Default::default()
+            },
         );
         let crit = out.stats.site_critical_path().as_secs_f64();
         let total = out.stats.total_site_compute().as_secs_f64();
@@ -252,9 +323,15 @@ fn e5_scaling() {
 
 /// E6 — Theorem 3.10: subquadratic centralized (k,t)-median.
 fn e6_subquadratic() {
-    header("E6", "Theorem 3.10: subquadratic centralized (k,t)-median crossover");
+    header(
+        "E6",
+        "Theorem 3.10: subquadratic centralized (k,t)-median crossover",
+    );
     let k = 4;
-    println!("{:>7} {:>5} {:>14} {:>14} {:>10} {:>10}", "n", "t", "quad(ms)", "subq(ms)", "cost_q", "cost_s");
+    println!(
+        "{:>7} {:>5} {:>14} {:>14} {:>10} {:>10}",
+        "n", "t", "quad(ms)", "subq(ms)", "cost_q", "cost_s"
+    );
     for &n in &[1000usize, 2000, 4000, 8000] {
         let t = ((n as f64).sqrt() as usize) / 2;
         let mix = gaussian_mixture(MixtureSpec {
@@ -267,8 +344,14 @@ fn e6_subquadratic() {
         let w = WeightedSet::unit(mix.points.len());
         let m = EuclideanMetric::new(&mix.points);
         let t0 = Instant::now();
-        let quad =
-            median_bicriteria(&m, &w, k, t as f64, Objective::Median, BicriteriaParams::default());
+        let quad = median_bicriteria(
+            &m,
+            &w,
+            k,
+            t as f64,
+            Objective::Median,
+            BicriteriaParams::default(),
+        );
         let quad_ms = t0.elapsed().as_secs_f64() * 1e3;
         let t1 = Instant::now();
         let sub = subquadratic_median(&mix.points, k, t, SubquadraticParams::default());
@@ -289,9 +372,13 @@ fn e6_subquadratic() {
 
 /// E7 — Table 1 uncertain median/means/center-pp row.
 fn e7_uncertain() {
-    header("E7", "Table 1 uncertain row: comm as deterministic + O(n_i T) site time");
+    header(
+        "E7",
+        "Table 1 uncertain row: comm as deterministic + O(n_i T) site time",
+    );
     let t = 6;
-    let variants: [(&str, fn(UncertainConfig) -> UncertainConfig); 3] = [
+    type ConfigMod = fn(UncertainConfig) -> UncertainConfig;
+    let variants: [(&str, ConfigMod); 3] = [
         ("median", |c| c),
         ("means", |c| c.means()),
         ("center-pp", |c| c.center_pp()),
@@ -324,8 +411,16 @@ fn e7_uncertain() {
         );
     }
     // Comm vs n: must not grow.
-    let small = uncertain_mixture(UncertainSpec { nodes_per_site: 20, seed: 8001, ..Default::default() });
-    let big = uncertain_mixture(UncertainSpec { nodes_per_site: 80, seed: 8001, ..Default::default() });
+    let small = uncertain_mixture(UncertainSpec {
+        nodes_per_site: 20,
+        seed: 8001,
+        ..Default::default()
+    });
+    let big = uncertain_mixture(UncertainSpec {
+        nodes_per_site: 80,
+        seed: 8001,
+        ..Default::default()
+    });
     let cfg = UncertainConfig::new(3, 4);
     let a = run_uncertain_median(&small, cfg, RunOptions::default());
     let b = run_uncertain_median(&big, cfg, RunOptions::default());
@@ -338,8 +433,14 @@ fn e7_uncertain() {
 
 /// E8 — Figure 1 / Lemmas 5.3–5.5: the compressed-graph sandwich.
 fn e8_compressed_graph() {
-    header("E8", "Figure 1: clustering on the compressed graph ~ true uncertain cost");
-    println!("{:>6} {:>12} {:>12} {:>14}", "seed", "graph_cost", "true_cost", "true/graph");
+    header(
+        "E8",
+        "Figure 1: clustering on the compressed graph ~ true uncertain cost",
+    );
+    println!(
+        "{:>6} {:>12} {:>12} {:>14}",
+        "seed", "graph_cost", "true_cost", "true/graph"
+    );
     let mut worst: f64 = 0.0;
     for seed in 0..8u64 {
         let sh = uncertain_mixture(UncertainSpec {
@@ -360,25 +461,38 @@ fn e8_compressed_graph() {
             3,
             3.0,
             Objective::Median,
-            BicriteriaParams { eps: 0.0, ..Default::default() },
+            BicriteriaParams {
+                eps: 0.0,
+                ..Default::default()
+            },
         );
         let mut centers = PointSet::new(2);
         for &c in &sol.centers {
             centers.push(graph.y_coords(c));
         }
-        let true_cost = estimate_expected_cost(&[all.clone()], &centers, 3, false, false);
+        let true_cost =
+            estimate_expected_cost(std::slice::from_ref(all), &centers, 3, false, false);
         let ratio = true_cost / sol.cost.max(1e-9);
         worst = worst.max(ratio);
-        println!("{:>6} {:>12.3} {:>12.3} {:>14.3}", seed, sol.cost, true_cost, ratio);
+        println!(
+            "{:>6} {:>12.3} {:>12.3} {:>14.3}",
+            seed, sol.cost, true_cost, ratio
+        );
     }
     println!("\npaper (Lemma 5.4): true cost <= 2 x graph cost. measured worst ratio: {worst:.3}");
 }
 
 /// E9 — Table 1 center-g row (Theorem 5.14).
 fn e9_center_g() {
-    header("E9", "Table 1 center-g row: comm O(skB + tI + s logDelta); cost vs E[max]");
+    header(
+        "E9",
+        "Table 1 center-g row: comm O(skB + tI + s logDelta); cost vs E[max]",
+    );
     let t = 4;
-    println!("{:>9} {:>10} {:>10} {:>12} {:>12}", "support", "bytes", "rounds", "E[max]", "max-E");
+    println!(
+        "{:>9} {:>10} {:>10} {:>12} {:>12}",
+        "support", "bytes", "rounds", "E[max]", "max-E"
+    );
     for &support in &[2usize, 4, 8] {
         let sh = uncertain_mixture(UncertainSpec {
             clusters: 3,
@@ -452,12 +566,14 @@ fn e9_center_g() {
 
 /// E10 — Theorem 3.8 / Table 2: the (2+eps+delta)t counts-only trade-off.
 fn e10_delta_variant() {
-    header("E10", "Theorem 3.8: comm O(s/delta + skB) vs outlier blow-up (2+eps+delta)t");
+    header(
+        "E10",
+        "Theorem 3.8: comm O(s/delta + skB) vs outlier blow-up (2+eps+delta)t",
+    );
     let (k, t) = (4, 64);
     let sh = med_shards(8, 1600, t, 11_000);
     let ship = run_distributed_median(&sh, MedianConfig::new(k, t), RunOptions::default());
-    let (ship_cost, _) =
-        evaluate_on_full_data(&sh, &ship.output.centers, 2 * t, Objective::Median);
+    let (ship_cost, _) = evaluate_on_full_data(&sh, &ship.output.centers, 2 * t, Objective::Median);
     println!(
         "{:<22} {:>10} {:>12} {:>12}",
         "variant", "bytes", "budget", "true_cost"
@@ -500,20 +616,51 @@ fn e11_one_round() {
     let c1 = run_one_round_center(&sh, CenterConfig::new(k, t), RunOptions::default());
     let c2 = run_distributed_center(&sh, CenterConfig::new(k, t), RunOptions::default());
     println!("{:<22} {:>8} {:>12}", "protocol", "rounds", "bytes");
-    println!("{:<22} {:>8} {:>12}", "median 1-round", m1.stats.num_rounds(), m1.stats.upstream_bytes());
-    println!("{:<22} {:>8} {:>12}", "median 2-round", m2.stats.num_rounds(), m2.stats.upstream_bytes());
-    println!("{:<22} {:>8} {:>12}", "means 1-round", e1.stats.num_rounds(), e1.stats.upstream_bytes());
-    println!("{:<22} {:>8} {:>12}", "center 1-round", c1.stats.num_rounds(), c1.stats.upstream_bytes());
-    println!("{:<22} {:>8} {:>12}", "center 2-round", c2.stats.num_rounds(), c2.stats.upstream_bytes());
+    println!(
+        "{:<22} {:>8} {:>12}",
+        "median 1-round",
+        m1.stats.num_rounds(),
+        m1.stats.upstream_bytes()
+    );
+    println!(
+        "{:<22} {:>8} {:>12}",
+        "median 2-round",
+        m2.stats.num_rounds(),
+        m2.stats.upstream_bytes()
+    );
+    println!(
+        "{:<22} {:>8} {:>12}",
+        "means 1-round",
+        e1.stats.num_rounds(),
+        e1.stats.upstream_bytes()
+    );
+    println!(
+        "{:<22} {:>8} {:>12}",
+        "center 1-round",
+        c1.stats.num_rounds(),
+        c1.stats.upstream_bytes()
+    );
+    println!(
+        "{:<22} {:>8} {:>12}",
+        "center 2-round",
+        c2.stats.num_rounds(),
+        c2.stats.upstream_bytes()
+    );
     println!("\npaper: one fewer round costs a factor ~s on the t-term.");
 }
 
 /// A1 — ablation: geometric grid resolution rho.
 fn a1_grid() {
-    header("A1", "ablation: grid ratio rho — site time vs quality vs Sigma t_i");
+    header(
+        "A1",
+        "ablation: grid ratio rho — site time vs quality vs Sigma t_i",
+    );
     let (k, t) = (4, 48);
     let sh = med_shards(6, 900, t, 13_000);
-    println!("{:>6} {:>12} {:>14} {:>12} {:>10}", "rho", "bytes", "site_time(s)", "true_cost", "sum_ti");
+    println!(
+        "{:>6} {:>12} {:>14} {:>12} {:>10}",
+        "rho", "bytes", "site_time(s)", "true_cost", "sum_ti"
+    );
     for &rho in &[1.25f64, 1.5, 2.0, 4.0] {
         let mut cfg = MedianConfig::new(k, t);
         cfg.rho = rho;
@@ -542,7 +689,10 @@ fn a2_partition() {
         seed: 14_000,
         ..Default::default()
     });
-    println!("{:>14} {:>12} {:>12} {:>10}", "strategy", "bytes", "true_cost", "sum_ti");
+    println!(
+        "{:>14} {:>12} {:>12} {:>10}",
+        "strategy", "bytes", "true_cost", "sum_ti"
+    );
     for strat in [
         PartitionStrategy::Random,
         PartitionStrategy::RoundRobin,
@@ -565,7 +715,10 @@ fn a2_partition() {
 
 /// A3 — ablation: lambda-search iterations in the Theorem 3.1 substitute.
 fn a3_lambda() {
-    header("A3", "ablation: lambda-bisection iterations vs quality/time");
+    header(
+        "A3",
+        "ablation: lambda-bisection iterations vs quality/time",
+    );
     let (k, t) = (4, 16);
     let sh = med_shards(6, 700, t, 15_000);
     println!("{:>8} {:>14} {:>12}", "iters", "site_time(s)", "true_cost");

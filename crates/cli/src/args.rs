@@ -153,12 +153,14 @@ pub fn parse_args(args: &[String]) -> Result<Options, ParseError> {
 }
 
 fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, ParseError> {
-    s.parse().map_err(|_| ParseError(format!("invalid value '{s}' for {flag}")))
+    s.parse()
+        .map_err(|_| ParseError(format!("invalid value '{s}' for {flag}")))
 }
 
 fn parse_float(s: &str, flag: &str) -> Result<f64, ParseError> {
-    let v: f64 =
-        s.parse().map_err(|_| ParseError(format!("invalid value '{s}' for {flag}")))?;
+    let v: f64 = s
+        .parse()
+        .map_err(|_| ParseError(format!("invalid value '{s}' for {flag}")))?;
     if !v.is_finite() {
         return Err(ParseError(format!("non-finite value for {flag}")));
     }

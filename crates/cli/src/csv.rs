@@ -61,7 +61,10 @@ pub fn parse_points_csv(text: &str) -> Result<PointSet, CsvError> {
         }
         ps.push(&coords);
     }
-    points.ok_or(CsvError { line: 0, message: "no data rows".into() })
+    points.ok_or(CsvError {
+        line: 0,
+        message: "no data rows".into(),
+    })
 }
 
 /// Parses the uncertain-node CSV: `node_id,prob,coord0,coord1,…`. Rows
@@ -88,7 +91,10 @@ pub fn parse_uncertain_csv(text: &str) -> Result<NodeSet, CsvError> {
                 saw_header = true;
                 continue;
             }
-            return Err(CsvError { line: idx + 1, message: format!("non-numeric field in '{line}'") });
+            return Err(CsvError {
+                line: idx + 1,
+                message: format!("non-numeric field in '{line}'"),
+            });
         }
         let id: u64 = fields[0].parse().map_err(|_| CsvError {
             line: idx + 1,
@@ -96,9 +102,15 @@ pub fn parse_uncertain_csv(text: &str) -> Result<NodeSet, CsvError> {
         })?;
         let prob: f64 = fields[1].parse().expect("checked");
         if prob <= 0.0 {
-            return Err(CsvError { line: idx + 1, message: "prob must be positive".into() });
+            return Err(CsvError {
+                line: idx + 1,
+                message: "prob must be positive".into(),
+            });
         }
-        let coords: Vec<f64> = fields[2..].iter().map(|f| f.parse().expect("checked")).collect();
+        let coords: Vec<f64> = fields[2..]
+            .iter()
+            .map(|f| f.parse().expect("checked"))
+            .collect();
         if let Some(d) = dim {
             if coords.len() != d {
                 return Err(CsvError {
@@ -111,7 +123,10 @@ pub fn parse_uncertain_csv(text: &str) -> Result<NodeSet, CsvError> {
         }
         rows.entry(id).or_default().push((prob, coords));
     }
-    let dim = dim.ok_or(CsvError { line: 0, message: "no data rows".into() })?;
+    let dim = dim.ok_or(CsvError {
+        line: 0,
+        message: "no data rows".into(),
+    })?;
     let mut ns = NodeSet::new(dim);
     for (_, support_rows) in rows {
         let total: f64 = support_rows.iter().map(|(p, _)| p).sum();

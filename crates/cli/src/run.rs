@@ -80,7 +80,10 @@ pub fn execute(opts: &Options, csv_text: &str) -> Result<Report, String> {
                         &points,
                         opts.k,
                         opts.t,
-                        SubquadraticParams { eps: opts.eps, ..Default::default() },
+                        SubquadraticParams {
+                            eps: opts.eps,
+                            ..Default::default()
+                        },
                     );
                     Ok(Report {
                         command: opts.command,
@@ -148,7 +151,11 @@ pub fn execute(opts: &Options, csv_text: &str) -> Result<Report, String> {
                     } else {
                         Objective::Median
                     };
-                    let factor = if opts.delta > 0.0 { 2.0 + opts.eps + opts.delta } else { 1.0 + opts.eps };
+                    let factor = if opts.delta > 0.0 {
+                        2.0 + opts.eps + opts.delta
+                    } else {
+                        1.0 + opts.eps
+                    };
                     let budget = (factor * opts.t as f64).floor() as usize;
                     let (cost, budget) =
                         evaluate_on_full_data(&shards, &out.output.centers, budget, objective);
@@ -171,22 +178,24 @@ pub fn execute(opts: &Options, csv_text: &str) -> Result<Report, String> {
                 return Err(format!("k={} exceeds the {} input nodes", opts.k, n));
             }
             // Split nodes round-robin across the simulated sites.
-            let mut shards: Vec<NodeSet> =
-                (0..opts.sites).map(|_| NodeSet::new(nodes.ground.dim())).collect();
+            let mut shards: Vec<NodeSet> = (0..opts.sites)
+                .map(|_| NodeSet::new(nodes.ground.dim()))
+                .collect();
             for (i, node) in nodes.nodes.iter().enumerate() {
                 let shard = &mut shards[i % opts.sites];
                 let mut support = Vec::with_capacity(node.support.len());
                 for &sp in &node.support {
                     support.push(shard.ground.push(nodes.ground.point(sp)));
                 }
-                shard.nodes.push(UncertainNode::new(support, node.probs.clone()));
+                shard
+                    .nodes
+                    .push(UncertainNode::new(support, node.probs.clone()));
             }
             let mut cfg = UncertainConfig::new(opts.k, opts.t);
             cfg.eps = opts.eps;
             let out = run_uncertain_median(&shards, cfg, RunOptions::default());
             let budget = ((1.0 + opts.eps) * opts.t as f64).floor() as usize;
-            let cost =
-                estimate_expected_cost(&shards, &out.output.centers, budget, false, false);
+            let cost = estimate_expected_cost(&shards, &out.output.centers, budget, false, false);
             Ok(Report {
                 command: opts.command,
                 centers: centers_to_rows(&out.output.centers),
@@ -257,7 +266,16 @@ mod tests {
             csv.push_str(&format!("{n},0.5,{},{}\n", c, 0.1 * n as f64));
             csv.push_str(&format!("{n},0.5,{},{}\n", c + 0.5, 0.1 * n as f64));
         }
-        let o = opts(&["uncertain-median", "--k", "2", "--t", "0", "--sites", "2", "in.csv"]);
+        let o = opts(&[
+            "uncertain-median",
+            "--k",
+            "2",
+            "--t",
+            "0",
+            "--sites",
+            "2",
+            "in.csv",
+        ]);
         let r = execute(&o, &csv).unwrap();
         assert_eq!(r.n, 12);
         assert!(r.cost < 30.0, "cost {}", r.cost);

@@ -28,7 +28,10 @@ pub struct CenterParams {
 
 impl Default for CenterParams {
     fn default() -> Self {
-        Self { expansion: 3.0, radius_iters: 48 }
+        Self {
+            expansion: 3.0,
+            radius_iters: 48,
+        }
     }
 }
 
@@ -49,7 +52,12 @@ pub fn charikar_center<M: Metric>(
     params: CenterParams,
 ) -> Solution {
     if points.is_empty() {
-        return Solution { centers: Vec::new(), cost: 0.0, outliers: Vec::new(), assignment: Vec::new() };
+        return Solution {
+            centers: Vec::new(),
+            cost: 0.0,
+            outliers: Vec::new(),
+            assignment: Vec::new(),
+        };
     }
     assert!(k > 0, "need at least one center");
     let ids = points.ids();
@@ -146,8 +154,12 @@ fn greedy_disks<M: Metric>(
         }
     }
 
-    let uncovered: f64 =
-        covered.iter().zip(weights).filter(|(&c, _)| !c).map(|(_, &w)| w).sum();
+    let uncovered: f64 = covered
+        .iter()
+        .zip(weights)
+        .filter(|(&c, _)| !c)
+        .map(|(_, &w)| w)
+        .sum();
     (centers, uncovered)
 }
 
@@ -222,8 +234,9 @@ mod tests {
     #[test]
     fn three_approximation_vs_bruteforce() {
         // Small random-ish instance; compare to exact (k=2, t=1).
-        let rows: Vec<Vec<f64>> =
-            (0..12).map(|i| vec![((i * 31) % 17) as f64, ((i * 7) % 13) as f64]).collect();
+        let rows: Vec<Vec<f64>> = (0..12)
+            .map(|i| vec![((i * 31) % 17) as f64, ((i * 7) % 13) as f64])
+            .collect();
         let ps = PointSet::from_rows(&rows);
         let m = EuclideanMetric::new(&ps);
         let w = WeightedSet::unit(12);
@@ -234,6 +247,11 @@ mod tests {
                 opt = opt.min(center_cost(&m, &[a, b], 1));
             }
         }
-        assert!(sol.cost <= 3.0 * opt + 1e-9, "sol {} vs opt {}", sol.cost, opt);
+        assert!(
+            sol.cost <= 3.0 * opt + 1e-9,
+            "sol {} vs opt {}",
+            sol.cost,
+            opt
+        );
     }
 }

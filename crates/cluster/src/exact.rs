@@ -59,7 +59,10 @@ pub fn exact_best<M: Metric>(
         let mut i = k;
         loop {
             if i == 0 {
-                return ExactSolution { centers: best_centers, cost: best_cost };
+                return ExactSolution {
+                    centers: best_centers,
+                    cost: best_cost,
+                };
             }
             i -= 1;
             if subset[i] != i + n - k {

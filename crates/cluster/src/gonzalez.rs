@@ -98,7 +98,12 @@ pub fn gonzalez<M: Metric>(
         next_d = far_d;
     }
 
-    GonzalezOrdering { order, radii, assignment: best_pos, dist_to_center: best_d }
+    GonzalezOrdering {
+        order,
+        radii,
+        assignment: best_pos,
+        dist_to_center: best_d,
+    }
 }
 
 #[cfg(test)]
@@ -126,8 +131,9 @@ mod tests {
 
     #[test]
     fn radii_non_increasing() {
-        let rows: Vec<Vec<f64>> =
-            (0..40).map(|i| vec![(i * 37 % 23) as f64, (i * 17 % 11) as f64]).collect();
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i * 37 % 23) as f64, (i * 17 % 11) as f64])
+            .collect();
         let ps = PointSet::from_rows(&rows);
         let m = EuclideanMetric::new(&ps);
         let g = gonzalez(&m, &ids(40), 40, 0);
@@ -141,7 +147,9 @@ mod tests {
         // Classic invariant: after selecting r points, every point is within
         // the *next* insertion radius of its nearest center; in particular
         // dist_to_center <= radii[r-1].
-        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![(i as f64).sin() * 50.0, (i as f64).cos() * 50.0]).collect();
+        let rows: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i as f64).sin() * 50.0, (i as f64).cos() * 50.0])
+            .collect();
         let ps = PointSet::from_rows(&rows);
         let m = EuclideanMetric::new(&ps);
         let g = gonzalez(&m, &ids(30), 5, 0);

@@ -30,7 +30,13 @@ pub struct LloydParams {
 
 impl Default for LloydParams {
     fn default() -> Self {
-        Self { max_iters: 50, tol: 1e-6, trim: 0.0, seed: 0x5eed, restarts: 4 }
+        Self {
+            max_iters: 50,
+            tol: 1e-6,
+            trim: 0.0,
+            seed: 0x5eed,
+            restarts: 4,
+        }
     }
 }
 
@@ -62,9 +68,12 @@ pub fn lloyd_kmeans(
             points,
             weighted,
             k,
-            LloydParams { seed: params.seed.wrapping_add(r as u64), ..params },
+            LloydParams {
+                seed: params.seed.wrapping_add(r as u64),
+                ..params
+            },
         );
-        if best.as_ref().map_or(true, |b| run.cost < b.cost) {
+        if best.as_ref().is_none_or(|b| run.cost < b.cost) {
             best = Some(run);
         }
     }
@@ -202,8 +211,7 @@ fn lloyd_kmeans_once(
                 // the costliest retained point so it cannot strand on a
                 // trimmed outlier.
                 let order = relocation_order.get_or_insert_with(|| {
-                    let mut o: Vec<usize> =
-                        (0..n).filter(|&e| keep_w[e] > 0.0).collect();
+                    let mut o: Vec<usize> = (0..n).filter(|&e| keep_w[e] > 0.0).collect();
                     o.sort_by(|&a, &b| dist2[b].total_cmp(&dist2[a]));
                     o
                 });
@@ -216,8 +224,7 @@ fn lloyd_kmeans_once(
         }
         // Cost over retained weight.
         let cost: f64 = (0..n).map(|e| keep_w[e] * dist2[e]).sum();
-        if prev_cost.is_finite() && (prev_cost - cost).abs() <= params.tol * prev_cost.max(1e-30)
-        {
+        if prev_cost.is_finite() && (prev_cost - cost).abs() <= params.tol * prev_cost.max(1e-30) {
             prev_cost = cost;
             break;
         }
@@ -228,7 +235,11 @@ fn lloyd_kmeans_once(
     for c in &centroids {
         cps.push(c);
     }
-    LloydResult { centroids: cps, cost: prev_cost, trimmed }
+    LloydResult {
+        centroids: cps,
+        cost: prev_cost,
+        trimmed,
+    }
 }
 
 #[cfg(test)]
@@ -264,8 +275,15 @@ mod tests {
         ps.push(&[1e6, 0.0]);
         let w = WeightedSet::unit(ps.len());
         let plain = lloyd_kmeans(&ps, &w, 2, LloydParams::default());
-        let trimmed =
-            lloyd_kmeans(&ps, &w, 2, LloydParams { trim: 1.0, ..Default::default() });
+        let trimmed = lloyd_kmeans(
+            &ps,
+            &w,
+            2,
+            LloydParams {
+                trim: 1.0,
+                ..Default::default()
+            },
+        );
         assert!(
             trimmed.cost < plain.cost / 100.0,
             "trimmed {} vs plain {}",

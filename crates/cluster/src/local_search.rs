@@ -39,7 +39,12 @@ pub struct LocalSearchParams {
 
 impl Default for LocalSearchParams {
     fn default() -> Self {
-        Self { max_iters: 60, swap_candidates: 48, min_rel_gain: 1e-6, seed: 0x5eed }
+        Self {
+            max_iters: 60,
+            swap_candidates: 48,
+            min_rel_gain: 1e-6,
+            seed: 0x5eed,
+        }
     }
 }
 
@@ -53,11 +58,7 @@ struct NearestState {
     d2: Vec<f64>,
 }
 
-fn recompute_state<M: Metric>(
-    metric: &M,
-    ids: &[usize],
-    centers: &[usize],
-) -> NearestState {
+fn recompute_state<M: Metric>(metric: &M, ids: &[usize], centers: &[usize]) -> NearestState {
     let n = ids.len();
     let mut c1 = vec![0usize; n];
     let mut d1 = vec![f64::INFINITY; n];
@@ -111,8 +112,11 @@ fn seed_centers<M: Metric>(
 
     let mut d1: Vec<f64> = ids.iter().map(|&id| metric.dist(id, ids[first])).collect();
     while centers.len() < k {
-        let scores: Vec<f64> =
-            d1.iter().zip(weights).map(|(&d, &w)| w * d.min(penalty)).collect();
+        let scores: Vec<f64> = d1
+            .iter()
+            .zip(weights)
+            .map(|(&d, &w)| w * d.min(penalty))
+            .collect();
         let total: f64 = scores.iter().sum();
         let chosen = if total <= 0.0 {
             // Everything already covered at distance 0: any remaining entry.
@@ -199,7 +203,7 @@ pub fn penalty_local_search<M: Metric>(
             }
             for (ci, &bc) in b.iter().enumerate() {
                 let delta = a + bc;
-                if best.map_or(true, |(_, _, bd)| delta < bd) {
+                if best.is_none_or(|(_, _, bd)| delta < bd) {
                     best = Some((cand, ci, delta));
                 }
             }
@@ -227,7 +231,12 @@ pub fn penalty_local_search<M: Metric>(
         .filter(|&(e, &d)| d > penalty && weights[e] > 0.0)
         .map(|(e, _)| (e, weights[e]))
         .collect();
-    Solution { centers, cost, outliers, assignment: state.c1 }
+    Solution {
+        centers,
+        cost,
+        outliers,
+        assignment: state.c1,
+    }
 }
 
 /// Plain weighted k-median local search (no penalty): a convenience wrapper
@@ -360,7 +369,10 @@ mod tests {
         let ps = two_clumps();
         let m = EuclideanMetric::new(&ps);
         let w = WeightedSet::unit(20);
-        let p = LocalSearchParams { seed: 42, ..Default::default() };
+        let p = LocalSearchParams {
+            seed: 42,
+            ..Default::default()
+        };
         let a = kmedian_local_search(&m, &w, 3, p);
         let b = kmedian_local_search(&m, &w, 3, p);
         assert_eq!(a.centers, b.centers);

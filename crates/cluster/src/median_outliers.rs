@@ -32,7 +32,11 @@ pub struct BicriteriaParams {
 
 impl Default for BicriteriaParams {
     fn default() -> Self {
-        Self { eps: 1.0, lambda_iters: 24, ls: LocalSearchParams::default() }
+        Self {
+            eps: 1.0,
+            lambda_iters: 24,
+            ls: LocalSearchParams::default(),
+        }
     }
 }
 
@@ -56,15 +60,19 @@ pub fn median_bicriteria<M: Metric>(
 ) -> Solution {
     assert!(params.eps >= 0.0, "eps must be non-negative");
     if points.is_empty() {
-        return Solution { centers: Vec::new(), cost: 0.0, outliers: Vec::new(), assignment: Vec::new() };
+        return Solution {
+            centers: Vec::new(),
+            cost: 0.0,
+            outliers: Vec::new(),
+            assignment: Vec::new(),
+        };
     }
     let budget = (1.0 + params.eps) * t;
 
     // Candidate 1: ignore the outlier structure entirely (λ = ∞), then let
     // the evaluation discard the worst (1+ε)t weight.
     let plain = penalty_local_search(metric, points, k, f64::INFINITY, params.ls);
-    let mut best =
-        Solution::evaluate(metric, points, plain.centers.clone(), budget, objective);
+    let mut best = Solution::evaluate(metric, points, plain.centers.clone(), budget, objective);
 
     if t <= 0.0 {
         return best;
@@ -108,8 +116,7 @@ pub fn median_bicriteria<M: Metric>(
         ls.seed = ls.seed.wrapping_add(it as u64 + 1); // decorrelate restarts
         let cand = penalty_local_search(metric, points, k, lambda, ls);
         let implied_outlier_weight: f64 = cand.outliers.iter().map(|&(_, w)| w).sum();
-        let evaluated =
-            Solution::evaluate(metric, points, cand.centers.clone(), budget, objective);
+        let evaluated = Solution::evaluate(metric, points, cand.centers.clone(), budget, objective);
         if evaluated.cost < best.cost
             || (evaluated.cost == best.cost && evaluated.outlier_weight() < best.outlier_weight())
         {
@@ -168,7 +175,10 @@ mod tests {
         assert!(sol.outlier_weight() <= 2.0 * t as f64 + 1e-9);
         let excluded: Vec<usize> = sol.outlier_positions();
         for planted in [30usize, 31, 32] {
-            assert!(excluded.contains(&planted), "planted outlier {planted} kept");
+            assert!(
+                excluded.contains(&planted),
+                "planted outlier {planted} kept"
+            );
         }
     }
 
@@ -177,7 +187,10 @@ mod tests {
         let (ps, t) = noisy_instance();
         let m = EuclideanMetric::new(&ps);
         let w = WeightedSet::unit(ps.len());
-        let p = BicriteriaParams { eps: 0.5, ..Default::default() };
+        let p = BicriteriaParams {
+            eps: 0.5,
+            ..Default::default()
+        };
         let sol = median_bicriteria(&m, &w, 2, t as f64, Objective::Median, p);
         assert!(sol.outlier_weight() <= 1.5 * t as f64 + 1e-9);
     }
@@ -187,8 +200,14 @@ mod tests {
         let ps = PointSet::from_rows(&[vec![0.0], vec![1.0], vec![10.0], vec![11.0]]);
         let m = EuclideanMetric::new(&ps);
         let w = WeightedSet::unit(4);
-        let sol =
-            median_bicriteria(&m, &w, 2, 0.0, Objective::Median, BicriteriaParams::default());
+        let sol = median_bicriteria(
+            &m,
+            &w,
+            2,
+            0.0,
+            Objective::Median,
+            BicriteriaParams::default(),
+        );
         assert!(sol.outliers.is_empty());
         assert!(sol.cost <= 2.0 + 1e-9);
     }
@@ -216,7 +235,12 @@ mod tests {
         }
         // Theorem 3.1 bound with eps=1 is 6·opt; we check it holds (opt is
         // tiny but nonzero because clump points are spread).
-        assert!(sol.cost <= 6.0 * opt + 1e-6, "sol {} vs opt {}", sol.cost, opt);
+        assert!(
+            sol.cost <= 6.0 * opt + 1e-6,
+            "sol {} vs opt {}",
+            sol.cost,
+            opt
+        );
     }
 
     #[test]
@@ -227,8 +251,14 @@ mod tests {
         // NOTE: with a squared metric the evaluation objective must be
         // Median (the metric already squares); this mirrors how the solvers
         // are invoked by the distributed layer.
-        let sol =
-            median_bicriteria(&sq, &w, 2, t as f64, Objective::Median, BicriteriaParams::default());
+        let sol = median_bicriteria(
+            &sq,
+            &w,
+            2,
+            t as f64,
+            Objective::Median,
+            BicriteriaParams::default(),
+        );
         assert!(sol.cost < 100.0, "means cost {}", sol.cost);
     }
 
@@ -239,7 +269,10 @@ mod tests {
         let ps = PointSet::from_rows(&[vec![0.0], vec![0.5], vec![1000.0]]);
         let m = EuclideanMetric::new(&ps);
         let w = WeightedSet::from_parts(vec![0, 1, 2], vec![1.0, 1.0, 4.0]);
-        let p = BicriteriaParams { eps: 0.0, ..Default::default() };
+        let p = BicriteriaParams {
+            eps: 0.0,
+            ..Default::default()
+        };
         let sol = median_bicriteria(&m, &w, 1, 2.0, Objective::Median, p);
         assert!(sol.outlier_weight() <= 2.0 + 1e-9);
         // Either the center sits on the heavy point (cost ~ small) or 2
@@ -266,7 +299,12 @@ pub fn median_bicriteria_relaxed_centers<M: Metric>(
 ) -> Solution {
     assert!(params.eps >= 0.0, "eps must be non-negative");
     if points.is_empty() {
-        return Solution { centers: Vec::new(), cost: 0.0, outliers: Vec::new(), assignment: Vec::new() };
+        return Solution {
+            centers: Vec::new(),
+            cost: 0.0,
+            outliers: Vec::new(),
+            assignment: Vec::new(),
+        };
     }
     let k_relaxed = (((1.0 + params.eps) * k as f64).ceil() as usize).max(k);
     let inner = BicriteriaParams { eps: 0.0, ..params };
@@ -296,9 +334,15 @@ mod relaxed_center_tests {
         let ps = instance();
         let m = EuclideanMetric::new(&ps);
         let w = WeightedSet::unit(ps.len());
-        let p = BicriteriaParams { eps: 0.5, ..Default::default() };
+        let p = BicriteriaParams {
+            eps: 0.5,
+            ..Default::default()
+        };
         let sol = median_bicriteria_relaxed_centers(&m, &w, 2, 2.0, Objective::Median, p);
-        assert!(sol.outlier_weight() <= 2.0 + 1e-9, "must exclude at most exactly t");
+        assert!(
+            sol.outlier_weight() <= 2.0 + 1e-9,
+            "must exclude at most exactly t"
+        );
         // (1+0.5)*2 = 3 centers allowed: all three clumps can be covered.
         assert!(sol.centers.len() <= 3);
         assert!(sol.cost < 10.0, "cost {}", sol.cost);
@@ -309,18 +353,35 @@ mod relaxed_center_tests {
         let ps = instance();
         let m = EuclideanMetric::new(&ps);
         let w = WeightedSet::unit(ps.len());
-        let tight =
-            median_bicriteria(&m, &w, 2, 2.0, Objective::Median, BicriteriaParams { eps: 0.0, ..Default::default() });
+        let tight = median_bicriteria(
+            &m,
+            &w,
+            2,
+            2.0,
+            Objective::Median,
+            BicriteriaParams {
+                eps: 0.0,
+                ..Default::default()
+            },
+        );
         let relaxed = median_bicriteria_relaxed_centers(
             &m,
             &w,
             2,
             2.0,
             Objective::Median,
-            BicriteriaParams { eps: 0.5, ..Default::default() },
+            BicriteriaParams {
+                eps: 0.5,
+                ..Default::default()
+            },
         );
         // Extra centers can only help (3 clumps, k=2 must merge two).
-        assert!(relaxed.cost <= tight.cost + 1e-9, "relaxed {} > tight {}", relaxed.cost, tight.cost);
+        assert!(
+            relaxed.cost <= tight.cost + 1e-9,
+            "relaxed {} > tight {}",
+            relaxed.cost,
+            tight.cost
+        );
     }
 
     #[test]
@@ -328,7 +389,10 @@ mod relaxed_center_tests {
         let ps = instance();
         let m = EuclideanMetric::new(&ps);
         let w = WeightedSet::unit(ps.len());
-        let p = BicriteriaParams { eps: 0.0, ..Default::default() };
+        let p = BicriteriaParams {
+            eps: 0.0,
+            ..Default::default()
+        };
         let a = median_bicriteria_relaxed_centers(&m, &w, 2, 1.0, Objective::Median, p);
         let b = median_bicriteria(&m, &w, 2, 1.0, Objective::Median, p);
         assert_eq!(a.centers, b.centers);

@@ -26,7 +26,12 @@ impl Solution {
         objective: Objective,
     ) -> Self {
         let r = cost_excluding_outliers(metric, points, &centers, t, objective);
-        Solution { centers, cost: r.cost, outliers: r.excluded, assignment: r.assignment }
+        Solution {
+            centers,
+            cost: r.cost,
+            outliers: r.excluded,
+            assignment: r.assignment,
+        }
     }
 
     /// Total excluded weight.

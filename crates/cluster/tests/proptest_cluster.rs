@@ -5,11 +5,8 @@ use dpc_metric::*;
 use proptest::prelude::*;
 
 fn arb_points(max_n: usize) -> impl Strategy<Value = PointSet> {
-    proptest::collection::vec(
-        proptest::collection::vec(-1e3f64..1e3, 2..=2),
-        4..max_n,
-    )
-    .prop_map(|rows| PointSet::from_rows(&rows))
+    proptest::collection::vec(proptest::collection::vec(-1e3f64..1e3, 2..=2), 4..max_n)
+        .prop_map(|rows| PointSet::from_rows(&rows))
 }
 
 proptest! {
@@ -89,7 +86,10 @@ proptest! {
 fn local_search_cost<M: Metric>(m: &M, w: &WeightedSet, centers: &[usize]) -> f64 {
     w.iter()
         .map(|(id, wt)| {
-            wt * centers.iter().map(|&c| m.dist(id, c)).fold(f64::INFINITY, f64::min)
+            wt * centers
+                .iter()
+                .map(|&c| m.dist(id, c))
+                .fold(f64::INFINITY, f64::min)
         })
         .sum()
 }

@@ -56,7 +56,10 @@ pub struct RunOptions {
 
 impl Default for RunOptions {
     fn default() -> Self {
-        Self { parallel: true, max_rounds: 64 }
+        Self {
+            parallel: true,
+            max_rounds: 64,
+        }
     }
 }
 
@@ -102,7 +105,10 @@ pub fn run_protocol<C: Coordinator>(
                 ms
             }
             CoordinatorStep::Finish => {
-                return ProtocolOutput { output: coordinator.finish(), stats };
+                return ProtocolOutput {
+                    output: coordinator.finish(),
+                    stats,
+                };
             }
         };
 
@@ -116,21 +122,20 @@ pub fn run_protocol<C: Coordinator>(
         let mut new_replies: Vec<Bytes> = vec![Bytes::new(); s];
         let mut timings: Vec<Duration> = vec![Duration::ZERO; s];
         if options.parallel && s > 1 {
-            crossbeam::scope(|scope| {
+            std::thread::scope(|scope| {
                 for (((site, reply), timing), msg) in sites
                     .iter_mut()
                     .zip(new_replies.iter_mut())
                     .zip(timings.iter_mut())
                     .zip(msgs.iter())
                 {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let t = Instant::now();
                         *reply = site.handle(round, msg);
                         *timing = t.elapsed();
                     });
                 }
-            })
-            .expect("site thread panicked");
+            });
         } else {
             for i in 0..s {
                 let t = Instant::now();
@@ -211,7 +216,10 @@ mod tests {
         run_protocol(
             &mut sites,
             ToyCoordinator { factor: 3, sum: 0 },
-            RunOptions { parallel, max_rounds: 8 },
+            RunOptions {
+                parallel,
+                max_rounds: 8,
+            },
         )
     }
 
@@ -257,7 +265,14 @@ mod tests {
             }
         }
         let mut sites: Vec<Box<dyn Site>> = vec![Box::new(Echo)];
-        let _ = run_protocol(&mut sites, Loopy, RunOptions { parallel: false, max_rounds: 3 });
+        let _ = run_protocol(
+            &mut sites,
+            Loopy,
+            RunOptions {
+                parallel: false,
+                max_rounds: 3,
+            },
+        );
     }
 
     #[test]

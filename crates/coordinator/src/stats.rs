@@ -76,10 +76,7 @@ impl CommStats {
 
     /// Total CPU time spent across all sites and rounds.
     pub fn total_site_compute(&self) -> Duration {
-        self.rounds
-            .iter()
-            .flat_map(|r| r.site_compute.iter())
-            .sum()
+        self.rounds.iter().flat_map(|r| r.site_compute.iter()).sum()
     }
 
     /// Total coordinator compute time.

@@ -49,7 +49,12 @@ pub struct CenterConfig {
 impl CenterConfig {
     /// Defaults: `ρ = 2`, standard Charikar parameters.
     pub fn new(k: usize, t: usize) -> Self {
-        Self { k, t, rho: 2.0, charikar: CenterParams::default() }
+        Self {
+            k,
+            t,
+            rho: 2.0,
+            charikar: CenterParams::default(),
+        }
     }
 
     fn encode(&self) -> Bytes {
@@ -72,7 +77,13 @@ struct CenterSite<'a> {
 
 impl<'a> CenterSite<'a> {
     fn new(data: &'a PointSet, site_id: usize, cfg: CenterConfig) -> Self {
-        Self { data, site_id, cfg, ordering: None, profile: None }
+        Self {
+            data,
+            site_id,
+            cfg,
+            ordering: None,
+            profile: None,
+        }
     }
 
     /// The marginal `ℓ(i,q)`: insertion radius of the `(k+q)`-th selection
@@ -126,8 +137,7 @@ impl<'a> CenterSite<'a> {
         for q in 1..=self.cfg.t {
             let m = prof.marginal(q);
             let wins = m > thr.threshold
-                || (m == thr.threshold
-                    && (self.site_id as u64, q as u64) <= (thr.i0, thr.q0));
+                || (m == thr.threshold && (self.site_id as u64, q as u64) <= (thr.i0, thr.q0));
             if wins {
                 ti = q;
             } else {
@@ -239,7 +249,7 @@ impl CenterCoordinator {
         let msgs: Vec<PreclusterMsg> = replies.into_iter().map(PreclusterMsg::decode).collect();
         let dim = msgs
             .iter()
-            .find(|m| m.centers.len() > 0)
+            .find(|m| !m.centers.is_empty())
             .map(|m| m.centers.dim())
             .unwrap_or(self.dim);
         let mut merged = PointSet::new(dim);
@@ -261,8 +271,13 @@ impl CenterCoordinator {
             };
         }
         let metric = EuclideanMetric::new(&merged);
-        let sol =
-            charikar_center(&metric, &weighted, self.cfg.k, self.cfg.t as f64, self.cfg.charikar);
+        let sol = charikar_center(
+            &metric,
+            &weighted,
+            self.cfg.k,
+            self.cfg.t as f64,
+            self.cfg.charikar,
+        );
         DistributedSolution {
             centers: merged.subset(&sol.centers),
             coordinator_cost: sol.cost,
@@ -285,7 +300,11 @@ pub fn run_distributed_center(
         .enumerate()
         .map(|(i, ps)| Box::new(CenterSite::new(ps, i, cfg)) as Box<dyn Site + '_>)
         .collect();
-    let coordinator = CenterCoordinator { cfg, dim, result: None };
+    let coordinator = CenterCoordinator {
+        cfg,
+        dim,
+        result: None,
+    };
     run_protocol(&mut sites, coordinator, options)
 }
 
@@ -317,7 +336,10 @@ mod tests {
         let out = run_distributed_center(
             &shards,
             CenterConfig::new(2, 3),
-            RunOptions { parallel: false, ..Default::default() },
+            RunOptions {
+                parallel: false,
+                ..Default::default()
+            },
         );
         let (cost, _) = evaluate_on_full_data(&shards, &out.output.centers, 3, Objective::Center);
         // Optimal radius ~ 0.57 (grid diagonal); allow the distributed
@@ -332,7 +354,10 @@ mod tests {
         let out = run_distributed_center(
             &shards,
             CenterConfig::new(2, 3),
-            RunOptions { parallel: false, ..Default::default() },
+            RunOptions {
+                parallel: false,
+                ..Default::default()
+            },
         );
         assert!(out.output.excluded_weight <= 3.0 + 1e-9);
     }
@@ -342,15 +367,30 @@ mod tests {
         // Doubling points per site must not change round-1/2 bytes
         // (profiles are O(log t), summaries O(k + t_i)).
         let mk = |per: usize| {
-            let rows: Vec<Vec<f64>> =
-                (0..per).map(|i| vec![(i % 7) as f64, (i % 11) as f64]).collect();
+            let rows: Vec<Vec<f64>> = (0..per)
+                .map(|i| vec![(i % 7) as f64, (i % 11) as f64])
+                .collect();
             vec![PointSet::from_rows(&rows), PointSet::from_rows(&rows)]
         };
         let small = mk(100);
         let big = mk(200);
         let cfg = CenterConfig::new(3, 5);
-        let so = run_distributed_center(&small, cfg, RunOptions { parallel: false, ..Default::default() });
-        let bo = run_distributed_center(&big, cfg, RunOptions { parallel: false, ..Default::default() });
+        let so = run_distributed_center(
+            &small,
+            cfg,
+            RunOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        );
+        let bo = run_distributed_center(
+            &big,
+            cfg,
+            RunOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        );
         // Weights differ (varint size may wiggle by a byte or two) but the
         // totals must be essentially identical, not 2x.
         let s = so.stats.upstream_bytes() as f64;
@@ -364,7 +404,10 @@ mod tests {
         let out = run_distributed_center(
             &shards,
             CenterConfig::new(1, 1),
-            RunOptions { parallel: false, ..Default::default() },
+            RunOptions {
+                parallel: false,
+                ..Default::default()
+            },
         );
         let (cost, _) = evaluate_on_full_data(&shards, &out.output.centers, 1, Objective::Center);
         assert!(cost <= 4.0, "cost {cost}");
@@ -378,7 +421,10 @@ mod tests {
         let out = run_distributed_center(
             &s,
             CenterConfig::new(2, 3),
-            RunOptions { parallel: false, ..Default::default() },
+            RunOptions {
+                parallel: false,
+                ..Default::default()
+            },
         );
         let (cost, _) = evaluate_on_full_data(&s, &out.output.centers, 3, Objective::Center);
         assert!(cost <= 6.0, "cost {cost}");

@@ -33,9 +33,7 @@ use dpc_cluster::{
 use dpc_coordinator::{
     run_protocol, Coordinator, CoordinatorStep, ProtocolOutput, RunOptions, Site,
 };
-use dpc_metric::{
-    EuclideanMetric, Objective, PointSet, SquaredMetric, WeightedSet, WireWriter,
-};
+use dpc_metric::{EuclideanMetric, Objective, PointSet, SquaredMetric, WeightedSet, WireWriter};
 
 /// Which flavour of Algorithm 1 to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -115,7 +113,11 @@ impl MedianConfig {
     fn site_solver_params(&self) -> BicriteriaParams {
         // Sites solve at *exact* budgets (the grid point q), so no
         // relaxation inside; relaxation happens at the coordinator.
-        BicriteriaParams { eps: 0.0, lambda_iters: self.lambda_iters, ls: self.ls }
+        BicriteriaParams {
+            eps: 0.0,
+            lambda_iters: self.lambda_iters,
+            ls: self.ls,
+        }
     }
 
     fn encode(&self) -> Bytes {
@@ -186,7 +188,12 @@ pub(crate) fn precluster_msg(
     } else {
         PointSet::new(data.dim())
     };
-    PreclusterMsg { centers, weights, outliers, t_i: t_i as u64 }
+    PreclusterMsg {
+        centers,
+        weights,
+        outliers,
+        t_i: t_i as u64,
+    }
 }
 
 /// Site-side state of Algorithm 1.
@@ -202,7 +209,14 @@ struct MedianSite<'a> {
 
 impl<'a> MedianSite<'a> {
     fn new(data: &'a PointSet, site_id: usize, cfg: MedianConfig) -> Self {
-        Self { data, site_id, cfg, grid: Vec::new(), sols: Vec::new(), profile: None }
+        Self {
+            data,
+            site_id,
+            cfg,
+            grid: Vec::new(),
+            sols: Vec::new(),
+            profile: None,
+        }
     }
 
     /// Round 0: build the cost profile and ship its hull.
@@ -245,8 +259,7 @@ impl<'a> MedianSite<'a> {
         for q in 1..=self.cfg.t {
             let m = prof.marginal(q);
             let wins = m > thr.threshold
-                || (m == thr.threshold
-                    && (self.site_id as u64, q as u64) <= (thr.i0, thr.q0));
+                || (m == thr.threshold && (self.site_id as u64, q as u64) <= (thr.i0, thr.q0));
             if wins {
                 ti = q;
             } else {
@@ -304,9 +317,9 @@ impl<'a> MedianSite<'a> {
     }
 
     fn grid_index(&self, q: usize) -> usize {
-        self.grid.binary_search(&q).unwrap_or_else(|_| {
-            panic!("t_i = {q} is not a grid point (grid {:?})", self.grid)
-        })
+        self.grid
+            .binary_search(&q)
+            .unwrap_or_else(|_| panic!("t_i = {q} is not a grid point (grid {:?})", self.grid))
     }
 
     fn merge_local(&self, s1: &Solution, s2: &Solution, ti: usize) -> Solution {
@@ -387,7 +400,7 @@ impl MedianCoordinator {
         let msgs: Vec<PreclusterMsg> = replies.into_iter().map(PreclusterMsg::decode).collect();
         let dim = msgs
             .iter()
-            .find(|m| m.centers.len() > 0 || m.outliers.len() > 0)
+            .find(|m| !m.centers.is_empty() || !m.outliers.is_empty())
             .map(|m| m.centers.dim())
             .unwrap_or(self.dim);
         let mut merged = PointSet::new(dim);
@@ -425,22 +438,42 @@ impl MedianCoordinator {
                 let m = SquaredMetric::new(EuclideanMetric::new(&merged));
                 if relax {
                     median_bicriteria_relaxed_centers(
-                        &m, &weighted, self.cfg.k, self.cfg.t as f64, Objective::Median, params,
+                        &m,
+                        &weighted,
+                        self.cfg.k,
+                        self.cfg.t as f64,
+                        Objective::Median,
+                        params,
                     )
                 } else {
                     median_bicriteria(
-                        &m, &weighted, self.cfg.k, self.cfg.t as f64, Objective::Median, params,
+                        &m,
+                        &weighted,
+                        self.cfg.k,
+                        self.cfg.t as f64,
+                        Objective::Median,
+                        params,
                     )
                 }
             } else {
                 let m = EuclideanMetric::new(&merged);
                 if relax {
                     median_bicriteria_relaxed_centers(
-                        &m, &weighted, self.cfg.k, self.cfg.t as f64, Objective::Median, params,
+                        &m,
+                        &weighted,
+                        self.cfg.k,
+                        self.cfg.t as f64,
+                        Objective::Median,
+                        params,
                     )
                 } else {
                     median_bicriteria(
-                        &m, &weighted, self.cfg.k, self.cfg.t as f64, Objective::Median, params,
+                        &m,
+                        &weighted,
+                        self.cfg.k,
+                        self.cfg.t as f64,
+                        Objective::Median,
+                        params,
                     )
                 }
             }
@@ -472,7 +505,11 @@ pub fn run_distributed_median(
         .enumerate()
         .map(|(i, ps)| Box::new(MedianSite::new(ps, i, cfg)) as Box<dyn Site + '_>)
         .collect();
-    let coordinator = MedianCoordinator { cfg, dim, result: None };
+    let coordinator = MedianCoordinator {
+        cfg,
+        dim,
+        result: None,
+    };
     run_protocol(&mut sites, coordinator, options)
 }
 
@@ -501,11 +538,17 @@ mod tests {
     fn recovers_clumps_and_outliers() {
         let shards = shards_with_outliers();
         let cfg = MedianConfig::new(2, 3);
-        let out = run_distributed_median(&shards, cfg, RunOptions { parallel: false, ..Default::default() });
+        let out = run_distributed_median(
+            &shards,
+            cfg,
+            RunOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        );
         let sol = out.output;
         // Evaluate on the full data with the (1+eps)t budget.
-        let (cost, _) =
-            evaluate_on_full_data(&shards, &sol.centers, 6, Objective::Median);
+        let (cost, _) = evaluate_on_full_data(&shards, &sol.centers, 6, Objective::Median);
         assert!(cost < 50.0, "true cost {cost}");
         assert_eq!(out.stats.num_rounds(), 2); // the paper's 2 rounds
         assert!(sol.shipped_outliers <= 3 * 3); // Σ t_i ≤ ρt + t = 3t
@@ -515,9 +558,15 @@ mod tests {
     fn means_variant_runs() {
         let shards = shards_with_outliers();
         let cfg = MedianConfig::new(2, 3).means();
-        let out = run_distributed_median(&shards, cfg, RunOptions { parallel: false, ..Default::default() });
-        let (cost, _) =
-            evaluate_on_full_data(&shards, &out.output.centers, 6, Objective::Means);
+        let out = run_distributed_median(
+            &shards,
+            cfg,
+            RunOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        );
+        let (cost, _) = evaluate_on_full_data(&shards, &out.output.centers, 6, Objective::Means);
         assert!(cost < 100.0, "true means cost {cost}");
     }
 
@@ -525,13 +574,23 @@ mod tests {
     fn counts_only_ships_no_outliers() {
         let shards = shards_with_outliers();
         let cfg = MedianConfig::new(2, 3).counts_only(0.5);
-        let out = run_distributed_median(&shards, cfg, RunOptions { parallel: false, ..Default::default() });
+        let out = run_distributed_median(
+            &shards,
+            cfg,
+            RunOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        );
         // Communication in the final round must carry no outlier points:
         // compare against the ship variant.
         let ship = run_distributed_median(
             &shards,
             MedianConfig::new(2, 3),
-            RunOptions { parallel: false, ..Default::default() },
+            RunOptions {
+                parallel: false,
+                ..Default::default()
+            },
         );
         let last = out.stats.rounds.last().unwrap();
         let last_ship = ship.stats.rounds.last().unwrap();
@@ -541,8 +600,7 @@ mod tests {
             "counts-only must ship fewer bytes"
         );
         // Quality still holds with the (2+ε+δ)t budget.
-        let (cost, _) =
-            evaluate_on_full_data(&shards, &out.output.centers, 11, Objective::Median);
+        let (cost, _) = evaluate_on_full_data(&shards, &out.output.centers, 11, Objective::Median);
         assert!(cost < 100.0, "true cost {cost}");
     }
 
@@ -550,7 +608,14 @@ mod tests {
     fn t_zero_no_outlier_machinery() {
         let shards = shards_with_outliers();
         let cfg = MedianConfig::new(3, 0); // 3 centers can cover clumps + 1 outlier... not needed; just runs
-        let out = run_distributed_median(&shards, cfg, RunOptions { parallel: false, ..Default::default() });
+        let out = run_distributed_median(
+            &shards,
+            cfg,
+            RunOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        );
         assert_eq!(out.output.shipped_outliers, 0);
     }
 
@@ -558,9 +623,15 @@ mod tests {
     fn single_site_degenerates_gracefully() {
         let shards = vec![shards_with_outliers().remove(1)];
         let cfg = MedianConfig::new(1, 3);
-        let out = run_distributed_median(&shards, cfg, RunOptions { parallel: false, ..Default::default() });
-        let (cost, _) =
-            evaluate_on_full_data(&shards, &out.output.centers, 6, Objective::Median);
+        let out = run_distributed_median(
+            &shards,
+            cfg,
+            RunOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        );
+        let (cost, _) = evaluate_on_full_data(&shards, &out.output.centers, 6, Objective::Median);
         assert!(cost < 50.0, "true cost {cost}");
     }
 
@@ -569,9 +640,15 @@ mod tests {
         let mut shards = shards_with_outliers();
         shards.push(PointSet::new(2));
         let cfg = MedianConfig::new(2, 3);
-        let out = run_distributed_median(&shards, cfg, RunOptions { parallel: false, ..Default::default() });
-        let (cost, _) =
-            evaluate_on_full_data(&shards, &out.output.centers, 6, Objective::Median);
+        let out = run_distributed_median(
+            &shards,
+            cfg,
+            RunOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        );
+        let (cost, _) = evaluate_on_full_data(&shards, &out.output.centers, 6, Objective::Median);
         assert!(cost < 50.0, "true cost {cost}");
     }
 
@@ -579,8 +656,22 @@ mod tests {
     fn parallel_matches_sequential() {
         let shards = shards_with_outliers();
         let cfg = MedianConfig::new(2, 3);
-        let a = run_distributed_median(&shards, cfg, RunOptions { parallel: false, ..Default::default() });
-        let b = run_distributed_median(&shards, cfg, RunOptions { parallel: true, ..Default::default() });
+        let a = run_distributed_median(
+            &shards,
+            cfg,
+            RunOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        );
+        let b = run_distributed_median(
+            &shards,
+            cfg,
+            RunOptions {
+                parallel: true,
+                ..Default::default()
+            },
+        );
         assert_eq!(a.output.centers, b.output.centers);
         assert_eq!(a.stats.total_bytes(), b.stats.total_bytes());
     }
@@ -590,7 +681,14 @@ mod tests {
         // Hull messages must be O(log t) vertices, not O(t).
         let shards = shards_with_outliers();
         let cfg = MedianConfig::new(2, 16);
-        let out = run_distributed_median(&shards, cfg, RunOptions { parallel: false, ..Default::default() });
+        let out = run_distributed_median(
+            &shards,
+            cfg,
+            RunOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        );
         let r0 = &out.stats.rounds[0];
         for &bytes in &r0.sites_to_coordinator {
             // grid of t=16, rho=2 has ≤ 7 points; each vertex ≤ ~11 bytes.
@@ -614,12 +712,20 @@ mod relax_centers_tests {
         }
         a.push(vec![7e4, 0.0]);
         a.push(vec![-9e4, 1e4]);
-        let shards = vec![
-            PointSet::from_rows(&a[..16]),
-            PointSet::from_rows(&a[16..]),
-        ];
-        let cfg = MedianConfig { eps: 0.5, ..MedianConfig::new(2, 2) }.relax_centers();
-        let out = run_distributed_median(&shards, cfg, RunOptions { parallel: false, ..Default::default() });
+        let shards = vec![PointSet::from_rows(&a[..16]), PointSet::from_rows(&a[16..])];
+        let cfg = MedianConfig {
+            eps: 0.5,
+            ..MedianConfig::new(2, 2)
+        }
+        .relax_centers();
+        let out = run_distributed_median(
+            &shards,
+            cfg,
+            RunOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        );
         // (1+0.5)*2 = 3 centers may open; coordinator excludes exactly t=2.
         assert!(out.output.centers.len() <= 3);
         assert!(out.output.excluded_weight <= 2.0 + 1e-9);

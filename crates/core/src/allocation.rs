@@ -45,7 +45,12 @@ pub fn allocate_outliers(profiles: &[ConvexProfile], t: usize, rho: f64) -> Allo
     assert!(rho >= 1.0, "rho must be at least 1");
     let s = profiles.len();
     if t == 0 {
-        return Allocation { threshold: f64::INFINITY, i0: 0, q0: 0, t_i: vec![0; s] };
+        return Allocation {
+            threshold: f64::INFINITY,
+            i0: 0,
+            q0: 0,
+            t_i: vec![0; s],
+        };
     }
 
     // All marginals (ℓ, i, q) for q ∈ 1..=t.
@@ -65,7 +70,12 @@ pub fn allocate_outliers(profiles: &[ConvexProfile], t: usize, rho: f64) -> Allo
     for &(_, i, _) in &items[..rank] {
         t_i[i] += 1;
     }
-    Allocation { threshold, i0, q0, t_i }
+    Allocation {
+        threshold,
+        i0,
+        q0,
+        t_i,
+    }
 }
 
 #[cfg(test)]
@@ -159,7 +169,11 @@ mod tests {
         // rank = 6 largest of the 8 marginals:
         // site0: 4,3,2,1 ; site1: 0.5,0.4,0.3,0.2
         // sorted: 4,3,2,1,0.5,0.4 | 0.3,0.2 -> threshold 0.4 at (1,2)
-        assert!((alloc.threshold - 0.4).abs() < 1e-9, "thr {}", alloc.threshold);
+        assert!(
+            (alloc.threshold - 0.4).abs() < 1e-9,
+            "thr {}",
+            alloc.threshold
+        );
         assert_eq!((alloc.i0, alloc.q0), (1, 2));
         assert_eq!(alloc.t_i, vec![4, 2]);
     }
@@ -170,7 +184,9 @@ mod tests {
         // marginal sequences; greedy must match DP.
         let mut seeds = 0xdeadbeefu64;
         let mut rnd = move || {
-            seeds = seeds.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seeds = seeds
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seeds >> 33) as f64) / (u32::MAX as f64)
         };
         for _ in 0..20 {

@@ -58,7 +58,10 @@ mod tests {
         let ps = instance();
         let m = EuclideanMetric::new(&ps);
         let w = WeightedSet::unit(ps.len());
-        let p = BicriteriaParams { eps: 0.0, ..Default::default() };
+        let p = BicriteriaParams {
+            eps: 0.0,
+            ..Default::default()
+        };
         let s1 = median_bicriteria(&m, &w, 2, 1.0, Objective::Median, p);
         let s2 = median_bicriteria(&m, &w, 2, 4.0, Objective::Median, p);
         let merged = merge_solutions(&m, &w, &s1, &s2, 2.0, Objective::Median);
@@ -75,7 +78,10 @@ mod tests {
         let ps = instance();
         let m = EuclideanMetric::new(&ps);
         let w = WeightedSet::unit(ps.len());
-        let p = BicriteriaParams { eps: 0.0, ..Default::default() };
+        let p = BicriteriaParams {
+            eps: 0.0,
+            ..Default::default()
+        };
         let (q1, q2) = (1usize, 4usize);
         let s1 = median_bicriteria(&m, &w, 3, q1 as f64, Objective::Median, p);
         let s2 = median_bicriteria(&m, &w, 3, q2 as f64, Objective::Median, p);
@@ -101,7 +107,10 @@ mod tests {
         let ps = instance();
         let m = EuclideanMetric::new(&ps);
         let w = WeightedSet::unit(ps.len());
-        let p = BicriteriaParams { eps: 0.0, ..Default::default() };
+        let p = BicriteriaParams {
+            eps: 0.0,
+            ..Default::default()
+        };
         let s = median_bicriteria(&m, &w, 2, 2.0, Objective::Median, p);
         let merged = merge_solutions(&m, &w, &s, &s, 2.0, Objective::Median);
         assert_eq!(merged.centers, s.centers);

@@ -7,8 +7,8 @@
 //! site ships its `k + t` Gonzalez prefix), which Theorem 4.3 improves on;
 //! it doubles as the experimental baseline for E4/E11.
 
-use crate::algo_median::MedianConfig;
 use crate::algo_center::CenterConfig;
+use crate::algo_median::MedianConfig;
 use crate::wire::{DistributedSolution, PreclusterMsg};
 use bytes::Bytes;
 use dpc_cluster::{charikar_center, gonzalez, median_bicriteria, BicriteriaParams, Solution};
@@ -47,11 +47,25 @@ impl Site for OneRoundMedianSite<'_> {
         let w = WeightedSet::unit(n);
         let sol = if self.cfg.means {
             let m = SquaredMetric::new(EuclideanMetric::new(self.data));
-            let s = median_bicriteria(&m, &w, 2 * self.cfg.k, t_local as f64, Objective::Median, params);
+            let s = median_bicriteria(
+                &m,
+                &w,
+                2 * self.cfg.k,
+                t_local as f64,
+                Objective::Median,
+                params,
+            );
             Solution::evaluate(&m, &w, s.centers, t_local as f64, Objective::Median)
         } else {
             let m = EuclideanMetric::new(self.data);
-            let s = median_bicriteria(&m, &w, 2 * self.cfg.k, t_local as f64, Objective::Median, params);
+            let s = median_bicriteria(
+                &m,
+                &w,
+                2 * self.cfg.k,
+                t_local as f64,
+                Objective::Median,
+                params,
+            );
             Solution::evaluate(&m, &w, s.centers, t_local as f64, Objective::Median)
         };
         crate::algo_median::precluster_msg(self.data, &sol, true, t_local).encode()
@@ -76,7 +90,7 @@ impl Coordinator for OneRoundMedianCoordinator {
                     replies.into_iter().map(PreclusterMsg::decode).collect();
                 let dim = msgs
                     .iter()
-                    .find(|m| m.centers.len() > 0 || m.outliers.len() > 0)
+                    .find(|m| !m.centers.is_empty() || !m.outliers.is_empty())
                     .map(|m| m.centers.dim())
                     .unwrap_or(self.dim);
                 let mut merged = PointSet::new(dim);
@@ -108,10 +122,24 @@ impl Coordinator for OneRoundMedianCoordinator {
                     };
                     let sol = if self.cfg.means {
                         let m = SquaredMetric::new(EuclideanMetric::new(&merged));
-                        median_bicriteria(&m, &weighted, self.cfg.k, self.cfg.t as f64, Objective::Median, params)
+                        median_bicriteria(
+                            &m,
+                            &weighted,
+                            self.cfg.k,
+                            self.cfg.t as f64,
+                            Objective::Median,
+                            params,
+                        )
                     } else {
                         let m = EuclideanMetric::new(&merged);
-                        median_bicriteria(&m, &weighted, self.cfg.k, self.cfg.t as f64, Objective::Median, params)
+                        median_bicriteria(
+                            &m,
+                            &weighted,
+                            self.cfg.k,
+                            self.cfg.t as f64,
+                            Objective::Median,
+                            params,
+                        )
                     };
                     DistributedSolution {
                         centers: merged.subset(&sol.centers),
@@ -144,9 +172,19 @@ pub fn run_one_round_median(
     let mut sites: Vec<Box<dyn Site + '_>> = shards
         .iter()
         .enumerate()
-        .map(|(i, ps)| Box::new(OneRoundMedianSite { data: ps, site_id: i, cfg }) as Box<dyn Site + '_>)
+        .map(|(i, ps)| {
+            Box::new(OneRoundMedianSite {
+                data: ps,
+                site_id: i,
+                cfg,
+            }) as Box<dyn Site + '_>
+        })
         .collect();
-    let coordinator = OneRoundMedianCoordinator { cfg, dim, result: None };
+    let coordinator = OneRoundMedianCoordinator {
+        cfg,
+        dim,
+        result: None,
+    };
     run_protocol(&mut sites, coordinator, options)
 }
 
@@ -208,7 +246,7 @@ impl Coordinator for OneRoundCenterCoordinator {
                     replies.into_iter().map(PreclusterMsg::decode).collect();
                 let dim = msgs
                     .iter()
-                    .find(|m| m.centers.len() > 0)
+                    .find(|m| !m.centers.is_empty())
                     .map(|m| m.centers.dim())
                     .unwrap_or(self.dim);
                 let mut merged = PointSet::new(dim);
@@ -267,7 +305,11 @@ pub fn run_one_round_center(
         .iter()
         .map(|ps| Box::new(OneRoundCenterSite { data: ps, cfg }) as Box<dyn Site + '_>)
         .collect();
-    let coordinator = OneRoundCenterCoordinator { cfg, dim, result: None };
+    let coordinator = OneRoundCenterCoordinator {
+        cfg,
+        dim,
+        result: None,
+    };
     run_protocol(&mut sites, coordinator, options)
 }
 
@@ -298,8 +340,22 @@ mod tests {
     fn one_round_median_works_but_ships_more() {
         let sh = shards(4, 3);
         let cfg = MedianConfig::new(4, 3);
-        let one = run_one_round_median(&sh, cfg, RunOptions { parallel: false, ..Default::default() });
-        let two = run_distributed_median(&sh, cfg, RunOptions { parallel: false, ..Default::default() });
+        let one = run_one_round_median(
+            &sh,
+            cfg,
+            RunOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        );
+        let two = run_distributed_median(
+            &sh,
+            cfg,
+            RunOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        );
         let (c1, _) = evaluate_on_full_data(&sh, &one.output.centers, 6, Objective::Median);
         let (c2, _) = evaluate_on_full_data(&sh, &two.output.centers, 6, Objective::Median);
         assert!(c1 < 50.0, "one-round cost {c1}");
@@ -317,8 +373,22 @@ mod tests {
         // profile values plus a shared ~rho*t).
         let sh = shards(3, 20);
         let cfg = CenterConfig::new(3, 20);
-        let one = run_one_round_center(&sh, cfg, RunOptions { parallel: false, ..Default::default() });
-        let two = run_distributed_center(&sh, cfg, RunOptions { parallel: false, ..Default::default() });
+        let one = run_one_round_center(
+            &sh,
+            cfg,
+            RunOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        );
+        let two = run_distributed_center(
+            &sh,
+            cfg,
+            RunOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        );
         let (c1, _) = evaluate_on_full_data(&sh, &one.output.centers, 20, Objective::Center);
         let (c2, _) = evaluate_on_full_data(&sh, &two.output.centers, 20, Objective::Center);
         assert!(c1 <= 6.0, "one-round center cost {c1}");
@@ -337,9 +407,23 @@ mod tests {
     fn empty_shards_one_round() {
         let mut sh = shards(2, 1);
         sh.push(PointSet::new(2));
-        let m = run_one_round_median(&sh, MedianConfig::new(2, 1), RunOptions { parallel: false, ..Default::default() });
+        let m = run_one_round_median(
+            &sh,
+            MedianConfig::new(2, 1),
+            RunOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        );
         assert!(m.output.centers.len() <= 2);
-        let c = run_one_round_center(&sh, CenterConfig::new(2, 1), RunOptions { parallel: false, ..Default::default() });
+        let c = run_one_round_center(
+            &sh,
+            CenterConfig::new(2, 1),
+            RunOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        );
         assert!(c.output.centers.len() <= 2);
     }
 }

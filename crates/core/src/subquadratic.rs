@@ -15,9 +15,7 @@
 use crate::allocation::allocate_outliers;
 use crate::hull::{geometric_grid, ConvexProfile};
 use dpc_cluster::{median_bicriteria, BicriteriaParams, LocalSearchParams, Solution};
-use dpc_metric::{
-    CrossMetric, EuclideanMetric, Objective, PointSet, SquaredMetric, WeightedSet,
-};
+use dpc_metric::{CrossMetric, EuclideanMetric, Objective, PointSet, SquaredMetric, WeightedSet};
 
 /// Tuning for [`subquadratic_median`].
 #[derive(Clone, Copy, Debug)]
@@ -79,9 +77,17 @@ pub fn subquadratic_median(
     assert!(k > 0, "need at least one center");
     let centers = solve_rec(points, k, t, params.levels, &params);
     let budget = (((1.0 + params.eps) * t as f64).floor() as usize).min(points.len());
-    let objective = if params.means { Objective::Means } else { Objective::Median };
+    let objective = if params.means {
+        Objective::Means
+    } else {
+        Objective::Median
+    };
     let (cost, excluded) = eval_coords(points, &centers, budget, objective);
-    CentralizedSolution { centers, cost, excluded }
+    CentralizedSolution {
+        centers,
+        cost,
+        excluded,
+    }
 }
 
 /// Recursive solver returning center *coordinates* (size ≤ 2k at inner
@@ -99,8 +105,7 @@ fn solve_rec(
     }
 
     // s = n^{2/3} pieces of size ~ n^{1/3} (α₀ = 1 balance).
-    let s = ((n as f64).powf(2.0 / 3.0).ceil() as usize)
-        .clamp(2, n.div_ceil(2).max(2));
+    let s = ((n as f64).powf(2.0 / 3.0).ceil() as usize).clamp(2, n.div_ceil(2).max(2));
     let piece_len = n.div_ceil(s);
     let pieces: Vec<PointSet> = (0..s)
         .map(|i| {
@@ -117,7 +122,11 @@ fn solve_rec(
     let grid = geometric_grid(t, params.rho);
     let mut piece_sols: Vec<Vec<PointSet>> = Vec::with_capacity(pieces.len());
     let mut profiles: Vec<ConvexProfile> = Vec::with_capacity(pieces.len());
-    let objective = if params.means { Objective::Means } else { Objective::Median };
+    let objective = if params.means {
+        Objective::Means
+    } else {
+        Objective::Median
+    };
     for piece in &pieces {
         let mut sols = Vec::with_capacity(grid.len());
         let mut prof_pts = Vec::with_capacity(grid.len());
@@ -277,7 +286,11 @@ mod tests {
     #[test]
     fn two_levels_recursion_runs() {
         let ps = instance(800, 3);
-        let params = SubquadraticParams { levels: 2, base_threshold: 64, ..Default::default() };
+        let params = SubquadraticParams {
+            levels: 2,
+            base_threshold: 64,
+            ..Default::default()
+        };
         let sol = subquadratic_median(&ps, 3, 3, params);
         assert!(sol.cost < 1e5, "cost {}", sol.cost);
     }
@@ -285,7 +298,10 @@ mod tests {
     #[test]
     fn means_variant() {
         let ps = instance(400, 3);
-        let params = SubquadraticParams { means: true, ..Default::default() };
+        let params = SubquadraticParams {
+            means: true,
+            ..Default::default()
+        };
         let sol = subquadratic_median(&ps, 3, 3, params);
         assert!(sol.cost < 1e7, "means cost {}", sol.cost);
     }

@@ -61,7 +61,12 @@ impl PreclusterMsg {
             outliers.push(&p);
         }
         let t_i = r.get_varint();
-        PreclusterMsg { centers, weights, outliers, t_i }
+        PreclusterMsg {
+            centers,
+            weights,
+            outliers,
+            t_i,
+        }
     }
 }
 
@@ -167,9 +172,19 @@ mod tests {
 
     #[test]
     fn threshold_roundtrip() {
-        let m = ThresholdMsg { threshold: 2.5, i0: 3, q0: 17, exceptional: true };
+        let m = ThresholdMsg {
+            threshold: 2.5,
+            i0: 3,
+            q0: 17,
+            exceptional: true,
+        };
         assert_eq!(ThresholdMsg::decode(m.encode()), m);
-        let m2 = ThresholdMsg { threshold: f64::INFINITY, i0: 0, q0: 0, exceptional: false };
+        let m2 = ThresholdMsg {
+            threshold: f64::INFINITY,
+            i0: 0,
+            q0: 0,
+            exceptional: false,
+        };
         assert_eq!(ThresholdMsg::decode(m2.encode()), m2);
     }
 

@@ -1,10 +1,10 @@
 //! Property-based tests of the hull / allocation machinery and the
 //! protocol-level invariants of Algorithm 1.
 
+use dpc_coordinator::RunOptions;
 use dpc_core::allocation::allocate_outliers;
 use dpc_core::hull::{geometric_grid, ConvexProfile};
 use dpc_core::{run_distributed_median, MedianConfig};
-use dpc_coordinator::RunOptions;
 use dpc_metric::PointSet;
 use proptest::prelude::*;
 
@@ -97,6 +97,87 @@ proptest! {
             prop_assert_eq!(alloc.total(), rank);
             for &ti in &alloc.t_i {
                 prop_assert!(ti <= 16);
+            }
+        }
+    }
+
+    #[test]
+    fn allocation_threshold_is_the_rank_rho_t_marginal(
+        p0 in arb_profile(8),
+        p1 in arb_profile(8),
+        p2 in arb_profile(8),
+        rho in 1.0f64..3.0,
+    ) {
+        // Lemma 3.3 structure: the allocation is exactly "threshold the
+        // stably-sorted marginals at rank floor(rho*t)", the winners form a
+        // per-site prefix, and the result is locally exchange-optimal.
+        let profiles = vec![
+            ConvexProfile::lower_hull(&p0),
+            ConvexProfile::lower_hull(&p1),
+            ConvexProfile::lower_hull(&p2),
+        ];
+        let t = 8;
+        let alloc = allocate_outliers(&profiles, t, rho);
+
+        // Recompute the paper's Equation (4) order independently.
+        let mut items: Vec<(f64, usize, usize)> = Vec::new();
+        for (i, p) in profiles.iter().enumerate() {
+            for q in 1..=t {
+                items.push((p.marginal(q), i, q));
+            }
+        }
+        items.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        let rank = ((rho * t as f64).floor() as usize).clamp(1, items.len());
+
+        prop_assert_eq!(alloc.total(), rank, "sum t_i must equal the rank");
+        prop_assert!(
+            alloc.threshold == items[rank - 1].0,
+            "threshold {} is not the rank-{} marginal {}",
+            alloc.threshold, rank, items[rank - 1].0
+        );
+        prop_assert_eq!((alloc.i0, alloc.q0), (items[rank - 1].1, items[rank - 1].2));
+
+        // Threshold separation over the winner set (the top-`rank` items of
+        // the Equation (4) order): winners' marginals are >= the threshold,
+        // losers' are <= it, and the per-site winner counts are the t_i.
+        let mut counts = vec![0usize; profiles.len()];
+        for &(m, i, q) in &items[..rank] {
+            counts[i] += 1;
+            prop_assert!(m >= alloc.threshold, "winner ({i},{q}) below threshold");
+        }
+        for &(m, i, q) in &items[rank..] {
+            prop_assert!(m <= alloc.threshold, "loser ({i},{q}) above threshold");
+        }
+        prop_assert_eq!(&counts, &alloc.t_i);
+
+        // The winners at each site form the prefix 1..=t_i — and at the
+        // exceptional site it ends exactly at q0. Exactly-equal marginals on
+        // one linear hull segment can come out of `eval` differing by ~1 ulp,
+        // which legitimately reorders ties, so only require the exact prefix
+        // shape when every computed sequence is truly non-increasing (always
+        // so in exact arithmetic — Lemma 3.3).
+        let exact_monotone = profiles
+            .iter()
+            .all(|p| (2..=t).all(|q| p.marginal(q - 1) >= p.marginal(q)));
+        if exact_monotone {
+            prop_assert_eq!(alloc.t_i[alloc.i0], alloc.q0);
+            for &(_, i, q) in &items[..rank] {
+                prop_assert!(q <= alloc.t_i[i], "winner ({i},{q}) outside prefix 1..={}", alloc.t_i[i]);
+            }
+        }
+
+        // Exchange optimality: moving one outlier between any two sites
+        // cannot lower the total cost (the convexity argument of Lemma 3.3).
+        for a in 0..profiles.len() {
+            for b in 0..profiles.len() {
+                if a == b || alloc.t_i[a] == 0 || alloc.t_i[b] >= t {
+                    continue;
+                }
+                let cur = profiles[a].eval(alloc.t_i[a] as f64)
+                    + profiles[b].eval(alloc.t_i[b] as f64);
+                let alt = profiles[a].eval((alloc.t_i[a] - 1) as f64)
+                    + profiles[b].eval((alloc.t_i[b] + 1) as f64);
+                prop_assert!(alt + 1e-9 >= cur, "exchange {a}->{b} improves: {alt} < {cur}");
             }
         }
     }

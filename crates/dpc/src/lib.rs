@@ -50,8 +50,8 @@ pub use dpc_workloads as workloads;
 /// One-stop imports for applications and examples.
 pub mod prelude {
     pub use dpc_cluster::{
-        charikar_center, exact_best, gonzalez, lloyd_kmeans, median_bicriteria,
-        BicriteriaParams, CenterParams, LloydParams, LocalSearchParams, Solution,
+        charikar_center, exact_best, gonzalez, lloyd_kmeans, median_bicriteria, BicriteriaParams,
+        CenterParams, LloydParams, LocalSearchParams, Solution,
     };
     pub use dpc_coordinator::{CommStats, RunOptions};
     pub use dpc_core::{
@@ -60,7 +60,7 @@ pub mod prelude {
         DeltaVariant, MedianConfig, SubquadraticParams,
     };
     pub use dpc_metric::{
-        center_cost, median_cost, means_cost, EuclideanMetric, Metric, Objective, PointSet,
+        center_cost, means_cost, median_cost, EuclideanMetric, Metric, Objective, PointSet,
         SquaredMetric, WeightedSet,
     };
     pub use dpc_uncertain::{
@@ -68,7 +68,7 @@ pub mod prelude {
         CenterGConfig, CompressedGraph, NodeSet, UncertainConfig, UncertainNode,
     };
     pub use dpc_workloads::{
-        gaussian_mixture, partition, uncertain_mixture, Mixture, MixtureSpec,
-        PartitionStrategy, UncertainSpec,
+        gaussian_mixture, partition, uncertain_mixture, Mixture, MixtureSpec, PartitionStrategy,
+        UncertainSpec,
     };
 }

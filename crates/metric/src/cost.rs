@@ -76,7 +76,11 @@ pub fn cost_excluding_outliers<M: Metric>(
 ) -> OutlierCost {
     assert!(t >= 0.0, "outlier budget must be non-negative");
     if points.is_empty() {
-        return OutlierCost { cost: 0.0, excluded: Vec::new(), assignment: Vec::new() };
+        return OutlierCost {
+            cost: 0.0,
+            excluded: Vec::new(),
+            assignment: Vec::new(),
+        };
     }
     assert!(!centers.is_empty(), "need at least one center");
 
@@ -125,7 +129,11 @@ pub fn cost_excluding_outliers<M: Metric>(
         retained.iter().zip(&dists).map(|(&r, &d)| r * d).sum()
     };
 
-    OutlierCost { cost, excluded, assignment }
+    OutlierCost {
+        cost,
+        excluded,
+        assignment,
+    }
 }
 
 /// `(k,t)`-median cost over unit-weight points `0..metric.len()`.

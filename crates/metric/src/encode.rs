@@ -22,7 +22,9 @@ pub struct WireWriter {
 impl WireWriter {
     /// Fresh empty writer.
     pub fn new() -> Self {
-        Self { buf: BytesMut::new() }
+        Self {
+            buf: BytesMut::new(),
+        }
     }
 
     /// Bytes written so far.

@@ -27,7 +27,7 @@ pub mod points;
 pub mod truncated;
 pub mod weighted;
 
-pub use cost::{center_cost, cost_excluding_outliers, median_cost, means_cost, Objective};
+pub use cost::{center_cost, cost_excluding_outliers, means_cost, median_cost, Objective};
 pub use encode::{WireReader, WireWriter};
 pub use metric::{CrossMetric, EuclideanMetric, MatrixMetric, Metric, SquaredMetric};
 pub use points::{PointId, PointSet};

@@ -40,7 +40,7 @@ pub trait Metric: Sync {
         let mut best: Option<(usize, f64)> = None;
         for (pos, &c) in centers.iter().enumerate() {
             let d = self.dist(i, c);
-            if best.map_or(true, |(_, bd)| d < bd) {
+            if best.is_none_or(|(_, bd)| d < bd) {
                 best = Some((pos, d));
             }
         }
@@ -143,8 +143,14 @@ impl MatrixMetric {
             for j in 0..i {
                 let a = d[i * n + j];
                 let b = d[j * n + i];
-                assert!(a.is_finite() && a >= 0.0, "distances must be finite and non-negative");
-                assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0), "matrix must be symmetric");
+                assert!(
+                    a.is_finite() && a >= 0.0,
+                    "distances must be finite and non-negative"
+                );
+                assert!(
+                    (a - b).abs() <= 1e-12 * a.abs().max(1.0),
+                    "matrix must be symmetric"
+                );
             }
         }
         Self { n, d }
@@ -170,7 +176,10 @@ impl MatrixMetric {
         for i in 0..n {
             for j in 0..i {
                 let v = f(i, j);
-                assert!(v.is_finite() && v >= 0.0, "distances must be finite and non-negative");
+                assert!(
+                    v.is_finite() && v >= 0.0,
+                    "distances must be finite and non-negative"
+                );
                 d[i * n + j] = v;
                 d[j * n + i] = v;
             }

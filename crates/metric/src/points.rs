@@ -27,13 +27,19 @@ impl PointSet {
     /// Panics if `dim == 0`.
     pub fn new(dim: usize) -> Self {
         assert!(dim > 0, "PointSet dimension must be positive");
-        Self { dim, data: Vec::new() }
+        Self {
+            dim,
+            data: Vec::new(),
+        }
     }
 
     /// Creates an empty point set with capacity for `n` points.
     pub fn with_capacity(dim: usize, n: usize) -> Self {
         assert!(dim > 0, "PointSet dimension must be positive");
-        Self { dim, data: Vec::with_capacity(dim * n) }
+        Self {
+            dim,
+            data: Vec::with_capacity(dim * n),
+        }
     }
 
     /// Builds a point set from a flat row-major buffer.
@@ -43,7 +49,7 @@ impl PointSet {
     pub fn from_flat(dim: usize, data: Vec<f64>) -> Self {
         assert!(dim > 0, "PointSet dimension must be positive");
         assert!(
-            data.len() % dim == 0,
+            data.len().is_multiple_of(dim),
             "flat buffer length {} is not a multiple of dim {}",
             data.len(),
             dim

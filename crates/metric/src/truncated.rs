@@ -22,7 +22,10 @@ impl<M: Metric> TruncatedMetric<M> {
     /// # Panics
     /// Panics if `tau` is negative or not finite.
     pub fn new(inner: M, tau: f64) -> Self {
-        assert!(tau.is_finite() && tau >= 0.0, "tau must be finite and non-negative");
+        assert!(
+            tau.is_finite() && tau >= 0.0,
+            "tau must be finite and non-negative"
+        );
         Self { inner, tau }
     }
 

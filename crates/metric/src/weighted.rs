@@ -19,7 +19,10 @@ pub struct WeightedSet {
 impl WeightedSet {
     /// Empty set.
     pub fn new() -> Self {
-        Self { ids: Vec::new(), weights: Vec::new() }
+        Self {
+            ids: Vec::new(),
+            weights: Vec::new(),
+        }
     }
 
     /// Builds from parallel arrays.
@@ -29,19 +32,28 @@ impl WeightedSet {
     pub fn from_parts(ids: Vec<PointId>, weights: Vec<f64>) -> Self {
         assert_eq!(ids.len(), weights.len(), "ids/weights length mismatch");
         for &w in &weights {
-            assert!(w.is_finite() && w >= 0.0, "weights must be finite and non-negative");
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "weights must be finite and non-negative"
+            );
         }
         Self { ids, weights }
     }
 
     /// Uniform unit weights over `0..n`.
     pub fn unit(n: usize) -> Self {
-        Self { ids: (0..n).collect(), weights: vec![1.0; n] }
+        Self {
+            ids: (0..n).collect(),
+            weights: vec![1.0; n],
+        }
     }
 
     /// Adds a weighted point.
     pub fn push(&mut self, id: PointId, weight: f64) {
-        assert!(weight.is_finite() && weight >= 0.0, "weight must be finite and non-negative");
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "weight must be finite and non-negative"
+        );
         self.ids.push(id);
         self.weights.push(weight);
     }

@@ -4,11 +4,8 @@ use dpc_metric::*;
 use proptest::prelude::*;
 
 fn arb_points(max_n: usize, dim: usize) -> impl Strategy<Value = PointSet> {
-    proptest::collection::vec(
-        proptest::collection::vec(-1e4f64..1e4, dim..=dim),
-        2..max_n,
-    )
-    .prop_map(|rows| PointSet::from_rows(&rows))
+    proptest::collection::vec(proptest::collection::vec(-1e4f64..1e4, dim..=dim), 2..max_n)
+        .prop_map(|rows| PointSet::from_rows(&rows))
 }
 
 proptest! {

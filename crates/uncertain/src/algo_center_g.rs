@@ -53,7 +53,12 @@ pub struct CenterGConfig {
 impl CenterGConfig {
     /// Defaults: `ρ = 2`.
     pub fn new(k: usize, t: usize) -> Self {
-        Self { k, t, rho: 2.0, charikar: CenterParams::default() }
+        Self {
+            k,
+            t,
+            rho: 2.0,
+            charikar: CenterParams::default(),
+        }
     }
 }
 
@@ -97,7 +102,14 @@ struct CenterGSite<'a> {
 
 impl<'a> CenterGSite<'a> {
     fn new(data: &'a NodeSet, site_id: usize, cfg: CenterGConfig) -> Self {
-        Self { data, site_id, cfg, y: Vec::new(), taus: Vec::new(), states: Vec::new() }
+        Self {
+            data,
+            site_id,
+            cfg,
+            y: Vec::new(),
+            taus: Vec::new(),
+            states: Vec::new(),
+        }
     }
 
     /// Round 0: local distance range over the support points.
@@ -131,13 +143,21 @@ impl<'a> CenterGSite<'a> {
         let mut w = WireWriter::new();
         w.put_varint(self.taus.len() as u64);
         if n > 0 {
-            self.y = self.data.collapse(false).into_iter().map(|(y, _)| y).collect();
+            self.y = self
+                .data
+                .collapse(false)
+                .into_iter()
+                .map(|(y, _)| y)
+                .collect();
         }
         for &tau in &self.taus.clone() {
             if n == 0 {
                 let profile = ConvexProfile::lower_hull(&[(0, 0.0)]);
                 profile.encode(&mut w);
-                self.states.push(TauState { order: Vec::new(), profile });
+                self.states.push(TauState {
+                    order: Vec::new(),
+                    profile,
+                });
                 continue;
             }
             // Node-node matrix under ρ_{6τ}.
@@ -159,13 +179,20 @@ impl<'a> CenterGSite<'a> {
             let mut cum = vec![0.0f64; t + 1];
             for q in (0..t).rev() {
                 let idx = 2 * self.cfg.k + q;
-                let marg = if idx < ord.radii.len() { ord.radii[idx] } else { 0.0 };
+                let marg = if idx < ord.radii.len() {
+                    ord.radii[idx]
+                } else {
+                    0.0
+                };
                 cum[q] = cum[q + 1] + marg;
             }
             let pts: Vec<(usize, f64)> = grid.iter().map(|&q| (q, cum[q])).collect();
             let profile = ConvexProfile::lower_hull(&pts);
             profile.encode(&mut w);
-            self.states.push(TauState { order: ord.order, profile });
+            self.states.push(TauState {
+                order: ord.order,
+                profile,
+            });
         }
         w.finish()
     }
@@ -191,7 +218,9 @@ impl<'a> CenterGSite<'a> {
         }
         let state = &self.states[tau_idx.min(self.states.len() - 1)];
         let ti = if exceptional {
-            state.profile.next_vertex_at_or_after((q0 as usize).min(self.cfg.t))
+            state
+                .profile
+                .next_vertex_at_or_after((q0 as usize).min(self.cfg.t))
         } else {
             let mut ti = 0usize;
             for q in 1..=self.cfg.t {
@@ -263,7 +292,11 @@ impl Site for CenterGSite<'_> {
 /// A merged entity at the coordinator: a collapsed point or a full node.
 enum Entity {
     Point(Vec<f64>),
-    Node { node: UncertainNode, ground: PointSet, y: usize },
+    Node {
+        node: UncertainNode,
+        ground: PointSet,
+        y: usize,
+    },
 }
 
 impl Entity {
@@ -281,16 +314,22 @@ impl Entity {
 /// Lemma 5.11).
 fn entity_dist(a: &Entity, b: &Entity) -> f64 {
     match (a, b) {
-        (Entity::Point(p), Entity::Point(q)) => {
-            dpc_metric::points::sq_dist(p, q).sqrt()
-        }
+        (Entity::Point(p), Entity::Point(q)) => dpc_metric::points::sq_dist(p, q).sqrt(),
         (Entity::Point(p), Entity::Node { node, ground, .. })
         | (Entity::Node { node, ground, .. }, Entity::Point(p)) => {
             node.expected_distance(ground, p)
         }
         (
-            Entity::Node { node: na, ground: ga, y: ya },
-            Entity::Node { node: nb, ground: gb, y: yb },
+            Entity::Node {
+                node: na,
+                ground: ga,
+                y: ya,
+            },
+            Entity::Node {
+                node: nb,
+                ground: gb,
+                y: yb,
+            },
         ) => {
             let via_a = {
                 let u = ga.point(*ya);
@@ -391,7 +430,10 @@ impl Coordinator for CenterGCoordinator {
                                 .unwrap_or_else(|| ConvexProfile::lower_hull(&[(0, 0.0)]))
                         })
                         .collect();
-                    (taus_checked, allocate_outliers(&profiles, self.cfg.t, self.cfg.rho))
+                    (
+                        taus_checked,
+                        allocate_outliers(&profiles, self.cfg.t, self.cfg.rho),
+                    )
                 });
                 let msgs = (0..replies.len())
                     .map(|i| {
@@ -497,7 +539,12 @@ pub fn run_center_g(
         .enumerate()
         .map(|(i, ns)| Box::new(CenterGSite::new(ns, i, cfg)) as Box<dyn Site + '_>)
         .collect();
-    let coordinator = CenterGCoordinator { cfg, dim, tau_base: 1.0, result: None };
+    let coordinator = CenterGCoordinator {
+        cfg,
+        dim,
+        tau_base: 1.0,
+        result: None,
+    };
     run_protocol(&mut sites, coordinator, options)
 }
 
@@ -519,10 +566,8 @@ mod tests {
             for _ in 0..8 {
                 let mut support = Vec::new();
                 for _ in 0..2 {
-                    let p = ground.push(&[
-                        center + rng.gen_range(-1.0..1.0),
-                        rng.gen_range(-1.0..1.0),
-                    ]);
+                    let p =
+                        ground.push(&[center + rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]);
                     support.push(p);
                 }
                 nodes.push(UncertainNode::new(support, vec![0.5, 0.5]));
@@ -541,7 +586,14 @@ mod tests {
     fn center_g_recovers_clusters() {
         let sh = shards(13);
         let cfg = CenterGConfig::new(2, 1);
-        let out = run_center_g(&sh, cfg, RunOptions { parallel: false, ..Default::default() });
+        let out = run_center_g(
+            &sh,
+            cfg,
+            RunOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        );
         // Monte-Carlo E[max] with the noise node excluded must be O(cluster
         // jitter), far below the 4e3 of paying for the noise node.
         let g = estimate_center_g_cost(&sh, &out.output.centers, 1, 500, 7);
@@ -553,7 +605,14 @@ mod tests {
     fn comm_includes_full_distributions_for_outliers() {
         let sh = shards(17);
         let cfg = CenterGConfig::new(2, 1);
-        let out = run_center_g(&sh, cfg, RunOptions { parallel: false, ..Default::default() });
+        let out = run_center_g(
+            &sh,
+            cfg,
+            RunOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        );
         // The final round must be heavier than points alone: t·I term.
         let last = out.stats.rounds.last().unwrap();
         let upstream: usize = last.sites_to_coordinator.iter().sum();
@@ -564,7 +623,14 @@ mod tests {
     fn single_site_degenerate() {
         let sh = vec![shards(19).remove(0)];
         let cfg = CenterGConfig::new(1, 1);
-        let out = run_center_g(&sh, cfg, RunOptions { parallel: false, ..Default::default() });
+        let out = run_center_g(
+            &sh,
+            cfg,
+            RunOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        );
         let g = estimate_center_g_cost(&sh, &out.output.centers, 1, 300, 23);
         assert!(g < 60.0, "E[max] {g}");
     }
@@ -607,7 +673,12 @@ impl OneRoundCenterGSite<'_> {
             }
             return w.finish();
         }
-        let y: Vec<usize> = self.data.collapse(false).into_iter().map(|(y, _)| y).collect();
+        let y: Vec<usize> = self
+            .data
+            .collapse(false)
+            .into_iter()
+            .map(|(y, _)| y)
+            .collect();
         for &tau in &taus {
             let m6 = MatrixMetric::from_fn(n, |i, j| {
                 node_node_dist(
@@ -623,7 +694,11 @@ impl OneRoundCenterGSite<'_> {
             let prefix_len = (2 * self.cfg.k + self.cfg.t).min(n);
             let ord = gonzalez(&m6, &ids, prefix_len + 1, 0);
             // Residual cost proxy: the next insertion radius.
-            let residual = if prefix_len < ord.radii.len() { ord.radii[prefix_len] } else { 0.0 };
+            let residual = if prefix_len < ord.radii.len() {
+                ord.radii[prefix_len]
+            } else {
+                0.0
+            };
             let chosen = &ord.order[..prefix_len.min(ord.order.len())];
             // Reassign against the prefix only (gonzalez ran one selection
             // further to expose the residual radius).
@@ -703,10 +778,18 @@ impl Coordinator for OneRoundCenterGCoordinator {
                             let mut ground = PointSet::new(dim);
                             let node = UncertainNode::decode(&mut ground, &mut r);
                             let (yc, _) = node.one_median(&ground);
-                            entities.push(Entity::Node { node, ground, y: yc });
+                            entities.push(Entity::Node {
+                                node,
+                                ground,
+                                y: yc,
+                            });
                             weights.push(r.get_f64());
                         }
-                        ships.push(TauShipment { residual, entities, weights });
+                        ships.push(TauShipment {
+                            residual,
+                            entities,
+                            weights,
+                        });
                     }
                     per_site.push(ships);
                 }
@@ -795,11 +878,25 @@ pub fn run_center_g_one_round(
     let mut sites: Vec<Box<dyn Site + '_>> = shards
         .iter()
         .map(|ns| {
-            Box::new(OneRoundCenterGSite { data: ns, cfg, d_min, d_max }) as Box<dyn Site + '_>
+            Box::new(OneRoundCenterGSite {
+                data: ns,
+                cfg,
+                d_min,
+                d_max,
+            }) as Box<dyn Site + '_>
         })
         .collect();
-    let tau_base = if d_min > 0.0 && d_min.is_finite() { d_min / 18.0 } else { 1.0 };
-    let coordinator = OneRoundCenterGCoordinator { cfg, dim, tau_base, result: None };
+    let tau_base = if d_min > 0.0 && d_min.is_finite() {
+        d_min / 18.0
+    } else {
+        1.0
+    };
+    let coordinator = OneRoundCenterGCoordinator {
+        cfg,
+        dim,
+        tau_base,
+        result: None,
+    };
     run_protocol(&mut sites, coordinator, options)
 }
 
@@ -855,7 +952,10 @@ mod one_round_tests {
             CenterGConfig::new(3, 1),
             lo,
             hi,
-            RunOptions { parallel: false, ..Default::default() },
+            RunOptions {
+                parallel: false,
+                ..Default::default()
+            },
         );
         assert_eq!(out.stats.num_rounds(), 1);
         let g = estimate_center_g_cost(&sh, &out.output.centers, 1, 400, 5);
@@ -869,8 +969,24 @@ mod one_round_tests {
         let sh = shards(73);
         let (lo, hi) = global_range(&sh);
         let cfg = CenterGConfig::new(2, 1);
-        let one = run_center_g_one_round(&sh, cfg, lo, hi, RunOptions { parallel: false, ..Default::default() });
-        let multi = run_center_g(&sh, cfg, RunOptions { parallel: false, ..Default::default() });
+        let one = run_center_g_one_round(
+            &sh,
+            cfg,
+            lo,
+            hi,
+            RunOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        );
+        let multi = run_center_g(
+            &sh,
+            cfg,
+            RunOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        );
         assert!(
             one.stats.upstream_bytes() > multi.stats.upstream_bytes(),
             "1-round {}B should exceed adaptive {}B",
@@ -889,7 +1005,10 @@ mod one_round_tests {
             CenterGConfig::new(2, 1),
             lo,
             hi,
-            RunOptions { parallel: false, ..Default::default() },
+            RunOptions {
+                parallel: false,
+                ..Default::default()
+            },
         );
         assert!(out.output.centers.len() <= 2);
     }

@@ -132,7 +132,12 @@ impl TentacledMsg {
             weights.push(r.get_f64());
         }
         let t_i = r.get_varint();
-        TentacledMsg { ys, ells, weights, t_i }
+        TentacledMsg {
+            ys,
+            ells,
+            weights,
+            t_i,
+        }
     }
 }
 
@@ -273,8 +278,7 @@ impl<'a> UncertainSite<'a> {
         for q in 1..=self.cfg.t {
             let m = prof.marginal(q);
             let wins = m > thr.threshold
-                || (m == thr.threshold
-                    && (self.site_id as u64, q as u64) <= (thr.i0, thr.q0));
+                || (m == thr.threshold && (self.site_id as u64, q as u64) <= (thr.i0, thr.q0));
             if wins {
                 ti = q;
             } else {
@@ -340,7 +344,13 @@ impl<'a> UncertainSite<'a> {
                     ells.push(graph.tentacle(v));
                     out_weights.push(1.0);
                 }
-                TentacledMsg { ys, ells, weights: out_weights, t_i: ti as u64 }.encode()
+                TentacledMsg {
+                    ys,
+                    ells,
+                    weights: out_weights,
+                    t_i: ti as u64,
+                }
+                .encode()
             }
             UObjective::CenterPp => {
                 let prefix = (2 * self.cfg.k + ti).min(self.gonzalez_order.len());
@@ -357,7 +367,13 @@ impl<'a> UncertainSite<'a> {
                     ys.push(graph.y_coords(v));
                     ells.push(graph.tentacle(v));
                 }
-                TentacledMsg { ys, ells, weights, t_i: ti as u64 }.encode()
+                TentacledMsg {
+                    ys,
+                    ells,
+                    weights,
+                    t_i: ti as u64,
+                }
+                .encode()
             }
         }
     }
@@ -432,7 +448,7 @@ impl UncertainCoordinator {
         let msgs: Vec<TentacledMsg> = replies.into_iter().map(TentacledMsg::decode).collect();
         let dim = msgs
             .iter()
-            .find(|m| m.ys.len() > 0)
+            .find(|m| !m.ys.is_empty())
             .map(|m| m.ys.dim())
             .unwrap_or(self.dim);
         let mut ys = PointSet::new(dim);
@@ -502,7 +518,11 @@ pub fn run_uncertain_median(
         .enumerate()
         .map(|(i, ns)| Box::new(UncertainSite::new(ns, i, cfg)) as Box<dyn Site + '_>)
         .collect();
-    let coordinator = UncertainCoordinator { cfg, dim, result: None };
+    let coordinator = UncertainCoordinator {
+        cfg,
+        dim,
+        result: None,
+    };
     run_protocol(&mut sites, coordinator, options)
 }
 
@@ -527,10 +547,8 @@ mod tests {
                 // Each node: 3 support points near the cluster center.
                 let mut support = Vec::new();
                 for _ in 0..3 {
-                    let p = ground.push(&[
-                        center + rng.gen_range(-1.0..1.0),
-                        rng.gen_range(-1.0..1.0),
-                    ]);
+                    let p =
+                        ground.push(&[center + rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]);
                     support.push(p);
                 }
                 nodes.push(UncertainNode::new(support, vec![0.4, 0.3, 0.3]));
@@ -552,7 +570,14 @@ mod tests {
     fn uncertain_median_recovers_clusters() {
         let sh = shards(3);
         let cfg = UncertainConfig::new(2, 2);
-        let out = run_uncertain_median(&sh, cfg, RunOptions { parallel: false, ..Default::default() });
+        let out = run_uncertain_median(
+            &sh,
+            cfg,
+            RunOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        );
         let cost = estimate_expected_cost(&sh, &out.output.centers, 4, false, false);
         // 24 honest nodes with ~1-unit jitter: expected cost O(24·2); noise
         // nodes excluded. A solution paying for noise costs > 5e3.
@@ -564,7 +589,14 @@ mod tests {
     fn uncertain_means_runs() {
         let sh = shards(5);
         let cfg = UncertainConfig::new(2, 2).means();
-        let out = run_uncertain_median(&sh, cfg, RunOptions { parallel: false, ..Default::default() });
+        let out = run_uncertain_median(
+            &sh,
+            cfg,
+            RunOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        );
         let cost = estimate_expected_cost(&sh, &out.output.centers, 4, true, false);
         assert!(cost < 500.0, "uncertain means cost {cost}");
     }
@@ -573,7 +605,14 @@ mod tests {
     fn uncertain_center_pp_runs() {
         let sh = shards(7);
         let cfg = UncertainConfig::new(2, 2).center_pp();
-        let out = run_uncertain_median(&sh, cfg, RunOptions { parallel: false, ..Default::default() });
+        let out = run_uncertain_median(
+            &sh,
+            cfg,
+            RunOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        );
         let cost = estimate_expected_cost(&sh, &out.output.centers, 4, false, true);
         assert!(cost < 20.0, "uncertain center-pp cost {cost}");
     }
@@ -594,7 +633,14 @@ mod tests {
         let mut sh = shards(9);
         sh.push(NodeSet::new(2));
         let cfg = UncertainConfig::new(2, 2);
-        let out = run_uncertain_median(&sh, cfg, RunOptions { parallel: false, ..Default::default() });
+        let out = run_uncertain_median(
+            &sh,
+            cfg,
+            RunOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        );
         let cost = estimate_expected_cost(&sh, &out.output.centers, 4, false, false);
         assert!(cost < 150.0, "cost {cost}");
     }
@@ -613,7 +659,14 @@ mod tests {
         nodes.push(UncertainNode::deterministic(far));
         let sh = vec![NodeSet { ground, nodes }];
         let cfg = UncertainConfig::new(1, 1);
-        let out = run_uncertain_median(&sh, cfg, RunOptions { parallel: false, ..Default::default() });
+        let out = run_uncertain_median(
+            &sh,
+            cfg,
+            RunOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        );
         let cost = estimate_expected_cost(&sh, &out.output.centers, 2, false, false);
         assert!(cost < 3.0, "cost {cost}");
     }

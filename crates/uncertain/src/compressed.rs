@@ -48,7 +48,10 @@ impl CompressedGraph {
     pub fn from_parts(ys: PointSet, ell: Vec<f64>, squared: bool) -> Self {
         assert_eq!(ys.len(), ell.len(), "ys/ell length mismatch");
         for &l in &ell {
-            assert!(l.is_finite() && l >= 0.0, "tentacles must be finite and non-negative");
+            assert!(
+                l.is_finite() && l >= 0.0,
+                "tentacles must be finite and non-negative"
+            );
         }
         Self { ys, ell, squared }
     }
@@ -109,7 +112,11 @@ impl Metric for CompressedGraph {
         if a == b {
             return 0.0;
         }
-        let base = if self.squared { self.ys.sq_dist(a, b) } else { self.ys.dist(a, b) };
+        let base = if self.squared {
+            self.ys.sq_dist(a, b)
+        } else {
+            self.ys.dist(a, b)
+        };
         self.ell[a] + self.ell[b] + base
     }
 }
@@ -123,13 +130,8 @@ mod tests {
 
     fn toy_nodes() -> NodeSet {
         // Ground: two clusters of support points plus a far noise blob.
-        let ground = PointSet::from_rows(&[
-            vec![0.0],
-            vec![1.0],
-            vec![50.0],
-            vec![51.0],
-            vec![500.0],
-        ]);
+        let ground =
+            PointSet::from_rows(&[vec![0.0], vec![1.0], vec![50.0], vec![51.0], vec![500.0]]);
         let nodes = vec![
             UncertainNode::new(vec![0, 1], vec![0.5, 0.5]),
             UncertainNode::new(vec![0, 1], vec![0.9, 0.1]),
@@ -155,9 +157,7 @@ mod tests {
         assert!((d_p0_y0 - g.tentacle(n)).abs() < 1e-12);
         // demand-demand includes both tentacles
         let d_p0_p1 = g.dist(n, n + 1);
-        assert!(
-            (d_p0_p1 - (g.tentacle(n) + g.tentacle(n + 1) + d_y01)).abs() < 1e-12
-        );
+        assert!((d_p0_p1 - (g.tentacle(n) + g.tentacle(n + 1) + d_y01)).abs() < 1e-12);
     }
 
     #[test]
@@ -222,13 +222,19 @@ mod tests {
             k,
             t as f64,
             Objective::Median,
-            BicriteriaParams { eps: 0.0, ..Default::default() },
+            BicriteriaParams {
+                eps: 0.0,
+                ..Default::default()
+            },
         );
         let graph_cost = sol.cost;
         // Translate to a true uncertain solution: center points are the y
         // coordinates; per Lemma 5.4 its true cost ≤ 2 · graph cost.
-        let centers: Vec<Vec<f64>> =
-            sol.centers.iter().map(|&c| g.y_coords(c).to_vec()).collect();
+        let centers: Vec<Vec<f64>> = sol
+            .centers
+            .iter()
+            .map(|&c| g.y_coords(c).to_vec())
+            .collect();
         let mut true_costs: Vec<f64> = ns
             .nodes
             .iter()

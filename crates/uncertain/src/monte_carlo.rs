@@ -84,7 +84,12 @@ pub fn estimate_center_g_cost(
                 .map(|c| (c, node.expected_distance(&shard.ground, centers.point(c))))
                 .min_by(|a, b| a.1.total_cmp(&b.1))
                 .expect("non-empty centers");
-            entries.push(Entry { shard, node: j, center, expected });
+            entries.push(Entry {
+                shard,
+                node: j,
+                center,
+                expected,
+            });
         }
     }
     entries.sort_by(|a, b| b.expected.total_cmp(&a.expected));
@@ -134,7 +139,7 @@ mod tests {
         let s = shard();
         let centers = PointSet::from_rows(&[vec![1.0]]);
         // node 0: E[d] = 1; node 1: 1; node 2: 99
-        let all = estimate_expected_cost(&[s.clone()], &centers, 0, false, false);
+        let all = estimate_expected_cost(std::slice::from_ref(&s), &centers, 0, false, false);
         assert!((all - 101.0).abs() < 1e-9);
         let t1 = estimate_expected_cost(&[s], &centers, 1, false, false);
         assert!((t1 - 2.0).abs() < 1e-9);
@@ -154,7 +159,7 @@ mod tests {
         // excluded, E[max] of the two remaining ~ max realized distance.
         let s = shard();
         let centers = PointSet::from_rows(&[vec![1.0]]);
-        let g = estimate_center_g_cost(&[s.clone()], &centers, 1, 4000, 11);
+        let g = estimate_center_g_cost(std::slice::from_ref(&s), &centers, 1, 4000, 11);
         let pp = estimate_expected_cost(&[s], &centers, 1, false, true);
         assert!(g >= pp - 0.05, "E[max] {g} vs max-E {pp}");
         // node 0 realizes at 0 or 2 (distance 1 either way), node 1 at
@@ -167,7 +172,10 @@ mod tests {
         let ground = PointSet::from_rows(&[vec![0.0], vec![5.0]]);
         let s = NodeSet {
             ground,
-            nodes: vec![UncertainNode::deterministic(0), UncertainNode::deterministic(1)],
+            nodes: vec![
+                UncertainNode::deterministic(0),
+                UncertainNode::deterministic(1),
+            ],
         };
         let centers = PointSet::from_rows(&[vec![0.0]]);
         let g = estimate_center_g_cost(&[s], &centers, 0, 50, 3);

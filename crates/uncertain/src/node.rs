@@ -39,7 +39,10 @@ impl UncertainNode {
         assert!(!support.is_empty(), "support must be non-empty");
         assert_eq!(support.len(), probs.len(), "support/probs mismatch");
         let sum: f64 = probs.iter().sum();
-        assert!((sum - 1.0).abs() < 1e-6, "probabilities sum to {sum}, not 1");
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "probabilities sum to {sum}, not 1"
+        );
         for &p in &probs {
             assert!(p > 0.0, "probabilities must be positive");
         }
@@ -48,7 +51,10 @@ impl UncertainNode {
 
     /// A deterministic node (point mass).
     pub fn deterministic(point: usize) -> Self {
-        Self { support: vec![point], probs: vec![1.0] }
+        Self {
+            support: vec![point],
+            probs: vec![1.0],
+        }
     }
 
     /// Support size `m` (drives `T` and the encoding size `I`).
@@ -178,7 +184,10 @@ pub struct NodeSet {
 impl NodeSet {
     /// Empty shard of the given dimension.
     pub fn new(dim: usize) -> Self {
-        Self { ground: PointSet::new(dim), nodes: Vec::new() }
+        Self {
+            ground: PointSet::new(dim),
+            nodes: Vec::new(),
+        }
     }
 
     /// Number of nodes.
@@ -195,7 +204,13 @@ impl NodeSet {
     pub fn collapse(&self, squared: bool) -> Vec<(usize, f64)> {
         self.nodes
             .iter()
-            .map(|n| if squared { n.one_mean(&self.ground) } else { n.one_median(&self.ground) })
+            .map(|n| {
+                if squared {
+                    n.one_mean(&self.ground)
+                } else {
+                    n.one_median(&self.ground)
+                }
+            })
             .collect()
     }
 }
@@ -304,7 +319,8 @@ mod tests {
         let mut ns = NodeSet::new(1);
         ns.ground = ground();
         ns.nodes.push(UncertainNode::deterministic(1));
-        ns.nodes.push(UncertainNode::new(vec![0, 3], vec![0.9, 0.1]));
+        ns.nodes
+            .push(UncertainNode::new(vec![0, 3], vec![0.9, 0.1]));
         let c = ns.collapse(false);
         assert_eq!(c[0], (1, 0.0));
         assert_eq!(c[1].0, 0);

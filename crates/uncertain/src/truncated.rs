@@ -35,7 +35,9 @@ pub fn tau_grid(d_min: f64, d_max: f64) -> Vec<f64> {
     assert!(d_min > 0.0 && d_max >= d_min, "need 0 < d_min <= d_max");
     let delta = d_max / d_min;
     let imax = delta.log2().ceil() as usize + 2;
-    (0..=imax).map(|i| (2.0f64).powi(i as i32) * d_min / 18.0).collect()
+    (0..=imax)
+        .map(|i| (2.0f64).powi(i as i32) * d_min / 18.0)
+        .collect()
 }
 
 /// Minimum and maximum pairwise distance over a point set (`d_min`,

@@ -6,10 +6,7 @@ use proptest::prelude::*;
 
 fn arb_nodeset(max_nodes: usize) -> impl Strategy<Value = NodeSet> {
     let node = (
-        proptest::collection::vec(
-            proptest::collection::vec(-1e3f64..1e3, 2..=2),
-            1..4usize,
-        ),
+        proptest::collection::vec(proptest::collection::vec(-1e3f64..1e3, 2..=2), 1..4usize),
         proptest::collection::vec(0.05f64..1.0, 1..4usize),
     );
     proptest::collection::vec(node, 2..max_nodes).prop_map(|raw| {

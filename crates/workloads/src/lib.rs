@@ -136,7 +136,12 @@ pub fn gaussian_mixture(spec: MixtureSpec) -> Mixture {
         }
         outlier_ids.push(points.push(&coords));
     }
-    Mixture { points, labels, outlier_ids, centers }
+    Mixture {
+        points,
+        labels,
+        outlier_ids,
+        centers,
+    }
 }
 
 /// How to split a dataset across sites.
@@ -296,7 +301,11 @@ mod tests {
 
     #[test]
     fn mixture_counts_and_labels() {
-        let m = gaussian_mixture(MixtureSpec { inliers: 100, outliers: 7, ..Default::default() });
+        let m = gaussian_mixture(MixtureSpec {
+            inliers: 100,
+            outliers: 7,
+            ..Default::default()
+        });
         assert_eq!(m.points.len(), 107);
         assert_eq!(m.labels.len(), 100);
         assert_eq!(m.outlier_ids.len(), 7);
@@ -330,13 +339,20 @@ mod tests {
         let a = gaussian_mixture(MixtureSpec::default());
         let b = gaussian_mixture(MixtureSpec::default());
         assert_eq!(a.points, b.points);
-        let c = gaussian_mixture(MixtureSpec { seed: 1, ..Default::default() });
+        let c = gaussian_mixture(MixtureSpec {
+            seed: 1,
+            ..Default::default()
+        });
         assert_ne!(a.points, c.points);
     }
 
     #[test]
     fn power_law_sizes_decrease() {
-        let m = gaussian_mixture(MixtureSpec { power_law: true, inliers: 1000, ..Default::default() });
+        let m = gaussian_mixture(MixtureSpec {
+            power_law: true,
+            inliers: 1000,
+            ..Default::default()
+        });
         let mut counts = vec![0usize; 5];
         for &l in &m.labels {
             counts[l] += 1;
@@ -348,7 +364,11 @@ mod tests {
 
     #[test]
     fn partition_preserves_points() {
-        let m = gaussian_mixture(MixtureSpec { inliers: 50, outliers: 5, ..Default::default() });
+        let m = gaussian_mixture(MixtureSpec {
+            inliers: 50,
+            outliers: 5,
+            ..Default::default()
+        });
         for strat in [
             PartitionStrategy::Random,
             PartitionStrategy::RoundRobin,
@@ -363,11 +383,23 @@ mod tests {
 
     #[test]
     fn outlier_skew_pins_outliers_to_site_zero() {
-        let m = gaussian_mixture(MixtureSpec { inliers: 50, outliers: 8, ..Default::default() });
-        let shards = partition(&m.points, 4, PartitionStrategy::OutlierSkew, &m.outlier_ids, 1);
+        let m = gaussian_mixture(MixtureSpec {
+            inliers: 50,
+            outliers: 8,
+            ..Default::default()
+        });
+        let shards = partition(
+            &m.points,
+            4,
+            PartitionStrategy::OutlierSkew,
+            &m.outlier_ids,
+            1,
+        );
         // Count far points per shard: all 8 must be on shard 0.
         let far = |p: &[f64]| p.iter().any(|&x| x.abs() > 1e4);
-        let far0 = (0..shards[0].len()).filter(|&i| far(shards[0].point(i))).count();
+        let far0 = (0..shards[0].len())
+            .filter(|&i| far(shards[0].point(i)))
+            .count();
         assert_eq!(far0, 8);
         for s in &shards[1..] {
             let f = (0..s.len()).filter(|&i| far(s.point(i))).count();
@@ -390,7 +422,11 @@ mod tests {
 
     #[test]
     fn round_robin_balanced() {
-        let m = gaussian_mixture(MixtureSpec { inliers: 40, outliers: 0, ..Default::default() });
+        let m = gaussian_mixture(MixtureSpec {
+            inliers: 40,
+            outliers: 0,
+            ..Default::default()
+        });
         let shards = partition(&m.points, 4, PartitionStrategy::RoundRobin, &[], 0);
         for s in &shards {
             assert_eq!(s.len(), 10);

@@ -23,7 +23,13 @@ fn main() {
         outliers: t,
         ..Default::default()
     });
-    let shards = partition(&mix.points, sites, PartitionStrategy::Random, &mix.outlier_ids, 42);
+    let shards = partition(
+        &mix.points,
+        sites,
+        PartitionStrategy::Random,
+        &mix.outlier_ids,
+        42,
+    );
     println!(
         "n = {} points in {} dims across {} sites",
         mix.points.len(),
@@ -40,7 +46,11 @@ fn main() {
     println!("rounds:            {}", out.stats.num_rounds());
     println!("total bytes:       {}", out.stats.total_bytes());
     println!("upstream bytes:    {}", out.stats.upstream_bytes());
-    println!("shipped outliers:  {} (<= 3t = {})", sol.shipped_outliers, 3 * t);
+    println!(
+        "shipped outliers:  {} (<= 3t = {})",
+        sol.shipped_outliers,
+        3 * t
+    );
     println!(
         "site critical path: {:?}, coordinator: {:?}",
         out.stats.site_critical_path(),
@@ -49,8 +59,7 @@ fn main() {
 
     // Quality vs doing nothing about outliers.
     let budget = 2 * t; // (1+eps)t with eps = 1
-    let (cost, excluded) =
-        evaluate_on_full_data(&shards, &sol.centers, budget, Objective::Median);
+    let (cost, excluded) = evaluate_on_full_data(&shards, &sol.centers, budget, Objective::Median);
     println!("\n-- quality --");
     println!("(k,{budget})-median cost of returned centers: {cost:.2} ({excluded} excluded)");
 

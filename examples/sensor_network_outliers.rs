@@ -33,8 +33,13 @@ fn main() {
     });
     // Adversarial split: all faulty readings funnel through hub 0 (a bad
     // region), stressing the outlier allocation.
-    let shards =
-        partition(&mix.points, sites, PartitionStrategy::OutlierSkew, &mix.outlier_ids, 99);
+    let shards = partition(
+        &mix.points,
+        sites,
+        PartitionStrategy::OutlierSkew,
+        &mix.outlier_ids,
+        99,
+    );
 
     // --- Algorithm 2 (this paper) ---
     let cfg = CenterConfig::new(k, t);
@@ -45,7 +50,10 @@ fn main() {
     let one = run_one_round_center(&shards, cfg, RunOptions::default());
     let (cost1, _) = evaluate_on_full_data(&shards, &one.output.centers, t, Objective::Center);
 
-    println!("\n{:<28} {:>12} {:>10} {:>12}", "protocol", "bytes", "rounds", "(k,t) cost");
+    println!(
+        "\n{:<28} {:>12} {:>10} {:>12}",
+        "protocol", "bytes", "rounds", "(k,t) cost"
+    );
     println!(
         "{:<28} {:>12} {:>10} {:>12.3}",
         "Algorithm 2 (2-round)",
@@ -69,9 +77,20 @@ fn main() {
     let all = merge_shards(&shards);
     let w = WeightedSet::unit(all.len());
     let plain = lloyd_kmeans(&all, &w, k, LloydParams::default());
-    let trimmed = lloyd_kmeans(&all, &w, k, LloydParams { trim: t as f64, ..Default::default() });
+    let trimmed = lloyd_kmeans(
+        &all,
+        &w,
+        k,
+        LloydParams {
+            trim: t as f64,
+            ..Default::default()
+        },
+    );
     println!("\ncentralized reference (sum-of-squares objective):");
-    println!("  plain k-means cost:   {:>14.1}  (outliers drag centers away)", plain.cost);
+    println!(
+        "  plain k-means cost:   {:>14.1}  (outliers drag centers away)",
+        plain.cost
+    );
     println!("  trimmed k-means cost: {:>14.1}", trimmed.cost);
     println!(
         "  sensors the operator would mis-profile without partial clustering: ~{}",

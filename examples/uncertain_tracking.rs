@@ -31,21 +31,32 @@ fn main() {
     let n: usize = shards.iter().map(|s| s.len()).sum();
     let k = spec.clusters;
     let t = spec.noise_nodes;
-    println!("{n} uncertain tracks ({} fixes each) on {} trackers; k = {k}, t = {t}", 4, 5);
+    println!(
+        "{n} uncertain tracks ({} fixes each) on {} trackers; k = {k}, t = {t}",
+        4, 5
+    );
 
     // --- Algorithm 3: uncertain (k,t)-median ---
     let cfg = UncertainConfig::new(k, t);
     let med = run_uncertain_median(&shards, cfg, RunOptions::default());
     let med_cost = estimate_expected_cost(&shards, &med.output.centers, 2 * t, false, false);
     println!("\n-- Algorithm 3: uncertain (k,t)-median --");
-    println!("bytes: {}, rounds: {}", med.stats.total_bytes(), med.stats.num_rounds());
+    println!(
+        "bytes: {}, rounds: {}",
+        med.stats.total_bytes(),
+        med.stats.num_rounds()
+    );
     println!("expected assignment cost (budget 2t): {med_cost:.2}");
 
     // Per-point center variant on the same data.
     let pp = run_uncertain_median(&shards, cfg.center_pp(), RunOptions::default());
     let pp_cost = estimate_expected_cost(&shards, &pp.output.centers, 2 * t, false, true);
     println!("\n-- Algorithm 3: uncertain (k,t)-center-pp --");
-    println!("bytes: {}, rounds: {}", pp.stats.total_bytes(), pp.stats.num_rounds());
+    println!(
+        "bytes: {}, rounds: {}",
+        pp.stats.total_bytes(),
+        pp.stats.num_rounds()
+    );
     println!("max expected assignment distance (budget 2t): {pp_cost:.2}");
 
     // --- Algorithm 4: the global objective E[max] ---
@@ -53,14 +64,21 @@ fn main() {
     let g = run_center_g(&shards, gcfg, RunOptions::default());
     let g_cost = estimate_center_g_cost(&shards, &g.output.centers, t, 2000, 7);
     println!("\n-- Algorithm 4: uncertain (k,t)-center-g --");
-    println!("bytes: {}, rounds: {}", g.stats.total_bytes(), g.stats.num_rounds());
+    println!(
+        "bytes: {}, rounds: {}",
+        g.stats.total_bytes(),
+        g.stats.num_rounds()
+    );
     println!("Monte-Carlo E[max d(sigma(j), pi(j))] (2000 samples): {g_cost:.2}");
 
     // E[max] >= max-of-expectations always; report the gap the global
     // objective captures.
     let g_pp = estimate_expected_cost(&shards, &g.output.centers, t, false, true);
     println!("max-of-expectations with the same centers: {g_pp:.2}");
-    println!("stochastic inflation E[max]/max-E: {:.3}", g_cost / g_pp.max(1e-12));
+    println!(
+        "stochastic inflation E[max]/max-E: {:.3}",
+        g_cost / g_pp.max(1e-12)
+    );
 
     // What a naive pipeline would do: collapse each track to its most
     // likely fix and run the deterministic algorithm — then evaluate on

@@ -3,16 +3,15 @@
 
 use dpc::prelude::*;
 
-fn shards(sites: usize, t: usize, strategy: PartitionStrategy, seed: u64) -> (Vec<PointSet>, Mixture) {
-    let mix = gaussian_mixture(MixtureSpec {
-        clusters: 3,
-        inliers: 600,
-        outliers: t,
-        seed,
-        ..Default::default()
-    });
-    let sh = partition(&mix.points, sites, strategy, &mix.outlier_ids, seed ^ 7);
-    (sh, mix)
+mod test_util;
+
+fn shards(
+    sites: usize,
+    t: usize,
+    strategy: PartitionStrategy,
+    seed: u64,
+) -> (Vec<PointSet>, Mixture) {
+    test_util::mixture_shards(3, sites, 600, t, strategy, seed, 7)
 }
 
 /// Strong centralized reference: Charikar on the merged data.
@@ -27,8 +26,11 @@ fn centralized_center_cost(all_shards: &[PointSet], k: usize, t: usize) -> f64 {
 #[test]
 fn center_constant_factor_vs_centralized() {
     let (k, t) = (3, 10);
-    for strategy in [PartitionStrategy::Random, PartitionStrategy::ByBlock, PartitionStrategy::OutlierSkew]
-    {
+    for strategy in [
+        PartitionStrategy::Random,
+        PartitionStrategy::ByBlock,
+        PartitionStrategy::OutlierSkew,
+    ] {
         let (sh, _) = shards(5, t, strategy, 5);
         let out = run_distributed_center(&sh, CenterConfig::new(k, t), RunOptions::default());
         let (dist, _) = evaluate_on_full_data(&sh, &out.output.centers, t, Objective::Center);
@@ -52,18 +54,22 @@ fn exactly_t_outliers_excluded_at_coordinator() {
 fn communication_independent_of_site_size() {
     // Same k, t, s; 4x the points per site: bytes must stay ~constant.
     let (k, t, sites) = (3, 8, 4);
+    let default_seed = MixtureSpec::default().seed;
     let small = {
-        let mix = gaussian_mixture(MixtureSpec { inliers: 400, outliers: t, ..Default::default() });
-        partition(&mix.points, sites, PartitionStrategy::Random, &mix.outlier_ids, 1)
+        let mix = test_util::mixture(5, 400, t, default_seed);
+        test_util::shard(&mix, sites, PartitionStrategy::Random, 1)
     };
     let big = {
-        let mix = gaussian_mixture(MixtureSpec { inliers: 1600, outliers: t, ..Default::default() });
-        partition(&mix.points, sites, PartitionStrategy::Random, &mix.outlier_ids, 1)
+        let mix = test_util::mixture(5, 1600, t, default_seed);
+        test_util::shard(&mix, sites, PartitionStrategy::Random, 1)
     };
     let cfg = CenterConfig::new(k, t);
     let a = run_distributed_center(&small, cfg, RunOptions::default());
     let b = run_distributed_center(&big, cfg, RunOptions::default());
-    let (sa, sb) = (a.stats.upstream_bytes() as f64, b.stats.upstream_bytes() as f64);
+    let (sa, sb) = (
+        a.stats.upstream_bytes() as f64,
+        b.stats.upstream_bytes() as f64,
+    );
     assert!(sb <= 1.15 * sa, "comm grew with n: {sa} -> {sb}");
 }
 
@@ -83,7 +89,10 @@ fn beats_one_round_in_bytes_at_scale() {
     // ... at no real quality cost.
     let (c2, _) = evaluate_on_full_data(&sh, &two.output.centers, t, Objective::Center);
     let (c1, _) = evaluate_on_full_data(&sh, &one.output.centers, t, Objective::Center);
-    assert!(c2 <= 3.0 * c1.max(0.1) + 1e-9, "2-round {c2} vs 1-round {c1}");
+    assert!(
+        c2 <= 3.0 * c1.max(0.1) + 1e-9,
+        "2-round {c2} vs 1-round {c1}"
+    );
 }
 
 #[test]
@@ -92,15 +101,32 @@ fn t_zero_is_plain_distributed_k_center() {
     let out = run_distributed_center(&sh, CenterConfig::new(3, 0), RunOptions::default());
     let (cost, _) = evaluate_on_full_data(&sh, &out.output.centers, 0, Objective::Center);
     let cen = centralized_center_cost(&sh, 3, 0);
-    assert!(cost <= 6.0 * cen.max(0.1), "cost {cost} vs centralized {cen}");
+    assert!(
+        cost <= 6.0 * cen.max(0.1),
+        "cost {cost} vs centralized {cen}"
+    );
 }
 
 #[test]
 fn parallel_and_sequential_agree() {
     let (sh, _) = shards(6, 10, PartitionStrategy::Random, 19);
     let cfg = CenterConfig::new(3, 10);
-    let a = run_distributed_center(&sh, cfg, RunOptions { parallel: true, ..Default::default() });
-    let b = run_distributed_center(&sh, cfg, RunOptions { parallel: false, ..Default::default() });
+    let a = run_distributed_center(
+        &sh,
+        cfg,
+        RunOptions {
+            parallel: true,
+            ..Default::default()
+        },
+    );
+    let b = run_distributed_center(
+        &sh,
+        cfg,
+        RunOptions {
+            parallel: false,
+            ..Default::default()
+        },
+    );
     assert_eq!(a.output.centers, b.output.centers);
     assert_eq!(a.stats.total_bytes(), b.stats.total_bytes());
 }

@@ -2,6 +2,8 @@
 
 use dpc::prelude::*;
 
+mod test_util;
+
 #[test]
 fn high_dimensional_data() {
     // dim = 16: B = 128 bytes/point; everything must still work.
@@ -12,7 +14,13 @@ fn high_dimensional_data() {
         dim: 16,
         ..Default::default()
     });
-    let shards = partition(&mix.points, 4, PartitionStrategy::Random, &mix.outlier_ids, 1);
+    let shards = partition(
+        &mix.points,
+        4,
+        PartitionStrategy::Random,
+        &mix.outlier_ids,
+        1,
+    );
     let out = run_distributed_median(&shards, MedianConfig::new(3, 5), RunOptions::default());
     let (cost, _) = evaluate_on_full_data(&shards, &out.output.centers, 10, Objective::Median);
     assert!(cost.is_finite() && cost < 1e5, "cost {cost}");
@@ -52,12 +60,7 @@ fn huge_coordinates_no_overflow() {
 #[test]
 fn t_equals_n_minus_k() {
     // Everything except the centers can be discarded: cost must be ~0.
-    let mix = gaussian_mixture(MixtureSpec {
-        clusters: 2,
-        inliers: 20,
-        outliers: 0,
-        ..Default::default()
-    });
+    let mix = test_util::mixture(2, 20, 0, MixtureSpec::default().seed);
     let shards = partition(&mix.points, 2, PartitionStrategy::Random, &[], 3);
     let k = 2;
     let t = 18;
@@ -87,13 +90,8 @@ fn duplicate_heavy_data() {
 
 #[test]
 fn k_one_median_is_weighted_medoid_regime() {
-    let mix = gaussian_mixture(MixtureSpec {
-        clusters: 1,
-        inliers: 200,
-        outliers: 4,
-        ..Default::default()
-    });
-    let shards = partition(&mix.points, 4, PartitionStrategy::Random, &mix.outlier_ids, 9);
+    let mix = test_util::mixture(1, 200, 4, MixtureSpec::default().seed);
+    let shards = test_util::shard(&mix, 4, PartitionStrategy::Random, 9);
     let out = run_distributed_median(&shards, MedianConfig::new(1, 4), RunOptions::default());
     let (cost, _) = evaluate_on_full_data(&shards, &out.output.centers, 8, Objective::Median);
     // 200 points with sigma 1 in 2d: sum of distances to the medoid is
@@ -131,13 +129,8 @@ fn uncertain_single_support_everywhere() {
 
 #[test]
 fn zero_points_one_site_among_many_all_protocols() {
-    let mix = gaussian_mixture(MixtureSpec {
-        clusters: 2,
-        inliers: 60,
-        outliers: 2,
-        ..Default::default()
-    });
-    let mut shards = partition(&mix.points, 3, PartitionStrategy::Random, &mix.outlier_ids, 11);
+    let mix = test_util::mixture(2, 60, 2, MixtureSpec::default().seed);
+    let mut shards = test_util::shard(&mix, 3, PartitionStrategy::Random, 11);
     shards.push(PointSet::new(2));
     let m = run_distributed_median(&shards, MedianConfig::new(2, 2), RunOptions::default());
     assert!(m.output.coordinator_cost.is_finite());
@@ -153,4 +146,22 @@ fn subquadratic_t_zero_and_tiny_n() {
     let sol = subquadratic_median(&ps, 2, 0, SubquadraticParams::default());
     assert!(sol.cost <= 2.0 + 1e-9);
     assert_eq!(sol.excluded, 0);
+}
+
+#[test]
+fn unstructured_random_points_never_panic() {
+    // No planted structure at all — uniform noise through every protocol.
+    use rand::Rng;
+    let mut rng = test_util::rng(0xedce);
+    let rows: Vec<Vec<f64>> = (0..120)
+        .map(|_| vec![rng.gen_range(-50.0..50.0), rng.gen_range(-50.0..50.0)])
+        .collect();
+    let ps = PointSet::from_rows(&rows);
+    let shards = partition(&ps, 5, PartitionStrategy::RoundRobin, &[], 0);
+    let m = run_distributed_median(&shards, MedianConfig::new(3, 6), RunOptions::default());
+    let (mc, _) = evaluate_on_full_data(&shards, &m.output.centers, 12, Objective::Median);
+    assert!(mc.is_finite());
+    let c = run_distributed_center(&shards, CenterConfig::new(3, 6), RunOptions::default());
+    let (cc, _) = evaluate_on_full_data(&shards, &c.output.centers, 6, Objective::Center);
+    assert!(cc.is_finite());
 }

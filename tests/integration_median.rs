@@ -3,6 +3,8 @@
 
 use dpc::prelude::*;
 
+mod test_util;
+
 fn mixture_shards(
     sites: usize,
     inliers: usize,
@@ -10,15 +12,7 @@ fn mixture_shards(
     strategy: PartitionStrategy,
     seed: u64,
 ) -> (Vec<PointSet>, Mixture) {
-    let mix = gaussian_mixture(MixtureSpec {
-        clusters: 4,
-        inliers,
-        outliers,
-        seed,
-        ..Default::default()
-    });
-    let shards = partition(&mix.points, sites, strategy, &mix.outlier_ids, seed ^ 1);
-    (shards, mix)
+    test_util::mixture_shards(4, sites, inliers, outliers, strategy, seed, 1)
 }
 
 /// The centralized bicriteria cost on the merged data — the quality
@@ -27,7 +21,14 @@ fn centralized_cost(shards: &[PointSet], k: usize, t: usize, budget: usize) -> f
     let all = merge_shards(shards);
     let w = WeightedSet::unit(all.len());
     let m = EuclideanMetric::new(&all);
-    let sol = median_bicriteria(&m, &w, k, t as f64, Objective::Median, BicriteriaParams::default());
+    let sol = median_bicriteria(
+        &m,
+        &w,
+        k,
+        t as f64,
+        Objective::Median,
+        BicriteriaParams::default(),
+    );
     // Re-evaluate at the same budget used for the distributed solution.
     let ids: Vec<usize> = sol.centers.clone();
     let centers = all.subset(&ids);
@@ -92,8 +93,11 @@ fn outlier_budget_bound_sigma_ti_le_3t() {
 fn means_protocol_quality() {
     let (k, t) = (4, 8);
     let (shards, _) = mixture_shards(4, 400, t, PartitionStrategy::Random, 31);
-    let out =
-        run_distributed_median(&shards, MedianConfig::new(k, t).means(), RunOptions::default());
+    let out = run_distributed_median(
+        &shards,
+        MedianConfig::new(k, t).means(),
+        RunOptions::default(),
+    );
     let (cost, _) = evaluate_on_full_data(&shards, &out.output.centers, 2 * t, Objective::Means);
     // 400 inliers with sigma=1 in 2d: per-point E d^2 ~ 2, so ~800 plus
     // slack; paying for even one planted outlier costs > 1e8.
@@ -105,8 +109,11 @@ fn delta_variant_comm_decreases_with_delta_quality_holds() {
     let (k, t) = (3, 24);
     let (shards, _) = mixture_shards(6, 600, t, PartitionStrategy::Random, 41);
     let ship = run_distributed_median(&shards, MedianConfig::new(k, t), RunOptions::default());
-    let counts =
-        run_distributed_median(&shards, MedianConfig::new(k, t).counts_only(0.25), RunOptions::default());
+    let counts = run_distributed_median(
+        &shards,
+        MedianConfig::new(k, t).counts_only(0.25),
+        RunOptions::default(),
+    );
     assert!(
         counts.stats.upstream_bytes() < ship.stats.upstream_bytes(),
         "counts-only {}B !< ship {}B",
@@ -118,7 +125,10 @@ fn delta_variant_comm_decreases_with_delta_quality_holds() {
     let (cost, _) =
         evaluate_on_full_data(&shards, &counts.output.centers, budget, Objective::Median);
     let cen = centralized_cost(&shards, k, t, budget);
-    assert!(cost <= 10.0 * cen.max(1.0), "delta-variant {cost} vs centralized {cen}");
+    assert!(
+        cost <= 10.0 * cen.max(1.0),
+        "delta-variant {cost} vs centralized {cen}"
+    );
 }
 
 #[test]
@@ -138,7 +148,10 @@ fn one_round_vs_two_round_communication_scaling() {
         ratios[1] > ratios[0],
         "1-round/2-round byte ratio should grow with s: {ratios:?}"
     );
-    assert!(ratios[1] > 1.5, "at s=16 the 2-round protocol must win clearly: {ratios:?}");
+    assert!(
+        ratios[1] > 1.5,
+        "at s=16 the 2-round protocol must win clearly: {ratios:?}"
+    );
 }
 
 #[test]
@@ -164,13 +177,8 @@ fn degenerate_all_points_identical() {
 #[test]
 fn sites_fewer_points_than_k() {
     // 10 sites, 3 points each, k = 5.
-    let mix = gaussian_mixture(MixtureSpec {
-        clusters: 5,
-        inliers: 30,
-        outliers: 2,
-        ..Default::default()
-    });
-    let shards = partition(&mix.points, 10, PartitionStrategy::RoundRobin, &mix.outlier_ids, 3);
+    let mix = test_util::mixture(5, 30, 2, MixtureSpec::default().seed);
+    let shards = test_util::shard(&mix, 10, PartitionStrategy::RoundRobin, 3);
     let out = run_distributed_median(&shards, MedianConfig::new(5, 2), RunOptions::default());
     let (cost, _) = evaluate_on_full_data(&shards, &out.output.centers, 4, Objective::Median);
     assert!(cost.is_finite());

@@ -3,15 +3,10 @@
 
 use dpc::prelude::*;
 
+mod test_util;
+
 fn shards_with(sites: usize, inliers: usize, t: usize, seed: u64) -> Vec<PointSet> {
-    let mix = gaussian_mixture(MixtureSpec {
-        clusters: 3,
-        inliers,
-        outliers: t,
-        seed,
-        ..Default::default()
-    });
-    partition(&mix.points, sites, PartitionStrategy::Random, &mix.outlier_ids, seed)
+    test_util::mixture_shards(3, sites, inliers, t, PartitionStrategy::Random, seed, 0).0
 }
 
 /// Least-squares slope of log(y) against log(x).
@@ -38,10 +33,14 @@ fn two_round_median_comm_sublinear_in_t_times_s() {
         let sh = shards_with(s, 1200, t, 77);
         let cfg = MedianConfig::new(k, t);
         two_bytes.push(
-            run_distributed_median(&sh, cfg, RunOptions::default()).stats.upstream_bytes() as f64,
+            run_distributed_median(&sh, cfg, RunOptions::default())
+                .stats
+                .upstream_bytes() as f64,
         );
         one_bytes.push(
-            run_one_round_median(&sh, cfg, RunOptions::default()).stats.upstream_bytes() as f64,
+            run_one_round_median(&sh, cfg, RunOptions::default())
+                .stats
+                .upstream_bytes() as f64,
         );
     }
     let xs: Vec<f64> = sites_list.iter().map(|&s| s as f64).collect();
@@ -70,9 +69,13 @@ fn median_comm_grows_linearly_in_t_not_st() {
             let sh = shards_with(s, 900, t, 83);
             let cfg = MedianConfig::new(k, t);
             let b = if one_round {
-                run_one_round_median(&sh, cfg, RunOptions::default()).stats.upstream_bytes()
+                run_one_round_median(&sh, cfg, RunOptions::default())
+                    .stats
+                    .upstream_bytes()
             } else {
-                run_distributed_median(&sh, cfg, RunOptions::default()).stats.upstream_bytes()
+                run_distributed_median(&sh, cfg, RunOptions::default())
+                    .stats
+                    .upstream_bytes()
             };
             ys.push(b as f64);
         }

@@ -3,14 +3,10 @@
 use dpc::prelude::*;
 use std::time::Instant;
 
+mod test_util;
+
 fn instance(n: usize, t: usize, seed: u64) -> Mixture {
-    gaussian_mixture(MixtureSpec {
-        clusters: 4,
-        inliers: n,
-        outliers: t,
-        seed,
-        ..Default::default()
-    })
+    test_util::mixture(4, n, t, seed)
 }
 
 #[test]
@@ -21,8 +17,14 @@ fn quality_within_constant_of_quadratic() {
     // Quadratic reference at the same exclusion budget.
     let w = WeightedSet::unit(mix.points.len());
     let m = EuclideanMetric::new(&mix.points);
-    let quad =
-        median_bicriteria(&m, &w, k, 12.0, Objective::Median, BicriteriaParams::default());
+    let quad = median_bicriteria(
+        &m,
+        &w,
+        k,
+        12.0,
+        Objective::Median,
+        BicriteriaParams::default(),
+    );
     assert!(
         sub.cost <= 8.0 * quad.cost.max(1.0),
         "subquadratic {} vs quadratic {}",
@@ -63,8 +65,14 @@ fn faster_than_quadratic_at_scale() {
     let w = WeightedSet::unit(mix.points.len());
     let m = EuclideanMetric::new(&mix.points);
     let t1 = Instant::now();
-    let _quad =
-        median_bicriteria(&m, &w, k, t as f64, Objective::Median, BicriteriaParams::default());
+    let _quad = median_bicriteria(
+        &m,
+        &w,
+        k,
+        t as f64,
+        Objective::Median,
+        BicriteriaParams::default(),
+    );
     let quad_time = t1.elapsed();
 
     assert!(
@@ -76,7 +84,11 @@ fn faster_than_quadratic_at_scale() {
 #[test]
 fn deeper_recursion_still_correct() {
     let mix = instance(1200, 8, 229);
-    let params = SubquadraticParams { levels: 2, base_threshold: 100, ..Default::default() };
+    let params = SubquadraticParams {
+        levels: 2,
+        base_threshold: 100,
+        ..Default::default()
+    };
     let sol = subquadratic_median(&mix.points, 4, 8, params);
     assert!(sol.cost < 1e5, "cost {}", sol.cost);
 }
@@ -84,7 +96,10 @@ fn deeper_recursion_still_correct() {
 #[test]
 fn means_objective_supported() {
     let mix = instance(600, 8, 233);
-    let params = SubquadraticParams { means: true, ..Default::default() };
+    let params = SubquadraticParams {
+        means: true,
+        ..Default::default()
+    };
     let sol = subquadratic_median(&mix.points, 4, 8, params);
     assert!(sol.cost < 1e7, "means cost {}", sol.cost);
 }

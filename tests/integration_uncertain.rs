@@ -4,17 +4,10 @@
 
 use dpc::prelude::*;
 
+mod test_util;
+
 fn shards(seed: u64, noise: usize) -> Vec<NodeSet> {
-    uncertain_mixture(UncertainSpec {
-        clusters: 3,
-        nodes_per_site: 15,
-        sites: 4,
-        noise_nodes: noise,
-        support: 3,
-        jitter: 1.5,
-        separation: 120.0,
-        seed,
-    })
+    test_util::uncertain_shards(seed, noise)
 }
 
 #[test]
@@ -32,13 +25,19 @@ fn uncertain_median_beats_paying_for_noise() {
 fn uncertain_means_and_center_pp() {
     let t = 4;
     let sh = shards(103, t);
-    let means =
-        run_uncertain_median(&sh, UncertainConfig::new(3, t).means(), RunOptions::default());
+    let means = run_uncertain_median(
+        &sh,
+        UncertainConfig::new(3, t).means(),
+        RunOptions::default(),
+    );
     let mc = estimate_expected_cost(&sh, &means.output.centers, 2 * t, true, false);
     assert!(mc < 5_000.0, "uncertain means cost {mc}");
 
-    let pp =
-        run_uncertain_median(&sh, UncertainConfig::new(3, t).center_pp(), RunOptions::default());
+    let pp = run_uncertain_median(
+        &sh,
+        UncertainConfig::new(3, t).center_pp(),
+        RunOptions::default(),
+    );
     let pc = estimate_expected_cost(&sh, &pp.output.centers, 2 * t, false, true);
     assert!(pc < 50.0, "uncertain center-pp cost {pc}");
 }
@@ -59,19 +58,17 @@ fn compressed_graph_sandwich_on_random_instances() {
             3,
             2.0,
             Objective::Median,
-            BicriteriaParams { eps: 0.0, ..Default::default() },
+            BicriteriaParams {
+                eps: 0.0,
+                ..Default::default()
+            },
         );
         let mut centers = PointSet::new(2);
         for &c in &sol.centers {
             centers.push(graph.y_coords(c));
         }
-        let true_cost = estimate_expected_cost(
-            &[all.clone()],
-            &centers,
-            2,
-            false,
-            false,
-        );
+        let true_cost =
+            estimate_expected_cost(std::slice::from_ref(all), &centers, 2, false, false);
         assert!(
             true_cost <= 2.0 * sol.cost + 1e-9,
             "seed {seed}: Lemma 5.4 violated — true {true_cost} > 2·graph {}",
@@ -84,16 +81,14 @@ fn compressed_graph_sandwich_on_random_instances() {
 fn communication_scales_with_sk_t_not_n() {
     let t = 4;
     let small = shards(301, t);
-    let big = uncertain_mixture(UncertainSpec {
-        nodes_per_site: 60, // 4x nodes
-        noise_nodes: t,
-        seed: 301,
-        ..UncertainSpec { clusters: 3, sites: 4, support: 3, jitter: 1.5, separation: 120.0, nodes_per_site: 60, noise_nodes: t, seed: 301 }
-    });
+    let big = test_util::uncertain_shards_sized(301, t, 60); // 4x nodes
     let cfg = UncertainConfig::new(3, t);
     let a = run_uncertain_median(&small, cfg, RunOptions::default());
     let b = run_uncertain_median(&big, cfg, RunOptions::default());
-    let (sa, sb) = (a.stats.upstream_bytes() as f64, b.stats.upstream_bytes() as f64);
+    let (sa, sb) = (
+        a.stats.upstream_bytes() as f64,
+        b.stats.upstream_bytes() as f64,
+    );
     assert!(sb <= 1.2 * sa, "uncertain comm grew with n: {sa} -> {sb}");
 }
 
@@ -134,7 +129,13 @@ fn deterministic_nodes_reduce_to_deterministic_problem() {
         outliers: 4,
         ..Default::default()
     });
-    let det_shards = partition(&mix.points, 3, PartitionStrategy::Random, &mix.outlier_ids, 5);
+    let det_shards = partition(
+        &mix.points,
+        3,
+        PartitionStrategy::Random,
+        &mix.outlier_ids,
+        5,
+    );
     let unc_shards: Vec<NodeSet> = det_shards
         .iter()
         .map(|ps| {
@@ -146,9 +147,16 @@ fn deterministic_nodes_reduce_to_deterministic_problem() {
             ns
         })
         .collect();
-    let unc = run_uncertain_median(&unc_shards, UncertainConfig::new(3, 4), RunOptions::default());
+    let unc = run_uncertain_median(
+        &unc_shards,
+        UncertainConfig::new(3, 4),
+        RunOptions::default(),
+    );
     let det = run_distributed_median(&det_shards, MedianConfig::new(3, 4), RunOptions::default());
     let cu = estimate_expected_cost(&unc_shards, &unc.output.centers, 8, false, false);
     let (cd, _) = evaluate_on_full_data(&det_shards, &det.output.centers, 8, Objective::Median);
-    assert!(cu <= 4.0 * cd.max(1.0), "uncertain-on-deterministic {cu} vs deterministic {cd}");
+    assert!(
+        cu <= 4.0 * cd.max(1.0),
+        "uncertain-on-deterministic {cu} vs deterministic {cd}"
+    );
 }

@@ -1,0 +1,74 @@
+//! Shared fixtures for the root integration suites.
+//!
+//! Every suite needs the same shape of setup: a seeded Gaussian mixture
+//! with planted outliers, partitioned across simulated sites. Each test
+//! binary compiles this module separately (`mod test_util;`), so the
+//! helpers are duplicated in object code but written once.
+
+// Each binary uses only a subset of these helpers.
+#![allow(dead_code)]
+
+use dpc::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic RNG for ad-hoc randomness inside tests.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// The standard point fixture: `clusters` well-separated Gaussians with
+/// `inliers` total points and `outliers` planted far away; all other
+/// mixture knobs stay at their defaults.
+pub fn mixture(clusters: usize, inliers: usize, outliers: usize, seed: u64) -> Mixture {
+    gaussian_mixture(MixtureSpec {
+        clusters,
+        inliers,
+        outliers,
+        seed,
+        ..Default::default()
+    })
+}
+
+/// Partitions a mixture across `sites` simulated sites.
+pub fn shard(mix: &Mixture, sites: usize, strategy: PartitionStrategy, seed: u64) -> Vec<PointSet> {
+    partition(&mix.points, sites, strategy, &mix.outlier_ids, seed)
+}
+
+/// Generate-and-partition in one step — the setup almost every end-to-end
+/// test starts from. The partition is seeded independently (`seed ^ salt`)
+/// so shard boundaries decorrelate from point positions.
+pub fn mixture_shards(
+    clusters: usize,
+    sites: usize,
+    inliers: usize,
+    outliers: usize,
+    strategy: PartitionStrategy,
+    seed: u64,
+    salt: u64,
+) -> (Vec<PointSet>, Mixture) {
+    let mix = mixture(clusters, inliers, outliers, seed);
+    let shards = shard(&mix, sites, strategy, seed ^ salt);
+    (shards, mix)
+}
+
+/// The standard uncertain-node fixture: 3 clusters of honest nodes plus
+/// `noise` nodes with scattered support, spread over 4 sites.
+pub fn uncertain_shards(seed: u64, noise: usize) -> Vec<NodeSet> {
+    uncertain_shards_sized(seed, noise, 15)
+}
+
+/// [`uncertain_shards`] with an explicit per-site node count, for tests
+/// that scale the data while holding everything else fixed.
+pub fn uncertain_shards_sized(seed: u64, noise: usize, nodes_per_site: usize) -> Vec<NodeSet> {
+    uncertain_mixture(UncertainSpec {
+        clusters: 3,
+        nodes_per_site,
+        sites: 4,
+        noise_nodes: noise,
+        support: 3,
+        jitter: 1.5,
+        separation: 120.0,
+        seed,
+    })
+}

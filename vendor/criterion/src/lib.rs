@@ -1,0 +1,158 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the bench-definition API the workspace's four bench targets
+//! use (`criterion_group!`, `criterion_main!`, benchmark groups,
+//! `bench_with_input`, `Bencher::iter`). Running a bench executes each
+//! closure `sample_size` times and prints mean wall-clock time — enough to
+//! eyeball regressions offline; there is no statistical analysis. Swap
+//! this directory for the real crate when a registry is available; no
+//! call sites need to change.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Identifies one benchmark within a group (`name/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+/// Drives timing for one benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`, keeping its output live.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+}
+
+/// A named set of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many iterations each benchmark body runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    fn run(&self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            iters: self.sample_size.max(1),
+            elapsed_ns: 0,
+        };
+        f(&mut b);
+        let mean = b.elapsed_ns as f64 / b.iters as f64 / 1e6;
+        println!(
+            "bench {}/{id}: {mean:.3} ms/iter ({} iters)",
+            self.name, b.iters
+        );
+    }
+
+    /// Benchmarks `f` against an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        self.run(&id.id.clone(), |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure with no parameter.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        self.run(&id.into().id.clone(), f);
+        self
+    }
+
+    /// Ends the group (provided for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark registry handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _parent: self,
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        self
+    }
+}
+
+/// Defeats constant-folding of benchmark results.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a bench group function the way criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no registry access. Nothing in this workspace
+//! serializes through serde yet — types merely carry
+//! `#[derive(Serialize, Deserialize)]` so downstream users of the real
+//! crate get impls. These no-op derives keep those annotations compiling;
+//! swap this directory for real `serde` (with the `derive` feature) when a
+//! registry is available and the same annotations produce real impls.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`'s derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`'s derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,88 @@
+//! Streaming-layer benchmarks: ingest (merge-and-reduce and sliding
+//! window), query solves on live instances, and a full continuous-mode
+//! sync.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpc::prelude::*;
+
+fn drift(points: usize, seed: u64) -> DriftStream {
+    drifting_stream(DriftSpec {
+        clusters: 4,
+        points,
+        drift: 0.5,
+        seed,
+        ..Default::default()
+    })
+}
+
+fn bench_stream_ingest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stream_ingest");
+    g.sample_size(10);
+    let data = drift(4000, 21);
+    for &block in &[128usize, 512] {
+        g.bench_with_input(BenchmarkId::new("merge_reduce", block), &block, |b, _| {
+            b.iter(|| {
+                let mut e = StreamEngine::new(2, StreamConfig::new(4, 16).block(block));
+                for (_, p) in data.points.iter() {
+                    e.push(p);
+                }
+                e.flush();
+                e.live_points()
+            });
+        });
+    }
+    g.bench_function("sliding_window", |b| {
+        b.iter(|| {
+            let mut e = SlidingWindowEngine::new(2, 1024, StreamConfig::new(4, 16).block(128));
+            for (_, p) in data.points.iter() {
+                e.push(p);
+            }
+            e.live_points()
+        });
+    });
+    g.finish();
+}
+
+fn bench_stream_solve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stream_solve");
+    g.sample_size(10);
+    let data = drift(4000, 22);
+    let mut e = StreamEngine::new(2, StreamConfig::new(4, 16).block(256));
+    for (_, p) in data.points.iter() {
+        e.push(p);
+    }
+    e.flush();
+    g.bench_function("query_live_instance", |b| {
+        b.iter(|| e.solve());
+    });
+    g.finish();
+}
+
+fn bench_continuous_sync(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stream_continuous");
+    g.sample_size(10);
+    let data = drift(3000, 23);
+    g.bench_function("ingest_plus_syncs", |b| {
+        b.iter(|| {
+            let cfg = ContinuousConfig {
+                stream: StreamConfig::new(4, 12).block(128),
+                ..ContinuousConfig::new(4, 12)
+            }
+            .sync_every(1000);
+            let mut fleet = ContinuousCluster::new(2, 4, cfg);
+            for (i, p) in data.points.iter() {
+                fleet.ingest(i % 4, p);
+            }
+            fleet.total_comm_bytes()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_stream_ingest,
+    bench_stream_solve,
+    bench_continuous_sync
+);
+criterion_main!(benches);

@@ -10,6 +10,7 @@
 //! Usage:
 //!   cargo run --release -p dpc-bench --bin dpc-experiments -- all
 //!   cargo run --release -p dpc-bench --bin dpc-experiments -- e1 e4 e8
+//!   cargo run --release -p dpc-bench --bin dpc-experiments -- s1   # streaming throughput
 
 use dpc::prelude::*;
 use std::time::Instant;
@@ -51,6 +52,9 @@ fn main() {
     }
     if want("e11") {
         e11_one_round();
+    }
+    if want("s1") {
+        s1_stream_throughput();
     }
     if want("a1") {
         a1_grid();
@@ -647,6 +651,76 @@ fn e11_one_round() {
         c2.stats.upstream_bytes()
     );
     println!("\npaper: one fewer round costs a factor ~s on the t-term.");
+}
+
+/// S1 — streaming layer: ingest throughput (points/sec) and compression
+/// vs block size, plus continuous-mode sync cost on a drifting stream.
+fn s1_stream_throughput() {
+    header(
+        "S1",
+        "dpc_stream: points/sec throughput, compression, and sync bytes",
+    );
+    let (k, t, n) = (4, 24, 20_000);
+    let stream = drifting_stream(DriftSpec {
+        clusters: k,
+        points: n,
+        drift: 0.6,
+        burst_len: 6,
+        burst_every: 2000,
+        seed: 16_000,
+        ..Default::default()
+    });
+    println!(
+        "{:>7} {:>14} {:>12} {:>12} {:>12}",
+        "block", "points/sec", "live_pts", "compress", "true_cost"
+    );
+    for &block in &[64usize, 128, 256, 512, 1024] {
+        let mut engine = StreamEngine::new(2, StreamConfig::new(k, t).block(block));
+        let t0 = Instant::now();
+        for (_, p) in stream.points.iter() {
+            engine.push(p);
+        }
+        engine.flush();
+        let pps = n as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+        let sol = engine.solve();
+        let (cost, _) = evaluate_on_full_data(
+            std::slice::from_ref(&stream.points),
+            &sol.centers,
+            2 * t,
+            Objective::Median,
+        );
+        println!(
+            "{:>7} {:>14.0} {:>12} {:>11.0}x {:>12.1}",
+            block,
+            pps,
+            sol.live_points,
+            n as f64 / sol.live_points as f64,
+            cost
+        );
+    }
+    // Continuous mode: sync cost must stay flat as the prefix grows.
+    let cfg = ContinuousConfig {
+        stream: StreamConfig::new(k, t).block(256),
+        ..ContinuousConfig::new(k, t)
+    }
+    .sync_every(4000);
+    let mut fleet = ContinuousCluster::new(2, 4, cfg);
+    let t0 = Instant::now();
+    for (i, p) in stream.points.iter() {
+        fleet.ingest(i % 4, p);
+    }
+    let pps = n as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+    println!("\ncontinuous (4 sites, sync every 4000): {pps:.0} points/sec incl. syncs");
+    for rec in &fleet.history {
+        println!(
+            "  sync at {:>6}: {:>6}B over {} rounds",
+            rec.at,
+            rec.stats.total_bytes(),
+            rec.stats.num_rounds()
+        );
+    }
+    println!("\nsmaller blocks: more frequent summarization (lower points/sec), more");
+    println!("live summaries; sync bytes are flat in the prefix length (summaries only).");
 }
 
 /// A1 — ablation: geometric grid resolution rho.

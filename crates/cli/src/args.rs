@@ -15,6 +15,8 @@ pub enum Command {
     UncertainMedian,
     /// Centralized subquadratic `(k,2t)`-median (Theorem 3.10).
     Subquadratic,
+    /// Streaming engine over rows in arrival order (`dpc_stream`).
+    Stream,
 }
 
 impl Command {
@@ -25,7 +27,32 @@ impl Command {
             "center" => Ok(Command::Center),
             "uncertain-median" => Ok(Command::UncertainMedian),
             "subquadratic" => Ok(Command::Subquadratic),
+            "stream" => Ok(Command::Stream),
             other => Err(ParseError(format!("unknown command '{other}'"))),
+        }
+    }
+}
+
+/// Objective selector for the `stream` subcommand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamObjective {
+    /// Sum of distances.
+    Median,
+    /// Sum of squared distances.
+    Means,
+    /// Maximum distance.
+    Center,
+}
+
+impl StreamObjective {
+    fn parse(s: &str) -> Result<Self, ParseError> {
+        match s {
+            "median" => Ok(StreamObjective::Median),
+            "means" => Ok(StreamObjective::Means),
+            "center" => Ok(StreamObjective::Center),
+            other => Err(ParseError(format!(
+                "unknown objective '{other}' (median|means|center)"
+            ))),
         }
     }
 }
@@ -53,6 +80,15 @@ pub struct Options {
     pub delta: f64,
     /// Emit machine-readable JSON instead of text.
     pub json: bool,
+    /// `stream`: points buffered per block before summarization.
+    pub block: usize,
+    /// `stream`: sliding-window length in points (0 = insertion-only).
+    pub window: u64,
+    /// `stream`: fleet-wide points between continuous-mode syncs
+    /// (0 = single-machine streaming, no protocol).
+    pub sync_every: u64,
+    /// `stream`: which objective the engine optimizes.
+    pub objective: StreamObjective,
 }
 
 /// A human-readable parse failure.
@@ -77,6 +113,7 @@ commands:
   center             distributed (k,t)-center          (Algorithm 2)
   uncertain-median   uncertain (k,t)-median            (Algorithm 3)
   subquadratic       centralized subquadratic (k,2t)-median (Theorem 3.10)
+  stream             streaming (k,t) clustering over rows in arrival order
 
 options:
   --k <int>        number of centers            (default 5)
@@ -86,7 +123,14 @@ options:
   --seed <int>     partition seed               (default 42)
   --delta <float>  counts-only variant delta    (default off)
   --one-round      use the 1-round baseline protocol
-  --json           emit JSON
+  --json           emit JSON (includes per-round comm/compute stats)
+
+stream options:
+  --block <int>       points per summarized block        (default 256)
+  --window <int>      sliding-window length in points    (default off)
+  --sync-every <int>  continuous distributed mode: run the 2-round sync
+                      protocol across --sites every so many points
+  --objective <median|means|center>                      (default median)
 ";
 
 /// Parses `argv[1..]`.
@@ -106,6 +150,10 @@ pub fn parse_args(args: &[String]) -> Result<Options, ParseError> {
         one_round: false,
         delta: 0.0,
         json: false,
+        block: 256,
+        window: 0,
+        sync_every: 0,
+        objective: StreamObjective::Median,
     };
     let mut i = 1;
     while i < args.len() {
@@ -123,6 +171,10 @@ pub fn parse_args(args: &[String]) -> Result<Options, ParseError> {
             "--seed" => opts.seed = parse_num(&take_value(&mut i)?, "--seed")?,
             "--eps" => opts.eps = parse_float(&take_value(&mut i)?, "--eps")?,
             "--delta" => opts.delta = parse_float(&take_value(&mut i)?, "--delta")?,
+            "--block" => opts.block = parse_num(&take_value(&mut i)?, "--block")?,
+            "--window" => opts.window = parse_num(&take_value(&mut i)?, "--window")?,
+            "--sync-every" => opts.sync_every = parse_num(&take_value(&mut i)?, "--sync-every")?,
+            "--objective" => opts.objective = StreamObjective::parse(&take_value(&mut i)?)?,
             "--one-round" => opts.one_round = true,
             "--json" => opts.json = true,
             other if other.starts_with("--") => {
@@ -148,6 +200,24 @@ pub fn parse_args(args: &[String]) -> Result<Options, ParseError> {
     }
     if opts.eps < 0.0 || opts.delta < 0.0 {
         return Err(ParseError("--eps/--delta must be non-negative".into()));
+    }
+    if opts.command == Command::Stream {
+        if opts.block == 0 {
+            return Err(ParseError("--block must be positive".into()));
+        }
+        if opts.window > 0 && opts.window < opts.block as u64 {
+            return Err(ParseError("--window must be at least one --block".into()));
+        }
+        if opts.window > 0 && opts.sync_every > 0 {
+            return Err(ParseError(
+                "--window and --sync-every are mutually exclusive".into(),
+            ));
+        }
+        if opts.sync_every > 0 && opts.objective == StreamObjective::Center {
+            return Err(ParseError(
+                "--sync-every re-runs Algorithm 1 (median/means only)".into(),
+            ));
+        }
     }
     Ok(opts)
 }
@@ -211,6 +281,61 @@ mod tests {
     fn help_returns_usage() {
         let err = parse_args(&sv(&["--help"])).unwrap_err();
         assert!(err.0.contains("usage"));
+    }
+
+    #[test]
+    fn stream_flags() {
+        let o = parse_args(&sv(&[
+            "stream",
+            "--k",
+            "3",
+            "--t",
+            "8",
+            "--block",
+            "64",
+            "--window",
+            "512",
+            "--objective",
+            "means",
+            "s.csv",
+        ]))
+        .unwrap();
+        assert_eq!(o.command, Command::Stream);
+        assert_eq!((o.block, o.window, o.sync_every), (64, 512, 0));
+        assert_eq!(o.objective, StreamObjective::Means);
+        // Defaults.
+        let o = parse_args(&sv(&["stream", "s.csv"])).unwrap();
+        assert_eq!((o.block, o.window, o.sync_every), (256, 0, 0));
+        assert_eq!(o.objective, StreamObjective::Median);
+    }
+
+    #[test]
+    fn stream_flag_validation() {
+        // Window smaller than one block.
+        assert!(parse_args(&sv(&["stream", "--block", "64", "--window", "32", "s.csv"])).is_err());
+        // Window and continuous mode together.
+        assert!(parse_args(&sv(&[
+            "stream",
+            "--window",
+            "512",
+            "--sync-every",
+            "100",
+            "s.csv"
+        ]))
+        .is_err());
+        // Continuous center objective.
+        assert!(parse_args(&sv(&[
+            "stream",
+            "--sync-every",
+            "100",
+            "--objective",
+            "center",
+            "s.csv"
+        ]))
+        .is_err());
+        // Bad objective name.
+        assert!(parse_args(&sv(&["stream", "--objective", "mode", "s.csv"])).is_err());
+        assert!(parse_args(&sv(&["stream", "--block", "0", "s.csv"])).is_err());
     }
 
     #[test]

@@ -1,13 +1,20 @@
 //! Minimal CSV readers (no external dependency): numeric point rows and
 //! the uncertain-node format.
+//!
+//! All readers consume any [`BufRead`] line by line, so large inputs are
+//! never materialized as one giant string — the `stream` subcommand feeds
+//! rows straight into the engine, and the batch subcommands build their
+//! [`PointSet`] incrementally. The `parse_*` helpers remain as thin
+//! in-memory wrappers for tests and callers that already hold a string.
 
 use dpc::prelude::{NodeSet, PointSet, UncertainNode};
 use std::collections::BTreeMap;
+use std::io::BufRead;
 
 /// A CSV parse failure with a line number.
 #[derive(Debug, PartialEq, Eq)]
 pub struct CsvError {
-    /// 1-based line.
+    /// 1-based line (0 for whole-file conditions such as an empty input).
     pub line: usize,
     /// What went wrong.
     pub message: String,
@@ -29,52 +36,110 @@ fn is_numeric_row(fields: &[&str]) -> bool {
     !fields.is_empty() && fields.iter().all(|f| f.parse::<f64>().is_ok())
 }
 
-/// Parses a deterministic point CSV: one point per row, all columns
-/// numeric. A single non-numeric first row is treated as a header. Empty
-/// lines and `#` comments are skipped.
-pub fn parse_points_csv(text: &str) -> Result<PointSet, CsvError> {
-    let mut points: Option<PointSet> = None;
+/// Streams numeric point rows out of `reader`, invoking `row` once per
+/// data row with the parsed coordinates (a reused scratch buffer).
+///
+/// A single non-numeric first row is treated as a header; empty lines and
+/// `#` comments are skipped; every data row must match the first row's
+/// column count. Returns the number of data rows seen.
+pub fn for_each_point_row<R: BufRead>(
+    mut reader: R,
+    mut row: impl FnMut(&[f64]) -> Result<(), CsvError>,
+) -> Result<usize, CsvError> {
+    let mut dim: Option<usize> = None;
     let mut saw_header = false;
-    for (idx, raw) in text.lines().enumerate() {
+    let mut rows = 0usize;
+    let mut coords: Vec<f64> = Vec::new();
+    // One reused line buffer: ingest throughput is the point of this
+    // reader, so no per-row allocation.
+    let mut raw = String::new();
+    let mut idx = 0usize;
+    loop {
+        raw.clear();
+        let read = reader.read_line(&mut raw).map_err(|e| CsvError {
+            line: idx + 1,
+            message: format!("read error: {e}"),
+        })?;
+        if read == 0 {
+            break;
+        }
+        idx += 1;
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
         let fields = split_row(line);
         if !is_numeric_row(&fields) {
-            if points.is_none() && !saw_header {
+            if rows == 0 && !saw_header {
                 saw_header = true;
                 continue; // header row
             }
             return Err(CsvError {
-                line: idx + 1,
+                line: idx,
                 message: format!("non-numeric field in '{line}'"),
             });
         }
-        let coords: Vec<f64> = fields.iter().map(|f| f.parse().expect("checked")).collect();
-        let ps = points.get_or_insert_with(|| PointSet::new(coords.len()));
-        if coords.len() != ps.dim() {
-            return Err(CsvError {
-                line: idx + 1,
-                message: format!("expected {} columns, found {}", ps.dim(), coords.len()),
-            });
+        coords.clear();
+        for f in &fields {
+            coords.push(f.parse().expect("checked"));
         }
-        ps.push(&coords);
+        match dim {
+            Some(d) if coords.len() != d => {
+                return Err(CsvError {
+                    line: idx,
+                    message: format!("expected {} columns, found {}", d, coords.len()),
+                });
+            }
+            None => dim = Some(coords.len()),
+            _ => {}
+        }
+        rows += 1;
+        row(&coords)?;
     }
+    Ok(rows)
+}
+
+/// Reads a deterministic point CSV from any [`BufRead`] source.
+pub fn read_points_csv<R: BufRead>(reader: R) -> Result<PointSet, CsvError> {
+    let mut points: Option<PointSet> = None;
+    for_each_point_row(reader, |coords| {
+        points
+            .get_or_insert_with(|| PointSet::new(coords.len()))
+            .push(coords);
+        Ok(())
+    })?;
     points.ok_or(CsvError {
         line: 0,
         message: "no data rows".into(),
     })
 }
 
-/// Parses the uncertain-node CSV: `node_id,prob,coord0,coord1,…`. Rows
-/// sharing a `node_id` form one distribution; probabilities per node are
-/// normalized (so raw weights are accepted).
-pub fn parse_uncertain_csv(text: &str) -> Result<NodeSet, CsvError> {
+/// Parses a deterministic point CSV held in memory (see
+/// [`for_each_point_row`] for the format).
+pub fn parse_points_csv(text: &str) -> Result<PointSet, CsvError> {
+    read_points_csv(text.as_bytes())
+}
+
+/// Reads the uncertain-node CSV from any [`BufRead`] source:
+/// `node_id,prob,coord0,coord1,…`. Rows sharing a `node_id` form one
+/// distribution; probabilities per node are normalized (so raw weights are
+/// accepted).
+pub fn read_uncertain_csv<R: BufRead>(mut reader: R) -> Result<NodeSet, CsvError> {
     let mut rows: BTreeMap<u64, Vec<(f64, Vec<f64>)>> = BTreeMap::new();
     let mut dim: Option<usize> = None;
     let mut saw_header = false;
-    for (idx, raw) in text.lines().enumerate() {
+    let mut raw = String::new();
+    let mut idx = 0usize;
+    loop {
+        raw.clear();
+        let read = reader.read_line(&mut raw).map_err(|e| CsvError {
+            line: idx + 1,
+            message: format!("read error: {e}"),
+        })?;
+        if read == 0 {
+            break;
+        }
+        idx += 1;
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -82,7 +147,7 @@ pub fn parse_uncertain_csv(text: &str) -> Result<NodeSet, CsvError> {
         let fields = split_row(line);
         if fields.len() < 3 {
             return Err(CsvError {
-                line: idx + 1,
+                line: idx,
                 message: "need at least node_id, prob, one coordinate".into(),
             });
         }
@@ -92,18 +157,18 @@ pub fn parse_uncertain_csv(text: &str) -> Result<NodeSet, CsvError> {
                 continue;
             }
             return Err(CsvError {
-                line: idx + 1,
+                line: idx,
                 message: format!("non-numeric field in '{line}'"),
             });
         }
         let id: u64 = fields[0].parse().map_err(|_| CsvError {
-            line: idx + 1,
+            line: idx,
             message: "node_id must be an integer".into(),
         })?;
         let prob: f64 = fields[1].parse().expect("checked");
         if prob <= 0.0 {
             return Err(CsvError {
-                line: idx + 1,
+                line: idx,
                 message: "prob must be positive".into(),
             });
         }
@@ -114,7 +179,7 @@ pub fn parse_uncertain_csv(text: &str) -> Result<NodeSet, CsvError> {
         if let Some(d) = dim {
             if coords.len() != d {
                 return Err(CsvError {
-                    line: idx + 1,
+                    line: idx,
                     message: format!("expected {} coords, found {}", d, coords.len()),
                 });
             }
@@ -141,6 +206,11 @@ pub fn parse_uncertain_csv(text: &str) -> Result<NodeSet, CsvError> {
         ns.nodes.push(UncertainNode::new(support, probs));
     }
     Ok(ns)
+}
+
+/// Parses the uncertain-node CSV held in memory.
+pub fn parse_uncertain_csv(text: &str) -> Result<NodeSet, CsvError> {
+    read_uncertain_csv(text.as_bytes())
 }
 
 #[cfg(test)]
@@ -177,6 +247,34 @@ mod tests {
     #[test]
     fn rejects_empty() {
         assert!(parse_points_csv("# nothing\n").is_err());
+    }
+
+    #[test]
+    fn row_streaming_visits_in_order_without_materializing() {
+        let mut seen: Vec<Vec<f64>> = Vec::new();
+        let rows = for_each_point_row("x,y\n1,2\n3,4\n".as_bytes(), |c| {
+            seen.push(c.to_vec());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(rows, 2);
+        assert_eq!(seen, vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+    }
+
+    #[test]
+    fn row_streaming_propagates_callback_errors() {
+        let err = for_each_point_row("1,2\n3,4\n".as_bytes(), |c| {
+            if c[0] > 2.0 {
+                Err(CsvError {
+                    line: 0,
+                    message: "stop".into(),
+                })
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err.message, "stop");
     }
 
     #[test]

@@ -8,16 +8,22 @@
 //! dpc means   --k 5 --t 20 --sites 8 --eps 0.5 data.csv
 //! dpc center  --k 5 --t 20 --sites 8 --one-round data.csv
 //! dpc uncertain-median --k 3 --t 4 --sites 3 nodes.csv
+//! dpc stream  --k 5 --t 20 --block 256 --window 4096 data.csv
+//! dpc stream  --k 5 --t 20 --sync-every 1024 --sites 8 data.csv
 //! ```
 //!
 //! Deterministic point CSV: one point per row, numeric columns, optional
 //! header. Uncertain CSV: `node_id,prob,coord0,coord1,…` rows; rows sharing
-//! a `node_id` form one distribution.
+//! a `node_id` form one distribution. Input is consumed through a
+//! [`std::io::BufRead`] row iterator, so large files are never loaded
+//! whole; the `stream` subcommand feeds rows to the engine as they parse.
 
 pub mod args;
 pub mod csv;
 pub mod run;
 
-pub use args::{parse_args, Command, Options};
-pub use csv::{parse_points_csv, parse_uncertain_csv};
-pub use run::{execute, Report};
+pub use args::{parse_args, Command, Options, StreamObjective};
+pub use csv::{
+    for_each_point_row, parse_points_csv, parse_uncertain_csv, read_points_csv, read_uncertain_csv,
+};
+pub use run::{execute, Report, RoundReport};

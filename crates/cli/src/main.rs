@@ -12,14 +12,16 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let text = match std::fs::read_to_string(&opts.input) {
-        Ok(t) => t,
+    // Rows stream through a buffered reader; the file is never held in
+    // memory whole.
+    let file = match std::fs::File::open(&opts.input) {
+        Ok(f) => f,
         Err(e) => {
             eprintln!("cannot read '{}': {e}", opts.input);
             return ExitCode::from(1);
         }
     };
-    match dpc_cli::execute(&opts, &text) {
+    match dpc_cli::execute(&opts, std::io::BufReader::new(file)) {
         Ok(report) => {
             if opts.json {
                 println!("{}", report.json());

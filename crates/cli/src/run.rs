@@ -1,8 +1,39 @@
 //! Orchestration: load data, run the selected protocol, build a report.
 
-use crate::args::{Command, Options};
-use crate::csv::{parse_points_csv, parse_uncertain_csv};
+use crate::args::{Command, Options, StreamObjective};
+use crate::csv::{for_each_point_row, read_points_csv, read_uncertain_csv};
+use dpc::coordinator::CommStats;
 use dpc::prelude::*;
+use std::io::BufRead;
+use std::time::Instant;
+
+/// Per-round communication/compute breakdown (from
+/// [`dpc::coordinator::CommStats`]), surfaced in reports.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoundReport {
+    /// Bytes from sites to the coordinator.
+    pub bytes_up: usize,
+    /// Bytes from the coordinator to sites.
+    pub bytes_down: usize,
+    /// Slowest site compute this round, milliseconds.
+    pub max_site_ms: f64,
+    /// Coordinator compute after receiving this round's replies, ms.
+    pub coordinator_ms: f64,
+}
+
+/// Flattens protocol accounting into report rows.
+fn round_reports(stats: &CommStats) -> Vec<RoundReport> {
+    stats
+        .rounds
+        .iter()
+        .map(|r| RoundReport {
+            bytes_up: r.sites_to_coordinator.iter().sum(),
+            bytes_down: r.coordinator_to_sites.iter().sum(),
+            max_site_ms: r.max_site_compute().as_secs_f64() * 1e3,
+            coordinator_ms: r.coordinator_compute.as_secs_f64() * 1e3,
+        })
+        .collect()
+}
 
 /// The result of a CLI run, renderable as text or JSON.
 #[derive(Clone, Debug)]
@@ -17,10 +48,19 @@ pub struct Report {
     pub budget: usize,
     /// Total bytes on the simulated wire (0 for centralized commands).
     pub bytes: usize,
-    /// Protocol rounds (0 for centralized commands).
+    /// Protocol rounds (0 for centralized commands; summed over syncs in
+    /// continuous streaming mode).
     pub rounds: usize,
     /// Input size.
     pub n: usize,
+    /// Per-round breakdown of every executed protocol round, in order.
+    pub round_stats: Vec<RoundReport>,
+    /// `stream`: live summary entries at the end of the run.
+    pub live_points: Option<usize>,
+    /// `stream`: ingest+solve throughput in points per second.
+    pub points_per_sec: Option<f64>,
+    /// `stream` continuous mode: number of syncs executed.
+    pub syncs: Option<usize>,
 }
 
 impl Report {
@@ -28,9 +68,25 @@ impl Report {
     pub fn text(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:?}: n={}, cost={:.6} (budget {}), comm={}B over {} rounds\ncenters:\n",
+            "{:?}: n={}, cost={:.6} (budget {}), comm={}B over {} rounds\n",
             self.command, self.n, self.cost, self.budget, self.bytes, self.rounds
         ));
+        if let Some(lp) = self.live_points {
+            out.push_str(&format!("live summary points: {lp}\n"));
+        }
+        if let Some(pps) = self.points_per_sec {
+            out.push_str(&format!("throughput: {pps:.0} points/sec\n"));
+        }
+        if let Some(s) = self.syncs {
+            out.push_str(&format!("syncs: {s}\n"));
+        }
+        for (i, r) in self.round_stats.iter().enumerate() {
+            out.push_str(&format!(
+                "round {i}: up={}B down={}B site={:.3}ms coord={:.3}ms\n",
+                r.bytes_up, r.bytes_down, r.max_site_ms, r.coordinator_ms
+            ));
+        }
+        out.push_str("centers:\n");
         for c in &self.centers {
             let coords: Vec<String> = c.iter().map(|v| format!("{v}")).collect();
             out.push_str(&format!("  [{}]\n", coords.join(", ")));
@@ -48,14 +104,37 @@ impl Report {
                 format!("[{}]", coords.join(","))
             })
             .collect();
+        let rounds: Vec<String> = self
+            .round_stats
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                format!(
+                    "{{\"round\":{},\"bytes_up\":{},\"bytes_down\":{},\"max_site_ms\":{},\"coordinator_ms\":{}}}",
+                    i, r.bytes_up, r.bytes_down, r.max_site_ms, r.coordinator_ms
+                )
+            })
+            .collect();
+        let mut extra = String::new();
+        if let Some(lp) = self.live_points {
+            extra.push_str(&format!(",\"live_points\":{lp}"));
+        }
+        if let Some(pps) = self.points_per_sec {
+            extra.push_str(&format!(",\"points_per_sec\":{pps}"));
+        }
+        if let Some(s) = self.syncs {
+            extra.push_str(&format!(",\"syncs\":{s}"));
+        }
         format!(
-            "{{\"command\":\"{:?}\",\"n\":{},\"cost\":{},\"budget\":{},\"bytes\":{},\"rounds\":{},\"centers\":[{}]}}",
+            "{{\"command\":\"{:?}\",\"n\":{},\"cost\":{},\"budget\":{},\"bytes\":{},\"rounds\":{},\"round_stats\":[{}]{},\"centers\":[{}]}}",
             self.command,
             self.n,
             self.cost,
             self.budget,
             self.bytes,
             self.rounds,
+            rounds.join(","),
+            extra,
             centers.join(",")
         )
     }
@@ -65,11 +144,29 @@ fn centers_to_rows(ps: &PointSet) -> Vec<Vec<f64>> {
     (0..ps.len()).map(|i| ps.point(i).to_vec()).collect()
 }
 
-/// Executes the parsed invocation on CSV text.
-pub fn execute(opts: &Options, csv_text: &str) -> Result<Report, String> {
+/// A protocol-free report skeleton.
+fn base_report(command: Command, n: usize) -> Report {
+    Report {
+        command,
+        centers: Vec::new(),
+        cost: 0.0,
+        budget: 0,
+        bytes: 0,
+        rounds: 0,
+        n,
+        round_stats: Vec::new(),
+        live_points: None,
+        points_per_sec: None,
+        syncs: None,
+    }
+}
+
+/// Executes the parsed invocation, reading CSV rows from `input`.
+pub fn execute<R: BufRead>(opts: &Options, input: R) -> Result<Report, String> {
     match opts.command {
+        Command::Stream => execute_stream(opts, input),
         Command::Median | Command::Means | Command::Center | Command::Subquadratic => {
-            let points = parse_points_csv(csv_text).map_err(|e| e.to_string())?;
+            let points = read_points_csv(input).map_err(|e| e.to_string())?;
             let n = points.len();
             if n < opts.k {
                 return Err(format!("k={} exceeds the {} input points", opts.k, n));
@@ -86,13 +183,10 @@ pub fn execute(opts: &Options, csv_text: &str) -> Result<Report, String> {
                         },
                     );
                     Ok(Report {
-                        command: opts.command,
                         centers: centers_to_rows(&sol.centers),
                         cost: sol.cost,
                         budget: sol.excluded,
-                        bytes: 0,
-                        rounds: 0,
-                        n,
+                        ..base_report(opts.command, n)
                     })
                 }
                 Command::Center => {
@@ -116,13 +210,13 @@ pub fn execute(opts: &Options, csv_text: &str) -> Result<Report, String> {
                         Objective::Center,
                     );
                     Ok(Report {
-                        command: opts.command,
                         centers: centers_to_rows(&out.output.centers),
                         cost,
                         budget,
                         bytes: out.stats.total_bytes(),
                         rounds: out.stats.num_rounds(),
-                        n,
+                        round_stats: round_reports(&out.stats),
+                        ..base_report(opts.command, n)
                     })
                 }
                 _ => {
@@ -160,19 +254,19 @@ pub fn execute(opts: &Options, csv_text: &str) -> Result<Report, String> {
                     let (cost, budget) =
                         evaluate_on_full_data(&shards, &out.output.centers, budget, objective);
                     Ok(Report {
-                        command: opts.command,
                         centers: centers_to_rows(&out.output.centers),
                         cost,
                         budget,
                         bytes: out.stats.total_bytes(),
                         rounds: out.stats.num_rounds(),
-                        n,
+                        round_stats: round_reports(&out.stats),
+                        ..base_report(opts.command, n)
                     })
                 }
             }
         }
         Command::UncertainMedian => {
-            let nodes = parse_uncertain_csv(csv_text).map_err(|e| e.to_string())?;
+            let nodes = read_uncertain_csv(input).map_err(|e| e.to_string())?;
             let n = nodes.len();
             if n < opts.k {
                 return Err(format!("k={} exceeds the {} input nodes", opts.k, n));
@@ -197,16 +291,119 @@ pub fn execute(opts: &Options, csv_text: &str) -> Result<Report, String> {
             let budget = ((1.0 + opts.eps) * opts.t as f64).floor() as usize;
             let cost = estimate_expected_cost(&shards, &out.output.centers, budget, false, false);
             Ok(Report {
-                command: opts.command,
                 centers: centers_to_rows(&out.output.centers),
                 cost,
                 budget,
                 bytes: out.stats.total_bytes(),
                 rounds: out.stats.num_rounds(),
-                n,
+                round_stats: round_reports(&out.stats),
+                ..base_report(opts.command, n)
             })
         }
     }
+}
+
+/// The three streaming modes behind the `stream` subcommand.
+enum StreamMode {
+    Engine(StreamEngine),
+    Window(SlidingWindowEngine),
+    Continuous(ContinuousCluster),
+}
+
+/// Runs the `stream` subcommand: rows are fed to the engine in arrival
+/// order as they are parsed — the full input is never materialized.
+fn execute_stream<R: BufRead>(opts: &Options, input: R) -> Result<Report, String> {
+    let mut cfg = StreamConfig::new(opts.k, opts.t).block(opts.block);
+    cfg.eps = opts.eps;
+    cfg = match opts.objective {
+        StreamObjective::Median => cfg,
+        StreamObjective::Means => cfg.means(),
+        StreamObjective::Center => cfg.center(),
+    };
+    let started = Instant::now();
+    let mut mode: Option<StreamMode> = None;
+    let mut row_idx = 0usize;
+    let rows = for_each_point_row(input, |coords| {
+        let m = mode.get_or_insert_with(|| {
+            let dim = coords.len();
+            if opts.sync_every > 0 {
+                let ccfg = ContinuousConfig {
+                    stream: cfg,
+                    eps: opts.eps,
+                    ..ContinuousConfig::new(opts.k, opts.t)
+                }
+                .sync_every(opts.sync_every);
+                StreamMode::Continuous(ContinuousCluster::new(dim, opts.sites, ccfg))
+            } else if opts.window > 0 {
+                StreamMode::Window(SlidingWindowEngine::new(dim, opts.window, cfg))
+            } else {
+                StreamMode::Engine(StreamEngine::new(dim, cfg))
+            }
+        });
+        match m {
+            StreamMode::Engine(e) => e.push(coords),
+            StreamMode::Window(e) => e.push(coords),
+            StreamMode::Continuous(c) => {
+                c.ingest(row_idx % opts.sites, coords);
+            }
+        }
+        row_idx += 1;
+        Ok(())
+    })
+    .map_err(|e| e.to_string())?;
+    let Some(mode) = mode else {
+        return Err("no data rows".into());
+    };
+    if rows < opts.k {
+        return Err(format!("k={} exceeds the {} input points", opts.k, rows));
+    }
+    let budget = ((1.0 + opts.eps) * opts.t as f64).floor() as usize;
+    let mut report = match mode {
+        StreamMode::Engine(mut e) => {
+            e.flush();
+            let sol = e.solve();
+            Report {
+                centers: centers_to_rows(&sol.centers),
+                cost: sol.cost,
+                budget,
+                live_points: Some(sol.live_points),
+                ..base_report(opts.command, rows)
+            }
+        }
+        StreamMode::Window(e) => {
+            let sol = e.solve();
+            Report {
+                centers: centers_to_rows(&sol.centers),
+                cost: sol.cost,
+                budget,
+                live_points: Some(sol.live_points),
+                ..base_report(opts.command, rows)
+            }
+        }
+        StreamMode::Continuous(mut c) => {
+            // Finish on a sync covering every ingested point (skipped when
+            // the cadence already fired on the last one).
+            c.sync_if_stale();
+            let mut round_stats = Vec::new();
+            for rec in &c.history {
+                round_stats.extend(round_reports(&rec.stats));
+            }
+            let rec = c.latest().expect("sync just ran");
+            Report {
+                centers: centers_to_rows(&rec.centers),
+                cost: rec.cost,
+                budget,
+                bytes: c.total_comm_bytes(),
+                rounds: c.history.iter().map(|r| r.stats.num_rounds()).sum(),
+                round_stats,
+                live_points: Some(c.live_points()),
+                syncs: Some(c.history.len()),
+                ..base_report(opts.command, rows)
+            }
+        }
+    };
+    report.points_per_sec = Some(rows as f64 / started.elapsed().as_secs_f64().max(1e-9));
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -231,31 +428,97 @@ mod tests {
         s
     }
 
+    /// A longer two-cluster stream with a couple of planted outliers.
+    fn stream_csv(n: usize) -> String {
+        let mut s = String::from("x,y\n");
+        for i in 0..n {
+            let c = if i % 2 == 0 { 0.0 } else { 300.0 };
+            s.push_str(&format!("{},0\n", c + 0.1 * (i % 5) as f64));
+        }
+        s.push_str("90000,90000\n-80000,0\n");
+        s
+    }
+
     #[test]
     fn median_end_to_end() {
         let o = opts(&["median", "--k", "2", "--t", "1", "--sites", "3", "in.csv"]);
-        let r = execute(&o, &toy_csv()).unwrap();
+        let r = execute(&o, toy_csv().as_bytes()).unwrap();
         assert_eq!(r.n, 41);
         assert!(r.cost < 20.0, "cost {}", r.cost);
         assert_eq!(r.rounds, 2);
         assert!(r.bytes > 0);
         assert_eq!(r.centers.len(), 2);
+        // Per-round breakdown matches the aggregate.
+        assert_eq!(r.round_stats.len(), 2);
+        let up: usize = r.round_stats.iter().map(|x| x.bytes_up).sum();
+        let down: usize = r.round_stats.iter().map(|x| x.bytes_down).sum();
+        assert_eq!(up + down, r.bytes);
     }
 
     #[test]
     fn center_one_round_end_to_end() {
         let o = opts(&["center", "--k", "2", "--t", "1", "--one-round", "in.csv"]);
-        let r = execute(&o, &toy_csv()).unwrap();
+        let r = execute(&o, toy_csv().as_bytes()).unwrap();
         assert_eq!(r.rounds, 1);
         assert!(r.cost < 5.0, "cost {}", r.cost);
+        assert!(!r.round_stats.is_empty());
     }
 
     #[test]
     fn subquadratic_end_to_end() {
         let o = opts(&["subquadratic", "--k", "2", "--t", "1", "in.csv"]);
-        let r = execute(&o, &toy_csv()).unwrap();
+        let r = execute(&o, toy_csv().as_bytes()).unwrap();
         assert_eq!(r.bytes, 0);
+        assert!(r.round_stats.is_empty());
         assert!(r.cost < 20.0);
+    }
+
+    #[test]
+    fn stream_end_to_end() {
+        let o = opts(&["stream", "--k", "2", "--t", "2", "--block", "64", "in.csv"]);
+        let r = execute(&o, stream_csv(500).as_bytes()).unwrap();
+        assert_eq!(r.n, 502);
+        assert_eq!(r.centers.len(), 2);
+        assert!(r.cost < 100.0, "cost {}", r.cost);
+        let lp = r.live_points.unwrap();
+        assert!(lp > 0 && lp < 502, "live points {lp}");
+        assert!(r.points_per_sec.unwrap() > 0.0);
+        assert_eq!(r.bytes, 0); // no protocol ran
+    }
+
+    #[test]
+    fn stream_window_end_to_end() {
+        let o = opts(&[
+            "stream", "--k", "2", "--t", "2", "--block", "32", "--window", "128", "in.csv",
+        ]);
+        let r = execute(&o, stream_csv(600).as_bytes()).unwrap();
+        assert_eq!(r.centers.len(), 2);
+        assert!(r.live_points.unwrap() < 300);
+    }
+
+    #[test]
+    fn stream_continuous_end_to_end() {
+        let o = opts(&[
+            "stream",
+            "--k",
+            "2",
+            "--t",
+            "2",
+            "--block",
+            "32",
+            "--sync-every",
+            "200",
+            "--sites",
+            "3",
+            "in.csv",
+        ]);
+        let r = execute(&o, stream_csv(500).as_bytes()).unwrap();
+        let syncs = r.syncs.unwrap();
+        assert!(syncs >= 3, "expected periodic syncs, got {syncs}");
+        assert_eq!(r.rounds, 2 * syncs);
+        assert!(r.bytes > 0);
+        assert_eq!(r.round_stats.len(), 2 * syncs);
+        assert!(r.cost < 100.0, "cost {}", r.cost);
     }
 
     #[test]
@@ -276,7 +539,7 @@ mod tests {
             "2",
             "in.csv",
         ]);
-        let r = execute(&o, &csv).unwrap();
+        let r = execute(&o, csv.as_bytes()).unwrap();
         assert_eq!(r.n, 12);
         assert!(r.cost < 30.0, "cost {}", r.cost);
     }
@@ -284,9 +547,12 @@ mod tests {
     #[test]
     fn errors_propagate() {
         let o = opts(&["median", "--k", "100", "in.csv"]);
-        assert!(execute(&o, "1,1\n2,2\n").is_err());
+        assert!(execute(&o, "1,1\n2,2\n".as_bytes()).is_err());
         let o = opts(&["median", "in.csv"]);
-        assert!(execute(&o, "not,a,number\nstill,not,numbers\n").is_err());
+        assert!(execute(&o, "not,a,number\nstill,not,numbers\n".as_bytes()).is_err());
+        let o = opts(&["stream", "--k", "5", "in.csv"]);
+        assert!(execute(&o, "1,1\n2,2\n".as_bytes()).is_err()); // k > n
+        assert!(execute(&o, "# empty\n".as_bytes()).is_err());
     }
 
     #[test]
@@ -299,10 +565,30 @@ mod tests {
             bytes: 100,
             rounds: 2,
             n: 10,
+            round_stats: vec![RoundReport {
+                bytes_up: 60,
+                bytes_down: 40,
+                max_site_ms: 1.5,
+                coordinator_ms: 0.5,
+            }],
+            live_points: Some(7),
+            points_per_sec: Some(1000.0),
+            syncs: None,
         };
         let j = r.json();
         assert!(j.contains("\"cost\":3.5") && j.contains("[1,2]"), "{j}");
+        assert!(
+            j.contains("\"round_stats\":[{\"round\":0,\"bytes_up\":60,\"bytes_down\":40"),
+            "{j}"
+        );
+        assert!(
+            j.contains("\"live_points\":7") && j.contains("\"points_per_sec\":1000"),
+            "{j}"
+        );
+        assert!(!j.contains("syncs"), "{j}");
         let t = r.text();
         assert!(t.contains("cost=3.5") && t.contains("[1, 2]"), "{t}");
+        assert!(t.contains("round 0: up=60B down=40B"), "{t}");
+        assert!(t.contains("live summary points: 7"), "{t}");
     }
 }

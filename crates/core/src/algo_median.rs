@@ -21,7 +21,7 @@
 //! Communication: `O((sk + t)·B)` bytes (`O(s/δ + sk·B)` for the
 //! δ-variant) — measured, not just bounded, by the runner.
 
-use crate::allocation::allocate_outliers;
+use crate::allocation::{allocate_outliers, site_budget_from_threshold};
 use crate::hull::{geometric_grid, ConvexProfile};
 use crate::merge::merge_solutions;
 use crate::wire::{DistributedSolution, PreclusterMsg, ThresholdMsg};
@@ -250,25 +250,6 @@ impl<'a> MedianSite<'a> {
         w.finish()
     }
 
-    /// The sorted-prefix rule: the largest `q` whose marginal ranks at or
-    /// before the threshold element `(ℓ₀, i₀, q₀)` in the coordinator's
-    /// stable order (ties broken lexicographically by `(i, q)`).
-    fn t_from_threshold(&self, thr: &ThresholdMsg) -> usize {
-        let prof = self.profile.as_ref().expect("profile built in round 0");
-        let mut ti = 0usize;
-        for q in 1..=self.cfg.t {
-            let m = prof.marginal(q);
-            let wins = m > thr.threshold
-                || (m == thr.threshold && (self.site_id as u64, q as u64) <= (thr.i0, thr.q0));
-            if wins {
-                ti = q;
-            } else {
-                break; // marginals are non-increasing in q
-            }
-        }
-        ti
-    }
-
     /// Round 1: derive `t_i`, pick/merge the local solution, ship it.
     fn respond_threshold(&mut self, msg: &Bytes) -> Bytes {
         let thr = ThresholdMsg::decode(msg.clone());
@@ -301,12 +282,7 @@ impl<'a> MedianSite<'a> {
             return precluster_msg(self.data, &merged, false, ti).encode();
         }
 
-        let ti = if thr.exceptional {
-            // Line 13: snap up to the next hull vertex ≥ q₀.
-            prof.next_vertex_at_or_after((thr.q0 as usize).min(self.cfg.t))
-        } else {
-            self.t_from_threshold(&thr)
-        };
+        let ti = site_budget_from_threshold(prof, self.site_id, self.cfg.t, &thr);
         // Non-exceptional t_i is always a hull vertex (Lemma 3.4); hull
         // vertices are grid points, so the round-0 solution is reusable.
         let gi = self.grid_index(ti);

@@ -10,6 +10,7 @@
 //! down the unique exceptional site `i₀`.
 
 use crate::hull::ConvexProfile;
+use crate::wire::ThresholdMsg;
 
 /// Result of the allocation step.
 #[derive(Clone, Debug)]
@@ -76,6 +77,39 @@ pub fn allocate_outliers(profiles: &[ConvexProfile], t: usize, rho: f64) -> Allo
         q0,
         t_i,
     }
+}
+
+/// Site-side dual of [`allocate_outliers`]: derives `t_i` from the
+/// broadcast threshold (Algorithm 1, lines 12–13).
+///
+/// For the exceptional site `i₀`, `t_i` snaps up to the next hull vertex
+/// at or after `q₀`; every other site takes the largest `q` whose marginal
+/// ranks at or before the threshold element in the coordinator's stable
+/// order (ties broken lexicographically by `(i, q)`, matching Equation
+/// (4)). Every protocol deriving budgets from a [`ThresholdMsg`] — the
+/// batch Algorithm 1 and the streaming sync alike — must use this one
+/// rule, or `Σ t_i` drifts from the allocation's rank.
+pub fn site_budget_from_threshold(
+    profile: &ConvexProfile,
+    site_id: usize,
+    t: usize,
+    thr: &ThresholdMsg,
+) -> usize {
+    if thr.exceptional {
+        return profile.next_vertex_at_or_after((thr.q0 as usize).min(t));
+    }
+    let mut ti = 0usize;
+    for q in 1..=t {
+        let m = profile.marginal(q);
+        let wins = m > thr.threshold
+            || (m == thr.threshold && (site_id as u64, q as u64) <= (thr.i0, thr.q0));
+        if wins {
+            ti = q;
+        } else {
+            break; // marginals are non-increasing in q
+        }
+    }
+    ti
 }
 
 #[cfg(test)]

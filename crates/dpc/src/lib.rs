@@ -19,6 +19,9 @@
 //!   baselines, and the Theorem 3.10 subquadratic centralized algorithm;
 //! * [`uncertain`] — uncertain nodes, the compressed graph (Figure 1),
 //!   Algorithm 3, and the center-g Algorithm 4;
+//! * [`stream`] — the streaming layer: merge-and-reduce coresets, sliding
+//!   windows, and continuous distributed clustering with per-sync
+//!   communication accounting;
 //! * [`workloads`] — seeded synthetic workload generators.
 //!
 //! ## Quickstart
@@ -44,6 +47,7 @@ pub use dpc_cluster as cluster;
 pub use dpc_coordinator as coordinator;
 pub use dpc_core as core;
 pub use dpc_metric as metric;
+pub use dpc_stream as stream;
 pub use dpc_uncertain as uncertain;
 pub use dpc_workloads as workloads;
 
@@ -63,12 +67,16 @@ pub mod prelude {
         center_cost, means_cost, median_cost, EuclideanMetric, Metric, Objective, PointSet,
         SquaredMetric, WeightedSet,
     };
+    pub use dpc_stream::{
+        ContinuousCluster, ContinuousConfig, SlidingWindowEngine, StreamConfig, StreamEngine,
+        StreamSolution, Summary, SummaryParams, SyncRecord,
+    };
     pub use dpc_uncertain::{
         estimate_center_g_cost, estimate_expected_cost, run_center_g, run_uncertain_median,
         CenterGConfig, CompressedGraph, NodeSet, UncertainConfig, UncertainNode,
     };
     pub use dpc_workloads::{
-        gaussian_mixture, partition, uncertain_mixture, Mixture, MixtureSpec, PartitionStrategy,
-        UncertainSpec,
+        drifting_stream, gaussian_mixture, partition, uncertain_mixture, DriftSpec, DriftStream,
+        Mixture, MixtureSpec, PartitionStrategy, UncertainSpec,
     };
 }

@@ -1,0 +1,506 @@
+//! Continuous distributed clustering: every site ingests its own stream
+//! and the fleet periodically re-runs the paper's 2-round protocol on the
+//! sites' *current summaries*.
+//!
+//! Each simulated site owns a [`StreamEngine`]; every `sync_every`
+//! ingested points (across the fleet) a sync fires. A sync is a faithful
+//! weighted re-run of Algorithm 1 over the live summary instances —
+//! round 0 ships each site's lower convex hull of
+//! `{(q, C_sol(S_i, 2k, q))}` over the geometric grid, the coordinator
+//! water-fills the outlier budget ([`dpc_core::allocate_outliers`]) and
+//! returns the threshold marginal, and round 1 ships `2k` weighted
+//! centers plus the site's `t_i` outlier entries. Every byte crosses the
+//! simulated wire and is charged through [`CommStats`], so the
+//! communication cost of *keeping the clustering current* is measured per
+//! sync, exactly like the one-shot protocols. Because sites summarize
+//! locally, a sync costs `O((s·k + t)·B)` regardless of how many points
+//! arrived since the last one.
+
+use crate::engine::{StreamConfig, StreamEngine};
+use crate::wire::SummaryMsg;
+use bytes::Bytes;
+use dpc_cluster::Solution;
+use dpc_coordinator::{run_protocol, CommStats, Coordinator, CoordinatorStep, RunOptions, Site};
+use dpc_core::wire::ThresholdMsg;
+use dpc_core::{allocate_outliers, geometric_grid, site_budget_from_threshold, ConvexProfile};
+use dpc_metric::{EuclideanMetric, Objective, PointSet, SquaredMetric, WeightedSet, WireWriter};
+
+use crate::summary::solve_weighted;
+
+/// Configuration of the continuous distributed mode.
+#[derive(Clone, Copy, Debug)]
+pub struct ContinuousConfig {
+    /// Per-site streaming engine configuration (k, t, objective, blocks).
+    pub stream: StreamConfig,
+    /// Grid/allocation ratio ρ of the sync protocol.
+    pub rho: f64,
+    /// Coordinator-side outlier relaxation ε at sync time.
+    pub eps: f64,
+    /// Fleet-wide ingested points between automatic syncs.
+    pub sync_every: u64,
+    /// Run site phases on parallel threads during a sync.
+    pub parallel: bool,
+}
+
+impl ContinuousConfig {
+    /// Defaults: ρ = 2, ε = 1, sync every 1024 points, sequential sites.
+    pub fn new(k: usize, t: usize) -> Self {
+        Self {
+            stream: StreamConfig::new(k, t),
+            rho: 2.0,
+            eps: 1.0,
+            sync_every: 1024,
+            parallel: false,
+        }
+    }
+
+    /// Sets the sync cadence.
+    pub fn sync_every(mut self, points: u64) -> Self {
+        assert!(points > 0, "sync cadence must be positive");
+        self.sync_every = points;
+        self
+    }
+
+    fn encode(&self) -> Bytes {
+        let mut w = WireWriter::new();
+        w.put_varint(self.stream.k as u64);
+        w.put_varint(self.stream.t as u64);
+        w.put_f64(self.rho);
+        w.put_f64(self.eps);
+        w.put_varint(u64::from(self.stream.objective == Objective::Means));
+        w.finish()
+    }
+}
+
+/// Record of one executed sync.
+#[derive(Clone, Debug)]
+pub struct SyncRecord {
+    /// Fleet-wide ingested point count when the sync fired.
+    pub at: u64,
+    /// Full per-round communication/compute accounting of the sync.
+    pub stats: CommStats,
+    /// Centers chosen by the coordinator.
+    pub centers: PointSet,
+    /// Coordinator objective value over the merged summary instance.
+    pub cost: f64,
+    /// Outlier weight the coordinator excluded.
+    pub excluded_weight: f64,
+}
+
+/// A fleet of streaming sites plus the periodic sync machinery.
+#[derive(Clone, Debug)]
+pub struct ContinuousCluster {
+    cfg: ContinuousConfig,
+    dim: usize,
+    sites: Vec<StreamEngine>,
+    ingested: u64,
+    since_sync: u64,
+    /// Every sync executed so far, in order.
+    pub history: Vec<SyncRecord>,
+}
+
+impl ContinuousCluster {
+    /// Creates a fleet of `sites` streaming engines over `R^dim`.
+    pub fn new(dim: usize, sites: usize, cfg: ContinuousConfig) -> Self {
+        assert!(sites > 0, "need at least one site");
+        assert!(
+            cfg.stream.objective != Objective::Center,
+            "continuous sync re-runs Algorithm 1 (median/means only)"
+        );
+        Self {
+            cfg,
+            dim,
+            sites: (0..sites)
+                .map(|_| StreamEngine::new(dim, cfg.stream))
+                .collect(),
+            ingested: 0,
+            since_sync: 0,
+            history: Vec::new(),
+        }
+    }
+
+    /// Number of simulated sites.
+    pub fn num_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Fleet-wide ingested point count.
+    pub fn ingested(&self) -> u64 {
+        self.ingested
+    }
+
+    /// Total live summary entries across all sites.
+    pub fn live_points(&self) -> usize {
+        self.sites.iter().map(StreamEngine::live_points).sum()
+    }
+
+    /// Ingests one point at `site`; fires a sync when the cadence is due.
+    /// Returns the index into [`Self::history`] of the sync it triggered,
+    /// if any.
+    pub fn ingest(&mut self, site: usize, coords: &[f64]) -> Option<usize> {
+        self.sites[site].push(coords);
+        self.ingested += 1;
+        self.since_sync += 1;
+        if self.since_sync >= self.cfg.sync_every {
+            Some(self.sync())
+        } else {
+            None
+        }
+    }
+
+    /// The most recent sync result, if any sync has fired.
+    pub fn latest(&self) -> Option<&SyncRecord> {
+        self.history.last()
+    }
+
+    /// Total bytes moved on the simulated wire across all syncs.
+    pub fn total_comm_bytes(&self) -> usize {
+        self.history.iter().map(|r| r.stats.total_bytes()).sum()
+    }
+
+    /// Runs a sync only if points arrived since the last one (or none has
+    /// run yet), returning the index of the sync that covers the current
+    /// ingest count. The teardown idiom: callers finishing a stream want a
+    /// final sync without duplicating one the cadence just fired.
+    pub fn sync_if_stale(&mut self) -> usize {
+        match self.history.iter().rposition(|r| r.at == self.ingested) {
+            Some(i) => i,
+            None => self.sync(),
+        }
+    }
+
+    /// Runs the 2-round sync protocol now, regardless of cadence, and
+    /// returns the index of the new [`SyncRecord`].
+    pub fn sync(&mut self) -> usize {
+        self.since_sync = 0;
+        for s in &mut self.sites {
+            s.flush();
+        }
+        let instances: Vec<(PointSet, WeightedSet)> =
+            self.sites.iter().map(StreamEngine::live_instance).collect();
+        let mut sites: Vec<Box<dyn Site + '_>> = instances
+            .iter()
+            .enumerate()
+            .map(|(i, (pts, w))| {
+                Box::new(SummarySite::new(pts, w, i, self.cfg)) as Box<dyn Site + '_>
+            })
+            .collect();
+        let coordinator = SyncCoordinator {
+            cfg: self.cfg,
+            dim: self.dim,
+            result: None,
+        };
+        let out = run_protocol(
+            &mut sites,
+            coordinator,
+            RunOptions {
+                parallel: self.cfg.parallel,
+                ..Default::default()
+            },
+        );
+        let (centers, cost, excluded_weight) = out.output;
+        self.history.push(SyncRecord {
+            at: self.ingested,
+            stats: out.stats,
+            centers,
+            cost,
+            excluded_weight,
+        });
+        self.history.len() - 1
+    }
+}
+
+/// Site-side state of the weighted sync protocol (mirrors
+/// `dpc_core::algo_median::MedianSite`, but over a weighted summary
+/// instance instead of a raw shard).
+struct SummarySite<'a> {
+    pts: &'a PointSet,
+    w: &'a WeightedSet,
+    site_id: usize,
+    cfg: ContinuousConfig,
+    grid: Vec<usize>,
+    sols: Vec<Solution>,
+    profile: Option<ConvexProfile>,
+}
+
+impl<'a> SummarySite<'a> {
+    fn new(pts: &'a PointSet, w: &'a WeightedSet, site_id: usize, cfg: ContinuousConfig) -> Self {
+        Self {
+            pts,
+            w,
+            site_id,
+            cfg,
+            grid: Vec::new(),
+            sols: Vec::new(),
+            profile: None,
+        }
+    }
+
+    fn evaluate(&self, centers: Vec<usize>, budget: f64) -> Solution {
+        let obj = self.cfg.stream.objective;
+        if obj == Objective::Means {
+            let m = SquaredMetric::new(EuclideanMetric::new(self.pts));
+            Solution::evaluate(&m, self.w, centers, budget, Objective::Median)
+        } else {
+            let m = EuclideanMetric::new(self.pts);
+            Solution::evaluate(&m, self.w, centers, budget, Objective::Median)
+        }
+    }
+
+    /// Round 0: cost profile over the geometric grid, hull shipped.
+    fn build_profile(&mut self) -> Bytes {
+        let t = self.cfg.stream.t;
+        self.grid = geometric_grid(t, self.cfg.rho.max(1.0 + 1e-9));
+        let mut pts = Vec::with_capacity(self.grid.len());
+        let mut ls = self.cfg.stream.ls;
+        ls.seed = ls.seed.wrapping_add(self.site_id as u64);
+        for &q in &self.grid {
+            let sol = if self.w.is_empty() {
+                Solution {
+                    centers: Vec::new(),
+                    cost: 0.0,
+                    outliers: Vec::new(),
+                    assignment: Vec::new(),
+                }
+            } else {
+                let mut params = self.cfg.stream.solver_params();
+                params.eps = 0.0;
+                params.ls = ls;
+                solve_weighted(
+                    self.pts,
+                    self.w,
+                    2 * self.cfg.stream.k,
+                    q as f64,
+                    self.cfg.stream.objective,
+                    params,
+                )
+            };
+            pts.push((q, sol.cost));
+            self.sols.push(sol);
+        }
+        let profile = ConvexProfile::lower_hull(&pts);
+        let mut w = WireWriter::new();
+        profile.encode(&mut w);
+        self.profile = Some(profile);
+        w.finish()
+    }
+
+    /// Round 1: derive `t_i` (the shared Algorithm 1 line 12–13 rule),
+    /// re-evaluate the matching grid solution, ship the weighted summary.
+    fn respond_threshold(&mut self, msg: &Bytes) -> Bytes {
+        let thr = ThresholdMsg::decode(msg.clone());
+        if self.w.is_empty() {
+            return SummaryMsg::empty(self.pts.dim()).encode();
+        }
+        let prof = self.profile.as_ref().expect("profile built in round 0");
+        let ti = site_budget_from_threshold(prof, self.site_id, self.cfg.stream.t, &thr);
+        let gi = self
+            .grid
+            .binary_search(&ti)
+            .unwrap_or_else(|_| panic!("t_i = {ti} is not a grid point"));
+        let centers = self.sols[gi].centers.clone();
+        // Same clamp as the batch protocol's `ti.min(n)`: a site whose live
+        // weight is below its allotted t_i must not exclude everything (and
+        // then ship every live entry as a weighted outlier).
+        let budget = (ti as f64).min(self.w.total_weight());
+        let sol = self.evaluate(centers, budget);
+        SummaryMsg::from_solution(self.pts, self.w, &sol, ti as u64).encode()
+    }
+}
+
+impl Site for SummarySite<'_> {
+    fn handle(&mut self, round: usize, msg: &Bytes) -> Bytes {
+        match round {
+            0 => self.build_profile(),
+            1 => self.respond_threshold(msg),
+            r => panic!("sync site has no round {r}"),
+        }
+    }
+}
+
+/// Coordinator side of the sync protocol.
+struct SyncCoordinator {
+    cfg: ContinuousConfig,
+    dim: usize,
+    result: Option<(PointSet, f64, f64)>,
+}
+
+impl Coordinator for SyncCoordinator {
+    type Output = (PointSet, f64, f64);
+
+    fn step(&mut self, round: usize, replies: Vec<Bytes>) -> CoordinatorStep {
+        match round {
+            0 => CoordinatorStep::Broadcast(self.cfg.encode()),
+            1 => {
+                let profiles: Vec<ConvexProfile> = replies
+                    .iter()
+                    .map(|b| {
+                        let mut r = dpc_metric::WireReader::new(b.clone());
+                        ConvexProfile::decode(&mut r)
+                    })
+                    .collect();
+                let t = self.cfg.stream.t;
+                let alloc = allocate_outliers(&profiles, t, self.cfg.rho);
+                let msgs = (0..replies.len())
+                    .map(|i| {
+                        ThresholdMsg {
+                            threshold: alloc.threshold,
+                            i0: alloc.i0 as u64,
+                            q0: alloc.q0 as u64,
+                            exceptional: i == alloc.i0 && t > 0,
+                        }
+                        .encode()
+                    })
+                    .collect();
+                CoordinatorStep::Messages(msgs)
+            }
+            2 => {
+                self.result = Some(self.solve_final(replies));
+                CoordinatorStep::Finish
+            }
+            r => panic!("sync coordinator has no round {r}"),
+        }
+    }
+
+    fn finish(self) -> (PointSet, f64, f64) {
+        self.result.expect("protocol finished")
+    }
+}
+
+impl SyncCoordinator {
+    fn solve_final(&self, replies: Vec<Bytes>) -> (PointSet, f64, f64) {
+        let msgs: Vec<SummaryMsg> = replies.into_iter().map(SummaryMsg::decode).collect();
+        let dim = msgs
+            .iter()
+            .find(|m| !m.centers.is_empty() || !m.outliers.is_empty())
+            .map(|m| m.centers.dim())
+            .unwrap_or(self.dim);
+        let mut merged = PointSet::new(dim);
+        let mut weighted = WeightedSet::new();
+        for m in &msgs {
+            m.append_to(&mut merged, &mut weighted);
+        }
+        if weighted.is_empty() {
+            return (PointSet::new(dim), 0.0, 0.0);
+        }
+        let mut params = self.cfg.stream.solver_params();
+        params.eps = self.cfg.eps;
+        let sol = solve_weighted(
+            &merged,
+            &weighted,
+            self.cfg.stream.k,
+            self.cfg.stream.t as f64,
+            self.cfg.stream.objective,
+            params,
+        );
+        let excluded = sol.outlier_weight();
+        (merged.subset(&sol.centers), sol.cost, excluded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(cluster: &mut ContinuousCluster, n: usize) {
+        let s = cluster.num_sites();
+        for i in 0..n {
+            let c = (i % 3) as f64 * 200.0;
+            cluster.ingest(i % s, &[c + 0.01 * (i % 5) as f64, 0.0]);
+        }
+    }
+
+    #[test]
+    fn syncs_fire_on_cadence_and_charge_bytes() {
+        let cfg = ContinuousConfig {
+            stream: StreamConfig::new(3, 2).block(64),
+            ..ContinuousConfig::new(3, 2)
+        }
+        .sync_every(500);
+        let mut c = ContinuousCluster::new(2, 3, cfg);
+        feed(&mut c, 1600);
+        assert_eq!(c.history.len(), 3); // at 500, 1000, 1500
+        for rec in &c.history {
+            assert_eq!(rec.stats.num_rounds(), 2, "the paper's 2 rounds");
+            assert!(rec.stats.total_bytes() > 0);
+        }
+        assert!(c.total_comm_bytes() > 0);
+    }
+
+    #[test]
+    fn sync_recovers_clusters() {
+        let cfg = ContinuousConfig {
+            stream: StreamConfig::new(3, 2).block(64),
+            ..ContinuousConfig::new(3, 2)
+        }
+        .sync_every(900);
+        let mut c = ContinuousCluster::new(2, 3, cfg);
+        feed(&mut c, 900);
+        // Two planted outliers after the fact, then a manual sync.
+        c.ingest(0, &[9e4, 9e4]);
+        c.ingest(1, &[-8e4, 0.0]);
+        c.sync();
+        let rec = c.latest().unwrap();
+        assert_eq!(rec.centers.len(), 3);
+        for planted in [0.0, 200.0, 400.0] {
+            let near =
+                (0..rec.centers.len()).any(|i| (rec.centers.point(i)[0] - planted).abs() < 1.0);
+            assert!(near, "no center near {planted}: {:?}", rec.centers);
+        }
+    }
+
+    #[test]
+    fn sync_bytes_independent_of_stream_length() {
+        // Summaries keep sync cost flat while the stream grows 8x.
+        let mk = |n: usize| {
+            let cfg = ContinuousConfig {
+                stream: StreamConfig::new(2, 2).block(64),
+                ..ContinuousConfig::new(2, 2)
+            }
+            .sync_every(u64::MAX);
+            let mut c = ContinuousCluster::new(2, 2, cfg);
+            feed(&mut c, n);
+            c.sync();
+            c.latest().unwrap().stats.total_bytes()
+        };
+        let small = mk(512);
+        let big = mk(4096);
+        assert!(big <= small * 3, "sync bytes grew with n: {small} -> {big}");
+    }
+
+    #[test]
+    fn sync_if_stale_skips_covered_ingests() {
+        let cfg = ContinuousConfig {
+            stream: StreamConfig::new(2, 1).block(32),
+            ..ContinuousConfig::new(2, 1)
+        }
+        .sync_every(100);
+        let mut c = ContinuousCluster::new(2, 2, cfg);
+        feed(&mut c, 100); // cadence fires exactly at 100
+        assert_eq!(c.history.len(), 1);
+        let idx = c.sync_if_stale();
+        assert_eq!((idx, c.history.len()), (0, 1), "no duplicate sync");
+        c.ingest(0, &[1.0, 1.0]);
+        let idx = c.sync_if_stale();
+        assert_eq!((idx, c.history.len()), (1, 2), "stale ingest forces a sync");
+    }
+
+    #[test]
+    fn empty_fleet_sync_is_graceful() {
+        let mut c = ContinuousCluster::new(2, 2, ContinuousConfig::new(2, 1));
+        c.sync();
+        let rec = c.latest().unwrap();
+        assert!(rec.centers.is_empty());
+        assert_eq!(rec.cost, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "median/means")]
+    fn center_objective_rejected() {
+        let cfg = ContinuousConfig {
+            stream: StreamConfig::new(2, 1).center(),
+            ..ContinuousConfig::new(2, 1)
+        };
+        let _ = ContinuousCluster::new(2, 2, cfg);
+    }
+}

@@ -1,0 +1,354 @@
+//! The insertion-only streaming engine: buffer → summarize → carry-merge.
+//!
+//! Points arrive one at a time and are buffered into blocks of
+//! `block_size`. Each full block is summarized ([`Summary::from_block`])
+//! into a level-0 coreset and inserted into a binary-counter tree: if
+//! level `ℓ` is occupied, the two summaries merge into level `ℓ+1`,
+//! carrying until a free slot is found. After `n` insertions at most
+//! `⌈log₂(n / block_size)⌉ + 1` summaries are live, each holding at most
+//! `2k + t + 1` entries — the `O((k + t) · log n)` live-point bound the
+//! integration suite asserts.
+
+use crate::summary::{solve_weighted, Summary, SummaryParams};
+use dpc_cluster::{BicriteriaParams, LocalSearchParams};
+use dpc_metric::{Objective, PointSet, WeightedSet};
+
+/// Streaming engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamConfig {
+    /// Number of centers `k` reported at query time (summaries keep `2k`).
+    pub k: usize,
+    /// Outlier budget `t`, tracked at every level of the tree.
+    pub t: usize,
+    /// Objective (median / means / center).
+    pub objective: Objective,
+    /// Points buffered before a block is summarized.
+    pub block_size: usize,
+    /// Query-time outlier relaxation ε (the solve may exclude `(1+ε)t`).
+    pub eps: f64,
+    /// λ-bisection iterations inside the solvers.
+    pub lambda_iters: usize,
+    /// Inner local-search tuning.
+    pub ls: LocalSearchParams,
+}
+
+impl StreamConfig {
+    /// Defaults: median objective, blocks of 256, and ε = 1 at query time
+    /// (matching `MedianConfig::new`: the solve may exclude up to `2t`).
+    /// Summaries always track the exact `t` internally.
+    pub fn new(k: usize, t: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self {
+            k,
+            t,
+            objective: Objective::Median,
+            block_size: 256,
+            eps: 1.0,
+            lambda_iters: 12,
+            ls: LocalSearchParams::default(),
+        }
+    }
+
+    /// Switches to the means objective.
+    pub fn means(mut self) -> Self {
+        self.objective = Objective::Means;
+        self
+    }
+
+    /// Switches to the center objective.
+    pub fn center(mut self) -> Self {
+        self.objective = Objective::Center;
+        self
+    }
+
+    /// Sets the block size.
+    pub fn block(mut self, block_size: usize) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        self.block_size = block_size;
+        self
+    }
+
+    pub(crate) fn summary_params(&self) -> SummaryParams {
+        SummaryParams {
+            k: self.k,
+            t: self.t,
+            objective: self.objective,
+            lambda_iters: self.lambda_iters,
+            ls: self.ls,
+        }
+    }
+
+    pub(crate) fn solver_params(&self) -> BicriteriaParams {
+        BicriteriaParams {
+            eps: self.eps,
+            lambda_iters: self.lambda_iters,
+            ls: self.ls,
+        }
+    }
+}
+
+/// Result of querying a streaming engine.
+#[derive(Clone, Debug)]
+pub struct StreamSolution {
+    /// The `k` chosen centers (coordinates).
+    pub centers: PointSet,
+    /// Objective value over the live weighted instance (a proxy for the
+    /// true stream cost; re-evaluate against retained raw data for ground
+    /// truth in experiments).
+    pub cost: f64,
+    /// Weight excluded as outliers by the query solve.
+    pub excluded_weight: f64,
+    /// Live summary entries the query ran on (the memory footprint).
+    pub live_points: usize,
+}
+
+/// Insertion-only merge-and-reduce streaming engine.
+#[derive(Clone, Debug)]
+pub struct StreamEngine {
+    cfg: StreamConfig,
+    dim: usize,
+    buffer: PointSet,
+    /// Binary-counter slots: `levels[ℓ]` holds the summary covering
+    /// `block_size · 2^ℓ` points, or `None`.
+    levels: Vec<Option<Summary>>,
+    ingested: u64,
+}
+
+impl StreamEngine {
+    /// Creates an engine for points in `R^dim`.
+    pub fn new(dim: usize, cfg: StreamConfig) -> Self {
+        Self {
+            cfg,
+            dim,
+            buffer: PointSet::with_capacity(dim, cfg.block_size),
+            levels: Vec::new(),
+            ingested: 0,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+
+    /// Inserts one point.
+    pub fn push(&mut self, coords: &[f64]) {
+        self.buffer.push(coords);
+        self.ingested += 1;
+        if self.buffer.len() >= self.cfg.block_size {
+            self.flush();
+        }
+    }
+
+    /// Summarizes the current partial block (if any) and inserts it into
+    /// the tree. Called automatically on full blocks; call manually before
+    /// teardown to fold a trailing partial block in.
+    pub fn flush(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let block = std::mem::replace(
+            &mut self.buffer,
+            PointSet::with_capacity(self.dim, self.cfg.block_size),
+        );
+        let params = self.cfg.summary_params();
+        let mut carry = Summary::from_block(&block, &params);
+        let mut lvl = 0usize;
+        loop {
+            if lvl == self.levels.len() {
+                self.levels.push(Some(carry));
+                return;
+            }
+            match self.levels[lvl].take() {
+                None => {
+                    self.levels[lvl] = Some(carry);
+                    return;
+                }
+                Some(existing) => {
+                    carry = Summary::merge(&existing, &carry, &params);
+                    lvl += 1;
+                }
+            }
+        }
+    }
+
+    /// Total points inserted so far.
+    pub fn ingested(&self) -> u64 {
+        self.ingested
+    }
+
+    /// Number of live summaries (occupied tree levels).
+    pub fn live_summaries(&self) -> usize {
+        self.levels.iter().flatten().count()
+    }
+
+    /// Total live entries: summary points plus the unsummarized buffer.
+    pub fn live_points(&self) -> usize {
+        self.levels
+            .iter()
+            .flatten()
+            .map(Summary::len)
+            .sum::<usize>()
+            + self.buffer.len()
+    }
+
+    /// Total live weight (should equal [`Self::ingested`] up to float
+    /// rounding — weights are conserved through every merge).
+    pub fn live_weight(&self) -> f64 {
+        self.levels
+            .iter()
+            .flatten()
+            .map(Summary::total_weight)
+            .sum::<f64>()
+            + self.buffer.len() as f64
+    }
+
+    /// Materializes the live weighted instance (all summaries plus the
+    /// buffer at unit weight).
+    pub fn live_instance(&self) -> (PointSet, WeightedSet) {
+        let mut pts = PointSet::new(self.dim);
+        let mut w = WeightedSet::new();
+        for s in self.levels.iter().flatten() {
+            s.append_to(&mut pts, &mut w);
+        }
+        let off = pts.extend_from(&self.buffer);
+        for j in 0..self.buffer.len() {
+            w.push(off + j, 1.0);
+        }
+        (pts, w)
+    }
+
+    /// Solves the `(k, (1+ε)t)` problem on the live instance.
+    pub fn solve(&self) -> StreamSolution {
+        let (pts, w) = self.live_instance();
+        solve_instance(&pts, &w, &self.cfg)
+    }
+}
+
+/// Shared query-time solve over a materialized live instance.
+///
+/// The live instance is coreset-sized (`O((k+t) log n)` entries), so a
+/// handful of local-search restarts is nearly free and guards the final
+/// answer against one bad seed — summaries are built once per block, but
+/// the query solve is the single point of failure for output quality.
+pub(crate) fn solve_instance(
+    pts: &PointSet,
+    w: &WeightedSet,
+    cfg: &StreamConfig,
+) -> StreamSolution {
+    if w.is_empty() {
+        return StreamSolution {
+            centers: PointSet::new(pts.dim()),
+            cost: 0.0,
+            excluded_weight: 0.0,
+            live_points: 0,
+        };
+    }
+    // Restart diversity comes from the local-search seed, which only the
+    // median/means solver consumes — charikar_center is deterministic.
+    let restarts = if cfg.objective == Objective::Center {
+        1
+    } else {
+        QUERY_RESTARTS
+    };
+    let mut best: Option<dpc_cluster::Solution> = None;
+    for restart in 0..restarts {
+        let mut params = cfg.solver_params();
+        params.ls.seed = params.ls.seed.wrapping_add(restart * 0x9e37_79b9);
+        let sol = solve_weighted(pts, w, cfg.k, cfg.t as f64, cfg.objective, params);
+        if best.as_ref().is_none_or(|b| sol.cost < b.cost) {
+            best = Some(sol);
+        }
+    }
+    let sol = best.expect("at least one restart ran");
+    StreamSolution {
+        centers: pts.subset(&sol.centers),
+        cost: sol.cost,
+        excluded_weight: sol.outlier_weight(),
+        live_points: pts.len(),
+    }
+}
+
+/// Local-search restarts in the query-time solve.
+const QUERY_RESTARTS: u64 = 3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed_clusters(engine: &mut StreamEngine, n: usize) {
+        for i in 0..n {
+            let c = (i % 3) as f64 * 100.0;
+            engine.push(&[c + 0.01 * (i % 5) as f64, 0.0]);
+        }
+    }
+
+    #[test]
+    fn weight_conserved_and_levels_logarithmic() {
+        let mut e = StreamEngine::new(2, StreamConfig::new(3, 4).block(32));
+        feed_clusters(&mut e, 1000);
+        e.flush();
+        assert!((e.live_weight() - 1000.0).abs() < 1e-6);
+        // 1000 / 32 ≈ 31 blocks -> at most ⌈log2(32)⌉ + 1 = 6 live levels.
+        assert!(e.live_summaries() <= 6, "{} summaries", e.live_summaries());
+        let cap = e.config().summary_params().max_entries();
+        assert!(
+            e.live_points() <= cap * 6,
+            "{} live points",
+            e.live_points()
+        );
+    }
+
+    #[test]
+    fn solve_finds_planted_clusters() {
+        let mut e = StreamEngine::new(2, StreamConfig::new(3, 2).block(64));
+        feed_clusters(&mut e, 600);
+        e.push(&[5e4, 5e4]);
+        e.push(&[-7e4, 0.0]);
+        e.flush();
+        let sol = e.solve();
+        assert_eq!(sol.centers.len(), 3);
+        // Each planted cluster is within 1 of some center.
+        for c in [0.0, 100.0, 200.0] {
+            let near = (0..sol.centers.len()).any(|i| (sol.centers.point(i)[0] - c).abs() < 1.0);
+            assert!(near, "no center near {c}: {:?}", sol.centers);
+        }
+        assert!(sol.cost < 50.0, "cost {}", sol.cost);
+    }
+
+    #[test]
+    fn empty_engine_solves_empty() {
+        let e = StreamEngine::new(2, StreamConfig::new(2, 1));
+        let sol = e.solve();
+        assert!(sol.centers.is_empty());
+        assert_eq!(sol.cost, 0.0);
+        assert_eq!(sol.live_points, 0);
+    }
+
+    #[test]
+    fn partial_buffer_counts_toward_live_state() {
+        let mut e = StreamEngine::new(1, StreamConfig::new(2, 1).block(100));
+        for i in 0..7 {
+            e.push(&[i as f64]);
+        }
+        assert_eq!(e.live_points(), 7);
+        assert_eq!(e.live_summaries(), 0);
+        let sol = e.solve();
+        assert_eq!(sol.centers.len(), 2);
+    }
+
+    #[test]
+    fn means_and_center_objectives_run() {
+        for cfg in [
+            StreamConfig::new(2, 2).block(32).means(),
+            StreamConfig::new(2, 2).block(32).center(),
+        ] {
+            let mut e = StreamEngine::new(2, cfg);
+            feed_clusters(&mut e, 200);
+            e.flush();
+            let sol = e.solve();
+            assert!(!sol.centers.is_empty());
+            assert!(sol.cost.is_finite());
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Streaming layer for distributed partial clustering.
+//!
+//! The paper's protocols are one-shot: static shards, one summary, one
+//! solve. This crate lets points *arrive over time* while reusing the
+//! same mergeable per-site summaries as the composition primitive:
+//!
+//! * [`summary`] — [`Summary`], the coreset object: `2k` weighted centers
+//!   plus up to `t` explicitly tracked outlier entries, with exact weight
+//!   conservation and a per-objective accumulated error bound;
+//! * [`engine`] — [`StreamEngine`], insertion-only merge-and-reduce:
+//!   blocks are summarized and composed up a binary-counter tree, keeping
+//!   `O(log n)` live summaries of `O(k + t)` entries each;
+//! * [`window`] — [`SlidingWindowEngine`], a sliding window via an
+//!   exponential histogram of block summaries with bucketed expiry;
+//! * [`continuous`] — [`ContinuousCluster`], continuous *distributed*
+//!   clustering: each simulated site ingests its own stream and the fleet
+//!   periodically re-runs the 2-round Algorithm 1 sync on the live
+//!   summaries, with every byte charged through
+//!   [`dpc_coordinator::CommStats`];
+//! * [`wire`] — the weighted summary message the sync protocol ships.
+
+pub mod continuous;
+pub mod engine;
+pub mod summary;
+pub mod window;
+pub mod wire;
+
+pub use continuous::{ContinuousCluster, ContinuousConfig, SyncRecord};
+pub use engine::{StreamConfig, StreamEngine, StreamSolution};
+pub use summary::{solve_weighted, Summary, SummaryParams};
+pub use window::SlidingWindowEngine;
+pub use wire::SummaryMsg;

@@ -1,0 +1,256 @@
+//! Sliding-window streaming via bucketed expiry of whole blocks.
+//!
+//! An exponential histogram over block summaries: each bucket covers a
+//! contiguous run of `2^i` blocks and carries their merged [`Summary`]
+//! plus its exact stream-position range. At most two buckets of each
+//! capacity are kept — when a third appears, the two *oldest* of that
+//! capacity merge into one of double capacity — so `O(log(W / block))`
+//! buckets are live. Expiry is exact at block granularity: a bucket whose
+//! entire range has left the window is dropped whole. The oldest retained
+//! bucket may straddle the window boundary (the standard exponential-
+//! histogram approximation), so the live instance covers at least the
+//! window and at most roughly twice it.
+
+use crate::engine::{solve_instance, StreamConfig, StreamSolution};
+use crate::summary::Summary;
+use dpc_metric::{PointSet, WeightedSet};
+use std::collections::VecDeque;
+
+/// One bucket: a merged summary of `blocks` consecutive blocks spanning
+/// stream positions `[start, end)`.
+#[derive(Clone, Debug)]
+struct Bucket {
+    summary: Summary,
+    start: u64,
+    end: u64,
+    blocks: u64,
+}
+
+/// Sliding-window engine: answers `(k, (1+ε)t)` queries over (roughly)
+/// the last `window` points.
+#[derive(Clone, Debug)]
+pub struct SlidingWindowEngine {
+    cfg: StreamConfig,
+    dim: usize,
+    window: u64,
+    buffer: PointSet,
+    /// Time-ordered buckets, oldest at the front.
+    buckets: VecDeque<Bucket>,
+    ingested: u64,
+}
+
+impl SlidingWindowEngine {
+    /// Creates a window engine over the last `window` points.
+    ///
+    /// # Panics
+    /// Panics unless `window >= block_size` (a window smaller than one
+    /// block can never be covered at block granularity).
+    pub fn new(dim: usize, window: u64, cfg: StreamConfig) -> Self {
+        assert!(
+            window >= cfg.block_size as u64,
+            "window ({window}) must be at least one block ({})",
+            cfg.block_size
+        );
+        Self {
+            cfg,
+            dim,
+            window,
+            buffer: PointSet::with_capacity(dim, cfg.block_size),
+            buckets: VecDeque::new(),
+            ingested: 0,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+
+    /// The window length in points.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Inserts one point, expiring and compacting buckets as needed.
+    pub fn push(&mut self, coords: &[f64]) {
+        self.buffer.push(coords);
+        self.ingested += 1;
+        if self.buffer.len() >= self.cfg.block_size {
+            let block = std::mem::replace(
+                &mut self.buffer,
+                PointSet::with_capacity(self.dim, self.cfg.block_size),
+            );
+            let end = self.ingested;
+            let start = end - block.len() as u64;
+            let summary = Summary::from_block(&block, &self.cfg.summary_params());
+            self.buckets.push_back(Bucket {
+                summary,
+                start,
+                end,
+                blocks: 1,
+            });
+            self.compact();
+        }
+        self.expire();
+    }
+
+    /// Enforces "at most two buckets per capacity" by merging the two
+    /// oldest buckets of the smallest over-represented capacity.
+    fn compact(&mut self) {
+        let params = self.cfg.summary_params();
+        loop {
+            // Find the smallest capacity with three or more buckets. Equal
+            // capacities are adjacent (sizes are non-increasing from the
+            // oldest end), so the two oldest of a capacity sit side by side.
+            let mut victim: Option<usize> = None;
+            let mut i = 0;
+            while i < self.buckets.len() {
+                let cap = self.buckets[i].blocks;
+                let mut j = i;
+                while j < self.buckets.len() && self.buckets[j].blocks == cap {
+                    j += 1;
+                }
+                if j - i >= 3 {
+                    victim = match victim {
+                        Some(v) if self.buckets[v].blocks <= cap => Some(v),
+                        _ => Some(i),
+                    };
+                }
+                i = j;
+            }
+            let Some(i) = victim else { return };
+            let a = self.buckets.remove(i).expect("victim index in range");
+            let b = &mut self.buckets[i];
+            debug_assert_eq!(a.end, b.start, "buckets must be contiguous");
+            b.summary = Summary::merge(&a.summary, &b.summary, &params);
+            b.start = a.start;
+            b.blocks += a.blocks;
+        }
+    }
+
+    /// Drops buckets that have entirely left the window.
+    fn expire(&mut self) {
+        let cutoff = self.ingested.saturating_sub(self.window);
+        while self.buckets.front().is_some_and(|b| b.end <= cutoff) {
+            self.buckets.pop_front();
+        }
+    }
+
+    /// Total points inserted so far.
+    pub fn ingested(&self) -> u64 {
+        self.ingested
+    }
+
+    /// Number of live buckets.
+    pub fn live_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Total live entries (bucket summaries plus the buffer).
+    pub fn live_points(&self) -> usize {
+        self.buckets.iter().map(|b| b.summary.len()).sum::<usize>() + self.buffer.len()
+    }
+
+    /// Total weight currently represented. At least the covered window
+    /// portion, at most the window plus the oldest bucket's overhang.
+    pub fn live_weight(&self) -> f64 {
+        self.buckets
+            .iter()
+            .map(|b| b.summary.total_weight())
+            .sum::<f64>()
+            + self.buffer.len() as f64
+    }
+
+    /// The stream-position range `[start, end)` the live state covers
+    /// (`start` may precede the window boundary by up to one bucket).
+    pub fn covered_range(&self) -> (u64, u64) {
+        let start = self
+            .buckets
+            .front()
+            .map(|b| b.start)
+            .unwrap_or(self.ingested - self.buffer.len() as u64);
+        (start, self.ingested)
+    }
+
+    /// Materializes the live weighted instance.
+    pub fn live_instance(&self) -> (PointSet, WeightedSet) {
+        let mut pts = PointSet::new(self.dim);
+        let mut w = WeightedSet::new();
+        for b in &self.buckets {
+            b.summary.append_to(&mut pts, &mut w);
+        }
+        let off = pts.extend_from(&self.buffer);
+        for j in 0..self.buffer.len() {
+            w.push(off + j, 1.0);
+        }
+        (pts, w)
+    }
+
+    /// Solves the `(k, (1+ε)t)` problem over the live window instance.
+    pub fn solve(&self) -> StreamSolution {
+        let (pts, w) = self.live_instance();
+        solve_instance(&pts, &w, &self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expiry_keeps_roughly_one_window() {
+        let cfg = StreamConfig::new(2, 2).block(32);
+        let mut e = SlidingWindowEngine::new(2, 256, cfg);
+        for i in 0..5000usize {
+            e.push(&[(i % 4) as f64 * 50.0, 0.0]);
+        }
+        let lw = e.live_weight();
+        assert!(lw >= 256.0, "covers less than the window: {lw}");
+        assert!(lw <= 2.0 * 256.0 + 32.0, "covers too much: {lw}");
+        let (start, end) = e.covered_range();
+        assert_eq!(end, 5000);
+        assert!(end - start >= 256);
+    }
+
+    #[test]
+    fn bucket_count_logarithmic() {
+        let cfg = StreamConfig::new(2, 2).block(16);
+        let mut e = SlidingWindowEngine::new(2, 1024, cfg);
+        for i in 0..20_000usize {
+            e.push(&[(i % 3) as f64, 0.0]);
+        }
+        // 1024/16 = 64 block slots -> ≤ 2·(log2(64)+1) = 14 buckets, plus
+        // the straddling oldest.
+        assert!(e.live_buckets() <= 15, "{} buckets", e.live_buckets());
+        let cap = e.config().summary_params().max_entries();
+        assert!(e.live_points() <= 15 * cap + 16);
+    }
+
+    #[test]
+    fn window_tracks_drift() {
+        // First half at x=0, second half at x=1000; a window covering only
+        // the second half must place all centers near 1000.
+        let cfg = StreamConfig::new(2, 0).block(25);
+        let mut e = SlidingWindowEngine::new(1, 400, cfg);
+        for _ in 0..1000 {
+            e.push(&[0.0]);
+        }
+        for _ in 0..1000 {
+            e.push(&[1000.0]);
+        }
+        let sol = e.solve();
+        for i in 0..sol.centers.len() {
+            assert!(
+                sol.centers.point(i)[0] > 900.0,
+                "stale center at {:?}",
+                sol.centers.point(i)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn rejects_window_smaller_than_block() {
+        let _ = SlidingWindowEngine::new(2, 10, StreamConfig::new(2, 1).block(32));
+    }
+}

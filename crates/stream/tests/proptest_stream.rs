@@ -1,0 +1,144 @@
+//! Property tests of the merge-and-reduce invariants: weight conservation,
+//! the per-summary level-size bound, and the analytic composition bound on
+//! merged representation cost.
+
+use dpc_metric::{EuclideanMetric, Objective, PointSet, SquaredMetric, WeightedSet};
+use dpc_stream::{StreamConfig, StreamEngine, Summary, SummaryParams};
+use proptest::prelude::*;
+
+/// Random raw block: a few clumps with occasional far-flung points.
+fn arb_block(max_n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec((0usize..4, 0.0f64..1.0, -1.0f64..1.0), 4..=max_n).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(clump, u, jitter)| {
+                if u > 0.93 {
+                    // Far outlier, sign from the jitter draw.
+                    vec![jitter.signum() * (5e3 + 1e4 * u), 4e3]
+                } else {
+                    vec![clump as f64 * 50.0 + jitter, clump as f64 * 10.0]
+                }
+            })
+            .collect()
+    })
+}
+
+fn params(k: usize, t: usize, objective: Objective) -> SummaryParams {
+    let mut p = SummaryParams::new(k, t);
+    p.objective = objective;
+    p
+}
+
+/// Evaluates how well `summary` represents `raw`: nearest-center cost over
+/// the raw points after excluding the summary's recorded outlier weight.
+fn representation_cost(raw: &PointSet, summary: &Summary, objective: Objective) -> f64 {
+    if summary.centers.is_empty() {
+        return 0.0;
+    }
+    let mut all = raw.clone();
+    let off = all.extend_from(&summary.centers);
+    let centers: Vec<usize> = (0..summary.centers.len()).map(|i| off + i).collect();
+    let mut w = WeightedSet::new();
+    for i in 0..raw.len() {
+        w.push(i, 1.0);
+    }
+    let budget = summary.outlier_weight();
+    match objective {
+        Objective::Means => {
+            let m = SquaredMetric::new(EuclideanMetric::new(&all));
+            dpc_metric::cost_excluding_outliers(&m, &w, &centers, budget, Objective::Median).cost
+        }
+        _ => {
+            let m = EuclideanMetric::new(&all);
+            dpc_metric::cost_excluding_outliers(&m, &w, &centers, budget, Objective::Median).cost
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Merging conserves total weight exactly and never exceeds the
+    /// level-size bound `2k + t + 1`.
+    #[test]
+    fn merge_conserves_weight_and_size(
+        rows_a in arb_block(40),
+        rows_b in arb_block(40),
+        k in 1usize..4,
+        t in 0usize..6,
+    ) {
+        let p = params(k, t, Objective::Median);
+        let a = Summary::from_block(&PointSet::from_rows(&rows_a), &p);
+        let b = Summary::from_block(&PointSet::from_rows(&rows_b), &p);
+        let n = (rows_a.len() + rows_b.len()) as f64;
+        let m = Summary::merge(&a, &b, &p);
+        prop_assert!((m.total_weight() - n).abs() < 1e-9,
+            "weight {} != {n}", m.total_weight());
+        // Lossless concatenation only happens when the union already fits
+        // the cap, and a lossy reduce re-imposes it — so every merge
+        // respects the hard per-summary cap.
+        let cap = p.max_entries();
+        prop_assert!(m.len() <= cap, "{} entries > cap {cap}", m.len());
+        prop_assert!(m.outlier_weight() <= t as f64 + 1e-9 || a.len() + b.len() <= p.max_entries(),
+            "outlier weight {} > t = {t}", m.outlier_weight());
+    }
+
+    /// Lemma-style composition bound: the merged summary's true
+    /// representation cost against the raw union is at most its tracked
+    /// `cost_bound` (triangle inequality for median, relaxed with factor 2
+    /// for means — `Summary::merge` already folds the factor in).
+    #[test]
+    fn merged_cost_within_analytic_factor(
+        rows_a in arb_block(36),
+        rows_b in arb_block(36),
+        k in 1usize..4,
+        t in 0usize..5,
+        means in any::<bool>(),
+    ) {
+        let objective = if means { Objective::Means } else { Objective::Median };
+        let p = params(k, t, objective);
+        let block_a = PointSet::from_rows(&rows_a);
+        let block_b = PointSet::from_rows(&rows_b);
+        let a = Summary::from_block(&block_a, &p);
+        let b = Summary::from_block(&block_b, &p);
+
+        // Each part individually honors its bound...
+        let ca = representation_cost(&block_a, &a, objective);
+        prop_assert!(ca <= a.cost_bound * (1.0 + 1e-9) + 1e-6,
+            "part A: actual {ca} > bound {}", a.cost_bound);
+
+        // ...and so does the merge of the two parts against the raw union.
+        let m = Summary::merge(&a, &b, &p);
+        let mut raw = block_a.clone();
+        raw.extend_from(&block_b);
+        let cm = representation_cost(&raw, &m, objective);
+        prop_assert!(cm <= m.cost_bound * (1.0 + 1e-9) + 1e-6,
+            "merged: actual {cm} > bound {} (parts {} + {})",
+            m.cost_bound, a.cost_bound, b.cost_bound);
+    }
+
+    /// The engine invariants hold for arbitrary streams and block sizes:
+    /// exact weight conservation and the logarithmic live-size bound.
+    #[test]
+    fn engine_invariants(
+        rows in arb_block(120),
+        block in 4usize..40,
+        k in 1usize..3,
+        t in 0usize..4,
+    ) {
+        let mut engine = StreamEngine::new(2, StreamConfig::new(k, t).block(block));
+        for r in &rows {
+            engine.push(r);
+        }
+        engine.flush();
+        let n = rows.len();
+        prop_assert!((engine.live_weight() - n as f64).abs() < 1e-9);
+        let blocks = n.div_ceil(block);
+        let levels = (blocks as f64).log2().ceil() as usize + 1;
+        let cap = (2 * k + t + 1) * levels;
+        prop_assert!(engine.live_points() <= cap.max(n.min(2 * k + t + 1)),
+            "{} live > cap {cap} (n={n}, block={block})", engine.live_points());
+        // A solve on the live instance excludes at most (1+eps)t weight.
+        let sol = engine.solve();
+        prop_assert!(sol.excluded_weight <= 2.0 * t as f64 + 1e-9);
+    }
+}

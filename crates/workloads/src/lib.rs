@@ -13,7 +13,10 @@
 //!   outlier-skewed (all noise lands on one site — adversarial for the
 //!   `t_i` allocation);
 //! * [`uncertain_mixture`] — uncertain nodes whose supports jitter around
-//!   cluster locations, plus noise nodes with scattered support.
+//!   cluster locations, plus noise nodes with scattered support;
+//! * [`drifting_stream`] — points in *arrival order* from clusters whose
+//!   centers move over time (concept drift), with outliers arriving in
+//!   bursts — the streaming layer's workload.
 
 use dpc_metric::PointSet;
 use dpc_uncertain::{NodeSet, UncertainNode};
@@ -287,6 +290,123 @@ pub fn uncertain_mixture(spec: UncertainSpec) -> Vec<NodeSet> {
     shards
 }
 
+/// Specification of a drifting stream with bursty outliers.
+#[derive(Clone, Copy, Debug)]
+pub struct DriftSpec {
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Total points emitted (inliers + outliers), in arrival order.
+    pub points: usize,
+    /// Dimension.
+    pub dim: usize,
+    /// Cluster standard deviation.
+    pub sigma: f64,
+    /// Distance scale between cluster centers at time 0.
+    pub separation: f64,
+    /// Total distance each cluster center travels over the whole stream,
+    /// as a multiple of `separation` (0 disables drift).
+    pub drift: f64,
+    /// Outliers arrive in bursts of this many consecutive points.
+    pub burst_len: usize,
+    /// A burst starts every `burst_every` points (0 disables outliers).
+    pub burst_every: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DriftSpec {
+    fn default() -> Self {
+        Self {
+            clusters: 4,
+            points: 4000,
+            dim: 2,
+            sigma: 1.0,
+            separation: 100.0,
+            drift: 0.5,
+            burst_len: 4,
+            burst_every: 250,
+            seed: 0xd81f,
+        }
+    }
+}
+
+/// Output of [`drifting_stream`]: arrival-ordered points with ground truth.
+#[derive(Clone, Debug)]
+pub struct DriftStream {
+    /// All points in arrival order.
+    pub points: PointSet,
+    /// Cluster id per point (`None` for burst outliers).
+    pub labels: Vec<Option<usize>>,
+    /// Ids (into `points`) of the burst outliers.
+    pub outlier_ids: Vec<usize>,
+}
+
+/// Generates a drifting stream: each point is drawn around its cluster's
+/// *current* center, which moves linearly along a per-cluster direction as
+/// the stream progresses (concept drift). Every `burst_every` points a
+/// burst of `burst_len` consecutive far-away outliers is injected —
+/// adversarial for any streaming outlier budget, because the budget is
+/// demanded all at once rather than uniformly.
+pub fn drifting_stream(spec: DriftSpec) -> DriftStream {
+    assert!(spec.clusters > 0 && spec.dim > 0 && spec.points > 0);
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+
+    // Anchors at time 0 (same well-separated layout as `gaussian_mixture`)
+    // plus a unit drift direction per cluster.
+    let mut anchors = Vec::with_capacity(spec.clusters);
+    let mut directions = Vec::with_capacity(spec.clusters);
+    for c in 0..spec.clusters {
+        let mut coords = vec![0.0; spec.dim];
+        for (d, x) in coords.iter_mut().enumerate() {
+            let anchor = ((c * (d + 3) + c * c) % (2 * spec.clusters)) as f64;
+            *x = anchor * spec.separation + rng.gen_range(-0.1..0.1) * spec.separation;
+        }
+        anchors.push(coords);
+        let mut dir: Vec<f64> = (0..spec.dim).map(|_| gauss(&mut rng)).collect();
+        let norm = dir.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
+        for x in dir.iter_mut() {
+            *x /= norm;
+        }
+        directions.push(dir);
+    }
+
+    let mut points = PointSet::with_capacity(spec.dim, spec.points);
+    let mut labels = Vec::with_capacity(spec.points);
+    let mut outlier_ids = Vec::new();
+    let big = 100.0 * spec.separation * (spec.clusters as f64);
+    for i in 0..spec.points {
+        let in_burst = spec.burst_every > 0
+            && spec.burst_len > 0
+            && i % spec.burst_every < spec.burst_len
+            && i >= spec.burst_every; // no burst before the stream warms up
+        if in_burst {
+            let mut coords = Vec::with_capacity(spec.dim);
+            for _ in 0..spec.dim {
+                let v = big + rng.gen_range(0.0..big);
+                coords.push(if rng.gen::<bool>() { v } else { -v });
+            }
+            outlier_ids.push(points.push(&coords));
+            labels.push(None);
+            continue;
+        }
+        let c = rng.gen_range(0..spec.clusters);
+        // Progress in [0, 1): how far along its drift path the cluster is.
+        let progress = i as f64 / spec.points as f64;
+        let travel = spec.drift * spec.separation * progress;
+        let mut coords = Vec::with_capacity(spec.dim);
+        for d in 0..spec.dim {
+            coords.push(anchors[c][d] + travel * directions[c][d] + spec.sigma * gauss(&mut rng));
+        }
+        labels.push(Some(c));
+        points.push(&coords);
+    }
+    DriftStream {
+        points,
+        labels,
+        outlier_ids,
+    }
+}
+
 fn uniform_probs(m: usize) -> Vec<f64> {
     // Exact normalization (avoid 1/m rounding drift tripping validation).
     let mut probs = vec![1.0 / m as f64; m];
@@ -418,6 +538,75 @@ mod tests {
                 assert_eq!(node.support_size(), 3);
             }
         }
+    }
+
+    #[test]
+    fn drift_stream_counts_and_determinism() {
+        let spec = DriftSpec {
+            points: 1000,
+            burst_every: 100,
+            burst_len: 3,
+            ..Default::default()
+        };
+        let a = drifting_stream(spec);
+        assert_eq!(a.points.len(), 1000);
+        assert_eq!(a.labels.len(), 1000);
+        // Bursts at 100, 200, ..., 900 (none in the warm-up prefix).
+        assert_eq!(a.outlier_ids.len(), 9 * 3);
+        for (i, lab) in a.labels.iter().enumerate() {
+            assert_eq!(lab.is_none(), a.outlier_ids.contains(&i));
+        }
+        let b = drifting_stream(spec);
+        assert_eq!(a.points, b.points);
+        let c = drifting_stream(DriftSpec { seed: 9, ..spec });
+        assert_ne!(a.points, c.points);
+    }
+
+    #[test]
+    fn drift_moves_late_points() {
+        // With strong drift, the late points of a cluster are far from its
+        // early points; with drift 0 they are not.
+        let measure = |drift: f64| {
+            let s = drifting_stream(DriftSpec {
+                clusters: 1,
+                points: 2000,
+                drift,
+                burst_every: 0,
+                sigma: 0.1,
+                ..Default::default()
+            });
+            let early = s.points.point(0).to_vec();
+            let late = s.points.point(1999).to_vec();
+            dpc_metric::points::sq_dist(&early, &late).sqrt()
+        };
+        assert!(measure(0.0) < 5.0);
+        assert!(measure(2.0) > 100.0, "drift 2 moved {}", measure(2.0));
+    }
+
+    #[test]
+    fn burst_outliers_are_far() {
+        let s = drifting_stream(DriftSpec::default());
+        for &o in &s.outlier_ids {
+            let p = s.points.point(o);
+            assert!(
+                p.iter().any(|&x| x.abs() > 1e4),
+                "burst outlier {o} too close: {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bursts_are_consecutive() {
+        let s = drifting_stream(DriftSpec {
+            points: 600,
+            burst_every: 200,
+            burst_len: 5,
+            ..Default::default()
+        });
+        assert_eq!(
+            s.outlier_ids,
+            vec![200, 201, 202, 203, 204, 400, 401, 402, 403, 404]
+        );
     }
 
     #[test]

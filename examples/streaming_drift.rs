@@ -1,0 +1,126 @@
+//! Streaming `(k,t)`-median over a drifting stream with bursty outliers.
+//!
+//! Generates a drifting-stream workload (cluster centers move over time,
+//! outliers arrive in bursts), then exercises all three streaming modes:
+//!
+//! 1. insertion-only merge-and-reduce — `O((k+t) log n)` live points;
+//! 2. sliding window — only the recent past matters;
+//! 3. continuous distributed — sites ingest independently and the 2-round
+//!    sync protocol keeps a fleet-wide clustering current, with every
+//!    byte charged.
+//!
+//! Run with: `cargo run --release -p dpc --example streaming_drift`
+
+use dpc::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let (k, t) = (4, 24);
+    let spec = DriftSpec {
+        clusters: k,
+        points: 6000,
+        drift: 0.8,
+        burst_len: 6,
+        burst_every: 1500,
+        ..Default::default()
+    };
+    let stream = drifting_stream(spec);
+    let n = stream.points.len();
+    println!("== streaming (k,t)-median over a drifting stream ==");
+    println!(
+        "k = {k}, t = {t}, n = {n} ({} burst outliers, drift {} x separation)",
+        stream.outlier_ids.len(),
+        spec.drift
+    );
+
+    // 1. Insertion-only engine.
+    let cfg = StreamConfig::new(k, t).block(256);
+    let mut engine = StreamEngine::new(spec.dim, cfg);
+    let t0 = Instant::now();
+    for (_, p) in stream.points.iter() {
+        engine.push(p);
+    }
+    engine.flush();
+    let ingest = t0.elapsed();
+    let sol = engine.solve();
+    println!("\n-- insertion-only merge-and-reduce --");
+    println!("live summaries:    {}", engine.live_summaries());
+    println!(
+        "live points:       {} of {} ingested ({:.1}x compression)",
+        sol.live_points,
+        n,
+        n as f64 / sol.live_points as f64
+    );
+    println!(
+        "throughput:        {:.0} points/sec",
+        n as f64 / ingest.as_secs_f64().max(1e-9)
+    );
+    let (cost, _) = evaluate_on_full_data(
+        std::slice::from_ref(&stream.points),
+        &sol.centers,
+        2 * t,
+        Objective::Median,
+    );
+    println!("true (k,2t)-median cost of streamed centers: {cost:.2}");
+
+    // Reference: the batch 2-round protocol on the full prefix.
+    let shards = partition(&stream.points, 4, PartitionStrategy::Random, &[], 7);
+    let batch = run_distributed_median(&shards, MedianConfig::new(k, t), RunOptions::default());
+    let (batch_cost, _) =
+        evaluate_on_full_data(&shards, &batch.output.centers, 2 * t, Objective::Median);
+    println!(
+        "batch 2-round protocol on the same prefix:   {batch_cost:.2} (stream/batch = {:.2})",
+        cost / batch_cost.max(1e-9)
+    );
+
+    // 2. Sliding window: after heavy drift, old cluster positions are stale.
+    let mut window = SlidingWindowEngine::new(spec.dim, 1500, cfg);
+    for (_, p) in stream.points.iter() {
+        window.push(p);
+    }
+    let wsol = window.solve();
+    let (covered_from, covered_to) = window.covered_range();
+    println!("\n-- sliding window (last 1500 points) --");
+    println!(
+        "buckets: {}, live points: {}, covering [{covered_from}, {covered_to})",
+        window.live_buckets(),
+        wsol.live_points
+    );
+    println!("window cost (on live instance): {:.2}", wsol.cost);
+
+    // 3. Continuous distributed: 4 sites, sync every 1000 points.
+    let ccfg = ContinuousConfig {
+        stream: cfg,
+        ..ContinuousConfig::new(k, t)
+    }
+    .sync_every(1000);
+    let mut fleet = ContinuousCluster::new(spec.dim, 4, ccfg);
+    for (i, p) in stream.points.iter() {
+        fleet.ingest(i % 4, p);
+    }
+    fleet.sync_if_stale();
+    println!("\n-- continuous distributed (4 sites, sync every 1000) --");
+    println!("syncs: {}", fleet.history.len());
+    for rec in &fleet.history {
+        println!(
+            "  sync at {:>5} points: {:>6}B over {} rounds, cost {:.2}",
+            rec.at,
+            rec.stats.total_bytes(),
+            rec.stats.num_rounds(),
+            rec.cost
+        );
+    }
+    println!(
+        "total sync communication: {}B (vs {}B to ship every raw point once)",
+        fleet.total_comm_bytes(),
+        n * spec.dim * 8
+    );
+    let latest = fleet.latest().expect("synced");
+    let (ccost, _) = evaluate_on_full_data(
+        std::slice::from_ref(&stream.points),
+        &latest.centers,
+        2 * t,
+        Objective::Median,
+    );
+    println!("true (k,2t)-median cost of the latest sync: {ccost:.2}");
+}

@@ -1,0 +1,222 @@
+//! End-to-end streaming suite: quality vs the batch 2-round protocol,
+//! live-summary size bounds, sliding-window recency, and continuous-mode
+//! communication accounting — the ISSUE 2 acceptance criteria.
+
+mod test_util;
+
+use dpc::prelude::*;
+
+fn drift_workload(points: usize, seed: u64) -> DriftStream {
+    drifting_stream(DriftSpec {
+        clusters: 4,
+        points,
+        drift: 0.6,
+        burst_len: 5,
+        burst_every: 500,
+        seed,
+        ..Default::default()
+    })
+}
+
+/// Acceptance: on the drifting-stream workload the streaming engine's
+/// `(k,t)`-median cost is within 2x of rerunning the batch 2-round
+/// protocol on the full prefix.
+#[test]
+fn streaming_cost_within_2x_of_batch() {
+    let (k, t) = (4, 20);
+    for seed in [1u64, 2, 3] {
+        let stream = drift_workload(4000, seed);
+        let mut engine = StreamEngine::new(2, StreamConfig::new(k, t).block(256));
+        for (_, p) in stream.points.iter() {
+            engine.push(p);
+        }
+        engine.flush();
+        let sol = engine.solve();
+
+        let shards = partition(&stream.points, 4, PartitionStrategy::Random, &[], seed ^ 99);
+        let batch = run_distributed_median(&shards, MedianConfig::new(k, t), RunOptions::default());
+
+        let budget = 2 * t; // (1+eps)t at eps = 1
+        let full = std::slice::from_ref(&stream.points);
+        let (stream_cost, _) = evaluate_on_full_data(full, &sol.centers, budget, Objective::Median);
+        let (batch_cost, _) =
+            evaluate_on_full_data(&shards, &batch.output.centers, budget, Objective::Median);
+        assert!(
+            stream_cost <= 2.0 * batch_cost,
+            "seed {seed}: stream {stream_cost:.1} > 2x batch {batch_cost:.1}"
+        );
+    }
+}
+
+/// Acceptance: the engine keeps at most `O(k + t) · log n` live summary
+/// points — concretely `(2k + t + 1)` per level over at most
+/// `⌈log₂(n / block)⌉ + 1` levels, plus one partial buffer.
+#[test]
+fn live_summary_size_bound() {
+    let (k, t, block) = (4, 20, 128);
+    let n = 5000usize;
+    let stream = drift_workload(n, 7);
+    let mut engine = StreamEngine::new(2, StreamConfig::new(k, t).block(block));
+    for (_, p) in stream.points.iter() {
+        engine.push(p);
+    }
+    let blocks = n.div_ceil(block);
+    let levels = (blocks as f64).log2().ceil() as usize + 1;
+    let per_summary = 2 * k + t + 1;
+    let bound = per_summary * levels + block;
+    assert!(
+        engine.live_points() <= bound,
+        "{} live points exceed bound {bound}",
+        engine.live_points()
+    );
+    // Weights conserve the exact input count through every merge.
+    assert!((engine.live_weight() - n as f64).abs() < 1e-6);
+}
+
+/// The streaming quality also holds against a *centralized* reference on
+/// an undrifting mixture (sanity that the factor is not drift luck).
+#[test]
+fn streaming_matches_batch_on_static_mixture() {
+    let (k, t) = (3, 10);
+    let (shards, mix) =
+        test_util::mixture_shards(3, 4, 1500, t, PartitionStrategy::Random, 41, 0x5eed);
+    let mut engine = StreamEngine::new(2, StreamConfig::new(k, t).block(200));
+    for (_, p) in mix.points.iter() {
+        engine.push(p);
+    }
+    engine.flush();
+    let sol = engine.solve();
+    let batch = run_distributed_median(&shards, MedianConfig::new(k, t), RunOptions::default());
+    let budget = 2 * t;
+    let full = std::slice::from_ref(&mix.points);
+    let (stream_cost, _) = evaluate_on_full_data(full, &sol.centers, budget, Objective::Median);
+    let (batch_cost, _) =
+        evaluate_on_full_data(&shards, &batch.output.centers, budget, Objective::Median);
+    assert!(
+        stream_cost <= 2.0 * batch_cost,
+        "stream {stream_cost:.1} > 2x batch {batch_cost:.1}"
+    );
+}
+
+/// Sliding window: once the stream has drifted away, windowed centers
+/// track the *current* cluster positions, while the full-stream engine
+/// averages over the whole drift path.
+#[test]
+fn sliding_window_tracks_current_positions() {
+    let spec = DriftSpec {
+        clusters: 2,
+        points: 4000,
+        drift: 3.0,
+        burst_every: 0,
+        sigma: 0.5,
+        seed: 11,
+        ..Default::default()
+    };
+    let stream = drifting_stream(spec);
+    let cfg = StreamConfig::new(2, 0).block(100);
+    let mut window = SlidingWindowEngine::new(2, 600, cfg);
+    for (_, p) in stream.points.iter() {
+        window.push(p);
+    }
+    let wsol = window.solve();
+    // Each window center must be close to some point from the last 600
+    // arrivals, and far from where the clusters started.
+    let recent_start = stream.points.len() - 600;
+    for i in 0..wsol.centers.len() {
+        let c = wsol.centers.point(i);
+        let d_recent = (recent_start..stream.points.len())
+            .map(|j| dpc::metric::points::sq_dist(c, stream.points.point(j)).sqrt())
+            .fold(f64::INFINITY, f64::min);
+        let d_early = (0..600)
+            .map(|j| dpc::metric::points::sq_dist(c, stream.points.point(j)).sqrt())
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            d_recent < 20.0,
+            "center {i} not near recent data: {d_recent}"
+        );
+        assert!(
+            d_early > d_recent,
+            "center {i} closer to the expired prefix ({d_early} vs {d_recent})"
+        );
+    }
+    // Bucketed expiry keeps the live weight near one window.
+    assert!(window.live_weight() <= 2.0 * 600.0 + 100.0);
+}
+
+/// Continuous distributed mode: syncs are real 2-round protocol runs with
+/// per-round byte accounting, and their cost stays flat as the stream
+/// grows (summaries, not raw points, cross the wire).
+#[test]
+fn continuous_mode_charges_flat_sync_communication() {
+    let (k, t) = (3, 8);
+    let stream = drift_workload(3000, 23);
+    let cfg = ContinuousConfig {
+        stream: StreamConfig::new(k, t).block(128),
+        ..ContinuousConfig::new(k, t)
+    }
+    .sync_every(750);
+    let mut fleet = ContinuousCluster::new(2, 3, cfg);
+    for (i, p) in stream.points.iter() {
+        fleet.ingest(i % 3, p);
+    }
+    assert_eq!(fleet.history.len(), 4); // 750, 1500, 2250, 3000
+    let raw_bytes = stream.points.len() * 2 * 8;
+    for rec in &fleet.history {
+        assert_eq!(
+            rec.stats.num_rounds(),
+            2,
+            "each sync is the 2-round protocol"
+        );
+        // Per-round split present and consistent.
+        let per_round: usize = rec.stats.rounds.iter().map(|r| r.total_bytes()).sum();
+        assert_eq!(per_round, rec.stats.total_bytes());
+        assert!(
+            rec.stats.total_bytes() < raw_bytes / 4,
+            "a sync shipped {}B, close to raw data {}B",
+            rec.stats.total_bytes(),
+            raw_bytes
+        );
+    }
+    // Later syncs do not grow with the stream prefix length.
+    let first = fleet.history.first().unwrap().stats.total_bytes();
+    let last = fleet.history.last().unwrap().stats.total_bytes();
+    assert!(
+        last <= 3 * first,
+        "sync bytes grew with the stream: {first}B -> {last}B"
+    );
+    // And the final sync still clusters well.
+    let latest = fleet.latest().unwrap();
+    let full = std::slice::from_ref(&stream.points);
+    let (cost, _) = evaluate_on_full_data(full, &latest.centers, 2 * t, Objective::Median);
+    let shards = partition(&stream.points, 3, PartitionStrategy::Random, &[], 5);
+    let batch = run_distributed_median(&shards, MedianConfig::new(k, t), RunOptions::default());
+    let (batch_cost, _) =
+        evaluate_on_full_data(&shards, &batch.output.centers, 2 * t, Objective::Median);
+    assert!(
+        cost <= 2.0 * batch_cost,
+        "continuous {cost:.1} > 2x batch {batch_cost:.1}"
+    );
+}
+
+/// Means and center engines summarize and solve without violating the
+/// weight/size invariants.
+#[test]
+fn means_and_center_streaming_invariants() {
+    let stream = drift_workload(1500, 31);
+    for cfg in [
+        StreamConfig::new(3, 6).block(128).means(),
+        StreamConfig::new(3, 6).block(128).center(),
+    ] {
+        let mut engine = StreamEngine::new(2, cfg);
+        for (_, p) in stream.points.iter() {
+            engine.push(p);
+        }
+        engine.flush();
+        assert!((engine.live_weight() - 1500.0).abs() < 1e-6);
+        let sol = engine.solve();
+        assert!(!sol.centers.is_empty());
+        assert!(sol.cost.is_finite());
+        // Every objective honors the (1+eps)t query budget.
+        assert!(sol.excluded_weight <= (1.0 + cfg.eps) * 6.0 + 1e-9);
+    }
+}

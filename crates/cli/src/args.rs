@@ -1,6 +1,8 @@
 //! Hand-rolled argument parsing (no external CLI dependency).
 
+use dpc::coordinator::TransportKind;
 use std::fmt;
+use std::time::Duration;
 
 /// Which protocol to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -80,6 +82,12 @@ pub struct Options {
     pub delta: f64,
     /// Emit machine-readable JSON instead of text.
     pub json: bool,
+    /// Transport backend the distributed protocols execute on.
+    pub transport: TransportKind,
+    /// Simulated one-way per-message link latency.
+    pub latency: Duration,
+    /// Simulated link bandwidth in bytes/sec (infinite = off).
+    pub bandwidth: f64,
     /// `stream`: points buffered per block before summarization.
     pub block: usize,
     /// `stream`: sliding-window length in points (0 = insertion-only).
@@ -125,6 +133,16 @@ options:
   --one-round      use the 1-round baseline protocol
   --json           emit JSON (includes per-round comm/compute stats)
 
+transport options (distributed commands and stream --sync-every):
+  --transport <channel|tcp>  message-passing backend (default channel):
+                             'channel' keeps one persistent in-process
+                             worker per site; 'tcp' runs each site behind
+                             a loopback socket with length-prefixed frames
+  --latency <dur>            simulated one-way per-message latency, e.g.
+                             5ms, 250us, 1s (bare numbers are ms)
+  --bandwidth <rate>         simulated link bandwidth in bytes/sec with
+                             optional k/M/G suffix, e.g. 10M
+
 stream options:
   --block <int>       points per summarized block        (default 256)
   --window <int>      sliding-window length in points    (default off)
@@ -154,6 +172,9 @@ pub fn parse_args(args: &[String]) -> Result<Options, ParseError> {
         window: 0,
         sync_every: 0,
         objective: StreamObjective::Median,
+        transport: TransportKind::Channel,
+        latency: Duration::ZERO,
+        bandwidth: f64::INFINITY,
     };
     let mut i = 1;
     while i < args.len() {
@@ -175,6 +196,9 @@ pub fn parse_args(args: &[String]) -> Result<Options, ParseError> {
             "--window" => opts.window = parse_num(&take_value(&mut i)?, "--window")?,
             "--sync-every" => opts.sync_every = parse_num(&take_value(&mut i)?, "--sync-every")?,
             "--objective" => opts.objective = StreamObjective::parse(&take_value(&mut i)?)?,
+            "--transport" => opts.transport = parse_transport(&take_value(&mut i)?)?,
+            "--latency" => opts.latency = parse_duration(&take_value(&mut i)?)?,
+            "--bandwidth" => opts.bandwidth = parse_bandwidth(&take_value(&mut i)?)?,
             "--one-round" => opts.one_round = true,
             "--json" => opts.json = true,
             other if other.starts_with("--") => {
@@ -220,6 +244,100 @@ pub fn parse_args(args: &[String]) -> Result<Options, ParseError> {
         }
     }
     Ok(opts)
+}
+
+impl Options {
+    /// True when the invocation actually drives the protocol runtime
+    /// (and transport/link flags therefore have an effect).
+    fn uses_runtime(&self) -> bool {
+        match self.command {
+            Command::Subquadratic => false,
+            Command::Stream => self.sync_every > 0,
+            _ => true,
+        }
+    }
+
+    /// True when any transport/link flag departs from its default.
+    fn transport_flags_set(&self) -> bool {
+        self.transport != TransportKind::Channel
+            || !self.latency.is_zero()
+            || self.bandwidth.is_finite()
+    }
+
+    /// Non-fatal configuration smells, printed to stderr by `main`.
+    pub fn warnings(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.command == Command::Stream && self.eps == 0.0 {
+            out.push(
+                "--eps 0 with stream makes queries exact-t: a single burst of more than t \
+                 far outliers becomes unexcludable and will hijack centers; prefer eps > 0"
+                    .to_string(),
+            );
+        }
+        if self.transport_flags_set() && !self.uses_runtime() {
+            out.push(format!(
+                "--transport/--latency/--bandwidth have no effect on '{}' (no protocol runs; \
+                 for stream, add --sync-every)",
+                match self.command {
+                    Command::Subquadratic => "subquadratic",
+                    _ => "stream without --sync-every",
+                }
+            ));
+        }
+        out
+    }
+}
+
+fn parse_transport(s: &str) -> Result<TransportKind, ParseError> {
+    match s {
+        "channel" => Ok(TransportKind::Channel),
+        "tcp" => Ok(TransportKind::Tcp),
+        other => Err(ParseError(format!(
+            "unknown transport '{other}' (channel|tcp)"
+        ))),
+    }
+}
+
+/// Parses a duration like `5ms`, `250us`, `1.5s` — bare numbers are ms.
+fn parse_duration(s: &str) -> Result<Duration, ParseError> {
+    let (digits, scale) = if let Some(v) = s.strip_suffix("us") {
+        (v, 1e-6)
+    } else if let Some(v) = s.strip_suffix("ms") {
+        (v, 1e-3)
+    } else if let Some(v) = s.strip_suffix('s') {
+        (v, 1.0)
+    } else {
+        (s, 1e-3)
+    };
+    let v: f64 = digits
+        .parse()
+        .map_err(|_| ParseError(format!("invalid duration '{s}' for --latency")))?;
+    let secs = v * scale;
+    // The upper bound both keeps Duration::from_secs_f64 panic-free
+    // (it rejects ~1.8e19 s and up) and catches absurd simulations.
+    if !secs.is_finite() || !(0.0..=1e9).contains(&secs) {
+        return Err(ParseError(format!("invalid duration '{s}' for --latency")));
+    }
+    Ok(Duration::from_secs_f64(secs))
+}
+
+/// Parses a byte rate like `1000000`, `500k`, `10M`, `1G` (bytes/sec).
+fn parse_bandwidth(s: &str) -> Result<f64, ParseError> {
+    let (digits, scale) = match s.chars().last() {
+        Some('k') => (&s[..s.len() - 1], 1e3),
+        Some('M') => (&s[..s.len() - 1], 1e6),
+        Some('G') => (&s[..s.len() - 1], 1e9),
+        _ => (s, 1.0),
+    };
+    let v: f64 = digits
+        .parse()
+        .map_err(|_| ParseError(format!("invalid rate '{s}' for --bandwidth")))?;
+    if !v.is_finite() || v <= 0.0 {
+        return Err(ParseError(format!(
+            "--bandwidth must be a positive bytes/sec rate, got '{s}'"
+        )));
+    }
+    Ok(v * scale)
 }
 
 fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, ParseError> {
@@ -336,6 +454,82 @@ mod tests {
         // Bad objective name.
         assert!(parse_args(&sv(&["stream", "--objective", "mode", "s.csv"])).is_err());
         assert!(parse_args(&sv(&["stream", "--block", "0", "s.csv"])).is_err());
+    }
+
+    #[test]
+    fn transport_flags() {
+        let o = parse_args(&sv(&[
+            "median",
+            "--transport",
+            "tcp",
+            "--latency",
+            "5ms",
+            "--bandwidth",
+            "10M",
+            "x.csv",
+        ]))
+        .unwrap();
+        assert_eq!(o.transport, TransportKind::Tcp);
+        assert_eq!(o.latency, Duration::from_millis(5));
+        assert_eq!(o.bandwidth, 10e6);
+        // Defaults.
+        let o = parse_args(&sv(&["median", "x.csv"])).unwrap();
+        assert_eq!(o.transport, TransportKind::Channel);
+        assert_eq!(o.latency, Duration::ZERO);
+        assert!(o.bandwidth.is_infinite());
+        // Duration forms.
+        let o = parse_args(&sv(&["median", "--latency", "250us", "x.csv"])).unwrap();
+        assert_eq!(o.latency, Duration::from_micros(250));
+        let o = parse_args(&sv(&["median", "--latency", "2", "x.csv"])).unwrap();
+        assert_eq!(o.latency, Duration::from_millis(2));
+        let o = parse_args(&sv(&["median", "--latency", "1.5s", "x.csv"])).unwrap();
+        assert_eq!(o.latency, Duration::from_secs_f64(1.5));
+        // Bandwidth suffixes.
+        let o = parse_args(&sv(&["median", "--bandwidth", "500k", "x.csv"])).unwrap();
+        assert_eq!(o.bandwidth, 5e5);
+        // Rejections.
+        assert!(parse_args(&sv(&["median", "--transport", "udp", "x.csv"])).is_err());
+        assert!(parse_args(&sv(&["median", "--latency", "-1ms", "x.csv"])).is_err());
+        // Durations beyond Duration::from_secs_f64's range must be a
+        // ParseError, not a panic.
+        assert!(parse_args(&sv(&["median", "--latency", "1e20s", "x.csv"])).is_err());
+        assert!(parse_args(&sv(&["median", "--bandwidth", "0", "x.csv"])).is_err());
+        assert!(parse_args(&sv(&["median", "--bandwidth", "fast", "x.csv"])).is_err());
+    }
+
+    #[test]
+    fn warnings_flag_footguns() {
+        // eps 0 + stream: the PR-2 exact-t footgun.
+        let o = opts_of(&["stream", "--eps", "0", "s.csv"]);
+        let w = o.warnings();
+        assert_eq!(w.len(), 1);
+        assert!(w[0].contains("hijack"), "{w:?}");
+        // eps 0 on a batch command: no stream warning.
+        assert!(opts_of(&["median", "--eps", "0", "x.csv"])
+            .warnings()
+            .is_empty());
+        // Transport flags on commands that never touch the runtime.
+        let o = opts_of(&["subquadratic", "--transport", "tcp", "x.csv"]);
+        assert!(o.warnings().iter().any(|w| w.contains("no effect")));
+        let o = opts_of(&["stream", "--latency", "5ms", "s.csv"]);
+        assert!(o.warnings().iter().any(|w| w.contains("no effect")));
+        // ...but not when the runtime actually runs.
+        let o = opts_of(&[
+            "stream",
+            "--sync-every",
+            "100",
+            "--transport",
+            "tcp",
+            "s.csv",
+        ]);
+        assert!(o.warnings().is_empty());
+        assert!(opts_of(&["median", "--transport", "tcp", "x.csv"])
+            .warnings()
+            .is_empty());
+    }
+
+    fn opts_of(parts: &[&str]) -> Options {
+        parse_args(&sv(parts)).unwrap()
     }
 
     #[test]

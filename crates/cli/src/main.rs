@@ -12,6 +12,11 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Non-fatal footguns (e.g. `stream --eps 0`, transport flags on
+    // centralized commands) go to stderr so JSON output stays clean.
+    for w in opts.warnings() {
+        eprintln!("warning: {w}");
+    }
     // Rows stream through a buffered reader; the file is never held in
     // memory whole.
     let file = match std::fs::File::open(&opts.input) {

@@ -17,8 +17,11 @@ pub struct RoundReport {
     pub bytes_down: usize,
     /// Slowest site compute this round, milliseconds.
     pub max_site_ms: f64,
-    /// Coordinator compute after receiving this round's replies, ms.
+    /// Coordinator compute planning this round's messages, ms.
     pub coordinator_ms: f64,
+    /// Simulated network time of this round under `--latency` /
+    /// `--bandwidth`, ms (0 on the ideal link).
+    pub network_ms: f64,
 }
 
 /// Flattens protocol accounting into report rows.
@@ -31,8 +34,31 @@ fn round_reports(stats: &CommStats) -> Vec<RoundReport> {
             bytes_down: r.coordinator_to_sites.iter().sum(),
             max_site_ms: r.max_site_compute().as_secs_f64() * 1e3,
             coordinator_ms: r.coordinator_compute.as_secs_f64() * 1e3,
+            network_ms: r.network.as_secs_f64() * 1e3,
         })
         .collect()
+}
+
+/// Runtime options derived from the CLI transport/link flags.
+fn run_options(opts: &Options) -> RunOptions {
+    RunOptions::new()
+        .transport(opts.transport)
+        .link(LinkModel::new(opts.latency, opts.bandwidth))
+}
+
+/// Report skeleton for a protocol execution: the communication and
+/// runtime fields filled from `stats`, solution fields left to the
+/// caller. `transport` reports the *configured* backend (a single-site
+/// channel run degrades to the inline transport internally).
+fn protocol_report(opts: &Options, n: usize, stats: &CommStats) -> Report {
+    Report {
+        bytes: stats.total_bytes(),
+        rounds: stats.num_rounds(),
+        round_stats: round_reports(stats),
+        transport: Some(opts.transport.name()),
+        network_ms: stats.network_time().as_secs_f64() * 1e3,
+        ..base_report(opts.command, n)
+    }
 }
 
 /// The result of a CLI run, renderable as text or JSON.
@@ -61,6 +87,11 @@ pub struct Report {
     pub points_per_sec: Option<f64>,
     /// `stream` continuous mode: number of syncs executed.
     pub syncs: Option<usize>,
+    /// Transport backend the protocol ran on (`None` for centralized
+    /// commands, which move no messages).
+    pub transport: Option<&'static str>,
+    /// Total simulated network time under the configured link model, ms.
+    pub network_ms: f64,
 }
 
 impl Report {
@@ -71,6 +102,12 @@ impl Report {
             "{:?}: n={}, cost={:.6} (budget {}), comm={}B over {} rounds\n",
             self.command, self.n, self.cost, self.budget, self.bytes, self.rounds
         ));
+        if let Some(t) = self.transport {
+            out.push_str(&format!(
+                "transport: {t}, simulated network {:.3}ms\n",
+                self.network_ms
+            ));
+        }
         if let Some(lp) = self.live_points {
             out.push_str(&format!("live summary points: {lp}\n"));
         }
@@ -82,8 +119,8 @@ impl Report {
         }
         for (i, r) in self.round_stats.iter().enumerate() {
             out.push_str(&format!(
-                "round {i}: up={}B down={}B site={:.3}ms coord={:.3}ms\n",
-                r.bytes_up, r.bytes_down, r.max_site_ms, r.coordinator_ms
+                "round {i}: up={}B down={}B site={:.3}ms coord={:.3}ms net={:.3}ms\n",
+                r.bytes_up, r.bytes_down, r.max_site_ms, r.coordinator_ms, r.network_ms
             ));
         }
         out.push_str("centers:\n");
@@ -110,12 +147,18 @@ impl Report {
             .enumerate()
             .map(|(i, r)| {
                 format!(
-                    "{{\"round\":{},\"bytes_up\":{},\"bytes_down\":{},\"max_site_ms\":{},\"coordinator_ms\":{}}}",
-                    i, r.bytes_up, r.bytes_down, r.max_site_ms, r.coordinator_ms
+                    "{{\"round\":{},\"bytes_up\":{},\"bytes_down\":{},\"max_site_ms\":{},\"coordinator_ms\":{},\"network_ms\":{}}}",
+                    i, r.bytes_up, r.bytes_down, r.max_site_ms, r.coordinator_ms, r.network_ms
                 )
             })
             .collect();
         let mut extra = String::new();
+        if let Some(t) = self.transport {
+            extra.push_str(&format!(
+                ",\"transport\":\"{t}\",\"network_ms\":{}",
+                self.network_ms
+            ));
+        }
         if let Some(lp) = self.live_points {
             extra.push_str(&format!(",\"live_points\":{lp}"));
         }
@@ -158,6 +201,8 @@ fn base_report(command: Command, n: usize) -> Report {
         live_points: None,
         points_per_sec: None,
         syncs: None,
+        transport: None,
+        network_ms: 0.0,
     }
 }
 
@@ -199,9 +244,9 @@ pub fn execute<R: BufRead>(opts: &Options, input: R) -> Result<Report, String> {
                     );
                     let cfg = CenterConfig::new(opts.k, opts.t);
                     let out = if opts.one_round {
-                        run_one_round_center(&shards, cfg, RunOptions::default())
+                        run_one_round_center(&shards, cfg, run_options(opts))
                     } else {
-                        run_distributed_center(&shards, cfg, RunOptions::default())
+                        run_distributed_center(&shards, cfg, run_options(opts))
                     };
                     let (cost, budget) = evaluate_on_full_data(
                         &shards,
@@ -213,10 +258,7 @@ pub fn execute<R: BufRead>(opts: &Options, input: R) -> Result<Report, String> {
                         centers: centers_to_rows(&out.output.centers),
                         cost,
                         budget,
-                        bytes: out.stats.total_bytes(),
-                        rounds: out.stats.num_rounds(),
-                        round_stats: round_reports(&out.stats),
-                        ..base_report(opts.command, n)
+                        ..protocol_report(opts, n, &out.stats)
                     })
                 }
                 _ => {
@@ -236,9 +278,9 @@ pub fn execute<R: BufRead>(opts: &Options, input: R) -> Result<Report, String> {
                         cfg = cfg.counts_only(opts.delta);
                     }
                     let out = if opts.one_round {
-                        run_one_round_median(&shards, cfg, RunOptions::default())
+                        run_one_round_median(&shards, cfg, run_options(opts))
                     } else {
-                        run_distributed_median(&shards, cfg, RunOptions::default())
+                        run_distributed_median(&shards, cfg, run_options(opts))
                     };
                     let objective = if opts.command == Command::Means {
                         Objective::Means
@@ -257,10 +299,7 @@ pub fn execute<R: BufRead>(opts: &Options, input: R) -> Result<Report, String> {
                         centers: centers_to_rows(&out.output.centers),
                         cost,
                         budget,
-                        bytes: out.stats.total_bytes(),
-                        rounds: out.stats.num_rounds(),
-                        round_stats: round_reports(&out.stats),
-                        ..base_report(opts.command, n)
+                        ..protocol_report(opts, n, &out.stats)
                     })
                 }
             }
@@ -287,17 +326,14 @@ pub fn execute<R: BufRead>(opts: &Options, input: R) -> Result<Report, String> {
             }
             let mut cfg = UncertainConfig::new(opts.k, opts.t);
             cfg.eps = opts.eps;
-            let out = run_uncertain_median(&shards, cfg, RunOptions::default());
+            let out = run_uncertain_median(&shards, cfg, run_options(opts));
             let budget = ((1.0 + opts.eps) * opts.t as f64).floor() as usize;
             let cost = estimate_expected_cost(&shards, &out.output.centers, budget, false, false);
             Ok(Report {
                 centers: centers_to_rows(&out.output.centers),
                 cost,
                 budget,
-                bytes: out.stats.total_bytes(),
-                rounds: out.stats.num_rounds(),
-                round_stats: round_reports(&out.stats),
-                ..base_report(opts.command, n)
+                ..protocol_report(opts, n, &out.stats)
             })
         }
     }
@@ -313,8 +349,9 @@ enum StreamMode {
 /// Runs the `stream` subcommand: rows are fed to the engine in arrival
 /// order as they are parsed — the full input is never materialized.
 fn execute_stream<R: BufRead>(opts: &Options, input: R) -> Result<Report, String> {
-    let mut cfg = StreamConfig::new(opts.k, opts.t).block(opts.block);
-    cfg.eps = opts.eps;
+    let mut cfg = StreamConfig::new(opts.k, opts.t)
+        .block(opts.block)
+        .eps(opts.eps);
     cfg = match opts.objective {
         StreamObjective::Median => cfg,
         StreamObjective::Means => cfg.means(),
@@ -330,9 +367,15 @@ fn execute_stream<R: BufRead>(opts: &Options, input: R) -> Result<Report, String
                 let ccfg = ContinuousConfig {
                     stream: cfg,
                     eps: opts.eps,
+                    // Like the batch commands, the CLI runs realistic
+                    // concurrent sites (the library default is sequential
+                    // for deterministic tests).
+                    parallel: true,
                     ..ContinuousConfig::new(opts.k, opts.t)
                 }
-                .sync_every(opts.sync_every);
+                .sync_every(opts.sync_every)
+                .transport(opts.transport)
+                .link(LinkModel::new(opts.latency, opts.bandwidth));
                 StreamMode::Continuous(ContinuousCluster::new(dim, opts.sites, ccfg))
             } else if opts.window > 0 {
                 StreamMode::Window(SlidingWindowEngine::new(dim, opts.window, cfg))
@@ -398,6 +441,12 @@ fn execute_stream<R: BufRead>(opts: &Options, input: R) -> Result<Report, String
                 round_stats,
                 live_points: Some(c.live_points()),
                 syncs: Some(c.history.len()),
+                transport: Some(opts.transport.name()),
+                network_ms: c
+                    .history
+                    .iter()
+                    .map(|r| r.stats.network_time().as_secs_f64() * 1e3)
+                    .sum(),
                 ..base_report(opts.command, rows)
             }
         }
@@ -570,10 +619,13 @@ mod tests {
                 bytes_down: 40,
                 max_site_ms: 1.5,
                 coordinator_ms: 0.5,
+                network_ms: 2.25,
             }],
             live_points: Some(7),
             points_per_sec: Some(1000.0),
             syncs: None,
+            transport: Some("tcp"),
+            network_ms: 2.25,
         };
         let j = r.json();
         assert!(j.contains("\"cost\":3.5") && j.contains("[1,2]"), "{j}");
@@ -585,10 +637,74 @@ mod tests {
             j.contains("\"live_points\":7") && j.contains("\"points_per_sec\":1000"),
             "{j}"
         );
+        assert!(
+            j.contains("\"transport\":\"tcp\"") && j.contains("\"network_ms\":2.25"),
+            "{j}"
+        );
         assert!(!j.contains("syncs"), "{j}");
         let t = r.text();
         assert!(t.contains("cost=3.5") && t.contains("[1, 2]"), "{t}");
         assert!(t.contains("round 0: up=60B down=40B"), "{t}");
+        assert!(t.contains("net=2.250ms"), "{t}");
+        assert!(
+            t.contains("transport: tcp, simulated network 2.250ms"),
+            "{t}"
+        );
         assert!(t.contains("live summary points: 7"), "{t}");
+    }
+
+    #[test]
+    fn centralized_report_omits_transport() {
+        let o = opts(&["subquadratic", "--k", "2", "--t", "1", "in.csv"]);
+        let r = execute(&o, toy_csv().as_bytes()).unwrap();
+        assert_eq!(r.transport, None);
+        assert!(!r.json().contains("transport"));
+        assert!(!r.text().contains("transport:"));
+    }
+
+    #[test]
+    fn tcp_transport_end_to_end_matches_channel() {
+        let base = opts(&["median", "--k", "2", "--t", "1", "--sites", "3", "in.csv"]);
+        let tcp = opts(&[
+            "median",
+            "--k",
+            "2",
+            "--t",
+            "1",
+            "--sites",
+            "3",
+            "--transport",
+            "tcp",
+            "in.csv",
+        ]);
+        let a = execute(&base, toy_csv().as_bytes()).unwrap();
+        let b = execute(&tcp, toy_csv().as_bytes()).unwrap();
+        assert_eq!(a.transport, Some("channel"));
+        assert_eq!(b.transport, Some("tcp"));
+        // Same bytes on the wire, same answer, regardless of backend.
+        assert_eq!(a.bytes, b.bytes);
+        assert_eq!(a.centers, b.centers);
+        assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    fn link_model_surfaces_in_report() {
+        let o = opts(&[
+            "median",
+            "--k",
+            "2",
+            "--t",
+            "1",
+            "--latency",
+            "5ms",
+            "--bandwidth",
+            "1M",
+            "in.csv",
+        ]);
+        let r = execute(&o, toy_csv().as_bytes()).unwrap();
+        // 2 rounds × (down latency + up latency) = at least 20 ms.
+        assert!(r.network_ms >= 20.0, "network_ms {}", r.network_ms);
+        let per_round: f64 = r.round_stats.iter().map(|x| x.network_ms).sum();
+        assert!((per_round - r.network_ms).abs() < 1e-9);
     }
 }

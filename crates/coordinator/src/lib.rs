@@ -1,4 +1,5 @@
-//! The coordinator model (§1 "Models and Problems").
+//! The coordinator model (§1 "Models and Problems") as a
+//! message-passing runtime.
 //!
 //! `s` sites and one coordinator are connected in a star. Computation
 //! proceeds in rounds: the coordinator sends a (possibly empty) message to
@@ -7,19 +8,41 @@
 //! through the coordinator (at most doubling communication), so the star is
 //! the only topology we need.
 //!
-//! This crate simulates that model *faithfully enough to measure*:
+//! The crate is layered:
 //!
-//! * every message is a real serialized byte buffer ([`bytes::Bytes`]), and
-//!   [`CommStats`] charges its exact length to the right round/direction —
-//!   the communication columns of Tables 1–2 are reproduced from these
-//!   counters;
-//! * sites execute concurrently on OS threads (`crossbeam::scope`), so the
-//!   "local time `O(n_i²)`" column can be observed as wall-clock;
-//! * the protocol logic is expressed against the [`Site`] / [`Coordinator`]
-//!   traits, keeping algorithm code independent of the runner.
+//! * **Protocol logic** is written against the [`Site`] / [`Coordinator`]
+//!   traits and never sees the wire — algorithm crates stay
+//!   backend-agnostic.
+//! * **The driver** ([`run_protocol`]) alternates coordinator and sites
+//!   until the coordinator finishes. Every message is a real serialized
+//!   byte buffer ([`bytes::Bytes`]) and [`CommStats`] charges its exact
+//!   payload length to the right round and direction — the communication
+//!   columns of Tables 1–2 are reproduced from these counters, identically
+//!   on every backend.
+//! * **Transports** ([`Transport`]) carry the messages. The
+//!   [`ChannelTransport`] backend keeps one persistent worker thread per
+//!   site with an mpsc mailbox (sites are spawned once per execution, not
+//!   once per round); the [`TcpTransport`] backend puts every site behind
+//!   a loopback TCP socket with length-prefixed frames, proving the wire
+//!   formats round-trip a real socket; [`InlineTransport`] runs sites
+//!   sequentially for deterministic tests. Select one via
+//!   [`RunOptions::transport`].
+//! * **The link model** ([`LinkModel`]) simulates per-message latency and
+//!   bandwidth, folded into [`RoundStats::network`], so the
+//!   communication-vs-time trade-off is a measurable, tunable axis: the
+//!   "local time" columns are observed wall-clock, the network column is
+//!   modeled from the exact bytes moved.
 
+pub mod channel;
 pub mod protocol;
 pub mod stats;
+pub mod tcp;
+pub mod transport;
 
-pub use protocol::{run_protocol, Coordinator, CoordinatorStep, ProtocolOutput, RunOptions, Site};
+pub use channel::ChannelTransport;
+pub use protocol::{
+    drive, run_protocol, Coordinator, CoordinatorStep, ProtocolOutput, RunOptions, Site,
+};
 pub use stats::{CommStats, RoundStats};
+pub use tcp::TcpTransport;
+pub use transport::{InlineTransport, LinkModel, SiteReply, Transport, TransportKind};

@@ -1,12 +1,18 @@
-//! The round-based protocol runner.
+//! The round-based protocol driver.
 //!
 //! Algorithms implement [`Site`] (per-site logic) and [`Coordinator`]
-//! (central logic); [`run_protocol`] alternates them until the coordinator
-//! finishes, charging every byte and timing every compute phase.
+//! (central logic); [`run_protocol`] picks a [`Transport`] backend from
+//! [`RunOptions`], then alternates coordinator and sites until the
+//! coordinator finishes, charging every payload byte, timing every
+//! compute phase, and folding the [`LinkModel`] into simulated network
+//! time.
 
+use crate::channel::ChannelTransport;
 use crate::stats::{CommStats, RoundStats};
+use crate::tcp::TcpTransport;
+use crate::transport::{InlineTransport, LinkModel, Transport, TransportKind};
 use bytes::Bytes;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 /// Per-site protocol logic.
 ///
@@ -46,20 +52,56 @@ pub trait Coordinator {
 /// Runner knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct RunOptions {
-    /// Execute sites on parallel OS threads (`true`, the realistic mode) or
-    /// sequentially (deterministic timing, useful under test).
+    /// Execute sites concurrently (`true`, the realistic mode) or
+    /// sequentially on the caller's thread (deterministic timing, useful
+    /// under test). Only meaningful for [`TransportKind::Channel`]; the
+    /// TCP backend always runs real site workers.
     pub parallel: bool,
     /// Safety cap on rounds (a protocol that exceeds it panics — all
     /// algorithms in this workspace finish in 1–2 rounds plus the kick).
     pub max_rounds: usize,
+    /// Which backend carries the messages.
+    pub transport: TransportKind,
+    /// Simulated link folded into [`RoundStats::network`].
+    pub link: LinkModel,
 }
 
 impl Default for RunOptions {
     fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RunOptions {
+    /// The default: persistent-worker channel backend, parallel sites,
+    /// ideal link, 64-round cap.
+    pub fn new() -> Self {
         Self {
             parallel: true,
             max_rounds: 64,
+            transport: TransportKind::Channel,
+            link: LinkModel::ideal(),
         }
+    }
+
+    /// Deterministic sequential execution (test/debug mode).
+    pub fn sequential() -> Self {
+        Self {
+            parallel: false,
+            ..Self::new()
+        }
+    }
+
+    /// Switches the backend.
+    pub fn transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Sets the simulated link model.
+    pub fn link(mut self, link: LinkModel) -> Self {
+        self.link = link;
+        self
     }
 }
 
@@ -71,22 +113,48 @@ pub struct ProtocolOutput<O> {
     pub stats: CommStats,
 }
 
-/// Runs the protocol to completion.
+/// Runs the protocol to completion on the backend selected by `options`.
 ///
-/// Round `r` consists of: coordinator emits messages (timed as round `r-1`
-/// coordinator compute), sites handle them concurrently (timed per site),
-/// and the replies are handed to the coordinator at the start of round
-/// `r+1`.
+/// Round `r` consists of: the coordinator consumes round `r-1` replies
+/// (none for `r = 0`) and emits round `r` messages — timed as round `r`
+/// coordinator compute — the transport delivers them, sites handle them
+/// concurrently (timed per site), and the replies feed round `r+1`. The
+/// final `Finish` decision is timed into the last executed round.
 ///
 /// # Panics
 /// Panics if the coordinator returns a `Messages` vector of the wrong
 /// length, or exceeds `max_rounds`.
 pub fn run_protocol<C: Coordinator>(
     sites: &mut [Box<dyn Site + '_>],
+    coordinator: C,
+    options: RunOptions,
+) -> ProtocolOutput<C::Output> {
+    match options.transport {
+        // One site (or sequential mode) gains nothing from workers.
+        TransportKind::Channel if !options.parallel || sites.len() <= 1 => {
+            drive(&mut InlineTransport::new(sites), coordinator, options)
+        }
+        TransportKind::Channel => std::thread::scope(|scope| {
+            let mut transport = ChannelTransport::start(scope, sites);
+            drive(&mut transport, coordinator, options)
+        }),
+        TransportKind::Tcp => std::thread::scope(|scope| {
+            let mut transport = TcpTransport::start(scope, sites);
+            drive(&mut transport, coordinator, options)
+        }),
+    }
+}
+
+/// The transport-agnostic driver loop.
+///
+/// Public so external runtimes (or benches) can drive custom
+/// [`Transport`] implementations; most callers want [`run_protocol`].
+pub fn drive<T: Transport + ?Sized, C: Coordinator>(
+    transport: &mut T,
     mut coordinator: C,
     options: RunOptions,
 ) -> ProtocolOutput<C::Output> {
-    let s = sites.len();
+    let s = transport.num_sites();
     let mut stats = CommStats::default();
     let mut replies: Vec<Bytes> = Vec::new();
 
@@ -94,9 +162,6 @@ pub fn run_protocol<C: Coordinator>(
         let t0 = Instant::now();
         let step = coordinator.step(round, std::mem::take(&mut replies));
         let coord_time = t0.elapsed();
-        if let Some(last) = stats.rounds.last_mut() {
-            last.coordinator_compute += coord_time;
-        }
 
         let msgs: Vec<Bytes> = match step {
             CoordinatorStep::Broadcast(m) => vec![m; s],
@@ -105,6 +170,12 @@ pub fn run_protocol<C: Coordinator>(
                 ms
             }
             CoordinatorStep::Finish => {
+                // The finish decision consumed the last round's replies;
+                // charge it there (a protocol that finishes on its first
+                // step executed zero rounds and has nowhere to charge).
+                if let Some(last) = stats.rounds.last_mut() {
+                    last.coordinator_compute += coord_time;
+                }
                 return ProtocolOutput {
                     output: coordinator.finish(),
                     stats,
@@ -112,42 +183,24 @@ pub fn run_protocol<C: Coordinator>(
             }
         };
 
+        let site_replies = transport.exchange(round, &msgs);
+        debug_assert_eq!(site_replies.len(), s);
+
         let mut round_stats = RoundStats {
             coordinator_to_sites: msgs.iter().map(Bytes::len).collect(),
-            sites_to_coordinator: vec![0; s],
-            site_compute: vec![Duration::ZERO; s],
-            coordinator_compute: Duration::ZERO,
+            sites_to_coordinator: site_replies.iter().map(|r| r.payload.len()).collect(),
+            site_compute: site_replies.iter().map(|r| r.compute).collect(),
+            // Planning this round's messages — including the round-0
+            // kick, which the pre-runtime simulator silently dropped.
+            coordinator_compute: coord_time,
+            network: Default::default(),
         };
-
-        let mut new_replies: Vec<Bytes> = vec![Bytes::new(); s];
-        let mut timings: Vec<Duration> = vec![Duration::ZERO; s];
-        if options.parallel && s > 1 {
-            std::thread::scope(|scope| {
-                for (((site, reply), timing), msg) in sites
-                    .iter_mut()
-                    .zip(new_replies.iter_mut())
-                    .zip(timings.iter_mut())
-                    .zip(msgs.iter())
-                {
-                    scope.spawn(move || {
-                        let t = Instant::now();
-                        *reply = site.handle(round, msg);
-                        *timing = t.elapsed();
-                    });
-                }
-            });
-        } else {
-            for i in 0..s {
-                let t = Instant::now();
-                new_replies[i] = sites[i].handle(round, &msgs[i]);
-                timings[i] = t.elapsed();
-            }
-        }
-
-        round_stats.sites_to_coordinator = new_replies.iter().map(Bytes::len).collect();
-        round_stats.site_compute = timings;
+        round_stats.network = options.link.round_network_time(
+            &round_stats.coordinator_to_sites,
+            &round_stats.sites_to_coordinator,
+        );
         stats.rounds.push(round_stats);
-        replies = new_replies;
+        replies = site_replies.into_iter().map(|r| r.payload).collect();
     }
     panic!("protocol exceeded max_rounds = {}", options.max_rounds);
 }
@@ -156,6 +209,7 @@ pub fn run_protocol<C: Coordinator>(
 mod tests {
     use super::*;
     use bytes::{BufMut, BytesMut};
+    use std::time::Duration;
 
     /// Toy protocol: coordinator broadcasts a factor, each site replies with
     /// factor * its value, coordinator sums; second round echoes the sum
@@ -209,18 +263,19 @@ mod tests {
         }
     }
 
-    fn run(parallel: bool) -> ProtocolOutput<u64> {
+    fn run_with(options: RunOptions) -> ProtocolOutput<u64> {
         let mut sites: Vec<Box<dyn Site>> = (1..=4u64)
             .map(|v| Box::new(ToySite { value: v }) as Box<dyn Site>)
             .collect();
-        run_protocol(
-            &mut sites,
-            ToyCoordinator { factor: 3, sum: 0 },
-            RunOptions {
-                parallel,
-                max_rounds: 8,
-            },
-        )
+        run_protocol(&mut sites, ToyCoordinator { factor: 3, sum: 0 }, options)
+    }
+
+    fn run(parallel: bool) -> ProtocolOutput<u64> {
+        run_with(RunOptions {
+            parallel,
+            max_rounds: 8,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -231,6 +286,23 @@ mod tests {
         assert_eq!(a.output, b.output);
         assert_eq!(a.stats.num_rounds(), 2);
         assert_eq!(b.stats.num_rounds(), 2);
+    }
+
+    #[test]
+    fn all_transports_agree_on_output_and_bytes() {
+        let base = run(false);
+        for options in [
+            RunOptions::new(),
+            RunOptions::new().transport(TransportKind::Tcp),
+        ] {
+            let out = run_with(options);
+            assert_eq!(out.output, base.output);
+            assert_eq!(out.stats.num_rounds(), base.stats.num_rounds());
+            for (a, b) in base.stats.rounds.iter().zip(&out.stats.rounds) {
+                assert_eq!(a.coordinator_to_sites, b.coordinator_to_sites);
+                assert_eq!(a.sites_to_coordinator, b.sites_to_coordinator);
+            }
+        }
     }
 
     #[test]
@@ -245,6 +317,64 @@ mod tests {
         assert_eq!(r1.sites_to_coordinator, vec![1, 1, 1, 1]);
         assert_eq!(out.stats.total_bytes(), 4 * 8 * 2 + 4);
         assert_eq!(out.stats.upstream_bytes(), 36);
+    }
+
+    #[test]
+    fn kick_round_coordinator_compute_is_charged() {
+        // Regression: the pre-runtime simulator charged `step` time to the
+        // *previous* round's stats, so the round-0 planning time hit
+        // `rounds.last_mut() == None` and vanished.
+        struct SlowKick;
+        impl Coordinator for SlowKick {
+            type Output = ();
+            fn step(&mut self, round: usize, _replies: Vec<Bytes>) -> CoordinatorStep {
+                if round == 0 {
+                    std::thread::sleep(Duration::from_millis(25));
+                    CoordinatorStep::Broadcast(Bytes::new())
+                } else {
+                    CoordinatorStep::Finish
+                }
+            }
+            fn finish(self) {}
+        }
+        struct Ack;
+        impl Site for Ack {
+            fn handle(&mut self, _round: usize, _msg: &Bytes) -> Bytes {
+                Bytes::new()
+            }
+        }
+        let mut sites: Vec<Box<dyn Site>> = vec![Box::new(Ack)];
+        let out = run_protocol(&mut sites, SlowKick, RunOptions::sequential());
+        assert_eq!(out.stats.num_rounds(), 1);
+        assert!(
+            out.stats.rounds[0].coordinator_compute >= Duration::from_millis(25),
+            "kick-round planning time dropped: {:?}",
+            out.stats.rounds[0].coordinator_compute
+        );
+        assert_eq!(
+            out.stats.coordinator_compute(),
+            out.stats.rounds[0].coordinator_compute
+        );
+    }
+
+    #[test]
+    fn link_model_accumulates_network_time() {
+        // 2 rounds, 1 ms one-way latency, 1000 B/s. Round 0 moves 8 B each
+        // way per site; round 1 moves 0 down / 1 B up.
+        let link = LinkModel::new(Duration::from_millis(1), 1000.0);
+        let out = run_with(RunOptions::sequential().link(link));
+        assert_eq!(out.stats.num_rounds(), 2);
+        assert_eq!(
+            out.stats.rounds[0].network,
+            Duration::from_millis(2) + Duration::from_millis(16)
+        );
+        assert_eq!(
+            out.stats.rounds[1].network,
+            Duration::from_millis(2) + Duration::from_millis(1)
+        );
+        assert_eq!(out.stats.network_time(), Duration::from_millis(21));
+        // The ideal link charges nothing.
+        assert_eq!(run(false).stats.network_time(), Duration::ZERO);
     }
 
     #[test]
@@ -271,6 +401,7 @@ mod tests {
             RunOptions {
                 parallel: false,
                 max_rounds: 3,
+                ..Default::default()
             },
         );
     }
@@ -304,11 +435,17 @@ mod tests {
             }
             fn finish(self) {}
         }
-        let mut sites: Vec<Box<dyn Site>> = vec![
-            Box::new(PickySite { expect: 7 }),
-            Box::new(PickySite { expect: 9 }),
-        ];
-        let out = run_protocol(&mut sites, PerSiteCoord, RunOptions::default());
-        assert_eq!(out.stats.num_rounds(), 1);
+        for transport in [TransportKind::Channel, TransportKind::Tcp] {
+            let mut sites: Vec<Box<dyn Site>> = vec![
+                Box::new(PickySite { expect: 7 }),
+                Box::new(PickySite { expect: 9 }),
+            ];
+            let out = run_protocol(
+                &mut sites,
+                PerSiteCoord,
+                RunOptions::new().transport(transport),
+            );
+            assert_eq!(out.stats.num_rounds(), 1);
+        }
     }
 }

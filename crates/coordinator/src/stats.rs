@@ -15,9 +15,15 @@ pub struct RoundStats {
     pub sites_to_coordinator: Vec<usize>,
     /// Wall-clock compute time spent by each site this round.
     pub site_compute: Vec<Duration>,
-    /// Wall-clock compute time spent by the coordinator *after* receiving
-    /// the replies of this round (includes producing next-round messages).
+    /// Wall-clock compute time the coordinator spent *planning* this
+    /// round's messages (consuming the previous round's replies; for the
+    /// last executed round this also includes the final `Finish`
+    /// decision).
     pub coordinator_compute: Duration,
+    /// Simulated network time of this round under the configured
+    /// [`crate::LinkModel`]: the slowest site's down-plus-up exchange
+    /// (all star links run in parallel). Zero under the ideal link.
+    pub network: Duration,
 }
 
 impl RoundStats {
@@ -83,6 +89,22 @@ impl CommStats {
     pub fn coordinator_compute(&self) -> Duration {
         self.rounds.iter().map(|r| r.coordinator_compute).sum()
     }
+
+    /// Total simulated network time over all rounds.
+    pub fn network_time(&self) -> Duration {
+        self.rounds.iter().map(|r| r.network).sum()
+    }
+
+    /// Simulated end-to-end wall clock of the protocol: per round, the
+    /// coordinator plans, the slowest site computes, and the link moves
+    /// the messages — the three phases are strictly sequential in the
+    /// coordinator model.
+    pub fn simulated_wall_clock(&self) -> Duration {
+        self.rounds
+            .iter()
+            .map(|r| r.coordinator_compute + r.max_site_compute() + r.network)
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -98,12 +120,14 @@ mod tests {
                     sites_to_coordinator: vec![100, 200],
                     site_compute: vec![Duration::from_millis(5), Duration::from_millis(9)],
                     coordinator_compute: Duration::from_millis(1),
+                    network: Duration::from_millis(7),
                 },
                 RoundStats {
                     coordinator_to_sites: vec![1, 1],
                     sites_to_coordinator: vec![50, 60],
                     site_compute: vec![Duration::from_millis(2), Duration::from_millis(1)],
                     coordinator_compute: Duration::from_millis(3),
+                    network: Duration::from_millis(4),
                 },
             ],
         };
@@ -114,6 +138,9 @@ mod tests {
         assert_eq!(stats.site_critical_path(), Duration::from_millis(11));
         assert_eq!(stats.total_site_compute(), Duration::from_millis(17));
         assert_eq!(stats.coordinator_compute(), Duration::from_millis(4));
+        assert_eq!(stats.network_time(), Duration::from_millis(11));
+        // (1 + 9 + 7) + (3 + 2 + 4)
+        assert_eq!(stats.simulated_wall_clock(), Duration::from_millis(26));
     }
 
     #[test]

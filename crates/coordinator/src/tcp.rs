@@ -1,0 +1,154 @@
+//! Loopback TCP backend: every site behind a real socket.
+//!
+//! Each site worker binds a listener on `127.0.0.1:0`, the coordinator
+//! connects, and the pair speaks length-prefixed frames for the rest of
+//! the execution:
+//!
+//! ```text
+//! coordinator -> site   [round: u32 LE][len: u32 LE][payload]
+//! site -> coordinator   [compute_ns: u64 LE][len: u32 LE][payload]
+//! ```
+//!
+//! A `round` of `u32::MAX` is the shutdown frame. The site measures its
+//! own compute and ships it in the reply header — frame headers are
+//! transport metadata and are *not* charged to [`crate::CommStats`], so
+//! byte accounting is identical to the in-process backends (the
+//! equivalence suite asserts this). What this backend buys is proof:
+//! every protocol message round-trips a real socket boundary, byte for
+//! byte, which no amount of in-process simulation establishes.
+//!
+//! `TCP_NODELAY` is set on both ends — rounds are strict request/reply
+//! exchanges, exactly the pattern Nagle's algorithm penalizes.
+
+use crate::protocol::Site;
+use crate::transport::{SiteReply, Transport};
+use bytes::Bytes;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::thread::Scope;
+use std::time::{Duration, Instant};
+
+/// Shutdown sentinel in the `round` header field.
+const SHUTDOWN: u32 = u32::MAX;
+
+/// The loopback-socket backend. See the module docs.
+pub struct TcpTransport {
+    /// Coordinator-side connections, one per site, in site order.
+    streams: Vec<TcpStream>,
+}
+
+impl TcpTransport {
+    /// Spawns one socket-serving worker per site inside `scope` and
+    /// connects to each. Dropping the transport sends every worker the
+    /// shutdown frame; `scope` then joins them.
+    pub fn start<'scope, 'env, 'data: 'env>(
+        scope: &'scope Scope<'scope, 'env>,
+        sites: &'env mut [Box<dyn Site + 'data>],
+    ) -> Self {
+        let mut streams = Vec::with_capacity(sites.len());
+        for (i, site) in sites.iter_mut().enumerate() {
+            let listener =
+                TcpListener::bind(("127.0.0.1", 0)).expect("bind loopback listener for site");
+            let addr = listener.local_addr().expect("listener has a local addr");
+            scope.spawn(move || {
+                let (conn, _) = listener.accept().expect("accept coordinator connection");
+                conn.set_nodelay(true).ok();
+                serve_site(site.as_mut(), conn, i);
+            });
+            let stream = TcpStream::connect(addr).expect("connect to site worker");
+            stream.set_nodelay(true).ok();
+            streams.push(stream);
+        }
+        Self { streams }
+    }
+}
+
+/// One site's serving loop: read a frame, run the site, reply.
+fn serve_site(site: &mut (dyn Site + '_), mut conn: TcpStream, site_id: usize) {
+    loop {
+        let mut header = [0u8; 8];
+        if conn.read_exact(&mut header).is_err() {
+            return; // coordinator hung up without a shutdown frame
+        }
+        let round = u32::from_le_bytes(header[..4].try_into().unwrap());
+        if round == SHUTDOWN {
+            return;
+        }
+        let len = u32::from_le_bytes(header[4..].try_into().unwrap()) as usize;
+        let mut payload = vec![0u8; len];
+        conn.read_exact(&mut payload)
+            .unwrap_or_else(|e| panic!("site {site_id}: short read of {len}-byte payload: {e}"));
+        let msg = Bytes::from(payload);
+        let t0 = Instant::now();
+        let reply = site.handle(round as usize, &msg);
+        let compute = t0.elapsed();
+        let body = reply.as_ref();
+        let len = u32::try_from(body.len()).expect("reply fits a u32 length prefix");
+        let mut frame = Vec::with_capacity(12 + body.len());
+        frame.extend_from_slice(&(compute.as_nanos() as u64).to_le_bytes());
+        frame.extend_from_slice(&len.to_le_bytes());
+        frame.extend_from_slice(body);
+        if conn.write_all(&frame).is_err() {
+            return;
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn num_sites(&self) -> usize {
+        self.streams.len()
+    }
+
+    fn exchange(&mut self, round: usize, msgs: &[Bytes]) -> Vec<SiteReply> {
+        assert_eq!(msgs.len(), self.streams.len(), "one message per site");
+        let round = u32::try_from(round).expect("round fits the frame header");
+        assert_ne!(round, SHUTDOWN, "round collides with the shutdown frame");
+        // Fan out: write every request before reading any reply. Site
+        // workers read their request eagerly, so these writes cannot
+        // deadlock against the unread replies.
+        for (stream, msg) in self.streams.iter_mut().zip(msgs) {
+            let body = msg.as_ref();
+            let len = u32::try_from(body.len()).expect("message fits a u32 length prefix");
+            let mut frame = Vec::with_capacity(8 + body.len());
+            frame.extend_from_slice(&round.to_le_bytes());
+            frame.extend_from_slice(&len.to_le_bytes());
+            frame.extend_from_slice(body);
+            stream
+                .write_all(&frame)
+                .expect("write request frame to site");
+        }
+        // Gather in site order.
+        self.streams
+            .iter_mut()
+            .enumerate()
+            .map(|(i, stream)| {
+                let mut header = [0u8; 12];
+                stream
+                    .read_exact(&mut header)
+                    .unwrap_or_else(|e| panic!("site {i}: reply header: {e}"));
+                let compute_ns = u64::from_le_bytes(header[..8].try_into().unwrap());
+                let len = u32::from_le_bytes(header[8..].try_into().unwrap()) as usize;
+                let mut payload = vec![0u8; len];
+                stream
+                    .read_exact(&mut payload)
+                    .unwrap_or_else(|e| panic!("site {i}: reply payload ({len} bytes): {e}"));
+                SiteReply {
+                    payload: Bytes::from(payload),
+                    compute: Duration::from_nanos(compute_ns),
+                }
+            })
+            .collect()
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        // Best-effort graceful shutdown; workers also exit on EOF.
+        for stream in &mut self.streams {
+            let mut frame = [0u8; 8];
+            frame[..4].copy_from_slice(&SHUTDOWN.to_le_bytes());
+            let _ = stream.write_all(&frame);
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}

@@ -148,7 +148,7 @@ proptest! {
         let out = run_protocol(
             &mut sites,
             coordinator,
-            RunOptions { parallel: false, max_rounds: 4 },
+            RunOptions { parallel: false, max_rounds: 4, ..Default::default() },
         );
 
         prop_assert_eq!(out.stats.num_rounds(), 1);

@@ -13,8 +13,10 @@
 //! * [`cluster`] — centralized substrates (Gonzalez, Charikar-style
 //!   `(k,t)`-center, Lagrangian bicriteria `(k,t)`-median/means, Lloyd,
 //!   exact oracles);
-//! * [`coordinator`] — the coordinator-model simulator with exact byte
-//!   accounting;
+//! * [`coordinator`] — the transport-abstracted coordinator-model
+//!   runtime: persistent in-process site workers or loopback TCP sockets
+//!   behind one `Transport` trait, exact byte accounting, and a simulated
+//!   link model;
 //! * [`core`] — Algorithms 1–2, the Theorem 3.8 δ-variant, 1-round
 //!   baselines, and the Theorem 3.10 subquadratic centralized algorithm;
 //! * [`uncertain`] — uncertain nodes, the compressed graph (Figure 1),
@@ -57,7 +59,7 @@ pub mod prelude {
         charikar_center, exact_best, gonzalez, lloyd_kmeans, median_bicriteria, BicriteriaParams,
         CenterParams, LloydParams, LocalSearchParams, Solution,
     };
-    pub use dpc_coordinator::{CommStats, RunOptions};
+    pub use dpc_coordinator::{CommStats, LinkModel, RunOptions, TransportKind};
     pub use dpc_core::{
         evaluate_on_full_data, merge_shards, run_distributed_center, run_distributed_median,
         run_one_round_center, run_one_round_median, subquadratic_median, CenterConfig,

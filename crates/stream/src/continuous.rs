@@ -10,9 +10,13 @@
 //! water-fills the outlier budget ([`dpc_core::allocate_outliers`]) and
 //! returns the threshold marginal, and round 1 ships `2k` weighted
 //! centers plus the site's `t_i` outlier entries. Every byte crosses the
-//! simulated wire and is charged through [`CommStats`], so the
-//! communication cost of *keeping the clustering current* is measured per
-//! sync, exactly like the one-shot protocols. Because sites summarize
+//! wire and is charged through [`CommStats`], so the communication cost
+//! of *keeping the clustering current* is measured per sync, exactly
+//! like the one-shot protocols. The sync executes on the same
+//! transport-abstracted runtime as the batch protocols
+//! ([`dpc_coordinator::run_protocol`]): one [`TransportKind`] /
+//! [`LinkModel`] switch moves both paths between in-process channels and
+//! loopback TCP, with identical byte accounting. Because sites summarize
 //! locally, a sync costs `O((s·k + t)·B)` regardless of how many points
 //! arrived since the last one.
 
@@ -20,7 +24,10 @@ use crate::engine::{StreamConfig, StreamEngine};
 use crate::wire::SummaryMsg;
 use bytes::Bytes;
 use dpc_cluster::Solution;
-use dpc_coordinator::{run_protocol, CommStats, Coordinator, CoordinatorStep, RunOptions, Site};
+use dpc_coordinator::{
+    run_protocol, CommStats, Coordinator, CoordinatorStep, LinkModel, RunOptions, Site,
+    TransportKind,
+};
 use dpc_core::wire::ThresholdMsg;
 use dpc_core::{allocate_outliers, geometric_grid, site_budget_from_threshold, ConvexProfile};
 use dpc_metric::{EuclideanMetric, Objective, PointSet, SquaredMetric, WeightedSet, WireWriter};
@@ -40,10 +47,17 @@ pub struct ContinuousConfig {
     pub sync_every: u64,
     /// Run site phases on parallel threads during a sync.
     pub parallel: bool,
+    /// Transport backend the sync protocol executes on — the same
+    /// runtime and backends as the one-shot batch protocols, so one
+    /// switch covers both paths.
+    pub transport: TransportKind,
+    /// Simulated link model charged per sync round.
+    pub link: LinkModel,
 }
 
 impl ContinuousConfig {
-    /// Defaults: ρ = 2, ε = 1, sync every 1024 points, sequential sites.
+    /// Defaults: ρ = 2, ε = 1, sync every 1024 points, sequential sites
+    /// on the in-process channel backend over an ideal link.
     pub fn new(k: usize, t: usize) -> Self {
         Self {
             stream: StreamConfig::new(k, t),
@@ -51,7 +65,21 @@ impl ContinuousConfig {
             eps: 1.0,
             sync_every: 1024,
             parallel: false,
+            transport: TransportKind::Channel,
+            link: LinkModel::ideal(),
         }
+    }
+
+    /// Switches the sync protocol's transport backend.
+    pub fn transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Sets the simulated link model of the sync protocol.
+    pub fn link(mut self, link: LinkModel) -> Self {
+        self.link = link;
+        self
     }
 
     /// Sets the sync cadence.
@@ -103,6 +131,12 @@ impl ContinuousCluster {
     /// Creates a fleet of `sites` streaming engines over `R^dim`.
     pub fn new(dim: usize, sites: usize, cfg: ContinuousConfig) -> Self {
         assert!(sites > 0, "need at least one site");
+        cfg.stream.validate();
+        assert!(
+            cfg.eps.is_finite() && cfg.eps >= 0.0,
+            "sync eps must be finite and non-negative, got {}",
+            cfg.eps
+        );
         assert!(
             cfg.stream.objective != Objective::Center,
             "continuous sync re-runs Algorithm 1 (median/means only)"
@@ -195,6 +229,8 @@ impl ContinuousCluster {
             coordinator,
             RunOptions {
                 parallel: self.cfg.parallel,
+                transport: self.cfg.transport,
+                link: self.cfg.link,
                 ..Default::default()
             },
         );
@@ -466,6 +502,54 @@ mod tests {
         let small = mk(512);
         let big = mk(4096);
         assert!(big <= small * 3, "sync bytes grew with n: {small} -> {big}");
+    }
+
+    #[test]
+    fn tcp_sync_matches_channel_sync() {
+        // One backend switch covers the streaming path too: the same
+        // fleet synced over loopback TCP must charge the same bytes and
+        // pick the same centers as the in-process backends.
+        let run = |transport: TransportKind| {
+            let cfg = ContinuousConfig {
+                stream: StreamConfig::new(2, 1).block(32),
+                ..ContinuousConfig::new(2, 1)
+            }
+            .sync_every(u64::MAX)
+            .transport(transport);
+            let mut c = ContinuousCluster::new(2, 2, cfg);
+            feed(&mut c, 300);
+            c.sync();
+            let rec = c.latest().unwrap().clone();
+            (rec.stats, rec.centers, rec.cost)
+        };
+        let (a_stats, a_centers, a_cost) = run(TransportKind::Channel);
+        let (b_stats, b_centers, b_cost) = run(TransportKind::Tcp);
+        assert_eq!(a_stats.num_rounds(), b_stats.num_rounds());
+        for (ra, rb) in a_stats.rounds.iter().zip(&b_stats.rounds) {
+            assert_eq!(ra.coordinator_to_sites, rb.coordinator_to_sites);
+            assert_eq!(ra.sites_to_coordinator, rb.sites_to_coordinator);
+        }
+        assert_eq!(a_cost, b_cost);
+        assert_eq!(a_centers.len(), b_centers.len());
+        for i in 0..a_centers.len() {
+            assert_eq!(a_centers.point(i), b_centers.point(i));
+        }
+    }
+
+    #[test]
+    fn link_model_charges_sync_network_time() {
+        let cfg = ContinuousConfig {
+            stream: StreamConfig::new(2, 1).block(32),
+            ..ContinuousConfig::new(2, 1)
+        }
+        .sync_every(u64::MAX)
+        .link(LinkModel::new(std::time::Duration::from_millis(5), 1e6));
+        let mut c = ContinuousCluster::new(2, 2, cfg);
+        feed(&mut c, 200);
+        c.sync();
+        let stats = &c.latest().unwrap().stats;
+        // 2 rounds, each paying at least down+up latency.
+        assert!(stats.network_time() >= std::time::Duration::from_millis(20));
     }
 
     #[test]

@@ -49,6 +49,37 @@ impl StreamConfig {
         }
     }
 
+    /// Sets the query-time outlier relaxation ε.
+    ///
+    /// ε = 0 is legal but a footgun: queries may then exclude only the
+    /// exact `t`, so one burst of more than `t` far outliers becomes
+    /// unexcludable and hijacks centers. The CLI warns on it.
+    ///
+    /// # Panics
+    /// Panics unless `eps` is finite and non-negative.
+    pub fn eps(mut self, eps: f64) -> Self {
+        self.eps = eps;
+        self.validate();
+        self
+    }
+
+    /// Checks the configuration invariants (`k > 0`, `block_size > 0`,
+    /// `eps` finite and non-negative). Engines call this on
+    /// construction, so a bad value written directly into the public
+    /// fields fails fast instead of silently corrupting queries.
+    ///
+    /// # Panics
+    /// Panics on any violated invariant.
+    pub fn validate(&self) {
+        assert!(self.k > 0, "k must be positive");
+        assert!(self.block_size > 0, "block size must be positive");
+        assert!(
+            self.eps.is_finite() && self.eps >= 0.0,
+            "eps must be finite and non-negative, got {}",
+            self.eps
+        );
+    }
+
     /// Switches to the means objective.
     pub fn means(mut self) -> Self {
         self.objective = Objective::Means;
@@ -116,7 +147,11 @@ pub struct StreamEngine {
 
 impl StreamEngine {
     /// Creates an engine for points in `R^dim`.
+    ///
+    /// # Panics
+    /// Panics if `cfg` violates [`StreamConfig::validate`].
     pub fn new(dim: usize, cfg: StreamConfig) -> Self {
+        cfg.validate();
         Self {
             cfg,
             dim,
@@ -335,6 +370,28 @@ mod tests {
         assert_eq!(e.live_summaries(), 0);
         let sol = e.solve();
         assert_eq!(sol.centers.len(), 2);
+    }
+
+    #[test]
+    fn eps_validation_guards_construction() {
+        // Builder path.
+        let cfg = StreamConfig::new(2, 1).eps(0.0);
+        assert_eq!(cfg.eps, 0.0); // legal, CLI-warned
+                                  // Direct-field writes are caught at engine construction.
+        let mut bad = StreamConfig::new(2, 1);
+        bad.eps = f64::NAN;
+        let r = std::panic::catch_unwind(|| StreamEngine::new(2, bad));
+        assert!(r.is_err(), "NaN eps must fail fast");
+        let mut neg = StreamConfig::new(2, 1);
+        neg.eps = -0.5;
+        let r = std::panic::catch_unwind(|| StreamEngine::new(2, neg));
+        assert!(r.is_err(), "negative eps must fail fast");
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be finite")]
+    fn eps_builder_rejects_infinite() {
+        let _ = StreamConfig::new(2, 1).eps(f64::INFINITY);
     }
 
     #[test]

@@ -46,6 +46,7 @@ impl SlidingWindowEngine {
     /// Panics unless `window >= block_size` (a window smaller than one
     /// block can never be covered at block granularity).
     pub fn new(dim: usize, window: u64, cfg: StreamConfig) -> Self {
+        cfg.validate();
         assert!(
             window >= cfg.block_size as u64,
             "window ({window}) must be at least one block ({})",

@@ -1,0 +1,104 @@
+//! Cross-backend equivalence of the real protocols: every distributed
+//! algorithm in the workspace must produce the same solution and
+//! byte-identical per-round charges whether its messages ride the
+//! persistent channel workers or a real loopback TCP socket.
+
+use dpc::coordinator::CommStats;
+use dpc::prelude::*;
+use std::time::Duration;
+
+mod test_util;
+
+fn assert_charges_identical(label: &str, a: &CommStats, b: &CommStats) {
+    assert_eq!(a.num_rounds(), b.num_rounds(), "{label}: round count");
+    for (i, (ra, rb)) in a.rounds.iter().zip(&b.rounds).enumerate() {
+        assert_eq!(
+            ra.coordinator_to_sites, rb.coordinator_to_sites,
+            "{label}: round {i} downstream"
+        );
+        assert_eq!(
+            ra.sites_to_coordinator, rb.sites_to_coordinator,
+            "{label}: round {i} upstream"
+        );
+    }
+}
+
+fn options_matrix() -> [RunOptions; 3] {
+    [
+        RunOptions::sequential(),
+        RunOptions::new(), // parallel persistent channel workers
+        RunOptions::new().transport(TransportKind::Tcp),
+    ]
+}
+
+/// Runs one protocol under every backend and checks outputs + charges
+/// against the deterministic sequential baseline.
+fn check<F>(label: &str, run: F)
+where
+    F: Fn(RunOptions) -> (PointSet, f64, CommStats),
+{
+    let [baseline, channel, tcp] = options_matrix();
+    let (base_centers, base_cost, base_stats) = run(baseline);
+    for options in [channel, tcp] {
+        let (centers, cost, stats) = run(options);
+        assert_eq!(centers, base_centers, "{label}: centers diverged");
+        assert_eq!(cost, base_cost, "{label}: cost diverged");
+        assert_charges_identical(label, &base_stats, &stats);
+    }
+}
+
+#[test]
+fn median_center_and_one_round_protocols_are_backend_invariant() {
+    let (shards, _) = test_util::mixture_shards(3, 4, 600, 6, PartitionStrategy::Random, 11, 0);
+    let mcfg = MedianConfig::new(3, 6);
+    check("algo1 median", |o| {
+        let out = run_distributed_median(&shards, mcfg, o);
+        (out.output.centers, out.output.coordinator_cost, out.stats)
+    });
+    check("algo1 means", |o| {
+        let out = run_distributed_median(&shards, mcfg.means(), o);
+        (out.output.centers, out.output.coordinator_cost, out.stats)
+    });
+    let ccfg = CenterConfig::new(3, 6);
+    check("algo2 center", |o| {
+        let out = run_distributed_center(&shards, ccfg, o);
+        (out.output.centers, out.output.coordinator_cost, out.stats)
+    });
+    check("one-round median", |o| {
+        let out = run_one_round_median(&shards, mcfg, o);
+        (out.output.centers, out.output.coordinator_cost, out.stats)
+    });
+    check("one-round center", |o| {
+        let out = run_one_round_center(&shards, ccfg, o);
+        (out.output.centers, out.output.coordinator_cost, out.stats)
+    });
+}
+
+#[test]
+fn uncertain_protocol_is_backend_invariant() {
+    let nodes = test_util::uncertain_shards_sized(7, 3, 6);
+    let cfg = UncertainConfig::new(2, 2);
+    check("algo3 uncertain median", |o| {
+        let out = run_uncertain_median(&nodes, cfg, o);
+        (out.output.centers, out.output.coordinator_cost, out.stats)
+    });
+}
+
+#[test]
+fn link_model_is_deterministic_and_additive_across_backends() {
+    // The simulated network column depends only on the charged bytes and
+    // the link parameters — so it too must be backend-invariant, unlike
+    // the measured compute columns.
+    let (shards, _) = test_util::mixture_shards(3, 3, 300, 4, PartitionStrategy::Random, 5, 0);
+    let link = LinkModel::new(Duration::from_millis(3), 1e6);
+    let nets: Vec<Duration> = options_matrix()
+        .into_iter()
+        .map(|o| {
+            run_distributed_median(&shards, MedianConfig::new(2, 4), o.link(link))
+                .stats
+                .network_time()
+        })
+        .collect();
+    assert!(nets[0] >= Duration::from_millis(12), "2 rounds x 2 x 3ms");
+    assert!(nets.iter().all(|&n| n == nets[0]), "{nets:?}");
+}

@@ -1,0 +1,455 @@
+//! The unified result type every job run produces.
+
+use crate::data::Dataset;
+use crate::json::{self, Json};
+use dpc_coordinator::CommStats;
+use dpc_core::evaluate_on_full_data;
+use dpc_metric::{Objective, PointSet};
+
+/// Version tag embedded in the artifact JSON; bump on schema breaks.
+pub const ARTIFACT_SCHEMA: &str = "dpc.artifact/v1";
+
+/// Per-round communication/compute breakdown.
+///
+/// Byte counts are kept **per site** (index = site id) so consumers can
+/// check exact wire behaviour — summed views are one `iter().sum()` away
+/// and the CLI renders them that way.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoundBreakdown {
+    /// Bytes from the coordinator to each site.
+    pub bytes_down: Vec<usize>,
+    /// Bytes from each site to the coordinator.
+    pub bytes_up: Vec<usize>,
+    /// Slowest site compute this round, milliseconds.
+    pub max_site_ms: f64,
+    /// Coordinator compute planning this round, milliseconds.
+    pub coordinator_ms: f64,
+    /// Simulated network time of this round under the link model, ms.
+    pub network_ms: f64,
+}
+
+impl RoundBreakdown {
+    /// Total upstream bytes this round.
+    pub fn up_total(&self) -> usize {
+        self.bytes_up.iter().sum()
+    }
+
+    /// Total downstream bytes this round.
+    pub fn down_total(&self) -> usize {
+        self.bytes_down.iter().sum()
+    }
+}
+
+/// Flattens protocol accounting into artifact rows.
+pub(crate) fn round_breakdowns(stats: &CommStats) -> Vec<RoundBreakdown> {
+    stats
+        .rounds
+        .iter()
+        .map(|r| RoundBreakdown {
+            bytes_down: r.coordinator_to_sites.clone(),
+            bytes_up: r.sites_to_coordinator.clone(),
+            max_site_ms: r.max_site_compute().as_secs_f64() * 1e3,
+            coordinator_ms: r.coordinator_compute.as_secs_f64() * 1e3,
+            network_ms: r.network.as_secs_f64() * 1e3,
+        })
+        .collect()
+}
+
+/// The result of one job run: solution, communication accounting,
+/// simulated network time, and the parameters that produced it — one
+/// schema shared by the CLI, the bench harness and the sweep table
+/// writers.
+#[derive(Clone, Debug)]
+pub struct Artifact {
+    /// The protocol that ran (the job's [`crate::Job::name`]).
+    pub job: String,
+    /// Number of centers requested.
+    pub k: usize,
+    /// Outlier budget `t`.
+    pub t: usize,
+    /// Outlier relaxation ε the job ran with.
+    pub eps: f64,
+    /// Simulated sites.
+    pub sites: usize,
+    /// Partition/workload seed.
+    pub seed: u64,
+    /// Input size (points or nodes).
+    pub n: usize,
+    /// Chosen centers, as coordinate rows.
+    pub centers: Vec<Vec<f64>>,
+    /// Objective value at the output budget (protocol-specific
+    /// evaluation; see the job docs).
+    pub cost: f64,
+    /// Exclusion budget used in the final evaluation.
+    pub budget: usize,
+    /// Total bytes on the simulated wire (0 for centralized jobs).
+    pub bytes: usize,
+    /// Protocol rounds executed (summed over syncs for continuous jobs).
+    pub rounds: usize,
+    /// Per-round breakdown, in execution order.
+    pub round_stats: Vec<RoundBreakdown>,
+    /// Transport backend the job was configured with (`None` for jobs
+    /// that move no messages).
+    pub transport: Option<String>,
+    /// Total simulated network time under the configured link model, ms.
+    pub network_ms: f64,
+    /// Streaming jobs: live summary entries at the end of the run.
+    pub live_points: Option<usize>,
+    /// Continuous jobs: number of syncs executed.
+    pub syncs: Option<usize>,
+    /// Streaming jobs: ingest+solve throughput in points per second.
+    pub points_per_sec: Option<f64>,
+}
+
+impl Artifact {
+    /// Total upstream bytes across all rounds.
+    pub fn upstream_bytes(&self) -> usize {
+        self.round_stats.iter().map(RoundBreakdown::up_total).sum()
+    }
+
+    /// Total downstream bytes across all rounds.
+    pub fn downstream_bytes(&self) -> usize {
+        self.round_stats
+            .iter()
+            .map(RoundBreakdown::down_total)
+            .sum()
+    }
+
+    /// On-demand quality evaluation: re-scores this artifact's centers
+    /// against point data at an arbitrary exclusion budget, returning
+    /// `(cost, points actually excluded)`. Returns `None` for node-shaped
+    /// data (use the Monte-Carlo estimators in `dpc_uncertain` there).
+    pub fn evaluate(
+        &self,
+        data: &Dataset,
+        budget: usize,
+        objective: Objective,
+    ) -> Option<(f64, usize)> {
+        let shards = data.point_view()?;
+        let centers = PointSet::from_rows(&self.centers);
+        Some(evaluate_on_full_data(&shards, &centers, budget, objective))
+    }
+
+    /// Plain-text rendering (the CLI's non-JSON output).
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{}: n={}, cost={:.6} (budget {}), comm={}B over {} rounds\n",
+            self.job, self.n, self.cost, self.budget, self.bytes, self.rounds
+        ));
+        if let Some(t) = &self.transport {
+            out.push_str(&format!(
+                "transport: {t}, simulated network {:.3}ms\n",
+                self.network_ms
+            ));
+        }
+        if let Some(lp) = self.live_points {
+            out.push_str(&format!("live summary points: {lp}\n"));
+        }
+        if let Some(pps) = self.points_per_sec {
+            out.push_str(&format!("throughput: {pps:.0} points/sec\n"));
+        }
+        if let Some(s) = self.syncs {
+            out.push_str(&format!("syncs: {s}\n"));
+        }
+        for (i, r) in self.round_stats.iter().enumerate() {
+            out.push_str(&format!(
+                "round {i}: up={}B down={}B site={:.3}ms coord={:.3}ms net={:.3}ms\n",
+                r.up_total(),
+                r.down_total(),
+                r.max_site_ms,
+                r.coordinator_ms,
+                r.network_ms
+            ));
+        }
+        out.push_str("centers:\n");
+        for c in &self.centers {
+            let coords: Vec<String> = c.iter().map(|v| format!("{v}")).collect();
+            out.push_str(&format!("  [{}]\n", coords.join(", ")));
+        }
+        out
+    }
+
+    /// Serializes the artifact to its canonical JSON schema
+    /// ([`ARTIFACT_SCHEMA`]). Optional fields are omitted when absent;
+    /// key order is fixed, so equal artifacts serialize identically.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(512);
+        s.push_str(&format!(
+            "{{\"schema\":\"{}\",\"job\":\"{}\",\"k\":{},\"t\":{},\"eps\":{},\"sites\":{},\"seed\":{},\"n\":{}",
+            ARTIFACT_SCHEMA,
+            json::escape(&self.job),
+            self.k,
+            self.t,
+            json_f64(self.eps),
+            self.sites,
+            self.seed,
+            self.n
+        ));
+        s.push_str(&format!(
+            ",\"cost\":{},\"budget\":{},\"bytes\":{},\"rounds\":{},\"network_ms\":{}",
+            json_f64(self.cost),
+            self.budget,
+            self.bytes,
+            self.rounds,
+            json_f64(self.network_ms)
+        ));
+        if let Some(t) = &self.transport {
+            s.push_str(&format!(",\"transport\":\"{}\"", json::escape(t)));
+        }
+        if let Some(lp) = self.live_points {
+            s.push_str(&format!(",\"live_points\":{lp}"));
+        }
+        if let Some(sy) = self.syncs {
+            s.push_str(&format!(",\"syncs\":{sy}"));
+        }
+        if let Some(pps) = self.points_per_sec {
+            s.push_str(&format!(",\"points_per_sec\":{}", json_f64(pps)));
+        }
+        s.push_str(",\"round_stats\":[");
+        for (i, r) in self.round_stats.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"bytes_down\":{},\"bytes_up\":{},\"max_site_ms\":{},\"coordinator_ms\":{},\"network_ms\":{}}}",
+                usize_array(&r.bytes_down),
+                usize_array(&r.bytes_up),
+                json_f64(r.max_site_ms),
+                json_f64(r.coordinator_ms),
+                json_f64(r.network_ms)
+            ));
+        }
+        s.push_str("],\"centers\":[");
+        for (i, c) in self.centers.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let coords: Vec<String> = c.iter().map(|&v| json_f64(v)).collect();
+            s.push_str(&format!("[{}]", coords.join(",")));
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Reads an artifact back from [`Self::to_json`] output.
+    pub fn from_json(doc: &str) -> Result<Artifact, String> {
+        let v = json::parse(doc)?;
+        let schema = v
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing schema tag")?;
+        if schema != ARTIFACT_SCHEMA {
+            return Err(format!(
+                "unsupported artifact schema '{schema}' (expected {ARTIFACT_SCHEMA})"
+            ));
+        }
+        let str_field = |name: &str| -> Result<String, String> {
+            Ok(v.get(name)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("missing field '{name}'"))?
+                .to_string())
+        };
+        let num = |name: &str| -> Result<f64, String> {
+            // Non-finite values serialize as null (JSON has no inf/NaN).
+            match v.get(name) {
+                Some(Json::Null) => Ok(f64::NAN),
+                Some(j) => j
+                    .as_f64()
+                    .ok_or_else(|| format!("non-numeric field '{name}'")),
+                None => Err(format!("missing numeric field '{name}'")),
+            }
+        };
+        let uint = |name: &str| -> Result<usize, String> {
+            v.get(name)
+                .and_then(Json::as_usize)
+                .ok_or_else(|| format!("missing integer field '{name}'"))
+        };
+        let rounds_arr = v
+            .get("round_stats")
+            .and_then(Json::as_arr)
+            .ok_or("missing round_stats")?;
+        let mut round_stats = Vec::with_capacity(rounds_arr.len());
+        for r in rounds_arr {
+            round_stats.push(RoundBreakdown {
+                bytes_down: usize_vec(r.get("bytes_down"))?,
+                bytes_up: usize_vec(r.get("bytes_up"))?,
+                max_site_ms: round_f64(r, "max_site_ms")?,
+                coordinator_ms: round_f64(r, "coordinator_ms")?,
+                network_ms: round_f64(r, "network_ms")?,
+            });
+        }
+        let centers_arr = v
+            .get("centers")
+            .and_then(Json::as_arr)
+            .ok_or("missing centers")?;
+        let mut centers = Vec::with_capacity(centers_arr.len());
+        for c in centers_arr {
+            let row = c.as_arr().ok_or("center row is not an array")?;
+            centers.push(
+                row.iter()
+                    .map(|x| match x {
+                        Json::Null => Ok(f64::NAN),
+                        _ => x.as_f64().ok_or("non-numeric coordinate"),
+                    })
+                    .collect::<Result<Vec<f64>, _>>()?,
+            );
+        }
+        Ok(Artifact {
+            job: str_field("job")?,
+            k: uint("k")?,
+            t: uint("t")?,
+            eps: num("eps")?,
+            sites: uint("sites")?,
+            seed: v
+                .get("seed")
+                .and_then(Json::as_u64)
+                .ok_or("missing integer field 'seed'")?,
+            n: uint("n")?,
+            centers,
+            cost: num("cost")?,
+            budget: uint("budget")?,
+            bytes: uint("bytes")?,
+            rounds: uint("rounds")?,
+            round_stats,
+            transport: v.get("transport").and_then(Json::as_str).map(String::from),
+            network_ms: num("network_ms")?,
+            live_points: v.get("live_points").and_then(Json::as_usize),
+            syncs: v.get("syncs").and_then(Json::as_usize),
+            points_per_sec: v.get("points_per_sec").and_then(Json::as_f64),
+        })
+    }
+}
+
+/// Formats an `f64` for the artifact schema: shortest round-trip repr,
+/// with non-finite values as `null` (JSON has no inf/NaN literals).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Reads one (possibly `null`) millisecond field of a round object.
+fn round_f64(r: &Json, name: &str) -> Result<f64, String> {
+    match r.get(name) {
+        Some(Json::Null) => Ok(f64::NAN),
+        Some(j) => j.as_f64().ok_or_else(|| format!("bad {name}")),
+        None => Err(format!("missing {name}")),
+    }
+}
+
+fn usize_array(vs: &[usize]) -> String {
+    let parts: Vec<String> = vs.iter().map(|v| v.to_string()).collect();
+    format!("[{}]", parts.join(","))
+}
+
+fn usize_vec(v: Option<&Json>) -> Result<Vec<usize>, String> {
+    v.and_then(Json::as_arr)
+        .ok_or("missing byte array")?
+        .iter()
+        .map(|x| x.as_usize().ok_or_else(|| "bad byte count".to_string()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample() -> Artifact {
+        Artifact {
+            job: "median".into(),
+            k: 2,
+            t: 1,
+            eps: 0.5,
+            sites: 3,
+            seed: 42,
+            n: 41,
+            centers: vec![vec![1.0, 2.0], vec![-3.25, 0.0]],
+            cost: 3.5,
+            budget: 2,
+            bytes: 100,
+            rounds: 2,
+            round_stats: vec![RoundBreakdown {
+                bytes_down: vec![5, 5, 5],
+                bytes_up: vec![20, 30, 35],
+                max_site_ms: 1.5,
+                coordinator_ms: 0.5,
+                network_ms: 2.25,
+            }],
+            transport: Some("tcp".into()),
+            network_ms: 2.25,
+            live_points: Some(7),
+            syncs: None,
+            points_per_sec: Some(1000.0),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_stable() {
+        let a = sample();
+        let doc = a.to_json();
+        let b = Artifact::from_json(&doc).unwrap();
+        // Serialized form is the equality we care about (fixed key order
+        // means equal artifacts produce byte-equal documents).
+        assert_eq!(doc, b.to_json());
+        assert_eq!(b.centers, a.centers);
+        assert_eq!(b.round_stats, a.round_stats);
+        assert_eq!(b.transport.as_deref(), Some("tcp"));
+        assert_eq!(b.syncs, None);
+    }
+
+    #[test]
+    fn optional_fields_are_omitted() {
+        let mut a = sample();
+        a.transport = None;
+        a.live_points = None;
+        a.points_per_sec = None;
+        let doc = a.to_json();
+        assert!(!doc.contains("transport"));
+        assert!(!doc.contains("live_points"));
+        assert!(!doc.contains("points_per_sec"));
+        assert!(Artifact::from_json(&doc).is_ok());
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        let mut a = sample();
+        a.cost = f64::INFINITY;
+        a.centers[0][1] = f64::NAN;
+        let doc = a.to_json();
+        assert!(doc.contains("\"cost\":null"), "{doc}");
+        assert!(doc.contains("[1,null]"), "{doc}");
+        // Still valid JSON, still the document-level identity.
+        let back = Artifact::from_json(&doc).unwrap();
+        assert!(back.cost.is_nan());
+        assert!(back.centers[0][1].is_nan());
+        assert_eq!(back.to_json(), doc);
+    }
+
+    #[test]
+    fn seed_round_trips_exactly_beyond_f64() {
+        let mut a = sample();
+        a.seed = 9_007_199_254_740_993; // 2^53 + 1: f64 would round it
+        let back = Artifact::from_json(&a.to_json()).unwrap();
+        assert_eq!(back.seed, 9_007_199_254_740_993);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let doc = sample().to_json().replace("dpc.artifact/v1", "other/v9");
+        assert!(Artifact::from_json(&doc).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn text_rendering_sums_per_site_bytes() {
+        let t = sample().text();
+        assert!(t.contains("round 0: up=85B down=15B"), "{t}");
+        assert!(
+            t.contains("transport: tcp, simulated network 2.250ms"),
+            "{t}"
+        );
+        assert!(t.contains("[1, 2]"), "{t}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Input datasets for [`crate::Job`]s.
+
+use dpc_metric::PointSet;
+use dpc_uncertain::{NodeSet, UncertainNode};
+use dpc_workloads::{partition, PartitionStrategy};
+
+/// The input a job runs on.
+///
+/// Point protocols (median/means/center/one-round/subquadratic/stream)
+/// accept [`Dataset::Points`] or [`Dataset::Shards`]; uncertain protocols
+/// accept [`Dataset::Nodes`] or [`Dataset::NodeShards`]. Unsharded data
+/// is split at run time using the job's site count, partition strategy
+/// and seed — exactly like the CLI always did.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum Dataset {
+    /// Raw points, partitioned across sites at run time.
+    Points(PointSet),
+    /// Pre-sharded points (one `PointSet` per site; overrides the job's
+    /// site count).
+    Shards(Vec<PointSet>),
+    /// Uncertain nodes, split round-robin across sites at run time.
+    Nodes(NodeSet),
+    /// Pre-sharded uncertain nodes.
+    NodeShards(Vec<NodeSet>),
+}
+
+impl Dataset {
+    /// Number of input items (points or nodes).
+    pub fn len(&self) -> usize {
+        match self {
+            Dataset::Points(ps) => ps.len(),
+            Dataset::Shards(sh) => sh.iter().map(PointSet::len).sum(),
+            Dataset::Nodes(ns) => ns.len(),
+            Dataset::NodeShards(sh) => sh.iter().map(NodeSet::len).sum(),
+        }
+    }
+
+    /// True when the dataset holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True for point-shaped data.
+    pub fn is_points(&self) -> bool {
+        matches!(self, Dataset::Points(_) | Dataset::Shards(_))
+    }
+
+    /// Materializes point shards for the protocol runtime.
+    ///
+    /// # Panics
+    /// Panics on node-shaped data (validation rejects that pairing first).
+    pub(crate) fn point_shards(
+        &self,
+        sites: usize,
+        strategy: PartitionStrategy,
+        seed: u64,
+    ) -> Vec<PointSet> {
+        match self {
+            Dataset::Points(ps) => partition(ps, sites, strategy, &[], seed),
+            Dataset::Shards(sh) => sh.clone(),
+            _ => panic!("point protocol run on node data"),
+        }
+    }
+
+    /// Materializes node shards for the uncertain protocols (round-robin
+    /// split, the CLI's historical rule).
+    ///
+    /// # Panics
+    /// Panics on point-shaped data.
+    pub(crate) fn node_shards(&self, sites: usize) -> Vec<NodeSet> {
+        match self {
+            Dataset::NodeShards(sh) => sh.clone(),
+            Dataset::Nodes(nodes) => {
+                let mut shards: Vec<NodeSet> = (0..sites)
+                    .map(|_| NodeSet::new(nodes.ground.dim()))
+                    .collect();
+                for (i, node) in nodes.nodes.iter().enumerate() {
+                    let shard = &mut shards[i % sites];
+                    let mut support = Vec::with_capacity(node.support.len());
+                    for &sp in &node.support {
+                        support.push(shard.ground.push(nodes.ground.point(sp)));
+                    }
+                    shard
+                        .nodes
+                        .push(UncertainNode::new(support, node.probs.clone()));
+                }
+                shards
+            }
+            _ => panic!("uncertain protocol run on point data"),
+        }
+    }
+
+    /// The per-site point views used for quality re-evaluation.
+    pub(crate) fn point_view(&self) -> Option<Vec<PointSet>> {
+        match self {
+            Dataset::Points(ps) => Some(vec![ps.clone()]),
+            Dataset::Shards(sh) => Some(sh.clone()),
+            _ => None,
+        }
+    }
+}
+
+impl From<PointSet> for Dataset {
+    fn from(ps: PointSet) -> Self {
+        Dataset::Points(ps)
+    }
+}
+
+impl From<Vec<PointSet>> for Dataset {
+    fn from(sh: Vec<PointSet>) -> Self {
+        Dataset::Shards(sh)
+    }
+}
+
+impl From<NodeSet> for Dataset {
+    fn from(ns: NodeSet) -> Self {
+        Dataset::Nodes(ns)
+    }
+}
+
+impl From<Vec<NodeSet>> for Dataset {
+    fn from(sh: Vec<NodeSet>) -> Self {
+        Dataset::NodeShards(sh)
+    }
+}

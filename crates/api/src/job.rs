@@ -1,0 +1,1164 @@
+//! The typed front door: describe a run as a [`Job`], refine it with the
+//! fluent [`JobBuilder`], check it with [`JobBuilder::validate`], execute
+//! it with [`ValidJob::run`].
+
+use crate::artifact::{round_breakdowns, Artifact};
+use crate::data::Dataset;
+use crate::error::{ConfigError, ConfigWarning};
+use dpc_coordinator::{LinkModel, RunOptions, TransportKind};
+use dpc_core::{
+    evaluate_on_full_data, merge_shards, run_distributed_center, run_distributed_median,
+    run_one_round_center, run_one_round_median, subquadratic_median, CenterConfig, MedianConfig,
+    SubquadraticParams,
+};
+use dpc_metric::{Objective, PointSet};
+use dpc_stream::{
+    ContinuousCluster, ContinuousConfig, SlidingWindowEngine, StreamConfig, StreamEngine,
+};
+use dpc_uncertain::{
+    estimate_expected_cost, run_center_g, run_center_g_one_round, run_uncertain_median,
+    CenterGConfig, UncertainConfig,
+};
+use dpc_workloads::PartitionStrategy;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Which protocol a job targets — every entry point in the workspace,
+/// behind one enum.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum Job {
+    /// 2-round distributed `(k,(1+ε)t)`-median (Algorithm 1).
+    Median,
+    /// 2-round distributed `(k,(1+ε)t)`-means.
+    Means,
+    /// 2-round distributed `(k,t)`-center (Algorithm 2).
+    Center,
+    /// The 1-round `O((sk+st)B)` baselines of Table 2.
+    OneRound {
+        /// Which objective's baseline.
+        objective: Objective,
+    },
+    /// Uncertain `(k,t)`-median via the compressed graph (Algorithm 3).
+    UncertainMedian,
+    /// Uncertain `(k,t)`-center-g (Algorithm 4).
+    CenterG {
+        /// `Some((d_min, d_max))` runs the 1-round variant, which needs
+        /// the global distance range a priori.
+        d_range: Option<(f64, f64)>,
+    },
+    /// Single-machine streaming (merge-and-reduce; `window > 0` solves
+    /// over a sliding window instead of the whole stream).
+    Stream {
+        /// Query objective.
+        objective: Objective,
+        /// Sliding-window length in points (0 = insertion-only).
+        window: u64,
+    },
+    /// Continuous distributed streaming: per-site engines plus the
+    /// periodic 2-round sync protocol.
+    Continuous {
+        /// Query/sync objective (median or means).
+        objective: Objective,
+        /// Fleet-wide ingested points between syncs.
+        sync_every: u64,
+    },
+    /// Centralized subquadratic `(k,2t)`-median (Theorem 3.10).
+    Subquadratic,
+}
+
+impl Job {
+    /// Stable name of the protocol (used in artifacts and tables).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Job::Median => "median",
+            Job::Means => "means",
+            Job::Center => "center",
+            Job::OneRound {
+                objective: Objective::Median,
+            } => "one-round-median",
+            Job::OneRound {
+                objective: Objective::Means,
+            } => "one-round-means",
+            Job::OneRound { .. } => "one-round-center",
+            Job::UncertainMedian => "uncertain-median",
+            Job::CenterG { d_range: None } => "center-g",
+            Job::CenterG { .. } => "one-round-center-g",
+            Job::Stream { window: 0, .. } => "stream",
+            Job::Stream { .. } => "stream-window",
+            Job::Continuous { .. } => "continuous",
+            Job::Subquadratic => "subquadratic",
+        }
+    }
+
+    /// True when the job drives the protocol runtime (and transport/link
+    /// settings therefore have an effect).
+    fn uses_runtime(&self) -> bool {
+        !matches!(self, Job::Subquadratic | Job::Stream { .. })
+    }
+
+    /// True for jobs over uncertain nodes rather than points.
+    fn is_uncertain(&self) -> bool {
+        matches!(self, Job::UncertainMedian | Job::CenterG { .. })
+    }
+
+    /// True for the streaming kinds (which also accept row-at-a-time
+    /// ingest through [`ValidJob::session`]).
+    fn is_streaming(&self) -> bool {
+        matches!(self, Job::Stream { .. } | Job::Continuous { .. })
+    }
+
+    /// Builder for this job kind.
+    pub fn builder(self, k: usize, t: usize) -> JobBuilder {
+        JobBuilder::new(self, k, t)
+    }
+
+    /// Builder for the 2-round `(k,(1+ε)t)`-median protocol.
+    pub fn median(k: usize, t: usize) -> JobBuilder {
+        Job::Median.builder(k, t)
+    }
+
+    /// Builder for the 2-round `(k,(1+ε)t)`-means protocol.
+    pub fn means(k: usize, t: usize) -> JobBuilder {
+        Job::Means.builder(k, t)
+    }
+
+    /// Builder for the 2-round `(k,t)`-center protocol.
+    pub fn center(k: usize, t: usize) -> JobBuilder {
+        Job::Center.builder(k, t)
+    }
+
+    /// Builder for a 1-round baseline with the given objective.
+    pub fn one_round(objective: Objective, k: usize, t: usize) -> JobBuilder {
+        Job::OneRound { objective }.builder(k, t)
+    }
+
+    /// Builder for uncertain `(k,t)`-median (Algorithm 3).
+    pub fn uncertain_median(k: usize, t: usize) -> JobBuilder {
+        Job::UncertainMedian.builder(k, t)
+    }
+
+    /// Builder for uncertain `(k,t)`-center-g (Algorithm 4).
+    pub fn center_g(k: usize, t: usize) -> JobBuilder {
+        Job::CenterG { d_range: None }.builder(k, t)
+    }
+
+    /// Builder for single-machine streaming (median objective; use
+    /// [`JobBuilder::objective`] / [`JobBuilder::window`] to refine).
+    pub fn stream(k: usize, t: usize) -> JobBuilder {
+        Job::Stream {
+            objective: Objective::Median,
+            window: 0,
+        }
+        .builder(k, t)
+    }
+
+    /// Builder for continuous distributed streaming (sync every 1024
+    /// points by default; use [`JobBuilder::sync_every`] to change).
+    pub fn continuous(k: usize, t: usize) -> JobBuilder {
+        Job::Continuous {
+            objective: Objective::Median,
+            sync_every: 1024,
+        }
+        .builder(k, t)
+    }
+
+    /// Builder for the centralized subquadratic `(k,2t)`-median.
+    pub fn subquadratic(k: usize, t: usize) -> JobBuilder {
+        Job::Subquadratic.builder(k, t)
+    }
+}
+
+/// Fluent configuration of a [`Job`].
+///
+/// Every knob has a sensible default (matching the historical config
+/// structs), so `Job::median(5, 20).validate()?.run()` is a complete
+/// program. Knobs that do not apply to the chosen job kind are recorded
+/// and surface as [`ConfigWarning::KnobUnused`] at validation time —
+/// never silently dropped, never fatal.
+#[derive(Clone, Debug)]
+pub struct JobBuilder {
+    job: Job,
+    k: usize,
+    t: usize,
+    eps: f64,
+    rho: f64,
+    delta: f64,
+    sites: usize,
+    sites_set: bool,
+    seed: u64,
+    strategy: PartitionStrategy,
+    block: usize,
+    parallel: bool,
+    transport: TransportKind,
+    link: LinkModel,
+    transport_set: bool,
+    unused_knobs: Vec<&'static str>,
+    data: Option<Arc<Dataset>>,
+}
+
+impl JobBuilder {
+    fn new(job: Job, k: usize, t: usize) -> Self {
+        Self {
+            job,
+            k,
+            t,
+            eps: 1.0,
+            rho: 2.0,
+            delta: 0.0,
+            sites: 4,
+            sites_set: false,
+            seed: 42,
+            strategy: PartitionStrategy::Random,
+            block: 256,
+            parallel: true,
+            transport: TransportKind::Channel,
+            link: LinkModel::ideal(),
+            transport_set: false,
+            unused_knobs: Vec::new(),
+            data: None,
+        }
+    }
+
+    /// The job kind under construction.
+    pub fn job(&self) -> &Job {
+        &self.job
+    }
+
+    /// Sets the number of centers `k`.
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Sets the outlier budget `t`.
+    pub fn t(mut self, t: usize) -> Self {
+        self.t = t;
+        self
+    }
+
+    /// Sets the outlier relaxation ε.
+    pub fn eps(mut self, eps: f64) -> Self {
+        self.eps = eps;
+        self
+    }
+
+    /// Sets the grid/allocation ratio ρ.
+    pub fn rho(mut self, rho: f64) -> Self {
+        self.rho = rho;
+        self
+    }
+
+    /// Switches median/means jobs to the Theorem 3.8 counts-only variant
+    /// with ratio `1 + delta` (a no-effect warning elsewhere).
+    pub fn delta(mut self, delta: f64) -> Self {
+        if !matches!(
+            self.job,
+            Job::Median
+                | Job::Means
+                | Job::OneRound {
+                    objective: Objective::Median | Objective::Means,
+                }
+        ) {
+            self.unused_knobs.push("delta");
+        }
+        self.delta = delta;
+        self
+    }
+
+    /// Sets the number of simulated sites.
+    pub fn sites(mut self, sites: usize) -> Self {
+        self.sites = sites;
+        self.sites_set = true;
+        self
+    }
+
+    /// Sets the partition seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets how unsharded point data is split across sites.
+    pub fn strategy(mut self, strategy: PartitionStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the streaming block size (a no-effect warning on batch jobs).
+    pub fn block(mut self, block: usize) -> Self {
+        if !self.job.is_streaming() {
+            self.unused_knobs.push("block");
+        }
+        self.block = block;
+        self
+    }
+
+    /// Sets the sliding-window length of a [`Job::Stream`] job (a
+    /// no-effect warning elsewhere).
+    pub fn window(mut self, window: u64) -> Self {
+        match &mut self.job {
+            Job::Stream { window: w, .. } => *w = window,
+            _ => self.unused_knobs.push("window"),
+        }
+        self
+    }
+
+    /// Sets the sync cadence of a [`Job::Continuous`] job (a no-effect
+    /// warning elsewhere).
+    pub fn sync_every(mut self, points: u64) -> Self {
+        match &mut self.job {
+            Job::Continuous { sync_every, .. } => *sync_every = points,
+            _ => self.unused_knobs.push("sync_every"),
+        }
+        self
+    }
+
+    /// Sets the query objective of a streaming job (a no-effect warning
+    /// elsewhere).
+    pub fn objective(mut self, objective: Objective) -> Self {
+        match &mut self.job {
+            Job::Stream { objective: o, .. } | Job::Continuous { objective: o, .. } => {
+                *o = objective
+            }
+            _ => self.unused_knobs.push("objective"),
+        }
+        self
+    }
+
+    /// Supplies the a-priori distance range that turns [`Job::CenterG`]
+    /// into its 1-round variant (a no-effect warning elsewhere).
+    pub fn d_range(mut self, d_min: f64, d_max: f64) -> Self {
+        match &mut self.job {
+            Job::CenterG { d_range } => *d_range = Some((d_min, d_max)),
+            _ => self.unused_knobs.push("d_range"),
+        }
+        self
+    }
+
+    /// Switches the protocol runtime backend.
+    pub fn transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
+        self.transport_set = true;
+        self
+    }
+
+    /// Sets the simulated link model.
+    pub fn link(mut self, link: LinkModel) -> Self {
+        if link.latency != std::time::Duration::ZERO || link.bandwidth.is_finite() {
+            self.transport_set = true;
+        }
+        self.link = link;
+        self
+    }
+
+    /// Runs site phases sequentially on the caller's thread
+    /// (deterministic timing; bytes are identical either way).
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// Attaches the input dataset.
+    pub fn data(mut self, data: impl Into<Dataset>) -> Self {
+        self.data = Some(Arc::new(data.into()));
+        self
+    }
+
+    /// Attaches a shared dataset without copying it (how [`crate::Sweep`]
+    /// fans one input out to many cells).
+    pub fn data_arc(mut self, data: Arc<Dataset>) -> Self {
+        self.data = Some(data);
+        self
+    }
+
+    /// Attaches raw points, partitioned across sites at run time.
+    pub fn points(self, points: PointSet) -> Self {
+        self.data(Dataset::Points(points))
+    }
+
+    /// Attaches pre-sharded points (one per site).
+    pub fn shards(self, shards: Vec<PointSet>) -> Self {
+        self.data(Dataset::Shards(shards))
+    }
+
+    /// The empty artifact skeleton carrying this job's echo fields
+    /// (protocol name, parameters) — run paths fill in the results.
+    fn base_artifact(&self, n: usize) -> Artifact {
+        Artifact {
+            job: self.job.name().to_string(),
+            k: self.k,
+            t: self.t,
+            eps: self.eps,
+            sites: self.sites,
+            seed: self.seed,
+            n,
+            centers: Vec::new(),
+            cost: 0.0,
+            budget: 0,
+            bytes: 0,
+            rounds: 0,
+            round_stats: Vec::new(),
+            transport: None,
+            network_ms: 0.0,
+            live_points: None,
+            syncs: None,
+            points_per_sec: None,
+        }
+    }
+
+    /// Checks every invariant the configuration can violate, returning a
+    /// runnable [`ValidJob`] or the first [`ConfigError`].
+    ///
+    /// Hard errors cover configurations that cannot run correctly
+    /// (including the formerly warning-only `eps = 0` streaming footgun);
+    /// no-effect knobs become structured [`ConfigWarning`]s on the
+    /// returned job. Data-dependent checks (`k` vs `n`, kind mismatch)
+    /// run only when a dataset is attached.
+    pub fn validate(self) -> Result<ValidJob, ConfigError> {
+        if self.k == 0 {
+            return Err(ConfigError::ZeroParam { param: "k" });
+        }
+        if self.sites == 0 {
+            return Err(ConfigError::ZeroParam { param: "sites" });
+        }
+        for (param, value) in [("eps", self.eps), ("delta", self.delta)] {
+            if !value.is_finite() {
+                return Err(ConfigError::NonFinite { param, value });
+            }
+            if value < 0.0 {
+                return Err(ConfigError::Negative { param, value });
+            }
+        }
+        if !self.rho.is_finite() || self.rho <= 1.0 {
+            return Err(ConfigError::RhoNotAboveOne { value: self.rho });
+        }
+        match self.job {
+            Job::Stream { window, .. } => {
+                if self.eps == 0.0 {
+                    return Err(ConfigError::ExactOutlierQueries);
+                }
+                if self.block == 0 {
+                    return Err(ConfigError::ZeroParam { param: "block" });
+                }
+                if window > 0 && window < self.block as u64 {
+                    return Err(ConfigError::WindowBelowBlock {
+                        window,
+                        block: self.block,
+                    });
+                }
+            }
+            Job::Continuous {
+                objective,
+                sync_every,
+            } => {
+                if self.eps == 0.0 {
+                    return Err(ConfigError::ExactOutlierQueries);
+                }
+                if self.block == 0 {
+                    return Err(ConfigError::ZeroParam { param: "block" });
+                }
+                if sync_every == 0 {
+                    return Err(ConfigError::ZeroParam {
+                        param: "sync_every",
+                    });
+                }
+                if objective == Objective::Center {
+                    return Err(ConfigError::CenterObjectiveInContinuous);
+                }
+            }
+            Job::CenterG {
+                d_range: Some((d_min, d_max)),
+            } if !(d_min.is_finite() && d_max.is_finite() && 0.0 < d_min && d_min <= d_max) => {
+                return Err(ConfigError::InvalidDistanceRange { d_min, d_max });
+            }
+            _ => {}
+        }
+
+        let mut warnings: Vec<ConfigWarning> = self
+            .unused_knobs
+            .iter()
+            .map(|&knob| ConfigWarning::KnobUnused {
+                knob,
+                job: self.job.name(),
+            })
+            .collect();
+        if self.transport_set && !self.job.uses_runtime() {
+            warnings.push(ConfigWarning::TransportUnused {
+                job: self.job.name(),
+            });
+        }
+
+        let mut resolved = self;
+        if let Some(data) = resolved.data.clone() {
+            let (expects, matches) = if resolved.job.is_uncertain() {
+                ("uncertain nodes", !data.is_points())
+            } else {
+                ("points", data.is_points())
+            };
+            if !matches {
+                return Err(ConfigError::DataKindMismatch {
+                    job: resolved.job.name(),
+                    expects,
+                });
+            }
+            if data.is_empty() {
+                return Err(ConfigError::EmptyData);
+            }
+            if resolved.k > data.len() {
+                return Err(ConfigError::KExceedsInput {
+                    k: resolved.k,
+                    n: data.len(),
+                    unit: if resolved.job.is_uncertain() {
+                        "nodes"
+                    } else {
+                        "points"
+                    },
+                });
+            }
+            // Pre-sharded data fixes the site count.
+            let shard_count = match &*data {
+                Dataset::Shards(sh) => Some(sh.len()),
+                Dataset::NodeShards(sh) => Some(sh.len()),
+                _ => None,
+            };
+            if let Some(shards) = shard_count {
+                if resolved.sites_set && resolved.sites != shards {
+                    warnings.push(ConfigWarning::SitesIgnoredForShards {
+                        sites: resolved.sites,
+                        shards,
+                    });
+                }
+                resolved.sites = shards;
+            }
+        }
+
+        Ok(ValidJob {
+            spec: resolved,
+            warnings,
+        })
+    }
+}
+
+/// A validated, runnable job.
+#[derive(Clone, Debug)]
+pub struct ValidJob {
+    spec: JobBuilder,
+    warnings: Vec<ConfigWarning>,
+}
+
+impl ValidJob {
+    /// Structured no-effect diagnostics collected during validation.
+    pub fn warnings(&self) -> &[ConfigWarning] {
+        &self.warnings
+    }
+
+    /// The job kind this will run.
+    pub fn job(&self) -> &Job {
+        &self.spec.job
+    }
+
+    /// Errors unless a dataset is attached ([`Self::run`] needs one;
+    /// `Sweep` checks every cell before spawning workers).
+    pub(crate) fn require_data(&self) -> Result<(), ConfigError> {
+        if self.spec.data.is_none() {
+            return Err(ConfigError::MissingData {
+                job: self.spec.job.name(),
+            });
+        }
+        Ok(())
+    }
+
+    fn run_options(&self) -> RunOptions {
+        RunOptions {
+            parallel: self.spec.parallel,
+            ..RunOptions::new()
+                .transport(self.spec.transport)
+                .link(self.spec.link)
+        }
+    }
+
+    fn base_artifact(&self, n: usize) -> Artifact {
+        self.spec.base_artifact(n)
+    }
+
+    /// Executes the job on its attached dataset.
+    ///
+    /// # Panics
+    /// Panics if no dataset was attached (streaming jobs may instead be
+    /// fed row by row through [`Self::session`]).
+    pub fn run(&self) -> Artifact {
+        let data = self.spec.data.clone().unwrap_or_else(|| {
+            panic!(
+                "{}",
+                ConfigError::MissingData {
+                    job: self.spec.job.name()
+                }
+            )
+        });
+        let s = &self.spec;
+        match s.job {
+            Job::Median
+            | Job::Means
+            | Job::OneRound {
+                objective: Objective::Median,
+            }
+            | Job::OneRound {
+                objective: Objective::Means,
+            } => self.run_median_family(&data),
+            Job::Center
+            | Job::OneRound {
+                objective: Objective::Center,
+            } => self.run_center_family(&data),
+            Job::UncertainMedian => self.run_uncertain(&data),
+            Job::CenterG { d_range } => self.run_center_g(&data, d_range),
+            Job::Subquadratic => self.run_subquadratic(&data),
+            Job::Stream { .. } | Job::Continuous { .. } => {
+                let mut session = self.session();
+                match &*data {
+                    Dataset::Points(ps) => {
+                        for (_, p) in ps.iter() {
+                            session.push(p);
+                        }
+                    }
+                    // Pre-sharded data fixes the site assignment: shard
+                    // `i`'s points are ingested at site `i` (shard by
+                    // shard), not re-dealt round-robin.
+                    Dataset::Shards(sh) => {
+                        for (site, ps) in sh.iter().enumerate() {
+                            for (_, p) in ps.iter() {
+                                session.push_at(site, p);
+                            }
+                        }
+                    }
+                    _ => unreachable!("validated as point data"),
+                }
+                session.finish()
+            }
+        }
+    }
+
+    fn run_median_family(&self, data: &Dataset) -> Artifact {
+        let s = &self.spec;
+        let shards = data.point_shards(s.sites, s.strategy, s.seed);
+        let means = matches!(
+            s.job,
+            Job::Means
+                | Job::OneRound {
+                    objective: Objective::Means
+                }
+        );
+        let one_round = matches!(s.job, Job::OneRound { .. });
+        let mut cfg = MedianConfig::new(s.k, s.t);
+        cfg.eps = s.eps;
+        cfg.rho = s.rho;
+        if means {
+            cfg = cfg.means();
+        }
+        if s.delta > 0.0 {
+            cfg = cfg.counts_only(s.delta);
+        }
+        let out = if one_round {
+            run_one_round_median(&shards, cfg, self.run_options())
+        } else {
+            run_distributed_median(&shards, cfg, self.run_options())
+        };
+        let objective = if means {
+            Objective::Means
+        } else {
+            Objective::Median
+        };
+        let factor = if s.delta > 0.0 {
+            2.0 + s.eps + s.delta
+        } else {
+            1.0 + s.eps
+        };
+        let budget = (factor * s.t as f64).floor() as usize;
+        let (cost, budget) = evaluate_on_full_data(&shards, &out.output.centers, budget, objective);
+        Artifact {
+            centers: centers_to_rows(&out.output.centers),
+            cost,
+            budget,
+            ..self.protocol_artifact(data.len(), &out.stats)
+        }
+    }
+
+    fn run_center_family(&self, data: &Dataset) -> Artifact {
+        let s = &self.spec;
+        let shards = data.point_shards(s.sites, s.strategy, s.seed);
+        let mut cfg = CenterConfig::new(s.k, s.t);
+        cfg.rho = s.rho;
+        let out = if matches!(s.job, Job::OneRound { .. }) {
+            run_one_round_center(&shards, cfg, self.run_options())
+        } else {
+            run_distributed_center(&shards, cfg, self.run_options())
+        };
+        let (cost, budget) =
+            evaluate_on_full_data(&shards, &out.output.centers, s.t, Objective::Center);
+        Artifact {
+            centers: centers_to_rows(&out.output.centers),
+            cost,
+            budget,
+            ..self.protocol_artifact(data.len(), &out.stats)
+        }
+    }
+
+    fn run_uncertain(&self, data: &Dataset) -> Artifact {
+        let s = &self.spec;
+        let shards = data.node_shards(s.sites);
+        let mut cfg = UncertainConfig::new(s.k, s.t);
+        cfg.eps = s.eps;
+        cfg.rho = s.rho;
+        let out = run_uncertain_median(&shards, cfg, self.run_options());
+        let budget = ((1.0 + s.eps) * s.t as f64).floor() as usize;
+        let cost = estimate_expected_cost(&shards, &out.output.centers, budget, false, false);
+        Artifact {
+            centers: centers_to_rows(&out.output.centers),
+            cost,
+            budget,
+            ..self.protocol_artifact(data.len(), &out.stats)
+        }
+    }
+
+    fn run_center_g(&self, data: &Dataset, d_range: Option<(f64, f64)>) -> Artifact {
+        let s = &self.spec;
+        let shards = data.node_shards(s.sites);
+        let mut cfg = CenterGConfig::new(s.k, s.t);
+        cfg.rho = s.rho;
+        let out = match d_range {
+            Some((d_min, d_max)) => {
+                run_center_g_one_round(&shards, cfg, d_min, d_max, self.run_options())
+            }
+            None => run_center_g(&shards, cfg, self.run_options()),
+        };
+        Artifact {
+            centers: centers_to_rows(&out.output.centers),
+            cost: out.output.coordinator_cost,
+            budget: s.t,
+            ..self.protocol_artifact(data.len(), &out.stats)
+        }
+    }
+
+    fn run_subquadratic(&self, data: &Dataset) -> Artifact {
+        let s = &self.spec;
+        let points = match data {
+            Dataset::Points(ps) => ps.clone(),
+            Dataset::Shards(sh) => merge_shards(sh),
+            _ => unreachable!("validated as point data"),
+        };
+        let sol = subquadratic_median(
+            &points,
+            s.k,
+            s.t,
+            SubquadraticParams {
+                eps: s.eps,
+                ..Default::default()
+            },
+        );
+        Artifact {
+            centers: centers_to_rows(&sol.centers),
+            cost: sol.cost,
+            budget: sol.excluded,
+            ..self.base_artifact(points.len())
+        }
+    }
+
+    fn protocol_artifact(&self, n: usize, stats: &dpc_coordinator::CommStats) -> Artifact {
+        Artifact {
+            bytes: stats.total_bytes(),
+            rounds: stats.num_rounds(),
+            round_stats: round_breakdowns(stats),
+            transport: Some(self.spec.transport.name().to_string()),
+            network_ms: stats.network_time().as_secs_f64() * 1e3,
+            ..self.base_artifact(n)
+        }
+    }
+
+    /// Opens a row-at-a-time ingest session for a streaming job — how
+    /// the CLI feeds CSV rows without materializing the input.
+    ///
+    /// # Panics
+    /// Panics for non-streaming job kinds.
+    pub fn session(&self) -> StreamSession {
+        assert!(
+            self.spec.job.is_streaming(),
+            "'{}' is a batch job; attach a dataset and call run()",
+            self.spec.job.name()
+        );
+        StreamSession {
+            spec: self.spec.clone(),
+            mode: None,
+            rows: 0,
+            started: Instant::now(),
+        }
+    }
+}
+
+/// Row-at-a-time execution of a streaming job.
+pub struct StreamSession {
+    spec: JobBuilder,
+    mode: Option<SessionMode>,
+    rows: usize,
+    started: Instant,
+}
+
+enum SessionMode {
+    Engine(StreamEngine),
+    Window(SlidingWindowEngine),
+    Continuous(ContinuousCluster),
+}
+
+impl StreamSession {
+    fn stream_config(&self) -> StreamConfig {
+        let s = &self.spec;
+        let objective = match s.job {
+            Job::Stream { objective, .. } | Job::Continuous { objective, .. } => objective,
+            _ => unreachable!("sessions only open on streaming jobs"),
+        };
+        let mut cfg = StreamConfig::new(s.k, s.t).block(s.block).eps(s.eps);
+        cfg = match objective {
+            Objective::Median => cfg,
+            Objective::Means => cfg.means(),
+            Objective::Center => cfg.center(),
+        };
+        cfg
+    }
+
+    /// Feeds one point, in arrival order. In continuous mode points are
+    /// dealt to sites round-robin; use [`Self::push_at`] to control the
+    /// site.
+    pub fn push(&mut self, coords: &[f64]) {
+        self.push_at(self.rows % self.spec.sites, coords);
+    }
+
+    /// Feeds one point at an explicit site (continuous mode; the
+    /// single-machine modes have one engine and ignore `site`).
+    pub fn push_at(&mut self, site: usize, coords: &[f64]) {
+        // First push fixes the dimension and builds the engine; later
+        // pushes skip all configuration work (this is the per-row hot
+        // path of CLI ingest).
+        if self.mode.is_none() {
+            let spec = &self.spec;
+            let cfg = self.stream_config();
+            let dim = coords.len();
+            self.mode = Some(match spec.job {
+                Job::Continuous { sync_every, .. } => {
+                    let ccfg = ContinuousConfig {
+                        stream: cfg,
+                        eps: spec.eps,
+                        rho: spec.rho,
+                        parallel: spec.parallel,
+                        ..ContinuousConfig::new(spec.k, spec.t)
+                    }
+                    .sync_every(sync_every)
+                    .transport(spec.transport)
+                    .link(spec.link);
+                    SessionMode::Continuous(ContinuousCluster::new(dim, spec.sites, ccfg))
+                }
+                Job::Stream { window, .. } if window > 0 => {
+                    SessionMode::Window(SlidingWindowEngine::new(dim, window, cfg))
+                }
+                _ => SessionMode::Engine(StreamEngine::new(dim, cfg)),
+            });
+        }
+        match self.mode.as_mut().expect("initialized above") {
+            SessionMode::Engine(e) => e.push(coords),
+            SessionMode::Window(e) => e.push(coords),
+            SessionMode::Continuous(c) => {
+                c.ingest(site % self.spec.sites, coords);
+            }
+        }
+        self.rows += 1;
+    }
+
+    /// Points ingested so far.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Finishes the stream (flushing partial blocks, running a final
+    /// covering sync in continuous mode) and produces the artifact.
+    pub fn finish(self) -> Artifact {
+        let StreamSession {
+            spec,
+            mode,
+            rows,
+            started,
+        } = self;
+        let budget = ((1.0 + spec.eps) * spec.t as f64).floor() as usize;
+        let mut artifact = match mode {
+            None => spec.base_artifact(0),
+            Some(SessionMode::Engine(mut e)) => {
+                e.flush();
+                let sol = e.solve();
+                Artifact {
+                    centers: centers_to_rows(&sol.centers),
+                    cost: sol.cost,
+                    budget,
+                    live_points: Some(sol.live_points),
+                    ..spec.base_artifact(rows)
+                }
+            }
+            Some(SessionMode::Window(e)) => {
+                let sol = e.solve();
+                Artifact {
+                    centers: centers_to_rows(&sol.centers),
+                    cost: sol.cost,
+                    budget,
+                    live_points: Some(sol.live_points),
+                    ..spec.base_artifact(rows)
+                }
+            }
+            Some(SessionMode::Continuous(mut c)) => {
+                c.sync_if_stale();
+                let mut round_stats = Vec::new();
+                for rec in &c.history {
+                    round_stats.extend(round_breakdowns(&rec.stats));
+                }
+                let rec = c.latest().expect("sync just ran");
+                Artifact {
+                    centers: centers_to_rows(&rec.centers),
+                    cost: rec.cost,
+                    budget,
+                    bytes: c.total_comm_bytes(),
+                    rounds: c.history.iter().map(|r| r.stats.num_rounds()).sum(),
+                    round_stats,
+                    live_points: Some(c.live_points()),
+                    syncs: Some(c.history.len()),
+                    transport: Some(spec.transport.name().to_string()),
+                    network_ms: c
+                        .history
+                        .iter()
+                        .map(|r| r.stats.network_time().as_secs_f64() * 1e3)
+                        .sum(),
+                    ..spec.base_artifact(rows)
+                }
+            }
+        };
+        artifact.points_per_sec = Some(rows as f64 / started.elapsed().as_secs_f64().max(1e-9));
+        artifact
+    }
+}
+
+fn centers_to_rows(ps: &PointSet) -> Vec<Vec<f64>> {
+    (0..ps.len()).map(|i| ps.point(i).to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_workloads::{gaussian_mixture, MixtureSpec};
+
+    fn mix(n: usize, t: usize) -> PointSet {
+        gaussian_mixture(MixtureSpec {
+            clusters: 3,
+            inliers: n,
+            outliers: t,
+            seed: 7,
+            ..Default::default()
+        })
+        .points
+    }
+
+    #[test]
+    fn median_job_runs_end_to_end() {
+        let art = Job::median(3, 4)
+            .sites(3)
+            .eps(0.5)
+            .points(mix(300, 4))
+            .validate()
+            .unwrap()
+            .run();
+        assert_eq!(art.job, "median");
+        assert_eq!(art.rounds, 2);
+        assert!(art.bytes > 0);
+        assert_eq!(art.centers.len(), 3);
+        assert!(art.cost.is_finite());
+        assert_eq!(art.transport.as_deref(), Some("channel"));
+        assert_eq!(art.bytes, art.upstream_bytes() + art.downstream_bytes());
+    }
+
+    #[test]
+    fn validate_catches_hard_errors() {
+        assert_eq!(
+            Job::median(0, 1).validate().unwrap_err(),
+            ConfigError::ZeroParam { param: "k" }
+        );
+        assert_eq!(
+            Job::median(2, 1).sites(0).validate().unwrap_err(),
+            ConfigError::ZeroParam { param: "sites" }
+        );
+        assert_eq!(
+            Job::stream(2, 1).eps(0.0).validate().unwrap_err(),
+            ConfigError::ExactOutlierQueries
+        );
+        assert!(matches!(
+            Job::median(2, 1).eps(f64::NAN).validate().unwrap_err(),
+            ConfigError::NonFinite { param: "eps", .. }
+        ));
+        assert!(matches!(
+            Job::stream(2, 1)
+                .block(64)
+                .window(10)
+                .validate()
+                .unwrap_err(),
+            ConfigError::WindowBelowBlock { .. }
+        ));
+        assert_eq!(
+            Job::continuous(2, 1)
+                .objective(Objective::Center)
+                .validate()
+                .unwrap_err(),
+            ConfigError::CenterObjectiveInContinuous
+        );
+        assert!(matches!(
+            Job::center_g(2, 1)
+                .d_range(-1.0, 2.0)
+                .validate()
+                .unwrap_err(),
+            ConfigError::InvalidDistanceRange { .. }
+        ));
+        let pts = mix(20, 0);
+        let n = pts.len();
+        assert_eq!(
+            Job::median(50, 0).points(pts).validate().unwrap_err(),
+            ConfigError::KExceedsInput {
+                k: 50,
+                n,
+                unit: "points"
+            }
+        );
+        assert!(matches!(
+            Job::uncertain_median(2, 0)
+                .points(mix(20, 0))
+                .validate()
+                .unwrap_err(),
+            ConfigError::DataKindMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn no_effect_knobs_warn_but_run() {
+        let vj = Job::subquadratic(2, 1)
+            .transport(TransportKind::Tcp)
+            .block(64)
+            .points(mix(100, 1))
+            .validate()
+            .unwrap();
+        let warnings = vj.warnings();
+        assert!(
+            warnings.iter().any(|w| matches!(
+                w,
+                ConfigWarning::TransportUnused {
+                    job: "subquadratic"
+                }
+            )),
+            "{warnings:?}"
+        );
+        assert!(
+            warnings
+                .iter()
+                .any(|w| matches!(w, ConfigWarning::KnobUnused { knob: "block", .. })),
+            "{warnings:?}"
+        );
+        let art = vj.run();
+        assert_eq!(art.transport, None);
+        assert!(art.cost.is_finite());
+    }
+
+    #[test]
+    fn shards_fix_the_site_count() {
+        let points = mix(200, 2);
+        let shards = dpc_workloads::partition(&points, 5, PartitionStrategy::RoundRobin, &[], 1);
+        let vj = Job::center(2, 2)
+            .sites(3)
+            .shards(shards)
+            .validate()
+            .unwrap();
+        assert!(vj.warnings().iter().any(|w| matches!(
+            w,
+            ConfigWarning::SitesIgnoredForShards {
+                sites: 3,
+                shards: 5
+            }
+        )));
+        let art = vj.run();
+        assert_eq!(art.sites, 5);
+        assert_eq!(art.rounds, 2);
+    }
+
+    #[test]
+    fn stream_session_matches_run() {
+        let points = mix(400, 3);
+        let job = Job::stream(3, 3).block(64).points(points.clone());
+        let a = job.clone().validate().unwrap().run();
+        let vj = job.validate().unwrap();
+        let mut session = vj.session();
+        for (_, p) in points.iter() {
+            session.push(p);
+        }
+        let b = session.finish();
+        assert_eq!(a.centers, b.centers);
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.live_points, b.live_points);
+        assert_eq!(a.n, b.n);
+    }
+
+    #[test]
+    fn continuous_shards_keep_their_sites() {
+        // Pre-sharded continuous input: shard i's points must be
+        // ingested at site i, matching a hand-driven fleet exactly.
+        let mk_shard = |center: f64, n: usize| {
+            let mut ps = PointSet::new(2);
+            for i in 0..n {
+                ps.push(&[center + 0.01 * (i % 7) as f64, 0.0]);
+            }
+            ps
+        };
+        let shards = vec![mk_shard(0.0, 120), mk_shard(500.0, 120)];
+        let artifact = Job::continuous(2, 1)
+            .block(32)
+            .sync_every(80)
+            .sequential()
+            .shards(shards.clone())
+            .validate()
+            .unwrap()
+            .run();
+        let cfg = ContinuousConfig {
+            stream: StreamConfig::new(2, 1).block(32),
+            ..ContinuousConfig::new(2, 1)
+        }
+        .sync_every(80);
+        let mut fleet = ContinuousCluster::new(2, 2, cfg);
+        for (site, ps) in shards.iter().enumerate() {
+            for (_, p) in ps.iter() {
+                fleet.ingest(site, p);
+            }
+        }
+        fleet.sync_if_stale();
+        let rec = fleet.latest().unwrap();
+        assert_eq!(artifact.sites, 2);
+        assert_eq!(artifact.syncs, Some(fleet.history.len()));
+        assert_eq!(artifact.bytes, fleet.total_comm_bytes());
+        assert_eq!(artifact.centers, centers_to_rows(&rec.centers));
+    }
+
+    #[test]
+    fn continuous_job_charges_sync_bytes() {
+        let art = Job::continuous(2, 2)
+            .sync_every(100)
+            .block(32)
+            .sites(2)
+            .sequential()
+            .points(mix(300, 2))
+            .validate()
+            .unwrap()
+            .run();
+        let syncs = art.syncs.unwrap();
+        assert!(syncs >= 2, "{syncs}");
+        assert_eq!(art.rounds, 2 * syncs);
+        assert!(art.bytes > 0);
+        assert_eq!(art.round_stats.len(), art.rounds);
+        assert_eq!(art.transport.as_deref(), Some("channel"));
+    }
+}

@@ -3,6 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dpc::prelude::*;
+// Benches measure the raw protocol paths, so they import the legacy
+// entry points at their non-deprecated crate-level paths.
+use dpc::core::{run_distributed_center, run_distributed_median, run_one_round_center};
+use dpc::uncertain::{run_center_g, run_uncertain_median};
 
 fn shards(s: usize, n: usize, t: usize, seed: u64) -> Vec<PointSet> {
     let mix = gaussian_mixture(MixtureSpec {

@@ -6,6 +6,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dpc::prelude::*;
+// Benches measure the raw protocol paths, so they import the legacy
+// entry points at their non-deprecated crate-level paths.
+use dpc::core::run_distributed_median;
 
 fn bench_site_scaling(c: &mut Criterion) {
     let mut g = c.benchmark_group("site_scaling_fixed_n");

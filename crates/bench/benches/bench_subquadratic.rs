@@ -3,6 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dpc::prelude::*;
+// Benches measure the raw protocol paths, so they import the legacy
+// entry points at their non-deprecated crate-level paths.
+use dpc::core::subquadratic_median;
 
 fn bench_subquadratic(c: &mut Criterion) {
     let mut g = c.benchmark_group("subquadratic_vs_quadratic");

@@ -133,6 +133,9 @@ fn bench_backends(c: &mut Criterion) {
 /// of per-round spawn cost without taxing compute-bound workloads.
 fn bench_algo1_backends(c: &mut Criterion) {
     use dpc::prelude::*;
+    // Benches measure the raw protocol paths, so they import the legacy
+    // entry points at their non-deprecated crate-level paths.
+    use dpc::core::run_distributed_median;
     let mix = gaussian_mixture(MixtureSpec {
         clusters: 4,
         inliers: 1600,

@@ -11,8 +11,16 @@
 //!   cargo run --release -p dpc-bench --bin dpc-experiments -- all
 //!   cargo run --release -p dpc-bench --bin dpc-experiments -- e1 e4 e8
 //!   cargo run --release -p dpc-bench --bin dpc-experiments -- s1   # streaming throughput
+//!   cargo run --release -p dpc-bench --bin dpc-experiments -- g1   # sweep-driven grid
+//!
+//! Comparative rows (E1, E4, E11, G1) drive the typed `dpc::api::Job` /
+//! `Sweep` front door; rows that inspect protocol internals the
+//! `Artifact` deliberately does not carry (per-site compute times,
+//! `shipped_outliers`) call the crate-level entry points directly.
 
+use dpc::core::{run_distributed_median, subquadratic_median};
 use dpc::prelude::*;
+use dpc::uncertain::{run_center_g, run_uncertain_median};
 use std::time::Instant;
 
 fn main() {
@@ -56,6 +64,9 @@ fn main() {
     if want("s1") {
         s1_stream_throughput();
     }
+    if want("g1") {
+        g1_sweep_grid();
+    }
     if want("a1") {
         a1_grid();
     }
@@ -71,6 +82,12 @@ fn header(id: &str, claim: &str) {
     println!("\n================================================================");
     println!("{id}: {claim}");
     println!("================================================================");
+}
+
+/// Validate-and-run for experiment rows (their configs are sound by
+/// construction).
+fn job_artifact(job: JobBuilder) -> Artifact {
+    job.validate().expect("sound experiment config").run()
 }
 
 fn med_shards(s: usize, n: usize, t: usize, seed: u64) -> Vec<PointSet> {
@@ -103,16 +120,15 @@ fn e1_median_comm() {
         "s", "2round(B)", "1round(B)", "ratio"
     );
     for &s in &[2usize, 4, 8, 16, 32] {
-        let sh = med_shards(s, n, t, 1000 + s as u64);
-        let cfg = MedianConfig::new(k, t);
-        let two = run_distributed_median(&sh, cfg, RunOptions::default());
-        let one = run_one_round_median(&sh, cfg, RunOptions::default());
+        let data = Dataset::Shards(med_shards(s, n, t, 1000 + s as u64));
+        let two = job_artifact(Job::median(k, t).data(data.clone()));
+        let one = job_artifact(Job::one_round(Objective::Median, k, t).data(data));
         println!(
             "{:>4} {:>12} {:>12} {:>8.2}",
             s,
-            two.stats.upstream_bytes(),
-            one.stats.upstream_bytes(),
-            one.stats.upstream_bytes() as f64 / two.stats.upstream_bytes() as f64
+            two.upstream_bytes(),
+            one.upstream_bytes(),
+            one.upstream_bytes() as f64 / two.upstream_bytes() as f64
         );
     }
     println!(
@@ -120,15 +136,14 @@ fn e1_median_comm() {
         "t", "2round(B)", "1round(B)"
     );
     for &t in &[8usize, 16, 32, 64, 128] {
-        let sh = med_shards(8, n, t, 2000 + t as u64);
-        let cfg = MedianConfig::new(k, t);
-        let two = run_distributed_median(&sh, cfg, RunOptions::default());
-        let one = run_one_round_median(&sh, cfg, RunOptions::default());
+        let data = Dataset::Shards(med_shards(8, n, t, 2000 + t as u64));
+        let two = job_artifact(Job::median(k, t).data(data.clone()));
+        let one = job_artifact(Job::one_round(Objective::Median, k, t).data(data));
         println!(
             "{:>6} {:>12} {:>12}",
             t,
-            two.stats.upstream_bytes(),
-            one.stats.upstream_bytes()
+            two.upstream_bytes(),
+            one.upstream_bytes()
         );
     }
     println!("\npaper: 2-round comm has NO s·t term -> ratio grows with s; measured above.");
@@ -250,7 +265,7 @@ fn e3_means() {
     println!("\npaper: means matches median up to constants (relaxed triangle inequality).");
 }
 
-/// E4 — Table 1 center row + the improvement over Malkomes et al. [19].
+/// E4 — Table 1 center row + the improvement over Malkomes et al. \[19\].
 fn e4_center() {
     header(
         "E4",
@@ -262,19 +277,16 @@ fn e4_center() {
         "s", "2round(B)", "1round(B)", "cost_2r", "cost_1r"
     );
     for &s in &[4usize, 8, 16, 32] {
-        let sh = med_shards(s, n, t, 5000 + s as u64);
-        let cfg = CenterConfig::new(k, t);
-        let two = run_distributed_center(&sh, cfg, RunOptions::default());
-        let one = run_one_round_center(&sh, cfg, RunOptions::default());
-        let (c2, _) = evaluate_on_full_data(&sh, &two.output.centers, t, Objective::Center);
-        let (c1, _) = evaluate_on_full_data(&sh, &one.output.centers, t, Objective::Center);
+        let data = Dataset::Shards(med_shards(s, n, t, 5000 + s as u64));
+        let two = job_artifact(Job::center(k, t).data(data.clone()));
+        let one = job_artifact(Job::one_round(Objective::Center, k, t).data(data));
         println!(
             "{:>4} {:>12} {:>12} {:>10.3} {:>10.3}",
             s,
-            two.stats.upstream_bytes(),
-            one.stats.upstream_bytes(),
-            c2,
-            c1
+            two.upstream_bytes(),
+            one.upstream_bytes(),
+            two.cost,
+            one.cost
         );
     }
     println!("\npaper: Theorem 4.3 removes the st term of [19] at matching O(1) cost.");
@@ -613,44 +625,56 @@ fn e10_delta_variant() {
 fn e11_one_round() {
     header("E11", "Table 2 1-round rows: O((sk+st)B) across objectives");
     let (k, t, s) = (4, 32, 8);
-    let sh = med_shards(s, 1200, t, 12_000);
-    let m1 = run_one_round_median(&sh, MedianConfig::new(k, t), RunOptions::default());
-    let m2 = run_distributed_median(&sh, MedianConfig::new(k, t), RunOptions::default());
-    let e1 = run_one_round_median(&sh, MedianConfig::new(k, t).means(), RunOptions::default());
-    let c1 = run_one_round_center(&sh, CenterConfig::new(k, t), RunOptions::default());
-    let c2 = run_distributed_center(&sh, CenterConfig::new(k, t), RunOptions::default());
+    let data = Dataset::Shards(med_shards(s, 1200, t, 12_000));
+    let rows = [
+        ("median 1-round", Job::one_round(Objective::Median, k, t)),
+        ("median 2-round", Job::median(k, t)),
+        ("means 1-round", Job::one_round(Objective::Means, k, t)),
+        ("center 1-round", Job::one_round(Objective::Center, k, t)),
+        ("center 2-round", Job::center(k, t)),
+    ];
     println!("{:<22} {:>8} {:>12}", "protocol", "rounds", "bytes");
-    println!(
-        "{:<22} {:>8} {:>12}",
-        "median 1-round",
-        m1.stats.num_rounds(),
-        m1.stats.upstream_bytes()
-    );
-    println!(
-        "{:<22} {:>8} {:>12}",
-        "median 2-round",
-        m2.stats.num_rounds(),
-        m2.stats.upstream_bytes()
-    );
-    println!(
-        "{:<22} {:>8} {:>12}",
-        "means 1-round",
-        e1.stats.num_rounds(),
-        e1.stats.upstream_bytes()
-    );
-    println!(
-        "{:<22} {:>8} {:>12}",
-        "center 1-round",
-        c1.stats.num_rounds(),
-        c1.stats.upstream_bytes()
-    );
-    println!(
-        "{:<22} {:>8} {:>12}",
-        "center 2-round",
-        c2.stats.num_rounds(),
-        c2.stats.upstream_bytes()
-    );
+    for (label, job) in rows {
+        let artifact = job_artifact(job.data(data.clone()));
+        println!(
+            "{:<22} {:>8} {:>12}",
+            label,
+            artifact.rounds,
+            artifact.upstream_bytes()
+        );
+    }
     println!("\npaper: one fewer round costs a factor ~s on the t-term.");
+}
+
+/// G1 — the declarative experiment matrix: one `Sweep`, every
+/// `k × t × transport` cell in parallel, one CSV table out.
+fn g1_sweep_grid() {
+    header(
+        "G1",
+        "sweep: k x t x transport grid through dpc::api::Sweep, CSV out",
+    );
+    let mix = gaussian_mixture(MixtureSpec {
+        clusters: 8,
+        inliers: 1600,
+        outliers: 64,
+        seed: 17_000,
+        ..Default::default()
+    });
+    let sweep = Sweep::grid(Job::median(0, 0).sites(8).seed(21).points(mix.points))
+        .k(&[4, 8])
+        .t(&[16, 64])
+        .transports(&[TransportKind::Channel, TransportKind::Tcp]);
+    let t0 = Instant::now();
+    let artifacts = sweep.run().expect("every cell validates");
+    let elapsed = t0.elapsed().as_secs_f64();
+    print!("{}", dpc::api::csv_table(&artifacts));
+    println!(
+        "\n{} cells in {elapsed:.2}s wall; channel/tcp byte parity: {}",
+        artifacts.len(),
+        artifacts
+            .chunks(2)
+            .all(|pair| pair[0].bytes == pair[1].bytes)
+    );
 }
 
 /// S1 — streaming layer: ingest throughput (points/sec) and compression

@@ -19,6 +19,9 @@ pub enum Command {
     Subquadratic,
     /// Streaming engine over rows in arrival order (`dpc_stream`).
     Stream,
+    /// A cartesian parameter sweep over one of the batch protocols (see
+    /// [`SweepSpec`]).
+    Sweep,
 }
 
 impl Command {
@@ -55,6 +58,42 @@ impl StreamObjective {
             other => Err(ParseError(format!(
                 "unknown objective '{other}' (median|means|center)"
             ))),
+        }
+    }
+}
+
+/// The parameter grid behind `dpc sweep`.
+///
+/// Each list is one sweep axis; the grid is their cartesian product and
+/// every cell becomes one `dpc::api::Job` executed in parallel.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepSpec {
+    /// The protocol swept (median, means or center).
+    pub protocol: Command,
+    /// `k` values.
+    pub k: Vec<usize>,
+    /// `t` values.
+    pub t: Vec<usize>,
+    /// ε values.
+    pub eps: Vec<f64>,
+    /// Site counts.
+    pub sites: Vec<usize>,
+    /// Transport backends.
+    pub transports: Vec<TransportKind>,
+    /// Concurrent cells (0 = one per CPU).
+    pub parallelism: usize,
+}
+
+impl SweepSpec {
+    fn new(protocol: Command) -> Self {
+        Self {
+            protocol,
+            k: vec![5],
+            t: vec![0],
+            eps: vec![1.0],
+            sites: vec![4],
+            transports: vec![TransportKind::Channel],
+            parallelism: 0,
         }
     }
 }
@@ -97,6 +136,8 @@ pub struct Options {
     pub sync_every: u64,
     /// `stream`: which objective the engine optimizes.
     pub objective: StreamObjective,
+    /// `sweep`: the parameter grid (set only for [`Command::Sweep`]).
+    pub sweep: Option<SweepSpec>,
 }
 
 /// A human-readable parse failure.
@@ -122,6 +163,10 @@ commands:
   uncertain-median   uncertain (k,t)-median            (Algorithm 3)
   subquadratic       centralized subquadratic (k,2t)-median (Theorem 3.10)
   stream             streaming (k,t) clustering over rows in arrival order
+  sweep <protocol>   cartesian parameter sweep over median|means|center;
+                     --k/--t/--eps/--sites/--transport accept comma lists
+                     (e.g. --k 2,4 --transport channel,tcp); prints a CSV
+                     table (or a JSON artifact array with --json)
 
 options:
   --k <int>        number of centers            (default 5)
@@ -149,15 +194,13 @@ stream options:
   --sync-every <int>  continuous distributed mode: run the 2-round sync
                       protocol across --sites every so many points
   --objective <median|means|center>                      (default median)
+
+sweep options:
+  --parallelism <int>  concurrent grid cells (default: one per CPU)
 ";
 
-/// Parses `argv[1..]`.
-pub fn parse_args(args: &[String]) -> Result<Options, ParseError> {
-    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
-        return Err(ParseError(USAGE.to_string()));
-    }
-    let command = Command::parse(&args[0])?;
-    let mut opts = Options {
+fn default_options(command: Command) -> Options {
+    Options {
         command,
         input: String::new(),
         k: 5,
@@ -175,7 +218,20 @@ pub fn parse_args(args: &[String]) -> Result<Options, ParseError> {
         transport: TransportKind::Channel,
         latency: Duration::ZERO,
         bandwidth: f64::INFINITY,
-    };
+        sweep: None,
+    }
+}
+
+/// Parses `argv[1..]`.
+pub fn parse_args(args: &[String]) -> Result<Options, ParseError> {
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        return Err(ParseError(USAGE.to_string()));
+    }
+    if args[0] == "sweep" {
+        return parse_sweep(&args[1..]);
+    }
+    let command = Command::parse(&args[0])?;
+    let mut opts = default_options(command);
     let mut i = 1;
     while i < args.len() {
         let a = &args[i];
@@ -246,46 +302,83 @@ pub fn parse_args(args: &[String]) -> Result<Options, ParseError> {
     Ok(opts)
 }
 
-impl Options {
-    /// True when the invocation actually drives the protocol runtime
-    /// (and transport/link flags therefore have an effect).
-    fn uses_runtime(&self) -> bool {
-        match self.command {
-            Command::Subquadratic => false,
-            Command::Stream => self.sync_every > 0,
-            _ => true,
-        }
+/// Parses `dpc sweep <protocol> [options] <input.csv>`.
+fn parse_sweep(args: &[String]) -> Result<Options, ParseError> {
+    let Some(proto) = args.first() else {
+        return Err(ParseError(
+            "sweep needs a protocol: dpc sweep <median|means|center> ...".into(),
+        ));
+    };
+    let protocol = Command::parse(proto)?;
+    if !matches!(protocol, Command::Median | Command::Means | Command::Center) {
+        return Err(ParseError(format!(
+            "sweep supports median|means|center, not '{proto}'"
+        )));
     }
-
-    /// True when any transport/link flag departs from its default.
-    fn transport_flags_set(&self) -> bool {
-        self.transport != TransportKind::Channel
-            || !self.latency.is_zero()
-            || self.bandwidth.is_finite()
-    }
-
-    /// Non-fatal configuration smells, printed to stderr by `main`.
-    pub fn warnings(&self) -> Vec<String> {
-        let mut out = Vec::new();
-        if self.command == Command::Stream && self.eps == 0.0 {
-            out.push(
-                "--eps 0 with stream makes queries exact-t: a single burst of more than t \
-                 far outliers becomes unexcludable and will hijack centers; prefer eps > 0"
-                    .to_string(),
-            );
-        }
-        if self.transport_flags_set() && !self.uses_runtime() {
-            out.push(format!(
-                "--transport/--latency/--bandwidth have no effect on '{}' (no protocol runs; \
-                 for stream, add --sync-every)",
-                match self.command {
-                    Command::Subquadratic => "subquadratic",
-                    _ => "stream without --sync-every",
+    let mut opts = default_options(Command::Sweep);
+    let mut spec = SweepSpec::new(protocol);
+    let mut i = 1;
+    while i < args.len() {
+        let a = &args[i];
+        let take_value = |i: &mut usize| -> Result<String, ParseError> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| ParseError(format!("missing value after '{a}'")))
+        };
+        match a.as_str() {
+            "--k" => spec.k = parse_list(&take_value(&mut i)?, "--k", parse_num)?,
+            "--t" => spec.t = parse_list(&take_value(&mut i)?, "--t", parse_num)?,
+            "--eps" => spec.eps = parse_list(&take_value(&mut i)?, "--eps", parse_float)?,
+            "--sites" => spec.sites = parse_list(&take_value(&mut i)?, "--sites", parse_num)?,
+            "--transport" => {
+                spec.transports = parse_list(&take_value(&mut i)?, "--transport", |s, _| {
+                    parse_transport(s)
+                })?
+            }
+            "--parallelism" => {
+                spec.parallelism = parse_num(&take_value(&mut i)?, "--parallelism")?;
+                if spec.parallelism == 0 {
+                    return Err(ParseError("--parallelism must be positive".into()));
                 }
-            ));
+            }
+            "--seed" => opts.seed = parse_num(&take_value(&mut i)?, "--seed")?,
+            "--delta" => opts.delta = parse_float(&take_value(&mut i)?, "--delta")?,
+            "--latency" => opts.latency = parse_duration(&take_value(&mut i)?)?,
+            "--bandwidth" => opts.bandwidth = parse_bandwidth(&take_value(&mut i)?)?,
+            "--one-round" => opts.one_round = true,
+            "--json" => opts.json = true,
+            other if other.starts_with("--") => {
+                return Err(ParseError(format!("unknown sweep option '{other}'")));
+            }
+            path => {
+                if !opts.input.is_empty() {
+                    return Err(ParseError(format!("unexpected extra argument '{path}'")));
+                }
+                opts.input = path.to_string();
+            }
         }
-        out
+        i += 1;
     }
+    if opts.input.is_empty() {
+        return Err(ParseError("missing input CSV path".into()));
+    }
+    opts.sweep = Some(spec);
+    Ok(opts)
+}
+
+/// Splits a comma-separated list and parses each element.
+fn parse_list<T>(
+    s: &str,
+    flag: &str,
+    elem: impl Fn(&str, &str) -> Result<T, ParseError>,
+) -> Result<Vec<T>, ParseError> {
+    let vs: Result<Vec<T>, ParseError> = s.split(',').map(|part| elem(part, flag)).collect();
+    let vs = vs?;
+    if vs.is_empty() {
+        return Err(ParseError(format!("empty list for {flag}")));
+    }
+    Ok(vs)
 }
 
 fn parse_transport(s: &str) -> Result<TransportKind, ParseError> {
@@ -383,6 +476,7 @@ mod tests {
         assert_eq!(o.command, Command::Center);
         assert_eq!((o.k, o.t, o.sites), (5, 0, 4));
         assert!(!o.one_round && !o.json);
+        assert_eq!(o.sweep, None);
     }
 
     #[test]
@@ -498,38 +592,56 @@ mod tests {
     }
 
     #[test]
-    fn warnings_flag_footguns() {
-        // eps 0 + stream: the PR-2 exact-t footgun.
-        let o = opts_of(&["stream", "--eps", "0", "s.csv"]);
-        let w = o.warnings();
-        assert_eq!(w.len(), 1);
-        assert!(w[0].contains("hijack"), "{w:?}");
-        // eps 0 on a batch command: no stream warning.
-        assert!(opts_of(&["median", "--eps", "0", "x.csv"])
-            .warnings()
-            .is_empty());
-        // Transport flags on commands that never touch the runtime.
-        let o = opts_of(&["subquadratic", "--transport", "tcp", "x.csv"]);
-        assert!(o.warnings().iter().any(|w| w.contains("no effect")));
-        let o = opts_of(&["stream", "--latency", "5ms", "s.csv"]);
-        assert!(o.warnings().iter().any(|w| w.contains("no effect")));
-        // ...but not when the runtime actually runs.
-        let o = opts_of(&[
-            "stream",
-            "--sync-every",
-            "100",
+    fn sweep_parses_comma_lists() {
+        let o = parse_args(&sv(&[
+            "sweep",
+            "median",
+            "--k",
+            "2,4",
+            "--t",
+            "1,8",
             "--transport",
-            "tcp",
-            "s.csv",
-        ]);
-        assert!(o.warnings().is_empty());
-        assert!(opts_of(&["median", "--transport", "tcp", "x.csv"])
-            .warnings()
-            .is_empty());
+            "channel,tcp",
+            "--sites",
+            "3",
+            "--parallelism",
+            "2",
+            "--seed",
+            "9",
+            "grid.csv",
+        ]))
+        .unwrap();
+        assert_eq!(o.command, Command::Sweep);
+        assert_eq!(o.input, "grid.csv");
+        assert_eq!(o.seed, 9);
+        let s = o.sweep.unwrap();
+        assert_eq!(s.protocol, Command::Median);
+        assert_eq!(s.k, vec![2, 4]);
+        assert_eq!(s.t, vec![1, 8]);
+        assert_eq!(s.sites, vec![3]);
+        assert_eq!(
+            s.transports,
+            vec![TransportKind::Channel, TransportKind::Tcp]
+        );
+        assert_eq!(s.parallelism, 2);
     }
 
-    fn opts_of(parts: &[&str]) -> Options {
-        parse_args(&sv(parts)).unwrap()
+    #[test]
+    fn sweep_defaults_and_rejections() {
+        let o = parse_args(&sv(&["sweep", "center", "x.csv"])).unwrap();
+        let s = o.sweep.unwrap();
+        assert_eq!(s.protocol, Command::Center);
+        assert_eq!((s.k.as_slice(), s.t.as_slice()), (&[5][..], &[0][..]));
+        assert_eq!(s.parallelism, 0);
+        // Needs a protocol, and a sweepable one.
+        assert!(parse_args(&sv(&["sweep"])).is_err());
+        assert!(parse_args(&sv(&["sweep", "stream", "x.csv"])).is_err());
+        assert!(parse_args(&sv(&["sweep", "uncertain-median", "x.csv"])).is_err());
+        // Bad list element.
+        assert!(parse_args(&sv(&["sweep", "median", "--k", "2,x", "a.csv"])).is_err());
+        // Missing input.
+        assert!(parse_args(&sv(&["sweep", "median", "--k", "2"])).is_err());
+        assert!(parse_args(&sv(&["sweep", "median", "--parallelism", "0", "a.csv"])).is_err());
     }
 
     #[test]

@@ -22,8 +22,9 @@ pub mod args;
 pub mod csv;
 pub mod run;
 
-pub use args::{parse_args, Command, Options, StreamObjective};
+pub use args::{parse_args, Command, Options, StreamObjective, SweepSpec};
 pub use csv::{
     for_each_point_row, parse_points_csv, parse_uncertain_csv, read_points_csv, read_uncertain_csv,
 };
-pub use run::{execute, Report, RoundReport};
+pub use dpc::api::{Artifact, ConfigWarning, RoundBreakdown};
+pub use run::{execute, execute_sweep, job_for, preflight};

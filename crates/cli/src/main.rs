@@ -12,9 +12,17 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    // Non-fatal footguns (e.g. `stream --eps 0`, transport flags on
-    // centralized commands) go to stderr so JSON output stays clean.
-    for w in opts.warnings() {
+    // Typed validation before any data is read: hard ConfigErrors (e.g.
+    // `stream --eps 0`) abort here; structured no-effect warnings go to
+    // stderr so JSON output stays clean.
+    let warnings = match dpc_cli::preflight(&opts) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for w in warnings {
         eprintln!("warning: {w}");
     }
     // Rows stream through a buffered reader; the file is never held in
@@ -26,12 +34,29 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
-    match dpc_cli::execute(&opts, std::io::BufReader::new(file)) {
-        Ok(report) => {
+    let reader = std::io::BufReader::new(file);
+    if opts.command == dpc_cli::Command::Sweep {
+        return match dpc_cli::execute_sweep(&opts, reader) {
+            Ok(artifacts) => {
+                if opts.json {
+                    println!("{}", dpc::api::json_table(&artifacts));
+                } else {
+                    print!("{}", dpc::api::csv_table(&artifacts));
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(1)
+            }
+        };
+    }
+    match dpc_cli::execute(&opts, reader) {
+        Ok(artifact) => {
             if opts.json {
-                println!("{}", report.json());
+                println!("{}", artifact.to_json());
             } else {
-                print!("{}", report.text());
+                print!("{}", artifact.text());
             }
             ExitCode::SUCCESS
         }

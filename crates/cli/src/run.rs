@@ -1,458 +1,167 @@
-//! Orchestration: load data, run the selected protocol, build a report.
+//! Orchestration: a thin `Options -> dpc::api::Job` adapter.
+//!
+//! Everything protocol-shaped lives behind the typed API now: this module
+//! only loads CSV rows, builds the matching [`Job`], and renders the
+//! returned [`Artifact`] (text or the shared JSON schema). Configuration
+//! smells are the API's typed diagnostics — [`preflight`] surfaces
+//! [`ConfigWarning`]s before any data is read, and hard
+//! `dpc::api::ConfigError`s (like `stream --eps 0`, formerly a warning)
+//! abort the run.
 
-use crate::args::{Command, Options, StreamObjective};
+use crate::args::{Command, Options, StreamObjective, SweepSpec};
 use crate::csv::{for_each_point_row, read_points_csv, read_uncertain_csv};
-use dpc::coordinator::CommStats;
 use dpc::prelude::*;
 use std::io::BufRead;
-use std::time::Instant;
 
-/// Per-round communication/compute breakdown (from
-/// [`dpc::coordinator::CommStats`]), surfaced in reports.
-#[derive(Clone, Debug, PartialEq)]
-pub struct RoundReport {
-    /// Bytes from sites to the coordinator.
-    pub bytes_up: usize,
-    /// Bytes from the coordinator to sites.
-    pub bytes_down: usize,
-    /// Slowest site compute this round, milliseconds.
-    pub max_site_ms: f64,
-    /// Coordinator compute planning this round's messages, ms.
-    pub coordinator_ms: f64,
-    /// Simulated network time of this round under `--latency` /
-    /// `--bandwidth`, ms (0 on the ideal link).
-    pub network_ms: f64,
-}
-
-/// Flattens protocol accounting into report rows.
-fn round_reports(stats: &CommStats) -> Vec<RoundReport> {
-    stats
-        .rounds
-        .iter()
-        .map(|r| RoundReport {
-            bytes_up: r.sites_to_coordinator.iter().sum(),
-            bytes_down: r.coordinator_to_sites.iter().sum(),
-            max_site_ms: r.max_site_compute().as_secs_f64() * 1e3,
-            coordinator_ms: r.coordinator_compute.as_secs_f64() * 1e3,
-            network_ms: r.network.as_secs_f64() * 1e3,
-        })
-        .collect()
-}
-
-/// Runtime options derived from the CLI transport/link flags.
-fn run_options(opts: &Options) -> RunOptions {
-    RunOptions::new()
-        .transport(opts.transport)
-        .link(LinkModel::new(opts.latency, opts.bandwidth))
-}
-
-/// Report skeleton for a protocol execution: the communication and
-/// runtime fields filled from `stats`, solution fields left to the
-/// caller. `transport` reports the *configured* backend (a single-site
-/// channel run degrades to the inline transport internally).
-fn protocol_report(opts: &Options, n: usize, stats: &CommStats) -> Report {
-    Report {
-        bytes: stats.total_bytes(),
-        rounds: stats.num_rounds(),
-        round_stats: round_reports(stats),
-        transport: Some(opts.transport.name()),
-        network_ms: stats.network_time().as_secs_f64() * 1e3,
-        ..base_report(opts.command, n)
+fn objective_of(o: StreamObjective) -> Objective {
+    match o {
+        StreamObjective::Median => Objective::Median,
+        StreamObjective::Means => Objective::Means,
+        StreamObjective::Center => Objective::Center,
     }
 }
 
-/// The result of a CLI run, renderable as text or JSON.
-#[derive(Clone, Debug)]
-pub struct Report {
-    /// Which protocol ran.
-    pub command: Command,
-    /// Chosen centers (coordinates).
-    pub centers: Vec<Vec<f64>>,
-    /// Objective value over retained points at the output budget.
-    pub cost: f64,
-    /// Exclusion budget used in the final evaluation.
-    pub budget: usize,
-    /// Total bytes on the simulated wire (0 for centralized commands).
-    pub bytes: usize,
-    /// Protocol rounds (0 for centralized commands; summed over syncs in
-    /// continuous streaming mode).
-    pub rounds: usize,
-    /// Input size.
-    pub n: usize,
-    /// Per-round breakdown of every executed protocol round, in order.
-    pub round_stats: Vec<RoundReport>,
-    /// `stream`: live summary entries at the end of the run.
-    pub live_points: Option<usize>,
-    /// `stream`: ingest+solve throughput in points per second.
-    pub points_per_sec: Option<f64>,
-    /// `stream` continuous mode: number of syncs executed.
-    pub syncs: Option<usize>,
-    /// Transport backend the protocol ran on (`None` for centralized
-    /// commands, which move no messages).
-    pub transport: Option<&'static str>,
-    /// Total simulated network time under the configured link model, ms.
-    pub network_ms: f64,
-}
-
-impl Report {
-    /// Plain-text rendering.
-    pub fn text(&self) -> String {
-        let mut out = String::new();
-        out.push_str(&format!(
-            "{:?}: n={}, cost={:.6} (budget {}), comm={}B over {} rounds\n",
-            self.command, self.n, self.cost, self.budget, self.bytes, self.rounds
-        ));
-        if let Some(t) = self.transport {
-            out.push_str(&format!(
-                "transport: {t}, simulated network {:.3}ms\n",
-                self.network_ms
-            ));
-        }
-        if let Some(lp) = self.live_points {
-            out.push_str(&format!("live summary points: {lp}\n"));
-        }
-        if let Some(pps) = self.points_per_sec {
-            out.push_str(&format!("throughput: {pps:.0} points/sec\n"));
-        }
-        if let Some(s) = self.syncs {
-            out.push_str(&format!("syncs: {s}\n"));
-        }
-        for (i, r) in self.round_stats.iter().enumerate() {
-            out.push_str(&format!(
-                "round {i}: up={}B down={}B site={:.3}ms coord={:.3}ms net={:.3}ms\n",
-                r.bytes_up, r.bytes_down, r.max_site_ms, r.coordinator_ms, r.network_ms
-            ));
-        }
-        out.push_str("centers:\n");
-        for c in &self.centers {
-            let coords: Vec<String> = c.iter().map(|v| format!("{v}")).collect();
-            out.push_str(&format!("  [{}]\n", coords.join(", ")));
-        }
-        out
+/// Applies the shared CLI knobs (sites, seed, eps, transport, link, the
+/// counts-only delta) to a job builder.
+fn apply_common(opts: &Options, mut b: JobBuilder) -> JobBuilder {
+    b = b
+        .eps(opts.eps)
+        .sites(opts.sites)
+        .seed(opts.seed)
+        .link(LinkModel::new(opts.latency, opts.bandwidth));
+    // Only an explicit backend choice should count as "transport flags
+    // set" for no-effect warnings; the link model tracks itself.
+    if opts.transport != TransportKind::Channel {
+        b = b.transport(opts.transport);
     }
-
-    /// JSON rendering (hand-built; values are plain numbers/arrays).
-    pub fn json(&self) -> String {
-        let centers: Vec<String> = self
-            .centers
-            .iter()
-            .map(|c| {
-                let coords: Vec<String> = c.iter().map(|v| format!("{v}")).collect();
-                format!("[{}]", coords.join(","))
-            })
-            .collect();
-        let rounds: Vec<String> = self
-            .round_stats
-            .iter()
-            .enumerate()
-            .map(|(i, r)| {
-                format!(
-                    "{{\"round\":{},\"bytes_up\":{},\"bytes_down\":{},\"max_site_ms\":{},\"coordinator_ms\":{},\"network_ms\":{}}}",
-                    i, r.bytes_up, r.bytes_down, r.max_site_ms, r.coordinator_ms, r.network_ms
-                )
-            })
-            .collect();
-        let mut extra = String::new();
-        if let Some(t) = self.transport {
-            extra.push_str(&format!(
-                ",\"transport\":\"{t}\",\"network_ms\":{}",
-                self.network_ms
-            ));
-        }
-        if let Some(lp) = self.live_points {
-            extra.push_str(&format!(",\"live_points\":{lp}"));
-        }
-        if let Some(pps) = self.points_per_sec {
-            extra.push_str(&format!(",\"points_per_sec\":{pps}"));
-        }
-        if let Some(s) = self.syncs {
-            extra.push_str(&format!(",\"syncs\":{s}"));
-        }
-        format!(
-            "{{\"command\":\"{:?}\",\"n\":{},\"cost\":{},\"budget\":{},\"bytes\":{},\"rounds\":{},\"round_stats\":[{}]{},\"centers\":[{}]}}",
-            self.command,
-            self.n,
-            self.cost,
-            self.budget,
-            self.bytes,
-            self.rounds,
-            rounds.join(","),
-            extra,
-            centers.join(",")
-        )
+    if opts.delta > 0.0 {
+        b = b.delta(opts.delta);
     }
+    b
 }
 
-fn centers_to_rows(ps: &PointSet) -> Vec<Vec<f64>> {
-    (0..ps.len()).map(|i| ps.point(i).to_vec()).collect()
+/// The `Options -> Job` adapter: builds the (dataless) job an invocation
+/// describes. Attach data and run via the API.
+pub fn job_for(opts: &Options) -> JobBuilder {
+    let b = match opts.command {
+        Command::Median if opts.one_round => Job::one_round(Objective::Median, opts.k, opts.t),
+        Command::Means if opts.one_round => Job::one_round(Objective::Means, opts.k, opts.t),
+        Command::Center if opts.one_round => Job::one_round(Objective::Center, opts.k, opts.t),
+        Command::Median => Job::median(opts.k, opts.t),
+        Command::Means => Job::means(opts.k, opts.t),
+        Command::Center => Job::center(opts.k, opts.t),
+        Command::UncertainMedian => Job::uncertain_median(opts.k, opts.t),
+        Command::Subquadratic => Job::subquadratic(opts.k, opts.t),
+        Command::Stream if opts.sync_every > 0 => Job::continuous(opts.k, opts.t)
+            .sync_every(opts.sync_every)
+            .objective(objective_of(opts.objective))
+            .block(opts.block),
+        Command::Stream if opts.window > 0 => Job::stream(opts.k, opts.t)
+            .window(opts.window)
+            .objective(objective_of(opts.objective))
+            .block(opts.block),
+        Command::Stream => Job::stream(opts.k, opts.t)
+            .objective(objective_of(opts.objective))
+            .block(opts.block),
+        Command::Sweep => {
+            let spec = opts.sweep.as_ref().expect("sweep options carry a spec");
+            let (k, t) = (spec.k[0], spec.t[0]);
+            match (spec.protocol, opts.one_round) {
+                (Command::Median, false) => Job::median(k, t),
+                (Command::Means, false) => Job::means(k, t),
+                (Command::Center, false) => Job::center(k, t),
+                (Command::Median, true) => Job::one_round(Objective::Median, k, t),
+                (Command::Means, true) => Job::one_round(Objective::Means, k, t),
+                (Command::Center, true) => Job::one_round(Objective::Center, k, t),
+                _ => unreachable!("parse restricts sweep protocols"),
+            }
+        }
+    };
+    apply_common(opts, b)
 }
 
-/// A protocol-free report skeleton.
-fn base_report(command: Command, n: usize) -> Report {
-    Report {
-        command,
-        centers: Vec::new(),
-        cost: 0.0,
-        budget: 0,
-        bytes: 0,
-        rounds: 0,
-        n,
-        round_stats: Vec::new(),
-        live_points: None,
-        points_per_sec: None,
-        syncs: None,
-        transport: None,
-        network_ms: 0.0,
+/// Builds the sweep grid an invocation describes (no data attached yet).
+fn sweep_for(opts: &Options, base: JobBuilder) -> Sweep {
+    let spec: &SweepSpec = opts.sweep.as_ref().expect("sweep options carry a spec");
+    let mut sweep = Sweep::grid(base)
+        .k(&spec.k)
+        .t(&spec.t)
+        .eps(&spec.eps)
+        .sites(&spec.sites)
+        .transports(&spec.transports);
+    if spec.parallelism > 0 {
+        sweep = sweep.parallelism(spec.parallelism);
+    }
+    sweep
+}
+
+/// Validates the invocation before any data is read: hard errors abort,
+/// structured no-effect warnings are returned for stderr.
+pub fn preflight(opts: &Options) -> Result<Vec<ConfigWarning>, String> {
+    match opts.command {
+        Command::Sweep => {
+            let jobs = sweep_for(opts, job_for(opts))
+                .jobs()
+                .map_err(|e| e.to_string())?;
+            let mut warnings: Vec<ConfigWarning> = Vec::new();
+            for job in &jobs {
+                for w in job.warnings() {
+                    if !warnings.contains(w) {
+                        warnings.push(w.clone());
+                    }
+                }
+            }
+            Ok(warnings)
+        }
+        _ => job_for(opts)
+            .validate()
+            .map(|vj| vj.warnings().to_vec())
+            .map_err(|e| e.to_string()),
     }
 }
 
 /// Executes the parsed invocation, reading CSV rows from `input`.
-pub fn execute<R: BufRead>(opts: &Options, input: R) -> Result<Report, String> {
+pub fn execute<R: BufRead>(opts: &Options, input: R) -> Result<Artifact, String> {
     match opts.command {
+        Command::Sweep => Err("sweep invocations go through execute_sweep".into()),
         Command::Stream => execute_stream(opts, input),
-        Command::Median | Command::Means | Command::Center | Command::Subquadratic => {
-            let points = read_points_csv(input).map_err(|e| e.to_string())?;
-            let n = points.len();
-            if n < opts.k {
-                return Err(format!("k={} exceeds the {} input points", opts.k, n));
-            }
-            match opts.command {
-                Command::Subquadratic => {
-                    let sol = subquadratic_median(
-                        &points,
-                        opts.k,
-                        opts.t,
-                        SubquadraticParams {
-                            eps: opts.eps,
-                            ..Default::default()
-                        },
-                    );
-                    Ok(Report {
-                        centers: centers_to_rows(&sol.centers),
-                        cost: sol.cost,
-                        budget: sol.excluded,
-                        ..base_report(opts.command, n)
-                    })
-                }
-                Command::Center => {
-                    let shards = partition(
-                        &points,
-                        opts.sites,
-                        PartitionStrategy::Random,
-                        &[],
-                        opts.seed,
-                    );
-                    let cfg = CenterConfig::new(opts.k, opts.t);
-                    let out = if opts.one_round {
-                        run_one_round_center(&shards, cfg, run_options(opts))
-                    } else {
-                        run_distributed_center(&shards, cfg, run_options(opts))
-                    };
-                    let (cost, budget) = evaluate_on_full_data(
-                        &shards,
-                        &out.output.centers,
-                        opts.t,
-                        Objective::Center,
-                    );
-                    Ok(Report {
-                        centers: centers_to_rows(&out.output.centers),
-                        cost,
-                        budget,
-                        ..protocol_report(opts, n, &out.stats)
-                    })
-                }
-                _ => {
-                    let shards = partition(
-                        &points,
-                        opts.sites,
-                        PartitionStrategy::Random,
-                        &[],
-                        opts.seed,
-                    );
-                    let mut cfg = MedianConfig::new(opts.k, opts.t);
-                    cfg.eps = opts.eps;
-                    if opts.command == Command::Means {
-                        cfg = cfg.means();
-                    }
-                    if opts.delta > 0.0 {
-                        cfg = cfg.counts_only(opts.delta);
-                    }
-                    let out = if opts.one_round {
-                        run_one_round_median(&shards, cfg, run_options(opts))
-                    } else {
-                        run_distributed_median(&shards, cfg, run_options(opts))
-                    };
-                    let objective = if opts.command == Command::Means {
-                        Objective::Means
-                    } else {
-                        Objective::Median
-                    };
-                    let factor = if opts.delta > 0.0 {
-                        2.0 + opts.eps + opts.delta
-                    } else {
-                        1.0 + opts.eps
-                    };
-                    let budget = (factor * opts.t as f64).floor() as usize;
-                    let (cost, budget) =
-                        evaluate_on_full_data(&shards, &out.output.centers, budget, objective);
-                    Ok(Report {
-                        centers: centers_to_rows(&out.output.centers),
-                        cost,
-                        budget,
-                        ..protocol_report(opts, n, &out.stats)
-                    })
-                }
-            }
-        }
         Command::UncertainMedian => {
             let nodes = read_uncertain_csv(input).map_err(|e| e.to_string())?;
-            let n = nodes.len();
-            if n < opts.k {
-                return Err(format!("k={} exceeds the {} input nodes", opts.k, n));
-            }
-            // Split nodes round-robin across the simulated sites.
-            let mut shards: Vec<NodeSet> = (0..opts.sites)
-                .map(|_| NodeSet::new(nodes.ground.dim()))
-                .collect();
-            for (i, node) in nodes.nodes.iter().enumerate() {
-                let shard = &mut shards[i % opts.sites];
-                let mut support = Vec::with_capacity(node.support.len());
-                for &sp in &node.support {
-                    support.push(shard.ground.push(nodes.ground.point(sp)));
-                }
-                shard
-                    .nodes
-                    .push(UncertainNode::new(support, node.probs.clone()));
-            }
-            let mut cfg = UncertainConfig::new(opts.k, opts.t);
-            cfg.eps = opts.eps;
-            let out = run_uncertain_median(&shards, cfg, run_options(opts));
-            let budget = ((1.0 + opts.eps) * opts.t as f64).floor() as usize;
-            let cost = estimate_expected_cost(&shards, &out.output.centers, budget, false, false);
-            Ok(Report {
-                centers: centers_to_rows(&out.output.centers),
-                cost,
-                budget,
-                ..protocol_report(opts, n, &out.stats)
-            })
+            let job = job_for(opts).data(nodes);
+            Ok(job.validate().map_err(|e| e.to_string())?.run())
+        }
+        _ => {
+            let points = read_points_csv(input).map_err(|e| e.to_string())?;
+            let job = job_for(opts).points(points);
+            Ok(job.validate().map_err(|e| e.to_string())?.run())
         }
     }
 }
 
-/// The three streaming modes behind the `stream` subcommand.
-enum StreamMode {
-    Engine(StreamEngine),
-    Window(SlidingWindowEngine),
-    Continuous(ContinuousCluster),
+/// Executes a `dpc sweep` invocation: one artifact per grid cell.
+pub fn execute_sweep<R: BufRead>(opts: &Options, input: R) -> Result<Vec<Artifact>, String> {
+    let points = read_points_csv(input).map_err(|e| e.to_string())?;
+    let base = job_for(opts).points(points);
+    sweep_for(opts, base).run().map_err(|e| e.to_string())
 }
 
 /// Runs the `stream` subcommand: rows are fed to the engine in arrival
 /// order as they are parsed — the full input is never materialized.
-fn execute_stream<R: BufRead>(opts: &Options, input: R) -> Result<Report, String> {
-    let mut cfg = StreamConfig::new(opts.k, opts.t)
-        .block(opts.block)
-        .eps(opts.eps);
-    cfg = match opts.objective {
-        StreamObjective::Median => cfg,
-        StreamObjective::Means => cfg.means(),
-        StreamObjective::Center => cfg.center(),
-    };
-    let started = Instant::now();
-    let mut mode: Option<StreamMode> = None;
-    let mut row_idx = 0usize;
+fn execute_stream<R: BufRead>(opts: &Options, input: R) -> Result<Artifact, String> {
+    let valid = job_for(opts).validate().map_err(|e| e.to_string())?;
+    let mut session = valid.session();
     let rows = for_each_point_row(input, |coords| {
-        let m = mode.get_or_insert_with(|| {
-            let dim = coords.len();
-            if opts.sync_every > 0 {
-                let ccfg = ContinuousConfig {
-                    stream: cfg,
-                    eps: opts.eps,
-                    // Like the batch commands, the CLI runs realistic
-                    // concurrent sites (the library default is sequential
-                    // for deterministic tests).
-                    parallel: true,
-                    ..ContinuousConfig::new(opts.k, opts.t)
-                }
-                .sync_every(opts.sync_every)
-                .transport(opts.transport)
-                .link(LinkModel::new(opts.latency, opts.bandwidth));
-                StreamMode::Continuous(ContinuousCluster::new(dim, opts.sites, ccfg))
-            } else if opts.window > 0 {
-                StreamMode::Window(SlidingWindowEngine::new(dim, opts.window, cfg))
-            } else {
-                StreamMode::Engine(StreamEngine::new(dim, cfg))
-            }
-        });
-        match m {
-            StreamMode::Engine(e) => e.push(coords),
-            StreamMode::Window(e) => e.push(coords),
-            StreamMode::Continuous(c) => {
-                c.ingest(row_idx % opts.sites, coords);
-            }
-        }
-        row_idx += 1;
+        session.push(coords);
         Ok(())
     })
     .map_err(|e| e.to_string())?;
-    let Some(mode) = mode else {
+    if rows == 0 {
         return Err("no data rows".into());
-    };
+    }
     if rows < opts.k {
         return Err(format!("k={} exceeds the {} input points", opts.k, rows));
     }
-    let budget = ((1.0 + opts.eps) * opts.t as f64).floor() as usize;
-    let mut report = match mode {
-        StreamMode::Engine(mut e) => {
-            e.flush();
-            let sol = e.solve();
-            Report {
-                centers: centers_to_rows(&sol.centers),
-                cost: sol.cost,
-                budget,
-                live_points: Some(sol.live_points),
-                ..base_report(opts.command, rows)
-            }
-        }
-        StreamMode::Window(e) => {
-            let sol = e.solve();
-            Report {
-                centers: centers_to_rows(&sol.centers),
-                cost: sol.cost,
-                budget,
-                live_points: Some(sol.live_points),
-                ..base_report(opts.command, rows)
-            }
-        }
-        StreamMode::Continuous(mut c) => {
-            // Finish on a sync covering every ingested point (skipped when
-            // the cadence already fired on the last one).
-            c.sync_if_stale();
-            let mut round_stats = Vec::new();
-            for rec in &c.history {
-                round_stats.extend(round_reports(&rec.stats));
-            }
-            let rec = c.latest().expect("sync just ran");
-            Report {
-                centers: centers_to_rows(&rec.centers),
-                cost: rec.cost,
-                budget,
-                bytes: c.total_comm_bytes(),
-                rounds: c.history.iter().map(|r| r.stats.num_rounds()).sum(),
-                round_stats,
-                live_points: Some(c.live_points()),
-                syncs: Some(c.history.len()),
-                transport: Some(opts.transport.name()),
-                network_ms: c
-                    .history
-                    .iter()
-                    .map(|r| r.stats.network_time().as_secs_f64() * 1e3)
-                    .sum(),
-                ..base_report(opts.command, rows)
-            }
-        }
-    };
-    report.points_per_sec = Some(rows as f64 / started.elapsed().as_secs_f64().max(1e-9));
-    Ok(report)
+    Ok(session.finish())
 }
 
 #[cfg(test)]
@@ -492,6 +201,7 @@ mod tests {
     fn median_end_to_end() {
         let o = opts(&["median", "--k", "2", "--t", "1", "--sites", "3", "in.csv"]);
         let r = execute(&o, toy_csv().as_bytes()).unwrap();
+        assert_eq!(r.job, "median");
         assert_eq!(r.n, 41);
         assert!(r.cost < 20.0, "cost {}", r.cost);
         assert_eq!(r.rounds, 2);
@@ -499,15 +209,14 @@ mod tests {
         assert_eq!(r.centers.len(), 2);
         // Per-round breakdown matches the aggregate.
         assert_eq!(r.round_stats.len(), 2);
-        let up: usize = r.round_stats.iter().map(|x| x.bytes_up).sum();
-        let down: usize = r.round_stats.iter().map(|x| x.bytes_down).sum();
-        assert_eq!(up + down, r.bytes);
+        assert_eq!(r.upstream_bytes() + r.downstream_bytes(), r.bytes);
     }
 
     #[test]
     fn center_one_round_end_to_end() {
         let o = opts(&["center", "--k", "2", "--t", "1", "--one-round", "in.csv"]);
         let r = execute(&o, toy_csv().as_bytes()).unwrap();
+        assert_eq!(r.job, "one-round-center");
         assert_eq!(r.rounds, 1);
         assert!(r.cost < 5.0, "cost {}", r.cost);
         assert!(!r.round_stats.is_empty());
@@ -520,6 +229,9 @@ mod tests {
         assert_eq!(r.bytes, 0);
         assert!(r.round_stats.is_empty());
         assert!(r.cost < 20.0);
+        assert_eq!(r.transport, None);
+        assert!(!r.to_json().contains("transport"));
+        assert!(!r.text().contains("transport:"));
     }
 
     #[test]
@@ -541,6 +253,7 @@ mod tests {
             "stream", "--k", "2", "--t", "2", "--block", "32", "--window", "128", "in.csv",
         ]);
         let r = execute(&o, stream_csv(600).as_bytes()).unwrap();
+        assert_eq!(r.job, "stream-window");
         assert_eq!(r.centers.len(), 2);
         assert!(r.live_points.unwrap() < 300);
     }
@@ -562,6 +275,7 @@ mod tests {
             "in.csv",
         ]);
         let r = execute(&o, stream_csv(500).as_bytes()).unwrap();
+        assert_eq!(r.job, "continuous");
         let syncs = r.syncs.unwrap();
         assert!(syncs >= 3, "expected periodic syncs, got {syncs}");
         assert_eq!(r.rounds, 2 * syncs);
@@ -589,6 +303,7 @@ mod tests {
             "in.csv",
         ]);
         let r = execute(&o, csv.as_bytes()).unwrap();
+        assert_eq!(r.job, "uncertain-median");
         assert_eq!(r.n, 12);
         assert!(r.cost < 30.0, "cost {}", r.cost);
     }
@@ -605,61 +320,50 @@ mod tests {
     }
 
     #[test]
-    fn json_and_text_rendering() {
-        let r = Report {
-            command: Command::Median,
-            centers: vec![vec![1.0, 2.0]],
-            cost: 3.5,
-            budget: 2,
-            bytes: 100,
-            rounds: 2,
-            n: 10,
-            round_stats: vec![RoundReport {
-                bytes_up: 60,
-                bytes_down: 40,
-                max_site_ms: 1.5,
-                coordinator_ms: 0.5,
-                network_ms: 2.25,
-            }],
-            live_points: Some(7),
-            points_per_sec: Some(1000.0),
-            syncs: None,
-            transport: Some("tcp"),
-            network_ms: 2.25,
-        };
-        let j = r.json();
-        assert!(j.contains("\"cost\":3.5") && j.contains("[1,2]"), "{j}");
-        assert!(
-            j.contains("\"round_stats\":[{\"round\":0,\"bytes_up\":60,\"bytes_down\":40"),
-            "{j}"
-        );
-        assert!(
-            j.contains("\"live_points\":7") && j.contains("\"points_per_sec\":1000"),
-            "{j}"
-        );
-        assert!(
-            j.contains("\"transport\":\"tcp\"") && j.contains("\"network_ms\":2.25"),
-            "{j}"
-        );
-        assert!(!j.contains("syncs"), "{j}");
-        let t = r.text();
-        assert!(t.contains("cost=3.5") && t.contains("[1, 2]"), "{t}");
-        assert!(t.contains("round 0: up=60B down=40B"), "{t}");
-        assert!(t.contains("net=2.250ms"), "{t}");
-        assert!(
-            t.contains("transport: tcp, simulated network 2.250ms"),
-            "{t}"
-        );
-        assert!(t.contains("live summary points: 7"), "{t}");
+    fn stream_eps_zero_is_now_a_hard_error() {
+        // Promoted from a stderr warning to a typed ConfigError: the run
+        // must refuse before reading a single row.
+        let o = opts(&["stream", "--eps", "0", "s.csv"]);
+        let err = preflight(&o).unwrap_err();
+        assert!(err.contains("unexcludable"), "{err}");
+        let err = execute(&o, stream_csv(100).as_bytes()).unwrap_err();
+        assert!(err.contains("unexcludable"), "{err}");
+        // Batch commands keep accepting eps = 0.
+        let o = opts(&["median", "--eps", "0", "--k", "2", "in.csv"]);
+        assert!(preflight(&o).is_ok());
+        assert!(execute(&o, toy_csv().as_bytes()).is_ok());
     }
 
     #[test]
-    fn centralized_report_omits_transport() {
-        let o = opts(&["subquadratic", "--k", "2", "--t", "1", "in.csv"]);
-        let r = execute(&o, toy_csv().as_bytes()).unwrap();
-        assert_eq!(r.transport, None);
-        assert!(!r.json().contains("transport"));
-        assert!(!r.text().contains("transport:"));
+    fn no_effect_transport_flags_still_warn() {
+        // Structured, not silent, not fatal.
+        let o = opts(&["subquadratic", "--transport", "tcp", "x.csv"]);
+        let w = preflight(&o).unwrap();
+        assert!(
+            w.iter()
+                .any(|w| matches!(w, ConfigWarning::TransportUnused { .. })),
+            "{w:?}"
+        );
+        let o = opts(&["stream", "--latency", "5ms", "s.csv"]);
+        let w = preflight(&o).unwrap();
+        assert!(
+            w.iter()
+                .any(|w| matches!(w, ConfigWarning::TransportUnused { .. })),
+            "{w:?}"
+        );
+        // ...but not when the runtime actually runs.
+        let o = opts(&[
+            "stream",
+            "--sync-every",
+            "100",
+            "--transport",
+            "tcp",
+            "s.csv",
+        ]);
+        assert!(preflight(&o).unwrap().is_empty());
+        assert!(preflight(&opts(&["median", "--transport", "tcp", "x.csv"]))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -679,8 +383,8 @@ mod tests {
         ]);
         let a = execute(&base, toy_csv().as_bytes()).unwrap();
         let b = execute(&tcp, toy_csv().as_bytes()).unwrap();
-        assert_eq!(a.transport, Some("channel"));
-        assert_eq!(b.transport, Some("tcp"));
+        assert_eq!(a.transport.as_deref(), Some("channel"));
+        assert_eq!(b.transport.as_deref(), Some("tcp"));
         // Same bytes on the wire, same answer, regardless of backend.
         assert_eq!(a.bytes, b.bytes);
         assert_eq!(a.centers, b.centers);
@@ -688,7 +392,7 @@ mod tests {
     }
 
     #[test]
-    fn link_model_surfaces_in_report() {
+    fn link_model_surfaces_in_artifact() {
         let o = opts(&[
             "median",
             "--k",
@@ -706,5 +410,58 @@ mod tests {
         assert!(r.network_ms >= 20.0, "network_ms {}", r.network_ms);
         let per_round: f64 = r.round_stats.iter().map(|x| x.network_ms).sum();
         assert!((per_round - r.network_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_end_to_end() {
+        let o = opts(&[
+            "sweep",
+            "median",
+            "--k",
+            "2,3",
+            "--t",
+            "1",
+            "--sites",
+            "3",
+            "--transport",
+            "channel,tcp",
+            "--parallelism",
+            "2",
+            "in.csv",
+        ]);
+        let arts = execute_sweep(&o, toy_csv().as_bytes()).unwrap();
+        assert_eq!(arts.len(), 4);
+        // Grid order: k varies slowest, transport fastest.
+        let keys: Vec<(usize, String)> = arts
+            .iter()
+            .map(|a| (a.k, a.transport.clone().unwrap()))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                (2, "channel".into()),
+                (2, "tcp".into()),
+                (3, "channel".into()),
+                (3, "tcp".into()),
+            ]
+        );
+        // Byte accounting is backend-independent per k.
+        assert_eq!(arts[0].bytes, arts[1].bytes);
+        assert_eq!(arts[2].bytes, arts[3].bytes);
+        // The table writers cover every cell.
+        let table = dpc::api::csv_table(&arts);
+        assert_eq!(table.trim_end().lines().count(), 5);
+        // A sweep with an invalid cell fails fast.
+        let o = opts(&["sweep", "median", "--k", "0,2", "in.csv"]);
+        assert!(execute_sweep(&o, toy_csv().as_bytes()).is_err());
+    }
+
+    #[test]
+    fn artifact_json_round_trips_from_cli() {
+        let o = opts(&["median", "--k", "2", "--t", "1", "in.csv"]);
+        let r = execute(&o, toy_csv().as_bytes()).unwrap();
+        let back = Artifact::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.to_json(), r.to_json());
+        assert_eq!(back.centers, r.centers);
     }
 }

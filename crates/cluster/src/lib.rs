@@ -3,7 +3,7 @@
 //! These are the building blocks the paper's distributed algorithms invoke on
 //! each site and at the coordinator:
 //!
-//! * [`gonzalez`] — Gonzalez's farthest-first traversal \[13\]: a single
+//! * [`mod@gonzalez`] — Gonzalez's farthest-first traversal \[13\]: a single
 //!   reordering of the points whose every prefix is a 2-approximate
 //!   `r`-center solution. Algorithm 2 derives both the preclustering *and*
 //!   the globally comparable marginals `ℓ(i,q)` from it.

@@ -49,15 +49,16 @@ impl PreclusterMsg {
         let nc = r.get_varint() as usize;
         let mut centers = PointSet::with_capacity(dim, nc);
         let mut weights = Vec::with_capacity(nc);
+        let mut p = Vec::with_capacity(dim);
         for _ in 0..nc {
-            let p = r.get_point(dim);
+            r.read_point_into(dim, &mut p);
             centers.push(&p);
             weights.push(r.get_f64());
         }
         let no = r.get_varint() as usize;
         let mut outliers = PointSet::with_capacity(dim, no);
         for _ in 0..no {
-            let p = r.get_point(dim);
+            r.read_point_into(dim, &mut p);
             outliers.push(&p);
         }
         let t_i = r.get_varint();

@@ -8,6 +8,10 @@
 //!
 //! This facade re-exports the whole workspace:
 //!
+//! * [`api`] — **the front door**: describe any run as a typed
+//!   [`Job`](api::Job), validate it, execute it, get an
+//!   [`Artifact`](api::Artifact); sweep parameter grids in parallel with
+//!   [`Sweep`](api::Sweep);
 //! * [`metric`] — points, distance oracles, weighted sets, outlier-aware
 //!   costs, wire encoding;
 //! * [`cluster`] — centralized substrates (Gonzalez, Charikar-style
@@ -31,20 +35,60 @@
 //! ```
 //! use dpc::prelude::*;
 //!
-//! // Generate a noisy mixture and split it across 4 sites.
+//! // Generate a noisy mixture; the job partitions it across 4 sites.
 //! let mix = gaussian_mixture(MixtureSpec { inliers: 200, outliers: 5, ..Default::default() });
-//! let shards = partition(&mix.points, 4, PartitionStrategy::Random, &mix.outlier_ids, 7);
 //!
-//! // Run the 2-round distributed (k, (1+eps)t)-median protocol.
-//! let cfg = MedianConfig::new(5, 5);
-//! let out = run_distributed_median(&shards, cfg, RunOptions::default());
+//! // The 2-round distributed (k, (1+eps)t)-median protocol, through the
+//! // typed front door: build, validate, run.
+//! let artifact = Job::median(5, 5)
+//!     .sites(4)
+//!     .points(mix.points)
+//!     .validate()
+//!     .expect("sound config")
+//!     .run();
 //!
 //! // Exact bytes on the wire, and the solution quality on the full data.
-//! println!("{} bytes over {} rounds", out.stats.total_bytes(), out.stats.num_rounds());
-//! let (cost, _) = evaluate_on_full_data(&shards, &out.output.centers, 10, Objective::Median);
-//! assert!(cost.is_finite());
+//! println!("{} bytes over {} rounds", artifact.bytes, artifact.rounds);
+//! assert!(artifact.cost.is_finite());
 //! ```
+//!
+//! ## Sweeps
+//!
+//! ```
+//! use dpc::prelude::*;
+//!
+//! let mix = gaussian_mixture(MixtureSpec { inliers: 150, outliers: 4, ..Default::default() });
+//! let artifacts = Sweep::grid(Job::median(0, 0).sites(3).points(mix.points))
+//!     .k(&[3, 5])
+//!     .t(&[2, 4])
+//!     .run()
+//!     .expect("every cell validates");
+//! assert_eq!(artifacts.len(), 4);
+//! println!("{}", dpc::api::csv_table(&artifacts));
+//! ```
+//!
+//! ## Migrating from the free functions
+//!
+//! The historical entry points (`run_distributed_median`,
+//! `run_one_round_center`, `subquadratic_median`, …) still work and are
+//! exactly what [`api::Job`] drives under the hood — job-driven runs are
+//! byte-identical — but their prelude re-exports are deprecated. Replace
+//!
+//! ```text
+//! run_distributed_median(&shards, MedianConfig::new(k, t), RunOptions::default())
+//! ```
+//!
+//! with
+//!
+//! ```text
+//! Job::median(k, t).shards(shards).validate()?.run()
+//! ```
+//!
+//! Code that needs the raw `ProtocolOutput` (e.g. to inspect
+//! coordinator-side weights) can keep calling the originals at their
+//! crate-level paths ([`core`], [`uncertain`]) without deprecation.
 
+pub use dpc_api as api;
 pub use dpc_cluster as cluster;
 pub use dpc_coordinator as coordinator;
 pub use dpc_core as core;
@@ -53,17 +97,107 @@ pub use dpc_stream as stream;
 pub use dpc_uncertain as uncertain;
 pub use dpc_workloads as workloads;
 
+/// Deprecated free-function entry points, kept as thin shims so existing
+/// code migrates to [`api::Job`] on its own schedule without breaking.
+mod shims {
+    use dpc_coordinator::{ProtocolOutput, RunOptions};
+    use dpc_core::subquadratic::CentralizedSolution;
+    use dpc_core::{CenterConfig, DistributedSolution, MedianConfig, SubquadraticParams};
+    use dpc_metric::PointSet;
+    use dpc_uncertain::{CenterGConfig, NodeSet, UncertainConfig, UncertainSolution};
+
+    #[deprecated(note = "use dpc::api::Job::median(k, t).shards(..).validate()?.run()")]
+    /// Deprecated shim for [`dpc_core::run_distributed_median`].
+    pub fn run_distributed_median(
+        shards: &[PointSet],
+        cfg: MedianConfig,
+        options: RunOptions,
+    ) -> ProtocolOutput<DistributedSolution> {
+        dpc_core::run_distributed_median(shards, cfg, options)
+    }
+
+    #[deprecated(note = "use dpc::api::Job::center(k, t).shards(..).validate()?.run()")]
+    /// Deprecated shim for [`dpc_core::run_distributed_center`].
+    pub fn run_distributed_center(
+        shards: &[PointSet],
+        cfg: CenterConfig,
+        options: RunOptions,
+    ) -> ProtocolOutput<DistributedSolution> {
+        dpc_core::run_distributed_center(shards, cfg, options)
+    }
+
+    #[deprecated(note = "use dpc::api::Job::one_round(Objective::Median, k, t)")]
+    /// Deprecated shim for [`dpc_core::run_one_round_median`].
+    pub fn run_one_round_median(
+        shards: &[PointSet],
+        cfg: MedianConfig,
+        options: RunOptions,
+    ) -> ProtocolOutput<DistributedSolution> {
+        dpc_core::run_one_round_median(shards, cfg, options)
+    }
+
+    #[deprecated(note = "use dpc::api::Job::one_round(Objective::Center, k, t)")]
+    /// Deprecated shim for [`dpc_core::run_one_round_center`].
+    pub fn run_one_round_center(
+        shards: &[PointSet],
+        cfg: CenterConfig,
+        options: RunOptions,
+    ) -> ProtocolOutput<DistributedSolution> {
+        dpc_core::run_one_round_center(shards, cfg, options)
+    }
+
+    #[deprecated(note = "use dpc::api::Job::subquadratic(k, t).points(..)")]
+    /// Deprecated shim for [`dpc_core::subquadratic_median`].
+    pub fn subquadratic_median(
+        points: &PointSet,
+        k: usize,
+        t: usize,
+        params: SubquadraticParams,
+    ) -> CentralizedSolution {
+        dpc_core::subquadratic_median(points, k, t, params)
+    }
+
+    #[deprecated(note = "use dpc::api::Job::uncertain_median(k, t).data(..)")]
+    /// Deprecated shim for [`dpc_uncertain::run_uncertain_median`].
+    pub fn run_uncertain_median(
+        shards: &[NodeSet],
+        cfg: UncertainConfig,
+        options: RunOptions,
+    ) -> ProtocolOutput<UncertainSolution> {
+        dpc_uncertain::run_uncertain_median(shards, cfg, options)
+    }
+
+    #[deprecated(note = "use dpc::api::Job::center_g(k, t).data(..)")]
+    /// Deprecated shim for [`dpc_uncertain::run_center_g`].
+    pub fn run_center_g(
+        shards: &[NodeSet],
+        cfg: CenterGConfig,
+        options: RunOptions,
+    ) -> ProtocolOutput<UncertainSolution> {
+        dpc_uncertain::run_center_g(shards, cfg, options)
+    }
+}
+
 /// One-stop imports for applications and examples.
 pub mod prelude {
+    // The re-export itself must not warn; call sites still do.
+    #[allow(deprecated)]
+    pub use crate::shims::{
+        run_center_g, run_distributed_center, run_distributed_median, run_one_round_center,
+        run_one_round_median, run_uncertain_median, subquadratic_median,
+    };
+    pub use dpc_api::{
+        Artifact, ConfigError, ConfigWarning, Dataset, Job, JobBuilder, RoundBreakdown,
+        StreamSession, Sweep, ValidJob,
+    };
     pub use dpc_cluster::{
         charikar_center, exact_best, gonzalez, lloyd_kmeans, median_bicriteria, BicriteriaParams,
         CenterParams, LloydParams, LocalSearchParams, Solution,
     };
     pub use dpc_coordinator::{CommStats, LinkModel, RunOptions, TransportKind};
     pub use dpc_core::{
-        evaluate_on_full_data, merge_shards, run_distributed_center, run_distributed_median,
-        run_one_round_center, run_one_round_median, subquadratic_median, CenterConfig,
-        DeltaVariant, MedianConfig, SubquadraticParams,
+        evaluate_on_full_data, merge_shards, CenterConfig, DeltaVariant, MedianConfig,
+        SubquadraticParams,
     };
     pub use dpc_metric::{
         center_cost, means_cost, median_cost, EuclideanMetric, Metric, Objective, PointSet,
@@ -74,8 +208,8 @@ pub mod prelude {
         StreamSolution, Summary, SummaryParams, SyncRecord,
     };
     pub use dpc_uncertain::{
-        estimate_center_g_cost, estimate_expected_cost, run_center_g, run_uncertain_median,
-        CenterGConfig, CompressedGraph, NodeSet, UncertainConfig, UncertainNode,
+        estimate_center_g_cost, estimate_expected_cost, CenterGConfig, CompressedGraph, NodeSet,
+        UncertainConfig, UncertainNode,
     };
     pub use dpc_workloads::{
         drifting_stream, gaussian_mixture, partition, uncertain_mixture, DriftSpec, DriftStream,

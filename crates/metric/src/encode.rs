@@ -126,10 +126,34 @@ impl WireReader {
         (0..dim).map(|_| self.get_f64()).collect()
     }
 
+    /// Reads a `dim`-dimensional point into `out`, reusing its
+    /// allocation. Decode loops that read many points per message (hull
+    /// and summary payloads) call this with one scratch buffer instead of
+    /// allocating a fresh `Vec<f64>` per point.
+    pub fn read_point_into(&mut self, dim: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(dim);
+        for _ in 0..dim {
+            out.push(self.get_f64());
+        }
+    }
+
     /// Reads a length-prefixed list of doubles.
     pub fn get_f64_slice(&mut self) -> Vec<f64> {
         let n = self.get_varint() as usize;
         (0..n).map(|_| self.get_f64()).collect()
+    }
+
+    /// Reads a length-prefixed list of doubles into `out` (reusing its
+    /// allocation) and returns the element count.
+    pub fn read_f64_slice_into(&mut self, out: &mut Vec<f64>) -> usize {
+        let n = self.get_varint() as usize;
+        out.clear();
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(self.get_f64());
+        }
+        n
     }
 }
 
@@ -206,5 +230,28 @@ mod tests {
         let mut r = WireReader::new(w.finish());
         assert_eq!(r.get_f64_slice(), vec![1.0, 2.0]);
         assert_eq!(r.get_f64_slice(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn into_variants_reuse_one_buffer() {
+        let points = [vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]];
+        let mut w = WireWriter::new();
+        for p in &points {
+            w.put_point(p);
+        }
+        w.put_f64_slice(&[7.0, 8.0]);
+        w.put_f64_slice(&[]);
+        let mut r = WireReader::new(w.finish());
+        let mut buf = Vec::new();
+        for p in &points {
+            r.read_point_into(3, &mut buf);
+            assert_eq!(&buf, p);
+        }
+        // The slice reader clears stale contents and reports the count.
+        assert_eq!(r.read_f64_slice_into(&mut buf), 2);
+        assert_eq!(buf, vec![7.0, 8.0]);
+        assert_eq!(r.read_f64_slice_into(&mut buf), 0);
+        assert!(buf.is_empty());
+        assert_eq!(r.remaining(), 0);
     }
 }

@@ -125,8 +125,9 @@ impl TentacledMsg {
         let mut ys = PointSet::with_capacity(dim, n);
         let mut ells = Vec::with_capacity(n);
         let mut weights = Vec::with_capacity(n);
+        let mut p = Vec::with_capacity(dim);
         for _ in 0..n {
-            let p = r.get_point(dim);
+            r.read_point_into(dim, &mut p);
             ys.push(&p);
             ells.push(r.get_f64());
             weights.push(r.get_f64());

@@ -155,8 +155,9 @@ impl UncertainNode {
         let mut support = Vec::with_capacity(m);
         let mut probs = Vec::with_capacity(m);
         let dim = ground.dim();
+        let mut pt = Vec::with_capacity(dim);
         for _ in 0..m {
-            let pt = r.get_point(dim);
+            r.read_point_into(dim, &mut pt);
             support.push(ground.push(&pt));
             probs.push(r.get_f64());
         }

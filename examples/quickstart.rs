@@ -1,8 +1,10 @@
-//! Quickstart: distributed `(k,t)`-median over noisy data.
+//! Quickstart: distributed `(k,t)`-median over noisy data, through the
+//! typed experiment API.
 //!
-//! Generates a Gaussian mixture with planted outliers, splits it across
-//! sites, runs the 2-round protocol of Algorithm 1, and reports measured
-//! communication plus solution quality against the ground truth.
+//! Generates a Gaussian mixture with planted outliers, describes the run
+//! as a `Job`, validates it, executes it, and reads everything — measured
+//! communication, per-round breakdown, solution quality — off the
+//! returned `Artifact`.
 //!
 //! Run with: `cargo run --release -p dpc --example quickstart`
 
@@ -23,62 +25,63 @@ fn main() {
         outliers: t,
         ..Default::default()
     });
-    let shards = partition(
-        &mix.points,
-        sites,
-        PartitionStrategy::Random,
-        &mix.outlier_ids,
-        42,
-    );
-    println!(
-        "n = {} points in {} dims across {} sites",
-        mix.points.len(),
-        2,
-        shards.len()
-    );
+    let n = mix.points.len();
+    println!("n = {n} points in 2 dims across {sites} sites");
 
-    // 2-round distributed (k, (1+eps)t)-median (Theorem 3.6).
-    let cfg = MedianConfig::new(k, t);
-    let out = run_distributed_median(&shards, cfg, RunOptions::default());
-    let sol = &out.output;
+    // One front door: build → validate → run. The job partitions the
+    // points across the sites and drives the 2-round protocol of
+    // Algorithm 1 (Theorem 3.6).
+    let data = Dataset::Points(mix.points);
+    let artifact = Job::median(k, t)
+        .sites(sites)
+        .data(data.clone())
+        .validate()
+        .expect("sound configuration")
+        .run();
 
     println!("\n-- protocol --");
-    println!("rounds:            {}", out.stats.num_rounds());
-    println!("total bytes:       {}", out.stats.total_bytes());
-    println!("upstream bytes:    {}", out.stats.upstream_bytes());
-    println!(
-        "shipped outliers:  {} (<= 3t = {})",
-        sol.shipped_outliers,
-        3 * t
-    );
-    println!(
-        "site critical path: {:?}, coordinator: {:?}",
-        out.stats.site_critical_path(),
-        out.stats.coordinator_compute()
-    );
+    println!("rounds:            {}", artifact.rounds);
+    println!("total bytes:       {}", artifact.bytes);
+    println!("upstream bytes:    {}", artifact.upstream_bytes());
+    for (i, r) in artifact.round_stats.iter().enumerate() {
+        println!(
+            "round {i}: up={}B down={}B site={:.2}ms coord={:.2}ms",
+            r.up_total(),
+            r.down_total(),
+            r.max_site_ms,
+            r.coordinator_ms
+        );
+    }
 
-    // Quality vs doing nothing about outliers.
-    let budget = 2 * t; // (1+eps)t with eps = 1
-    let (cost, excluded) = evaluate_on_full_data(&shards, &sol.centers, budget, Objective::Median);
+    // The run already evaluated quality at the (1+eps)t budget; compare
+    // against the same centers forced to pay for every point.
     println!("\n-- quality --");
-    println!("(k,{budget})-median cost of returned centers: {cost:.2} ({excluded} excluded)");
-
-    // Reference: the same centers but forced to pay for every point.
-    let (cost_all, _) = evaluate_on_full_data(&shards, &sol.centers, 0, Objective::Median);
+    println!(
+        "(k,{})-median cost of returned centers: {:.2}",
+        artifact.budget, artifact.cost
+    );
+    let (cost_all, _) = artifact
+        .evaluate(&data, 0, Objective::Median)
+        .expect("point data");
     println!("same centers, no exclusions:                {cost_all:.2}");
     println!(
         "outlier robustness bought a {:.0}x cost reduction",
-        cost_all / cost.max(1e-9)
+        cost_all / artifact.cost.max(1e-9)
     );
 
     // Sanity: recovered centers sit near the true ones.
     let mut worst = 0.0f64;
     for c in 0..mix.centers.len() {
         let true_c = mix.centers.point(c);
-        let best = (0..sol.centers.len())
-            .map(|i| dpc::metric::points::sq_dist(sol.centers.point(i), true_c).sqrt())
+        let best = artifact
+            .centers
+            .iter()
+            .map(|row| dpc::metric::points::sq_dist(row, true_c).sqrt())
             .fold(f64::INFINITY, f64::min);
         worst = worst.max(best);
     }
     println!("worst distance from a true center to its recovered center: {worst:.2}");
+
+    // The artifact is one serde-able schema shared with the CLI/benches.
+    println!("\nartifact JSON: {} bytes", artifact.to_json().len());
 }

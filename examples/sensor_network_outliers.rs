@@ -12,6 +12,9 @@
 //!     its full `k+t` hedge),
 //!   * trimmed vs plain k-means as a centralized quality reference.
 //!
+//! Both protocols run through the typed `Job` API on the same shards —
+//! the comparison is two builders differing in one constructor.
+//!
 //! Run with: `cargo run --release -p dpc --example sensor_network_outliers`
 
 use dpc::prelude::*;
@@ -40,37 +43,36 @@ fn main() {
         &mix.outlier_ids,
         99,
     );
+    let data = Dataset::Shards(shards.clone());
 
-    // --- Algorithm 2 (this paper) ---
-    let cfg = CenterConfig::new(k, t);
-    let two = run_distributed_center(&shards, cfg, RunOptions::default());
-    let (cost2, _) = evaluate_on_full_data(&shards, &two.output.centers, t, Objective::Center);
-
-    // --- 1-round baseline (Malkomes et al. style) ---
-    let one = run_one_round_center(&shards, cfg, RunOptions::default());
-    let (cost1, _) = evaluate_on_full_data(&shards, &one.output.centers, t, Objective::Center);
+    // --- Algorithm 2 (this paper) vs the 1-round baseline ---
+    let two = Job::center(k, t)
+        .data(data.clone())
+        .validate()
+        .expect("sound config")
+        .run();
+    let one = Job::one_round(Objective::Center, k, t)
+        .data(data)
+        .validate()
+        .expect("sound config")
+        .run();
 
     println!(
         "\n{:<28} {:>12} {:>10} {:>12}",
         "protocol", "bytes", "rounds", "(k,t) cost"
     );
-    println!(
-        "{:<28} {:>12} {:>10} {:>12.3}",
-        "Algorithm 2 (2-round)",
-        two.stats.total_bytes(),
-        two.stats.num_rounds(),
-        cost2
-    );
-    println!(
-        "{:<28} {:>12} {:>10} {:>12.3}",
-        "1-round (k+t per hub)",
-        one.stats.total_bytes(),
-        one.stats.num_rounds(),
-        cost1
-    );
+    for (label, artifact) in [
+        ("Algorithm 2 (2-round)", &two),
+        ("1-round (k+t per hub)", &one),
+    ] {
+        println!(
+            "{:<28} {:>12} {:>10} {:>12.3}",
+            label, artifact.bytes, artifact.rounds, artifact.cost
+        );
+    }
     println!(
         "\ncommunication saving: {:.2}x with comparable cost",
-        one.stats.total_bytes() as f64 / two.stats.total_bytes() as f64
+        one.bytes as f64 / two.bytes as f64
     );
 
     // --- why partial clustering at all: plain k-means melts down ---

@@ -63,14 +63,19 @@ fn main() {
     );
     println!("true (k,2t)-median cost of streamed centers: {cost:.2}");
 
-    // Reference: the batch 2-round protocol on the full prefix.
-    let shards = partition(&stream.points, 4, PartitionStrategy::Random, &[], 7);
-    let batch = run_distributed_median(&shards, MedianConfig::new(k, t), RunOptions::default());
-    let (batch_cost, _) =
-        evaluate_on_full_data(&shards, &batch.output.centers, 2 * t, Objective::Median);
+    // Reference: the batch 2-round protocol on the full prefix, through
+    // the typed Job API.
+    let batch = Job::median(k, t)
+        .sites(4)
+        .seed(7)
+        .points(stream.points.clone())
+        .validate()
+        .expect("sound config")
+        .run();
     println!(
-        "batch 2-round protocol on the same prefix:   {batch_cost:.2} (stream/batch = {:.2})",
-        cost / batch_cost.max(1e-9)
+        "batch 2-round protocol on the same prefix:   {:.2} (stream/batch = {:.2})",
+        batch.cost,
+        cost / batch.cost.max(1e-9)
     );
 
     // 2. Sliding window: after heavy drift, old cluster positions are stale.

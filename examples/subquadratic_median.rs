@@ -44,9 +44,13 @@ fn main() {
         );
         let quad_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-        // Subquadratic self-simulation.
+        // Subquadratic self-simulation, through the typed Job API.
+        let job = Job::subquadratic(k, t)
+            .points(mix.points.clone())
+            .validate()
+            .expect("sound config");
         let t1 = Instant::now();
-        let sub = subquadratic_median(&mix.points, k, t, SubquadraticParams::default());
+        let sub = job.run();
         let sub_ms = t1.elapsed().as_secs_f64() * 1e3;
 
         println!(

@@ -9,11 +9,14 @@
 //! Demonstrates Algorithm 3 (uncertain `(k,t)`-median via the compressed
 //! graph of Figure 1) and Algorithm 4 (`(k,t)`-center-g with truncated
 //! distances), validated against exact expected costs and a Monte-Carlo
-//! estimate of `E[max]`.
+//! estimate of `E[max]` — all through the typed `Job` API. (The
+//! center-pp variant of Algorithm 3 has no Job kind yet, so it calls the
+//! crate-level entry point directly.)
 //!
 //! Run with: `cargo run --release -p dpc --example uncertain_tracking`
 
 use dpc::prelude::*;
+use dpc::uncertain::run_uncertain_median;
 
 fn main() {
     println!("== uncertain object tracking ==");
@@ -35,21 +38,28 @@ fn main() {
         "{n} uncertain tracks ({} fixes each) on {} trackers; k = {k}, t = {t}",
         4, 5
     );
+    let data = Dataset::NodeShards(shards.clone());
 
     // --- Algorithm 3: uncertain (k,t)-median ---
-    let cfg = UncertainConfig::new(k, t);
-    let med = run_uncertain_median(&shards, cfg, RunOptions::default());
-    let med_cost = estimate_expected_cost(&shards, &med.output.centers, 2 * t, false, false);
+    let med = Job::uncertain_median(k, t)
+        .data(data.clone())
+        .validate()
+        .expect("sound config")
+        .run();
     println!("\n-- Algorithm 3: uncertain (k,t)-median --");
+    println!("bytes: {}, rounds: {}", med.bytes, med.rounds);
     println!(
-        "bytes: {}, rounds: {}",
-        med.stats.total_bytes(),
-        med.stats.num_rounds()
+        "expected assignment cost (budget {}): {:.2}",
+        med.budget, med.cost
     );
-    println!("expected assignment cost (budget 2t): {med_cost:.2}");
 
-    // Per-point center variant on the same data.
-    let pp = run_uncertain_median(&shards, cfg.center_pp(), RunOptions::default());
+    // Per-point center variant on the same data (crate-level call: the
+    // Job enum covers the median objective only for now).
+    let pp = run_uncertain_median(
+        &shards,
+        UncertainConfig::new(k, t).center_pp(),
+        RunOptions::default(),
+    );
     let pp_cost = estimate_expected_cost(&shards, &pp.output.centers, 2 * t, false, true);
     println!("\n-- Algorithm 3: uncertain (k,t)-center-pp --");
     println!(
@@ -60,20 +70,20 @@ fn main() {
     println!("max expected assignment distance (budget 2t): {pp_cost:.2}");
 
     // --- Algorithm 4: the global objective E[max] ---
-    let gcfg = CenterGConfig::new(k, t);
-    let g = run_center_g(&shards, gcfg, RunOptions::default());
-    let g_cost = estimate_center_g_cost(&shards, &g.output.centers, t, 2000, 7);
+    let g = Job::center_g(k, t)
+        .data(data)
+        .validate()
+        .expect("sound config")
+        .run();
+    let g_centers = PointSet::from_rows(&g.centers);
+    let g_cost = estimate_center_g_cost(&shards, &g_centers, t, 2000, 7);
     println!("\n-- Algorithm 4: uncertain (k,t)-center-g --");
-    println!(
-        "bytes: {}, rounds: {}",
-        g.stats.total_bytes(),
-        g.stats.num_rounds()
-    );
+    println!("bytes: {}, rounds: {}", g.bytes, g.rounds);
     println!("Monte-Carlo E[max d(sigma(j), pi(j))] (2000 samples): {g_cost:.2}");
 
     // E[max] >= max-of-expectations always; report the gap the global
     // objective captures.
-    let g_pp = estimate_expected_cost(&shards, &g.output.centers, t, false, true);
+    let g_pp = estimate_expected_cost(&shards, &g_centers, t, false, true);
     println!("max-of-expectations with the same centers: {g_pp:.2}");
     println!(
         "stochastic inflation E[max]/max-E: {:.3}",
@@ -99,8 +109,21 @@ fn main() {
         }
         det_shards.push(ps);
     }
-    let det = run_distributed_median(&det_shards, MedianConfig::new(k, t), RunOptions::default());
-    let det_cost = estimate_expected_cost(&shards, &det.output.centers, 2 * t, false, false);
+    let det = Job::median(k, t)
+        .shards(det_shards)
+        .validate()
+        .expect("sound config")
+        .run();
+    let det_cost = estimate_expected_cost(
+        &shards,
+        &PointSet::from_rows(&det.centers),
+        2 * t,
+        false,
+        false,
+    );
     println!("\n-- naive baseline: cluster the MAP fixes, ignore uncertainty --");
-    println!("expected assignment cost: {det_cost:.2} (Algorithm 3: {med_cost:.2})");
+    println!(
+        "expected assignment cost: {det_cost:.2} (Algorithm 3: {:.2})",
+        med.cost
+    );
 }

@@ -7,19 +7,19 @@ use crate::data::Dataset;
 use crate::error::{ConfigError, ConfigWarning};
 use dpc_coordinator::{LinkModel, RunOptions, TransportKind};
 use dpc_core::{
-    evaluate_on_full_data, merge_shards, run_distributed_center, run_distributed_median,
+    evaluate_on_full_data_with, merge_shards, run_distributed_center, run_distributed_median,
     run_one_round_center, run_one_round_median, subquadratic_median, CenterConfig, MedianConfig,
     SubquadraticParams,
 };
-use dpc_metric::{Objective, PointSet};
+use dpc_metric::{Objective, PointSet, ThreadBudget};
 use dpc_stream::{
     ContinuousCluster, ContinuousConfig, SlidingWindowEngine, StreamConfig, StreamEngine,
 };
 use dpc_uncertain::{
-    estimate_expected_cost, run_center_g, run_center_g_one_round, run_uncertain_median,
+    estimate_expected_cost_with, run_center_g, run_center_g_one_round, run_uncertain_median,
     CenterGConfig, UncertainConfig,
 };
-use dpc_workloads::PartitionStrategy;
+use dpc_workloads::{gaussian_blobs, BlobsSpec, PartitionStrategy};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -193,6 +193,7 @@ pub struct JobBuilder {
     transport: TransportKind,
     link: LinkModel,
     transport_set: bool,
+    threads: usize,
     unused_knobs: Vec<&'static str>,
     data: Option<Arc<Dataset>>,
 }
@@ -215,6 +216,7 @@ impl JobBuilder {
             transport: TransportKind::Channel,
             link: LinkModel::ideal(),
             transport_set: false,
+            threads: 1,
             unused_knobs: Vec::new(),
             data: None,
         }
@@ -357,6 +359,21 @@ impl JobBuilder {
     pub fn sequential(mut self) -> Self {
         self.parallel = false;
         self
+    }
+
+    /// Caps the bulk-kernel thread budget inside the solvers (site-side
+    /// assignment, coordinator scoring). Defaults to 1 so jobs compose
+    /// with [`crate::Sweep`] workers and per-site transport threads
+    /// without oversubscribing; results are identical at any budget.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Attaches a generated [`dpc_workloads::gaussian_blobs`] point
+    /// workload — the high-dimensional kernel-stress input.
+    pub fn gaussian_blobs(self, spec: BlobsSpec) -> Self {
+        self.points(gaussian_blobs(spec).points)
     }
 
     /// Attaches the input dataset.
@@ -569,6 +586,10 @@ impl ValidJob {
         Ok(())
     }
 
+    fn kernel_threads(&self) -> ThreadBudget {
+        ThreadBudget::new(self.spec.threads)
+    }
+
     fn run_options(&self) -> RunOptions {
         RunOptions {
             parallel: self.spec.parallel,
@@ -652,6 +673,7 @@ impl ValidJob {
         let mut cfg = MedianConfig::new(s.k, s.t);
         cfg.eps = s.eps;
         cfg.rho = s.rho;
+        cfg.threads = self.kernel_threads();
         if means {
             cfg = cfg.means();
         }
@@ -674,7 +696,13 @@ impl ValidJob {
             1.0 + s.eps
         };
         let budget = (factor * s.t as f64).floor() as usize;
-        let (cost, budget) = evaluate_on_full_data(&shards, &out.output.centers, budget, objective);
+        let (cost, budget) = evaluate_on_full_data_with(
+            &shards,
+            &out.output.centers,
+            budget,
+            objective,
+            self.kernel_threads(),
+        );
         Artifact {
             centers: centers_to_rows(&out.output.centers),
             cost,
@@ -688,13 +716,19 @@ impl ValidJob {
         let shards = data.point_shards(s.sites, s.strategy, s.seed);
         let mut cfg = CenterConfig::new(s.k, s.t);
         cfg.rho = s.rho;
+        cfg.threads = self.kernel_threads();
         let out = if matches!(s.job, Job::OneRound { .. }) {
             run_one_round_center(&shards, cfg, self.run_options())
         } else {
             run_distributed_center(&shards, cfg, self.run_options())
         };
-        let (cost, budget) =
-            evaluate_on_full_data(&shards, &out.output.centers, s.t, Objective::Center);
+        let (cost, budget) = evaluate_on_full_data_with(
+            &shards,
+            &out.output.centers,
+            s.t,
+            Objective::Center,
+            self.kernel_threads(),
+        );
         Artifact {
             centers: centers_to_rows(&out.output.centers),
             cost,
@@ -709,9 +743,17 @@ impl ValidJob {
         let mut cfg = UncertainConfig::new(s.k, s.t);
         cfg.eps = s.eps;
         cfg.rho = s.rho;
+        cfg.threads = self.kernel_threads();
         let out = run_uncertain_median(&shards, cfg, self.run_options());
         let budget = ((1.0 + s.eps) * s.t as f64).floor() as usize;
-        let cost = estimate_expected_cost(&shards, &out.output.centers, budget, false, false);
+        let cost = estimate_expected_cost_with(
+            &shards,
+            &out.output.centers,
+            budget,
+            false,
+            false,
+            self.kernel_threads(),
+        );
         Artifact {
             centers: centers_to_rows(&out.output.centers),
             cost,
@@ -725,6 +767,7 @@ impl ValidJob {
         let shards = data.node_shards(s.sites);
         let mut cfg = CenterGConfig::new(s.k, s.t);
         cfg.rho = s.rho;
+        cfg.threads = self.kernel_threads();
         let out = match d_range {
             Some((d_min, d_max)) => {
                 run_center_g_one_round(&shards, cfg, d_min, d_max, self.run_options())
@@ -752,6 +795,7 @@ impl ValidJob {
             s.t,
             SubquadraticParams {
                 eps: s.eps,
+                threads: self.kernel_threads(),
                 ..Default::default()
             },
         );
@@ -815,7 +859,10 @@ impl StreamSession {
             Job::Stream { objective, .. } | Job::Continuous { objective, .. } => objective,
             _ => unreachable!("sessions only open on streaming jobs"),
         };
-        let mut cfg = StreamConfig::new(s.k, s.t).block(s.block).eps(s.eps);
+        let mut cfg = StreamConfig::new(s.k, s.t)
+            .block(s.block)
+            .eps(s.eps)
+            .threads(s.threads);
         cfg = match objective {
             Objective::Median => cfg,
             Objective::Means => cfg.means(),

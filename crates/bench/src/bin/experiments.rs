@@ -67,6 +67,9 @@ fn main() {
     if want("g1") {
         g1_sweep_grid();
     }
+    if want("kernels") {
+        b1_kernels();
+    }
     if want("a1") {
         a1_grid();
     }
@@ -745,6 +748,196 @@ fn s1_stream_throughput() {
     }
     println!("\nsmaller blocks: more frequent summarization (lower points/sec), more");
     println!("live summaries; sync bytes are flat in the prefix length (summaries only).");
+}
+
+/// B1 — the bulk-kernel speedup record: scalar per-pair loops vs the
+/// blocked bulk layer vs bulk + threads, for the assignment shape every
+/// protocol bottoms out in (nearest-center over a `k + t` candidate set,
+/// the paper's `t ≫ k` regime), at d ∈ {4, 32, 128} on 50k points with
+/// 64 candidates.
+///
+/// Writes `BENCH_kernels.json` at the repo root so the perf trajectory is
+/// recorded in-tree; the acceptance bar is ≥ 3× bulk-over-scalar for the
+/// Lloyd / Gonzalez assignment kernels at dim ≥ 32.
+fn b1_kernels() {
+    use dpc::cluster::gonzalez_with;
+    use dpc::metric::{CenterBlock, EuclideanMetric, NearestAssigner, ThreadBudget};
+
+    header(
+        "B1",
+        "bulk kernels: scalar vs bulk vs bulk+threads, 50k points, k+t=64 candidates",
+    );
+    const N: usize = 50_000;
+    const CLUSTERS: usize = 16;
+    /// Candidate-set size: `k + t` with `k = 16`, `t = 48` — the sites'
+    /// Gonzalez-prefix / coordinator-instance shape of Table 1.
+    const K: usize = 64;
+    let dims = [4usize, 32, 128];
+
+    // Best-of-3 wall clock in milliseconds.
+    fn time_ms(mut f: impl FnMut()) -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        best
+    }
+
+    println!(
+        "{:>5} {:>16} {:>12} {:>12} {:>14} {:>9} {:>9}",
+        "dim", "kernel", "scalar_ms", "bulk_ms", "bulk+thr_ms", "speedup", "thr_x"
+    );
+    let mut rows = Vec::new();
+    for &dim in &dims {
+        let blobs = gaussian_blobs(BlobsSpec {
+            clusters: CLUSTERS,
+            points: N,
+            outliers: 0,
+            dim,
+            imbalance: 0.5,
+            seed: 0xbe7c + dim as u64,
+            ..Default::default()
+        });
+        let ps = &blobs.points;
+        let ids: Vec<usize> = (0..ps.len()).collect();
+        let m = EuclideanMetric::new(ps);
+
+        // The candidate set: the first k + t Gonzalez selections — exactly
+        // what Algorithm 2 sites attach their points to before shipping.
+        let prefix = gonzalez_with(&m, &ids, K, 0, ThreadBudget::serial()).order;
+
+        // Lloyd-style assignment: scalar per-pair sq_dist_to vs CenterBlock.
+        let centroids: Vec<Vec<f64>> = prefix.iter().map(|&c| ps.point(c).to_vec()).collect();
+        let scalar_lloyd = time_ms(|| {
+            let mut acc = 0.0;
+            for i in 0..ps.len() {
+                let mut best = f64::INFINITY;
+                for c in &centroids {
+                    let d = ps.sq_dist_to(i, c);
+                    if d < best {
+                        best = d;
+                    }
+                }
+                acc += best;
+            }
+            std::hint::black_box(acc);
+        });
+        let block = CenterBlock::from_rows(dim, &centroids);
+        let bulk_lloyd = time_ms(|| {
+            std::hint::black_box(block.assign_sq(ps, &ids, ThreadBudget::serial()));
+        });
+        let thr_lloyd = time_ms(|| {
+            std::hint::black_box(block.assign_sq(ps, &ids, ThreadBudget::available()));
+        });
+
+        // Gonzalez-prefix assignment over the Metric (Algorithm 2's
+        // point-attachment step, historically a per-pair `nearest` loop).
+        let scalar_gonz = time_ms(|| {
+            let mut acc = 0.0;
+            for i in 0..ps.len() {
+                let mut best = f64::INFINITY;
+                for &c in &prefix {
+                    let d = ps.dist(i, c);
+                    if d < best {
+                        best = d;
+                    }
+                }
+                acc += best;
+            }
+            std::hint::black_box(acc);
+        });
+        let assigner = NearestAssigner::new(&m);
+        let bulk_gonz = time_ms(|| {
+            std::hint::black_box(assigner.assign(&ids, &prefix));
+        });
+        let thr_assigner = NearestAssigner::with_threads(&m, ThreadBudget::available());
+        let thr_gonz = time_ms(|| {
+            std::hint::black_box(thr_assigner.assign(&ids, &prefix));
+        });
+
+        // Gonzalez relax traversal (informational — the partial-distance
+        // hook prunes less here because the incumbent tightens over steps).
+        let scalar_relax = time_ms(|| {
+            let mut best = vec![f64::INFINITY; N];
+            let mut chosen = 0usize;
+            for _ in 0..CLUSTERS {
+                let mut far = (0usize, -1.0f64);
+                for (i, b) in best.iter_mut().enumerate() {
+                    let d = ps.dist(i, chosen);
+                    if d < *b {
+                        *b = d;
+                    }
+                    if *b > far.1 {
+                        far = (i, *b);
+                    }
+                }
+                chosen = far.0;
+            }
+            std::hint::black_box(&best);
+        });
+        let bulk_relax = time_ms(|| {
+            std::hint::black_box(dpc::cluster::gonzalez(&m, &ids, CLUSTERS, 0));
+        });
+        let thr_relax = time_ms(|| {
+            std::hint::black_box(gonzalez_with(
+                &m,
+                &ids,
+                CLUSTERS,
+                0,
+                ThreadBudget::available(),
+            ));
+        });
+
+        for (kernel, scalar, bulk, thr) in [
+            ("lloyd_assign", scalar_lloyd, bulk_lloyd, thr_lloyd),
+            ("gonzalez_assign", scalar_gonz, bulk_gonz, thr_gonz),
+            ("gonzalez_relax", scalar_relax, bulk_relax, thr_relax),
+        ] {
+            println!(
+                "{:>5} {:>16} {:>12.2} {:>12.2} {:>14.2} {:>8.2}x {:>8.2}x",
+                dim,
+                kernel,
+                scalar,
+                bulk,
+                thr,
+                scalar / bulk,
+                scalar / thr
+            );
+            rows.push(format!(
+                concat!(
+                    "{{\"dim\":{},\"kernel\":\"{}\",\"n\":{},\"candidates\":{},",
+                    "\"scalar_ms\":{:.3},\"bulk_ms\":{:.3},\"bulk_threads_ms\":{:.3},",
+                    "\"speedup_bulk\":{:.3},\"speedup_threads\":{:.3}}}"
+                ),
+                dim,
+                kernel,
+                N,
+                K,
+                scalar,
+                bulk,
+                thr,
+                scalar / bulk,
+                scalar / thr
+            ));
+        }
+    }
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\"experiment\":\"kernels\",\"available_threads\":{},\"rows\":[{}]}}\n",
+        threads,
+        rows.join(",")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nrecorded -> BENCH_kernels.json"),
+        Err(e) => println!("\ncould not write BENCH_kernels.json: {e}"),
+    }
+    println!("acceptance: bulk speedup >= 3x for lloyd/gonzalez assignment at dim >= 32.");
 }
 
 /// A1 — ablation: geometric grid resolution rho.

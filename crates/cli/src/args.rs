@@ -136,6 +136,8 @@ pub struct Options {
     pub sync_every: u64,
     /// `stream`: which objective the engine optimizes.
     pub objective: StreamObjective,
+    /// Bulk-kernel thread budget inside the solvers (1 = serial).
+    pub threads: usize,
     /// `sweep`: the parameter grid (set only for [`Command::Sweep`]).
     pub sweep: Option<SweepSpec>,
 }
@@ -175,6 +177,8 @@ options:
   --eps <float>    outlier relaxation epsilon   (default 1.0)
   --seed <int>     partition seed               (default 42)
   --delta <float>  counts-only variant delta    (default off)
+  --threads <int>  bulk-kernel thread budget inside the solvers
+                   (default 1; results are identical at any value)
   --one-round      use the 1-round baseline protocol
   --json           emit JSON (includes per-round comm/compute stats)
 
@@ -197,6 +201,13 @@ stream options:
 
 sweep options:
   --parallelism <int>  concurrent grid cells (default: one per CPU)
+
+synthetic input:
+  in place of <input.csv>, `blobs:` generates a seeded Gaussian-blob
+  workload for kernel stress, e.g.
+    blobs:n=50000,dim=32,clusters=8,imbalance=1.0,outliers=64,seed=7
+  keys: n, dim, clusters, imbalance, outliers, sigma, sep, seed
+  (point commands and sweep only; uncertain-median still needs a CSV)
 ";
 
 fn default_options(command: Command) -> Options {
@@ -218,6 +229,7 @@ fn default_options(command: Command) -> Options {
         transport: TransportKind::Channel,
         latency: Duration::ZERO,
         bandwidth: f64::INFINITY,
+        threads: 1,
         sweep: None,
     }
 }
@@ -255,6 +267,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, ParseError> {
             "--transport" => opts.transport = parse_transport(&take_value(&mut i)?)?,
             "--latency" => opts.latency = parse_duration(&take_value(&mut i)?)?,
             "--bandwidth" => opts.bandwidth = parse_bandwidth(&take_value(&mut i)?)?,
+            "--threads" => opts.threads = parse_num(&take_value(&mut i)?, "--threads")?,
             "--one-round" => opts.one_round = true,
             "--json" => opts.json = true,
             other if other.starts_with("--") => {
@@ -280,6 +293,9 @@ pub fn parse_args(args: &[String]) -> Result<Options, ParseError> {
     }
     if opts.eps < 0.0 || opts.delta < 0.0 {
         return Err(ParseError("--eps/--delta must be non-negative".into()));
+    }
+    if opts.threads == 0 {
+        return Err(ParseError("--threads must be positive".into()));
     }
     if opts.command == Command::Stream {
         if opts.block == 0 {
@@ -346,6 +362,7 @@ fn parse_sweep(args: &[String]) -> Result<Options, ParseError> {
             "--delta" => opts.delta = parse_float(&take_value(&mut i)?, "--delta")?,
             "--latency" => opts.latency = parse_duration(&take_value(&mut i)?)?,
             "--bandwidth" => opts.bandwidth = parse_bandwidth(&take_value(&mut i)?)?,
+            "--threads" => opts.threads = parse_num(&take_value(&mut i)?, "--threads")?,
             "--one-round" => opts.one_round = true,
             "--json" => opts.json = true,
             other if other.starts_with("--") => {
@@ -642,6 +659,23 @@ mod tests {
         // Missing input.
         assert!(parse_args(&sv(&["sweep", "median", "--k", "2"])).is_err());
         assert!(parse_args(&sv(&["sweep", "median", "--parallelism", "0", "a.csv"])).is_err());
+    }
+
+    #[test]
+    fn threads_flag() {
+        let o = parse_args(&sv(&["median", "--threads", "4", "x.csv"])).unwrap();
+        assert_eq!(o.threads, 4);
+        let o = parse_args(&sv(&["median", "x.csv"])).unwrap();
+        assert_eq!(o.threads, 1);
+        assert!(parse_args(&sv(&["median", "--threads", "0", "x.csv"])).is_err());
+        let o = parse_args(&sv(&["sweep", "median", "--threads", "2", "x.csv"])).unwrap();
+        assert_eq!(o.threads, 2);
+    }
+
+    #[test]
+    fn blobs_spec_is_a_valid_input_argument() {
+        let o = parse_args(&sv(&["median", "--k", "3", "blobs:n=100,dim=8"])).unwrap();
+        assert_eq!(o.input, "blobs:n=100,dim=8");
     }
 
     #[test]

@@ -27,4 +27,4 @@ pub use csv::{
     for_each_point_row, parse_points_csv, parse_uncertain_csv, read_points_csv, read_uncertain_csv,
 };
 pub use dpc::api::{Artifact, ConfigWarning, RoundBreakdown};
-pub use run::{execute, execute_sweep, job_for, preflight};
+pub use run::{execute, execute_sweep, is_synthetic_input, job_for, preflight};

@@ -26,15 +26,19 @@ fn main() -> ExitCode {
         eprintln!("warning: {w}");
     }
     // Rows stream through a buffered reader; the file is never held in
-    // memory whole.
-    let file = match std::fs::File::open(&opts.input) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("cannot read '{}': {e}", opts.input);
-            return ExitCode::from(1);
+    // memory whole. `blobs:` specs generate their workload in-process and
+    // read nothing.
+    let reader: Box<dyn std::io::BufRead> = if dpc_cli::is_synthetic_input(&opts.input) {
+        Box::new(std::io::empty())
+    } else {
+        match std::fs::File::open(&opts.input) {
+            Ok(f) => Box::new(std::io::BufReader::new(f)),
+            Err(e) => {
+                eprintln!("cannot read '{}': {e}", opts.input);
+                return ExitCode::from(1);
+            }
         }
     };
-    let reader = std::io::BufReader::new(file);
     if opts.command == dpc_cli::Command::Sweep {
         return match dpc_cli::execute_sweep(&opts, reader) {
             Ok(artifacts) => {

@@ -11,7 +11,64 @@
 use crate::args::{Command, Options, StreamObjective, SweepSpec};
 use crate::csv::{for_each_point_row, read_points_csv, read_uncertain_csv};
 use dpc::prelude::*;
+use dpc::workloads::{gaussian_blobs, BlobsSpec};
 use std::io::BufRead;
+
+/// True when the invocation's input is a `blobs:` synthetic-workload spec
+/// rather than a CSV path (no file is opened for it).
+pub fn is_synthetic_input(input: &str) -> bool {
+    input.starts_with("blobs:")
+}
+
+/// Parses a `blobs:` spec like
+/// `blobs:n=50000,dim=32,clusters=8,imbalance=1.0,outliers=64,seed=7`.
+fn parse_blobs_spec(input: &str) -> Result<BlobsSpec, String> {
+    let body = input
+        .strip_prefix("blobs:")
+        .ok_or_else(|| "not a blobs: spec".to_string())?;
+    let mut spec = BlobsSpec::default();
+    for part in body.split(',').filter(|p| !p.is_empty()) {
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| format!("blobs spec entry '{part}' is not key=value"))?;
+        let num = |v: &str| -> Result<f64, String> {
+            v.parse::<f64>()
+                .map_err(|_| format!("invalid blobs value '{v}' for '{key}'"))
+        };
+        let int = |v: &str| -> Result<usize, String> {
+            v.parse::<usize>()
+                .map_err(|_| format!("invalid blobs value '{v}' for '{key}'"))
+        };
+        match key {
+            "n" => spec.points = int(value)?,
+            "dim" => spec.dim = int(value)?,
+            "clusters" => spec.clusters = int(value)?,
+            "outliers" => spec.outliers = int(value)?,
+            "imbalance" => spec.imbalance = num(value)?,
+            "sigma" => spec.sigma = num(value)?,
+            "sep" => spec.separation = num(value)?,
+            "seed" => spec.seed = int(value)? as u64,
+            other => return Err(format!("unknown blobs key '{other}'")),
+        }
+    }
+    if spec.points == 0 || spec.dim == 0 || spec.clusters == 0 {
+        return Err("blobs spec needs positive n, dim, and clusters".into());
+    }
+    if !spec.imbalance.is_finite() || spec.imbalance < 0.0 {
+        return Err("blobs imbalance must be finite and non-negative".into());
+    }
+    Ok(spec)
+}
+
+/// Loads the point input: a generated blob workload for `blobs:` specs,
+/// otherwise CSV rows from the reader.
+fn load_points<R: BufRead>(opts: &Options, input: R) -> Result<PointSet, String> {
+    if is_synthetic_input(&opts.input) {
+        Ok(gaussian_blobs(parse_blobs_spec(&opts.input)?).points)
+    } else {
+        read_points_csv(input).map_err(|e| e.to_string())
+    }
+}
 
 fn objective_of(o: StreamObjective) -> Objective {
     match o {
@@ -28,6 +85,7 @@ fn apply_common(opts: &Options, mut b: JobBuilder) -> JobBuilder {
         .eps(opts.eps)
         .sites(opts.sites)
         .seed(opts.seed)
+        .threads(opts.threads)
         .link(LinkModel::new(opts.latency, opts.bandwidth));
     // Only an explicit backend choice should count as "transport flags
     // set" for no-effect warnings; the link model tracks itself.
@@ -126,12 +184,15 @@ pub fn execute<R: BufRead>(opts: &Options, input: R) -> Result<Artifact, String>
         Command::Sweep => Err("sweep invocations go through execute_sweep".into()),
         Command::Stream => execute_stream(opts, input),
         Command::UncertainMedian => {
+            if is_synthetic_input(&opts.input) {
+                return Err("blobs: input generates points; uncertain-median needs a CSV".into());
+            }
             let nodes = read_uncertain_csv(input).map_err(|e| e.to_string())?;
             let job = job_for(opts).data(nodes);
             Ok(job.validate().map_err(|e| e.to_string())?.run())
         }
         _ => {
-            let points = read_points_csv(input).map_err(|e| e.to_string())?;
+            let points = load_points(opts, input)?;
             let job = job_for(opts).points(points);
             Ok(job.validate().map_err(|e| e.to_string())?.run())
         }
@@ -140,7 +201,7 @@ pub fn execute<R: BufRead>(opts: &Options, input: R) -> Result<Artifact, String>
 
 /// Executes a `dpc sweep` invocation: one artifact per grid cell.
 pub fn execute_sweep<R: BufRead>(opts: &Options, input: R) -> Result<Vec<Artifact>, String> {
-    let points = read_points_csv(input).map_err(|e| e.to_string())?;
+    let points = load_points(opts, input)?;
     let base = job_for(opts).points(points);
     sweep_for(opts, base).run().map_err(|e| e.to_string())
 }
@@ -150,11 +211,19 @@ pub fn execute_sweep<R: BufRead>(opts: &Options, input: R) -> Result<Vec<Artifac
 fn execute_stream<R: BufRead>(opts: &Options, input: R) -> Result<Artifact, String> {
     let valid = job_for(opts).validate().map_err(|e| e.to_string())?;
     let mut session = valid.session();
-    let rows = for_each_point_row(input, |coords| {
-        session.push(coords);
-        Ok(())
-    })
-    .map_err(|e| e.to_string())?;
+    let rows = if is_synthetic_input(&opts.input) {
+        let points = gaussian_blobs(parse_blobs_spec(&opts.input)?).points;
+        for (_, p) in points.iter() {
+            session.push(p);
+        }
+        points.len()
+    } else {
+        for_each_point_row(input, |coords| {
+            session.push(coords);
+            Ok(())
+        })
+        .map_err(|e| e.to_string())?
+    };
     if rows == 0 {
         return Err("no data rows".into());
     }
@@ -306,6 +375,88 @@ mod tests {
         assert_eq!(r.job, "uncertain-median");
         assert_eq!(r.n, 12);
         assert!(r.cost < 30.0, "cost {}", r.cost);
+    }
+
+    #[test]
+    fn blobs_input_generates_points() {
+        let o = opts(&[
+            "median",
+            "--k",
+            "4",
+            "--t",
+            "4",
+            "--sites",
+            "3",
+            "blobs:n=300,dim=16,clusters=4,outliers=4,imbalance=1.0,seed=9",
+        ]);
+        let r = execute(&o, std::io::empty()).unwrap();
+        assert_eq!(r.n, 304);
+        assert_eq!(r.centers.len(), 4);
+        assert_eq!(r.centers[0].len(), 16);
+        assert!(r.cost.is_finite());
+        // Deterministic by seed.
+        let again = execute(&o, std::io::empty()).unwrap();
+        assert_eq!(r.centers, again.centers);
+        // Bad specs are errors, not panics.
+        for bad in ["blobs:n=0,dim=4", "blobs:nope=3", "blobs:n", "blobs:dim=x"] {
+            let o = opts(&["median", bad]);
+            assert!(execute(&o, std::io::empty()).is_err(), "{bad}");
+        }
+        // Uncertain jobs reject point-generating specs.
+        let o = opts(&["uncertain-median", "blobs:n=100,dim=4"]);
+        assert!(execute(&o, std::io::empty()).is_err());
+    }
+
+    #[test]
+    fn blobs_feed_stream_and_sweep() {
+        let o = opts(&[
+            "stream",
+            "--k",
+            "3",
+            "--t",
+            "2",
+            "--block",
+            "64",
+            "blobs:n=400,dim=8,clusters=3,seed=3",
+        ]);
+        let r = execute(&o, std::io::empty()).unwrap();
+        assert_eq!(r.n, 400);
+        assert_eq!(r.centers.len(), 3);
+        let o = opts(&[
+            "sweep",
+            "median",
+            "--k",
+            "2,3",
+            "--t",
+            "1",
+            "--sites",
+            "2",
+            "blobs:n=200,dim=8,seed=5",
+        ]);
+        let arts = execute_sweep(&o, std::io::empty()).unwrap();
+        assert_eq!(arts.len(), 2);
+    }
+
+    #[test]
+    fn threads_do_not_change_results() {
+        let serial = opts(&["median", "--k", "2", "--t", "1", "--sites", "3", "in.csv"]);
+        let threaded = opts(&[
+            "median",
+            "--k",
+            "2",
+            "--t",
+            "1",
+            "--sites",
+            "3",
+            "--threads",
+            "4",
+            "in.csv",
+        ]);
+        let a = execute(&serial, toy_csv().as_bytes()).unwrap();
+        let b = execute(&threaded, toy_csv().as_bytes()).unwrap();
+        assert_eq!(a.centers, b.centers);
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.bytes, b.bytes);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! coordinator-sized inputs (`O(sk + t)` points), exactly as Table 1 charges.
 
 use crate::solution::Solution;
-use dpc_metric::{Metric, Objective, WeightedSet};
+use dpc_metric::{Metric, NearestAssigner, Objective, ThreadBudget, WeightedSet};
 
 /// Tuning for [`charikar_center`].
 #[derive(Clone, Copy, Debug)]
@@ -24,6 +24,9 @@ pub struct CenterParams {
     pub expansion: f64,
     /// Bisection iterations over the radius value range.
     pub radius_iters: usize,
+    /// Thread budget for the per-radius disk-gain scans (wall-clock only
+    /// — identical centers and costs at any budget).
+    pub threads: ThreadBudget,
 }
 
 impl Default for CenterParams {
@@ -31,6 +34,7 @@ impl Default for CenterParams {
         Self {
             expansion: 3.0,
             radius_iters: 48,
+            threads: ThreadBudget::serial(),
         }
     }
 }
@@ -62,12 +66,16 @@ pub fn charikar_center<M: Metric>(
     assert!(k > 0, "need at least one center");
     let ids = points.ids();
     let n = ids.len();
+    let assigner = NearestAssigner::with_threads(metric, params.threads);
 
-    // Radius value range: [0, max pairwise distance among entries].
+    // Radius value range: [0, max pairwise distance among entries], one
+    // bulk row per anchor.
     let mut hi = 0.0f64;
-    for a in 0..n {
-        for b in 0..a {
-            hi = hi.max(metric.dist(ids[a], ids[b]));
+    let mut row = Vec::with_capacity(n);
+    for a in 1..n {
+        assigner.dists_from(ids[a], &ids[..a], &mut row);
+        for &d in &row {
+            hi = hi.max(d);
         }
     }
     if hi == 0.0 {
@@ -76,7 +84,8 @@ pub fn charikar_center<M: Metric>(
     }
 
     let feasible = |r: f64| -> Option<Vec<usize>> {
-        let (centers, uncovered) = greedy_disks(metric, points, k, r, params.expansion);
+        let (centers, uncovered) =
+            greedy_disks(metric, points, k, r, params.expansion, params.threads);
         if uncovered <= t + 1e-9 {
             Some(centers)
         } else {
@@ -112,29 +121,19 @@ fn greedy_disks<M: Metric>(
     k: usize,
     r: f64,
     expansion: f64,
+    threads: ThreadBudget,
 ) -> (Vec<usize>, f64) {
     let ids = points.ids();
     let weights = points.weights();
     let n = ids.len();
     let mut covered = vec![false; n];
     let mut centers = Vec::with_capacity(k);
+    let assigner = NearestAssigner::new(metric);
+    let mut row = Vec::with_capacity(n);
 
     for _ in 0..k {
         // Pick the disk center covering the most uncovered weight.
-        let mut best_idx = usize::MAX;
-        let mut best_gain = -1.0f64;
-        for c in 0..n {
-            let mut gain = 0.0;
-            for e in 0..n {
-                if !covered[e] && metric.dist(ids[e], ids[c]) <= r {
-                    gain += weights[e];
-                }
-            }
-            if gain > best_gain {
-                best_gain = gain;
-                best_idx = c;
-            }
-        }
+        let (best_idx, best_gain) = best_disk(metric, ids, weights, &covered, r, threads);
         if best_idx == usize::MAX || best_gain <= 0.0 {
             // Nothing with positive weight left to cover; place remaining
             // centers on any uncovered entry (harmless) or stop.
@@ -147,9 +146,10 @@ fn greedy_disks<M: Metric>(
         }
         centers.push(ids[best_idx]);
         let er = expansion * r;
-        for e in 0..n {
-            if !covered[e] && metric.dist(ids[e], ids[best_idx]) <= er {
-                covered[e] = true;
+        assigner.dists_from(ids[best_idx], ids, &mut row);
+        for (c, &d) in covered.iter_mut().zip(&row) {
+            if !*c && d <= er {
+                *c = true;
             }
         }
     }
@@ -161,6 +161,60 @@ fn greedy_disks<M: Metric>(
         .map(|(_, &w)| w)
         .sum();
     (centers, uncovered)
+}
+
+/// The candidate with the largest uncovered weight inside radius `r`
+/// (first candidate wins ties, like the sequential scan). Candidates are
+/// scored with one bulk distance row each; chunks of candidates fan out
+/// across the thread budget and chunk winners combine in candidate order,
+/// so the result is identical at any budget.
+fn best_disk<M: Metric>(
+    metric: &M,
+    ids: &[usize],
+    weights: &[f64],
+    covered: &[bool],
+    r: f64,
+    threads: ThreadBudget,
+) -> (usize, f64) {
+    let n = ids.len();
+    let gain_scan = |range: std::ops::Range<usize>| -> (usize, f64) {
+        let assigner = NearestAssigner::new(metric);
+        let mut row = Vec::with_capacity(n);
+        let mut best = (usize::MAX, -1.0f64);
+        for c in range {
+            assigner.dists_from(ids[c], ids, &mut row);
+            let mut gain = 0.0;
+            for ((&cov, &d), &w) in covered.iter().zip(&row).zip(weights) {
+                if !cov && d <= r {
+                    gain += w;
+                }
+            }
+            if gain > best.1 {
+                best = (c, gain);
+            }
+        }
+        best
+    };
+    let nthreads = threads.get().min(n).max(1);
+    if nthreads <= 1 {
+        return gain_scan(0..n);
+    }
+    let chunk = n.div_ceil(nthreads);
+    let gain_scan = &gain_scan;
+    let chunk_bests: Vec<(usize, f64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .step_by(chunk)
+            .map(|lo| scope.spawn(move || gain_scan(lo..(lo + chunk).min(n))))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut best = (usize::MAX, -1.0f64);
+    for (idx, gain) in chunk_bests {
+        if gain > best.1 {
+            best = (idx, gain);
+        }
+    }
+    best
 }
 
 #[cfg(test)]

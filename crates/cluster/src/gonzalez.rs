@@ -10,7 +10,7 @@
 //!
 //! Runs in `O(m · n)` time for an `m`-point prefix over `n` points.
 
-use dpc_metric::Metric;
+use dpc_metric::{Metric, NearestAssigner, ThreadBudget};
 
 /// Output of the traversal: the prefix ordering plus per-point bookkeeping.
 #[derive(Clone, Debug)]
@@ -62,10 +62,29 @@ pub fn gonzalez<M: Metric>(
     prefix_len: usize,
     start: usize,
 ) -> GonzalezOrdering {
+    gonzalez_with(metric, ids, prefix_len, start, ThreadBudget::serial())
+}
+
+/// [`gonzalez`] with an explicit thread budget for the per-step relax
+/// scan (the `O(n)` distance pass against the newest selection).
+///
+/// The relax runs through the bulk [`Metric::relax_min_block`] kernel —
+/// Euclidean metrics skip points whose partial distance already proves no
+/// improvement — and the farthest-point bookkeeping stays on the calling
+/// thread in index order. The ordering, radii, and assignments are
+/// identical to the scalar traversal at any budget.
+pub fn gonzalez_with<M: Metric>(
+    metric: &M,
+    ids: &[usize],
+    prefix_len: usize,
+    start: usize,
+    threads: ThreadBudget,
+) -> GonzalezOrdering {
     assert!(!ids.is_empty(), "gonzalez requires at least one point");
     assert!(start < ids.len(), "start index out of range");
     let n = ids.len();
     let m = prefix_len.min(n);
+    let assigner = NearestAssigner::with_threads(metric, threads);
 
     let mut order = Vec::with_capacity(m);
     let mut radii = Vec::with_capacity(m);
@@ -79,18 +98,15 @@ pub fn gonzalez<M: Metric>(
         let chosen = next;
         order.push(ids[chosen]);
         radii.push(next_d);
-        // Relax distances against the newly selected point and find the next
-        // farthest point in the same scan.
+        // Bulk relax against the newly selected point (with
+        // partial-distance pruning for Euclidean metrics), then find the
+        // next farthest point in a sequential scan.
+        assigner.relax_min(ids[chosen], ids, &mut best_d, &mut best_pos, step);
         let mut far_idx = 0usize;
         let mut far_d = -1.0f64;
-        for (idx, (bd, bp)) in best_d.iter_mut().zip(best_pos.iter_mut()).enumerate() {
-            let d = metric.dist(ids[idx], ids[chosen]);
-            if d < *bd {
-                *bd = d;
-                *bp = step;
-            }
-            if *bd > far_d {
-                far_d = *bd;
+        for (idx, &bd) in best_d.iter().enumerate() {
+            if bd > far_d {
+                far_d = bd;
                 far_idx = idx;
             }
         }

@@ -7,7 +7,7 @@
 //! (centroids), not input points, so it operates directly on a
 //! [`PointSet`].
 
-use dpc_metric::{PointSet, WeightedSet};
+use dpc_metric::{sq_dists_to_coords, CenterBlock, PointSet, ThreadBudget, WeightedSet};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -26,6 +26,9 @@ pub struct LloydParams {
     /// Independent restarts (the lowest-cost run wins); trimmed k-means in
     /// particular needs restarts to escape seedings that capture outliers.
     pub restarts: usize,
+    /// Thread budget for the assignment and seeding distance passes
+    /// (wall-clock only — identical results at any budget).
+    pub threads: ThreadBudget,
 }
 
 impl Default for LloydParams {
@@ -36,6 +39,7 @@ impl Default for LloydParams {
             trim: 0.0,
             seed: 0x5eed,
             restarts: 4,
+            threads: ThreadBudget::serial(),
         }
     }
 }
@@ -96,13 +100,13 @@ fn lloyd_kmeans_once(
     let k = k.min(n);
     let mut rng = SmallRng::seed_from_u64(params.seed);
 
-    // k-means++ seeding over entries.
+    // k-means++ seeding over entries (bulk squared-distance passes).
     let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
     let first = rng.gen_range(0..n);
     centroids.push(points.point(ids[first]).to_vec());
-    let mut d2: Vec<f64> = (0..n)
-        .map(|e| points.sq_dist_to(ids[e], &centroids[0]))
-        .collect();
+    let mut d2: Vec<f64> = Vec::with_capacity(n);
+    sq_dists_to_coords(points, ids, &centroids[0], &mut d2, params.threads);
+    let mut seed_dists = Vec::with_capacity(n);
     while centroids.len() < k {
         let mut scores: Vec<f64> = d2.iter().zip(weights).map(|(&d, &w)| d * w).collect();
         // Robust seeding (k-means-- style): the `trim` most expensive weight
@@ -141,10 +145,16 @@ fn lloyd_kmeans_once(
             p
         };
         centroids.push(points.point(ids[pick]).to_vec());
-        for e in 0..n {
-            let d = points.sq_dist_to(ids[e], centroids.last().expect("just pushed"));
-            if d < d2[e] {
-                d2[e] = d;
+        sq_dists_to_coords(
+            points,
+            ids,
+            centroids.last().expect("just pushed"),
+            &mut seed_dists,
+            params.threads,
+        );
+        for (dd, &d) in d2.iter_mut().zip(&seed_dists) {
+            if d < *dd {
+                *dd = d;
             }
         }
     }
@@ -152,22 +162,11 @@ fn lloyd_kmeans_once(
     let mut prev_cost = f64::INFINITY;
     let mut trimmed: Vec<usize> = Vec::new();
     for _ in 0..params.max_iters {
-        // Assign.
-        let mut assign = vec![0usize; n];
-        let mut dist2 = vec![0.0f64; n];
-        for e in 0..n {
-            let mut bd = f64::INFINITY;
-            let mut bc = 0;
-            for (c, cen) in centroids.iter().enumerate() {
-                let d = points.sq_dist_to(ids[e], cen);
-                if d < bd {
-                    bd = d;
-                    bc = c;
-                }
-            }
-            assign[e] = bc;
-            dist2[e] = bd;
-        }
+        // Assign: one blocked dot-form pass over all entries × centroids
+        // (winners and squared distances match the scalar scan exactly).
+        let block = CenterBlock::from_rows(dim, &centroids);
+        let assigned = block.assign_sq(points, ids, params.threads);
+        let (assign, dist2) = (assigned.pos, assigned.dist);
         // Trim: drop the most expensive `trim` weight from updates & cost.
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by(|&a, &b| dist2[b].total_cmp(&dist2[a]));

@@ -20,7 +20,7 @@
 //! which is all the downstream lemmas require of the preclustering oracle.
 
 use crate::solution::Solution;
-use dpc_metric::{Metric, WeightedSet};
+use dpc_metric::{Assignment2, Metric, NearestAssigner, ThreadBudget, WeightedSet};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -35,6 +35,10 @@ pub struct LocalSearchParams {
     pub min_rel_gain: f64,
     /// RNG seed (seeding + candidate sampling are the only random choices).
     pub seed: u64,
+    /// Thread budget for the bulk distance passes (state recomputation and
+    /// swap-delta scoring). Wall-clock only — results are identical at any
+    /// budget.
+    pub threads: ThreadBudget,
 }
 
 impl Default for LocalSearchParams {
@@ -44,39 +48,14 @@ impl Default for LocalSearchParams {
             swap_candidates: 48,
             min_rel_gain: 1e-6,
             seed: 0x5eed,
+            threads: ThreadBudget::serial(),
         }
     }
 }
 
-/// State carried by the search: nearest / second-nearest center per entry.
-struct NearestState {
-    /// Position (within `centers`) of the nearest center.
-    c1: Vec<usize>,
-    /// Distance to nearest center.
-    d1: Vec<f64>,
-    /// Distance to second-nearest center.
-    d2: Vec<f64>,
-}
-
-fn recompute_state<M: Metric>(metric: &M, ids: &[usize], centers: &[usize]) -> NearestState {
-    let n = ids.len();
-    let mut c1 = vec![0usize; n];
-    let mut d1 = vec![f64::INFINITY; n];
-    let mut d2 = vec![f64::INFINITY; n];
-    for (e, &id) in ids.iter().enumerate() {
-        for (pos, &c) in centers.iter().enumerate() {
-            let d = metric.dist(id, c);
-            if d < d1[e] {
-                d2[e] = d1[e];
-                d1[e] = d;
-                c1[e] = pos;
-            } else if d < d2[e] {
-                d2[e] = d;
-            }
-        }
-    }
-    NearestState { c1, d1, d2 }
-}
+/// State carried by the search: nearest / second-nearest center per entry
+/// (one bulk [`NearestAssigner::assign2`] pass).
+type NearestState = Assignment2;
 
 /// Penalized cost of the current state.
 fn penalized_cost(state: &NearestState, weights: &[f64], penalty: f64) -> f64 {
@@ -97,12 +76,14 @@ fn seed_centers<M: Metric>(
     k: usize,
     penalty: f64,
     rng: &mut SmallRng,
+    threads: ThreadBudget,
 ) -> Vec<usize> {
     let ids = points.ids();
     let weights = points.weights();
     let n = ids.len();
     let k = k.min(n);
     let mut centers = Vec::with_capacity(k);
+    let assigner = NearestAssigner::with_threads(metric, threads);
 
     // First center: the entry with maximum weight (deterministic anchor).
     let first = (0..n)
@@ -110,7 +91,9 @@ fn seed_centers<M: Metric>(
         .expect("non-empty points");
     centers.push(ids[first]);
 
-    let mut d1: Vec<f64> = ids.iter().map(|&id| metric.dist(id, ids[first])).collect();
+    let mut d1 = Vec::with_capacity(n);
+    assigner.dists_from(ids[first], ids, &mut d1);
+    let mut dists = Vec::with_capacity(n);
     while centers.len() < k {
         let scores: Vec<f64> = d1
             .iter()
@@ -134,10 +117,10 @@ fn seed_centers<M: Metric>(
             pick
         };
         centers.push(ids[chosen]);
-        for (e, &id) in ids.iter().enumerate() {
-            let d = metric.dist(id, ids[chosen]);
-            if d < d1[e] {
-                d1[e] = d;
+        assigner.dists_from(ids[chosen], ids, &mut dists);
+        for (dd, &d) in d1.iter_mut().zip(&dists) {
+            if d < *dd {
+                *dd = d;
             }
         }
     }
@@ -168,10 +151,12 @@ pub fn penalty_local_search<M: Metric>(
     let weights = points.weights();
     let n = ids.len();
     let mut rng = SmallRng::seed_from_u64(params.seed);
+    let assigner = NearestAssigner::with_threads(metric, params.threads);
 
-    let mut centers = seed_centers(metric, points, k, penalty, &mut rng);
-    let mut state = recompute_state(metric, ids, &centers);
+    let mut centers = seed_centers(metric, points, k, penalty, &mut rng, params.threads);
+    let mut state: NearestState = assigner.assign2(ids, &centers);
     let mut cost = penalized_cost(&state, weights, penalty);
+    let mut dx_all = Vec::with_capacity(n);
 
     for _ in 0..params.max_iters {
         let kk = centers.len();
@@ -187,6 +172,9 @@ pub fn penalty_local_search<M: Metric>(
             // Delta decomposition: delta(x, ci) = a + b[ci], where
             //   a      = Σ_e w_e (min(dx, d1, λ) − min(d1, λ))
             //   b[ci]  = Σ_{e: c1=ci} w_e (min(d2, dx, λ) − min(dx, d1, λ))
+            // The candidate's distances to every entry come from one bulk
+            // pass; the accumulation stays sequential in entry order.
+            assigner.dists_from(x, ids, &mut dx_all);
             let mut a = 0.0f64;
             let mut b = vec![0.0f64; kk];
             for e in 0..n {
@@ -194,7 +182,7 @@ pub fn penalty_local_search<M: Metric>(
                 if w == 0.0 {
                     continue;
                 }
-                let dx = metric.dist(ids[e], x);
+                let dx = dx_all[e];
                 let old = state.d1[e].min(penalty);
                 let with_x = dx.min(state.d1[e]).min(penalty);
                 a += w * (with_x - old);
@@ -211,7 +199,7 @@ pub fn penalty_local_search<M: Metric>(
         match best {
             Some((cand, ci, delta)) if delta < -params.min_rel_gain * cost.max(1e-30) => {
                 centers[ci] = ids[cand];
-                state = recompute_state(metric, ids, &centers);
+                state = assigner.assign2(ids, &centers);
                 cost += delta;
                 // Guard against floating drift.
                 debug_assert!(

@@ -1,6 +1,6 @@
 //! Common solution representation: the paper's `sol(Z, k, t, d)`.
 
-use dpc_metric::{cost_excluding_outliers, Metric, Objective, WeightedSet};
+use dpc_metric::{cost_excluding_outliers_with, Metric, Objective, ThreadBudget, WeightedSet};
 
 /// A clustering solution over some metric index space.
 #[derive(Clone, Debug)]
@@ -25,7 +25,28 @@ impl Solution {
         t: f64,
         objective: Objective,
     ) -> Self {
-        let r = cost_excluding_outliers(metric, points, &centers, t, objective);
+        Self::evaluate_with(
+            metric,
+            points,
+            centers,
+            t,
+            objective,
+            ThreadBudget::serial(),
+        )
+    }
+
+    /// [`Self::evaluate`] with an explicit thread budget for the
+    /// nearest-center scoring pass (wall-clock only — the record is
+    /// identical at any budget).
+    pub fn evaluate_with<M: Metric>(
+        metric: &M,
+        points: &WeightedSet,
+        centers: Vec<usize>,
+        t: f64,
+        objective: Objective,
+        threads: ThreadBudget,
+    ) -> Self {
+        let r = cost_excluding_outliers_with(metric, points, &centers, t, objective, threads);
         Solution {
             centers,
             cost: r.cost,

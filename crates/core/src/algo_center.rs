@@ -27,11 +27,13 @@ use crate::allocation::allocate_outliers;
 use crate::hull::{geometric_grid, ConvexProfile};
 use crate::wire::{DistributedSolution, PreclusterMsg, ThresholdMsg};
 use bytes::Bytes;
-use dpc_cluster::{charikar_center, gonzalez, CenterParams, GonzalezOrdering};
+use dpc_cluster::{charikar_center, gonzalez_with, CenterParams, GonzalezOrdering};
 use dpc_coordinator::{
     run_protocol, Coordinator, CoordinatorStep, ProtocolOutput, RunOptions, Site,
 };
-use dpc_metric::{EuclideanMetric, Metric, PointSet, WeightedSet, WireWriter};
+use dpc_metric::{
+    EuclideanMetric, NearestAssigner, PointSet, ThreadBudget, WeightedSet, WireWriter,
+};
 
 /// Configuration for the distributed `(k,t)`-center protocol.
 #[derive(Clone, Copy, Debug)]
@@ -44,6 +46,9 @@ pub struct CenterConfig {
     pub rho: f64,
     /// Coordinator-side greedy-disk tuning.
     pub charikar: CenterParams,
+    /// Thread budget for the bulk kernels (site Gonzalez relax, weight
+    /// attachment, coordinator disk scans). Wall-clock only.
+    pub threads: ThreadBudget,
 }
 
 impl CenterConfig {
@@ -54,7 +59,14 @@ impl CenterConfig {
             t,
             rho: 2.0,
             charikar: CenterParams::default(),
+            threads: ThreadBudget::serial(),
         }
+    }
+
+    /// Caps the bulk-kernel thread budget.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = ThreadBudget::new(n);
+        self
     }
 
     fn encode(&self) -> Bytes {
@@ -113,7 +125,7 @@ impl<'a> CenterSite<'a> {
         let ids: Vec<usize> = (0..n).collect();
         // Only the first k + t selections are ever needed (Theorem 4.3's
         // O((k+t)·n_i) site time comes from exactly this cap).
-        self.ordering = Some(gonzalez(&m, &ids, k + t + 1, 0));
+        self.ordering = Some(gonzalez_with(&m, &ids, k + t + 1, 0, self.cfg.threads));
 
         // Cumulative profile on the geometric grid: F(q) = Σ_{r>q} ℓ(i,r).
         let grid = geometric_grid(t, self.cfg.rho.max(1.0 + 1e-9));
@@ -169,11 +181,12 @@ impl<'a> CenterSite<'a> {
         let prefix = (self.cfg.k + ti).min(ord.order.len());
         let chosen = &ord.order[..prefix];
         // Attach every point (none ignored — Remark 3) to its nearest
-        // prefix selection.
+        // prefix selection, in one bulk assignment pass.
         let m = EuclideanMetric::new(self.data);
+        let ids: Vec<usize> = (0..n).collect();
+        let assigned = NearestAssigner::with_threads(&m, self.cfg.threads).assign(&ids, chosen);
         let mut weights = vec![0.0f64; prefix];
-        for p in 0..n {
-            let (pos, _) = m.nearest(p, chosen).expect("non-empty prefix");
+        for &pos in &assigned.pos {
             weights[pos] += 1.0;
         }
         PreclusterMsg {
@@ -276,7 +289,10 @@ impl CenterCoordinator {
             &weighted,
             self.cfg.k,
             self.cfg.t as f64,
-            self.cfg.charikar,
+            CenterParams {
+                threads: self.cfg.threads,
+                ..self.cfg.charikar
+            },
         );
         DistributedSolution {
             centers: merged.subset(&sol.centers),

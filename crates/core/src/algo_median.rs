@@ -23,7 +23,7 @@
 
 use crate::allocation::{allocate_outliers, site_budget_from_threshold};
 use crate::hull::{geometric_grid, ConvexProfile};
-use crate::merge::merge_solutions;
+use crate::merge::merge_solutions_with;
 use crate::wire::{DistributedSolution, PreclusterMsg, ThresholdMsg};
 use bytes::Bytes;
 use dpc_cluster::{
@@ -33,7 +33,9 @@ use dpc_cluster::{
 use dpc_coordinator::{
     run_protocol, Coordinator, CoordinatorStep, ProtocolOutput, RunOptions, Site,
 };
-use dpc_metric::{EuclideanMetric, Objective, PointSet, SquaredMetric, WeightedSet, WireWriter};
+use dpc_metric::{
+    EuclideanMetric, Objective, PointSet, SquaredMetric, ThreadBudget, WeightedSet, WireWriter,
+};
 
 /// Which flavour of Algorithm 1 to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -72,6 +74,10 @@ pub struct MedianConfig {
     /// `(1+ε)k` centers but exclude only exactly `t` weight (Table 2's
     /// `(1+ε)k` rows).
     pub relax_centers: bool,
+    /// Thread budget for the bulk distance kernels inside the site and
+    /// coordinator solvers. Wall-clock only — transcripts, selected
+    /// centers, and costs are identical at any budget.
+    pub threads: ThreadBudget,
 }
 
 impl MedianConfig {
@@ -87,7 +93,14 @@ impl MedianConfig {
             lambda_iters: 12,
             ls: LocalSearchParams::default(),
             relax_centers: false,
+            threads: ThreadBudget::serial(),
         }
+    }
+
+    /// Caps the bulk-kernel thread budget (per site / coordinator solve).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = ThreadBudget::new(n);
+        self
     }
 
     /// Switches the coordinator to the `(1+ε)k` center-relaxed output
@@ -113,10 +126,12 @@ impl MedianConfig {
     fn site_solver_params(&self) -> BicriteriaParams {
         // Sites solve at *exact* budgets (the grid point q), so no
         // relaxation inside; relaxation happens at the coordinator.
+        let mut ls = self.ls;
+        ls.threads = self.threads;
         BicriteriaParams {
             eps: 0.0,
             lambda_iters: self.lambda_iters,
-            ls: self.ls,
+            ls,
         }
     }
 
@@ -153,14 +168,20 @@ fn local_solve(
 
 /// Re-evaluates `centers` on a shard at an exact integral budget, returning
 /// the full assignment record.
-fn local_evaluate(data: &PointSet, means: bool, centers: Vec<usize>, budget: f64) -> Solution {
+fn local_evaluate(
+    data: &PointSet,
+    means: bool,
+    centers: Vec<usize>,
+    budget: f64,
+    threads: ThreadBudget,
+) -> Solution {
     let w = WeightedSet::unit(data.len());
     if means {
         let m = SquaredMetric::new(EuclideanMetric::new(data));
-        Solution::evaluate(&m, &w, centers, budget, Objective::Median)
+        Solution::evaluate_with(&m, &w, centers, budget, Objective::Median, threads)
     } else {
         let m = EuclideanMetric::new(data);
-        Solution::evaluate(&m, &w, centers, budget, Objective::Median)
+        Solution::evaluate_with(&m, &w, centers, budget, Objective::Median, threads)
     }
 }
 
@@ -288,7 +309,7 @@ impl<'a> MedianSite<'a> {
         let gi = self.grid_index(ti);
         let centers = self.sols[gi].centers.clone();
         let budget = (ti.min(n)) as f64;
-        let sol = local_evaluate(self.data, self.cfg.means, centers, budget);
+        let sol = local_evaluate(self.data, self.cfg.means, centers, budget, self.cfg.threads);
         precluster_msg(self.data, &sol, ship, ti).encode()
     }
 
@@ -303,10 +324,10 @@ impl<'a> MedianSite<'a> {
         let budget = (ti.min(self.data.len())) as f64;
         if self.cfg.means {
             let m = SquaredMetric::new(EuclideanMetric::new(self.data));
-            merge_solutions(&m, &w, s1, s2, budget, Objective::Median)
+            merge_solutions_with(&m, &w, s1, s2, budget, Objective::Median, self.cfg.threads)
         } else {
             let m = EuclideanMetric::new(self.data);
-            merge_solutions(&m, &w, s1, s2, budget, Objective::Median)
+            merge_solutions_with(&m, &w, s1, s2, budget, Objective::Median, self.cfg.threads)
         }
     }
 }
@@ -404,10 +425,12 @@ impl MedianCoordinator {
         // Budget at the coordinator: t (ε-relaxed inside the solver). In
         // the counts-only variant the t_i locally ignored points were never
         // shipped, hence the (2+ε+δ)t total of Theorem 3.8.
+        let mut ls = self.cfg.ls;
+        ls.threads = self.cfg.threads;
         let params = BicriteriaParams {
             eps: self.cfg.eps,
             lambda_iters: self.cfg.lambda_iters,
-            ls: self.cfg.ls,
+            ls,
         };
         let solve = |relax: bool| {
             if self.cfg.means {

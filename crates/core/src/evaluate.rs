@@ -5,7 +5,7 @@
 //! the union of all site shards. This module recomputes it exactly (it is
 //! not part of any protocol and charges no communication).
 
-use dpc_metric::{CrossMetric, Objective, PointSet};
+use dpc_metric::{CenterBlock, Objective, PointSet, ThreadBudget};
 
 /// Concatenates site shards into one point set (dimension must agree).
 pub fn merge_shards(shards: &[PointSet]) -> PointSet {
@@ -27,17 +27,30 @@ pub fn evaluate_on_full_data(
     budget: usize,
     objective: Objective,
 ) -> (f64, usize) {
+    evaluate_on_full_data_with(shards, centers, budget, objective, ThreadBudget::serial())
+}
+
+/// [`evaluate_on_full_data`] with an explicit thread budget for the bulk
+/// nearest-center pass over the merged data (wall-clock only — the cost
+/// and exclusion count are identical at any budget).
+pub fn evaluate_on_full_data_with(
+    shards: &[PointSet],
+    centers: &PointSet,
+    budget: usize,
+    objective: Objective,
+    threads: ThreadBudget,
+) -> (f64, usize) {
     let all = merge_shards(shards);
     if all.is_empty() || centers.is_empty() {
         return (0.0, 0);
     }
-    let x = CrossMetric::new(&all, centers);
-    let mut dists: Vec<f64> = (0..all.len())
-        .map(|q| {
-            let (_, d) = x.nearest(q).expect("non-empty centers");
-            objective.transform(d)
-        })
-        .collect();
+    let block = CenterBlock::new(centers);
+    let ids: Vec<usize> = (0..all.len()).collect();
+    let assigned = block.assign(&all, &ids, threads);
+    let mut dists = assigned.dist;
+    for d in dists.iter_mut() {
+        *d = objective.transform(*d);
+    }
     dists.sort_by(|a, b| b.total_cmp(a));
     let excluded = budget.min(dists.len());
     let rest = &dists[excluded..];

@@ -12,7 +12,7 @@
 //! simple procedure above (Algorithm 1', line 17).
 
 use dpc_cluster::Solution;
-use dpc_metric::{Metric, Objective, WeightedSet};
+use dpc_metric::{Metric, Objective, ThreadBudget, WeightedSet};
 
 /// Merges two solutions over the same local point set into a combined
 /// solution with the union of centers and exactly `t_i` outliers.
@@ -24,13 +24,35 @@ pub fn merge_solutions<M: Metric>(
     t_i: f64,
     objective: Objective,
 ) -> Solution {
+    merge_solutions_with(
+        metric,
+        points,
+        sol1,
+        sol2,
+        t_i,
+        objective,
+        ThreadBudget::serial(),
+    )
+}
+
+/// [`merge_solutions`] with an explicit thread budget for the evaluation
+/// pass over the merged center set.
+pub fn merge_solutions_with<M: Metric>(
+    metric: &M,
+    points: &WeightedSet,
+    sol1: &Solution,
+    sol2: &Solution,
+    t_i: f64,
+    objective: Objective,
+    threads: ThreadBudget,
+) -> Solution {
     let mut centers = sol1.centers.clone();
     for &c in &sol2.centers {
         if !centers.contains(&c) {
             centers.push(c);
         }
     }
-    Solution::evaluate(metric, points, centers, t_i, objective)
+    Solution::evaluate_with(metric, points, centers, t_i, objective, threads)
 }
 
 #[cfg(test)]

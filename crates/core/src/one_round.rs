@@ -11,11 +11,15 @@ use crate::algo_center::CenterConfig;
 use crate::algo_median::MedianConfig;
 use crate::wire::{DistributedSolution, PreclusterMsg};
 use bytes::Bytes;
-use dpc_cluster::{charikar_center, gonzalez, median_bicriteria, BicriteriaParams, Solution};
+use dpc_cluster::{
+    charikar_center, gonzalez_with, median_bicriteria, BicriteriaParams, CenterParams, Solution,
+};
 use dpc_coordinator::{
     run_protocol, Coordinator, CoordinatorStep, ProtocolOutput, RunOptions, Site,
 };
-use dpc_metric::{EuclideanMetric, Metric, Objective, PointSet, SquaredMetric, WeightedSet};
+use dpc_metric::{
+    EuclideanMetric, NearestAssigner, Objective, PointSet, SquaredMetric, WeightedSet,
+};
 
 /// Site for the 1-round median/means protocol: one shot, full hedge.
 struct OneRoundMedianSite<'a> {
@@ -44,6 +48,7 @@ impl Site for OneRoundMedianSite<'_> {
             ls: self.cfg.ls,
         };
         params.ls.seed = params.ls.seed.wrapping_add(self.site_id as u64);
+        params.ls.threads = self.cfg.threads;
         let w = WeightedSet::unit(n);
         let sol = if self.cfg.means {
             let m = SquaredMetric::new(EuclideanMetric::new(self.data));
@@ -55,7 +60,14 @@ impl Site for OneRoundMedianSite<'_> {
                 Objective::Median,
                 params,
             );
-            Solution::evaluate(&m, &w, s.centers, t_local as f64, Objective::Median)
+            Solution::evaluate_with(
+                &m,
+                &w,
+                s.centers,
+                t_local as f64,
+                Objective::Median,
+                self.cfg.threads,
+            )
         } else {
             let m = EuclideanMetric::new(self.data);
             let s = median_bicriteria(
@@ -66,7 +78,14 @@ impl Site for OneRoundMedianSite<'_> {
                 Objective::Median,
                 params,
             );
-            Solution::evaluate(&m, &w, s.centers, t_local as f64, Objective::Median)
+            Solution::evaluate_with(
+                &m,
+                &w,
+                s.centers,
+                t_local as f64,
+                Objective::Median,
+                self.cfg.threads,
+            )
         };
         crate::algo_median::precluster_msg(self.data, &sol, true, t_local).encode()
     }
@@ -115,10 +134,12 @@ impl Coordinator for OneRoundMedianCoordinator {
                         shipped_outliers: 0,
                     }
                 } else {
+                    let mut ls = self.cfg.ls;
+                    ls.threads = self.cfg.threads;
                     let params = BicriteriaParams {
                         eps: self.cfg.eps,
                         lambda_iters: self.cfg.lambda_iters,
-                        ls: self.cfg.ls,
+                        ls,
                     };
                     let sol = if self.cfg.means {
                         let m = SquaredMetric::new(EuclideanMetric::new(&merged));
@@ -211,11 +232,11 @@ impl Site for OneRoundCenterSite<'_> {
         let m = EuclideanMetric::new(self.data);
         let ids: Vec<usize> = (0..n).collect();
         let prefix_len = (self.cfg.k + self.cfg.t).min(n);
-        let ord = gonzalez(&m, &ids, prefix_len, 0);
+        let ord = gonzalez_with(&m, &ids, prefix_len, 0, self.cfg.threads);
         let chosen = &ord.order[..];
+        let assigned = NearestAssigner::with_threads(&m, self.cfg.threads).assign(&ids, chosen);
         let mut weights = vec![0.0f64; chosen.len()];
-        for p in 0..n {
-            let (pos, _) = m.nearest(p, chosen).expect("non-empty prefix");
+        for &pos in &assigned.pos {
             weights[pos] += 1.0;
         }
         PreclusterMsg {
@@ -271,7 +292,10 @@ impl Coordinator for OneRoundCenterCoordinator {
                         &weighted,
                         self.cfg.k,
                         self.cfg.t as f64,
-                        self.cfg.charikar,
+                        CenterParams {
+                            threads: self.cfg.threads,
+                            ..self.cfg.charikar
+                        },
                     );
                     DistributedSolution {
                         centers: merged.subset(&sol.centers),

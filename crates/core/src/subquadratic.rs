@@ -15,7 +15,9 @@
 use crate::allocation::allocate_outliers;
 use crate::hull::{geometric_grid, ConvexProfile};
 use dpc_cluster::{median_bicriteria, BicriteriaParams, LocalSearchParams, Solution};
-use dpc_metric::{CrossMetric, EuclideanMetric, Objective, PointSet, SquaredMetric, WeightedSet};
+use dpc_metric::{
+    CenterBlock, EuclideanMetric, Objective, PointSet, SquaredMetric, ThreadBudget, WeightedSet,
+};
 
 /// Tuning for [`subquadratic_median`].
 #[derive(Clone, Copy, Debug)]
@@ -35,6 +37,9 @@ pub struct SubquadraticParams {
     pub lambda_iters: usize,
     /// Local-search tuning of the base solver.
     pub ls: LocalSearchParams,
+    /// Thread budget for the bulk kernels (piece assignment, evaluation,
+    /// base-solver distance passes). Wall-clock only.
+    pub threads: ThreadBudget,
 }
 
 impl Default for SubquadraticParams {
@@ -47,6 +52,7 @@ impl Default for SubquadraticParams {
             means: false,
             lambda_iters: 10,
             ls: LocalSearchParams::default(),
+            threads: ThreadBudget::serial(),
         }
     }
 }
@@ -82,7 +88,7 @@ pub fn subquadratic_median(
     } else {
         Objective::Median
     };
-    let (cost, excluded) = eval_coords(points, &centers, budget, objective);
+    let (cost, excluded) = eval_coords(points, &centers, budget, objective, params.threads);
     CentralizedSolution {
         centers,
         cost,
@@ -137,7 +143,7 @@ fn solve_rec(
                 continue;
             }
             let centers = solve_rec(piece, 2 * k, q, level - 1, params);
-            let (cost, _) = eval_coords(piece, &centers, q, objective);
+            let (cost, _) = eval_coords(piece, &centers, q, objective, params.threads);
             prof_pts.push((q, cost));
             sols.push(centers);
         }
@@ -156,12 +162,11 @@ fn solve_rec(
         // Assign piece points to the local centers; worst ti become shipped
         // outliers, the rest aggregate onto centers.
         let budget = ti.min(piece.len());
-        let x = CrossMetric::new(piece, centers);
+        let block = CenterBlock::new(centers);
+        let piece_ids: Vec<usize> = (0..piece.len()).collect();
+        let assigned = block.assign(piece, &piece_ids, params.threads);
         let mut per: Vec<(usize, usize, f64)> = (0..piece.len())
-            .map(|p| {
-                let (c, d) = x.nearest(p).expect("non-empty centers");
-                (p, c, objective.transform(d))
-            })
+            .map(|p| (p, assigned.pos[p], objective.transform(assigned.dist[p])))
             .collect();
         per.sort_by(|a, b| b.2.total_cmp(&a.2));
         let (outl, kept) = per.split_at(budget);
@@ -182,10 +187,12 @@ fn solve_rec(
     }
 
     // Coordinator step: Theorem 3.1 solver on the merged instance.
+    let mut ls = params.ls;
+    ls.threads = params.threads;
     let bparams = BicriteriaParams {
         eps: params.eps,
         lambda_iters: params.lambda_iters,
-        ls: params.ls,
+        ls,
     };
     let sol = if params.means {
         let m = SquaredMetric::new(EuclideanMetric::new(&merged));
@@ -200,10 +207,12 @@ fn solve_rec(
 /// Direct quadratic solve, returning center coordinates.
 fn base_solve(points: &PointSet, k: usize, t: usize, params: &SubquadraticParams) -> PointSet {
     let w = WeightedSet::unit(points.len());
+    let mut ls = params.ls;
+    ls.threads = params.threads;
     let bparams = BicriteriaParams {
         eps: 0.0,
         lambda_iters: params.lambda_iters,
-        ls: params.ls,
+        ls,
     };
     let sol: Solution = if params.means {
         let m = SquaredMetric::new(EuclideanMetric::new(points));
@@ -222,14 +231,17 @@ fn eval_coords(
     centers: &PointSet,
     budget: usize,
     objective: Objective,
+    threads: ThreadBudget,
 ) -> (f64, usize) {
     if centers.is_empty() || points.is_empty() {
         return (0.0, 0);
     }
-    let x = CrossMetric::new(points, centers);
-    let mut d: Vec<f64> = (0..points.len())
-        .map(|p| objective.transform(x.nearest(p).expect("non-empty").1))
-        .collect();
+    let block = CenterBlock::new(centers);
+    let ids: Vec<usize> = (0..points.len()).collect();
+    let mut d = block.assign(points, &ids, threads).dist;
+    for v in d.iter_mut() {
+        *v = objective.transform(*v);
+    }
     d.sort_by(|a, b| b.total_cmp(a));
     let excluded = budget.min(d.len());
     let rest = &d[excluded..];
@@ -264,7 +276,13 @@ mod tests {
         let sub = subquadratic_median(&ps, 3, t, SubquadraticParams::default());
         // Direct quadratic reference.
         let direct = base_solve(&ps, 3, t, &SubquadraticParams::default());
-        let (dc, _) = eval_coords(&ps, &direct, 2 * t, Objective::Median);
+        let (dc, _) = eval_coords(
+            &ps,
+            &direct,
+            2 * t,
+            Objective::Median,
+            ThreadBudget::serial(),
+        );
         assert!(
             sub.cost <= 8.0 * dc.max(1.0) + 1e-6,
             "subquadratic {} vs direct {}",

@@ -200,8 +200,8 @@ pub mod prelude {
         SubquadraticParams,
     };
     pub use dpc_metric::{
-        center_cost, means_cost, median_cost, EuclideanMetric, Metric, Objective, PointSet,
-        SquaredMetric, WeightedSet,
+        center_cost, means_cost, median_cost, CenterBlock, EuclideanMetric, Metric,
+        NearestAssigner, Objective, PointSet, SquaredMetric, ThreadBudget, WeightedSet,
     };
     pub use dpc_stream::{
         ContinuousCluster, ContinuousConfig, SlidingWindowEngine, StreamConfig, StreamEngine,
@@ -212,7 +212,7 @@ pub mod prelude {
         UncertainConfig, UncertainNode,
     };
     pub use dpc_workloads::{
-        drifting_stream, gaussian_mixture, partition, uncertain_mixture, DriftSpec, DriftStream,
-        Mixture, MixtureSpec, PartitionStrategy, UncertainSpec,
+        drifting_stream, gaussian_blobs, gaussian_mixture, partition, uncertain_mixture, BlobsSpec,
+        DriftSpec, DriftStream, Mixture, MixtureSpec, PartitionStrategy, UncertainSpec,
     };
 }

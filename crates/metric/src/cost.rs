@@ -7,6 +7,7 @@
 //! aggregated point (Remark 1: the coordinator may exclude fewer copies than
 //! a preclustered point carries).
 
+use crate::kernel::{NearestAssigner, ThreadBudget};
 use crate::metric::Metric;
 use crate::weighted::WeightedSet;
 
@@ -74,6 +75,27 @@ pub fn cost_excluding_outliers<M: Metric>(
     t: f64,
     objective: Objective,
 ) -> OutlierCost {
+    cost_excluding_outliers_with(
+        metric,
+        points,
+        centers,
+        t,
+        objective,
+        ThreadBudget::serial(),
+    )
+}
+
+/// [`cost_excluding_outliers`] with an explicit thread budget for the
+/// nearest-center scoring pass. The budget changes wall-clock only: the
+/// assignment, exclusion order, and cost are identical at any budget.
+pub fn cost_excluding_outliers_with<M: Metric>(
+    metric: &M,
+    points: &WeightedSet,
+    centers: &[usize],
+    t: f64,
+    objective: Objective,
+    threads: ThreadBudget,
+) -> OutlierCost {
     assert!(t >= 0.0, "outlier budget must be non-negative");
     if points.is_empty() {
         return OutlierCost {
@@ -85,13 +107,13 @@ pub fn cost_excluding_outliers<M: Metric>(
     assert!(!centers.is_empty(), "need at least one center");
 
     let n = points.len();
-    let mut dists = Vec::with_capacity(n);
-    let mut assignment = Vec::with_capacity(n);
-    for (id, _w) in points.iter() {
-        // `nearest` is Some because centers is non-empty.
-        let (pos, d) = metric.nearest(id, centers).expect("non-empty centers");
-        dists.push(objective.transform(d));
-        assignment.push(pos);
+    // One bulk nearest-center pass over all entries (the former per-entry
+    // `metric.nearest` loop), then the transform in entry order.
+    let scored = NearestAssigner::with_threads(metric, threads).assign(points.ids(), centers);
+    let assignment = scored.pos;
+    let mut dists = scored.dist;
+    for d in dists.iter_mut() {
+        *d = objective.transform(*d);
     }
 
     // Exclude the largest transformed distances first.

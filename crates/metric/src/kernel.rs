@@ -1,0 +1,926 @@
+//! Bulk distance kernels: batched, pruned, optionally threaded
+//! nearest-center evaluation.
+//!
+//! Every solver in the workspace bottoms out in "distance from one point
+//! to many candidates" — assignment steps, farthest-first relaxation,
+//! swap-delta evaluation, outlier scoring. Evaluating those as one-pair
+//! [`Metric::dist`] calls pays the full `O(d)` per-coordinate cost for
+//! every candidate, including the overwhelming majority that lose by a
+//! mile. The bulk layer restructures the loop around three levers:
+//!
+//! * **norm-bound pruning** — [`EuclideanMetric`] assignment precomputes
+//!   `‖c‖` per center once per block; `d(x,c) ≥ |‖x‖ − ‖c‖|` then rejects
+//!   most losing candidates in O(1), before any per-coordinate work. On
+//!   clustered data this is where the order of magnitude comes from.
+//! * **the dot form** — survivors are scored as `‖x‖² + ‖c‖² − 2·x·c`
+//!   with precomputed squared norms (cheaper and better-pipelined than
+//!   the difference form), and only candidates whose score lands within a
+//!   conservative error tolerance of the incumbent pay for an exact pass.
+//! * **thread-level parallelism** — per-query results are independent, so
+//!   chunks of queries fan out across a [`ThreadBudget`] with no change
+//!   in any output value.
+//!
+//! Both pruning rules are margin-deflated so floating-point error can
+//! never discard a true winner, and every surviving comparison runs on
+//! the exact [`sq_dist`] summation under the same strict-`<`, first-wins
+//! rule as the scalar path — selected ids, tie-breaks, and distance
+//! values are bit-identical to the scalar loop, so the bulk layer is
+//! drop-in for protocol code whose wire bytes depend on either.
+//!
+//! [`EuclideanMetric`]: crate::EuclideanMetric
+
+use crate::metric::Metric;
+use crate::points::{sq_dist, PointSet};
+
+/// How many independent candidate accumulators the blocked kernels
+/// interleave. Four `f64` chains cover the FMA latency/throughput gap on
+/// every mainstream core without spilling registers.
+pub const LANES: usize = 4;
+
+/// Queries per work unit when a kernel is split across threads. Small
+/// enough to balance uneven chunks, large enough that the per-spawn cost
+/// disappears.
+const MIN_CHUNK: usize = 256;
+
+/// An explicit cap on the threads a bulk kernel may use.
+///
+/// Kernels default to [`ThreadBudget::serial`] so library calls never
+/// oversubscribe by surprise: a `Sweep::grid` already runs one job per
+/// worker thread, and the channel/TCP transports already run one thread
+/// per site. Opt into intra-kernel parallelism where a single job owns the
+/// machine (`Job::threads`, CLI `--threads`).
+///
+/// Threading never changes any output value: queries are split into
+/// chunks, every per-query result is computed independently, and
+/// reductions over queries stay on the calling thread in index order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ThreadBudget(usize);
+
+impl ThreadBudget {
+    /// One thread: run on the caller, spawn nothing.
+    pub fn serial() -> Self {
+        Self(1)
+    }
+
+    /// Up to `n` threads (clamped to at least 1).
+    pub fn new(n: usize) -> Self {
+        Self(n.max(1))
+    }
+
+    /// One thread per available core.
+    pub fn available() -> Self {
+        Self::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// The thread cap.
+    pub fn get(self) -> usize {
+        self.0
+    }
+
+    /// True when the budget admits no worker threads.
+    pub fn is_serial(self) -> bool {
+        self.0 <= 1
+    }
+}
+
+impl Default for ThreadBudget {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+/// Runs `work(start, out_chunk)` over disjoint chunks of `out`, in
+/// parallel up to the budget. `start` is the offset of the chunk within
+/// `out`. Falls back to one inline call when the budget is serial or the
+/// input is small. The building block for custom bulk passes whose
+/// per-element results are independent (each chunk writes only its own
+/// slice, so outputs are identical at any budget).
+pub fn par_chunks_mut<T: Send>(
+    budget: ThreadBudget,
+    out: &mut [T],
+    work: impl Fn(usize, &mut [T]) + Sync,
+) {
+    let n = out.len();
+    let threads = budget.get().min(n.div_ceil(MIN_CHUNK)).max(1);
+    if threads <= 1 {
+        work(0, out);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (c, slice) in out.chunks_mut(chunk).enumerate() {
+            let work = &work;
+            scope.spawn(move || work(c * chunk, slice));
+        }
+    });
+}
+
+/// Like [`par_chunks_mut`] over two parallel output slices (positions and
+/// distances) that must be chunked identically.
+pub(crate) fn par_chunks_mut2<A: Send, B: Send>(
+    budget: ThreadBudget,
+    a: &mut [A],
+    b: &mut [B],
+    work: impl Fn(usize, &mut [A], &mut [B]) + Sync,
+) {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let threads = budget.get().min(n.div_ceil(MIN_CHUNK)).max(1);
+    if threads <= 1 {
+        work(0, a, b);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (c, (sa, sb)) in a.chunks_mut(chunk).zip(b.chunks_mut(chunk)).enumerate() {
+            let work = &work;
+            scope.spawn(move || work(c * chunk, sa, sb));
+        }
+    });
+}
+
+/// A full point→center assignment: for each queried point, the position
+/// (within the candidate slice) of its nearest center and the distance to
+/// it, under the metric's own distance (squared for a squared metric).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Assignment {
+    /// Nearest-center position per query, into the candidate slice.
+    pub pos: Vec<usize>,
+    /// Distance to that center, per query.
+    pub dist: Vec<f64>,
+}
+
+impl Assignment {
+    /// An empty assignment to reuse across calls.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of assigned queries.
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// True when nothing has been assigned.
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+}
+
+/// Nearest *and* second-nearest distances per query — the state the
+/// single-swap local search maintains.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Assignment2 {
+    /// Nearest-center position per query.
+    pub c1: Vec<usize>,
+    /// Distance to the nearest center.
+    pub d1: Vec<f64>,
+    /// Distance to the second-nearest center (`∞` with one candidate).
+    pub d2: Vec<f64>,
+}
+
+/// Batched nearest-center evaluation over a [`Metric`].
+///
+/// Dispatches to the metric's blocked kernels ([`Metric::assign_block`]
+/// and friends) chunk by chunk, fanning chunks across the thread budget.
+/// All outputs — selected positions, tie-breaks, and distance values —
+/// are identical to the scalar `metric.nearest(i, centers)` loop,
+/// regardless of the budget.
+#[derive(Clone, Copy, Debug)]
+pub struct NearestAssigner<'a, M: Metric + ?Sized> {
+    metric: &'a M,
+    threads: ThreadBudget,
+}
+
+impl<'a, M: Metric + ?Sized> NearestAssigner<'a, M> {
+    /// A serial assigner (no worker threads).
+    pub fn new(metric: &'a M) -> Self {
+        Self {
+            metric,
+            threads: ThreadBudget::serial(),
+        }
+    }
+
+    /// An assigner with an explicit thread budget.
+    pub fn with_threads(metric: &'a M, threads: ThreadBudget) -> Self {
+        Self { metric, threads }
+    }
+
+    /// The thread budget in effect.
+    pub fn threads(&self) -> ThreadBudget {
+        self.threads
+    }
+
+    /// Assigns every id to its nearest candidate in `centers`.
+    pub fn assign(&self, ids: &[usize], centers: &[usize]) -> Assignment {
+        let mut out = Assignment::new();
+        self.assign_into(ids, centers, &mut out);
+        out
+    }
+
+    /// [`Self::assign`] into a reusable buffer.
+    pub fn assign_into(&self, ids: &[usize], centers: &[usize], out: &mut Assignment) {
+        assert!(!centers.is_empty(), "assign requires candidates");
+        out.pos.clear();
+        out.pos.resize(ids.len(), 0);
+        out.dist.clear();
+        out.dist.resize(ids.len(), 0.0);
+        let metric = self.metric;
+        par_chunks_mut2(self.threads, &mut out.pos, &mut out.dist, |start, p, d| {
+            metric.assign_block(&ids[start..start + p.len()], centers, p, d);
+        });
+    }
+
+    /// Like [`Self::assign`], but distances are the metric's *squared*
+    /// distances (positions and ties are unchanged — squaring is monotone).
+    pub fn assign_sq(&self, ids: &[usize], centers: &[usize]) -> Assignment {
+        assert!(!centers.is_empty(), "assign requires candidates");
+        let mut out = Assignment::new();
+        out.pos.resize(ids.len(), 0);
+        out.dist.resize(ids.len(), 0.0);
+        let metric = self.metric;
+        par_chunks_mut2(self.threads, &mut out.pos, &mut out.dist, |start, p, d| {
+            metric.assign_block_sq(&ids[start..start + p.len()], centers, p, d);
+        });
+        out
+    }
+
+    /// Nearest and second-nearest per id — the local-search state update.
+    pub fn assign2(&self, ids: &[usize], centers: &[usize]) -> Assignment2 {
+        let mut out = Assignment2 {
+            c1: vec![0; ids.len()],
+            d1: vec![f64::INFINITY; ids.len()],
+            d2: vec![f64::INFINITY; ids.len()],
+        };
+        if centers.is_empty() {
+            return out;
+        }
+        let metric = self.metric;
+        let n = ids.len();
+        let threads = self.threads.get().min(n.div_ceil(MIN_CHUNK)).max(1);
+        if threads <= 1 {
+            metric.assign2_block(ids, centers, &mut out.c1, &mut out.d1, &mut out.d2);
+            return out;
+        }
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            let iter = out
+                .c1
+                .chunks_mut(chunk)
+                .zip(out.d1.chunks_mut(chunk))
+                .zip(out.d2.chunks_mut(chunk))
+                .enumerate();
+            for (c, ((sc, sd1), sd2)) in iter {
+                let start = c * chunk;
+                scope.spawn(move || {
+                    metric.assign2_block(&ids[start..start + sc.len()], centers, sc, sd1, sd2);
+                });
+            }
+        });
+        out
+    }
+
+    /// Distances from one anchor to every id, in id order — the bulk form
+    /// of the farthest-first relax step and the swap-delta inner loop.
+    pub fn dists_from(&self, from: usize, ids: &[usize], out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(ids.len(), 0.0);
+        let metric = self.metric;
+        par_chunks_mut(self.threads, out, |start, d| {
+            metric.dist_to_many_into(from, &ids[start..start + d.len()], d);
+        });
+    }
+
+    /// Squared-distance variant of [`Self::dists_from`].
+    pub fn sq_dists_from(&self, from: usize, ids: &[usize], out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(ids.len(), 0.0);
+        let metric = self.metric;
+        par_chunks_mut(self.threads, out, |start, d| {
+            metric.sq_dist_to_many_into(from, &ids[start..start + d.len()], d);
+        });
+    }
+
+    /// Relaxes nearest-candidate state against a new candidate `c` in
+    /// bulk ([`Metric::relax_min_block`] per chunk): wherever
+    /// `dist(id, c) < best_d`, writes the distance and `mark`. The
+    /// farthest-first traversal's inner loop.
+    pub fn relax_min(
+        &self,
+        c: usize,
+        ids: &[usize],
+        best_d: &mut [f64],
+        best_pos: &mut [usize],
+        mark: usize,
+    ) {
+        let metric = self.metric;
+        par_chunks_mut2(self.threads, best_d, best_pos, |start, bd, bp| {
+            metric.relax_min_block(c, &ids[start..start + bd.len()], bd, bp, mark);
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flat Euclidean kernels shared by EuclideanMetric and CenterBlock.
+// ---------------------------------------------------------------------------
+
+/// Exact per-pair squared distances from one query row to `LANES`-blocked
+/// candidate rows in a gathered `k × dim` buffer. Each pair keeps the
+/// scalar summation order; blocking only interleaves independent pairs.
+pub(crate) fn sq_dists_row(x: &[f64], rows: &[f64], dim: usize, out: &mut [f64]) {
+    debug_assert_eq!(rows.len(), dim * out.len());
+    let k = out.len();
+    let mut c = 0;
+    while c + LANES <= k {
+        let base = c * dim;
+        let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        for (d, &xd) in x.iter().enumerate() {
+            let e0 = xd - rows[base + d];
+            let e1 = xd - rows[base + dim + d];
+            let e2 = xd - rows[base + 2 * dim + d];
+            let e3 = xd - rows[base + 3 * dim + d];
+            a0 += e0 * e0;
+            a1 += e1 * e1;
+            a2 += e2 * e2;
+            a3 += e3 * e3;
+        }
+        out[c] = a0;
+        out[c + 1] = a1;
+        out[c + 2] = a2;
+        out[c + 3] = a3;
+        c += LANES;
+    }
+    while c < k {
+        out[c] = sq_dist(x, &rows[c * dim..(c + 1) * dim]);
+        c += 1;
+    }
+}
+
+/// Exact per-pair squared distances from the coordinate row `x` to the
+/// scattered rows `js` of `points`, `LANES` pairs in flight. Per-pair
+/// summation order matches [`sq_dist`] exactly.
+pub(crate) fn sq_dists_scattered(points: &PointSet, x: &[f64], js: &[usize], out: &mut [f64]) {
+    debug_assert_eq!(js.len(), out.len());
+    let k = js.len();
+    let mut c = 0;
+    while c + LANES <= k {
+        let r0 = points.point(js[c]);
+        let r1 = points.point(js[c + 1]);
+        let r2 = points.point(js[c + 2]);
+        let r3 = points.point(js[c + 3]);
+        let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        for (d, &xd) in x.iter().enumerate() {
+            let e0 = xd - r0[d];
+            let e1 = xd - r1[d];
+            let e2 = xd - r2[d];
+            let e3 = xd - r3[d];
+            a0 += e0 * e0;
+            a1 += e1 * e1;
+            a2 += e2 * e2;
+            a3 += e3 * e3;
+        }
+        out[c] = a0;
+        out[c + 1] = a1;
+        out[c + 2] = a2;
+        out[c + 3] = a3;
+        c += LANES;
+    }
+    while c < k {
+        out[c] = sq_dist(x, points.point(js[c]));
+        c += 1;
+    }
+}
+
+/// The gathered, norm-annotated candidate rows the pruned kernels scan:
+/// contiguous row-major coordinates plus the precomputed norms `‖c‖`
+/// behind the O(1) lower bound.
+pub(crate) struct GatheredRows {
+    pub rows: Vec<f64>,
+    pub root_norms: Vec<f64>,
+}
+
+/// Gathers the listed rows of `points` (the center-side precomputation of
+/// the pruned kernels).
+pub(crate) fn gather_rows(points: &PointSet, ids: &[usize]) -> GatheredRows {
+    let dim = points.dim();
+    let mut rows = Vec::with_capacity(ids.len() * dim);
+    let mut root_norms = Vec::with_capacity(ids.len());
+    for &i in ids {
+        let r = points.point(i);
+        rows.extend_from_slice(r);
+        let n: f64 = r.iter().map(|&v| v * v).sum();
+        root_norms.push(n.sqrt());
+    }
+    GatheredRows { rows, root_norms }
+}
+
+/// Dot product with interleaved accumulators — used only for the
+/// *approximate* `‖x‖` behind the margin-deflated norm bound, so
+/// reassociating the sum is fine (exact decisions always go back through
+/// [`sq_dist`]).
+fn dot_approx(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut acc = [0.0f64; LANES];
+    let mut d = 0;
+    while d + LANES <= n {
+        acc[0] += a[d] * b[d];
+        acc[1] += a[d + 1] * b[d + 1];
+        acc[2] += a[d + 2] * b[d + 2];
+        acc[3] += a[d + 3] * b[d + 3];
+        d += LANES;
+    }
+    let mut tail = 0.0;
+    while d < n {
+        tail += a[d] * b[d];
+        d += 1;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Safety margin for the O(1) norm bound: the bound must beat the
+/// incumbent by this relative factor before a candidate is skipped.
+/// Floating-point error in `‖x‖` / `‖c‖` is a few ulps; the 1e-9 margin
+/// over-covers it by orders of magnitude, so the bound can never discard
+/// a true winner.
+const PRUNE_MARGIN: f64 = 1.0 - 1e-9;
+
+/// Leading coordinates used by the candidate-ordering screen. Two
+/// coordinates are enough to separate real cluster structure and keep the
+/// screen pass at ~half the cost of a four-wide one.
+const SCREEN_DIMS: usize = 2;
+
+/// Coordinates accumulated between abort checks of a partial sum.
+const ABORT_STRIDE: usize = 8;
+
+/// Resumes the canonical [`sq_dist`] accumulation of `x` vs `row` from
+/// `acc` at coordinate `start`, aborting once the partial sum strictly
+/// exceeds `limit`. Partial sums of squares are monotone, so an abort
+/// proves the full sum exceeds `limit` — **exactly**, no tolerance.
+/// A completed sum is bit-identical to [`sq_dist`] (same single
+/// accumulator, same coordinate order).
+#[inline]
+pub(crate) fn resume_sq_abort(
+    x: &[f64],
+    row: &[f64],
+    mut acc: f64,
+    start: usize,
+    limit: f64,
+) -> Option<f64> {
+    let n = x.len();
+    debug_assert_eq!(row.len(), n);
+    let mut d = start;
+    while d < n {
+        let stop = (d + ABORT_STRIDE).min(n);
+        while d < stop {
+            let e = x[d] - row[d];
+            acc += e * e;
+            d += 1;
+        }
+        if acc > limit {
+            return None;
+        }
+    }
+    Some(acc)
+}
+
+/// Finds the nearest candidate row to `x` with partial-distance search.
+///
+/// The scan is restructured around three exact-safe filters, cheapest
+/// first:
+///
+/// 1. **screen + best-first probe** — the first [`SCREEN_DIMS`] terms of
+///    every candidate's (canonical-order) squared sum are computed up
+///    front; the candidate with the smallest screen is evaluated first,
+///    which makes the incumbent tight almost immediately. Screens are
+///    partial sums, so any candidate whose screen already exceeds the
+///    incumbent is rejected in O(1).
+/// 2. **norm bound** — `d²(x,c) ≥ (‖x‖ − ‖c‖)²` from the precomputed
+///    center norms (the Cauchy–Schwarz estimate of the
+///    `‖x‖² + ‖c‖² − 2·x·c` form) rejects a candidate in O(1).
+/// 3. **partial-distance abort** — survivors resume their exact sum from
+///    the screen prefix and bail the moment the partial sum exceeds the
+///    incumbent ([`resume_sq_abort`]).
+///
+/// Winners are compared as `(sq, position)` lexicographically, which
+/// reproduces the scalar strict-`<` first-wins rule under *any* visit
+/// order — the returned `(pos, exact_sq)` is bit-identical to the scalar
+/// scan at any data distribution; pruning only changes how much work
+/// losing candidates cost.
+pub(crate) fn nearest_row_pruned(
+    x: &[f64],
+    rows: &[f64],
+    root_norms: &[f64],
+    dim: usize,
+    screen: &mut Vec<f64>,
+) -> (usize, f64) {
+    let k = root_norms.len();
+    debug_assert!(k > 0);
+    // Tiny rows or candidate sets: the screen/abort machinery cannot pay
+    // for itself below one abort stride — the plain exact scan wins.
+    if dim <= ABORT_STRIDE || k <= 2 {
+        let mut best = (0usize, f64::INFINITY);
+        for (c, row) in rows.chunks_exact(dim).enumerate() {
+            let sq = sq_dist(x, row);
+            if sq < best.1 {
+                best = (c, sq);
+            }
+        }
+        return best;
+    }
+    let (probe, _) = fill_screen(x, rows, dim, k, screen);
+
+    // Probe the screen-minimal candidate first: a tight incumbent makes
+    // the O(1) screen test reject almost everything else.
+    let mut best_pos = probe;
+    let mut best_sq = resume_sq_abort(
+        x,
+        &rows[probe * dim..(probe + 1) * dim],
+        screen[probe],
+        SCREEN_DIMS,
+        f64::INFINITY,
+    )
+    .expect("infinite limit never aborts");
+
+    // The probe is done: poison its screen so the main scan's single
+    // comparison skips it along with everything else that lost.
+    screen[probe] = f64::INFINITY;
+    // `‖x‖` backs the norm bound but costs O(dim); compute it only if
+    // some candidate actually survives the screen test.
+    let mut sx = f64::NAN;
+    for (c, &prefix) in screen.iter().enumerate() {
+        if prefix > best_sq {
+            continue;
+        }
+        if sx.is_nan() {
+            sx = dot_approx(x, x).sqrt();
+        }
+        let diff = sx - root_norms[c];
+        if diff * diff * PRUNE_MARGIN > best_sq {
+            continue;
+        }
+        let row = &rows[c * dim..(c + 1) * dim];
+        if let Some(sq) = resume_sq_abort(x, row, prefix, SCREEN_DIMS, best_sq) {
+            if sq < best_sq || (sq == best_sq && c < best_pos) {
+                best_sq = sq;
+                best_pos = c;
+            }
+        }
+    }
+    (best_pos, best_sq)
+}
+
+/// Computes the [`SCREEN_DIMS`]-coordinate prefix of every candidate's
+/// canonical squared sum, returning the positions of the smallest and
+/// second-smallest screens.
+#[inline]
+fn fill_screen(
+    x: &[f64],
+    rows: &[f64],
+    dim: usize,
+    k: usize,
+    screen: &mut Vec<f64>,
+) -> (usize, usize) {
+    screen.clear();
+    screen.resize(k, 0.0);
+    // Unrolled canonical prefix: the additions run in the exact order
+    // `sq_dist` uses, so a screen is resumable into the full exact sum.
+    let (x0, x1) = (x[0], x[1]);
+    let (mut min1, mut min2) = (0usize, 0usize);
+    let (mut v1, mut v2) = (f64::INFINITY, f64::INFINITY);
+    for (c, (sc, row)) in screen.iter_mut().zip(rows.chunks_exact(dim)).enumerate() {
+        let r = &row[..SCREEN_DIMS];
+        let e0 = x0 - r[0];
+        let e1 = x1 - r[1];
+        let mut acc = e0 * e0;
+        acc += e1 * e1;
+        *sc = acc;
+        if acc < v1 {
+            v2 = v1;
+            min2 = min1;
+            v1 = acc;
+            min1 = c;
+        } else if acc < v2 {
+            v2 = acc;
+            min2 = c;
+        }
+    }
+    (min1, min2)
+}
+
+/// Top-2 variant of [`nearest_row_pruned`]: candidates are pruned against
+/// the *second*-nearest incumbent (they must beat it to affect either
+/// slot); the two-slot update uses `(sq, position)` ordering so the
+/// winner, runner-up value, and tie-breaks match the scalar loop exactly.
+pub(crate) fn top2_row_pruned(
+    x: &[f64],
+    rows: &[f64],
+    root_norms: &[f64],
+    dim: usize,
+    screen: &mut Vec<f64>,
+) -> (usize, f64, f64) {
+    let k = root_norms.len();
+    debug_assert!(k > 0);
+    let two_slot = |c1: &mut usize, b1: &mut f64, b2: &mut f64, c: usize, sq: f64| {
+        if sq < *b1 || (sq == *b1 && c < *c1) {
+            *b2 = *b1;
+            *b1 = sq;
+            *c1 = c;
+        } else if sq < *b2 {
+            *b2 = sq;
+        }
+    };
+    let (mut c1, mut b1, mut b2) = (0usize, f64::INFINITY, f64::INFINITY);
+    if dim <= ABORT_STRIDE || k <= 2 {
+        for (c, row) in rows.chunks_exact(dim).enumerate() {
+            let sq = sq_dist(x, row);
+            two_slot(&mut c1, &mut b1, &mut b2, c, sq);
+        }
+        return (c1, b1, b2);
+    }
+    let (probe1, probe2) = fill_screen(x, rows, dim, k, screen);
+    for probe in [probe1, probe2] {
+        let sq = resume_sq_abort(
+            x,
+            &rows[probe * dim..(probe + 1) * dim],
+            screen[probe],
+            SCREEN_DIMS,
+            f64::INFINITY,
+        )
+        .expect("infinite limit never aborts");
+        two_slot(&mut c1, &mut b1, &mut b2, probe, sq);
+    }
+    screen[probe1] = f64::INFINITY;
+    screen[probe2] = f64::INFINITY;
+    let mut sx = f64::NAN;
+    for (c, &prefix) in screen.iter().enumerate() {
+        if prefix > b2 {
+            continue;
+        }
+        if sx.is_nan() {
+            sx = dot_approx(x, x).sqrt();
+        }
+        let diff = sx - root_norms[c];
+        if diff * diff * PRUNE_MARGIN > b2 {
+            continue;
+        }
+        let row = &rows[c * dim..(c + 1) * dim];
+        if let Some(sq) = resume_sq_abort(x, row, prefix, SCREEN_DIMS, b2) {
+            two_slot(&mut c1, &mut b1, &mut b2, c, sq);
+        }
+    }
+    (c1, b1, b2)
+}
+
+pub struct CenterBlock {
+    dim: usize,
+    rows: Vec<f64>,
+    root_norms: Vec<f64>,
+}
+
+impl CenterBlock {
+    /// Gathers all points of `centers`.
+    pub fn new(centers: &PointSet) -> Self {
+        Self::from_flat(centers.dim(), centers.as_flat().to_vec())
+    }
+
+    /// Gathers the given rows of `points`.
+    pub fn from_points(points: &PointSet, ids: &[usize]) -> Self {
+        let dim = points.dim();
+        let mut rows = Vec::with_capacity(ids.len() * dim);
+        for &i in ids {
+            rows.extend_from_slice(points.point(i));
+        }
+        Self::from_flat(dim, rows)
+    }
+
+    /// Gathers explicit coordinate rows.
+    pub fn from_rows(dim: usize, rows: &[Vec<f64>]) -> Self {
+        let mut flat = Vec::with_capacity(rows.len() * dim);
+        for r in rows {
+            assert_eq!(r.len(), dim, "center row dimension mismatch");
+            flat.extend_from_slice(r);
+        }
+        Self::from_flat(dim, flat)
+    }
+
+    fn from_flat(dim: usize, rows: Vec<f64>) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(
+            rows.len().is_multiple_of(dim),
+            "flat center buffer length mismatch"
+        );
+        let root_norms: Vec<f64> = rows
+            .chunks_exact(dim)
+            .map(|r| r.iter().map(|&v| v * v).sum::<f64>().sqrt())
+            .collect();
+        Self {
+            dim,
+            rows,
+            root_norms,
+        }
+    }
+
+    /// Number of centers in the block.
+    pub fn len(&self) -> usize {
+        self.root_norms.len()
+    }
+
+    /// True when the block holds no centers.
+    pub fn is_empty(&self) -> bool {
+        self.root_norms.is_empty()
+    }
+
+    /// Ambient dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Nearest center to one coordinate row: `(position, exact squared
+    /// distance)`. Uses the pruned dot-form kernel with exact winner
+    /// resolution.
+    ///
+    /// # Panics
+    /// Panics when the block is empty.
+    pub fn nearest_sq(&self, coords: &[f64]) -> (usize, f64) {
+        assert!(!self.is_empty(), "nearest over an empty center block");
+        let mut screen = Vec::with_capacity(self.len());
+        nearest_row_pruned(coords, &self.rows, &self.root_norms, self.dim, &mut screen)
+    }
+
+    /// Assigns the given rows of `points` to their nearest centers;
+    /// distances are Euclidean (`sqrt` of the exact squared distance, so
+    /// values match the scalar path bit for bit).
+    pub fn assign(&self, points: &PointSet, ids: &[usize], threads: ThreadBudget) -> Assignment {
+        let mut out = self.assign_sq(points, ids, threads);
+        for d in &mut out.dist {
+            *d = d.sqrt();
+        }
+        out
+    }
+
+    /// Assigns the given rows of `points` to their nearest centers with
+    /// exact *squared* distances (the means/Lloyd form — no square roots
+    /// anywhere on the path).
+    pub fn assign_sq(&self, points: &PointSet, ids: &[usize], threads: ThreadBudget) -> Assignment {
+        assert!(!self.is_empty(), "assign over an empty center block");
+        assert_eq!(points.dim(), self.dim, "dimension mismatch");
+        let mut out = Assignment::new();
+        out.pos.resize(ids.len(), 0);
+        out.dist.resize(ids.len(), 0.0);
+        par_chunks_mut2(threads, &mut out.pos, &mut out.dist, |start, pos, dist| {
+            let mut screen = Vec::with_capacity(self.len());
+            for (o, (p, d)) in pos.iter_mut().zip(dist.iter_mut()).enumerate() {
+                let x = points.point(ids[start + o]);
+                let (bp, bd) =
+                    nearest_row_pruned(x, &self.rows, &self.root_norms, self.dim, &mut screen);
+                *p = bp;
+                *d = bd;
+            }
+        });
+        out
+    }
+
+    /// Exact squared distances from one coordinate row to every center, in
+    /// center order, using the blocked exact kernel (no dot-form rounding
+    /// — safe for accumulation into costs).
+    pub fn sq_dists_to_all(&self, coords: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.len(), 0.0);
+        sq_dists_row(coords, &self.rows, self.dim, out);
+    }
+}
+
+/// Exact squared distances from every listed point to one coordinate row,
+/// fanned across the thread budget. Values are bit-identical to
+/// `points.sq_dist_to(id, coords)` per entry.
+pub fn sq_dists_to_coords(
+    points: &PointSet,
+    ids: &[usize],
+    coords: &[f64],
+    out: &mut Vec<f64>,
+    threads: ThreadBudget,
+) {
+    out.clear();
+    out.resize(ids.len(), 0.0);
+    par_chunks_mut(threads, out, |start, chunk| {
+        for (o, d) in chunk.iter_mut().enumerate() {
+            *d = crate::points::sq_dist(points.point(ids[start + o]), coords);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::EuclideanMetric;
+
+    fn ps(rows: &[Vec<f64>]) -> PointSet {
+        PointSet::from_rows(rows)
+    }
+
+    #[test]
+    fn thread_budget_basics() {
+        assert_eq!(ThreadBudget::serial().get(), 1);
+        assert!(ThreadBudget::serial().is_serial());
+        assert_eq!(ThreadBudget::new(0).get(), 1);
+        assert!(ThreadBudget::available().get() >= 1);
+        assert_eq!(ThreadBudget::default(), ThreadBudget::serial());
+    }
+
+    #[test]
+    fn sq_dists_row_matches_scalar_at_every_k() {
+        // Exercise the LANES main loop and the remainder tail.
+        let x = vec![1.0, -2.0, 0.5];
+        for k in 1..=9usize {
+            let rows: Vec<f64> = (0..k * 3).map(|i| (i as f64) * 0.37 - 1.0).collect();
+            let mut out = vec![0.0; k];
+            sq_dists_row(&x, &rows, 3, &mut out);
+            for c in 0..k {
+                let exact = sq_dist(&x, &rows[c * 3..(c + 1) * 3]);
+                assert_eq!(out[c], exact, "k={k} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_row_pruned_matches_scalar_scan_with_ties() {
+        // Duplicated candidate rows force exact ties; the pruned dot form
+        // must still pick the first, like the scalar strict-< scan.
+        let rows = vec![
+            5.0, 5.0, // far
+            1.0, 0.0, // tie A
+            1.0, 0.0, // tie B (identical)
+            3.0, 4.0,
+        ];
+        let root_norms: Vec<f64> = rows
+            .chunks(2)
+            .map(|r| f64::sqrt(r[0] * r[0] + r[1] * r[1]))
+            .collect();
+        let mut screen = Vec::new();
+        let (pos, sq) = nearest_row_pruned(&[0.0, 0.0], &rows, &root_norms, 2, &mut screen);
+        assert_eq!(pos, 1, "first of the tied pair must win");
+        assert_eq!(sq, 1.0);
+
+        let (c1, d1, d2) = top2_row_pruned(&[0.0, 0.0], &rows, &root_norms, 2, &mut screen);
+        assert_eq!(c1, 1);
+        assert_eq!(d1, 1.0);
+        assert_eq!(d2, 1.0); // the duplicate row is the runner-up
+    }
+
+    #[test]
+    fn center_block_assign_matches_scalar() {
+        let centers = ps(&[vec![0.0, 0.0], vec![10.0, 0.0], vec![0.0, 10.0]]);
+        let queries = ps(&[
+            vec![1.0, 1.0],
+            vec![9.0, 1.0],
+            vec![-2.0, 8.0],
+            vec![5.0, 5.0],
+        ]);
+        let block = CenterBlock::new(&centers);
+        let ids: Vec<usize> = (0..queries.len()).collect();
+        for threads in [ThreadBudget::serial(), ThreadBudget::new(4)] {
+            let a = block.assign(&queries, &ids, threads);
+            for (q, (&p, &d)) in a.pos.iter().zip(&a.dist).enumerate() {
+                let (sp, sd) = (0..centers.len())
+                    .map(|c| (c, queries.sq_dist_to(q, centers.point(c)).sqrt()))
+                    .min_by(|a, b| a.1.total_cmp(&b.1))
+                    .unwrap();
+                assert_eq!(p, sp, "query {q}");
+                assert_eq!(d, sd, "query {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn assigner_matches_metric_nearest() {
+        let points = ps(&[
+            vec![0.0, 0.0],
+            vec![1.0, 2.0],
+            vec![8.0, 1.0],
+            vec![4.0, 4.0],
+            vec![-3.0, 2.0],
+        ]);
+        let m = EuclideanMetric::new(&points);
+        let ids: Vec<usize> = (0..points.len()).collect();
+        let centers = [2usize, 0];
+        let a = NearestAssigner::new(&m).assign(&ids, &centers);
+        for (e, &i) in ids.iter().enumerate() {
+            let (sp, sd) = m.nearest(i, &centers).unwrap();
+            assert_eq!(a.pos[e], sp);
+            assert_eq!(a.dist[e], sd);
+        }
+    }
+
+    #[test]
+    fn sq_dists_to_coords_matches_pointwise() {
+        let points = ps(&[vec![0.0], vec![2.0], vec![-1.0]]);
+        let mut out = Vec::new();
+        sq_dists_to_coords(&points, &[2, 0, 1], &[1.0], &mut out, ThreadBudget::new(3));
+        assert_eq!(out, vec![4.0, 1.0, 1.0]);
+    }
+}

@@ -12,7 +12,24 @@
 //! * [`cost`] — outlier-aware cost evaluation for the three objectives
 //!   (median / means / center), the paper's `C_sol(Z, k, t, d)`;
 //! * [`encode`] — the compact wire encoding used to charge *actual bytes* to
-//!   every message in the coordinator model (the paper's `B`).
+//!   every message in the coordinator model (the paper's `B`);
+//! * [`kernel`] — the bulk distance layer: blocked nearest-center kernels
+//!   ([`NearestAssigner`], [`CenterBlock`]) and the [`ThreadBudget`] that
+//!   caps intra-kernel parallelism so it composes with sweep- and
+//!   site-level threading instead of oversubscribing.
+//!
+//! # The kernel layer
+//!
+//! Every solver's hot path is "distances from one point to many
+//! candidates". The [`Metric`] trait therefore carries bulk hooks
+//! ([`Metric::dist_to_many`], [`Metric::assign_block`], …) next to the
+//! one-pair [`Metric::dist`]; concrete metrics override them with blocked
+//! kernels ([`EuclideanMetric`] uses `‖x‖² + ‖c‖² − 2x·c` with precomputed
+//! squared norms and exact winner resolution). The contract is strict:
+//! bulk results — selected ids, tie-breaks, and distance values — equal
+//! the scalar loop's bit for bit ([`SquaredMetric`]'s squared routing is
+//! the one documented ~1-ulp exception), so protocol transcripts stay
+//! byte-identical no matter which form runs, at any thread budget.
 //!
 //! The paper's Definition 1.1 (`(k,t)`-median/means/center) is expressed here
 //! as: choose `k` center indices and discard up to `t` units of weight so the
@@ -22,13 +39,20 @@
 
 pub mod cost;
 pub mod encode;
+pub mod kernel;
 pub mod metric;
 pub mod points;
 pub mod truncated;
 pub mod weighted;
 
-pub use cost::{center_cost, cost_excluding_outliers, means_cost, median_cost, Objective};
+pub use cost::{
+    center_cost, cost_excluding_outliers, cost_excluding_outliers_with, means_cost, median_cost,
+    Objective,
+};
 pub use encode::{WireReader, WireWriter};
+pub use kernel::{
+    sq_dists_to_coords, Assignment, Assignment2, CenterBlock, NearestAssigner, ThreadBudget,
+};
 pub use metric::{CrossMetric, EuclideanMetric, MatrixMetric, Metric, SquaredMetric};
 pub use points::{PointId, PointSet};
 pub use truncated::TruncatedMetric;

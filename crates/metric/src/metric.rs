@@ -13,7 +13,8 @@
 //! * [`TruncatedMetric`](crate::truncated::TruncatedMetric) — the paper's
 //!   `L_τ(x,y) = max{d(x,y) − τ, 0}` (Definition 5.7).
 
-use crate::points::PointSet;
+use crate::kernel::{nearest_row_pruned, top2_row_pruned};
+use crate::points::{sq_dist, PointSet};
 
 /// A (pseudo-)metric over `n` indexed points.
 ///
@@ -21,6 +22,25 @@ use crate::points::PointSet;
 /// distances from worker threads. The trait deliberately does *not* require
 /// the triangle inequality — `(k,t)`-means works with squared distances,
 /// which satisfy only `d(x,z) ≤ 2(d(x,y) + d(y,z))`.
+///
+/// # Bulk kernels
+///
+/// Besides the one-pair [`Metric::dist`], the trait carries *bulk* hooks —
+/// [`Metric::dist_to_many_into`], [`Metric::assign_block`] and friends —
+/// with scalar-loop defaults. Implementations override them with blocked,
+/// cache-friendly kernels; [`crate::NearestAssigner`] fans them across a
+/// [`crate::ThreadBudget`]. Every bulk hook is contractually **output
+/// equivalent** to its scalar default: the same selected positions (ties
+/// included: first candidate wins under strict `<`) and the same distance
+/// values bit for bit — protocol code whose wire bytes depend on either
+/// may switch freely between the scalar and bulk forms. Two deliberate,
+/// documented exceptions: [`SquaredMetric`]'s bulk squared kernels skip
+/// the scalar path's `sqrt`-then-square round trip (values may differ by
+/// ~1 ulp), and [`EuclideanMetric`] resolves winners in the *squared*
+/// domain — equivalent to the root domain except in the rounding
+/// collision where two distinct squared values round to the same square
+/// root, in which case the squared comparison (the tighter one) decides.
+/// `crates/metric/tests/proptest_kernels.rs` pins the contracts.
 pub trait Metric: Sync {
     /// Number of points the oracle covers (valid indices are `0..len()`).
     fn len(&self) -> usize;
@@ -33,10 +53,38 @@ pub trait Metric: Sync {
         self.len() == 0
     }
 
+    /// Distances from `i` to each of `js`, written into `out` (which is
+    /// resized to `js.len()`). The bulk form of a `dist` loop.
+    fn dist_to_many(&self, i: usize, js: &[usize], out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(js.len(), 0.0);
+        self.dist_to_many_into(i, js, out);
+    }
+
+    /// Slice-filling core of [`Metric::dist_to_many`] (`out.len()` must
+    /// equal `js.len()`); this is the hook blocked kernels override.
+    fn dist_to_many_into(&self, i: usize, js: &[usize], out: &mut [f64]) {
+        for (o, &j) in out.iter_mut().zip(js) {
+            *o = self.dist(i, j);
+        }
+    }
+
+    /// *Squared* distances from `i` to each of `js`. The default squares
+    /// [`Metric::dist`]; metrics with a native squared form (Euclidean)
+    /// override it to skip the root entirely, which is what lets
+    /// [`SquaredMetric`] route the means objective over the squared
+    /// kernel instead of squaring a square root.
+    fn sq_dist_to_many_into(&self, i: usize, js: &[usize], out: &mut [f64]) {
+        self.dist_to_many_into(i, js, out);
+        for o in out.iter_mut() {
+            *o *= *o;
+        }
+    }
+
     /// Distance from `i` to the nearest point in `centers`, together with
-    /// the arg-min position *within the slice*. Returns `None` on an empty
-    /// slice.
-    fn nearest(&self, i: usize, centers: &[usize]) -> Option<(usize, f64)> {
+    /// the arg-min position *within the slice*; on ties the first
+    /// candidate wins. Returns `None` on an empty slice.
+    fn nearest_in(&self, i: usize, centers: &[usize]) -> Option<(usize, f64)> {
         let mut best: Option<(usize, f64)> = None;
         for (pos, &c) in centers.iter().enumerate() {
             let d = self.dist(i, c);
@@ -46,6 +94,89 @@ pub trait Metric: Sync {
         }
         best
     }
+
+    /// Historical alias of [`Metric::nearest_in`].
+    fn nearest(&self, i: usize, centers: &[usize]) -> Option<(usize, f64)> {
+        self.nearest_in(i, centers)
+    }
+
+    /// Nearest-center positions and distances for a block of query ids
+    /// (`pos.len() == dist.len() == ids.len()`, `centers` non-empty).
+    /// Override with a blocked kernel; outputs must match the scalar
+    /// [`Metric::nearest_in`] loop exactly.
+    fn assign_block(&self, ids: &[usize], centers: &[usize], pos: &mut [usize], dist: &mut [f64]) {
+        for ((p, d), &i) in pos.iter_mut().zip(dist.iter_mut()).zip(ids) {
+            let (bp, bd) = self.nearest_in(i, centers).expect("non-empty centers");
+            *p = bp;
+            *d = bd;
+        }
+    }
+
+    /// [`Metric::assign_block`] with *squared* distances (same winners —
+    /// squaring is monotone on non-negative distances).
+    fn assign_block_sq(
+        &self,
+        ids: &[usize],
+        centers: &[usize],
+        pos: &mut [usize],
+        dist: &mut [f64],
+    ) {
+        self.assign_block(ids, centers, pos, dist);
+        for d in dist.iter_mut() {
+            *d *= *d;
+        }
+    }
+
+    /// Relaxes per-query nearest state against one new candidate `c`:
+    /// wherever `dist(id, c) < best_d`, the distance and `mark` are
+    /// written. The farthest-first traversal's inner loop. Overrides may
+    /// skip queries provably unable to improve (partial-distance abort);
+    /// the resulting state is identical to the scalar loop either way.
+    fn relax_min_block(
+        &self,
+        c: usize,
+        ids: &[usize],
+        best_d: &mut [f64],
+        best_pos: &mut [usize],
+        mark: usize,
+    ) {
+        for ((bd, bp), &i) in best_d.iter_mut().zip(best_pos.iter_mut()).zip(ids) {
+            let d = self.dist(i, c);
+            if d < *bd {
+                *bd = d;
+                *bp = mark;
+            }
+        }
+    }
+
+    /// Nearest and second-nearest distances for a block of query ids —
+    /// the local-search state. Matches the scalar two-slot update loop
+    /// (`d < d1` shifts, `else d < d2` replaces) exactly.
+    fn assign2_block(
+        &self,
+        ids: &[usize],
+        centers: &[usize],
+        c1: &mut [usize],
+        d1: &mut [f64],
+        d2: &mut [f64],
+    ) {
+        for (e, &i) in ids.iter().enumerate() {
+            let (mut bc, mut b1, mut b2) = (0usize, f64::INFINITY, f64::INFINITY);
+            for (pos, &c) in centers.iter().enumerate() {
+                let d = self.dist(i, c);
+                if d < b1 {
+                    b2 = b1;
+                    b1 = d;
+                    bc = pos;
+                } else if d < b2 {
+                    b2 = d;
+                }
+            }
+            c1[e] = bc;
+            d1[e] = b1;
+            d2[e] = b2;
+        }
+    }
 }
 
 impl<M: Metric + ?Sized> Metric for &M {
@@ -54,6 +185,50 @@ impl<M: Metric + ?Sized> Metric for &M {
     }
     fn dist(&self, i: usize, j: usize) -> f64 {
         (**self).dist(i, j)
+    }
+    fn dist_to_many(&self, i: usize, js: &[usize], out: &mut Vec<f64>) {
+        (**self).dist_to_many(i, js, out)
+    }
+    fn dist_to_many_into(&self, i: usize, js: &[usize], out: &mut [f64]) {
+        (**self).dist_to_many_into(i, js, out)
+    }
+    fn sq_dist_to_many_into(&self, i: usize, js: &[usize], out: &mut [f64]) {
+        (**self).sq_dist_to_many_into(i, js, out)
+    }
+    fn nearest_in(&self, i: usize, centers: &[usize]) -> Option<(usize, f64)> {
+        (**self).nearest_in(i, centers)
+    }
+    fn assign_block(&self, ids: &[usize], centers: &[usize], pos: &mut [usize], dist: &mut [f64]) {
+        (**self).assign_block(ids, centers, pos, dist)
+    }
+    fn assign_block_sq(
+        &self,
+        ids: &[usize],
+        centers: &[usize],
+        pos: &mut [usize],
+        dist: &mut [f64],
+    ) {
+        (**self).assign_block_sq(ids, centers, pos, dist)
+    }
+    fn relax_min_block(
+        &self,
+        c: usize,
+        ids: &[usize],
+        best_d: &mut [f64],
+        best_pos: &mut [usize],
+        mark: usize,
+    ) {
+        (**self).relax_min_block(c, ids, best_d, best_pos, mark)
+    }
+    fn assign2_block(
+        &self,
+        ids: &[usize],
+        centers: &[usize],
+        c1: &mut [usize],
+        d1: &mut [f64],
+        d2: &mut [f64],
+    ) {
+        (**self).assign2_block(ids, centers, c1, d1, d2)
     }
 }
 
@@ -84,6 +259,137 @@ impl Metric for EuclideanMetric<'_> {
     #[inline]
     fn dist(&self, i: usize, j: usize) -> f64 {
         self.points.dist(i, j)
+    }
+
+    fn dist_to_many_into(&self, i: usize, js: &[usize], out: &mut [f64]) {
+        crate::kernel::sq_dists_scattered(self.points, self.points.point(i), js, out);
+        for o in out.iter_mut() {
+            *o = o.sqrt();
+        }
+    }
+
+    fn sq_dist_to_many_into(&self, i: usize, js: &[usize], out: &mut [f64]) {
+        // Native squared form: no root, no re-square.
+        crate::kernel::sq_dists_scattered(self.points, self.points.point(i), js, out);
+    }
+
+    fn nearest_in(&self, i: usize, centers: &[usize]) -> Option<(usize, f64)> {
+        // Compare in the squared domain (same winner, same ties — the
+        // root is monotone) and take one root at the end instead of one
+        // per candidate.
+        let x = self.points.point(i);
+        let mut best: Option<(usize, f64)> = None;
+        for (pos, &c) in centers.iter().enumerate() {
+            let sq = sq_dist(x, self.points.point(c));
+            if best.is_none_or(|(_, bd)| sq < bd) {
+                best = Some((pos, sq));
+            }
+        }
+        best.map(|(pos, sq)| (pos, sq.sqrt()))
+    }
+
+    fn assign_block(&self, ids: &[usize], centers: &[usize], pos: &mut [usize], dist: &mut [f64]) {
+        self.assign_block_sq(ids, centers, pos, dist);
+        for d in dist.iter_mut() {
+            *d = d.sqrt();
+        }
+    }
+
+    fn assign_block_sq(
+        &self,
+        ids: &[usize],
+        centers: &[usize],
+        pos: &mut [usize],
+        dist: &mut [f64],
+    ) {
+        // Pruned dot form with precomputed norms; winners are resolved
+        // exactly (see `nearest_row_pruned`), so ids and distances match
+        // the scalar scan bit for bit.
+        let g = crate::kernel::gather_rows(self.points, centers);
+        let dim = self.points.dim();
+        let mut screen = Vec::with_capacity(centers.len());
+        for ((p, d), &i) in pos.iter_mut().zip(dist.iter_mut()).zip(ids) {
+            let (bp, bsq) = nearest_row_pruned(
+                self.points.point(i),
+                &g.rows,
+                &g.root_norms,
+                dim,
+                &mut screen,
+            );
+            *p = bp;
+            *d = bsq;
+        }
+    }
+
+    fn relax_min_block(
+        &self,
+        c: usize,
+        ids: &[usize],
+        best_d: &mut [f64],
+        best_pos: &mut [usize],
+        mark: usize,
+    ) {
+        // Partial-distance abort against a conservatively inflated square
+        // of the incumbent: an abort proves the new distance cannot be
+        // strictly smaller, so skipped queries keep exactly the state the
+        // scalar loop would have kept. Below one abort stride the
+        // machinery cannot pay for itself — use the plain loop.
+        let row = self.points.point(c);
+        if self.points.dim() <= 8 {
+            for ((bd, bp), &i) in best_d.iter_mut().zip(best_pos.iter_mut()).zip(ids) {
+                let d = sq_dist(self.points.point(i), row).sqrt();
+                if d < *bd {
+                    *bd = d;
+                    *bp = mark;
+                }
+            }
+            return;
+        }
+        for ((bd, bp), &i) in best_d.iter_mut().zip(best_pos.iter_mut()).zip(ids) {
+            let limit = if bd.is_finite() {
+                let bb = *bd * *bd;
+                bb + bb * 1e-9
+            } else {
+                f64::INFINITY
+            };
+            if let Some(sq) =
+                crate::kernel::resume_sq_abort(self.points.point(i), row, 0.0, 0, limit)
+            {
+                let d = sq.sqrt();
+                if d < *bd {
+                    *bd = d;
+                    *bp = mark;
+                }
+            }
+        }
+    }
+
+    fn assign2_block(
+        &self,
+        ids: &[usize],
+        centers: &[usize],
+        c1: &mut [usize],
+        d1: &mut [f64],
+        d2: &mut [f64],
+    ) {
+        // Pruned two-slot update in the squared domain (equivalent
+        // winners and runner-up — monotone transform), roots only on the
+        // two outputs.
+        let g = crate::kernel::gather_rows(self.points, centers);
+        let dim = self.points.dim();
+        let mut screen = Vec::with_capacity(centers.len());
+        for (e, &i) in ids.iter().enumerate() {
+            let (bc, b1, b2) = top2_row_pruned(
+                self.points.point(i),
+                &g.rows,
+                &g.root_norms,
+                dim,
+                &mut screen,
+            );
+            c1[e] = bc;
+            d1[e] = b1.sqrt();
+            d2[e] = b2.sqrt();
+        }
     }
 }
 
@@ -116,6 +422,38 @@ impl<M: Metric> Metric for SquaredMetric<M> {
     fn dist(&self, i: usize, j: usize) -> f64 {
         let d = self.inner.dist(i, j);
         d * d
+    }
+
+    fn dist_to_many_into(&self, i: usize, js: &[usize], out: &mut [f64]) {
+        // Route straight through the inner metric's squared kernel: for a
+        // Euclidean inner metric this skips the sqrt-then-re-square round
+        // trip of the scalar path (values may differ from `dist` by ~1
+        // ulp; winners and orderings are identical).
+        self.inner.sq_dist_to_many_into(i, js, out);
+    }
+
+    fn nearest_in(&self, i: usize, centers: &[usize]) -> Option<(usize, f64)> {
+        // Squaring is monotone: the inner winner is this metric's winner.
+        self.inner.nearest_in(i, centers).map(|(p, d)| (p, d * d))
+    }
+
+    fn assign_block(&self, ids: &[usize], centers: &[usize], pos: &mut [usize], dist: &mut [f64]) {
+        self.inner.assign_block_sq(ids, centers, pos, dist);
+    }
+
+    fn assign2_block(
+        &self,
+        ids: &[usize],
+        centers: &[usize],
+        c1: &mut [usize],
+        d1: &mut [f64],
+        d2: &mut [f64],
+    ) {
+        self.inner.assign2_block(ids, centers, c1, d1, d2);
+        for (a, b) in d1.iter_mut().zip(d2.iter_mut()) {
+            *a *= *a;
+            *b *= *b;
+        }
     }
 }
 
@@ -197,6 +535,26 @@ impl Metric for MatrixMetric {
     #[inline]
     fn dist(&self, i: usize, j: usize) -> f64 {
         self.d[i * self.n + j]
+    }
+
+    fn dist_to_many_into(&self, i: usize, js: &[usize], out: &mut [f64]) {
+        // One contiguous row per query: gather within it.
+        let row = &self.d[i * self.n..(i + 1) * self.n];
+        for (o, &j) in out.iter_mut().zip(js) {
+            *o = row[j];
+        }
+    }
+
+    fn nearest_in(&self, i: usize, centers: &[usize]) -> Option<(usize, f64)> {
+        let row = &self.d[i * self.n..(i + 1) * self.n];
+        let mut best: Option<(usize, f64)> = None;
+        for (pos, &c) in centers.iter().enumerate() {
+            let d = row[c];
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((pos, d));
+            }
+        }
+        best
     }
 }
 

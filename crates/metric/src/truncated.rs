@@ -56,6 +56,36 @@ impl<M: Metric> Metric for TruncatedMetric<M> {
     fn dist(&self, i: usize, j: usize) -> f64 {
         truncate(self.inner.dist(i, j), self.tau)
     }
+
+    fn dist_to_many_into(&self, i: usize, js: &[usize], out: &mut [f64]) {
+        // Ride the inner metric's bulk kernel, truncating in place.
+        self.inner.dist_to_many_into(i, js, out);
+        for o in out.iter_mut() {
+            *o = truncate(*o, self.tau);
+        }
+    }
+
+    fn assign_block(&self, ids: &[usize], centers: &[usize], pos: &mut [usize], dist: &mut [f64]) {
+        // Truncation is monotone but NOT injective: every candidate
+        // within τ collapses to distance 0, and the scalar rule keeps the
+        // *first* such candidate. Delegating the arg-min to the inner
+        // metric would pick the inner-nearest instead, so compute inner
+        // distances in bulk and run the scalar scan on truncated values.
+        let mut scratch = vec![0.0f64; centers.len()];
+        for ((p, d), &i) in pos.iter_mut().zip(dist.iter_mut()).zip(ids) {
+            self.inner.dist_to_many_into(i, centers, &mut scratch);
+            let (mut bp, mut bd) = (0usize, f64::INFINITY);
+            for (c, &raw) in scratch.iter().enumerate() {
+                let t = truncate(raw, self.tau);
+                if t < bd {
+                    bd = t;
+                    bp = c;
+                }
+            }
+            *p = bp;
+            *d = bd;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@
 
 use crate::summary::{solve_weighted, Summary, SummaryParams};
 use dpc_cluster::{BicriteriaParams, LocalSearchParams};
-use dpc_metric::{Objective, PointSet, WeightedSet};
+use dpc_metric::{Objective, PointSet, ThreadBudget, WeightedSet};
 
 /// Streaming engine configuration.
 #[derive(Clone, Copy, Debug)]
@@ -30,6 +30,10 @@ pub struct StreamConfig {
     pub lambda_iters: usize,
     /// Inner local-search tuning.
     pub ls: LocalSearchParams,
+    /// Thread budget for the bulk kernels inside summarize/merge/query
+    /// solves (wall-clock only — summaries and answers are identical at
+    /// any budget).
+    pub threads: ThreadBudget,
 }
 
 impl StreamConfig {
@@ -46,7 +50,14 @@ impl StreamConfig {
             eps: 1.0,
             lambda_iters: 12,
             ls: LocalSearchParams::default(),
+            threads: ThreadBudget::serial(),
         }
+    }
+
+    /// Caps the bulk-kernel thread budget.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = ThreadBudget::new(n);
+        self
     }
 
     /// Sets the query-time outlier relaxation ε.
@@ -100,20 +111,24 @@ impl StreamConfig {
     }
 
     pub(crate) fn summary_params(&self) -> SummaryParams {
+        let mut ls = self.ls;
+        ls.threads = self.threads;
         SummaryParams {
             k: self.k,
             t: self.t,
             objective: self.objective,
             lambda_iters: self.lambda_iters,
-            ls: self.ls,
+            ls,
         }
     }
 
     pub(crate) fn solver_params(&self) -> BicriteriaParams {
+        let mut ls = self.ls;
+        ls.threads = self.threads;
         BicriteriaParams {
             eps: self.eps,
             lambda_iters: self.lambda_iters,
-            ls: self.ls,
+            ls,
         }
     }
 }

@@ -97,7 +97,10 @@ pub fn solve_weighted(
                 weights,
                 k,
                 t * (1.0 + params.eps),
-                CenterParams::default(),
+                CenterParams {
+                    threads: params.ls.threads,
+                    ..CenterParams::default()
+                },
             )
         }
     }

@@ -29,7 +29,7 @@
 use crate::node::{NodeSet, UncertainNode};
 use crate::truncated::{distance_range, tau_grid};
 use bytes::Bytes;
-use dpc_cluster::{charikar_center, gonzalez, CenterParams};
+use dpc_cluster::{charikar_center, gonzalez_with, CenterParams};
 use dpc_coordinator::{
     run_protocol, Coordinator, CoordinatorStep, ProtocolOutput, RunOptions, Site,
 };
@@ -48,6 +48,9 @@ pub struct CenterGConfig {
     pub rho: f64,
     /// Coordinator greedy-disk tuning.
     pub charikar: CenterParams,
+    /// Thread budget for the bulk kernels (per-τ Gonzalez relax, the
+    /// coordinator disk scans). Wall-clock only.
+    pub threads: dpc_metric::ThreadBudget,
 }
 
 impl CenterGConfig {
@@ -58,7 +61,14 @@ impl CenterGConfig {
             t,
             rho: 2.0,
             charikar: CenterParams::default(),
+            threads: dpc_metric::ThreadBudget::serial(),
         }
+    }
+
+    /// Caps the bulk-kernel thread budget.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = dpc_metric::ThreadBudget::new(n);
+        self
     }
 }
 
@@ -173,7 +183,7 @@ impl<'a> CenterGSite<'a> {
             });
             let ids: Vec<usize> = (0..n).collect();
             let prefix = (2 * self.cfg.k + self.cfg.t + 1).min(n);
-            let ord = gonzalez(&m6, &ids, prefix, 0);
+            let ord = gonzalez_with(&m6, &ids, prefix, 0, self.cfg.threads);
             // Cumulative-radius profile on the geometric grid.
             let t = self.cfg.t;
             let mut cum = vec![0.0f64; t + 1];
@@ -511,7 +521,10 @@ impl CenterGCoordinator {
             &weighted,
             self.cfg.k,
             self.cfg.t as f64,
-            self.cfg.charikar,
+            CenterParams {
+                threads: self.cfg.threads,
+                ..self.cfg.charikar
+            },
         );
         let mut centers = PointSet::new(dim);
         for &c in &sol.centers {
@@ -692,7 +705,7 @@ impl OneRoundCenterGSite<'_> {
             });
             let ids: Vec<usize> = (0..n).collect();
             let prefix_len = (2 * self.cfg.k + self.cfg.t).min(n);
-            let ord = gonzalez(&m6, &ids, prefix_len + 1, 0);
+            let ord = gonzalez_with(&m6, &ids, prefix_len + 1, 0, self.cfg.threads);
             // Residual cost proxy: the next insertion radius.
             let residual = if prefix_len < ord.radii.len() {
                 ord.radii[prefix_len]
@@ -836,7 +849,10 @@ impl Coordinator for OneRoundCenterGCoordinator {
                         &weighted,
                         self.cfg.k,
                         self.cfg.t as f64,
-                        self.cfg.charikar,
+                        CenterParams {
+                            threads: self.cfg.threads,
+                            ..self.cfg.charikar
+                        },
                     );
                     let mut centers = PointSet::new(dim);
                     for &c in &sol.centers {

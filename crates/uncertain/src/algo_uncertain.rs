@@ -16,7 +16,7 @@ use crate::compressed::CompressedGraph;
 use crate::node::NodeSet;
 use bytes::Bytes;
 use dpc_cluster::{
-    charikar_center, gonzalez, median_bicriteria, BicriteriaParams, CenterParams,
+    charikar_center, gonzalez_with, median_bicriteria, BicriteriaParams, CenterParams,
     LocalSearchParams, Solution,
 };
 use dpc_coordinator::{
@@ -25,7 +25,9 @@ use dpc_coordinator::{
 use dpc_core::allocation::allocate_outliers;
 use dpc_core::hull::{geometric_grid, ConvexProfile};
 use dpc_core::wire::ThresholdMsg;
-use dpc_metric::{Metric, Objective, PointSet, WeightedSet, WireReader, WireWriter};
+use dpc_metric::{
+    NearestAssigner, Objective, PointSet, ThreadBudget, WeightedSet, WireReader, WireWriter,
+};
 
 /// Which uncertain objective Algorithm 3 optimizes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -57,6 +59,9 @@ pub struct UncertainConfig {
     pub ls: LocalSearchParams,
     /// Coordinator greedy-disk tuning (center-pp).
     pub charikar: CenterParams,
+    /// Thread budget for the bulk kernels in the site and coordinator
+    /// solvers (wall-clock only).
+    pub threads: ThreadBudget,
 }
 
 impl UncertainConfig {
@@ -71,7 +76,14 @@ impl UncertainConfig {
             lambda_iters: 12,
             ls: LocalSearchParams::default(),
             charikar: CenterParams::default(),
+            threads: ThreadBudget::serial(),
         }
+    }
+
+    /// Caps the bulk-kernel thread budget.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = ThreadBudget::new(n);
+        self
     }
 
     /// Switch to the means objective.
@@ -212,6 +224,7 @@ impl<'a> UncertainSite<'a> {
             UObjective::Median | UObjective::Means => {
                 let mut ls = self.cfg.ls;
                 ls.seed = ls.seed.wrapping_add(self.site_id as u64);
+                ls.threads = self.cfg.threads;
                 for &q in &self.grid {
                     let sol = if q >= n {
                         Solution {
@@ -244,7 +257,7 @@ impl<'a> UncertainSite<'a> {
                 // graph metric; marginals are insertion radii.
                 let demand_ids: Vec<usize> = (n..2 * n).collect();
                 let prefix = (2 * self.cfg.k + self.cfg.t + 1).min(n);
-                let ord = gonzalez(&graph, &demand_ids, prefix, 0);
+                let ord = gonzalez_with(&graph, &demand_ids, prefix, 0, self.cfg.threads);
                 self.gonzalez_order = ord.order.clone();
                 self.gonzalez_radii = ord.radii.clone();
                 // Cumulative profile (same construction as Algorithm 2).
@@ -310,12 +323,13 @@ impl<'a> UncertainSite<'a> {
                     .binary_search(&ti)
                     .unwrap_or_else(|_| panic!("t_i = {ti} not a grid point"));
                 let centers = self.sols[gi].centers.clone();
-                let sol = Solution::evaluate(
+                let sol = Solution::evaluate_with(
                     graph,
                     demands,
                     centers,
                     (ti.min(n)) as f64,
                     Objective::Median,
+                    self.cfg.threads,
                 );
                 // Centers: tentacled entities with aggregated weights.
                 let excluded: Vec<usize> = sol.outlier_positions();
@@ -356,10 +370,13 @@ impl<'a> UncertainSite<'a> {
             UObjective::CenterPp => {
                 let prefix = (2 * self.cfg.k + ti).min(self.gonzalez_order.len());
                 let chosen = &self.gonzalez_order[..prefix];
-                // Attach every demand to its nearest prefix vertex.
+                // Attach every demand to its nearest prefix vertex, in one
+                // bulk assignment pass.
+                let demand_ids: Vec<usize> = (n..2 * n).collect();
+                let assigned = NearestAssigner::with_threads(graph, self.cfg.threads)
+                    .assign(&demand_ids, chosen);
                 let mut weights = vec![0.0f64; prefix];
-                for d in n..2 * n {
-                    let (pos, _) = graph.nearest(d, chosen).expect("non-empty prefix");
+                for &pos in &assigned.pos {
                     weights[pos] += 1.0;
                 }
                 let mut ys = PointSet::new(self.data.ground.dim());
@@ -475,10 +492,12 @@ impl UncertainCoordinator {
         let metric = CompressedGraph::from_parts(ys.clone(), ells, self.cfg.squared());
         let sol = match self.cfg.objective {
             UObjective::Median | UObjective::Means => {
+                let mut ls = self.cfg.ls;
+                ls.threads = self.cfg.threads;
                 let params = BicriteriaParams {
                     eps: self.cfg.eps,
                     lambda_iters: self.cfg.lambda_iters,
-                    ls: self.cfg.ls,
+                    ls,
                 };
                 median_bicriteria(
                     &metric,
@@ -494,7 +513,10 @@ impl UncertainCoordinator {
                 &weighted,
                 self.cfg.k,
                 self.cfg.t as f64,
-                self.cfg.charikar,
+                CenterParams {
+                    threads: self.cfg.threads,
+                    ..self.cfg.charikar
+                },
             ),
         };
         UncertainSolution {

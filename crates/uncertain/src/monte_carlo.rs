@@ -8,7 +8,7 @@
 //! compared against (E9).
 
 use crate::node::NodeSet;
-use dpc_metric::PointSet;
+use dpc_metric::{CenterBlock, PointSet, ThreadBudget};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -25,23 +25,64 @@ pub fn estimate_expected_cost(
     squared: bool,
     center_pp: bool,
 ) -> f64 {
+    estimate_expected_cost_with(
+        shards,
+        centers,
+        t,
+        squared,
+        center_pp,
+        ThreadBudget::serial(),
+    )
+}
+
+/// [`estimate_expected_cost`] with an explicit thread budget.
+///
+/// The per-node expected-distance loop is restructured around the bulk
+/// kernel: every support point contributes one blocked distance row over
+/// all centers (accumulated in support order, so values match the scalar
+/// `expected_distance` loop exactly), and independent nodes fan out
+/// across the budget.
+pub fn estimate_expected_cost_with(
+    shards: &[NodeSet],
+    centers: &PointSet,
+    t: usize,
+    squared: bool,
+    center_pp: bool,
+    threads: ThreadBudget,
+) -> f64 {
+    if centers.is_empty() {
+        return 0.0;
+    }
+    let block = CenterBlock::new(centers);
+    let k = centers.len();
     let mut costs: Vec<f64> = Vec::new();
     for shard in shards {
-        for node in &shard.nodes {
-            let best = (0..centers.len())
-                .map(|c| {
-                    let u = centers.point(c);
+        let start = costs.len();
+        costs.resize(start + shard.nodes.len(), 0.0);
+        let chunk = &mut costs[start..];
+        dpc_metric::kernel::par_chunks_mut(threads, chunk, |offset, out| {
+            let mut row = Vec::with_capacity(k);
+            let mut acc = vec![0.0f64; k];
+            for (o, best) in out.iter_mut().enumerate() {
+                let node = &shard.nodes[offset + o];
+                acc.iter_mut().for_each(|a| *a = 0.0);
+                for (&s, &p) in node.support.iter().zip(&node.probs) {
+                    block.sq_dists_to_all(shard.ground.point(s), &mut row);
                     if squared {
-                        node.expected_sq_distance(&shard.ground, u)
+                        for (a, &sq) in acc.iter_mut().zip(&row) {
+                            *a += p * sq;
+                        }
                     } else {
-                        node.expected_distance(&shard.ground, u)
+                        for (a, &sq) in acc.iter_mut().zip(&row) {
+                            *a += p * sq.sqrt();
+                        }
                     }
-                })
-                .fold(f64::INFINITY, f64::min);
-            costs.push(best);
-        }
+                }
+                *best = acc.iter().copied().fold(f64::INFINITY, f64::min);
+            }
+        });
     }
-    if centers.is_empty() || costs.is_empty() {
+    if costs.is_empty() {
         return 0.0;
     }
     costs.sort_by(|a, b| b.total_cmp(a));

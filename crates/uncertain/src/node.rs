@@ -92,6 +92,11 @@ impl UncertainNode {
 
     /// 1-median/mean restricted to an explicit candidate set (the paper's
     /// `y ∈ P`; pass all of `P` for the exact definition).
+    ///
+    /// The `O(m·|candidates|)` expected distances are evaluated with the
+    /// blocked bulk kernel — one distance row per support point,
+    /// accumulated in support order, so the winner and its cost match the
+    /// scalar per-candidate loop exactly.
     pub fn argmin_over(
         &self,
         ground: &PointSet,
@@ -99,14 +104,23 @@ impl UncertainNode {
         squared: bool,
     ) -> (usize, f64) {
         assert!(!candidates.is_empty(), "need candidates");
-        let mut best = (candidates[0], f64::INFINITY);
-        for &c in candidates {
-            let u = ground.point(c);
-            let v = if squared {
-                self.expected_sq_distance(ground, u)
+        let block = dpc_metric::CenterBlock::from_points(ground, candidates);
+        let mut row = Vec::with_capacity(candidates.len());
+        let mut acc = vec![0.0f64; candidates.len()];
+        for (&s, &p) in self.support.iter().zip(&self.probs) {
+            block.sq_dists_to_all(ground.point(s), &mut row);
+            if squared {
+                for (a, &sq) in acc.iter_mut().zip(&row) {
+                    *a += p * sq;
+                }
             } else {
-                self.expected_distance(ground, u)
-            };
+                for (a, &sq) in acc.iter_mut().zip(&row) {
+                    *a += p * sq.sqrt();
+                }
+            }
+        }
+        let mut best = (candidates[0], f64::INFINITY);
+        for (&c, &v) in candidates.iter().zip(&acc) {
             if v < best.1 {
                 best = (c, v);
             }

@@ -147,6 +147,117 @@ pub fn gaussian_mixture(spec: MixtureSpec) -> Mixture {
     }
 }
 
+/// Specification of a high-dimensional Gaussian blob workload — the
+/// kernel-stress generator.
+///
+/// [`gaussian_mixture`] tops out as a low-dimensional protocol workload;
+/// this generator exists to exercise the bulk distance kernels: `dim`
+/// ranges into the hundreds, and `imbalance` skews cluster sizes
+/// (`size ∝ (rank+1)^{-imbalance}`) so assignment passes see both huge
+/// and tiny clusters.
+#[derive(Clone, Copy, Debug)]
+pub struct BlobsSpec {
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Total inlier points.
+    pub points: usize,
+    /// Planted outliers, uniform in a far box.
+    pub outliers: usize,
+    /// Dimension (2–256 is the intended range; any positive value works).
+    pub dim: usize,
+    /// Cluster standard deviation per coordinate.
+    pub sigma: f64,
+    /// Scale of the cluster-center spread.
+    pub separation: f64,
+    /// Cluster-size skew exponent: `0` is balanced, larger values are
+    /// heavier-tailed (`size ∝ (rank+1)^{-imbalance}`).
+    pub imbalance: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BlobsSpec {
+    fn default() -> Self {
+        Self {
+            clusters: 8,
+            points: 10_000,
+            outliers: 0,
+            dim: 32,
+            sigma: 1.0,
+            separation: 100.0,
+            imbalance: 0.0,
+            seed: 0xb10b,
+        }
+    }
+}
+
+/// Generates the blob workload (same output shape as [`gaussian_mixture`]).
+///
+/// Cluster centers are drawn from `N(0, separation²)` per coordinate, so
+/// center–center distances concentrate around `separation·√(2·dim)` —
+/// well separated from the `σ·√(2·dim)` within-cluster scale whenever
+/// `separation ≫ σ`, at every dimension.
+///
+/// # Panics
+/// Panics if `clusters`, `points`, or `dim` is zero, or `imbalance` is
+/// negative or non-finite.
+pub fn gaussian_blobs(spec: BlobsSpec) -> Mixture {
+    assert!(spec.clusters > 0 && spec.dim > 0 && spec.points > 0);
+    assert!(
+        spec.imbalance.is_finite() && spec.imbalance >= 0.0,
+        "imbalance must be finite and non-negative"
+    );
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+
+    let mut centers = PointSet::with_capacity(spec.dim, spec.clusters);
+    for _ in 0..spec.clusters {
+        let coords: Vec<f64> = (0..spec.dim)
+            .map(|_| spec.separation * gauss(&mut rng))
+            .collect();
+        centers.push(&coords);
+    }
+
+    // Sizes ∝ (rank+1)^{-imbalance}, largest first, exact total.
+    let weights: Vec<f64> = (0..spec.clusters)
+        .map(|r| ((r + 1) as f64).powf(-spec.imbalance))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut sizes: Vec<usize> = weights
+        .iter()
+        .map(|w| ((w / total) * spec.points as f64).floor() as usize)
+        .collect();
+    let assigned: usize = sizes.iter().sum();
+    sizes[0] += spec.points - assigned;
+
+    let mut points = PointSet::with_capacity(spec.dim, spec.points + spec.outliers);
+    let mut labels = Vec::with_capacity(spec.points);
+    let mut coords = vec![0.0; spec.dim];
+    for (c, &sz) in sizes.iter().enumerate() {
+        for _ in 0..sz {
+            for (x, &cc) in coords.iter_mut().zip(centers.point(c)) {
+                *x = cc + spec.sigma * gauss(&mut rng);
+            }
+            points.push(&coords);
+            labels.push(c);
+        }
+    }
+    let big = 100.0 * spec.separation * (spec.clusters as f64);
+    let mut outlier_ids = Vec::with_capacity(spec.outliers);
+    for _ in 0..spec.outliers {
+        for x in coords.iter_mut() {
+            let v = big + rng.gen_range(0.0..big);
+            *x = if rng.gen::<bool>() { v } else { -v };
+        }
+        outlier_ids.push(points.push(&coords));
+    }
+    Mixture {
+        points,
+        labels,
+        outlier_ids,
+        centers,
+    }
+}
+
 /// How to split a dataset across sites.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PartitionStrategy {
@@ -607,6 +718,72 @@ mod tests {
             s.outlier_ids,
             vec![200, 201, 202, 203, 204, 400, 401, 402, 403, 404]
         );
+    }
+
+    #[test]
+    fn blobs_counts_imbalance_and_determinism() {
+        let spec = BlobsSpec {
+            clusters: 4,
+            points: 400,
+            outliers: 6,
+            dim: 64,
+            imbalance: 1.0,
+            ..Default::default()
+        };
+        let m = gaussian_blobs(spec);
+        assert_eq!(m.points.len(), 406);
+        assert_eq!(m.points.dim(), 64);
+        assert_eq!(m.labels.len(), 400);
+        assert_eq!(m.outlier_ids.len(), 6);
+        // Imbalance: sizes strictly non-increasing and skewed.
+        let mut counts = vec![0usize; 4];
+        for &l in &m.labels {
+            counts[l] += 1;
+        }
+        for w in counts.windows(2) {
+            assert!(w[0] >= w[1], "sizes {counts:?}");
+        }
+        assert!(counts[0] > 2 * counts[3], "not skewed: {counts:?}");
+        // Deterministic by seed.
+        let again = gaussian_blobs(spec);
+        assert_eq!(m.points, again.points);
+        let other = gaussian_blobs(BlobsSpec { seed: 1, ..spec });
+        assert_ne!(m.points, other.points);
+    }
+
+    #[test]
+    fn blobs_inliers_near_centers_outliers_far() {
+        let m = gaussian_blobs(BlobsSpec {
+            clusters: 3,
+            points: 300,
+            outliers: 4,
+            dim: 16,
+            sigma: 0.5,
+            ..Default::default()
+        });
+        for (i, &lab) in m.labels.iter().enumerate() {
+            let d = dpc_metric::points::sq_dist(m.points.point(i), m.centers.point(lab)).sqrt();
+            // sigma·sqrt(dim) ≈ 2; allow a generous tail.
+            assert!(d < 20.0, "inlier {i} at {d}");
+        }
+        for &o in &m.outlier_ids {
+            assert!(m.points.point(o).iter().any(|&x| x.abs() > 1e4));
+        }
+    }
+
+    #[test]
+    fn blobs_balanced_when_imbalance_zero() {
+        let m = gaussian_blobs(BlobsSpec {
+            clusters: 5,
+            points: 500,
+            imbalance: 0.0,
+            ..Default::default()
+        });
+        let mut counts = vec![0usize; 5];
+        for &l in &m.labels {
+            counts[l] += 1;
+        }
+        assert_eq!(counts, vec![100; 5]);
     }
 
     #[test]

@@ -232,3 +232,92 @@ fn artifact_quality_evaluation_on_demand() {
     // The run's own cost is the relaxed evaluation at the job budget.
     assert!((relaxed - artifact.cost).abs() < 1e-9);
 }
+
+/// Acceptance for the bulk-kernel layer: a thread budget changes
+/// wall-clock only. Per-round per-site wire bytes, the selected centers,
+/// and the evaluated cost are identical between a serial run and a
+/// `threads(4)` run, across the median / center / uncertain families and
+/// a streaming session.
+#[test]
+fn thread_budget_never_changes_bytes_or_answers() {
+    let pts = points(260, 5, 47);
+    let round_bytes = |a: &Artifact| -> Vec<(Vec<usize>, Vec<usize>)> {
+        a.round_stats
+            .iter()
+            .map(|r| (r.bytes_down.clone(), r.bytes_up.clone()))
+            .collect()
+    };
+    let builders: Vec<JobBuilder> = vec![
+        Job::median(3, 5).sites(3).points(pts.clone()),
+        Job::means(3, 5).sites(3).points(pts.clone()),
+        Job::center(3, 5).sites(3).points(pts.clone()),
+        Job::one_round(Objective::Center, 3, 5)
+            .sites(3)
+            .points(pts.clone()),
+        Job::subquadratic(3, 5).points(pts.clone()),
+        Job::stream(3, 5).block(64).points(pts.clone()),
+    ];
+    for b in builders {
+        let serial = b.clone().sequential().validate().unwrap().run();
+        let threaded = b.threads(4).sequential().validate().unwrap().run();
+        assert_eq!(serial.centers, threaded.centers, "{}", serial.job);
+        assert_eq!(serial.cost, threaded.cost, "{}", serial.job);
+        assert_eq!(serial.bytes, threaded.bytes, "{}", serial.job);
+        assert_eq!(
+            round_bytes(&serial),
+            round_bytes(&threaded),
+            "{}",
+            serial.job
+        );
+    }
+    // Uncertain nodes too (expected-distance loops run on the bulk path).
+    let nodes = uncertain_mixture(UncertainSpec {
+        clusters: 2,
+        nodes_per_site: 10,
+        sites: 2,
+        noise_nodes: 2,
+        ..Default::default()
+    });
+    let b = Job::uncertain_median(2, 2).data(nodes);
+    let serial = b.clone().sequential().validate().unwrap().run();
+    let threaded = b.threads(4).sequential().validate().unwrap().run();
+    assert_eq!(serial.centers, threaded.centers);
+    assert_eq!(serial.cost, threaded.cost);
+    assert_eq!(serial.bytes, threaded.bytes);
+}
+
+/// The high-dimensional blob workload exercises the kernels end to end:
+/// a 64-dimensional imbalanced instance still recovers its planted
+/// structure through the full protocol.
+#[test]
+fn gaussian_blobs_run_through_job() {
+    let spec = BlobsSpec {
+        clusters: 4,
+        points: 600,
+        outliers: 6,
+        dim: 64,
+        imbalance: 1.0,
+        seed: 91,
+        ..Default::default()
+    };
+    let blobs = gaussian_blobs(spec);
+    let artifact = Job::median(4, 6)
+        .sites(3)
+        .threads(2)
+        .gaussian_blobs(spec)
+        .validate()
+        .unwrap()
+        .run();
+    assert_eq!(artifact.n, 606);
+    assert_eq!(artifact.centers.len(), 4);
+    assert_eq!(artifact.centers[0].len(), 64);
+    // Every planted center has a chosen center nearby (σ√d ≈ 8 scale).
+    for c in 0..blobs.centers.len() {
+        let target = blobs.centers.point(c);
+        let near = artifact
+            .centers
+            .iter()
+            .any(|ch| dpc::metric::points::sq_dist(ch, target).sqrt() < 40.0);
+        assert!(near, "no center near planted blob {c}");
+    }
+}

@@ -7,7 +7,10 @@ use dpc_core::evaluate_on_full_data;
 use dpc_metric::{Objective, PointSet};
 
 /// Version tag embedded in the artifact JSON; bump on schema breaks.
-pub const ARTIFACT_SCHEMA: &str = "dpc.artifact/v1";
+///
+/// v2: round objects gained `dropouts`, `retries` and `degraded`
+/// (fault-injection accounting).
+pub const ARTIFACT_SCHEMA: &str = "dpc.artifact/v2";
 
 /// Per-round communication/compute breakdown.
 ///
@@ -26,6 +29,13 @@ pub struct RoundBreakdown {
     pub coordinator_ms: f64,
     /// Simulated network time of this round under the link model, ms.
     pub network_ms: f64,
+    /// Sites whose reply never arrived this round (after all retries).
+    pub dropouts: usize,
+    /// Failed delivery attempts the runtime retried or abandoned.
+    pub retries: usize,
+    /// Whether the coordinator planned this round over a strict subset
+    /// of the sites.
+    pub degraded: bool,
 }
 
 impl RoundBreakdown {
@@ -51,6 +61,9 @@ pub(crate) fn round_breakdowns(stats: &CommStats) -> Vec<RoundBreakdown> {
             max_site_ms: r.max_site_compute().as_secs_f64() * 1e3,
             coordinator_ms: r.coordinator_compute.as_secs_f64() * 1e3,
             network_ms: r.network.as_secs_f64() * 1e3,
+            dropouts: r.dropouts,
+            retries: r.retries,
+            degraded: r.degraded,
         })
         .collect()
 }
@@ -115,6 +128,16 @@ impl Artifact {
             .sum()
     }
 
+    /// Rounds the coordinator completed over a strict subset of sites.
+    pub fn degraded_rounds(&self) -> usize {
+        self.round_stats.iter().filter(|r| r.degraded).count()
+    }
+
+    /// Total sites dropped across all rounds (after retries).
+    pub fn total_dropouts(&self) -> usize {
+        self.round_stats.iter().map(|r| r.dropouts).sum()
+    }
+
     /// On-demand quality evaluation: re-scores this artifact's centers
     /// against point data at an arbitrary exclusion budget, returning
     /// `(cost, points actually excluded)`. Returns `None` for node-shaped
@@ -154,13 +177,20 @@ impl Artifact {
         }
         for (i, r) in self.round_stats.iter().enumerate() {
             out.push_str(&format!(
-                "round {i}: up={}B down={}B site={:.3}ms coord={:.3}ms net={:.3}ms\n",
+                "round {i}: up={}B down={}B site={:.3}ms coord={:.3}ms net={:.3}ms",
                 r.up_total(),
                 r.down_total(),
                 r.max_site_ms,
                 r.coordinator_ms,
                 r.network_ms
             ));
+            if r.degraded || r.retries > 0 {
+                out.push_str(&format!(
+                    " [degraded: {} dropped, {} retries]",
+                    r.dropouts, r.retries
+                ));
+            }
+            out.push('\n');
         }
         out.push_str("centers:\n");
         for c in &self.centers {
@@ -212,12 +242,15 @@ impl Artifact {
                 s.push(',');
             }
             s.push_str(&format!(
-                "{{\"bytes_down\":{},\"bytes_up\":{},\"max_site_ms\":{},\"coordinator_ms\":{},\"network_ms\":{}}}",
+                "{{\"bytes_down\":{},\"bytes_up\":{},\"max_site_ms\":{},\"coordinator_ms\":{},\"network_ms\":{},\"dropouts\":{},\"retries\":{},\"degraded\":{}}}",
                 usize_array(&r.bytes_down),
                 usize_array(&r.bytes_up),
                 json_f64(r.max_site_ms),
                 json_f64(r.coordinator_ms),
-                json_f64(r.network_ms)
+                json_f64(r.network_ms),
+                r.dropouts,
+                r.retries,
+                r.degraded
             ));
         }
         s.push_str("],\"centers\":[");
@@ -277,6 +310,18 @@ impl Artifact {
                 max_site_ms: round_f64(r, "max_site_ms")?,
                 coordinator_ms: round_f64(r, "coordinator_ms")?,
                 network_ms: round_f64(r, "network_ms")?,
+                dropouts: r
+                    .get("dropouts")
+                    .and_then(Json::as_usize)
+                    .ok_or("missing dropouts")?,
+                retries: r
+                    .get("retries")
+                    .and_then(Json::as_usize)
+                    .ok_or("missing retries")?,
+                degraded: r
+                    .get("degraded")
+                    .and_then(Json::as_bool)
+                    .ok_or("missing degraded")?,
             });
         }
         let centers_arr = v
@@ -377,6 +422,9 @@ mod tests {
                 max_site_ms: 1.5,
                 coordinator_ms: 0.5,
                 network_ms: 2.25,
+                dropouts: 1,
+                retries: 2,
+                degraded: true,
             }],
             transport: Some("tcp".into()),
             network_ms: 2.25,
@@ -438,8 +486,31 @@ mod tests {
 
     #[test]
     fn schema_mismatch_is_rejected() {
-        let doc = sample().to_json().replace("dpc.artifact/v1", "other/v9");
+        let doc = sample().to_json().replace(ARTIFACT_SCHEMA, "other/v9");
         assert!(Artifact::from_json(&doc).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn fault_fields_round_trip_and_render() {
+        let a = sample();
+        let doc = a.to_json();
+        assert!(
+            doc.contains("\"dropouts\":1,\"retries\":2,\"degraded\":true"),
+            "{doc}"
+        );
+        let back = Artifact::from_json(&doc).unwrap();
+        assert_eq!(back.round_stats[0].dropouts, 1);
+        assert_eq!(back.round_stats[0].retries, 2);
+        assert!(back.round_stats[0].degraded);
+        assert_eq!(back.degraded_rounds(), 1);
+        assert_eq!(back.total_dropouts(), 1);
+        assert!(a.text().contains("[degraded: 1 dropped, 2 retries]"));
+        // A clean round renders without the fault suffix.
+        let mut clean = sample();
+        clean.round_stats[0].dropouts = 0;
+        clean.round_stats[0].retries = 0;
+        clean.round_stats[0].degraded = false;
+        assert!(!clean.text().contains("degraded"));
     }
 
     #[test]

@@ -90,6 +90,12 @@ pub enum ConfigError {
         /// Which axis.
         axis: &'static str,
     },
+    /// The dropout probability must lie in `[0, 1)` — a probability of 1
+    /// deterministically kills every site in round 0.
+    DropoutOutOfRange {
+        /// The offending value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -139,6 +145,9 @@ impl fmt::Display for ConfigError {
             ),
             ConfigError::EmptySweepAxis { axis } => {
                 write!(f, "sweep axis '{axis}' has no values")
+            }
+            ConfigError::DropoutOutOfRange { value } => {
+                write!(f, "dropout probability must lie in [0, 1), got {value}")
             }
         }
     }

@@ -5,7 +5,7 @@
 use crate::artifact::{round_breakdowns, Artifact};
 use crate::data::Dataset;
 use crate::error::{ConfigError, ConfigWarning};
-use dpc_coordinator::{LinkModel, RunOptions, TransportKind};
+use dpc_coordinator::{FaultPlan, LinkModel, RunOptions, TransportKind};
 use dpc_core::{
     evaluate_on_full_data_with, merge_shards, run_distributed_center, run_distributed_median,
     run_one_round_center, run_one_round_median, subquadratic_median, CenterConfig, MedianConfig,
@@ -194,6 +194,10 @@ pub struct JobBuilder {
     link: LinkModel,
     transport_set: bool,
     threads: usize,
+    dropout: f64,
+    fault_seed: u64,
+    timeout: Option<std::time::Duration>,
+    retries: u32,
     unused_knobs: Vec<&'static str>,
     data: Option<Arc<Dataset>>,
 }
@@ -217,6 +221,10 @@ impl JobBuilder {
             link: LinkModel::ideal(),
             transport_set: false,
             threads: 1,
+            dropout: 0.0,
+            fault_seed: 0,
+            timeout: None,
+            retries: 0,
             unused_knobs: Vec::new(),
             data: None,
         }
@@ -354,6 +362,59 @@ impl JobBuilder {
         self
     }
 
+    /// Injects seed-deterministic dropout: each delivery attempt to a
+    /// site fails with probability `p` (see
+    /// [`dpc_coordinator::FaultPlan`]). Validation rejects `p` outside
+    /// `[0, 1)`; a no-effect warning on jobs that never drive the
+    /// protocol runtime.
+    pub fn dropout(mut self, p: f64) -> Self {
+        if !self.job.uses_runtime() {
+            self.unused_knobs.push("dropout");
+        }
+        self.dropout = p;
+        self
+    }
+
+    /// Sets the seed behind every injected fault (independent of the
+    /// partition seed, so workload and chaos schedule vary separately).
+    pub fn fault_seed(mut self, seed: u64) -> Self {
+        if !self.job.uses_runtime() {
+            self.unused_knobs.push("fault_seed");
+        }
+        self.fault_seed = seed;
+        self
+    }
+
+    /// Sets the per-attempt timeout the coordinator charges to simulated
+    /// time when a site fails to answer.
+    pub fn timeout(mut self, timeout: std::time::Duration) -> Self {
+        if !self.job.uses_runtime() {
+            self.unused_knobs.push("timeout");
+        }
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Sets how many extra delivery attempts the coordinator makes after
+    /// a failed one.
+    pub fn retries(mut self, retries: u32) -> Self {
+        if !self.job.uses_runtime() {
+            self.unused_knobs.push("retries");
+        }
+        self.retries = retries;
+        self
+    }
+
+    /// The fault plan this configuration injects into protocol runs.
+    fn fault_plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan::none();
+        plan.seed = self.fault_seed;
+        plan.dropout = self.dropout;
+        plan.timeout = self.timeout;
+        plan.retries = self.retries;
+        plan
+    }
+
     /// Runs site phases sequentially on the caller's thread
     /// (deterministic timing; bytes are identical either way).
     pub fn sequential(mut self) -> Self {
@@ -449,6 +510,11 @@ impl JobBuilder {
         }
         if !self.rho.is_finite() || self.rho <= 1.0 {
             return Err(ConfigError::RhoNotAboveOne { value: self.rho });
+        }
+        if !self.dropout.is_finite() || !(0.0..1.0).contains(&self.dropout) {
+            return Err(ConfigError::DropoutOutOfRange {
+                value: self.dropout,
+            });
         }
         match self.job {
             Job::Stream { window, .. } => {
@@ -593,6 +659,7 @@ impl ValidJob {
     fn run_options(&self) -> RunOptions {
         RunOptions {
             parallel: self.spec.parallel,
+            faults: self.spec.fault_plan(),
             ..RunOptions::new()
                 .transport(self.spec.transport)
                 .link(self.spec.link)
@@ -899,7 +966,8 @@ impl StreamSession {
                     }
                     .sync_every(sync_every)
                     .transport(spec.transport)
-                    .link(spec.link);
+                    .link(spec.link)
+                    .faults(spec.fault_plan());
                     SessionMode::Continuous(ContinuousCluster::new(dim, spec.sites, ccfg))
                 }
                 Job::Stream { window, .. } if window > 0 => {
@@ -1082,6 +1150,81 @@ mod tests {
                 .unwrap_err(),
             ConfigError::DataKindMismatch { .. }
         ));
+    }
+
+    #[test]
+    fn dropout_validation_and_degraded_artifact() {
+        assert_eq!(
+            Job::median(2, 1).dropout(1.0).validate().unwrap_err(),
+            ConfigError::DropoutOutOfRange { value: 1.0 }
+        );
+        assert!(matches!(
+            Job::median(2, 1).dropout(f64::NAN).validate().unwrap_err(),
+            ConfigError::DropoutOutOfRange { .. }
+        ));
+        // A heavily faulted run still completes, and the artifact carries
+        // the per-round fault accounting.
+        let art = Job::median(3, 4)
+            .sites(6)
+            .eps(0.5)
+            .dropout(0.4)
+            .fault_seed(6)
+            .points(mix(300, 4))
+            .validate()
+            .unwrap()
+            .run();
+        assert_eq!(art.rounds, 2);
+        assert_eq!(art.centers.len(), 3);
+        assert!(art.cost.is_finite());
+        assert!(
+            art.degraded_rounds() > 0,
+            "dropout 0.4 over 6 sites x 2 rounds should degrade at least one round: {:?}",
+            art.round_stats
+        );
+        assert_eq!(
+            art.total_dropouts(),
+            art.round_stats.iter().map(|r| r.dropouts).sum::<usize>()
+        );
+        // Same seeds ⇒ byte-identical artifact (modulo wall-clock times).
+        let art2 = Job::median(3, 4)
+            .sites(6)
+            .eps(0.5)
+            .dropout(0.4)
+            .fault_seed(6)
+            .points(mix(300, 4))
+            .validate()
+            .unwrap()
+            .run();
+        assert_eq!(art.centers, art2.centers);
+        for (a, b) in art.round_stats.iter().zip(&art2.round_stats) {
+            assert_eq!(a.bytes_down, b.bytes_down);
+            assert_eq!(a.bytes_up, b.bytes_up);
+            assert_eq!(
+                (a.dropouts, a.retries, a.degraded),
+                (b.dropouts, b.retries, b.degraded)
+            );
+        }
+    }
+
+    #[test]
+    fn fault_knobs_warn_on_non_runtime_jobs() {
+        let vj = Job::stream(2, 1)
+            .dropout(0.1)
+            .retries(2)
+            .points(mix(100, 1))
+            .validate()
+            .unwrap();
+        assert!(
+            vj.warnings().iter().any(|w| matches!(
+                w,
+                ConfigWarning::KnobUnused {
+                    knob: "dropout",
+                    ..
+                }
+            )),
+            "{:?}",
+            vj.warnings()
+        );
     }
 
     #[test]

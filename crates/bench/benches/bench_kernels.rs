@@ -72,18 +72,22 @@ fn bench_assign(c: &mut Criterion) {
     g.finish();
 }
 
-/// Scalar Gonzalez-relax baseline: `dist` per point per step.
-fn scalar_gonzalez_relax(ps: &PointSet, steps: usize) -> f64 {
+/// Scalar Gonzalez-relax baseline: the pre-kernel-layer traversal
+/// verbatim — fused relax + farthest scan with assignment tracking.
+fn scalar_gonzalez_relax(ps: &PointSet, ids: &[usize], steps: usize) -> f64 {
     let m = EuclideanMetric::new(ps);
-    let n = ps.len();
+    let n = ids.len();
     let mut best = vec![f64::INFINITY; n];
+    let mut pos = vec![0usize; n];
     let mut chosen = 0usize;
-    for _ in 0..steps {
+    for step in 0..steps {
         let mut far = (0usize, -1.0f64);
-        for (i, b) in best.iter_mut().enumerate() {
-            let d = m.dist(i, chosen);
+        let zipped = best.iter_mut().zip(pos.iter_mut()).zip(ids);
+        for (i, ((b, p), &id)) in zipped.enumerate() {
+            let d = m.dist(id, ids[chosen]);
             if d < *b {
                 *b = d;
+                *p = step;
             }
             if *b > far.1 {
                 far = (i, *b);
@@ -94,6 +98,34 @@ fn scalar_gonzalez_relax(ps: &PointSet, steps: usize) -> f64 {
     best.iter().sum()
 }
 
+/// Forces the pre-fusion traversal shape — bulk relax pass followed by a
+/// separate farthest scan — by claiming the relax kernel prunes. At low
+/// dimension the kernel cannot actually prune, so this pins the cost of
+/// the second sweep that the fused serial path removes.
+struct SplitRelax<'a>(EuclideanMetric<'a>);
+
+impl Metric for SplitRelax<'_> {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn dist(&self, i: usize, j: usize) -> f64 {
+        self.0.dist(i, j)
+    }
+    fn relax_min_prunes(&self) -> bool {
+        true
+    }
+    fn relax_min_block(
+        &self,
+        c: usize,
+        ids: &[usize],
+        best_d: &mut [f64],
+        best_pos: &mut [usize],
+        mark: usize,
+    ) {
+        self.0.relax_min_block(c, ids, best_d, best_pos, mark)
+    }
+}
+
 fn bench_gonzalez_relax(c: &mut Criterion) {
     let mut g = c.benchmark_group("gonzalez_prefix16");
     g.sample_size(10);
@@ -102,10 +134,14 @@ fn bench_gonzalez_relax(c: &mut Criterion) {
         let ids: Vec<usize> = (0..ps.len()).collect();
         let m = EuclideanMetric::new(&ps);
         g.bench_with_input(BenchmarkId::new("scalar", dim), &dim, |b, _| {
-            b.iter(|| scalar_gonzalez_relax(&ps, CLUSTERS));
+            b.iter(|| scalar_gonzalez_relax(&ps, &ids, CLUSTERS));
         });
         g.bench_with_input(BenchmarkId::new("bulk", dim), &dim, |b, _| {
             b.iter(|| gonzalez(&m, &ids, CLUSTERS, 0));
+        });
+        g.bench_with_input(BenchmarkId::new("bulk_split", dim), &dim, |b, _| {
+            let split = SplitRelax(EuclideanMetric::new(&ps));
+            b.iter(|| gonzalez(&split, &ids, CLUSTERS, 0));
         });
         g.bench_with_input(BenchmarkId::new("bulk_threads", dim), &dim, |b, _| {
             b.iter(|| gonzalez_with(&m, &ids, CLUSTERS, 0, ThreadBudget::available()));

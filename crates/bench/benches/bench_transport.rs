@@ -46,10 +46,13 @@ struct PingCoordinator {
 impl Coordinator for PingCoordinator {
     type Output = u64;
 
-    fn step(&mut self, round: usize, replies: Vec<Bytes>) -> CoordinatorStep {
-        self.acc = self
-            .acc
-            .wrapping_add(replies.iter().map(|r| r.len() as u64).sum());
+    fn step(&mut self, round: usize, replies: Vec<Option<Bytes>>) -> CoordinatorStep {
+        self.acc = self.acc.wrapping_add(
+            replies
+                .iter()
+                .map(|r| r.as_ref().map_or(0, |r| r.len() as u64))
+                .sum(),
+        );
         if round < self.rounds {
             CoordinatorStep::Broadcast(Bytes::from(vec![round as u8; PAYLOAD]))
         } else {
@@ -71,7 +74,7 @@ fn sites() -> Vec<Box<dyn Site + 'static>> {
 /// The pre-runtime simulator: spawn `s` OS threads on every round.
 fn spawn_per_round(sites: &mut [Box<dyn Site + '_>], mut coordinator: PingCoordinator) -> u64 {
     let s = sites.len();
-    let mut replies: Vec<Bytes> = Vec::new();
+    let mut replies: Vec<Option<Bytes>> = Vec::new();
     for round in 0.. {
         let step = coordinator.step(round, std::mem::take(&mut replies));
         let msgs: Vec<Bytes> = match step {
@@ -79,12 +82,12 @@ fn spawn_per_round(sites: &mut [Box<dyn Site + '_>], mut coordinator: PingCoordi
             CoordinatorStep::Messages(ms) => ms,
             CoordinatorStep::Finish => return coordinator.finish(),
         };
-        let mut new_replies: Vec<Bytes> = vec![Bytes::new(); s];
+        let mut new_replies: Vec<Option<Bytes>> = vec![None; s];
         std::thread::scope(|scope| {
             for ((site, reply), msg) in sites.iter_mut().zip(new_replies.iter_mut()).zip(&msgs) {
                 scope.spawn(move || {
                     let t = Instant::now();
-                    *reply = site.handle(round, msg);
+                    *reply = Some(site.handle(round, msg));
                     std::hint::black_box(t.elapsed());
                 });
             }
@@ -120,7 +123,7 @@ fn bench_backends(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("runtime", name), &(), |b, _| {
             b.iter(|| {
                 let mut s = sites();
-                run_protocol(&mut s, coord(), options).output
+                run_protocol(&mut s, coord(), options.clone()).output
             });
         });
     }
@@ -157,7 +160,7 @@ fn bench_algo1_backends(c: &mut Criterion) {
         ("tcp", RunOptions::new().transport(TransportKind::Tcp)),
     ] {
         g.bench_with_input(BenchmarkId::new("median", name), &(), |b, _| {
-            b.iter(|| run_distributed_median(&sh, MedianConfig::new(4, 16), options));
+            b.iter(|| run_distributed_median(&sh, MedianConfig::new(4, 16), options.clone()));
         });
     }
     g.finish();

@@ -25,7 +25,14 @@ use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let run_all = args.is_empty() || args.iter().any(|a| a == "all");
+    // `threads=N` forces the thread budget for the kernel rows; without it
+    // they use one thread per available core, which on a single-core box
+    // makes the "+threads" columns a copy of the serial ones.
+    let threads: Option<usize> = args
+        .iter()
+        .find_map(|a| a.strip_prefix("threads=").and_then(|v| v.parse().ok()));
+    let run_all =
+        args.iter().any(|a| a == "all") || !args.iter().any(|a| !a.starts_with("threads="));
     let want = |id: &str| run_all || args.iter().any(|a| a == id);
 
     if want("e1") {
@@ -68,7 +75,7 @@ fn main() {
         g1_sweep_grid();
     }
     if want("kernels") {
-        b1_kernels();
+        b1_kernels(threads);
     }
     if want("a1") {
         a1_grid();
@@ -759,7 +766,13 @@ fn s1_stream_throughput() {
 /// Writes `BENCH_kernels.json` at the repo root so the perf trajectory is
 /// recorded in-tree; the acceptance bar is ≥ 3× bulk-over-scalar for the
 /// Lloyd / Gonzalez assignment kernels at dim ≥ 32.
-fn b1_kernels() {
+///
+/// `threads_override` (the `threads=N` CLI arg) pins the "+threads"
+/// columns to an explicit fan-out; by default they use one thread per
+/// available core. The JSON records both the machine's parallelism and
+/// the budget the run actually used, so a single-core recording is
+/// distinguishable from a fan-out one.
+fn b1_kernels(threads_override: Option<usize>) {
     use dpc::cluster::gonzalez_with;
     use dpc::metric::{CenterBlock, EuclideanMetric, NearestAssigner, ThreadBudget};
 
@@ -767,6 +780,9 @@ fn b1_kernels() {
         "B1",
         "bulk kernels: scalar vs bulk vs bulk+threads, 50k points, k+t=64 candidates",
     );
+    let budget = threads_override
+        .map(ThreadBudget::new)
+        .unwrap_or_else(ThreadBudget::available);
     const N: usize = 50_000;
     const CLUSTERS: usize = 16;
     /// Candidate-set size: `k + t` with `k = 16`, `t = 48` — the sites'
@@ -829,7 +845,7 @@ fn b1_kernels() {
             std::hint::black_box(block.assign_sq(ps, &ids, ThreadBudget::serial()));
         });
         let thr_lloyd = time_ms(|| {
-            std::hint::black_box(block.assign_sq(ps, &ids, ThreadBudget::available()));
+            std::hint::black_box(block.assign_sq(ps, &ids, budget));
         });
 
         // Gonzalez-prefix assignment over the Metric (Algorithm 2's
@@ -852,22 +868,28 @@ fn b1_kernels() {
         let bulk_gonz = time_ms(|| {
             std::hint::black_box(assigner.assign(&ids, &prefix));
         });
-        let thr_assigner = NearestAssigner::with_threads(&m, ThreadBudget::available());
+        let thr_assigner = NearestAssigner::with_threads(&m, budget);
         let thr_gonz = time_ms(|| {
             std::hint::black_box(thr_assigner.assign(&ids, &prefix));
         });
 
         // Gonzalez relax traversal (informational — the partial-distance
         // hook prunes less here because the incumbent tightens over steps).
+        // The baseline is the pre-kernel-layer traversal verbatim: fused
+        // relax + farthest scan with assignment tracking, so the ratio
+        // measures the kernel layer and not dropped bookkeeping.
         let scalar_relax = time_ms(|| {
             let mut best = vec![f64::INFINITY; N];
+            let mut pos = vec![0usize; N];
             let mut chosen = 0usize;
-            for _ in 0..CLUSTERS {
+            for step in 0..CLUSTERS {
                 let mut far = (0usize, -1.0f64);
-                for (i, b) in best.iter_mut().enumerate() {
-                    let d = ps.dist(i, chosen);
+                let zipped = best.iter_mut().zip(pos.iter_mut()).zip(&ids);
+                for (i, ((b, p), &id)) in zipped.enumerate() {
+                    let d = ps.dist(id, ids[chosen]);
                     if d < *b {
                         *b = d;
+                        *p = step;
                     }
                     if *b > far.1 {
                         far = (i, *b);
@@ -875,19 +897,13 @@ fn b1_kernels() {
                 }
                 chosen = far.0;
             }
-            std::hint::black_box(&best);
+            std::hint::black_box((&best, &pos));
         });
         let bulk_relax = time_ms(|| {
             std::hint::black_box(dpc::cluster::gonzalez(&m, &ids, CLUSTERS, 0));
         });
         let thr_relax = time_ms(|| {
-            std::hint::black_box(gonzalez_with(
-                &m,
-                &ids,
-                CLUSTERS,
-                0,
-                ThreadBudget::available(),
-            ));
+            std::hint::black_box(gonzalez_with(&m, &ids, CLUSTERS, 0, budget));
         });
 
         for (kernel, scalar, bulk, thr) in [
@@ -924,12 +940,13 @@ fn b1_kernels() {
         }
     }
 
-    let threads = std::thread::available_parallelism()
+    let available = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let json = format!(
-        "{{\"experiment\":\"kernels\",\"available_threads\":{},\"rows\":[{}]}}\n",
-        threads,
+        "{{\"experiment\":\"kernels\",\"available_threads\":{},\"used_threads\":{},\"rows\":[{}]}}\n",
+        available,
+        budget.get(),
         rows.join(",")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");

@@ -138,6 +138,14 @@ pub struct Options {
     pub objective: StreamObjective,
     /// Bulk-kernel thread budget inside the solvers (1 = serial).
     pub threads: usize,
+    /// Per-attempt dropout probability injected into protocol rounds.
+    pub dropout: f64,
+    /// Seed behind the injected faults (independent of `--seed`).
+    pub fault_seed: u64,
+    /// Per-attempt timeout charged when a site fails to answer.
+    pub timeout: Option<Duration>,
+    /// Extra delivery attempts after a failed one.
+    pub retries: u32,
     /// `sweep`: the parameter grid (set only for [`Command::Sweep`]).
     pub sweep: Option<SweepSpec>,
 }
@@ -192,6 +200,16 @@ transport options (distributed commands and stream --sync-every):
   --bandwidth <rate>         simulated link bandwidth in bytes/sec with
                              optional k/M/G suffix, e.g. 10M
 
+fault-injection options (distributed commands and stream --sync-every;
+seed-deterministic, so identical flags reproduce identical runs):
+  --dropout <p>     probability in [0,1) that a delivery attempt to a
+                    site fails; protocols degrade to the responding sites
+  --fault-seed <n>  seed behind the injected faults     (default 0)
+  --timeout <dur>   per-attempt timeout charged to simulated time when a
+                    site fails to answer, e.g. 50ms     (default: instant
+                    failure detection, no time charged)
+  --retries <n>     extra delivery attempts after a failure (default 0)
+
 stream options:
   --block <int>       points per summarized block        (default 256)
   --window <int>      sliding-window length in points    (default off)
@@ -230,6 +248,10 @@ fn default_options(command: Command) -> Options {
         latency: Duration::ZERO,
         bandwidth: f64::INFINITY,
         threads: 1,
+        dropout: 0.0,
+        fault_seed: 0,
+        timeout: None,
+        retries: 0,
         sweep: None,
     }
 }
@@ -265,9 +287,13 @@ pub fn parse_args(args: &[String]) -> Result<Options, ParseError> {
             "--sync-every" => opts.sync_every = parse_num(&take_value(&mut i)?, "--sync-every")?,
             "--objective" => opts.objective = StreamObjective::parse(&take_value(&mut i)?)?,
             "--transport" => opts.transport = parse_transport(&take_value(&mut i)?)?,
-            "--latency" => opts.latency = parse_duration(&take_value(&mut i)?)?,
+            "--latency" => opts.latency = parse_duration(&take_value(&mut i)?, "--latency")?,
             "--bandwidth" => opts.bandwidth = parse_bandwidth(&take_value(&mut i)?)?,
             "--threads" => opts.threads = parse_num(&take_value(&mut i)?, "--threads")?,
+            "--dropout" => opts.dropout = parse_float(&take_value(&mut i)?, "--dropout")?,
+            "--fault-seed" => opts.fault_seed = parse_num(&take_value(&mut i)?, "--fault-seed")?,
+            "--timeout" => opts.timeout = Some(parse_duration(&take_value(&mut i)?, "--timeout")?),
+            "--retries" => opts.retries = parse_num(&take_value(&mut i)?, "--retries")?,
             "--one-round" => opts.one_round = true,
             "--json" => opts.json = true,
             other if other.starts_with("--") => {
@@ -296,6 +322,9 @@ pub fn parse_args(args: &[String]) -> Result<Options, ParseError> {
     }
     if opts.threads == 0 {
         return Err(ParseError("--threads must be positive".into()));
+    }
+    if !(0.0..1.0).contains(&opts.dropout) {
+        return Err(ParseError("--dropout must lie in [0, 1)".into()));
     }
     if opts.command == Command::Stream {
         if opts.block == 0 {
@@ -360,7 +389,7 @@ fn parse_sweep(args: &[String]) -> Result<Options, ParseError> {
             }
             "--seed" => opts.seed = parse_num(&take_value(&mut i)?, "--seed")?,
             "--delta" => opts.delta = parse_float(&take_value(&mut i)?, "--delta")?,
-            "--latency" => opts.latency = parse_duration(&take_value(&mut i)?)?,
+            "--latency" => opts.latency = parse_duration(&take_value(&mut i)?, "--latency")?,
             "--bandwidth" => opts.bandwidth = parse_bandwidth(&take_value(&mut i)?)?,
             "--threads" => opts.threads = parse_num(&take_value(&mut i)?, "--threads")?,
             "--one-round" => opts.one_round = true,
@@ -409,7 +438,7 @@ fn parse_transport(s: &str) -> Result<TransportKind, ParseError> {
 }
 
 /// Parses a duration like `5ms`, `250us`, `1.5s` — bare numbers are ms.
-fn parse_duration(s: &str) -> Result<Duration, ParseError> {
+fn parse_duration(s: &str, flag: &str) -> Result<Duration, ParseError> {
     let (digits, scale) = if let Some(v) = s.strip_suffix("us") {
         (v, 1e-6)
     } else if let Some(v) = s.strip_suffix("ms") {
@@ -421,12 +450,12 @@ fn parse_duration(s: &str) -> Result<Duration, ParseError> {
     };
     let v: f64 = digits
         .parse()
-        .map_err(|_| ParseError(format!("invalid duration '{s}' for --latency")))?;
+        .map_err(|_| ParseError(format!("invalid duration '{s}' for {flag}")))?;
     let secs = v * scale;
     // The upper bound both keeps Duration::from_secs_f64 panic-free
     // (it rejects ~1.8e19 s and up) and catches absurd simulations.
     if !secs.is_finite() || !(0.0..=1e9).contains(&secs) {
-        return Err(ParseError(format!("invalid duration '{s}' for --latency")));
+        return Err(ParseError(format!("invalid duration '{s}' for {flag}")));
     }
     Ok(Duration::from_secs_f64(secs))
 }
@@ -606,6 +635,35 @@ mod tests {
         assert!(parse_args(&sv(&["median", "--latency", "1e20s", "x.csv"])).is_err());
         assert!(parse_args(&sv(&["median", "--bandwidth", "0", "x.csv"])).is_err());
         assert!(parse_args(&sv(&["median", "--bandwidth", "fast", "x.csv"])).is_err());
+    }
+
+    #[test]
+    fn fault_flags() {
+        let o = parse_args(&sv(&[
+            "median",
+            "--dropout",
+            "0.1",
+            "--fault-seed",
+            "7",
+            "--timeout",
+            "50ms",
+            "--retries",
+            "3",
+            "x.csv",
+        ]))
+        .unwrap();
+        assert_eq!(o.dropout, 0.1);
+        assert_eq!(o.fault_seed, 7);
+        assert_eq!(o.timeout, Some(Duration::from_millis(50)));
+        assert_eq!(o.retries, 3);
+        // Defaults: no faults.
+        let o = parse_args(&sv(&["median", "x.csv"])).unwrap();
+        assert_eq!((o.dropout, o.fault_seed, o.retries), (0.0, 0, 0));
+        assert_eq!(o.timeout, None);
+        // Rejections.
+        assert!(parse_args(&sv(&["median", "--dropout", "1.0", "x.csv"])).is_err());
+        assert!(parse_args(&sv(&["median", "--dropout", "-0.1", "x.csv"])).is_err());
+        assert!(parse_args(&sv(&["median", "--timeout", "soon", "x.csv"])).is_err());
     }
 
     #[test]

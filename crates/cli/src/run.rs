@@ -95,6 +95,22 @@ fn apply_common(opts: &Options, mut b: JobBuilder) -> JobBuilder {
     if opts.delta > 0.0 {
         b = b.delta(opts.delta);
     }
+    // Fault-injection knobs follow the same convention: only explicit,
+    // non-default values reach the builder, so protocol-free commands
+    // keep a clean warning slate unless the user actually asked for
+    // faults.
+    if opts.dropout > 0.0 {
+        b = b.dropout(opts.dropout);
+    }
+    if opts.fault_seed != 0 {
+        b = b.fault_seed(opts.fault_seed);
+    }
+    if let Some(t) = opts.timeout {
+        b = b.timeout(t);
+    }
+    if opts.retries > 0 {
+        b = b.retries(opts.retries);
+    }
     b
 }
 
@@ -540,6 +556,70 @@ mod tests {
         assert_eq!(a.bytes, b.bytes);
         assert_eq!(a.centers, b.centers);
         assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    fn fault_flags_end_to_end() {
+        // Seeded dropout degrades rounds but the protocol still answers;
+        // identical flags reproduce the identical artifact.
+        let o = opts(&[
+            "median",
+            "--k",
+            "2",
+            "--t",
+            "1",
+            "--sites",
+            "6",
+            "--dropout",
+            "0.4",
+            "--fault-seed",
+            "6",
+            "--timeout",
+            "10ms",
+            "in.csv",
+        ]);
+        let r = execute(&o, toy_csv().as_bytes()).unwrap();
+        assert_eq!(r.centers.len(), 2);
+        assert!(r.degraded_rounds() > 0, "seed 6 drops sites in both rounds");
+        assert!(r.total_dropouts() > 0);
+        // Failed attempts charge their timeout to the simulated clock.
+        assert!(r.network_ms >= 10.0, "network_ms {}", r.network_ms);
+        // Identical flags reproduce everything but wall-clock timings.
+        let again = execute(&o, toy_csv().as_bytes()).unwrap();
+        assert_eq!(r.centers, again.centers);
+        assert_eq!(r.bytes, again.bytes);
+        assert_eq!(r.network_ms, again.network_ms);
+        for (a, b) in r.round_stats.iter().zip(&again.round_stats) {
+            assert_eq!(a.bytes_up, b.bytes_up);
+            assert_eq!(
+                (a.dropouts, a.retries, a.degraded),
+                (b.dropouts, b.retries, b.degraded)
+            );
+        }
+        // The JSON carries the per-round fault fields.
+        assert!(r.to_json().contains("\"degraded\":true"));
+        // Fault knobs on a protocol-free command warn but still run.
+        let o = opts(&[
+            "stream",
+            "--k",
+            "2",
+            "--t",
+            "2",
+            "--dropout",
+            "0.2",
+            "s.csv",
+        ]);
+        let w = preflight(&o).unwrap();
+        assert!(
+            w.iter().any(|w| matches!(
+                w,
+                ConfigWarning::KnobUnused {
+                    knob: "dropout",
+                    ..
+                }
+            )),
+            "{w:?}"
+        );
     }
 
     #[test]

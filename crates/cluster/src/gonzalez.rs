@@ -71,8 +71,13 @@ pub fn gonzalez<M: Metric>(
 /// The relax runs through the bulk [`Metric::relax_min_block`] kernel —
 /// Euclidean metrics skip points whose partial distance already proves no
 /// improvement — and the farthest-point bookkeeping stays on the calling
-/// thread in index order. The ordering, radii, and assignments are
-/// identical to the scalar traversal at any budget.
+/// thread in index order. When the budget is serial *and* the metric
+/// reports its relax kernel cannot prune ([`Metric::relax_min_prunes`],
+/// e.g. Euclidean at low dimension), the traversal instead fuses the
+/// relax and the farthest scan into one pass over the state — the bulk
+/// kernel would otherwise pay for a second full sweep it cannot win
+/// back. The ordering, radii, and assignments are identical to the
+/// scalar traversal on every path, at any budget.
 pub fn gonzalez_with<M: Metric>(
     metric: &M,
     ids: &[usize],
@@ -85,6 +90,7 @@ pub fn gonzalez_with<M: Metric>(
     let n = ids.len();
     let m = prefix_len.min(n);
     let assigner = NearestAssigner::with_threads(metric, threads);
+    let fused = threads.is_serial() && !metric.relax_min_prunes();
 
     let mut order = Vec::with_capacity(m);
     let mut radii = Vec::with_capacity(m);
@@ -98,16 +104,35 @@ pub fn gonzalez_with<M: Metric>(
         let chosen = next;
         order.push(ids[chosen]);
         radii.push(next_d);
-        // Bulk relax against the newly selected point (with
-        // partial-distance pruning for Euclidean metrics), then find the
-        // next farthest point in a sequential scan.
-        assigner.relax_min(ids[chosen], ids, &mut best_d, &mut best_pos, step);
         let mut far_idx = 0usize;
         let mut far_d = -1.0f64;
-        for (idx, &bd) in best_d.iter().enumerate() {
-            if bd > far_d {
-                far_d = bd;
-                far_idx = idx;
+        if fused {
+            // Single pass: relax against the new selection and track the
+            // farthest survivor as the state streams by. Same strict-`<`
+            // relax rule and first-wins farthest rule as the split path.
+            let c = ids[chosen];
+            let zipped = best_d.iter_mut().zip(best_pos.iter_mut()).zip(ids);
+            for (idx, ((bd, bp), &i)) in zipped.enumerate() {
+                let d = metric.dist(i, c);
+                if d < *bd {
+                    *bd = d;
+                    *bp = step;
+                }
+                if *bd > far_d {
+                    far_d = *bd;
+                    far_idx = idx;
+                }
+            }
+        } else {
+            // Bulk relax against the newly selected point (with
+            // partial-distance pruning for Euclidean metrics), then find
+            // the next farthest point in a sequential scan.
+            assigner.relax_min(ids[chosen], ids, &mut best_d, &mut best_pos, step);
+            for (idx, &bd) in best_d.iter().enumerate() {
+                if bd > far_d {
+                    far_d = bd;
+                    far_idx = idx;
+                }
             }
         }
         next = far_idx;

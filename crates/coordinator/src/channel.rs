@@ -65,18 +65,25 @@ impl Transport for ChannelTransport {
         self.mailboxes.len()
     }
 
-    fn exchange(&mut self, round: usize, msgs: &[Bytes]) -> Vec<SiteReply> {
+    fn exchange(&mut self, round: usize, msgs: &[Option<Bytes>]) -> Vec<Option<SiteReply>> {
         assert_eq!(msgs.len(), self.mailboxes.len(), "one message per site");
-        // Fan out first so every site computes concurrently...
+        // Fan out first so every participating site computes
+        // concurrently; a `None` site gets no envelope this round.
         for (tx, msg) in self.mailboxes.iter().zip(msgs) {
-            tx.send((round, msg.clone()))
-                .expect("site worker exited before the protocol finished");
+            if let Some(msg) = msg {
+                tx.send((round, msg.clone()))
+                    .expect("site worker exited before the protocol finished");
+            }
         }
         // ...then gather in site order (recv blocks per site, but the
         // others keep computing meanwhile).
         self.replies
             .iter()
-            .map(|rx| rx.recv().expect("site worker exited before replying"))
+            .zip(msgs)
+            .map(|(rx, msg)| {
+                msg.as_ref()
+                    .map(|_| rx.recv().expect("site worker exited before replying"))
+            })
             .collect()
     }
 }

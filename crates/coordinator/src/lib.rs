@@ -32,14 +32,27 @@
 //!   communication-vs-time trade-off is a measurable, tunable axis: the
 //!   "local time" columns are observed wall-clock, the network column is
 //!   modeled from the exact bytes moved.
+//! * **The fault layer** ([`FaultPlan`]) extends the same idea to
+//!   failures: per-site/per-round dropout, crash-at-round, straggler
+//!   delays, and the coordinator's timeout/retry/backoff schedule.
+//!   Every decision is a pure hash of `(seed, site, round, attempt)`
+//!   and all simulated time flows through the link model, so a chaos
+//!   run is reproducible bit for bit on every backend. The driver
+//!   consults the plan *before* each exchange and hands fault-tolerant
+//!   coordinators a `None` reply slot per failed site; a site that
+//!   misses a round is crash-stopped for the rest of the execution, and
+//!   [`RoundStats`] records `dropouts`/`retries`/`degraded` per round.
+//!   See the [`fault`] module docs for the exact attempt semantics.
 
 pub mod channel;
+pub mod fault;
 pub mod protocol;
 pub mod stats;
 pub mod tcp;
 pub mod transport;
 
 pub use channel::ChannelTransport;
+pub use fault::{Attempt, FaultPlan};
 pub use protocol::{
     drive, run_protocol, Coordinator, CoordinatorStep, ProtocolOutput, RunOptions, Site,
 };

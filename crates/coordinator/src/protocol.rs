@@ -8,11 +8,12 @@
 //! time.
 
 use crate::channel::ChannelTransport;
+use crate::fault::{Attempt, FaultPlan};
 use crate::stats::{CommStats, RoundStats};
 use crate::tcp::TcpTransport;
 use crate::transport::{InlineTransport, LinkModel, Transport, TransportKind};
 use bytes::Bytes;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Per-site protocol logic.
 ///
@@ -41,16 +42,19 @@ pub trait Coordinator {
     /// The protocol's result type.
     type Output;
 
-    /// Consumes the site replies of the previous round (empty on the first
-    /// call) and decides the next step.
-    fn step(&mut self, round: usize, replies: Vec<Bytes>) -> CoordinatorStep;
+    /// Consumes the site replies of the previous round (empty on the
+    /// first call) and decides the next step. A `None` entry is a site
+    /// the [`FaultPlan`] failed that round: fault-tolerant coordinators
+    /// proceed over the responders, others should panic with a clear
+    /// message rather than silently mis-merge.
+    fn step(&mut self, round: usize, replies: Vec<Option<Bytes>>) -> CoordinatorStep;
 
     /// Produces the final output after [`CoordinatorStep::Finish`].
     fn finish(self) -> Self::Output;
 }
 
 /// Runner knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct RunOptions {
     /// Execute sites concurrently (`true`, the realistic mode) or
     /// sequentially on the caller's thread (deterministic timing, useful
@@ -64,6 +68,9 @@ pub struct RunOptions {
     pub transport: TransportKind,
     /// Simulated link folded into [`RoundStats::network`].
     pub link: LinkModel,
+    /// Seed-deterministic fault schedule (dropout, crashes, stragglers,
+    /// timeout/retry). [`FaultPlan::none`] by default.
+    pub faults: FaultPlan,
 }
 
 impl Default for RunOptions {
@@ -81,6 +88,7 @@ impl RunOptions {
             max_rounds: 64,
             transport: TransportKind::Channel,
             link: LinkModel::ideal(),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -101,6 +109,12 @@ impl RunOptions {
     /// Sets the simulated link model.
     pub fn link(mut self, link: LinkModel) -> Self {
         self.link = link;
+        self
+    }
+
+    /// Sets the fault schedule.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -149,14 +163,24 @@ pub fn run_protocol<C: Coordinator>(
 ///
 /// Public so external runtimes (or benches) can drive custom
 /// [`Transport`] implementations; most callers want [`run_protocol`].
+///
+/// Fault injection happens here, *before* each exchange: the
+/// [`FaultPlan`] decides which sites participate as a pure function of
+/// `(seed, site, round, attempt)`, so the responder set, byte charges,
+/// and simulated time are identical on every backend. A site that
+/// misses a round is failed for the rest of the execution (crash-stop):
+/// every protocol in this workspace derives round-`r` state from round
+/// `r-1` messages, so a late rejoin would answer from a stale round.
 pub fn drive<T: Transport + ?Sized, C: Coordinator>(
     transport: &mut T,
     mut coordinator: C,
     options: RunOptions,
 ) -> ProtocolOutput<C::Output> {
     let s = transport.num_sites();
+    let plan = &options.faults;
     let mut stats = CommStats::default();
-    let mut replies: Vec<Bytes> = Vec::new();
+    let mut replies: Vec<Option<Bytes>> = Vec::new();
+    let mut alive = vec![true; s];
 
     for round in 0..=options.max_rounds {
         let t0 = Instant::now();
@@ -183,24 +207,110 @@ pub fn drive<T: Transport + ?Sized, C: Coordinator>(
             }
         };
 
-        let site_replies = transport.exchange(round, &msgs);
+        // Simulate the delivery schedule. `waits[i]` accumulates the
+        // simulated time site `i`'s slot spends on failed-attempt
+        // timeouts and straggler delays; `delivery[i] = None` marks a
+        // site that misses the round entirely.
+        let mut delivery: Vec<Option<Bytes>> = Vec::with_capacity(s);
+        let mut waits: Vec<Duration> = vec![Duration::ZERO; s];
+        let mut retries = 0usize;
+        if plan.is_none() {
+            delivery.extend(msgs.iter().cloned().map(Some));
+        } else {
+            for (i, msg) in msgs.iter().enumerate() {
+                if !alive[i] {
+                    // Known-failed site: the coordinator skips it without
+                    // paying another detection timeout.
+                    delivery.push(None);
+                    continue;
+                }
+                let mut delivered = None;
+                for attempt in 0..=plan.retries {
+                    match plan.sample_attempt(i, round, attempt) {
+                        Attempt::Delivered { delay } => match plan.timeout_for(attempt) {
+                            Some(timeout) if delay > timeout => {
+                                // Straggled past the timeout: the reply is
+                                // abandoned, the coordinator waited in vain.
+                                waits[i] += timeout;
+                                retries += 1;
+                            }
+                            _ => {
+                                delivered = Some(delay);
+                                break;
+                            }
+                        },
+                        Attempt::Failed => {
+                            // With no timeout configured, detection is free
+                            // (a perfect failure detector).
+                            if let Some(timeout) = plan.timeout_for(attempt) {
+                                waits[i] += timeout;
+                            }
+                            retries += 1;
+                        }
+                    }
+                }
+                match delivered {
+                    Some(delay) => {
+                        waits[i] += delay;
+                        delivery.push(Some(msg.clone()));
+                    }
+                    None => {
+                        alive[i] = false;
+                        delivery.push(None);
+                    }
+                }
+            }
+        }
+
+        let site_replies = transport.exchange(round, &delivery);
         debug_assert_eq!(site_replies.len(), s);
 
-        let mut round_stats = RoundStats {
-            coordinator_to_sites: msgs.iter().map(Bytes::len).collect(),
-            sites_to_coordinator: site_replies.iter().map(|r| r.payload.len()).collect(),
-            site_compute: site_replies.iter().map(|r| r.compute).collect(),
+        // Byte accounting charges only what was actually delivered: a
+        // dropped site moves zero bytes in both directions.
+        let down: Vec<usize> = delivery
+            .iter()
+            .map(|m| m.as_ref().map_or(0, Bytes::len))
+            .collect();
+        let up: Vec<usize> = site_replies
+            .iter()
+            .map(|r| r.as_ref().map_or(0, |r| r.payload.len()))
+            .collect();
+        let dropouts = delivery.iter().filter(|m| m.is_none()).count();
+        // Per-site simulated time: fault waits plus, for responders, the
+        // link's down-then-up exchange; the round costs the slowest slot
+        // (all star links run in parallel). With no faults this reduces
+        // to the plain `LinkModel::round_network_time`.
+        let network = (0..s)
+            .map(|i| {
+                let link = if delivery[i].is_some() {
+                    options.link.one_way(down[i]) + options.link.one_way(up[i])
+                } else {
+                    Duration::ZERO
+                };
+                waits[i] + link
+            })
+            .max()
+            .unwrap_or_default();
+
+        stats.rounds.push(RoundStats {
+            coordinator_to_sites: down,
+            sites_to_coordinator: up,
+            site_compute: site_replies
+                .iter()
+                .map(|r| r.as_ref().map_or(Duration::ZERO, |r| r.compute))
+                .collect(),
             // Planning this round's messages — including the round-0
             // kick, which the pre-runtime simulator silently dropped.
             coordinator_compute: coord_time,
-            network: Default::default(),
-        };
-        round_stats.network = options.link.round_network_time(
-            &round_stats.coordinator_to_sites,
-            &round_stats.sites_to_coordinator,
-        );
-        stats.rounds.push(round_stats);
-        replies = site_replies.into_iter().map(|r| r.payload).collect();
+            network,
+            dropouts,
+            retries,
+            degraded: dropouts > 0,
+        });
+        replies = site_replies
+            .into_iter()
+            .map(|r| r.map(|r| r.payload))
+            .collect();
     }
     panic!("protocol exceeded max_rounds = {}", options.max_rounds);
 }
@@ -240,7 +350,7 @@ mod tests {
     impl Coordinator for ToyCoordinator {
         type Output = u64;
 
-        fn step(&mut self, round: usize, replies: Vec<Bytes>) -> CoordinatorStep {
+        fn step(&mut self, round: usize, replies: Vec<Option<Bytes>>) -> CoordinatorStep {
             match round {
                 0 => {
                     let mut b = BytesMut::new();
@@ -250,7 +360,10 @@ mod tests {
                 1 => {
                     self.sum = replies
                         .iter()
-                        .map(|r| u64::from_le_bytes(r[..8].try_into().unwrap()))
+                        .map(|r| {
+                            let r = r.as_ref().expect("no faults injected");
+                            u64::from_le_bytes(r[..8].try_into().unwrap())
+                        })
                         .sum();
                     CoordinatorStep::Broadcast(Bytes::new())
                 }
@@ -327,7 +440,7 @@ mod tests {
         struct SlowKick;
         impl Coordinator for SlowKick {
             type Output = ();
-            fn step(&mut self, round: usize, _replies: Vec<Bytes>) -> CoordinatorStep {
+            fn step(&mut self, round: usize, _replies: Vec<Option<Bytes>>) -> CoordinatorStep {
                 if round == 0 {
                     std::thread::sleep(Duration::from_millis(25));
                     CoordinatorStep::Broadcast(Bytes::new())
@@ -383,7 +496,7 @@ mod tests {
         struct Loopy;
         impl Coordinator for Loopy {
             type Output = ();
-            fn step(&mut self, _round: usize, _replies: Vec<Bytes>) -> CoordinatorStep {
+            fn step(&mut self, _round: usize, _replies: Vec<Option<Bytes>>) -> CoordinatorStep {
                 CoordinatorStep::Broadcast(Bytes::new())
             }
             fn finish(self) {}
@@ -406,6 +519,203 @@ mod tests {
         );
     }
 
+    /// A fault-tolerant toy: sites reply with their value, the
+    /// coordinator sums whatever arrives over two collection rounds.
+    struct TolerantSum {
+        sum: u64,
+        responders: Vec<usize>,
+    }
+
+    impl Coordinator for TolerantSum {
+        type Output = (u64, Vec<usize>);
+
+        fn step(&mut self, round: usize, replies: Vec<Option<Bytes>>) -> CoordinatorStep {
+            self.responders
+                .push(replies.iter().filter(|r| r.is_some()).count());
+            self.sum += replies
+                .iter()
+                .flatten()
+                .map(|r| u64::from_le_bytes(r[..8].try_into().unwrap()))
+                .sum::<u64>();
+            if round < 2 {
+                CoordinatorStep::Broadcast(Bytes::from_static(b"go"))
+            } else {
+                CoordinatorStep::Finish
+            }
+        }
+
+        fn finish(self) -> (u64, Vec<usize>) {
+            (self.sum, self.responders)
+        }
+    }
+
+    struct ValueSite {
+        value: u64,
+    }
+
+    impl Site for ValueSite {
+        fn handle(&mut self, _round: usize, _msg: &Bytes) -> Bytes {
+            let mut b = BytesMut::new();
+            b.put_u64_le(self.value);
+            b.freeze()
+        }
+    }
+
+    fn run_tolerant(options: RunOptions) -> ProtocolOutput<(u64, Vec<usize>)> {
+        let mut sites: Vec<Box<dyn Site>> = (0..4u64)
+            .map(|v| Box::new(ValueSite { value: 1 << v }) as Box<dyn Site>)
+            .collect();
+        run_protocol(
+            &mut sites,
+            TolerantSum {
+                sum: 0,
+                responders: Vec::new(),
+            },
+            options,
+        )
+    }
+
+    #[test]
+    fn fault_schedule_is_identical_on_every_backend() {
+        let plan = FaultPlan::with_dropout(0x5eed, 0.4);
+        let base = run_tolerant(RunOptions::sequential().faults(plan.clone()));
+        for options in [
+            RunOptions::new().faults(plan.clone()),
+            RunOptions::new().transport(TransportKind::Tcp).faults(plan),
+        ] {
+            let out = run_tolerant(options);
+            assert_eq!(out.output, base.output);
+            assert_eq!(out.stats.num_rounds(), base.stats.num_rounds());
+            for (a, b) in base.stats.rounds.iter().zip(&out.stats.rounds) {
+                assert_eq!(a.coordinator_to_sites, b.coordinator_to_sites);
+                assert_eq!(a.sites_to_coordinator, b.sites_to_coordinator);
+                assert_eq!(a.dropouts, b.dropouts);
+                assert_eq!(a.retries, b.retries);
+                assert_eq!(a.degraded, b.degraded);
+            }
+        }
+    }
+
+    #[test]
+    fn crashed_site_moves_no_bytes_and_rounds_degrade() {
+        let plan = FaultPlan::none().crash(2, 1);
+        let out = run_tolerant(RunOptions::sequential().faults(plan));
+        // Round 0: everyone answers. Round 1: site 2 is gone.
+        assert_eq!(out.output.1, vec![0, 4, 3]);
+        assert_eq!(out.output.0, (1 + 2 + 4 + 8) + (1 + 2 + 8));
+        let r0 = &out.stats.rounds[0];
+        assert!(!r0.degraded);
+        assert_eq!(r0.dropouts, 0);
+        for r in &out.stats.rounds[1..] {
+            assert!(r.degraded);
+            assert_eq!(r.dropouts, 1);
+            assert_eq!(r.coordinator_to_sites[2], 0);
+            assert_eq!(r.sites_to_coordinator[2], 0);
+            assert_eq!(r.site_compute[2], Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn dropout_is_monotone_crash_stop() {
+        // Once a site misses a round it must stay out, whatever the
+        // later coin flips say.
+        for seed in 0..16 {
+            let plan = FaultPlan::with_dropout(seed, 0.5);
+            let out = run_tolerant(RunOptions::sequential().faults(plan));
+            let alive_per_round: Vec<Vec<bool>> = out
+                .stats
+                .rounds
+                .iter()
+                .map(|r| r.coordinator_to_sites.iter().map(|&b| b > 0).collect())
+                .collect();
+            for w in alive_per_round.windows(2) {
+                for (prev, cur) in w[0].iter().zip(&w[1]) {
+                    assert!(
+                        *prev || !*cur,
+                        "a failed site rejoined: {alive_per_round:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn retries_rescue_sites_the_first_attempt_dropped() {
+        // With a generous retry budget a 50% dropout plan should still
+        // deliver every round for at least one seed — and the retry
+        // counter must record the failed first attempts. Cross-check
+        // drive() against the plan's own pure sampling.
+        let plan = FaultPlan::with_dropout(9, 0.5).with_timeout(Duration::from_millis(5), 8);
+        let out = run_tolerant(RunOptions::sequential().faults(plan.clone()));
+        let mut expected_retries = 0usize;
+        let mut expected_drops = vec![0usize; out.stats.num_rounds()];
+        let mut alive = [true; 4];
+        for (round, drops) in expected_drops.iter_mut().enumerate() {
+            for (site, alive) in alive.iter_mut().enumerate() {
+                if !*alive {
+                    *drops += 1;
+                    continue;
+                }
+                let mut ok = false;
+                for attempt in 0..=plan.retries {
+                    match plan.sample_attempt(site, round, attempt) {
+                        Attempt::Delivered { delay }
+                            if delay <= plan.timeout_for(attempt).unwrap() =>
+                        {
+                            ok = true;
+                            break;
+                        }
+                        _ => expected_retries += 1,
+                    }
+                }
+                if !ok {
+                    *alive = false;
+                    *drops += 1;
+                }
+            }
+        }
+        assert_eq!(out.stats.total_retries(), expected_retries);
+        assert!(expected_retries > 0, "0.5 dropout must fail some attempts");
+        let drops: Vec<usize> = out.stats.rounds.iter().map(|r| r.dropouts).collect();
+        assert_eq!(drops, expected_drops);
+    }
+
+    #[test]
+    fn failed_attempts_charge_timeouts_to_simulated_time() {
+        // Site 2 crashes before round 0; the coordinator pays one 10 ms
+        // timeout plus one 20 ms backoff retry to learn that, exactly
+        // once (known-dead sites are skipped in later rounds).
+        let plan = FaultPlan::none()
+            .crash(2, 0)
+            .with_timeout(Duration::from_millis(10), 1)
+            .with_backoff(2.0);
+        let out = run_tolerant(RunOptions::sequential().faults(plan));
+        assert_eq!(out.stats.rounds[0].network, Duration::from_millis(30));
+        assert_eq!(out.stats.rounds[0].retries, 2);
+        for r in &out.stats.rounds[1..] {
+            assert_eq!(r.network, Duration::ZERO);
+            assert_eq!(r.retries, 0);
+        }
+    }
+
+    #[test]
+    fn straggler_delay_flows_into_network_time() {
+        let plan = FaultPlan::with_dropout(1, 0.0).stragglers(1.0, Duration::from_millis(40));
+        let out = run_tolerant(RunOptions::sequential().faults(plan.clone()));
+        for (round, r) in out.stats.rounds.iter().enumerate() {
+            let expected = (0..4)
+                .map(|site| match plan.sample_attempt(site, round, 0) {
+                    Attempt::Delivered { delay } => delay,
+                    Attempt::Failed => unreachable!("no dropout configured"),
+                })
+                .max()
+                .unwrap();
+            assert_eq!(r.network, expected);
+            assert!(r.network > Duration::ZERO);
+            assert!(!r.degraded, "stragglers without timeouts still answer");
+        }
+    }
+
     #[test]
     fn per_site_messages() {
         struct PickySite {
@@ -420,15 +730,15 @@ mod tests {
         struct PerSiteCoord;
         impl Coordinator for PerSiteCoord {
             type Output = ();
-            fn step(&mut self, round: usize, replies: Vec<Bytes>) -> CoordinatorStep {
+            fn step(&mut self, round: usize, replies: Vec<Option<Bytes>>) -> CoordinatorStep {
                 match round {
                     0 => CoordinatorStep::Messages(vec![
                         Bytes::copy_from_slice(&[7]),
                         Bytes::copy_from_slice(&[9]),
                     ]),
                     _ => {
-                        assert_eq!(replies[0][0], 7);
-                        assert_eq!(replies[1][0], 9);
+                        assert_eq!(replies[0].as_ref().unwrap()[0], 7);
+                        assert_eq!(replies[1].as_ref().unwrap()[0], 9);
                         CoordinatorStep::Finish
                     }
                 }

@@ -22,8 +22,18 @@ pub struct RoundStats {
     pub coordinator_compute: Duration,
     /// Simulated network time of this round under the configured
     /// [`crate::LinkModel`]: the slowest site's down-plus-up exchange
-    /// (all star links run in parallel). Zero under the ideal link.
+    /// (all star links run in parallel), including straggler delays and
+    /// failed-attempt timeouts under the [`crate::FaultPlan`]. Zero
+    /// under the ideal link with no faults.
     pub network: Duration,
+    /// Sites that missed this round (no delivery in either direction).
+    pub dropouts: usize,
+    /// Failed delivery attempts the coordinator retried or abandoned
+    /// this round (attempts beyond each site's first successful one).
+    pub retries: usize,
+    /// True when at least one site missed the round — the coordinator
+    /// proceeded over the responders only.
+    pub degraded: bool,
 }
 
 impl RoundStats {
@@ -95,6 +105,22 @@ impl CommStats {
         self.rounds.iter().map(|r| r.network).sum()
     }
 
+    /// Total missed site-rounds across the execution.
+    pub fn total_dropouts(&self) -> usize {
+        self.rounds.iter().map(|r| r.dropouts).sum()
+    }
+
+    /// Total failed delivery attempts across the execution.
+    pub fn total_retries(&self) -> usize {
+        self.rounds.iter().map(|r| r.retries).sum()
+    }
+
+    /// Number of rounds the coordinator completed over a strict subset
+    /// of the sites.
+    pub fn degraded_rounds(&self) -> usize {
+        self.rounds.iter().filter(|r| r.degraded).count()
+    }
+
     /// Simulated end-to-end wall clock of the protocol: per round, the
     /// coordinator plans, the slowest site computes, and the link moves
     /// the messages — the three phases are strictly sequential in the
@@ -121,6 +147,7 @@ mod tests {
                     site_compute: vec![Duration::from_millis(5), Duration::from_millis(9)],
                     coordinator_compute: Duration::from_millis(1),
                     network: Duration::from_millis(7),
+                    ..Default::default()
                 },
                 RoundStats {
                     coordinator_to_sites: vec![1, 1],
@@ -128,6 +155,7 @@ mod tests {
                     site_compute: vec![Duration::from_millis(2), Duration::from_millis(1)],
                     coordinator_compute: Duration::from_millis(3),
                     network: Duration::from_millis(4),
+                    ..Default::default()
                 },
             ],
         };

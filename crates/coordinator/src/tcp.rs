@@ -99,14 +99,17 @@ impl Transport for TcpTransport {
         self.streams.len()
     }
 
-    fn exchange(&mut self, round: usize, msgs: &[Bytes]) -> Vec<SiteReply> {
+    fn exchange(&mut self, round: usize, msgs: &[Option<Bytes>]) -> Vec<Option<SiteReply>> {
         assert_eq!(msgs.len(), self.streams.len(), "one message per site");
         let round = u32::try_from(round).expect("round fits the frame header");
         assert_ne!(round, SHUTDOWN, "round collides with the shutdown frame");
         // Fan out: write every request before reading any reply. Site
         // workers read their request eagerly, so these writes cannot
-        // deadlock against the unread replies.
+        // deadlock against the unread replies. Frames carry the round
+        // number, so a skipped (`None`) site simply never sees a frame
+        // for this round — no wire-protocol change is needed.
         for (stream, msg) in self.streams.iter_mut().zip(msgs) {
+            let Some(msg) = msg else { continue };
             let body = msg.as_ref();
             let len = u32::try_from(body.len()).expect("message fits a u32 length prefix");
             let mut frame = Vec::with_capacity(8 + body.len());
@@ -120,8 +123,10 @@ impl Transport for TcpTransport {
         // Gather in site order.
         self.streams
             .iter_mut()
+            .zip(msgs)
             .enumerate()
-            .map(|(i, stream)| {
+            .map(|(i, (stream, msg))| {
+                msg.as_ref()?;
                 let mut header = [0u8; 12];
                 stream
                     .read_exact(&mut header)
@@ -132,10 +137,10 @@ impl Transport for TcpTransport {
                 stream
                     .read_exact(&mut payload)
                     .unwrap_or_else(|e| panic!("site {i}: reply payload ({len} bytes): {e}"));
-                SiteReply {
+                Some(SiteReply {
                     payload: Bytes::from(payload),
                     compute: Duration::from_nanos(compute_ns),
-                }
+                })
             })
             .collect()
     }

@@ -37,14 +37,19 @@ pub struct SiteReply {
 
 /// A backend that can run one round of the star topology: deliver
 /// `msgs[i]` to site `i`, wait for every reply.
+///
+/// A `None` entry marks a site the driver's [`crate::FaultPlan`] failed
+/// this round: the backend must skip it entirely — no delivery, no site
+/// compute, and a `None` in the reply slot — so a dropped site looks
+/// identical on every backend.
 pub trait Transport {
     /// Number of sites behind this transport.
     fn num_sites(&self) -> usize;
 
-    /// Delivers `msgs[i]` to site `i` for `round` and collects every
-    /// site's reply, in site order. `msgs.len()` must equal
-    /// [`Self::num_sites`].
-    fn exchange(&mut self, round: usize, msgs: &[Bytes]) -> Vec<SiteReply>;
+    /// Delivers `msgs[i]` to site `i` for `round` (skipping `None`
+    /// entries) and collects every participating site's reply, in site
+    /// order. `msgs.len()` must equal [`Self::num_sites`].
+    fn exchange(&mut self, round: usize, msgs: &[Option<Bytes>]) -> Vec<Option<SiteReply>>;
 }
 
 /// Which backend [`crate::run_protocol`] executes sites on.
@@ -174,18 +179,20 @@ impl Transport for InlineTransport<'_, '_> {
         self.sites.len()
     }
 
-    fn exchange(&mut self, round: usize, msgs: &[Bytes]) -> Vec<SiteReply> {
+    fn exchange(&mut self, round: usize, msgs: &[Option<Bytes>]) -> Vec<Option<SiteReply>> {
         assert_eq!(msgs.len(), self.sites.len(), "one message per site");
         self.sites
             .iter_mut()
             .zip(msgs)
             .map(|(site, msg)| {
-                let t0 = Instant::now();
-                let payload = site.handle(round, msg);
-                SiteReply {
-                    payload,
-                    compute: t0.elapsed(),
-                }
+                msg.as_ref().map(|msg| {
+                    let t0 = Instant::now();
+                    let payload = site.handle(round, msg);
+                    SiteReply {
+                        payload,
+                        compute: t0.elapsed(),
+                    }
+                })
             })
             .collect()
     }

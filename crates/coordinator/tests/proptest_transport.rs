@@ -45,10 +45,14 @@ struct PlannedCoordinator {
 impl Coordinator for PlannedCoordinator {
     type Output = Vec<Vec<Vec<u8>>>;
 
-    fn step(&mut self, round: usize, replies: Vec<Bytes>) -> CoordinatorStep {
+    fn step(&mut self, round: usize, replies: Vec<Option<Bytes>>) -> CoordinatorStep {
         if round > 0 {
-            self.collected
-                .push(replies.iter().map(|b| b.to_vec()).collect());
+            self.collected.push(
+                replies
+                    .iter()
+                    .map(|b| b.as_ref().expect("no faults injected").to_vec())
+                    .collect(),
+            );
         }
         match self.plan.get(round) {
             Some(msgs) => {
@@ -128,7 +132,7 @@ proptest! {
             RunOptions::new(),                                  // persistent channel workers
             RunOptions::new().transport(TransportKind::Tcp),    // loopback sockets
         ] {
-            let (out, stats) = run_plan(&plan, sites, options);
+            let (out, stats) = run_plan(&plan, sites, options.clone());
             prop_assert_eq!(&out, &base_out, "output diverged on {:?}", options.transport);
             assert_charges_identical(&base_stats, &stats);
         }

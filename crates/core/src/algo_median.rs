@@ -352,29 +352,55 @@ struct MedianCoordinator {
 impl Coordinator for MedianCoordinator {
     type Output = DistributedSolution;
 
-    fn step(&mut self, round: usize, replies: Vec<Bytes>) -> CoordinatorStep {
+    fn step(&mut self, round: usize, replies: Vec<Option<Bytes>>) -> CoordinatorStep {
         match round {
             0 => CoordinatorStep::Broadcast(self.cfg.encode()),
             1 => {
+                // Graceful degradation (Lemma 3.3 over the responders):
+                // sites that missed round 0 simply contribute no profile,
+                // and the water-filling allocation re-solves over the
+                // ones that answered. Filtering preserves site order, so
+                // the stable (ℓ, i, q) tie-break over responder indices
+                // is order-isomorphic to the full sort — the broadcast
+                // threshold just has to name the exceptional site by its
+                // *original* id, which is what the sites compare against.
+                let s = replies.len();
+                let responders: Vec<usize> = replies
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, r)| r.as_ref().map(|_| i))
+                    .collect();
                 let profiles: Vec<ConvexProfile> = replies
                     .iter()
+                    .flatten()
                     .map(|b| {
                         let mut r = dpc_metric::WireReader::new(b.clone());
                         ConvexProfile::decode(&mut r)
                     })
                     .collect();
-                let alloc = allocate_outliers(&profiles, self.cfg.t, self.cfg.rho);
-                let msgs = (0..replies.len())
-                    .map(|i| {
+                let msg_for = |threshold: f64, i0: u64, q0: u64| {
+                    move |i: usize| {
                         ThresholdMsg {
-                            threshold: alloc.threshold,
-                            i0: alloc.i0 as u64,
-                            q0: alloc.q0 as u64,
-                            exceptional: i == alloc.i0 && self.cfg.t > 0,
+                            threshold,
+                            i0,
+                            q0,
+                            exceptional: i as u64 == i0,
                         }
                         .encode()
-                    })
-                    .collect();
+                    }
+                };
+                let msgs = if profiles.is_empty() || self.cfg.t == 0 {
+                    // No budget to split (or no sites left to split it
+                    // over): an infinite threshold that no marginal beats
+                    // makes every site keep t_i = 0.
+                    (0..s).map(msg_for(f64::INFINITY, u64::MAX, 0)).collect()
+                } else {
+                    let alloc = allocate_outliers(&profiles, self.cfg.t, self.cfg.rho);
+                    let i0 = responders[alloc.i0];
+                    (0..s)
+                        .map(msg_for(alloc.threshold, i0 as u64, alloc.q0 as u64))
+                        .collect()
+                };
                 CoordinatorStep::Messages(msgs)
             }
             2 => {
@@ -392,9 +418,15 @@ impl Coordinator for MedianCoordinator {
 
 impl MedianCoordinator {
     /// Round 2: merge the summaries into one weighted instance and run the
-    /// Theorem 3.1 solver with the `(1+ε)t` budget.
-    fn solve_final(&mut self, replies: Vec<Bytes>) -> DistributedSolution {
-        let msgs: Vec<PreclusterMsg> = replies.into_iter().map(PreclusterMsg::decode).collect();
+    /// Theorem 3.1 solver with the `(1+ε)t` budget. Sites that dropped
+    /// out contribute nothing — their points are simply absent from the
+    /// merged instance.
+    fn solve_final(&mut self, replies: Vec<Option<Bytes>>) -> DistributedSolution {
+        let msgs: Vec<PreclusterMsg> = replies
+            .into_iter()
+            .flatten()
+            .map(PreclusterMsg::decode)
+            .collect();
         let dim = msgs
             .iter()
             .find(|m| !m.centers.is_empty() || !m.outliers.is_empty())

@@ -101,12 +101,17 @@ struct OneRoundMedianCoordinator {
 impl Coordinator for OneRoundMedianCoordinator {
     type Output = DistributedSolution;
 
-    fn step(&mut self, round: usize, replies: Vec<Bytes>) -> CoordinatorStep {
+    fn step(&mut self, round: usize, replies: Vec<Option<Bytes>>) -> CoordinatorStep {
         match round {
             0 => CoordinatorStep::Broadcast(Bytes::new()),
             1 => {
-                let msgs: Vec<PreclusterMsg> =
-                    replies.into_iter().map(PreclusterMsg::decode).collect();
+                // One-round degradation is trivial: merge whatever
+                // summaries arrived.
+                let msgs: Vec<PreclusterMsg> = replies
+                    .into_iter()
+                    .flatten()
+                    .map(PreclusterMsg::decode)
+                    .collect();
                 let dim = msgs
                     .iter()
                     .find(|m| !m.centers.is_empty() || !m.outliers.is_empty())
@@ -259,12 +264,15 @@ struct OneRoundCenterCoordinator {
 impl Coordinator for OneRoundCenterCoordinator {
     type Output = DistributedSolution;
 
-    fn step(&mut self, round: usize, replies: Vec<Bytes>) -> CoordinatorStep {
+    fn step(&mut self, round: usize, replies: Vec<Option<Bytes>>) -> CoordinatorStep {
         match round {
             0 => CoordinatorStep::Broadcast(Bytes::new()),
             1 => {
-                let msgs: Vec<PreclusterMsg> =
-                    replies.into_iter().map(PreclusterMsg::decode).collect();
+                let msgs: Vec<PreclusterMsg> = replies
+                    .into_iter()
+                    .flatten()
+                    .map(PreclusterMsg::decode)
+                    .collect();
                 let dim = msgs
                     .iter()
                     .find(|m| !m.centers.is_empty())

@@ -84,11 +84,14 @@ struct OneExchange {
 impl Coordinator for OneExchange {
     type Output = Vec<Bytes>;
 
-    fn step(&mut self, round: usize, replies: Vec<Bytes>) -> CoordinatorStep {
+    fn step(&mut self, round: usize, replies: Vec<Option<Bytes>>) -> CoordinatorStep {
         if round == 0 {
             CoordinatorStep::Messages(self.downlinks.clone())
         } else {
-            self.replies = replies;
+            self.replies = replies
+                .into_iter()
+                .map(|r| r.expect("no faults injected"))
+                .collect();
             CoordinatorStep::Finish
         }
     }

@@ -194,7 +194,7 @@ pub mod prelude {
         charikar_center, exact_best, gonzalez, lloyd_kmeans, median_bicriteria, BicriteriaParams,
         CenterParams, LloydParams, LocalSearchParams, Solution,
     };
-    pub use dpc_coordinator::{CommStats, LinkModel, RunOptions, TransportKind};
+    pub use dpc_coordinator::{CommStats, FaultPlan, LinkModel, RunOptions, TransportKind};
     pub use dpc_core::{
         evaluate_on_full_data, merge_shards, CenterConfig, DeltaVariant, MedianConfig,
         SubquadraticParams,

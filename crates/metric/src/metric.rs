@@ -127,6 +127,16 @@ pub trait Metric: Sync {
         }
     }
 
+    /// True when [`Metric::relax_min_block`] can actually skip work via
+    /// pruning (partial-distance aborts and the like) for this oracle's
+    /// data. When `false`, the bulk relax is just the scalar loop behind
+    /// a dispatch — callers that interleave relax with their own
+    /// bookkeeping (the farthest-first traversal) do better fusing both
+    /// into one pass than paying for a second sweep over the state.
+    fn relax_min_prunes(&self) -> bool {
+        false
+    }
+
     /// Relaxes per-query nearest state against one new candidate `c`:
     /// wherever `dist(id, c) < best_d`, the distance and `mark` are
     /// written. The farthest-first traversal's inner loop. Overrides may
@@ -210,6 +220,9 @@ impl<M: Metric + ?Sized> Metric for &M {
     ) {
         (**self).assign_block_sq(ids, centers, pos, dist)
     }
+    fn relax_min_prunes(&self) -> bool {
+        (**self).relax_min_prunes()
+    }
     fn relax_min_block(
         &self,
         c: usize,
@@ -231,6 +244,12 @@ impl<M: Metric + ?Sized> Metric for &M {
         (**self).assign2_block(ids, centers, c1, d1, d2)
     }
 }
+
+/// Pruning break-even for the Euclidean relax kernel: at or below this
+/// dimension a squared distance costs less than one abort stride, so the
+/// partial-distance machinery cannot pay for itself and the bulk relax
+/// degenerates to the scalar loop.
+const RELAX_PRUNE_MIN_DIM: usize = 8;
 
 /// Euclidean distance over a borrowed [`PointSet`].
 #[derive(Clone, Copy, Debug)]
@@ -321,6 +340,10 @@ impl Metric for EuclideanMetric<'_> {
         }
     }
 
+    fn relax_min_prunes(&self) -> bool {
+        self.points.dim() > RELAX_PRUNE_MIN_DIM
+    }
+
     fn relax_min_block(
         &self,
         c: usize,
@@ -335,7 +358,7 @@ impl Metric for EuclideanMetric<'_> {
         // scalar loop would have kept. Below one abort stride the
         // machinery cannot pay for itself — use the plain loop.
         let row = self.points.point(c);
-        if self.points.dim() <= 8 {
+        if self.points.dim() <= RELAX_PRUNE_MIN_DIM {
             for ((bd, bp), &i) in best_d.iter_mut().zip(best_pos.iter_mut()).zip(ids) {
                 let d = sq_dist(self.points.point(i), row).sqrt();
                 if d < *bd {

@@ -25,7 +25,7 @@ use crate::wire::SummaryMsg;
 use bytes::Bytes;
 use dpc_cluster::Solution;
 use dpc_coordinator::{
-    run_protocol, CommStats, Coordinator, CoordinatorStep, LinkModel, RunOptions, Site,
+    run_protocol, CommStats, Coordinator, CoordinatorStep, FaultPlan, LinkModel, RunOptions, Site,
     TransportKind,
 };
 use dpc_core::wire::ThresholdMsg;
@@ -35,7 +35,7 @@ use dpc_metric::{EuclideanMetric, Objective, PointSet, SquaredMetric, WeightedSe
 use crate::summary::solve_weighted;
 
 /// Configuration of the continuous distributed mode.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ContinuousConfig {
     /// Per-site streaming engine configuration (k, t, objective, blocks).
     pub stream: StreamConfig,
@@ -53,6 +53,12 @@ pub struct ContinuousConfig {
     pub transport: TransportKind,
     /// Simulated link model charged per sync round.
     pub link: LinkModel,
+    /// Fault plan applied to every sync. Each sync re-derives an
+    /// independent per-sync seed ([`FaultPlan::derive`] on the sync
+    /// index), so a site that drops out of one sync participates in the
+    /// next — crash-stop aliveness is scoped to a single protocol
+    /// execution, not the fleet's lifetime.
+    pub faults: FaultPlan,
 }
 
 impl ContinuousConfig {
@@ -67,6 +73,7 @@ impl ContinuousConfig {
             parallel: false,
             transport: TransportKind::Channel,
             link: LinkModel::ideal(),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -79,6 +86,12 @@ impl ContinuousConfig {
     /// Sets the simulated link model of the sync protocol.
     pub fn link(mut self, link: LinkModel) -> Self {
         self.link = link;
+        self
+    }
+
+    /// Sets the fault plan injected into every sync.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -142,11 +155,11 @@ impl ContinuousCluster {
             "continuous sync re-runs Algorithm 1 (median/means only)"
         );
         Self {
-            cfg,
-            dim,
             sites: (0..sites)
                 .map(|_| StreamEngine::new(dim, cfg.stream))
                 .collect(),
+            cfg,
+            dim,
             ingested: 0,
             since_sync: 0,
             history: Vec::new(),
@@ -216,14 +229,18 @@ impl ContinuousCluster {
             .iter()
             .enumerate()
             .map(|(i, (pts, w))| {
-                Box::new(SummarySite::new(pts, w, i, self.cfg)) as Box<dyn Site + '_>
+                Box::new(SummarySite::new(pts, w, i, self.cfg.clone())) as Box<dyn Site + '_>
             })
             .collect();
         let coordinator = SyncCoordinator {
-            cfg: self.cfg,
+            cfg: self.cfg.clone(),
             dim: self.dim,
             result: None,
         };
+        // Each sync gets an independently-seeded copy of the fault plan:
+        // dropout in one sync must not doom a site for the fleet's
+        // remaining lifetime.
+        let faults = self.cfg.faults.derive(self.history.len() as u64);
         let out = run_protocol(
             &mut sites,
             coordinator,
@@ -231,6 +248,7 @@ impl ContinuousCluster {
                 parallel: self.cfg.parallel,
                 transport: self.cfg.transport,
                 link: self.cfg.link,
+                faults,
                 ..Default::default()
             },
         );
@@ -364,30 +382,50 @@ struct SyncCoordinator {
 impl Coordinator for SyncCoordinator {
     type Output = (PointSet, f64, f64);
 
-    fn step(&mut self, round: usize, replies: Vec<Bytes>) -> CoordinatorStep {
+    fn step(&mut self, round: usize, replies: Vec<Option<Bytes>>) -> CoordinatorStep {
         match round {
             0 => CoordinatorStep::Broadcast(self.cfg.encode()),
             1 => {
+                // Degrade exactly like the batch protocol
+                // (`MedianCoordinator::step`): water-fill the outlier
+                // budget over the sites that answered, remapping the
+                // allocation's responder index back to the original site
+                // id before broadcasting.
+                let s = replies.len();
+                let responders: Vec<usize> = replies
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, r)| r.as_ref().map(|_| i))
+                    .collect();
                 let profiles: Vec<ConvexProfile> = replies
                     .iter()
+                    .flatten()
                     .map(|b| {
                         let mut r = dpc_metric::WireReader::new(b.clone());
                         ConvexProfile::decode(&mut r)
                     })
                     .collect();
                 let t = self.cfg.stream.t;
-                let alloc = allocate_outliers(&profiles, t, self.cfg.rho);
-                let msgs = (0..replies.len())
-                    .map(|i| {
+                let msg_for = |threshold: f64, i0: u64, q0: u64| {
+                    move |i: usize| {
                         ThresholdMsg {
-                            threshold: alloc.threshold,
-                            i0: alloc.i0 as u64,
-                            q0: alloc.q0 as u64,
-                            exceptional: i == alloc.i0 && t > 0,
+                            threshold,
+                            i0,
+                            q0,
+                            exceptional: i as u64 == i0,
                         }
                         .encode()
-                    })
-                    .collect();
+                    }
+                };
+                let msgs = if profiles.is_empty() || t == 0 {
+                    (0..s).map(msg_for(f64::INFINITY, u64::MAX, 0)).collect()
+                } else {
+                    let alloc = allocate_outliers(&profiles, t, self.cfg.rho);
+                    let i0 = responders[alloc.i0];
+                    (0..s)
+                        .map(msg_for(alloc.threshold, i0 as u64, alloc.q0 as u64))
+                        .collect()
+                };
                 CoordinatorStep::Messages(msgs)
             }
             2 => {
@@ -404,8 +442,14 @@ impl Coordinator for SyncCoordinator {
 }
 
 impl SyncCoordinator {
-    fn solve_final(&self, replies: Vec<Bytes>) -> (PointSet, f64, f64) {
-        let msgs: Vec<SummaryMsg> = replies.into_iter().map(SummaryMsg::decode).collect();
+    /// Merge whatever summaries arrived; a dropped site's live points are
+    /// simply absent from this sync (they return in the next one).
+    fn solve_final(&self, replies: Vec<Option<Bytes>>) -> (PointSet, f64, f64) {
+        let msgs: Vec<SummaryMsg> = replies
+            .into_iter()
+            .flatten()
+            .map(SummaryMsg::decode)
+            .collect();
         let dim = msgs
             .iter()
             .find(|m| !m.centers.is_empty() || !m.outliers.is_empty())

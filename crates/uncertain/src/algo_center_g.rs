@@ -366,7 +366,13 @@ struct CenterGCoordinator {
 impl Coordinator for CenterGCoordinator {
     type Output = UncertainSolution;
 
-    fn step(&mut self, round: usize, replies: Vec<Bytes>) -> CoordinatorStep {
+    fn step(&mut self, round: usize, replies: Vec<Option<Bytes>>) -> CoordinatorStep {
+        // The center-g protocol does not tolerate dropout: the τ grid is
+        // aligned across sites, so a missing reply is fatal.
+        let replies: Vec<Bytes> = replies
+            .into_iter()
+            .map(|r| r.expect("center-g protocol does not tolerate site dropout"))
+            .collect();
         match round {
             0 => {
                 let mut w = WireWriter::new();
@@ -762,7 +768,11 @@ struct TauShipment {
 impl Coordinator for OneRoundCenterGCoordinator {
     type Output = UncertainSolution;
 
-    fn step(&mut self, round: usize, replies: Vec<Bytes>) -> CoordinatorStep {
+    fn step(&mut self, round: usize, replies: Vec<Option<Bytes>>) -> CoordinatorStep {
+        let replies: Vec<Bytes> = replies
+            .into_iter()
+            .map(|r| r.expect("one-round center-g protocol does not tolerate site dropout"))
+            .collect();
         match round {
             0 => CoordinatorStep::Broadcast(Bytes::new()),
             1 => {

@@ -417,7 +417,13 @@ struct UncertainCoordinator {
 impl Coordinator for UncertainCoordinator {
     type Output = UncertainSolution;
 
-    fn step(&mut self, round: usize, replies: Vec<Bytes>) -> CoordinatorStep {
+    fn step(&mut self, round: usize, replies: Vec<Option<Bytes>>) -> CoordinatorStep {
+        // The uncertain protocols do not tolerate dropout: every reply
+        // feeds the τ̂/threshold selection, so a missing site is fatal.
+        let replies: Vec<Bytes> = replies
+            .into_iter()
+            .map(|r| r.expect("uncertain protocol does not tolerate site dropout"))
+            .collect();
         match round {
             0 => {
                 let mut w = WireWriter::new();

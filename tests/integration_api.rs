@@ -113,6 +113,9 @@ fn artifact_json_schema_is_pinned() {
             max_site_ms: 1.5,
             coordinator_ms: 0.5,
             network_ms: 2.25,
+            dropouts: 1,
+            retries: 2,
+            degraded: true,
         }],
         transport: Some("tcp".into()),
         network_ms: 2.25,

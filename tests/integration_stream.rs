@@ -202,6 +202,70 @@ fn continuous_mode_charges_flat_sync_communication() {
     );
 }
 
+/// Continuous mode under seeded dropout: a site missing a sync only
+/// mutes its summary for that one sync (its points return at the next
+/// one, faults are re-seeded per sync), so the fleet keeps answering and
+/// the final centers stay within the same ≤2x-of-batch quality bound the
+/// fault-free engine is held to.
+#[test]
+fn continuous_sync_tolerates_dropout() {
+    let (k, t) = (3, 8);
+    let stream = drift_workload(3000, 23);
+    let cfg = ContinuousConfig {
+        stream: StreamConfig::new(k, t).block(128),
+        ..ContinuousConfig::new(k, t)
+    }
+    .sync_every(750)
+    .faults(FaultPlan::with_dropout(3, 0.25));
+    let mut fleet = ContinuousCluster::new(2, 3, cfg.clone());
+    for (i, p) in stream.points.iter() {
+        fleet.ingest(i % 3, p);
+    }
+    assert_eq!(fleet.history.len(), 4, "every sync completed");
+    let dropped: usize = fleet
+        .history
+        .iter()
+        .map(|rec| rec.stats.total_dropouts())
+        .sum();
+    assert!(dropped > 0, "seed 3 at p=0.25 silences someone");
+    // Dropped sites are never charged: a muted site moves zero bytes.
+    for rec in &fleet.history {
+        for round in &rec.stats.rounds {
+            for (i, (&down, &up)) in round
+                .coordinator_to_sites
+                .iter()
+                .zip(&round.sites_to_coordinator)
+                .enumerate()
+            {
+                assert_eq!(down == 0, up == 0, "half-charged site {i}");
+            }
+        }
+    }
+    // Quality: the latest (possibly degraded) sync still lands within 2x
+    // of the batch protocol on the full stream.
+    let latest = fleet.latest().unwrap();
+    let full = std::slice::from_ref(&stream.points);
+    let (cost, _) = evaluate_on_full_data(full, &latest.centers, 2 * t, Objective::Median);
+    let shards = partition(&stream.points, 3, PartitionStrategy::Random, &[], 5);
+    let batch = run_distributed_median(&shards, MedianConfig::new(k, t), RunOptions::default());
+    let (batch_cost, _) =
+        evaluate_on_full_data(&shards, &batch.output.centers, 2 * t, Objective::Median);
+    assert!(
+        cost <= 2.0 * batch_cost,
+        "degraded continuous {cost:.1} > 2x batch {batch_cost:.1}"
+    );
+    // Replay: the same config reproduces the same sync transcripts.
+    let mut again = ContinuousCluster::new(2, 3, cfg);
+    for (i, p) in stream.points.iter() {
+        again.ingest(i % 3, p);
+    }
+    for (a, b) in fleet.history.iter().zip(&again.history) {
+        assert_eq!(a.stats.total_bytes(), b.stats.total_bytes());
+        assert_eq!(a.stats.total_dropouts(), b.stats.total_dropouts());
+        assert_eq!(a.centers, b.centers);
+    }
+}
+
 /// Means and center engines summarize and solve without violating the
 /// weight/size invariants.
 #[test]

@@ -1,10 +1,11 @@
 //! The unified result type every job run produces.
 
 use crate::data::Dataset;
-use crate::json::{self, Json};
+use crate::json::{self, dur_to_ms, json_f64, usize_array, usize_vec, Json};
 use dpc_coordinator::CommStats;
 use dpc_core::evaluate_on_full_data;
 use dpc_metric::{Objective, PointSet};
+use dpc_obs::MetricsSummary;
 
 /// Version tag embedded in the artifact JSON; bump on schema breaks.
 ///
@@ -58,9 +59,9 @@ pub(crate) fn round_breakdowns(stats: &CommStats) -> Vec<RoundBreakdown> {
         .map(|r| RoundBreakdown {
             bytes_down: r.coordinator_to_sites.clone(),
             bytes_up: r.sites_to_coordinator.clone(),
-            max_site_ms: r.max_site_compute().as_secs_f64() * 1e3,
-            coordinator_ms: r.coordinator_compute.as_secs_f64() * 1e3,
-            network_ms: r.network.as_secs_f64() * 1e3,
+            max_site_ms: dur_to_ms(r.max_site_compute()),
+            coordinator_ms: dur_to_ms(r.coordinator_compute),
+            network_ms: dur_to_ms(r.network),
             dropouts: r.dropouts,
             retries: r.retries,
             degraded: r.degraded,
@@ -112,6 +113,11 @@ pub struct Artifact {
     pub syncs: Option<usize>,
     /// Streaming jobs: ingest+solve throughput in points per second.
     pub points_per_sec: Option<f64>,
+    /// Aggregated observability metrics, present when the job ran with
+    /// metrics collection enabled ([`crate::JobBuilder::metrics`]). Additive:
+    /// the schema stays [`ARTIFACT_SCHEMA`] because readers that ignore
+    /// unknown fields are unaffected.
+    pub metrics: Option<MetricsSummary>,
 }
 
 impl Artifact {
@@ -175,6 +181,9 @@ impl Artifact {
         if let Some(s) = self.syncs {
             out.push_str(&format!("syncs: {s}\n"));
         }
+        if let Some(m) = &self.metrics {
+            out.push_str(&m.render());
+        }
         for (i, r) in self.round_stats.iter().enumerate() {
             out.push_str(&format!(
                 "round {i}: up={}B down={}B site={:.3}ms coord={:.3}ms net={:.3}ms",
@@ -235,6 +244,9 @@ impl Artifact {
         }
         if let Some(pps) = self.points_per_sec {
             s.push_str(&format!(",\"points_per_sec\":{}", json_f64(pps)));
+        }
+        if let Some(m) = &self.metrics {
+            s.push_str(&format!(",\"metrics\":{}", m.to_json()));
         }
         s.push_str(",\"round_stats\":[");
         for (i, r) in self.round_stats.iter().enumerate() {
@@ -362,17 +374,11 @@ impl Artifact {
             live_points: v.get("live_points").and_then(Json::as_usize),
             syncs: v.get("syncs").and_then(Json::as_usize),
             points_per_sec: v.get("points_per_sec").and_then(Json::as_f64),
+            metrics: match v.get("metrics") {
+                Some(m) => Some(MetricsSummary::from_json(m)?),
+                None => None,
+            },
         })
-    }
-}
-
-/// Formats an `f64` for the artifact schema: shortest round-trip repr,
-/// with non-finite values as `null` (JSON has no inf/NaN literals).
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_string()
     }
 }
 
@@ -383,19 +389,6 @@ fn round_f64(r: &Json, name: &str) -> Result<f64, String> {
         Some(j) => j.as_f64().ok_or_else(|| format!("bad {name}")),
         None => Err(format!("missing {name}")),
     }
-}
-
-fn usize_array(vs: &[usize]) -> String {
-    let parts: Vec<String> = vs.iter().map(|v| v.to_string()).collect();
-    format!("[{}]", parts.join(","))
-}
-
-fn usize_vec(v: Option<&Json>) -> Result<Vec<usize>, String> {
-    v.and_then(Json::as_arr)
-        .ok_or("missing byte array")?
-        .iter()
-        .map(|x| x.as_usize().ok_or_else(|| "bad byte count".to_string()))
-        .collect()
 }
 
 #[cfg(test)]
@@ -431,6 +424,7 @@ mod tests {
             live_points: Some(7),
             syncs: None,
             points_per_sec: Some(1000.0),
+            metrics: None,
         }
     }
 
@@ -511,6 +505,39 @@ mod tests {
         clean.round_stats[0].retries = 0;
         clean.round_stats[0].degraded = false;
         assert!(!clean.text().contains("degraded"));
+    }
+
+    #[test]
+    fn metrics_section_round_trips_and_renders() {
+        let mut a = sample();
+        let mut m = MetricsSummary {
+            plan_ns: 1_000_000,
+            site_compute_ns: 2_000_000,
+            network_ns: 3_000_000,
+            total_bytes: 100,
+            down_bytes: 15,
+            up_bytes: 85,
+            rounds: 2,
+            dropouts: 1,
+            retries: 2,
+            degraded_rounds: 1,
+            round_network_p50_ns: 1_500_000,
+            round_network_p90_ns: 3_000_000,
+            round_network_max_ns: 3_000_000,
+            ..MetricsSummary::default()
+        };
+        m.counters[0] = 41;
+        a.metrics = Some(m);
+        let doc = a.to_json();
+        assert!(doc.contains("\"metrics\":{\"plan_ns\":1000000"), "{doc}");
+        let back = Artifact::from_json(&doc).unwrap();
+        assert_eq!(back.metrics, a.metrics);
+        assert_eq!(back.to_json(), doc);
+        assert!(a.text().contains("metrics: 2 rounds"), "{}", a.text());
+        // Absent metrics stays absent.
+        let plain = sample().to_json();
+        assert!(!plain.contains("\"metrics\""));
+        assert_eq!(Artifact::from_json(&plain).unwrap().metrics, None);
     }
 
     #[test]

@@ -185,6 +185,16 @@ pub enum ConfigWarning {
         /// The number of shards actually used.
         shards: usize,
     },
+    /// A trace was requested on a job that never drives the protocol
+    /// runtime: the trace file will carry only the run span and kernel
+    /// counters — no rounds, no transfers, no fault events.
+    TraceWithoutProtocol {
+        /// The job the trace was requested on.
+        job: &'static str,
+    },
+    /// A trace format was chosen but no trace path was set, so nothing
+    /// will be written.
+    TraceFormatWithoutTrace,
 }
 
 impl fmt::Display for ConfigWarning {
@@ -200,6 +210,16 @@ impl fmt::Display for ConfigWarning {
             ConfigWarning::SitesIgnoredForShards { sites, shards } => write!(
                 f,
                 "explicit sites = {sites} ignored: the dataset is pre-sharded into {shards}"
+            ),
+            ConfigWarning::TraceWithoutProtocol { job } => write!(
+                f,
+                "'{job}' runs no protocol rounds; the trace will carry only the \
+                 run span and kernel counters"
+            ),
+            ConfigWarning::TraceFormatWithoutTrace => write!(
+                f,
+                "a trace format was set but no trace path; nothing will be written \
+                 (add a trace path)"
             ),
         }
     }

@@ -7,21 +7,37 @@ use crate::data::Dataset;
 use crate::error::{ConfigError, ConfigWarning};
 use dpc_coordinator::{FaultPlan, LinkModel, RunOptions, TransportKind};
 use dpc_core::{
-    evaluate_on_full_data_with, merge_shards, run_distributed_center, run_distributed_median,
+    evaluate_on_full_data_recorded, merge_shards, run_distributed_center, run_distributed_median,
     run_one_round_center, run_one_round_median, subquadratic_median, CenterConfig, MedianConfig,
     SubquadraticParams,
 };
 use dpc_metric::{Objective, PointSet, ThreadBudget};
+use dpc_obs::{Collector, Event, RecorderHandle};
 use dpc_stream::{
     ContinuousCluster, ContinuousConfig, SlidingWindowEngine, StreamConfig, StreamEngine,
 };
 use dpc_uncertain::{
-    estimate_expected_cost_with, run_center_g, run_center_g_one_round, run_uncertain_median,
+    estimate_expected_cost_recorded, run_center_g, run_center_g_one_round, run_uncertain_median,
     CenterGConfig, UncertainConfig,
 };
 use dpc_workloads::{gaussian_blobs, BlobsSpec, PartitionStrategy};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// On-disk format of a job trace ([`JobBuilder::trace`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// One JSON object per line, schema [`dpc_obs::TRACE_SCHEMA`] — the
+    /// deterministic, diffable format (identical seeds produce identical
+    /// bytes on every transport backend).
+    #[default]
+    Jsonl,
+    /// Chrome trace-event JSON, openable in `chrome://tracing` or
+    /// Perfetto. Schematic: mixes wall-clock and simulated time, and is
+    /// not byte-deterministic.
+    Chrome,
+}
 
 /// Which protocol a job targets — every entry point in the workspace,
 /// behind one enum.
@@ -198,6 +214,10 @@ pub struct JobBuilder {
     fault_seed: u64,
     timeout: Option<std::time::Duration>,
     retries: u32,
+    trace: Option<PathBuf>,
+    trace_format: TraceFormat,
+    trace_format_set: bool,
+    metrics: bool,
     unused_knobs: Vec<&'static str>,
     data: Option<Arc<Dataset>>,
 }
@@ -225,6 +245,10 @@ impl JobBuilder {
             fault_seed: 0,
             timeout: None,
             retries: 0,
+            trace: None,
+            trace_format: TraceFormat::Jsonl,
+            trace_format_set: false,
+            metrics: false,
             unused_knobs: Vec::new(),
             data: None,
         }
@@ -405,6 +429,30 @@ impl JobBuilder {
         self
     }
 
+    /// Writes a structured trace of the run to `path` (format per
+    /// [`Self::trace_format`]). Jobs that never drive the protocol
+    /// runtime still write a trace, but it carries only the run span and
+    /// kernel counters — validation surfaces that as
+    /// [`ConfigWarning::TraceWithoutProtocol`].
+    pub fn trace(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace = Some(path.into());
+        self
+    }
+
+    /// Selects the trace file format (default: deterministic JSONL).
+    pub fn trace_format(mut self, format: TraceFormat) -> Self {
+        self.trace_format = format;
+        self.trace_format_set = true;
+        self
+    }
+
+    /// Collects aggregated run metrics into the artifact's
+    /// [`crate::Artifact::metrics`] field.
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.metrics = on;
+        self
+    }
+
     /// The fault plan this configuration injects into protocol runs.
     fn fault_plan(&self) -> FaultPlan {
         let mut plan = FaultPlan::none();
@@ -482,6 +530,7 @@ impl JobBuilder {
             live_points: None,
             syncs: None,
             points_per_sec: None,
+            metrics: None,
         }
     }
 
@@ -571,6 +620,14 @@ impl JobBuilder {
                 job: self.job.name(),
             });
         }
+        if self.trace.is_some() && !self.job.uses_runtime() {
+            warnings.push(ConfigWarning::TraceWithoutProtocol {
+                job: self.job.name(),
+            });
+        }
+        if self.trace_format_set && self.trace.is_none() {
+            warnings.push(ConfigWarning::TraceFormatWithoutTrace);
+        }
 
         let mut resolved = self;
         if let Some(data) = resolved.data.clone() {
@@ -656,14 +713,22 @@ impl ValidJob {
         ThreadBudget::new(self.spec.threads)
     }
 
-    fn run_options(&self) -> RunOptions {
+    fn run_options(&self, rec: &RecorderHandle) -> RunOptions {
         RunOptions {
             parallel: self.spec.parallel,
             faults: self.spec.fault_plan(),
+            recorder: rec.clone(),
             ..RunOptions::new()
                 .transport(self.spec.transport)
                 .link(self.spec.link)
         }
+    }
+
+    /// One collector per run, shared by every layer, present only when
+    /// the configuration asked for observability — the disabled path
+    /// stays a no-op handle.
+    fn collector(&self) -> Option<Arc<Collector>> {
+        (self.spec.trace.is_some() || self.spec.metrics).then(|| Arc::new(Collector::new()))
     }
 
     fn base_artifact(&self, n: usize) -> Artifact {
@@ -685,7 +750,35 @@ impl ValidJob {
             )
         });
         let s = &self.spec;
-        match s.job {
+        if s.job.is_streaming() {
+            // The session owns the run span and the trace finalization.
+            let mut session = self.session();
+            match &*data {
+                Dataset::Points(ps) => {
+                    for (_, p) in ps.iter() {
+                        session.push(p);
+                    }
+                }
+                // Pre-sharded data fixes the site assignment: shard
+                // `i`'s points are ingested at site `i` (shard by
+                // shard), not re-dealt round-robin.
+                Dataset::Shards(sh) => {
+                    for (site, ps) in sh.iter().enumerate() {
+                        for (_, p) in ps.iter() {
+                            session.push_at(site, p);
+                        }
+                    }
+                }
+                _ => unreachable!("validated as point data"),
+            }
+            return session.finish();
+        }
+        let collector = self.collector();
+        let rec = collector.as_ref().map(|c| c.handle()).unwrap_or_default();
+        if rec.enabled() {
+            rec.record(run_start(s));
+        }
+        let mut artifact = match s.job {
             Job::Median
             | Job::Means
             | Job::OneRound {
@@ -693,40 +786,26 @@ impl ValidJob {
             }
             | Job::OneRound {
                 objective: Objective::Means,
-            } => self.run_median_family(&data),
+            } => self.run_median_family(&data, &rec),
             Job::Center
             | Job::OneRound {
                 objective: Objective::Center,
-            } => self.run_center_family(&data),
-            Job::UncertainMedian => self.run_uncertain(&data),
-            Job::CenterG { d_range } => self.run_center_g(&data, d_range),
-            Job::Subquadratic => self.run_subquadratic(&data),
-            Job::Stream { .. } | Job::Continuous { .. } => {
-                let mut session = self.session();
-                match &*data {
-                    Dataset::Points(ps) => {
-                        for (_, p) in ps.iter() {
-                            session.push(p);
-                        }
-                    }
-                    // Pre-sharded data fixes the site assignment: shard
-                    // `i`'s points are ingested at site `i` (shard by
-                    // shard), not re-dealt round-robin.
-                    Dataset::Shards(sh) => {
-                        for (site, ps) in sh.iter().enumerate() {
-                            for (_, p) in ps.iter() {
-                                session.push_at(site, p);
-                            }
-                        }
-                    }
-                    _ => unreachable!("validated as point data"),
-                }
-                session.finish()
-            }
+            } => self.run_center_family(&data, &rec),
+            Job::UncertainMedian => self.run_uncertain(&data, &rec),
+            Job::CenterG { d_range } => self.run_center_g(&data, d_range, &rec),
+            Job::Subquadratic => self.run_subquadratic(&data, &rec),
+            Job::Stream { .. } | Job::Continuous { .. } => unreachable!("handled above"),
+        };
+        if rec.enabled() {
+            rec.record(Event::RunEnd {
+                rounds: artifact.rounds,
+            });
         }
+        finalize_observability(s, collector, &mut artifact);
+        artifact
     }
 
-    fn run_median_family(&self, data: &Dataset) -> Artifact {
+    fn run_median_family(&self, data: &Dataset, rec: &RecorderHandle) -> Artifact {
         let s = &self.spec;
         let shards = data.point_shards(s.sites, s.strategy, s.seed);
         let means = matches!(
@@ -748,9 +827,9 @@ impl ValidJob {
             cfg = cfg.counts_only(s.delta);
         }
         let out = if one_round {
-            run_one_round_median(&shards, cfg, self.run_options())
+            run_one_round_median(&shards, cfg, self.run_options(rec))
         } else {
-            run_distributed_median(&shards, cfg, self.run_options())
+            run_distributed_median(&shards, cfg, self.run_options(rec))
         };
         let objective = if means {
             Objective::Means
@@ -763,12 +842,13 @@ impl ValidJob {
             1.0 + s.eps
         };
         let budget = (factor * s.t as f64).floor() as usize;
-        let (cost, budget) = evaluate_on_full_data_with(
+        let (cost, budget) = evaluate_on_full_data_recorded(
             &shards,
             &out.output.centers,
             budget,
             objective,
             self.kernel_threads(),
+            rec,
         );
         Artifact {
             centers: centers_to_rows(&out.output.centers),
@@ -778,23 +858,24 @@ impl ValidJob {
         }
     }
 
-    fn run_center_family(&self, data: &Dataset) -> Artifact {
+    fn run_center_family(&self, data: &Dataset, rec: &RecorderHandle) -> Artifact {
         let s = &self.spec;
         let shards = data.point_shards(s.sites, s.strategy, s.seed);
         let mut cfg = CenterConfig::new(s.k, s.t);
         cfg.rho = s.rho;
         cfg.threads = self.kernel_threads();
         let out = if matches!(s.job, Job::OneRound { .. }) {
-            run_one_round_center(&shards, cfg, self.run_options())
+            run_one_round_center(&shards, cfg, self.run_options(rec))
         } else {
-            run_distributed_center(&shards, cfg, self.run_options())
+            run_distributed_center(&shards, cfg, self.run_options(rec))
         };
-        let (cost, budget) = evaluate_on_full_data_with(
+        let (cost, budget) = evaluate_on_full_data_recorded(
             &shards,
             &out.output.centers,
             s.t,
             Objective::Center,
             self.kernel_threads(),
+            rec,
         );
         Artifact {
             centers: centers_to_rows(&out.output.centers),
@@ -804,22 +885,23 @@ impl ValidJob {
         }
     }
 
-    fn run_uncertain(&self, data: &Dataset) -> Artifact {
+    fn run_uncertain(&self, data: &Dataset, rec: &RecorderHandle) -> Artifact {
         let s = &self.spec;
         let shards = data.node_shards(s.sites);
         let mut cfg = UncertainConfig::new(s.k, s.t);
         cfg.eps = s.eps;
         cfg.rho = s.rho;
         cfg.threads = self.kernel_threads();
-        let out = run_uncertain_median(&shards, cfg, self.run_options());
+        let out = run_uncertain_median(&shards, cfg, self.run_options(rec));
         let budget = ((1.0 + s.eps) * s.t as f64).floor() as usize;
-        let cost = estimate_expected_cost_with(
+        let cost = estimate_expected_cost_recorded(
             &shards,
             &out.output.centers,
             budget,
             false,
             false,
             self.kernel_threads(),
+            rec,
         );
         Artifact {
             centers: centers_to_rows(&out.output.centers),
@@ -829,7 +911,12 @@ impl ValidJob {
         }
     }
 
-    fn run_center_g(&self, data: &Dataset, d_range: Option<(f64, f64)>) -> Artifact {
+    fn run_center_g(
+        &self,
+        data: &Dataset,
+        d_range: Option<(f64, f64)>,
+        rec: &RecorderHandle,
+    ) -> Artifact {
         let s = &self.spec;
         let shards = data.node_shards(s.sites);
         let mut cfg = CenterGConfig::new(s.k, s.t);
@@ -837,9 +924,9 @@ impl ValidJob {
         cfg.threads = self.kernel_threads();
         let out = match d_range {
             Some((d_min, d_max)) => {
-                run_center_g_one_round(&shards, cfg, d_min, d_max, self.run_options())
+                run_center_g_one_round(&shards, cfg, d_min, d_max, self.run_options(rec))
             }
-            None => run_center_g(&shards, cfg, self.run_options()),
+            None => run_center_g(&shards, cfg, self.run_options(rec)),
         };
         Artifact {
             centers: centers_to_rows(&out.output.centers),
@@ -849,7 +936,7 @@ impl ValidJob {
         }
     }
 
-    fn run_subquadratic(&self, data: &Dataset) -> Artifact {
+    fn run_subquadratic(&self, data: &Dataset, _rec: &RecorderHandle) -> Artifact {
         let s = &self.spec;
         let points = match data {
             Dataset::Points(ps) => ps.clone(),
@@ -896,8 +983,15 @@ impl ValidJob {
             "'{}' is a batch job; attach a dataset and call run()",
             self.spec.job.name()
         );
+        let collector = self.collector();
+        let recorder = collector.as_ref().map(|c| c.handle()).unwrap_or_default();
+        if recorder.enabled() {
+            recorder.record(run_start(&self.spec));
+        }
         StreamSession {
             spec: self.spec.clone(),
+            collector,
+            recorder,
             mode: None,
             rows: 0,
             started: Instant::now(),
@@ -905,9 +999,48 @@ impl ValidJob {
     }
 }
 
+/// The run-opening event every traced job emits (the api layer owns the
+/// run span: continuous jobs execute many protocol drives per trace).
+fn run_start(spec: &JobBuilder) -> Event {
+    Event::RunStart {
+        label: spec.job.name().to_string(),
+        sites: spec.sites,
+        seed: spec.seed,
+        fault_seed: spec.fault_seed,
+    }
+}
+
+/// Drains a run's collector: writes the trace file when one was
+/// requested and attaches the metrics digest to the artifact.
+///
+/// # Panics
+/// Panics if the trace file cannot be written.
+fn finalize_observability(
+    spec: &JobBuilder,
+    collector: Option<Arc<Collector>>,
+    artifact: &mut Artifact,
+) {
+    let Some(collector) = collector else { return };
+    let trace = collector.snapshot();
+    if let Some(path) = &spec.trace {
+        let doc = match spec.trace_format {
+            TraceFormat::Jsonl => trace.to_jsonl(),
+            TraceFormat::Chrome => trace.to_chrome(),
+        };
+        if let Err(e) = std::fs::write(path, doc) {
+            panic!("failed to write trace file '{}': {e}", path.display());
+        }
+    }
+    if spec.metrics {
+        artifact.metrics = Some(trace.metrics().summary());
+    }
+}
+
 /// Row-at-a-time execution of a streaming job.
 pub struct StreamSession {
     spec: JobBuilder,
+    collector: Option<Arc<Collector>>,
+    recorder: RecorderHandle,
     mode: Option<SessionMode>,
     rows: usize,
     started: Instant,
@@ -968,12 +1101,19 @@ impl StreamSession {
                     .transport(spec.transport)
                     .link(spec.link)
                     .faults(spec.fault_plan());
-                    SessionMode::Continuous(ContinuousCluster::new(dim, spec.sites, ccfg))
+                    SessionMode::Continuous(
+                        ContinuousCluster::new(dim, spec.sites, ccfg)
+                            .with_recorder(self.recorder.clone()),
+                    )
                 }
                 Job::Stream { window, .. } if window > 0 => {
                     SessionMode::Window(SlidingWindowEngine::new(dim, window, cfg))
                 }
-                _ => SessionMode::Engine(StreamEngine::new(dim, cfg)),
+                _ => {
+                    let mut e = StreamEngine::new(dim, cfg);
+                    e.set_recorder(self.recorder.clone());
+                    SessionMode::Engine(e)
+                }
             });
         }
         match self.mode.as_mut().expect("initialized above") {
@@ -996,6 +1136,8 @@ impl StreamSession {
     pub fn finish(self) -> Artifact {
         let StreamSession {
             spec,
+            collector,
+            recorder,
             mode,
             rows,
             started,
@@ -1051,6 +1193,12 @@ impl StreamSession {
             }
         };
         artifact.points_per_sec = Some(rows as f64 / started.elapsed().as_secs_f64().max(1e-9));
+        if recorder.enabled() {
+            recorder.record(Event::RunEnd {
+                rounds: artifact.rounds,
+            });
+        }
+        finalize_observability(&spec, collector, &mut artifact);
         artifact
     }
 }

@@ -64,5 +64,5 @@ pub mod sweep;
 pub use artifact::{Artifact, RoundBreakdown, ARTIFACT_SCHEMA};
 pub use data::Dataset;
 pub use error::{ConfigError, ConfigWarning};
-pub use job::{Job, JobBuilder, StreamSession, ValidJob};
+pub use job::{Job, JobBuilder, StreamSession, TraceFormat, ValidJob};
 pub use sweep::{csv_table, json_table, Sweep};

@@ -5,6 +5,7 @@ use crate::artifact::Artifact;
 use crate::error::ConfigError;
 use crate::job::{JobBuilder, ValidJob};
 use dpc_coordinator::TransportKind;
+use dpc_obs::{Counter, Event, RecorderHandle};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -89,6 +90,7 @@ pub struct Sweep {
     base: JobBuilder,
     axes: Vec<Axis>,
     parallelism: usize,
+    recorder: RecorderHandle,
 }
 
 impl Sweep {
@@ -101,6 +103,7 @@ impl Sweep {
             parallelism: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
+            recorder: RecorderHandle::noop(),
         }
     }
 
@@ -158,6 +161,16 @@ impl Sweep {
         self
     }
 
+    /// Attaches an observability recorder: workers emit one
+    /// [`dpc_obs::Event::CellDone`] per completed cell (and bump the
+    /// `sweep_cells_done` counter) as the grid drains. Completion order
+    /// is scheduling-dependent; per-cell traces come from the cells'
+    /// own job knobs, not from this recorder.
+    pub fn recorder(mut self, recorder: RecorderHandle) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
     /// Number of grid cells (product of axis lengths; 1 with no axes).
     pub fn cells(&self) -> usize {
         self.axes.iter().map(Axis::len).product()
@@ -212,6 +225,13 @@ impl Sweep {
                     }
                     let artifact = jobs[i].run();
                     *results[i].lock().unwrap() = Some(artifact);
+                    if self.recorder.enabled() {
+                        self.recorder.record(Event::CellDone {
+                            cell: i,
+                            total: jobs.len(),
+                        });
+                        self.recorder.add(Counter::SweepCellsDone, 1);
+                    }
                 });
             }
         });

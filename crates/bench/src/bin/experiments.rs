@@ -77,6 +77,9 @@ fn main() {
     if want("kernels") {
         b1_kernels(threads);
     }
+    if want("transport") {
+        t1_transport(threads);
+    }
     if want("a1") {
         a1_grid();
     }
@@ -955,6 +958,134 @@ fn b1_kernels(threads_override: Option<usize>) {
         Err(e) => println!("\ncould not write BENCH_kernels.json: {e}"),
     }
     println!("acceptance: bulk speedup >= 3x for lloyd/gonzalez assignment at dim >= 32.");
+}
+
+/// T1 — the transport-layer record: end-to-end wall clock of the same
+/// 2-round median protocol on the three backends (inline sequential,
+/// persistent channel workers, loopback TCP) as the site count grows,
+/// plus the simulated-latency scaling of `network_ms` at a fixed fleet.
+///
+/// Writes `BENCH_transport.json` at the repo root (the companion of
+/// `BENCH_kernels.json`) so the transport-overhead trajectory is
+/// recorded in-tree. Byte charges are asserted identical across
+/// backends — only time may differ.
+fn t1_transport(threads_override: Option<usize>) {
+    header(
+        "T1",
+        "transport backends: inline vs channel workers vs loopback TCP",
+    );
+    let threads = threads_override.unwrap_or(1);
+    let (k, t, n) = (4, 32, 2000);
+
+    // Best-of-3 wall clock in milliseconds.
+    fn time_ms(mut f: impl FnMut()) -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        best
+    }
+
+    let configure = |job: JobBuilder, backend: &str| match backend {
+        "inline" => job.sequential(),
+        "tcp" => job.transport(TransportKind::Tcp),
+        _ => job,
+    };
+
+    let mut rows = Vec::new();
+    println!(
+        "{:>6} {:>9} {:>10} {:>10} {:>8} | wall clock of the full run",
+        "sites", "backend", "wall_ms", "bytes", "rounds"
+    );
+    for &sites in &[2usize, 4, 8, 16] {
+        let data = Dataset::Shards(med_shards(sites, n, t, 18_000 + sites as u64));
+        let mut base_bytes = None;
+        for backend in ["inline", "channel", "tcp"] {
+            let job = || {
+                configure(
+                    Job::median(k, t).threads(threads).data(data.clone()),
+                    backend,
+                )
+            };
+            let artifact = job_artifact(job());
+            assert_eq!(
+                *base_bytes.get_or_insert(artifact.bytes),
+                artifact.bytes,
+                "byte charges must be backend-independent"
+            );
+            let wall = time_ms(|| {
+                std::hint::black_box(job_artifact(job()));
+            });
+            println!(
+                "{:>6} {:>9} {:>10.2} {:>10} {:>8}",
+                sites, backend, wall, artifact.bytes, artifact.rounds
+            );
+            rows.push(format!(
+                concat!(
+                    "{{\"sites\":{},\"backend\":\"{}\",\"latency_ms\":0,",
+                    "\"wall_ms\":{:.3},\"bytes\":{},\"rounds\":{},\"network_ms\":{:.3}}}"
+                ),
+                sites, backend, wall, artifact.bytes, artifact.rounds, artifact.network_ms
+            ));
+        }
+    }
+
+    // Simulated-link scaling at a fixed fleet: network_ms must grow with
+    // the configured latency identically on every backend, while wall
+    // clock stays in the same band (the link is simulated, not slept).
+    println!(
+        "\n{:>11} {:>9} {:>12} {:>10} | simulated link, 8 sites",
+        "latency", "backend", "network_ms", "wall_ms"
+    );
+    let data = Dataset::Shards(med_shards(8, n, t, 19_000));
+    for &lat_ms in &[1u64, 5, 25] {
+        let link = LinkModel::new(std::time::Duration::from_millis(lat_ms), 1e9);
+        for backend in ["inline", "channel", "tcp"] {
+            let job = || {
+                configure(
+                    Job::median(k, t)
+                        .threads(threads)
+                        .link(link)
+                        .data(data.clone()),
+                    backend,
+                )
+            };
+            let artifact = job_artifact(job());
+            let wall = time_ms(|| {
+                std::hint::black_box(job_artifact(job()));
+            });
+            println!(
+                "{:>9}ms {:>9} {:>12.3} {:>10.2}",
+                lat_ms, backend, artifact.network_ms, wall
+            );
+            rows.push(format!(
+                concat!(
+                    "{{\"sites\":8,\"backend\":\"{}\",\"latency_ms\":{},",
+                    "\"wall_ms\":{:.3},\"bytes\":{},\"rounds\":{},\"network_ms\":{:.3}}}"
+                ),
+                backend, lat_ms, wall, artifact.bytes, artifact.rounds, artifact.network_ms
+            ));
+        }
+    }
+
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\"experiment\":\"transport\",\"available_threads\":{},\"used_threads\":{},\"rows\":[{}]}}\n",
+        available,
+        threads,
+        rows.join(",")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_transport.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nrecorded -> BENCH_transport.json"),
+        Err(e) => println!("\ncould not write BENCH_transport.json: {e}"),
+    }
+    println!("expect: channel ~ inline + worker overhead; tcp adds framing/syscalls;");
+    println!("network_ms scales linearly in latency and is backend-identical.");
 }
 
 /// A1 — ablation: geometric grid resolution rho.

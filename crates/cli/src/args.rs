@@ -1,5 +1,6 @@
 //! Hand-rolled argument parsing (no external CLI dependency).
 
+use dpc::api::TraceFormat;
 use dpc::coordinator::TransportKind;
 use std::fmt;
 use std::time::Duration;
@@ -146,6 +147,13 @@ pub struct Options {
     pub timeout: Option<Duration>,
     /// Extra delivery attempts after a failed one.
     pub retries: u32,
+    /// Structured-trace output path (`--trace`; off by default).
+    pub trace: Option<String>,
+    /// Trace serialization (`--trace-format`; `None` = flag not given,
+    /// which the API treats as JSONL).
+    pub trace_format: Option<TraceFormat>,
+    /// Append the aggregated metrics digest to the output (`--metrics`).
+    pub metrics: bool,
     /// `sweep`: the parameter grid (set only for [`Command::Sweep`]).
     pub sweep: Option<SweepSpec>,
 }
@@ -210,6 +218,18 @@ seed-deterministic, so identical flags reproduce identical runs):
                     failure detection, no time charged)
   --retries <n>     extra delivery attempts after a failure (default 0)
 
+observability options (all commands; zero overhead when absent):
+  --trace <file>           write a structured event trace of the run:
+                           one JSON object per line (dpc.trace/v1) that
+                           is byte-identical across transport backends
+                           for identical seeds
+  --trace-format <fmt>     trace serialization: 'jsonl' (default) or
+                           'chrome' (a trace-event file for
+                           chrome://tracing / Perfetto)
+  --metrics                aggregate the run into a metrics digest:
+                           appended to the text output and carried in
+                           the JSON artifact's 'metrics' section
+
 stream options:
   --block <int>       points per summarized block        (default 256)
   --window <int>      sliding-window length in points    (default off)
@@ -252,6 +272,9 @@ fn default_options(command: Command) -> Options {
         fault_seed: 0,
         timeout: None,
         retries: 0,
+        trace: None,
+        trace_format: None,
+        metrics: false,
         sweep: None,
     }
 }
@@ -294,6 +317,9 @@ pub fn parse_args(args: &[String]) -> Result<Options, ParseError> {
             "--fault-seed" => opts.fault_seed = parse_num(&take_value(&mut i)?, "--fault-seed")?,
             "--timeout" => opts.timeout = Some(parse_duration(&take_value(&mut i)?, "--timeout")?),
             "--retries" => opts.retries = parse_num(&take_value(&mut i)?, "--retries")?,
+            "--trace" => opts.trace = Some(take_value(&mut i)?),
+            "--trace-format" => opts.trace_format = Some(parse_trace_format(&take_value(&mut i)?)?),
+            "--metrics" => opts.metrics = true,
             "--one-round" => opts.one_round = true,
             "--json" => opts.json = true,
             other if other.starts_with("--") => {
@@ -425,6 +451,16 @@ fn parse_list<T>(
         return Err(ParseError(format!("empty list for {flag}")));
     }
     Ok(vs)
+}
+
+fn parse_trace_format(s: &str) -> Result<TraceFormat, ParseError> {
+    match s {
+        "jsonl" => Ok(TraceFormat::Jsonl),
+        "chrome" => Ok(TraceFormat::Chrome),
+        other => Err(ParseError(format!(
+            "unknown trace format '{other}' (jsonl|chrome)"
+        ))),
+    }
 }
 
 fn parse_transport(s: &str) -> Result<TransportKind, ParseError> {
@@ -664,6 +700,33 @@ mod tests {
         assert!(parse_args(&sv(&["median", "--dropout", "1.0", "x.csv"])).is_err());
         assert!(parse_args(&sv(&["median", "--dropout", "-0.1", "x.csv"])).is_err());
         assert!(parse_args(&sv(&["median", "--timeout", "soon", "x.csv"])).is_err());
+    }
+
+    #[test]
+    fn observability_flags() {
+        let o = parse_args(&sv(&[
+            "median",
+            "--trace",
+            "run.jsonl",
+            "--trace-format",
+            "chrome",
+            "--metrics",
+            "x.csv",
+        ]))
+        .unwrap();
+        assert_eq!(o.trace.as_deref(), Some("run.jsonl"));
+        assert_eq!(o.trace_format, Some(TraceFormat::Chrome));
+        assert!(o.metrics);
+        // Defaults: everything off, format unset (not merely jsonl).
+        let o = parse_args(&sv(&["median", "x.csv"])).unwrap();
+        assert_eq!(o.trace, None);
+        assert_eq!(o.trace_format, None);
+        assert!(!o.metrics);
+        let o = parse_args(&sv(&["median", "--trace-format", "jsonl", "x.csv"])).unwrap();
+        assert_eq!(o.trace_format, Some(TraceFormat::Jsonl));
+        // Rejections.
+        assert!(parse_args(&sv(&["median", "--trace-format", "xml", "x.csv"])).is_err());
+        assert!(parse_args(&sv(&["median", "--trace", "x.csv"])).is_err());
     }
 
     #[test]

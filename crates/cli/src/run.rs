@@ -111,6 +111,17 @@ fn apply_common(opts: &Options, mut b: JobBuilder) -> JobBuilder {
     if opts.retries > 0 {
         b = b.retries(opts.retries);
     }
+    // Observability knobs: an explicit format with no path still reaches
+    // the builder so the no-effect warning surfaces in preflight.
+    if let Some(path) = &opts.trace {
+        b = b.trace(path);
+    }
+    if let Some(format) = opts.trace_format {
+        b = b.trace_format(format);
+    }
+    if opts.metrics {
+        b = b.metrics(true);
+    }
     b
 }
 
@@ -618,6 +629,68 @@ mod tests {
                     ..
                 }
             )),
+            "{w:?}"
+        );
+    }
+
+    #[test]
+    fn observability_flags_end_to_end() {
+        let trace =
+            std::env::temp_dir().join(format!("dpc_cli_trace_{}.jsonl", std::process::id()));
+        let o = opts(&[
+            "median",
+            "--k",
+            "2",
+            "--t",
+            "1",
+            "--sites",
+            "3",
+            "--dropout",
+            "0.3",
+            "--fault-seed",
+            "6",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--metrics",
+            "in.csv",
+        ]);
+        assert!(preflight(&o).unwrap().is_empty());
+        let r = execute(&o, toy_csv().as_bytes()).unwrap();
+        // The digest reconciles with the artifact's own accounting and
+        // shows up in both renderings.
+        let m = r.metrics.as_ref().expect("--metrics requested");
+        assert_eq!(m.total_bytes, r.bytes as u64);
+        assert_eq!(m.rounds, r.rounds as u64);
+        assert!(r.text().contains("metrics:"));
+        assert!(r.to_json().contains("\"metrics\":{"));
+        // The trace is on disk, line-parseable, and replays.
+        let doc = std::fs::read_to_string(&trace).unwrap();
+        assert!(doc.starts_with("{\"schema\":\"dpc.trace/v1\""));
+        let replay = dpc::obs::Trace::from_jsonl(&doc).unwrap();
+        assert_eq!(replay.metrics().summary().total_bytes, r.bytes as u64);
+        std::fs::remove_file(&trace).unwrap();
+
+        // A trace on a protocol-free command warns (but still runs).
+        let o = opts(&[
+            "subquadratic",
+            "--k",
+            "2",
+            "--trace",
+            "unused.jsonl",
+            "in.csv",
+        ]);
+        let w = preflight(&o).unwrap();
+        assert!(
+            w.iter()
+                .any(|w| matches!(w, ConfigWarning::TraceWithoutProtocol { .. })),
+            "{w:?}"
+        );
+        // A format without a path is flagged too.
+        let o = opts(&["median", "--trace-format", "chrome", "in.csv"]);
+        let w = preflight(&o).unwrap();
+        assert!(
+            w.iter()
+                .any(|w| matches!(w, ConfigWarning::TraceFormatWithoutTrace)),
             "{w:?}"
         );
     }

@@ -11,6 +11,7 @@
 //! Runs in `O(m · n)` time for an `m`-point prefix over `n` points.
 
 use dpc_metric::{Metric, NearestAssigner, ThreadBudget};
+use dpc_obs::RecorderHandle;
 
 /// Output of the traversal: the prefix ordering plus per-point bookkeeping.
 #[derive(Clone, Debug)]
@@ -85,11 +86,32 @@ pub fn gonzalez_with<M: Metric>(
     start: usize,
     threads: ThreadBudget,
 ) -> GonzalezOrdering {
+    gonzalez_recorded(
+        metric,
+        ids,
+        prefix_len,
+        start,
+        threads,
+        &RecorderHandle::noop(),
+    )
+}
+
+/// [`gonzalez_with`] flushing bulk-kernel counters (one relax pass per
+/// selection step) to `recorder`. The ordering, radii, and assignments
+/// are identical to the unrecorded traversal.
+pub fn gonzalez_recorded<M: Metric>(
+    metric: &M,
+    ids: &[usize],
+    prefix_len: usize,
+    start: usize,
+    threads: ThreadBudget,
+    recorder: &RecorderHandle,
+) -> GonzalezOrdering {
     assert!(!ids.is_empty(), "gonzalez requires at least one point");
     assert!(start < ids.len(), "start index out of range");
     let n = ids.len();
     let m = prefix_len.min(n);
-    let assigner = NearestAssigner::with_threads(metric, threads);
+    let assigner = NearestAssigner::with_recorder(metric, threads, recorder);
     let fused = threads.is_serial() && !metric.relax_min_prunes();
 
     let mut order = Vec::with_capacity(m);

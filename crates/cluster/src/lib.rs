@@ -31,7 +31,7 @@ pub mod solution;
 
 pub use center_outliers::{charikar_center, CenterParams};
 pub use exact::{exact_best, ExactSolution};
-pub use gonzalez::{gonzalez, gonzalez_with, GonzalezOrdering};
+pub use gonzalez::{gonzalez, gonzalez_recorded, gonzalez_with, GonzalezOrdering};
 pub use lloyd::{lloyd_kmeans, LloydParams};
 pub use local_search::{kmedian_local_search, penalty_local_search, LocalSearchParams};
 pub use median_outliers::{median_bicriteria, median_bicriteria_relaxed_centers, BicriteriaParams};

@@ -13,6 +13,8 @@ use crate::stats::{CommStats, RoundStats};
 use crate::tcp::TcpTransport;
 use crate::transport::{InlineTransport, LinkModel, Transport, TransportKind};
 use bytes::Bytes;
+use dpc_obs::json::dur_to_ns;
+use dpc_obs::{Event, FaultKind, RecorderHandle};
 use std::time::{Duration, Instant};
 
 /// Per-site protocol logic.
@@ -71,6 +73,11 @@ pub struct RunOptions {
     /// Seed-deterministic fault schedule (dropout, crashes, stragglers,
     /// timeout/retry). [`FaultPlan::none`] by default.
     pub faults: FaultPlan,
+    /// Structured-event sink the driver reports rounds, per-site
+    /// accounting, and fault decisions to. The no-op default keeps the
+    /// driver free of recording overhead (one cached-bool branch per
+    /// round).
+    pub recorder: RecorderHandle,
 }
 
 impl Default for RunOptions {
@@ -89,6 +96,7 @@ impl RunOptions {
             transport: TransportKind::Channel,
             link: LinkModel::ideal(),
             faults: FaultPlan::none(),
+            recorder: RecorderHandle::noop(),
         }
     }
 
@@ -115,6 +123,12 @@ impl RunOptions {
     /// Sets the fault schedule.
     pub fn faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Attaches a structured-event recorder.
+    pub fn recorder(mut self, recorder: RecorderHandle) -> Self {
+        self.recorder = recorder;
         self
     }
 }
@@ -178,6 +192,8 @@ pub fn drive<T: Transport + ?Sized, C: Coordinator>(
 ) -> ProtocolOutput<C::Output> {
     let s = transport.num_sites();
     let plan = &options.faults;
+    let rec = &options.recorder;
+    let on = rec.enabled();
     let mut stats = CommStats::default();
     let mut replies: Vec<Option<Bytes>> = Vec::new();
     let mut alive = vec![true; s];
@@ -207,6 +223,17 @@ pub fn drive<T: Transport + ?Sized, C: Coordinator>(
             }
         };
 
+        // The round is real (not a bare Finish): open its span. The plan
+        // event carries the coordinator's wall-clock planning time — a
+        // wall-only field the JSONL schema drops.
+        if on {
+            rec.record(Event::RoundStart { round });
+            rec.record(Event::Plan {
+                round,
+                wall_ns: dur_to_ns(coord_time),
+            });
+        }
+
         // Simulate the delivery schedule. `waits[i]` accumulates the
         // simulated time site `i`'s slot spends on failed-attempt
         // timeouts and straggler delays; `delivery[i] = None` marks a
@@ -233,19 +260,49 @@ pub fn drive<T: Transport + ?Sized, C: Coordinator>(
                                 // abandoned, the coordinator waited in vain.
                                 waits[i] += timeout;
                                 retries += 1;
+                                if on {
+                                    rec.record(Event::Fault {
+                                        round,
+                                        site: i,
+                                        attempt: attempt as usize,
+                                        kind: FaultKind::Straggler,
+                                        wait_ns: dur_to_ns(timeout),
+                                    });
+                                }
                             }
                             _ => {
                                 delivered = Some(delay);
+                                if on && delay > Duration::ZERO {
+                                    // Accepted late: a straggler within the
+                                    // timeout.
+                                    rec.record(Event::Fault {
+                                        round,
+                                        site: i,
+                                        attempt: attempt as usize,
+                                        kind: FaultKind::Straggler,
+                                        wait_ns: dur_to_ns(delay),
+                                    });
+                                }
                                 break;
                             }
                         },
                         Attempt::Failed => {
                             // With no timeout configured, detection is free
                             // (a perfect failure detector).
-                            if let Some(timeout) = plan.timeout_for(attempt) {
+                            let timeout = plan.timeout_for(attempt);
+                            if let Some(timeout) = timeout {
                                 waits[i] += timeout;
                             }
                             retries += 1;
+                            if on {
+                                rec.record(Event::Fault {
+                                    round,
+                                    site: i,
+                                    attempt: attempt as usize,
+                                    kind: FaultKind::Retry,
+                                    wait_ns: dur_to_ns(timeout.unwrap_or(Duration::ZERO)),
+                                });
+                            }
                         }
                     }
                 }
@@ -257,6 +314,17 @@ pub fn drive<T: Transport + ?Sized, C: Coordinator>(
                     None => {
                         alive[i] = false;
                         delivery.push(None);
+                        if on {
+                            // The site misses the round (crash-stop from
+                            // here on); later rounds skip it silently.
+                            rec.record(Event::Fault {
+                                round,
+                                site: i,
+                                attempt: plan.retries as usize,
+                                kind: FaultKind::Dropout,
+                                wait_ns: 0,
+                            });
+                        }
                     }
                 }
             }
@@ -307,6 +375,27 @@ pub fn drive<T: Transport + ?Sized, C: Coordinator>(
             retries,
             degraded: dropouts > 0,
         });
+        if on {
+            let last = stats.rounds.last().expect("round just recorded");
+            for i in 0..s {
+                rec.record(Event::Site {
+                    round,
+                    site: i,
+                    delivered: delivery[i].is_some(),
+                    down_bytes: last.coordinator_to_sites[i] as u64,
+                    up_bytes: last.sites_to_coordinator[i] as u64,
+                    compute_ns: dur_to_ns(last.site_compute[i]),
+                    wait_ns: dur_to_ns(waits[i]),
+                });
+            }
+            rec.record(Event::RoundEnd {
+                round,
+                dropouts: last.dropouts,
+                retries: last.retries,
+                degraded: last.degraded,
+                network_ns: dur_to_ns(last.network),
+            });
+        }
         replies = site_replies
             .into_iter()
             .map(|r| r.map(|r| r.payload))

@@ -6,6 +6,7 @@
 //! not part of any protocol and charges no communication).
 
 use dpc_metric::{CenterBlock, Objective, PointSet, ThreadBudget};
+use dpc_obs::RecorderHandle;
 
 /// Concatenates site shards into one point set (dimension must agree).
 pub fn merge_shards(shards: &[PointSet]) -> PointSet {
@@ -40,11 +41,32 @@ pub fn evaluate_on_full_data_with(
     objective: Objective,
     threads: ThreadBudget,
 ) -> (f64, usize) {
+    evaluate_on_full_data_recorded(
+        shards,
+        centers,
+        budget,
+        objective,
+        threads,
+        &RecorderHandle::noop(),
+    )
+}
+
+/// [`evaluate_on_full_data_with`] flushing exact kernel counters
+/// (queries, candidates scanned/pruned) of the bulk pass to `recorder`.
+/// Values are identical to the unrecorded path.
+pub fn evaluate_on_full_data_recorded(
+    shards: &[PointSet],
+    centers: &PointSet,
+    budget: usize,
+    objective: Objective,
+    threads: ThreadBudget,
+    recorder: &RecorderHandle,
+) -> (f64, usize) {
     let all = merge_shards(shards);
     if all.is_empty() || centers.is_empty() {
         return (0.0, 0);
     }
-    let block = CenterBlock::new(centers);
+    let block = CenterBlock::new(centers).with_recorder(recorder.clone());
     let ids: Vec<usize> = (0..all.len()).collect();
     let assigned = block.assign(&all, &ids, threads);
     let mut dists = assigned.dist;

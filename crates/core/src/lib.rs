@@ -41,7 +41,9 @@ pub mod wire;
 pub use algo_center::{run_distributed_center, CenterConfig};
 pub use algo_median::{run_distributed_median, DeltaVariant, MedianConfig};
 pub use allocation::{allocate_outliers, site_budget_from_threshold, Allocation};
-pub use evaluate::{evaluate_on_full_data, evaluate_on_full_data_with, merge_shards};
+pub use evaluate::{
+    evaluate_on_full_data, evaluate_on_full_data_recorded, evaluate_on_full_data_with, merge_shards,
+};
 pub use hull::{geometric_grid, ConvexProfile};
 pub use one_round::{run_one_round_center, run_one_round_median};
 pub use subquadratic::{subquadratic_median, SubquadraticParams};

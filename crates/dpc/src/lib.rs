@@ -28,7 +28,10 @@
 //! * [`stream`] — the streaming layer: merge-and-reduce coresets, sliding
 //!   windows, and continuous distributed clustering with per-sync
 //!   communication accounting;
-//! * [`workloads`] — seeded synthetic workload generators.
+//! * [`workloads`] — seeded synthetic workload generators;
+//! * [`obs`] — structured tracing and metrics: deterministic JSONL run
+//!   traces, Chrome trace-event export, and an aggregating
+//!   [`MetricsReport`](obs::MetricsReport), all zero-cost when disabled.
 //!
 //! ## Quickstart
 //!
@@ -93,6 +96,7 @@ pub use dpc_cluster as cluster;
 pub use dpc_coordinator as coordinator;
 pub use dpc_core as core;
 pub use dpc_metric as metric;
+pub use dpc_obs as obs;
 pub use dpc_stream as stream;
 pub use dpc_uncertain as uncertain;
 pub use dpc_workloads as workloads;
@@ -188,7 +192,7 @@ pub mod prelude {
     };
     pub use dpc_api::{
         Artifact, ConfigError, ConfigWarning, Dataset, Job, JobBuilder, RoundBreakdown,
-        StreamSession, Sweep, ValidJob,
+        StreamSession, Sweep, TraceFormat, ValidJob,
     };
     pub use dpc_cluster::{
         charikar_center, exact_best, gonzalez, lloyd_kmeans, median_bicriteria, BicriteriaParams,

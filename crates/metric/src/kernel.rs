@@ -31,6 +31,7 @@
 
 use crate::metric::Metric;
 use crate::points::{sq_dist, PointSet};
+use dpc_obs::{Counter, RecorderHandle};
 
 /// How many independent candidate accumulators the blocked kernels
 /// interleave. Four `f64` chains cover the FMA latency/throughput gap on
@@ -194,6 +195,7 @@ pub struct Assignment2 {
 pub struct NearestAssigner<'a, M: Metric + ?Sized> {
     metric: &'a M,
     threads: ThreadBudget,
+    recorder: Option<&'a RecorderHandle>,
 }
 
 impl<'a, M: Metric + ?Sized> NearestAssigner<'a, M> {
@@ -202,17 +204,49 @@ impl<'a, M: Metric + ?Sized> NearestAssigner<'a, M> {
         Self {
             metric,
             threads: ThreadBudget::serial(),
+            recorder: None,
         }
     }
 
     /// An assigner with an explicit thread budget.
     pub fn with_threads(metric: &'a M, threads: ThreadBudget) -> Self {
-        Self { metric, threads }
+        Self {
+            metric,
+            threads,
+            recorder: None,
+        }
+    }
+
+    /// An assigner that flushes query/candidate counters to `recorder`
+    /// (one amortized flush per bulk call — coarse counts, since generic
+    /// metrics hide their pruning decisions behind the trait).
+    pub fn with_recorder(
+        metric: &'a M,
+        threads: ThreadBudget,
+        recorder: &'a RecorderHandle,
+    ) -> Self {
+        Self {
+            metric,
+            threads,
+            recorder: Some(recorder),
+        }
     }
 
     /// The thread budget in effect.
     pub fn threads(&self) -> ThreadBudget {
         self.threads
+    }
+
+    /// Flushes one bulk call's worth of coarse counters (`queries`
+    /// queries over `candidates` candidates each).
+    #[inline]
+    fn tally(&self, queries: usize, candidates: usize) {
+        if let Some(rec) = self.recorder {
+            if rec.enabled() {
+                rec.add(Counter::KernelQueries, queries as u64);
+                rec.add(Counter::CandidatesScanned, (queries * candidates) as u64);
+            }
+        }
     }
 
     /// Assigns every id to its nearest candidate in `centers`.
@@ -233,6 +267,7 @@ impl<'a, M: Metric + ?Sized> NearestAssigner<'a, M> {
         par_chunks_mut2(self.threads, &mut out.pos, &mut out.dist, |start, p, d| {
             metric.assign_block(&ids[start..start + p.len()], centers, p, d);
         });
+        self.tally(ids.len(), centers.len());
     }
 
     /// Like [`Self::assign`], but distances are the metric's *squared*
@@ -246,6 +281,7 @@ impl<'a, M: Metric + ?Sized> NearestAssigner<'a, M> {
         par_chunks_mut2(self.threads, &mut out.pos, &mut out.dist, |start, p, d| {
             metric.assign_block_sq(&ids[start..start + p.len()], centers, p, d);
         });
+        self.tally(ids.len(), centers.len());
         out
     }
 
@@ -261,6 +297,7 @@ impl<'a, M: Metric + ?Sized> NearestAssigner<'a, M> {
         }
         let metric = self.metric;
         let n = ids.len();
+        self.tally(n, centers.len());
         let threads = self.threads.get().min(n.div_ceil(MIN_CHUNK)).max(1);
         if threads <= 1 {
             metric.assign2_block(ids, centers, &mut out.c1, &mut out.d1, &mut out.d2);
@@ -293,6 +330,7 @@ impl<'a, M: Metric + ?Sized> NearestAssigner<'a, M> {
         par_chunks_mut(self.threads, out, |start, d| {
             metric.dist_to_many_into(from, &ids[start..start + d.len()], d);
         });
+        self.tally(ids.len(), 1);
     }
 
     /// Squared-distance variant of [`Self::dists_from`].
@@ -303,6 +341,7 @@ impl<'a, M: Metric + ?Sized> NearestAssigner<'a, M> {
         par_chunks_mut(self.threads, out, |start, d| {
             metric.sq_dist_to_many_into(from, &ids[start..start + d.len()], d);
         });
+        self.tally(ids.len(), 1);
     }
 
     /// Relaxes nearest-candidate state against a new candidate `c` in
@@ -321,6 +360,7 @@ impl<'a, M: Metric + ?Sized> NearestAssigner<'a, M> {
         par_chunks_mut2(self.threads, best_d, best_pos, |start, bd, bp| {
             metric.relax_min_block(c, &ids[start..start + bd.len()], bd, bp, mark);
         });
+        self.tally(ids.len(), 1);
     }
 }
 
@@ -488,6 +528,35 @@ pub(crate) fn resume_sq_abort(
     Some(acc)
 }
 
+/// Local tally of pruning effectiveness for one batch of pruned-kernel
+/// queries. Call sites accumulate into a plain stack value and flush the
+/// totals to a recorder once per batch (never per candidate), keeping
+/// the disabled-recorder path free of any shared-state traffic.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct ScanStats {
+    /// Candidate centers considered (k per query).
+    pub scanned: u64,
+    /// Candidates whose exact sum ran to completion; the rest were
+    /// pruned by an O(1) bound or a partial-distance abort.
+    pub completed: u64,
+}
+
+impl ScanStats {
+    /// Flushes `queries` queries' worth of tallies to `rec` if it is
+    /// enabled (one branch on the disabled path).
+    #[inline]
+    pub fn flush(self, rec: &RecorderHandle, queries: u64) {
+        if rec.enabled() {
+            rec.add(Counter::KernelQueries, queries);
+            rec.add(Counter::CandidatesScanned, self.scanned);
+            rec.add(
+                Counter::CandidatesPruned,
+                self.scanned.saturating_sub(self.completed),
+            );
+        }
+    }
+}
+
 /// Finds the nearest candidate row to `x` with partial-distance search.
 ///
 /// The scan is restructured around three exact-safe filters, cheapest
@@ -517,12 +586,15 @@ pub(crate) fn nearest_row_pruned(
     root_norms: &[f64],
     dim: usize,
     screen: &mut Vec<f64>,
+    stats: &mut ScanStats,
 ) -> (usize, f64) {
     let k = root_norms.len();
     debug_assert!(k > 0);
+    stats.scanned += k as u64;
     // Tiny rows or candidate sets: the screen/abort machinery cannot pay
     // for itself below one abort stride — the plain exact scan wins.
     if dim <= ABORT_STRIDE || k <= 2 {
+        stats.completed += k as u64;
         let mut best = (0usize, f64::INFINITY);
         for (c, row) in rows.chunks_exact(dim).enumerate() {
             let sq = sq_dist(x, row);
@@ -545,6 +617,7 @@ pub(crate) fn nearest_row_pruned(
         f64::INFINITY,
     )
     .expect("infinite limit never aborts");
+    stats.completed += 1;
 
     // The probe is done: poison its screen so the main scan's single
     // comparison skips it along with everything else that lost.
@@ -565,6 +638,7 @@ pub(crate) fn nearest_row_pruned(
         }
         let row = &rows[c * dim..(c + 1) * dim];
         if let Some(sq) = resume_sq_abort(x, row, prefix, SCREEN_DIMS, best_sq) {
+            stats.completed += 1;
             if sq < best_sq || (sq == best_sq && c < best_pos) {
                 best_sq = sq;
                 best_pos = c;
@@ -622,9 +696,11 @@ pub(crate) fn top2_row_pruned(
     root_norms: &[f64],
     dim: usize,
     screen: &mut Vec<f64>,
+    stats: &mut ScanStats,
 ) -> (usize, f64, f64) {
     let k = root_norms.len();
     debug_assert!(k > 0);
+    stats.scanned += k as u64;
     let two_slot = |c1: &mut usize, b1: &mut f64, b2: &mut f64, c: usize, sq: f64| {
         if sq < *b1 || (sq == *b1 && c < *c1) {
             *b2 = *b1;
@@ -636,6 +712,7 @@ pub(crate) fn top2_row_pruned(
     };
     let (mut c1, mut b1, mut b2) = (0usize, f64::INFINITY, f64::INFINITY);
     if dim <= ABORT_STRIDE || k <= 2 {
+        stats.completed += k as u64;
         for (c, row) in rows.chunks_exact(dim).enumerate() {
             let sq = sq_dist(x, row);
             two_slot(&mut c1, &mut b1, &mut b2, c, sq);
@@ -652,6 +729,7 @@ pub(crate) fn top2_row_pruned(
             f64::INFINITY,
         )
         .expect("infinite limit never aborts");
+        stats.completed += 1;
         two_slot(&mut c1, &mut b1, &mut b2, probe, sq);
     }
     screen[probe1] = f64::INFINITY;
@@ -670,6 +748,7 @@ pub(crate) fn top2_row_pruned(
         }
         let row = &rows[c * dim..(c + 1) * dim];
         if let Some(sq) = resume_sq_abort(x, row, prefix, SCREEN_DIMS, b2) {
+            stats.completed += 1;
             two_slot(&mut c1, &mut b1, &mut b2, c, sq);
         }
     }
@@ -680,6 +759,7 @@ pub struct CenterBlock {
     dim: usize,
     rows: Vec<f64>,
     root_norms: Vec<f64>,
+    recorder: RecorderHandle,
 }
 
 impl CenterBlock {
@@ -722,7 +802,15 @@ impl CenterBlock {
             dim,
             rows,
             root_norms,
+            recorder: RecorderHandle::noop(),
         }
+    }
+
+    /// Attaches a recorder: the block's pruned scans flush *exact*
+    /// query/scan/prune counters to it, one flush per query batch.
+    pub fn with_recorder(mut self, recorder: RecorderHandle) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Number of centers in the block.
@@ -749,7 +837,17 @@ impl CenterBlock {
     pub fn nearest_sq(&self, coords: &[f64]) -> (usize, f64) {
         assert!(!self.is_empty(), "nearest over an empty center block");
         let mut screen = Vec::with_capacity(self.len());
-        nearest_row_pruned(coords, &self.rows, &self.root_norms, self.dim, &mut screen)
+        let mut stats = ScanStats::default();
+        let best = nearest_row_pruned(
+            coords,
+            &self.rows,
+            &self.root_norms,
+            self.dim,
+            &mut screen,
+            &mut stats,
+        );
+        stats.flush(&self.recorder, 1);
+        best
     }
 
     /// Assigns the given rows of `points` to their nearest centers;
@@ -774,13 +872,23 @@ impl CenterBlock {
         out.dist.resize(ids.len(), 0.0);
         par_chunks_mut2(threads, &mut out.pos, &mut out.dist, |start, pos, dist| {
             let mut screen = Vec::with_capacity(self.len());
+            let mut stats = ScanStats::default();
             for (o, (p, d)) in pos.iter_mut().zip(dist.iter_mut()).enumerate() {
                 let x = points.point(ids[start + o]);
-                let (bp, bd) =
-                    nearest_row_pruned(x, &self.rows, &self.root_norms, self.dim, &mut screen);
+                let (bp, bd) = nearest_row_pruned(
+                    x,
+                    &self.rows,
+                    &self.root_norms,
+                    self.dim,
+                    &mut screen,
+                    &mut stats,
+                );
                 *p = bp;
                 *d = bd;
             }
+            // One flush per chunk: the collector's counters are atomics,
+            // so concurrent chunk flushes stay exact.
+            stats.flush(&self.recorder, pos.len() as u64);
         });
         out
     }
@@ -862,11 +970,15 @@ mod tests {
             .map(|r| f64::sqrt(r[0] * r[0] + r[1] * r[1]))
             .collect();
         let mut screen = Vec::new();
-        let (pos, sq) = nearest_row_pruned(&[0.0, 0.0], &rows, &root_norms, 2, &mut screen);
+        let mut stats = ScanStats::default();
+        let (pos, sq) =
+            nearest_row_pruned(&[0.0, 0.0], &rows, &root_norms, 2, &mut screen, &mut stats);
         assert_eq!(pos, 1, "first of the tied pair must win");
         assert_eq!(sq, 1.0);
+        assert_eq!(stats.scanned, 4);
 
-        let (c1, d1, d2) = top2_row_pruned(&[0.0, 0.0], &rows, &root_norms, 2, &mut screen);
+        let (c1, d1, d2) =
+            top2_row_pruned(&[0.0, 0.0], &rows, &root_norms, 2, &mut screen, &mut stats);
         assert_eq!(c1, 1);
         assert_eq!(d1, 1.0);
         assert_eq!(d2, 1.0); // the duplicate row is the runner-up
@@ -914,6 +1026,37 @@ mod tests {
             assert_eq!(a.pos[e], sp);
             assert_eq!(a.dist[e], sd);
         }
+    }
+
+    #[test]
+    fn recorders_receive_kernel_counters() {
+        use dpc_obs::Collector;
+        use std::sync::Arc;
+
+        // Exact counters through CenterBlock: 8 queries × 3 candidates.
+        let centers = ps(&[vec![0.0, 0.0], vec![10.0, 0.0], vec![0.0, 10.0]]);
+        let queries = ps(&(0..8).map(|i| vec![i as f64, 1.0]).collect::<Vec<_>>());
+        let ids: Vec<usize> = (0..queries.len()).collect();
+        let collector = Arc::new(Collector::new());
+        let block = CenterBlock::new(&centers).with_recorder(collector.handle());
+        let plain = CenterBlock::new(&centers);
+        let a = block.assign_sq(&queries, &ids, ThreadBudget::serial());
+        // Recording never changes any output value.
+        assert_eq!(a, plain.assign_sq(&queries, &ids, ThreadBudget::serial()));
+        let t = collector.snapshot();
+        assert_eq!(t.counters[Counter::KernelQueries.index()], 8);
+        assert_eq!(t.counters[Counter::CandidatesScanned.index()], 24);
+        assert!(t.counters[Counter::CandidatesPruned.index()] <= 24);
+
+        // Coarse counters through the generic assigner.
+        let m = EuclideanMetric::new(&queries);
+        let collector = Arc::new(Collector::new());
+        let handle = collector.handle();
+        let assigner = NearestAssigner::with_recorder(&m, ThreadBudget::serial(), &handle);
+        assigner.assign(&ids, &[0, 4]);
+        let t = collector.snapshot();
+        assert_eq!(t.counters[Counter::KernelQueries.index()], 8);
+        assert_eq!(t.counters[Counter::CandidatesScanned.index()], 16);
     }
 
     #[test]

@@ -327,6 +327,9 @@ impl Metric for EuclideanMetric<'_> {
         let g = crate::kernel::gather_rows(self.points, centers);
         let dim = self.points.dim();
         let mut screen = Vec::with_capacity(centers.len());
+        // Discarded tally: the trait carries no recorder; bulk callers
+        // count queries coarsely at the NearestAssigner layer instead.
+        let mut stats = crate::kernel::ScanStats::default();
         for ((p, d), &i) in pos.iter_mut().zip(dist.iter_mut()).zip(ids) {
             let (bp, bsq) = nearest_row_pruned(
                 self.points.point(i),
@@ -334,6 +337,7 @@ impl Metric for EuclideanMetric<'_> {
                 &g.root_norms,
                 dim,
                 &mut screen,
+                &mut stats,
             );
             *p = bp;
             *d = bsq;
@@ -401,6 +405,7 @@ impl Metric for EuclideanMetric<'_> {
         let g = crate::kernel::gather_rows(self.points, centers);
         let dim = self.points.dim();
         let mut screen = Vec::with_capacity(centers.len());
+        let mut stats = crate::kernel::ScanStats::default();
         for (e, &i) in ids.iter().enumerate() {
             let (bc, b1, b2) = top2_row_pruned(
                 self.points.point(i),
@@ -408,6 +413,7 @@ impl Metric for EuclideanMetric<'_> {
                 &g.root_norms,
                 dim,
                 &mut screen,
+                &mut stats,
             );
             c1[e] = bc;
             d1[e] = b1.sqrt();

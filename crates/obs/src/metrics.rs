@@ -1,0 +1,694 @@
+//! The in-memory aggregation sink: [`MetricsReport`] (full per-phase /
+//! per-site breakdown with percentiles) and [`MetricsSummary`] (the
+//! flat, all-integer digest embedded in artifacts).
+
+use crate::json::Json;
+use crate::record::{Counter, Event, COUNTER_COUNT};
+use crate::trace::Trace;
+
+/// Number of buckets in a [`LogHistogram`]: one per bit width of a
+/// `u64`, plus a zero bucket.
+const HIST_BUCKETS: usize = 65;
+
+/// A fixed-size histogram with power-of-two buckets.
+///
+/// Value `v` lands in bucket `bit_width(v)` (zero in bucket 0), so the
+/// 65 buckets cover the full `u64` range with no configuration and no
+/// allocation. Quantiles are approximate — correct to within the 2×
+/// width of a bucket — while `count`/`sum`/`min`/`max` are exact.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LogHistogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: u64) {
+        let bucket = (u64::BITS - v.leading_zeros()) as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (zero when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation (zero when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the upper edge of the
+    /// bucket holding the `⌈q·count⌉`-th observation, clamped to the
+    /// exact observed `min`/`max`. Correct to within one power of two.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (bucket, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Upper edge of bucket b is 2^b - 1 (bucket 0 holds only
+                // zero).
+                let edge = if bucket == 0 {
+                    0
+                } else if bucket >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << bucket) - 1
+                };
+                return edge.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// Per-site accounting aggregated over a whole run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SiteMetrics {
+    /// Coordinator → site payload bytes.
+    pub down_bytes: u64,
+    /// Site → coordinator payload bytes.
+    pub up_bytes: u64,
+    /// Site compute, wall-clock nanoseconds (zero in trace replays).
+    pub compute_ns: u64,
+    /// Simulated fault wait charged to this site, nanoseconds.
+    pub wait_ns: u64,
+    /// Rounds in which this site's reply arrived.
+    pub deliveries: u64,
+    /// Fault decisions (retries, stragglers, dropouts) that hit this
+    /// site.
+    pub faults: u64,
+}
+
+/// Everything a run's trace aggregates to: totals, per-phase time,
+/// per-site breakdowns, the per-round network distribution, and the
+/// kernel counters.
+///
+/// Built by [`Trace::metrics`]. The byte/round/fault half reconciles
+/// exactly (`u64` equality) with the coordinator's `CommStats` roll-up
+/// for the same run — the test suite asserts it.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsReport {
+    /// Protocol rounds completed.
+    pub rounds: u64,
+    /// Continuous-mode syncs completed.
+    pub syncs: u64,
+    /// Total coordinator → site bytes.
+    pub down_bytes: u64,
+    /// Total site → coordinator bytes.
+    pub up_bytes: u64,
+    /// Sites that missed a round entirely, summed over rounds.
+    pub dropouts: u64,
+    /// Failed delivery attempts, summed over rounds.
+    pub retries: u64,
+    /// Rounds that ran over a strict subset of sites.
+    pub degraded_rounds: u64,
+    /// Coordinator planning time, wall-clock nanoseconds.
+    pub plan_ns: u64,
+    /// Site compute, wall-clock nanoseconds summed over sites.
+    pub site_compute_ns: u64,
+    /// Simulated network time summed over rounds, nanoseconds.
+    pub network_ns: u64,
+    /// Per-site breakdowns, indexed by site.
+    pub per_site: Vec<SiteMetrics>,
+    /// Simulated network time of each round, in round order (exact
+    /// percentile source).
+    pub round_network_ns: Vec<u64>,
+    /// Distribution of per-round network time.
+    pub network_hist: LogHistogram,
+    /// Kernel/stream/sweep counter totals, indexed by
+    /// [`Counter::index`].
+    pub counters: [u64; COUNTER_COUNT],
+}
+
+impl MetricsReport {
+    /// Aggregates a trace.
+    pub fn from_trace(trace: &Trace) -> MetricsReport {
+        let mut r = MetricsReport {
+            counters: trace.counters,
+            ..MetricsReport::default()
+        };
+        let site_slot = |per_site: &mut Vec<SiteMetrics>, site: usize| {
+            if per_site.len() <= site {
+                per_site.resize(site + 1, SiteMetrics::default());
+            }
+        };
+        for ev in &trace.events {
+            match ev {
+                Event::RunStart { sites, .. } => {
+                    site_slot(&mut r.per_site, sites.saturating_sub(1));
+                }
+                Event::Plan { wall_ns, .. } => r.plan_ns += wall_ns,
+                Event::Fault { site, .. } => {
+                    site_slot(&mut r.per_site, *site);
+                    r.per_site[*site].faults += 1;
+                }
+                Event::Site {
+                    site,
+                    delivered,
+                    down_bytes,
+                    up_bytes,
+                    compute_ns,
+                    wait_ns,
+                    ..
+                } => {
+                    site_slot(&mut r.per_site, *site);
+                    let s = &mut r.per_site[*site];
+                    s.down_bytes += down_bytes;
+                    s.up_bytes += up_bytes;
+                    s.compute_ns += compute_ns;
+                    s.wait_ns += wait_ns;
+                    s.deliveries += u64::from(*delivered);
+                    r.down_bytes += down_bytes;
+                    r.up_bytes += up_bytes;
+                    r.site_compute_ns += compute_ns;
+                }
+                Event::RoundEnd {
+                    dropouts,
+                    retries,
+                    degraded,
+                    network_ns,
+                    ..
+                } => {
+                    r.rounds += 1;
+                    r.dropouts += *dropouts as u64;
+                    r.retries += *retries as u64;
+                    r.degraded_rounds += u64::from(*degraded);
+                    r.network_ns += network_ns;
+                    r.round_network_ns.push(*network_ns);
+                    r.network_hist.observe(*network_ns);
+                }
+                Event::SyncEnd { .. } => r.syncs += 1,
+                _ => {}
+            }
+        }
+        r
+    }
+
+    /// Total bytes on the simulated wire, both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.down_bytes + self.up_bytes
+    }
+
+    /// Exact percentile (nearest-rank) of per-round network time, `p`
+    /// in `[0, 1]`. Zero when no rounds ran.
+    pub fn round_network_percentile(&self, p: f64) -> u64 {
+        if self.round_network_ns.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.round_network_ns.clone();
+        sorted.sort_unstable();
+        let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// The flat digest embedded in artifacts.
+    pub fn summary(&self) -> MetricsSummary {
+        MetricsSummary {
+            plan_ns: self.plan_ns,
+            site_compute_ns: self.site_compute_ns,
+            network_ns: self.network_ns,
+            total_bytes: self.total_bytes(),
+            down_bytes: self.down_bytes,
+            up_bytes: self.up_bytes,
+            rounds: self.rounds,
+            syncs: self.syncs,
+            dropouts: self.dropouts,
+            retries: self.retries,
+            degraded_rounds: self.degraded_rounds,
+            round_network_p50_ns: self.round_network_percentile(0.50),
+            round_network_p90_ns: self.round_network_percentile(0.90),
+            round_network_max_ns: self.round_network_percentile(1.0),
+            counters: self.counters,
+        }
+    }
+
+    /// Renders the report as the text tables the CLI prints under
+    /// `--metrics`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let ms = |ns: u64| format!("{:.3} ms", ns as f64 / 1e6);
+        out.push_str("phase timing:\n");
+        out.push_str(&format!("  {:<14} {:>14}\n", "phase", "total"));
+        out.push_str(&format!("  {:<14} {:>14}\n", "plan", ms(self.plan_ns)));
+        out.push_str(&format!(
+            "  {:<14} {:>14}\n",
+            "site compute",
+            ms(self.site_compute_ns)
+        ));
+        out.push_str(&format!(
+            "  {:<14} {:>14}\n",
+            "network (sim)",
+            ms(self.network_ns)
+        ));
+        out.push_str(&format!(
+            "rounds: {} ({} degraded) · dropouts: {} · retries: {}",
+            self.rounds, self.degraded_rounds, self.dropouts, self.retries
+        ));
+        if self.syncs > 0 {
+            out.push_str(&format!(" · syncs: {}", self.syncs));
+        }
+        out.push('\n');
+        out.push_str(&format!(
+            "bytes: {} total (down {} / up {})\n",
+            self.total_bytes(),
+            self.down_bytes,
+            self.up_bytes
+        ));
+        if self.rounds > 0 {
+            out.push_str(&format!(
+                "round network: p50 {} · p90 {} · max {}\n",
+                ms(self.round_network_percentile(0.50)),
+                ms(self.round_network_percentile(0.90)),
+                ms(self.round_network_percentile(1.0)),
+            ));
+        }
+        if !self.per_site.is_empty() {
+            out.push_str("per-site:\n");
+            out.push_str(&format!(
+                "  {:<5} {:>10} {:>10} {:>14} {:>14} {:>6} {:>7}\n",
+                "site", "down", "up", "compute", "wait", "deliv", "faults"
+            ));
+            for (i, s) in self.per_site.iter().enumerate() {
+                out.push_str(&format!(
+                    "  {:<5} {:>10} {:>10} {:>14} {:>14} {:>6} {:>7}\n",
+                    i,
+                    s.down_bytes,
+                    s.up_bytes,
+                    ms(s.compute_ns),
+                    ms(s.wait_ns),
+                    s.deliveries,
+                    s.faults
+                ));
+            }
+        }
+        let nonzero: Vec<String> = Counter::ALL
+            .iter()
+            .filter(|c| self.counters[c.index()] > 0)
+            .map(|c| format!("{}={}", c.name(), self.counters[c.index()]))
+            .collect();
+        if !nonzero.is_empty() {
+            out.push_str(&format!("counters: {}\n", nonzero.join(" ")));
+        }
+        out
+    }
+}
+
+/// The flat, all-integer digest of a [`MetricsReport`] — what the
+/// artifact's optional `metrics` field carries. Fixed field set, fixed
+/// JSON key order, so artifact round-trips stay byte-stable.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSummary {
+    /// Coordinator planning time, wall-clock nanoseconds.
+    pub plan_ns: u64,
+    /// Site compute, wall-clock nanoseconds summed over sites.
+    pub site_compute_ns: u64,
+    /// Simulated network time summed over rounds, nanoseconds.
+    pub network_ns: u64,
+    /// Total bytes on the simulated wire, both directions.
+    pub total_bytes: u64,
+    /// Coordinator → site bytes.
+    pub down_bytes: u64,
+    /// Site → coordinator bytes.
+    pub up_bytes: u64,
+    /// Protocol rounds completed.
+    pub rounds: u64,
+    /// Continuous-mode syncs completed.
+    pub syncs: u64,
+    /// Sites that missed a round entirely, summed over rounds.
+    pub dropouts: u64,
+    /// Failed delivery attempts, summed over rounds.
+    pub retries: u64,
+    /// Rounds that ran over a strict subset of sites.
+    pub degraded_rounds: u64,
+    /// Median per-round simulated network time, nanoseconds.
+    pub round_network_p50_ns: u64,
+    /// 90th-percentile per-round simulated network time, nanoseconds.
+    pub round_network_p90_ns: u64,
+    /// Worst per-round simulated network time, nanoseconds.
+    pub round_network_max_ns: u64,
+    /// Kernel/stream/sweep counter totals, indexed by
+    /// [`Counter::index`].
+    pub counters: [u64; COUNTER_COUNT],
+}
+
+impl MetricsSummary {
+    /// Field names in serialization order (everything except the
+    /// trailing `counters` object).
+    const FIELDS: [&'static str; 14] = [
+        "plan_ns",
+        "site_compute_ns",
+        "network_ns",
+        "total_bytes",
+        "down_bytes",
+        "up_bytes",
+        "rounds",
+        "syncs",
+        "dropouts",
+        "retries",
+        "degraded_rounds",
+        "round_network_p50_ns",
+        "round_network_p90_ns",
+        "round_network_max_ns",
+    ];
+
+    fn field_values(&self) -> [u64; 14] {
+        [
+            self.plan_ns,
+            self.site_compute_ns,
+            self.network_ns,
+            self.total_bytes,
+            self.down_bytes,
+            self.up_bytes,
+            self.rounds,
+            self.syncs,
+            self.dropouts,
+            self.retries,
+            self.degraded_rounds,
+            self.round_network_p50_ns,
+            self.round_network_p90_ns,
+            self.round_network_max_ns,
+        ]
+    }
+
+    /// Serializes as a single JSON object with fixed key order.
+    pub fn to_json(&self) -> String {
+        let mut parts: Vec<String> = Self::FIELDS
+            .iter()
+            .zip(self.field_values())
+            .map(|(name, v)| format!("\"{name}\":{v}"))
+            .collect();
+        let counters: Vec<String> = Counter::ALL
+            .iter()
+            .map(|c| format!("\"{}\":{}", c.name(), self.counters[c.index()]))
+            .collect();
+        parts.push(format!("\"counters\":{{{}}}", counters.join(",")));
+        format!("{{{}}}", parts.join(","))
+    }
+
+    /// Reads a summary back from a parsed JSON object.
+    pub fn from_json(v: &Json) -> Result<MetricsSummary, String> {
+        let uint = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("metrics: missing integer field '{key}'"))
+        };
+        let mut s = MetricsSummary {
+            plan_ns: uint("plan_ns")?,
+            site_compute_ns: uint("site_compute_ns")?,
+            network_ns: uint("network_ns")?,
+            total_bytes: uint("total_bytes")?,
+            down_bytes: uint("down_bytes")?,
+            up_bytes: uint("up_bytes")?,
+            rounds: uint("rounds")?,
+            syncs: uint("syncs")?,
+            dropouts: uint("dropouts")?,
+            retries: uint("retries")?,
+            degraded_rounds: uint("degraded_rounds")?,
+            round_network_p50_ns: uint("round_network_p50_ns")?,
+            round_network_p90_ns: uint("round_network_p90_ns")?,
+            round_network_max_ns: uint("round_network_max_ns")?,
+            counters: [0; COUNTER_COUNT],
+        };
+        let counters = v
+            .get("counters")
+            .ok_or("metrics: missing 'counters' object")?;
+        for c in Counter::ALL {
+            s.counters[c.index()] = counters
+                .get(c.name())
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("metrics: missing counter '{}'", c.name()))?;
+        }
+        Ok(s)
+    }
+
+    /// Compact plain-text rendering of the digest (the per-site detail
+    /// of [`MetricsReport::render`] is gone by the time a summary
+    /// exists; this is the artifact-level view).
+    pub fn render(&self) -> String {
+        let ms = |ns: u64| format!("{:.3} ms", ns as f64 / 1e6);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "metrics: plan {} | site compute {} | network {}\n",
+            ms(self.plan_ns),
+            ms(self.site_compute_ns),
+            ms(self.network_ns)
+        ));
+        out.push_str(&format!(
+            "metrics: {} rounds, {} dropouts, {} retries, {} degraded",
+            self.rounds, self.dropouts, self.retries, self.degraded_rounds
+        ));
+        if self.syncs > 0 {
+            out.push_str(&format!(", {} syncs", self.syncs));
+        }
+        out.push('\n');
+        out.push_str(&format!(
+            "metrics: {} B total ({} down, {} up); round network p50 {} p90 {} max {}\n",
+            self.total_bytes,
+            self.down_bytes,
+            self.up_bytes,
+            ms(self.round_network_p50_ns),
+            ms(self.round_network_p90_ns),
+            ms(self.round_network_max_ns)
+        ));
+        let nonzero: Vec<String> = Counter::ALL
+            .iter()
+            .filter(|c| self.counters[c.index()] > 0)
+            .map(|c| format!("{}={}", c.name(), self.counters[c.index()]))
+            .collect();
+        if !nonzero.is_empty() {
+            out.push_str(&format!("metrics: counters {}\n", nonzero.join(" ")));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::record::FaultKind;
+
+    fn sample_trace() -> Trace {
+        let mut counters = [0u64; COUNTER_COUNT];
+        counters[Counter::KernelQueries.index()] = 9;
+        Trace {
+            events: vec![
+                Event::RunStart {
+                    label: "median".to_string(),
+                    sites: 2,
+                    seed: 7,
+                    fault_seed: 4,
+                },
+                Event::RoundStart { round: 0 },
+                Event::Plan {
+                    round: 0,
+                    wall_ns: 100,
+                },
+                Event::Fault {
+                    round: 0,
+                    site: 1,
+                    attempt: 0,
+                    kind: FaultKind::Dropout,
+                    wait_ns: 0,
+                },
+                Event::Site {
+                    round: 0,
+                    site: 0,
+                    delivered: true,
+                    down_bytes: 10,
+                    up_bytes: 20,
+                    compute_ns: 300,
+                    wait_ns: 0,
+                },
+                Event::Site {
+                    round: 0,
+                    site: 1,
+                    delivered: false,
+                    down_bytes: 0,
+                    up_bytes: 0,
+                    compute_ns: 0,
+                    wait_ns: 5,
+                },
+                Event::RoundEnd {
+                    round: 0,
+                    dropouts: 1,
+                    retries: 2,
+                    degraded: true,
+                    network_ns: 1_000,
+                },
+                Event::RoundStart { round: 1 },
+                Event::Plan {
+                    round: 1,
+                    wall_ns: 50,
+                },
+                Event::Site {
+                    round: 1,
+                    site: 0,
+                    delivered: true,
+                    down_bytes: 4,
+                    up_bytes: 6,
+                    compute_ns: 200,
+                    wait_ns: 0,
+                },
+                Event::Site {
+                    round: 1,
+                    site: 1,
+                    delivered: true,
+                    down_bytes: 4,
+                    up_bytes: 8,
+                    compute_ns: 100,
+                    wait_ns: 0,
+                },
+                Event::RoundEnd {
+                    round: 1,
+                    dropouts: 0,
+                    retries: 0,
+                    degraded: false,
+                    network_ns: 3_000,
+                },
+                Event::RunEnd { rounds: 2 },
+            ],
+            counters,
+        }
+    }
+
+    #[test]
+    fn report_aggregates_totals_and_per_site() {
+        let r = sample_trace().metrics();
+        assert_eq!(r.rounds, 2);
+        assert_eq!(r.down_bytes, 18);
+        assert_eq!(r.up_bytes, 34);
+        assert_eq!(r.total_bytes(), 52);
+        assert_eq!(r.dropouts, 1);
+        assert_eq!(r.retries, 2);
+        assert_eq!(r.degraded_rounds, 1);
+        assert_eq!(r.plan_ns, 150);
+        assert_eq!(r.site_compute_ns, 600);
+        assert_eq!(r.network_ns, 4_000);
+        assert_eq!(r.per_site.len(), 2);
+        assert_eq!(r.per_site[0].deliveries, 2);
+        assert_eq!(r.per_site[0].up_bytes, 26);
+        assert_eq!(r.per_site[1].faults, 1);
+        assert_eq!(r.per_site[1].wait_ns, 5);
+        assert_eq!(r.counters[Counter::KernelQueries.index()], 9);
+        assert_eq!(r.round_network_ns, vec![1_000, 3_000]);
+        assert_eq!(r.round_network_percentile(0.50), 1_000);
+        assert_eq!(r.round_network_percentile(1.0), 3_000);
+        assert_eq!(r.network_hist.count(), 2);
+        assert_eq!(r.network_hist.max(), 3_000);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_within_a_bucket() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 1, 5, 100, 1000, 1_000_000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1_000_000);
+        assert_eq!(h.sum(), 1_001_106);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 1_000_000);
+        // q=0.5 → rank 3 → value 5 lives in bucket 3 (upper edge 7).
+        assert_eq!(h.quantile(0.5), 7);
+        assert_eq!(LogHistogram::new().quantile(0.5), 0);
+        assert_eq!(LogHistogram::new().min(), 0);
+    }
+
+    #[test]
+    fn summary_round_trips_through_json() {
+        let s = sample_trace().metrics().summary();
+        assert_eq!(s.total_bytes, 52);
+        assert_eq!(s.round_network_max_ns, 3_000);
+        let doc = s.to_json();
+        let back = MetricsSummary::from_json(&json::parse(&doc).unwrap()).unwrap();
+        assert_eq!(back, s);
+        // Re-serialization is byte-stable (fixed key order).
+        assert_eq!(back.to_json(), doc);
+        // Missing counters are an error, not a silent zero.
+        let truncated = doc.replace("\"kernel_queries\":9", "\"kernel_queries_x\":9");
+        assert!(MetricsSummary::from_json(&json::parse(&truncated).unwrap()).is_err());
+    }
+
+    #[test]
+    fn render_mentions_every_section() {
+        let text = sample_trace().metrics().render();
+        assert!(text.contains("phase timing"));
+        assert!(text.contains("site compute"));
+        assert!(text.contains("network (sim)"));
+        assert!(text.contains("rounds: 2 (1 degraded)"));
+        assert!(text.contains("bytes: 52 total"));
+        assert!(text.contains("per-site:"));
+        assert!(text.contains("kernel_queries=9"));
+    }
+
+    #[test]
+    fn replayed_trace_reconciles_deterministic_half() {
+        // A JSONL round trip drops wall-clock data but must preserve the
+        // byte/round/fault aggregates bit for bit.
+        let t = sample_trace();
+        let replay = Trace::from_jsonl(&t.to_jsonl()).unwrap();
+        let (a, b) = (t.metrics(), replay.metrics());
+        assert_eq!(a.total_bytes(), b.total_bytes());
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.dropouts, b.dropouts);
+        assert_eq!(a.retries, b.retries);
+        assert_eq!(a.network_ns, b.network_ns);
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(b.site_compute_ns, 0); // wall clock zeroed
+    }
+}

@@ -1,0 +1,510 @@
+//! Immutable trace snapshots and their serialized forms: the
+//! schema-versioned JSONL wire format and the Chrome trace-event export.
+
+use crate::json::{self, escape, Json};
+use crate::record::{Counter, Event, FaultKind, COUNTER_COUNT};
+
+/// Schema tag carried by the first line of every JSONL trace.
+pub const TRACE_SCHEMA: &str = "dpc.trace/v1";
+
+/// An immutable snapshot of everything a run recorded: the event stream
+/// in arrival order plus the final counter totals.
+///
+/// Obtained from [`Collector::snapshot`](crate::Collector::snapshot);
+/// consumed by the three sinks ([`Trace::to_jsonl`], [`Trace::metrics`],
+/// [`Trace::to_chrome`]).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Trace {
+    /// Recorded events, in the order they arrived at the collector.
+    pub events: Vec<Event>,
+    /// Final counter totals, indexed by [`Counter::index`].
+    pub counters: [u64; COUNTER_COUNT],
+}
+
+impl Trace {
+    /// Serializes the **deterministic** subset of the trace as JSONL
+    /// (`dpc.trace/v1`), one event object per line.
+    ///
+    /// Only fields that are pure functions of `(seed, fault seed, job)`
+    /// appear: indices, byte counts, fault decisions, and simulated time
+    /// as exact integer nanoseconds. Wall-clock measurements
+    /// ([`Event::Plan`], `Site::compute_ns`) and events whose arrival
+    /// order depends on thread scheduling ([`Event::CellDone`]) are
+    /// excluded, which is what makes traces of identical runs
+    /// byte-identical across transport backends. Kernel counters *are*
+    /// deterministic (the arithmetic is the same on every backend) and
+    /// close the stream as a final `counters` line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            match ev {
+                Event::RunStart {
+                    label,
+                    sites,
+                    seed,
+                    fault_seed,
+                } => {
+                    out.push_str(&format!(
+                        "{{\"schema\":\"{TRACE_SCHEMA}\",\"ev\":\"run_start\",\"label\":\"{}\",\
+                         \"sites\":{sites},\"seed\":{seed},\"fault_seed\":{fault_seed}}}\n",
+                        escape(label)
+                    ));
+                }
+                Event::RoundStart { round } => {
+                    out.push_str(&format!("{{\"ev\":\"round_start\",\"round\":{round}}}\n"));
+                }
+                Event::Plan { .. } => {} // wall-clock only
+                Event::Fault {
+                    round,
+                    site,
+                    attempt,
+                    kind,
+                    wait_ns,
+                } => {
+                    out.push_str(&format!(
+                        "{{\"ev\":\"fault\",\"round\":{round},\"site\":{site},\
+                         \"attempt\":{attempt},\"kind\":\"{}\",\"wait_ns\":{wait_ns}}}\n",
+                        kind.name()
+                    ));
+                }
+                Event::Site {
+                    round,
+                    site,
+                    delivered,
+                    down_bytes,
+                    up_bytes,
+                    compute_ns: _, // wall-clock only
+                    wait_ns,
+                } => {
+                    out.push_str(&format!(
+                        "{{\"ev\":\"site\",\"round\":{round},\"site\":{site},\
+                         \"delivered\":{delivered},\"down_bytes\":{down_bytes},\
+                         \"up_bytes\":{up_bytes},\"wait_ns\":{wait_ns}}}\n"
+                    ));
+                }
+                Event::RoundEnd {
+                    round,
+                    dropouts,
+                    retries,
+                    degraded,
+                    network_ns,
+                } => {
+                    out.push_str(&format!(
+                        "{{\"ev\":\"round_end\",\"round\":{round},\"dropouts\":{dropouts},\
+                         \"retries\":{retries},\"degraded\":{degraded},\
+                         \"network_ns\":{network_ns}}}\n"
+                    ));
+                }
+                Event::RunEnd { rounds } => {
+                    out.push_str(&format!("{{\"ev\":\"run_end\",\"rounds\":{rounds}}}\n"));
+                }
+                Event::SyncStart { sync, at } => {
+                    out.push_str(&format!(
+                        "{{\"ev\":\"sync_start\",\"sync\":{sync},\"at\":{at}}}\n"
+                    ));
+                }
+                Event::SyncEnd { sync, bytes } => {
+                    out.push_str(&format!(
+                        "{{\"ev\":\"sync_end\",\"sync\":{sync},\"bytes\":{bytes}}}\n"
+                    ));
+                }
+                Event::CellDone { .. } => {} // worker-thread arrival order
+            }
+        }
+        let totals: Vec<String> = Counter::ALL
+            .iter()
+            .map(|c| format!("\"{}\":{}", c.name(), self.counters[c.index()]))
+            .collect();
+        out.push_str(&format!("{{\"ev\":\"counters\",{}}}\n", totals.join(",")));
+        out
+    }
+
+    /// Parses a JSONL trace back into a [`Trace`].
+    ///
+    /// The first line must carry `"schema": "dpc.trace/v1"`. Wall-clock
+    /// fields that the schema omits come back as zero, so a replayed
+    /// trace reproduces every deterministic quantity (and therefore the
+    /// byte/round/fault half of [`Trace::metrics`]) exactly.
+    pub fn from_jsonl(input: &str) -> Result<Trace, String> {
+        let mut events = Vec::new();
+        let mut counters = [0u64; COUNTER_COUNT];
+        for (lineno, line) in input.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let v = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let bad = |what: &str| format!("line {}: {what}", lineno + 1);
+            let uint = |key: &str| {
+                v.get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad(&format!("missing integer field '{key}'")))
+            };
+            let size = |key: &str| {
+                v.get(key)
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| bad(&format!("missing integer field '{key}'")))
+            };
+            let flag = |key: &str| {
+                v.get(key)
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| bad(&format!("missing boolean field '{key}'")))
+            };
+            let ev = v
+                .get("ev")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("missing 'ev' field"))?;
+            if events.is_empty() {
+                match v.get("schema").and_then(Json::as_str) {
+                    Some(TRACE_SCHEMA) => {}
+                    Some(other) => {
+                        return Err(format!(
+                            "unsupported trace schema '{other}' (expected '{TRACE_SCHEMA}')"
+                        ))
+                    }
+                    None => return Err(bad("first line must carry the trace schema")),
+                }
+            }
+            match ev {
+                "run_start" => events.push(Event::RunStart {
+                    label: v
+                        .get("label")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| bad("missing 'label'"))?
+                        .to_string(),
+                    sites: size("sites")?,
+                    seed: uint("seed")?,
+                    fault_seed: uint("fault_seed")?,
+                }),
+                "round_start" => events.push(Event::RoundStart {
+                    round: size("round")?,
+                }),
+                "fault" => events.push(Event::Fault {
+                    round: size("round")?,
+                    site: size("site")?,
+                    attempt: size("attempt")?,
+                    kind: v
+                        .get("kind")
+                        .and_then(Json::as_str)
+                        .and_then(FaultKind::from_name)
+                        .ok_or_else(|| bad("bad fault 'kind'"))?,
+                    wait_ns: uint("wait_ns")?,
+                }),
+                "site" => events.push(Event::Site {
+                    round: size("round")?,
+                    site: size("site")?,
+                    delivered: flag("delivered")?,
+                    down_bytes: uint("down_bytes")?,
+                    up_bytes: uint("up_bytes")?,
+                    compute_ns: 0,
+                    wait_ns: uint("wait_ns")?,
+                }),
+                "round_end" => events.push(Event::RoundEnd {
+                    round: size("round")?,
+                    dropouts: size("dropouts")?,
+                    retries: size("retries")?,
+                    degraded: flag("degraded")?,
+                    network_ns: uint("network_ns")?,
+                }),
+                "run_end" => events.push(Event::RunEnd {
+                    rounds: size("rounds")?,
+                }),
+                "sync_start" => events.push(Event::SyncStart {
+                    sync: size("sync")?,
+                    at: uint("at")?,
+                }),
+                "sync_end" => events.push(Event::SyncEnd {
+                    sync: size("sync")?,
+                    bytes: uint("bytes")?,
+                }),
+                "counters" => {
+                    for c in Counter::ALL {
+                        counters[c.index()] = uint(c.name())?;
+                    }
+                }
+                other => return Err(bad(&format!("unknown event '{other}'"))),
+            }
+        }
+        if events.is_empty() {
+            return Err("empty trace".to_string());
+        }
+        Ok(Trace { events, counters })
+    }
+
+    /// Aggregates the trace into a [`MetricsReport`].
+    ///
+    /// [`MetricsReport`]: crate::MetricsReport
+    pub fn metrics(&self) -> crate::MetricsReport {
+        crate::MetricsReport::from_trace(self)
+    }
+
+    /// Exports the trace in the Chrome trace-event format
+    /// (`chrome://tracing` / Perfetto: load the file directly).
+    ///
+    /// The timeline is schematic: each round lays out as
+    /// `plan → site compute (parallel rows) → transfer`, where plan and
+    /// compute widths are wall-clock measurements and the transfer width
+    /// is the round's *simulated* network time, so the picture mixes
+    /// real and modeled time on one axis. Row 0 is the coordinator,
+    /// row `i + 1` is site `i`. Unlike the JSONL form this export is
+    /// not deterministic across runs — it exists for eyeballs, not
+    /// diffing.
+    pub fn to_chrome(&self) -> String {
+        let mut evs: Vec<String> = Vec::new();
+        let span = |name: &str, ts: u64, dur: u64, tid: usize, args: String| {
+            format!(
+                "{{\"name\":\"{name}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":0,\"tid\":{tid},\"args\":{{{args}}}}}",
+                ts / 1_000,
+                (dur / 1_000).max(1)
+            )
+        };
+        let instant = |name: &str, ts: u64, tid: usize, args: String| {
+            format!(
+                "{{\"name\":\"{name}\",\"ph\":\"i\",\"ts\":{},\"s\":\"t\",\
+                 \"pid\":0,\"tid\":{tid},\"args\":{{{args}}}}}",
+                ts / 1_000
+            )
+        };
+        // Cursor in nanoseconds; rounds are laid out back to back.
+        let mut cursor = 0u64;
+        let mut plan_ns = 0u64;
+        let mut compute_end = 0u64; // max site-compute end within the round
+        for ev in &self.events {
+            match ev {
+                Event::RunStart { label, .. } => {
+                    evs.push(format!(
+                        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\
+                         \"args\":{{\"name\":\"{}\"}}}}",
+                        escape(label)
+                    ));
+                }
+                Event::Plan { round, wall_ns } => {
+                    plan_ns = *wall_ns;
+                    evs.push(span(
+                        "plan",
+                        cursor,
+                        plan_ns,
+                        0,
+                        format!("\"round\":{round}"),
+                    ));
+                }
+                Event::Fault {
+                    round, site, kind, ..
+                } => {
+                    evs.push(instant(
+                        kind.name(),
+                        cursor,
+                        site + 1,
+                        format!("\"round\":{round}"),
+                    ));
+                }
+                Event::Site {
+                    round,
+                    site,
+                    compute_ns,
+                    down_bytes,
+                    up_bytes,
+                    ..
+                } => {
+                    let start = cursor + plan_ns;
+                    compute_end = compute_end.max(start + compute_ns);
+                    evs.push(span(
+                        "site_compute",
+                        start,
+                        *compute_ns,
+                        site + 1,
+                        format!(
+                            "\"round\":{round},\"down_bytes\":{down_bytes},\
+                             \"up_bytes\":{up_bytes}"
+                        ),
+                    ));
+                }
+                Event::RoundEnd {
+                    round, network_ns, ..
+                } => {
+                    let start = compute_end.max(cursor + plan_ns);
+                    evs.push(span(
+                        "transfer",
+                        start,
+                        *network_ns,
+                        0,
+                        format!("\"round\":{round}"),
+                    ));
+                    cursor = start + network_ns;
+                    plan_ns = 0;
+                    compute_end = 0;
+                }
+                Event::SyncStart { sync, at } => {
+                    evs.push(instant(
+                        "sync_start",
+                        cursor,
+                        0,
+                        format!("\"sync\":{sync},\"at\":{at}"),
+                    ));
+                }
+                Event::SyncEnd { sync, bytes } => {
+                    evs.push(instant(
+                        "sync_end",
+                        cursor,
+                        0,
+                        format!("\"sync\":{sync},\"bytes\":{bytes}"),
+                    ));
+                }
+                _ => {}
+            }
+        }
+        format!("{{\"traceEvents\":[{}]}}\n", evs.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut counters = [0u64; COUNTER_COUNT];
+        counters[Counter::KernelQueries.index()] = 120;
+        counters[Counter::CandidatesPruned.index()] = 37;
+        Trace {
+            events: vec![
+                Event::RunStart {
+                    label: "median".to_string(),
+                    sites: 2,
+                    seed: 9007199254740993, // exceeds f64 precision
+                    fault_seed: 4,
+                },
+                Event::RoundStart { round: 0 },
+                Event::Plan {
+                    round: 0,
+                    wall_ns: 123,
+                },
+                Event::Fault {
+                    round: 0,
+                    site: 1,
+                    attempt: 0,
+                    kind: FaultKind::Retry,
+                    wait_ns: 50_000_000,
+                },
+                Event::Site {
+                    round: 0,
+                    site: 0,
+                    delivered: true,
+                    down_bytes: 64,
+                    up_bytes: 128,
+                    compute_ns: 456,
+                    wait_ns: 0,
+                },
+                Event::Site {
+                    round: 0,
+                    site: 1,
+                    delivered: false,
+                    down_bytes: 0,
+                    up_bytes: 0,
+                    compute_ns: 0,
+                    wait_ns: 50_000_000,
+                },
+                Event::RoundEnd {
+                    round: 0,
+                    dropouts: 1,
+                    retries: 1,
+                    degraded: true,
+                    network_ns: 50_000_000,
+                },
+                Event::SyncStart { sync: 0, at: 256 },
+                Event::SyncEnd {
+                    sync: 0,
+                    bytes: 192,
+                },
+                Event::CellDone { cell: 3, total: 9 },
+                Event::RunEnd { rounds: 1 },
+            ],
+            counters,
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips_the_deterministic_subset() {
+        let t = sample();
+        let text = t.to_jsonl();
+        let back = Trace::from_jsonl(&text).unwrap();
+        // Wall-clock-only events and fields are gone or zeroed...
+        assert!(!back.events.iter().any(|e| matches!(e, Event::Plan { .. })));
+        assert!(!back
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::CellDone { .. })));
+        assert!(back.events.iter().all(|e| match e {
+            Event::Site { compute_ns, .. } => *compute_ns == 0,
+            _ => true,
+        }));
+        // ...and everything else survives, including exact u64 seeds and
+        // counter totals.
+        assert!(back.events.contains(&Event::RunStart {
+            label: "median".to_string(),
+            sites: 2,
+            seed: 9007199254740993,
+            fault_seed: 4,
+        }));
+        assert_eq!(back.counters, t.counters);
+        // Re-serializing the replay is byte-identical: the schema only
+        // holds deterministic fields.
+        assert_eq!(back.to_jsonl(), text);
+    }
+
+    #[test]
+    fn wall_clock_differences_do_not_change_the_bytes() {
+        let a = sample();
+        let mut b = sample();
+        for ev in &mut b.events {
+            match ev {
+                Event::Plan { wall_ns, .. } => *wall_ns = 999_999,
+                Event::Site { compute_ns, .. } => *compute_ns = 777,
+                _ => {}
+            }
+        }
+        assert_eq!(a.to_jsonl(), b.to_jsonl());
+    }
+
+    #[test]
+    fn schema_is_first_and_checked() {
+        let text = sample().to_jsonl();
+        let first = text.lines().next().unwrap();
+        assert!(first.starts_with("{\"schema\":\"dpc.trace/v1\""));
+        let forged = text.replacen("dpc.trace/v1", "dpc.trace/v0", 1);
+        assert!(Trace::from_jsonl(&forged).unwrap_err().contains("schema"));
+        assert!(Trace::from_jsonl("{\"ev\":\"round_start\",\"round\":0}\n")
+            .unwrap_err()
+            .contains("schema"));
+        assert!(Trace::from_jsonl("").is_err());
+        assert!(Trace::from_jsonl("not json\n").is_err());
+    }
+
+    #[test]
+    fn every_jsonl_line_parses_as_json() {
+        for line in sample().to_jsonl().lines() {
+            json::parse(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_expected_rows() {
+        let doc = sample().to_chrome();
+        let v = json::parse(doc.trim()).unwrap();
+        let evs = v.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(!evs.is_empty());
+        let names: Vec<&str> = evs
+            .iter()
+            .filter_map(|e| e.get("name").and_then(Json::as_str))
+            .collect();
+        assert!(names.contains(&"plan"));
+        assert!(names.contains(&"site_compute"));
+        assert!(names.contains(&"transfer"));
+        assert!(names.contains(&"retry"));
+        // Site 0's compute lands on tid 1 (tid 0 is the coordinator).
+        assert!(evs.iter().any(
+            |e| e.get("name").and_then(Json::as_str) == Some("site_compute")
+                && e.get("tid").and_then(Json::as_usize) == Some(1)
+        ));
+    }
+}

@@ -31,6 +31,7 @@ use dpc_coordinator::{
 use dpc_core::wire::ThresholdMsg;
 use dpc_core::{allocate_outliers, geometric_grid, site_budget_from_threshold, ConvexProfile};
 use dpc_metric::{EuclideanMetric, Objective, PointSet, SquaredMetric, WeightedSet, WireWriter};
+use dpc_obs::{Counter, Event, RecorderHandle};
 
 use crate::summary::solve_weighted;
 
@@ -136,6 +137,7 @@ pub struct ContinuousCluster {
     sites: Vec<StreamEngine>,
     ingested: u64,
     since_sync: u64,
+    recorder: RecorderHandle,
     /// Every sync executed so far, in order.
     pub history: Vec<SyncRecord>,
 }
@@ -162,8 +164,21 @@ impl ContinuousCluster {
             dim,
             ingested: 0,
             since_sync: 0,
+            recorder: RecorderHandle::noop(),
             history: Vec::new(),
         }
+    }
+
+    /// Attaches an observability recorder to the fleet: every site's
+    /// streaming engine tallies summarize/merge counters through it, and
+    /// each sync emits `SyncStart`/`SyncEnd` events plus the full span
+    /// tree of its underlying 2-round protocol run.
+    pub fn with_recorder(mut self, recorder: RecorderHandle) -> Self {
+        for s in &mut self.sites {
+            s.set_recorder(recorder.clone());
+        }
+        self.recorder = recorder;
+        self
     }
 
     /// Number of simulated sites.
@@ -220,6 +235,12 @@ impl ContinuousCluster {
     /// returns the index of the new [`SyncRecord`].
     pub fn sync(&mut self) -> usize {
         self.since_sync = 0;
+        if self.recorder.enabled() {
+            self.recorder.record(Event::SyncStart {
+                sync: self.history.len(),
+                at: self.ingested,
+            });
+        }
         for s in &mut self.sites {
             s.flush();
         }
@@ -249,10 +270,18 @@ impl ContinuousCluster {
                 transport: self.cfg.transport,
                 link: self.cfg.link,
                 faults,
+                recorder: self.recorder.clone(),
                 ..Default::default()
             },
         );
         let (centers, cost, excluded_weight) = out.output;
+        if self.recorder.enabled() {
+            self.recorder.record(Event::SyncEnd {
+                sync: self.history.len(),
+                bytes: out.stats.total_bytes() as u64,
+            });
+            self.recorder.add(Counter::SyncsRun, 1);
+        }
         self.history.push(SyncRecord {
             at: self.ingested,
             stats: out.stats,

@@ -12,6 +12,7 @@
 use crate::summary::{solve_weighted, Summary, SummaryParams};
 use dpc_cluster::{BicriteriaParams, LocalSearchParams};
 use dpc_metric::{Objective, PointSet, ThreadBudget, WeightedSet};
+use dpc_obs::{Counter, RecorderHandle};
 
 /// Streaming engine configuration.
 #[derive(Clone, Copy, Debug)]
@@ -158,6 +159,7 @@ pub struct StreamEngine {
     /// `block_size · 2^ℓ` points, or `None`.
     levels: Vec<Option<Summary>>,
     ingested: u64,
+    recorder: RecorderHandle,
 }
 
 impl StreamEngine {
@@ -173,7 +175,14 @@ impl StreamEngine {
             buffer: PointSet::with_capacity(dim, cfg.block_size),
             levels: Vec::new(),
             ingested: 0,
+            recorder: RecorderHandle::noop(),
         }
+    }
+
+    /// Attaches a recorder: block summarizations and carry-merges flush
+    /// as counters (one flush per [`StreamEngine::flush`] call).
+    pub fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = recorder;
     }
 
     /// The engine's configuration.
@@ -204,21 +213,28 @@ impl StreamEngine {
         let params = self.cfg.summary_params();
         let mut carry = Summary::from_block(&block, &params);
         let mut lvl = 0usize;
+        // Local merge tally, flushed once per flush() call.
+        let mut merges = 0u64;
         loop {
             if lvl == self.levels.len() {
                 self.levels.push(Some(carry));
-                return;
+                break;
             }
             match self.levels[lvl].take() {
                 None => {
                     self.levels[lvl] = Some(carry);
-                    return;
+                    break;
                 }
                 Some(existing) => {
                     carry = Summary::merge(&existing, &carry, &params);
+                    merges += 1;
                     lvl += 1;
                 }
             }
+        }
+        if self.recorder.enabled() {
+            self.recorder.add(Counter::BlocksSummarized, 1);
+            self.recorder.add(Counter::SummariesMerged, merges);
         }
     }
 

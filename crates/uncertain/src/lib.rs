@@ -38,7 +38,8 @@ pub use algo_center_g::{run_center_g, run_center_g_one_round, CenterGConfig};
 pub use algo_uncertain::{run_uncertain_median, UncertainConfig, UncertainSolution};
 pub use compressed::CompressedGraph;
 pub use monte_carlo::{
-    estimate_center_g_cost, estimate_expected_cost, estimate_expected_cost_with,
+    estimate_center_g_cost, estimate_expected_cost, estimate_expected_cost_recorded,
+    estimate_expected_cost_with,
 };
 pub use node::{NodeSet, UncertainNode};
 pub use truncated::{tau_grid, truncated_expected_distance};

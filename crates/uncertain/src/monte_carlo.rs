@@ -9,6 +9,7 @@
 
 use crate::node::NodeSet;
 use dpc_metric::{CenterBlock, PointSet, ThreadBudget};
+use dpc_obs::{Counter, RecorderHandle};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -50,8 +51,42 @@ pub fn estimate_expected_cost_with(
     center_pp: bool,
     threads: ThreadBudget,
 ) -> f64 {
+    estimate_expected_cost_recorded(
+        shards,
+        centers,
+        t,
+        squared,
+        center_pp,
+        threads,
+        &RecorderHandle::noop(),
+    )
+}
+
+/// [`estimate_expected_cost_with`] flushing kernel counters to
+/// `recorder`: every support point pays one exact blocked row over all
+/// `k` centers, so queries = total support size and scanned = that times
+/// `k` (nothing is pruned on this exact path). Values are identical to
+/// the unrecorded call.
+pub fn estimate_expected_cost_recorded(
+    shards: &[NodeSet],
+    centers: &PointSet,
+    t: usize,
+    squared: bool,
+    center_pp: bool,
+    threads: ThreadBudget,
+    recorder: &RecorderHandle,
+) -> f64 {
     if centers.is_empty() {
         return 0.0;
+    }
+    if recorder.enabled() {
+        let support: u64 = shards
+            .iter()
+            .flat_map(|s| s.nodes.iter())
+            .map(|n| n.support.len() as u64)
+            .sum();
+        recorder.add(Counter::KernelQueries, support);
+        recorder.add(Counter::CandidatesScanned, support * centers.len() as u64);
     }
     let block = CenterBlock::new(centers);
     let k = centers.len();

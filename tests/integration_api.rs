@@ -122,6 +122,7 @@ fn artifact_json_schema_is_pinned() {
         live_points: Some(7),
         syncs: None,
         points_per_sec: Some(1000.0),
+        metrics: None,
     };
     let golden = include_str!("golden/artifact.json");
     assert_eq!(

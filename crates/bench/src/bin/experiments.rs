@@ -909,6 +909,82 @@ fn b1_kernels(threads_override: Option<usize>) {
             std::hint::black_box(gonzalez_with(&m, &ids, CLUSTERS, 0, budget));
         });
 
+        // Lloyd iteration ≥ 2: the triangle-inequality path. The
+        // BoundedAssigner is seeded by a full pass, then timed against a
+        // slightly drifted center set (alternating between two offset
+        // copies so every timed call sees a real non-zero drift, like a
+        // settling Lloyd run). Baseline ("scalar" column) is the fresh
+        // blocked pass every pre-v2 iteration paid; bulk / bulk+thr are
+        // the bounded pass at serial / recorded budget. `skip_rate` is
+        // the fraction of queries certified by the bounds (measured via
+        // the dpc_obs counters on an untimed pass).
+        use dpc::metric::{Assignment, BoundedAssigner};
+        use dpc::obs::{Collector, Counter};
+        use std::sync::Arc;
+        let drifted: Vec<Vec<Vec<f64>>> = (0..2)
+            .map(|s| {
+                centroids
+                    .iter()
+                    .map(|c| c.iter().map(|&x| x + 1e-3 * (s as f64 + 1.0)).collect())
+                    .collect()
+            })
+            .collect();
+        let iter2_fresh = time_ms(|| {
+            let b = CenterBlock::from_rows(dim, &drifted[0]);
+            std::hint::black_box(b.assign_sq(ps, &ids, ThreadBudget::serial()));
+        });
+        let mut bounded = BoundedAssigner::new();
+        let mut bout = Assignment::default();
+        bounded.assign_sq(ps, &ids, &centroids, ThreadBudget::serial(), &mut bout);
+        let mut flip = 0usize;
+        let iter2_bounded = time_ms(|| {
+            flip ^= 1;
+            bounded.assign_sq(ps, &ids, &drifted[flip], ThreadBudget::serial(), &mut bout);
+        });
+        let mut bounded_thr = BoundedAssigner::new();
+        bounded_thr.assign_sq(ps, &ids, &centroids, budget, &mut bout);
+        let iter2_thr = time_ms(|| {
+            flip ^= 1;
+            bounded_thr.assign_sq(ps, &ids, &drifted[flip], budget, &mut bout);
+        });
+        let col = Arc::new(Collector::new());
+        let mut counted = BoundedAssigner::with_recorder(col.handle());
+        counted.assign_sq(ps, &ids, &centroids, ThreadBudget::serial(), &mut bout);
+        let before = col.snapshot().counters;
+        counted.assign_sq(ps, &ids, &drifted[0], ThreadBudget::serial(), &mut bout);
+        let after = col.snapshot().counters;
+        let skips = after[Counter::BoundSkips.index()] - before[Counter::BoundSkips.index()];
+        let queries =
+            after[Counter::KernelQueries.index()] - before[Counter::KernelQueries.index()];
+        let skip_rate = skips as f64 / queries.max(1) as f64;
+        println!(
+            "{:>5} {:>16} {:>12.2} {:>12.2} {:>14.2} {:>8.2}x {:>8.2}x  (skip_rate {:.3})",
+            dim,
+            "lloyd_iter2",
+            iter2_fresh,
+            iter2_bounded,
+            iter2_thr,
+            iter2_fresh / iter2_bounded,
+            iter2_fresh / iter2_thr,
+            skip_rate
+        );
+        rows.push(format!(
+            concat!(
+                "{{\"dim\":{},\"kernel\":\"lloyd_iter2\",\"n\":{},\"candidates\":{},",
+                "\"scalar_ms\":{:.3},\"bulk_ms\":{:.3},\"bulk_threads_ms\":{:.3},",
+                "\"speedup_bulk\":{:.3},\"speedup_threads\":{:.3},\"skip_rate\":{:.4}}}"
+            ),
+            dim,
+            N,
+            K,
+            iter2_fresh,
+            iter2_bounded,
+            iter2_thr,
+            iter2_fresh / iter2_bounded,
+            iter2_fresh / iter2_thr,
+            skip_rate
+        ));
+
         for (kernel, scalar, bulk, thr) in [
             ("lloyd_assign", scalar_lloyd, bulk_lloyd, thr_lloyd),
             ("gonzalez_assign", scalar_gonz, bulk_gonz, thr_gonz),

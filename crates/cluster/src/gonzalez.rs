@@ -112,7 +112,12 @@ pub fn gonzalez_recorded<M: Metric>(
     let n = ids.len();
     let m = prefix_len.min(n);
     let assigner = NearestAssigner::with_recorder(metric, threads, recorder);
-    let fused = threads.is_serial() && !metric.relax_min_prunes();
+    // Per-point norms amortized over every relax round: metrics with a
+    // reverse-triangle bound (Euclidean) skip non-improvable points in
+    // O(1) per point regardless of dimension, so the bulk relax wins
+    // even where partial-distance pruning cannot pay for itself.
+    let norms = metric.relax_norms(ids);
+    let fused = threads.is_serial() && !metric.relax_min_prunes() && norms.is_empty();
 
     let mut order = Vec::with_capacity(m);
     let mut radii = Vec::with_capacity(m);
@@ -146,10 +151,21 @@ pub fn gonzalez_recorded<M: Metric>(
                 }
             }
         } else {
-            // Bulk relax against the newly selected point (with
-            // partial-distance pruning for Euclidean metrics), then find
-            // the next farthest point in a sequential scan.
-            assigner.relax_min(ids[chosen], ids, &mut best_d, &mut best_pos, step);
+            // Bulk relax against the newly selected point (norm-bounded
+            // and/or partial-distance pruned for Euclidean metrics), then
+            // find the next farthest point in a sequential scan.
+            if norms.is_empty() {
+                assigner.relax_min(ids[chosen], ids, &mut best_d, &mut best_pos, step);
+            } else {
+                assigner.relax_min_bounded(
+                    ids[chosen],
+                    ids,
+                    &norms,
+                    &mut best_d,
+                    &mut best_pos,
+                    step,
+                );
+            }
             for (idx, &bd) in best_d.iter().enumerate() {
                 if bd > far_d {
                     far_d = bd;

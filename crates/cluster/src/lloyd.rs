@@ -7,7 +7,10 @@
 //! (centroids), not input points, so it operates directly on a
 //! [`PointSet`].
 
-use dpc_metric::{sq_dists_to_coords, CenterBlock, PointSet, ThreadBudget, WeightedSet};
+use dpc_metric::{
+    sq_dists_to_coords, Assignment, BoundedAssigner, PointSet, ThreadBudget, WeightedSet,
+};
+use dpc_obs::RecorderHandle;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -65,6 +68,21 @@ pub fn lloyd_kmeans(
     k: usize,
     params: LloydParams,
 ) -> LloydResult {
+    lloyd_kmeans_recorded(points, weighted, k, params, &RecorderHandle::noop())
+}
+
+/// [`lloyd_kmeans`] flushing kernel scan/skip counters to `recorder` —
+/// iterations after the first run through a [`BoundedAssigner`], whose
+/// bound-certified skips show up as `Counter::BoundSkips`. Results are
+/// identical to [`lloyd_kmeans`] (the bounds never change a winner or a
+/// distance bit).
+pub fn lloyd_kmeans_recorded(
+    points: &PointSet,
+    weighted: &WeightedSet,
+    k: usize,
+    params: LloydParams,
+    recorder: &RecorderHandle,
+) -> LloydResult {
     let restarts = params.restarts.max(1);
     let mut best: Option<LloydResult> = None;
     for r in 0..restarts {
@@ -76,6 +94,7 @@ pub fn lloyd_kmeans(
                 seed: params.seed.wrapping_add(r as u64),
                 ..params
             },
+            recorder,
         );
         if best.as_ref().is_none_or(|b| run.cost < b.cost) {
             best = Some(run);
@@ -90,6 +109,7 @@ fn lloyd_kmeans_once(
     weighted: &WeightedSet,
     k: usize,
     params: LloydParams,
+    recorder: &RecorderHandle,
 ) -> LloydResult {
     assert!(!weighted.is_empty(), "lloyd requires points");
     assert!(k > 0, "need at least one center");
@@ -161,12 +181,17 @@ fn lloyd_kmeans_once(
 
     let mut prev_cost = f64::INFINITY;
     let mut trimmed: Vec<usize> = Vec::new();
+    // Persistent bounded assigner: the first iteration pays a full
+    // blocked pass and seeds per-entry lower bounds; later iterations
+    // shrink the bounds by the centroid drift and skip the candidate
+    // scan for every entry whose (exact) assigned-center distance still
+    // certifies the winner. Outputs are bit-identical to a fresh blocked
+    // pass per iteration.
+    let mut bounded = BoundedAssigner::with_recorder(recorder.clone());
+    let mut assigned = Assignment::default();
     for _ in 0..params.max_iters {
-        // Assign: one blocked dot-form pass over all entries × centroids
-        // (winners and squared distances match the scalar scan exactly).
-        let block = CenterBlock::from_rows(dim, &centroids);
-        let assigned = block.assign_sq(points, ids, params.threads);
-        let (assign, dist2) = (assigned.pos, assigned.dist);
+        bounded.assign_sq(points, ids, &centroids, params.threads, &mut assigned);
+        let (assign, dist2) = (&assigned.pos, &assigned.dist);
         // Trim: drop the most expensive `trim` weight from updates & cost.
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by(|&a, &b| dist2[b].total_cmp(&dist2[a]));

@@ -20,7 +20,7 @@
 //! which is all the downstream lemmas require of the preclustering oracle.
 
 use crate::solution::Solution;
-use dpc_metric::{Assignment2, Metric, NearestAssigner, ThreadBudget, WeightedSet};
+use dpc_metric::{Assignment2C, Metric, NearestAssigner, ThreadBudget, WeightedSet};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -54,8 +54,10 @@ impl Default for LocalSearchParams {
 }
 
 /// State carried by the search: nearest / second-nearest center per entry
-/// (one bulk [`NearestAssigner::assign2`] pass).
-type NearestState = Assignment2;
+/// *with both positions* ([`NearestAssigner::assign2c`]), so an accepted
+/// swap updates the state incrementally instead of re-scanning every
+/// entry against every center.
+type NearestState = Assignment2C;
 
 /// Penalized cost of the current state.
 fn penalized_cost(state: &NearestState, weights: &[f64], penalty: f64) -> f64 {
@@ -154,9 +156,10 @@ pub fn penalty_local_search<M: Metric>(
     let assigner = NearestAssigner::with_threads(metric, params.threads);
 
     let mut centers = seed_centers(metric, points, k, penalty, &mut rng, params.threads);
-    let mut state: NearestState = assigner.assign2(ids, &centers);
+    let mut state: NearestState = assigner.assign2c(ids, &centers);
     let mut cost = penalized_cost(&state, weights, penalty);
     let mut dx_all = Vec::with_capacity(n);
+    let mut stale: Vec<usize> = Vec::new();
 
     for _ in 0..params.max_iters {
         let kk = centers.len();
@@ -199,7 +202,68 @@ pub fn penalty_local_search<M: Metric>(
         match best {
             Some((cand, ci, delta)) if delta < -params.min_rel_gain * cost.max(1e-30) => {
                 centers[ci] = ids[cand];
-                state = assigner.assign2(ids, &centers);
+                // Incremental state update. Only the center at slot `ci`
+                // changed, so for entries whose top-2 did not involve it
+                // the new top-2 is the lex merge of the old pair with the
+                // one new `(dx, ci)` candidate — a single bulk distance
+                // pass. Entries whose nearest or second-nearest *was* the
+                // replaced slot lose that anchor and rescan against the
+                // full center list, but they are the minority (one
+                // cluster's worth per swap).
+                assigner.dists_from(ids[cand], ids, &mut dx_all);
+                stale.clear();
+                for (e, &dx) in dx_all.iter().enumerate().take(n) {
+                    if state.c1[e] == ci || state.c2[e] == ci {
+                        stale.push(e);
+                        continue;
+                    }
+                    // Lex merge on (distance, position): reproduces the
+                    // strict-< first-wins scan under any visit order.
+                    if dx < state.d1[e] || (dx == state.d1[e] && ci < state.c1[e]) {
+                        state.d2[e] = state.d1[e];
+                        state.c2[e] = state.c1[e];
+                        state.d1[e] = dx;
+                        state.c1[e] = ci;
+                    } else if dx < state.d2[e] || (dx == state.d2[e] && ci < state.c2[e]) {
+                        state.d2[e] = dx;
+                        state.c2[e] = ci;
+                    }
+                }
+                if !stale.is_empty() {
+                    let stale_ids: Vec<usize> = stale.iter().map(|&e| ids[e]).collect();
+                    let sub = assigner.assign2c(&stale_ids, &centers);
+                    for (s, &e) in stale.iter().enumerate() {
+                        state.c1[e] = sub.c1[s];
+                        state.c2[e] = sub.c2[s];
+                        state.d1[e] = sub.d1[s];
+                        state.d2[e] = sub.d2[s];
+                    }
+                }
+                #[cfg(debug_assertions)]
+                {
+                    // The incremental state must agree with a fresh full
+                    // rescan: bit-identical for metrics whose bulk hooks
+                    // share one distance domain (Euclidean), within the
+                    // documented ~1-ulp squared-routing exception
+                    // otherwise — so distances are compared with a
+                    // tolerance and positions only where the gap is
+                    // decisive.
+                    let fresh = assigner.assign2c(ids, &centers);
+                    let close =
+                        |a: f64, b: f64| a == b || (a - b).abs() <= 1e-9 * a.abs().max(b.abs());
+                    for e in 0..n {
+                        debug_assert!(
+                            close(state.d1[e], fresh.d1[e]) && close(state.d2[e], fresh.d2[e]),
+                            "incremental top-2 distances diverged at entry {e}"
+                        );
+                        if !close(fresh.d1[e], fresh.d2[e]) {
+                            debug_assert_eq!(
+                                state.c1[e], fresh.c1[e],
+                                "incremental nearest position diverged at entry {e}"
+                            );
+                        }
+                    }
+                }
                 cost += delta;
                 // Guard against floating drift.
                 debug_assert!(

@@ -1,0 +1,87 @@
+//! Integration pins for the bounded (triangle-inequality) Lloyd path:
+//! the recorded run must actually exercise the bound-skip fast path, and
+//! recording must not change the result.
+
+use dpc_cluster::lloyd::{lloyd_kmeans, lloyd_kmeans_recorded, LloydParams};
+use dpc_metric::{PointSet, ThreadBudget, WeightedSet};
+use dpc_obs::{Collector, Counter};
+use std::sync::Arc;
+
+fn clustered_points() -> PointSet {
+    // Four well-separated clumps with mild in-clump spread: Lloyd needs
+    // a few iterations to settle, and once it does the centroid drift is
+    // tiny — exactly the regime the bounds are built for.
+    let mut rows = Vec::new();
+    for c in 0..4 {
+        let cx = (c % 2) as f64 * 100.0;
+        let cy = (c / 2) as f64 * 100.0;
+        for i in 0..60 {
+            let dx = ((i * 37 + c * 11) % 17) as f64 * 0.1;
+            let dy = ((i * 53 + c * 7) % 13) as f64 * 0.1;
+            rows.push(vec![cx + dx, cy + dy]);
+        }
+    }
+    PointSet::from_rows(&rows)
+}
+
+#[test]
+fn lloyd_bounds_skip_most_scans_after_first_iteration() {
+    let ps = clustered_points();
+    let w = WeightedSet::unit(ps.len());
+    let params = LloydParams {
+        restarts: 1,
+        max_iters: 20,
+        ..Default::default()
+    };
+    let col = Arc::new(Collector::new());
+    let recorded = lloyd_kmeans_recorded(&ps, &w, 4, params, &col.handle());
+    let trace = col.snapshot();
+    let skips = trace.counters[Counter::BoundSkips.index()];
+    let queries = trace.counters[Counter::KernelQueries.index()];
+    assert!(skips > 0, "bounded Lloyd must skip some candidate scans");
+    // Every iteration queries each of the 240 entries once; the first
+    // iteration can never skip. Skips exceeding one full iteration's
+    // worth of queries proves iterations after the first skip more than
+    // half their scans on this data (in fact nearly all of them).
+    assert!(
+        skips >= ps.len() as u64,
+        "skips {skips} vs {queries} queries over {} entries",
+        ps.len()
+    );
+
+    // Recording is observation only: the unrecorded run is identical.
+    let plain = lloyd_kmeans(&ps, &w, 4, params);
+    assert_eq!(recorded.cost, plain.cost);
+    assert_eq!(recorded.trimmed, plain.trimmed);
+    for c in 0..recorded.centroids.len() {
+        assert_eq!(recorded.centroids.point(c), plain.centroids.point(c));
+    }
+}
+
+#[test]
+fn lloyd_identical_across_thread_budgets() {
+    let ps = clustered_points();
+    let w = WeightedSet::unit(ps.len());
+    let serial = lloyd_kmeans(
+        &ps,
+        &w,
+        4,
+        LloydParams {
+            threads: ThreadBudget::serial(),
+            ..Default::default()
+        },
+    );
+    let threaded = lloyd_kmeans(
+        &ps,
+        &w,
+        4,
+        LloydParams {
+            threads: ThreadBudget::new(4),
+            ..Default::default()
+        },
+    );
+    assert_eq!(serial.cost, threaded.cost);
+    for c in 0..serial.centroids.len() {
+        assert_eq!(serial.centroids.point(c), threaded.centroids.point(c));
+    }
+}

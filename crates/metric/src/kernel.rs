@@ -120,6 +120,37 @@ pub fn par_chunks_mut<T: Send>(
     });
 }
 
+/// Like [`par_chunks_mut`] over three parallel output slices that must be
+/// chunked identically (bound state, positions, distances).
+pub(crate) fn par_chunks_mut3<A: Send, B: Send, C: Send>(
+    budget: ThreadBudget,
+    a: &mut [A],
+    b: &mut [B],
+    c: &mut [C],
+    work: impl Fn(usize, &mut [A], &mut [B], &mut [C]) + Sync,
+) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), c.len());
+    let n = a.len();
+    let threads = budget.get().min(n.div_ceil(MIN_CHUNK)).max(1);
+    if threads <= 1 {
+        work(0, a, b, c);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let iter = a
+            .chunks_mut(chunk)
+            .zip(b.chunks_mut(chunk))
+            .zip(c.chunks_mut(chunk))
+            .enumerate();
+        for (i, ((sa, sb), sc)) in iter {
+            let work = &work;
+            scope.spawn(move || work(i * chunk, sa, sb, sc));
+        }
+    });
+}
+
 /// Like [`par_chunks_mut`] over two parallel output slices (positions and
 /// distances) that must be chunked identically.
 pub(crate) fn par_chunks_mut2<A: Send, B: Send>(
@@ -182,6 +213,36 @@ pub struct Assignment2 {
     pub d1: Vec<f64>,
     /// Distance to the second-nearest center (`∞` with one candidate).
     pub d2: Vec<f64>,
+}
+
+/// [`Assignment2`] with *both* positions: nearest and second-nearest
+/// center per query under `(dist, position)` lexicographic order. Knowing
+/// the runner-up's position is what lets the local search update its
+/// state incrementally after a swap — an entry whose top-2 does not
+/// involve the swapped slot merges the one new distance instead of
+/// rescanning every center.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Assignment2C {
+    /// Nearest-center position per query.
+    pub c1: Vec<usize>,
+    /// Second-nearest-center position per query (0 with one candidate).
+    pub c2: Vec<usize>,
+    /// Distance to the nearest center.
+    pub d1: Vec<f64>,
+    /// Distance to the second-nearest center (`∞` with one candidate).
+    pub d2: Vec<f64>,
+}
+
+impl Assignment2C {
+    /// Number of assigned queries.
+    pub fn len(&self) -> usize {
+        self.c1.len()
+    }
+
+    /// True when nothing has been assigned.
+    pub fn is_empty(&self) -> bool {
+        self.c1.is_empty()
+    }
 }
 
 /// Batched nearest-center evaluation over a [`Metric`].
@@ -321,6 +382,60 @@ impl<'a, M: Metric + ?Sized> NearestAssigner<'a, M> {
         out
     }
 
+    /// Like [`Self::assign2`], but reporting the second-nearest *position*
+    /// too ([`Metric::assign2c_block`] per chunk) — the state the
+    /// incremental local-search update maintains.
+    pub fn assign2c(&self, ids: &[usize], centers: &[usize]) -> Assignment2C {
+        let mut out = Assignment2C {
+            c1: vec![0; ids.len()],
+            c2: vec![0; ids.len()],
+            d1: vec![f64::INFINITY; ids.len()],
+            d2: vec![f64::INFINITY; ids.len()],
+        };
+        if centers.is_empty() {
+            return out;
+        }
+        let metric = self.metric;
+        let n = ids.len();
+        self.tally(n, centers.len());
+        let threads = self.threads.get().min(n.div_ceil(MIN_CHUNK)).max(1);
+        if threads <= 1 {
+            metric.assign2c_block(
+                ids,
+                centers,
+                &mut out.c1,
+                &mut out.c2,
+                &mut out.d1,
+                &mut out.d2,
+            );
+            return out;
+        }
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            let iter = out
+                .c1
+                .chunks_mut(chunk)
+                .zip(out.c2.chunks_mut(chunk))
+                .zip(out.d1.chunks_mut(chunk))
+                .zip(out.d2.chunks_mut(chunk))
+                .enumerate();
+            for (c, (((sc1, sc2), sd1), sd2)) in iter {
+                let start = c * chunk;
+                scope.spawn(move || {
+                    metric.assign2c_block(
+                        &ids[start..start + sc1.len()],
+                        centers,
+                        sc1,
+                        sc2,
+                        sd1,
+                        sd2,
+                    );
+                });
+            }
+        });
+        out
+    }
+
     /// Distances from one anchor to every id, in id order — the bulk form
     /// of the farthest-first relax step and the swap-delta inner loop.
     pub fn dists_from(&self, from: usize, ids: &[usize], out: &mut Vec<f64>) {
@@ -359,6 +474,34 @@ impl<'a, M: Metric + ?Sized> NearestAssigner<'a, M> {
         let metric = self.metric;
         par_chunks_mut2(self.threads, best_d, best_pos, |start, bd, bp| {
             metric.relax_min_block(c, &ids[start..start + bd.len()], bd, bp, mark);
+        });
+        self.tally(ids.len(), 1);
+    }
+
+    /// [`Self::relax_min`] with precomputed per-query root norms
+    /// (`norms[e] = ‖x_{ids[e]}‖`, from [`Metric::relax_norms`]): metrics
+    /// that can exploit them skip queries in O(1) via the reverse
+    /// triangle inequality before any per-coordinate work. Empty `norms`
+    /// (a metric with no such bound) degrades to [`Self::relax_min`].
+    /// State is identical to the scalar relax loop either way.
+    pub fn relax_min_bounded(
+        &self,
+        c: usize,
+        ids: &[usize],
+        norms: &[f64],
+        best_d: &mut [f64],
+        best_pos: &mut [usize],
+        mark: usize,
+    ) {
+        debug_assert!(norms.is_empty() || norms.len() == ids.len());
+        let metric = self.metric;
+        par_chunks_mut2(self.threads, best_d, best_pos, |start, bd, bp| {
+            let nchunk = if norms.is_empty() {
+                &[][..]
+            } else {
+                &norms[start..start + bd.len()]
+            };
+            metric.relax_min_block_bounded(c, &ids[start..start + bd.len()], nchunk, bd, bp, mark);
         });
         self.tally(ids.len(), 1);
     }
@@ -441,6 +584,7 @@ pub(crate) fn sq_dists_scattered(points: &PointSet, x: &[f64], js: &[usize], out
 pub(crate) struct GatheredRows {
     pub rows: Vec<f64>,
     pub root_norms: Vec<f64>,
+    pub sq_norms: Vec<f64>,
 }
 
 /// Gathers the listed rows of `points` (the center-side precomputation of
@@ -449,13 +593,19 @@ pub(crate) fn gather_rows(points: &PointSet, ids: &[usize]) -> GatheredRows {
     let dim = points.dim();
     let mut rows = Vec::with_capacity(ids.len() * dim);
     let mut root_norms = Vec::with_capacity(ids.len());
+    let mut sq_norms = Vec::with_capacity(ids.len());
     for &i in ids {
         let r = points.point(i);
         rows.extend_from_slice(r);
         let n: f64 = r.iter().map(|&v| v * v).sum();
         root_norms.push(n.sqrt());
+        sq_norms.push(n);
     }
-    GatheredRows { rows, root_norms }
+    GatheredRows {
+        rows,
+        root_norms,
+        sq_norms,
+    }
 }
 
 /// Dot product with interleaved accumulators — used only for the
@@ -539,6 +689,12 @@ pub(crate) struct ScanStats {
     /// Candidates whose exact sum ran to completion; the rest were
     /// pruned by an O(1) bound or a partial-distance abort.
     pub completed: u64,
+    /// Approximate candidate scores produced by the tiled dot-form
+    /// micro-kernel (rows × centers pushed through the tiles).
+    pub tiled: u64,
+    /// Queries whose full candidate scan was skipped outright because
+    /// maintained triangle-inequality bounds already proved the winner.
+    pub bound_skips: u64,
 }
 
 impl ScanStats {
@@ -553,6 +709,12 @@ impl ScanStats {
                 Counter::CandidatesPruned,
                 self.scanned.saturating_sub(self.completed),
             );
+            if self.tiled > 0 {
+                rec.add(Counter::TileScores, self.tiled);
+            }
+            if self.bound_skips > 0 {
+                rec.add(Counter::BoundSkips, self.bound_skips);
+            }
         }
     }
 }
@@ -688,8 +850,11 @@ fn fill_screen(
 
 /// Top-2 variant of [`nearest_row_pruned`]: candidates are pruned against
 /// the *second*-nearest incumbent (they must beat it to affect either
-/// slot); the two-slot update uses `(sq, position)` ordering so the
-/// winner, runner-up value, and tie-breaks match the scalar loop exactly.
+/// slot); both slots update under `(sq, position)` lexicographic order,
+/// which is visit-order independent — the winner is the lex-least pair
+/// and the runner-up the lex-least among the rest — so winner, runner-up,
+/// both positions, and all tie-breaks match the scalar position-order
+/// loop exactly. Returns `(c1, c2, sq1, sq2)`.
 pub(crate) fn top2_row_pruned(
     x: &[f64],
     rows: &[f64],
@@ -697,27 +862,30 @@ pub(crate) fn top2_row_pruned(
     dim: usize,
     screen: &mut Vec<f64>,
     stats: &mut ScanStats,
-) -> (usize, f64, f64) {
+) -> (usize, usize, f64, f64) {
     let k = root_norms.len();
     debug_assert!(k > 0);
     stats.scanned += k as u64;
-    let two_slot = |c1: &mut usize, b1: &mut f64, b2: &mut f64, c: usize, sq: f64| {
-        if sq < *b1 || (sq == *b1 && c < *c1) {
-            *b2 = *b1;
-            *b1 = sq;
-            *c1 = c;
-        } else if sq < *b2 {
-            *b2 = sq;
-        }
-    };
-    let (mut c1, mut b1, mut b2) = (0usize, f64::INFINITY, f64::INFINITY);
+    let two_slot =
+        |c1: &mut usize, c2: &mut usize, b1: &mut f64, b2: &mut f64, c: usize, sq: f64| {
+            if sq < *b1 || (sq == *b1 && c < *c1) {
+                *b2 = *b1;
+                *c2 = *c1;
+                *b1 = sq;
+                *c1 = c;
+            } else if sq < *b2 || (sq == *b2 && c < *c2) {
+                *b2 = sq;
+                *c2 = c;
+            }
+        };
+    let (mut c1, mut c2, mut b1, mut b2) = (0usize, 0usize, f64::INFINITY, f64::INFINITY);
     if dim <= ABORT_STRIDE || k <= 2 {
         stats.completed += k as u64;
         for (c, row) in rows.chunks_exact(dim).enumerate() {
             let sq = sq_dist(x, row);
-            two_slot(&mut c1, &mut b1, &mut b2, c, sq);
+            two_slot(&mut c1, &mut c2, &mut b1, &mut b2, c, sq);
         }
-        return (c1, b1, b2);
+        return (c1, c2, b1, b2);
     }
     let (probe1, probe2) = fill_screen(x, rows, dim, k, screen);
     for probe in [probe1, probe2] {
@@ -730,7 +898,7 @@ pub(crate) fn top2_row_pruned(
         )
         .expect("infinite limit never aborts");
         stats.completed += 1;
-        two_slot(&mut c1, &mut b1, &mut b2, probe, sq);
+        two_slot(&mut c1, &mut c2, &mut b1, &mut b2, probe, sq);
     }
     screen[probe1] = f64::INFINITY;
     screen[probe2] = f64::INFINITY;
@@ -749,16 +917,288 @@ pub(crate) fn top2_row_pruned(
         let row = &rows[c * dim..(c + 1) * dim];
         if let Some(sq) = resume_sq_abort(x, row, prefix, SCREEN_DIMS, b2) {
             stats.completed += 1;
-            two_slot(&mut c1, &mut b1, &mut b2, c, sq);
+            two_slot(&mut c1, &mut c2, &mut b1, &mut b2, c, sq);
         }
     }
-    (c1, b1, b2)
+    (c1, c2, b1, b2)
+}
+
+// ---------------------------------------------------------------------------
+// Tiled GEMM-style assignment (kernel layer v2).
+// ---------------------------------------------------------------------------
+
+/// Query rows one GEMM-style tile carries through the candidate block.
+/// Four queries reuse every center row four times from registers, and the
+/// four dot accumulators form one contiguous lane vector the compiler can
+/// keep in SIMD registers.
+pub const TILE_Q: usize = 4;
+
+/// Relative coefficient of the tiled score's absolute error envelope
+/// `E = TILE_EPS · (‖x‖ + max‖c‖)²`. The reassociated dot form's true error
+/// is below `dim · ε · (‖x‖ + ‖c‖)²` with `ε = 2⁻⁵²` — under 3e-12 even
+/// at dim 10⁴ — so 1e-9 over-covers it by orders of magnitude. Only
+/// candidates whose score lands within the envelope of the incumbent pay
+/// for an exact pass, and every exact pass runs the canonical
+/// [`sq_dist`] order, so winners stay bit-identical to the scalar scan.
+const TILE_EPS: f64 = 1e-9;
+
+/// Smallest candidate count at which the tiled dot-form pass engages:
+/// below it the tile transpose and score buffer cannot amortize.
+const TILE_MIN_K: usize = 8;
+
+/// Largest dimension routed to the *exact* blocked kernel instead of the
+/// dot form. At very small dimensions the dot form's exactness repair
+/// (score buffer, incumbent resolve, margin pass) costs more than the
+/// distance arithmetic itself, while the direct `(x−c)²` tile is the
+/// scalar loop verbatim — just four lanes wide.
+const TILE_EXACT_MAX_DIM: usize = 4;
+
+/// Whether a register-blocked tile path beats the screened
+/// partial-distance scan for this shape. At and below [`ABORT_STRIDE`]
+/// coordinates the screen/abort machinery cannot pay for itself (the
+/// per-query scan is a plain exact loop), while the tile turns the same
+/// work into `TILE_Q` register-blocked rows per center — that band is
+/// where GEMM-style blocking wins. Above it, the screened scan touches
+/// only a handful of coordinates per losing candidate, which no amount
+/// of vectorized full-row work can undercut.
+#[inline]
+pub(crate) fn tiled_engages(dim: usize, k: usize) -> bool {
+    dim > 2 && dim <= ABORT_STRIDE && k >= TILE_MIN_K
+}
+
+/// Exact register-blocked assignment for the smallest dimensions:
+/// [`TILE_Q`] query lanes march through every candidate row accumulating
+/// `(x−c)²` in the canonical left-to-right coordinate order, so each
+/// lane's arithmetic is *identical* to the scalar [`sq_dist`] loop and
+/// outputs are bit-exact by construction — no score buffer, no error
+/// envelope, no resolve pass. The four independent accumulator chains
+/// supply the instruction-level parallelism the one-query-at-a-time
+/// scalar loop lacks, and each center row is loaded once per tile.
+fn assign_sq_tiled_exact(
+    points: &PointSet,
+    ids: &[usize],
+    rows: &[f64],
+    dim: usize,
+    pos: &mut [usize],
+    dist: &mut [f64],
+    stats: &mut ScanStats,
+) {
+    let k = rows.len() / dim;
+    let n = ids.len();
+    debug_assert_eq!(pos.len(), n);
+    debug_assert_eq!(dist.len(), n);
+    let mut xt = vec![0.0f64; dim * TILE_Q];
+    let mut q = 0usize;
+    while q < n {
+        let tq = TILE_Q.min(n - q);
+        for t in 0..TILE_Q {
+            // Short tails repeat the tile's first query: the lanes stay
+            // full and the duplicate outputs are simply not read back.
+            let x = points.point(ids[q + t.min(tq - 1)]);
+            for (d, &xv) in x.iter().enumerate() {
+                xt[d * TILE_Q + t] = xv;
+            }
+        }
+        let mut best = [f64::INFINITY; TILE_Q];
+        let mut bpos = [0usize; TILE_Q];
+        for (c, row) in rows.chunks_exact(dim).enumerate() {
+            let mut acc = [0.0f64; TILE_Q];
+            for (xv, &rv) in xt.chunks_exact(TILE_Q).zip(row) {
+                let d0 = xv[0] - rv;
+                let d1 = xv[1] - rv;
+                let d2 = xv[2] - rv;
+                let d3 = xv[3] - rv;
+                acc[0] += d0 * d0;
+                acc[1] += d1 * d1;
+                acc[2] += d2 * d2;
+                acc[3] += d3 * d3;
+            }
+            for (t, &a) in acc.iter().enumerate() {
+                // Strict `<` keeps the earliest candidate on ties: the
+                // scalar scan's `(sq, position)` lexicographic rule.
+                if a < best[t] {
+                    best[t] = a;
+                    bpos[t] = c;
+                }
+            }
+        }
+        stats.scanned += (tq * k) as u64;
+        stats.completed += (tq * k) as u64;
+        stats.tiled += (tq * k) as u64;
+        pos[q..q + tq].copy_from_slice(&bpos[..tq]);
+        dist[q..q + tq].copy_from_slice(&best[..tq]);
+        q += tq;
+    }
+}
+
+/// Scores one transposed query tile against every candidate row in the
+/// dot form `‖x‖² + ‖c‖² − 2·x·c`. `xt` is the tile laid out lane-major
+/// (`dim × TILE_Q`): the inner loop broadcasts one center coordinate
+/// against a contiguous [`TILE_Q`]-lane query vector — the GEMM
+/// micro-kernel shape LLVM autovectorizes — and each center row is
+/// loaded once for all four queries. Scores land candidate-major at
+/// `scores[c * TILE_Q + t]` so each candidate stores one contiguous
+/// [`TILE_Q`]-wide vector; they are *approximate* (reassociated) and
+/// only ever feed the margin test in [`nearest_from_scores`].
+#[allow(clippy::too_many_arguments)]
+fn tile_score_block(
+    xt: &[f64],
+    xnorm_sq: &[f64; TILE_Q],
+    rows: &[f64],
+    sq_norms: &[f64],
+    dim: usize,
+    scores: &mut [f64],
+    amin: &mut [f64; TILE_Q],
+    apos: &mut [usize; TILE_Q],
+) {
+    let k = sq_norms.len();
+    debug_assert_eq!(xt.len(), dim * TILE_Q);
+    debug_assert_eq!(scores.len(), TILE_Q * k);
+    *amin = [f64::INFINITY; TILE_Q];
+    *apos = [0usize; TILE_Q];
+    for (c, ((row, &cn), out)) in rows
+        .chunks_exact(dim)
+        .zip(sq_norms)
+        .zip(scores.chunks_exact_mut(TILE_Q))
+        .enumerate()
+    {
+        let mut acc = [0.0f64; TILE_Q];
+        for (xv, &rv) in xt.chunks_exact(TILE_Q).zip(row) {
+            acc[0] += xv[0] * rv;
+            acc[1] += xv[1] * rv;
+            acc[2] += xv[2] * rv;
+            acc[3] += xv[3] * rv;
+        }
+        for (t, (o, (&xn, &a))) in out.iter_mut().zip(xnorm_sq.iter().zip(&acc)).enumerate() {
+            let s = xn + cn - 2.0 * a;
+            *o = s;
+            if s < amin[t] {
+                amin[t] = s;
+                apos[t] = c;
+            }
+        }
+    }
+}
+
+/// Resolves one query's winner from its lane of a candidate-major score
+/// buffer. The minimal approximate score (`ap`, tracked during scoring)
+/// is resolved exactly first — a tight incumbent — then every candidate
+/// must beat the incumbent by more than `env`, the query's hoisted
+/// absolute error envelope, to earn an exact pass. Winners compare as
+/// `(sq, position)` lexicographic over exact canonical sums, so the
+/// result is bit-identical to the scalar scan.
+#[allow(clippy::too_many_arguments)]
+fn nearest_from_scores(
+    x: &[f64],
+    rows: &[f64],
+    dim: usize,
+    env: f64,
+    scores: &[f64],
+    lane: usize,
+    ap: usize,
+    stats: &mut ScanStats,
+) -> (usize, f64) {
+    let k = scores.len() / TILE_Q;
+    debug_assert!(k > 0);
+    stats.scanned += k as u64;
+    let mut best_pos = ap;
+    let mut best_sq = resume_sq_abort(x, &rows[ap * dim..(ap + 1) * dim], 0.0, 0, f64::INFINITY)
+        .expect("infinite limit never aborts");
+    stats.completed += 1;
+    for (c, s) in scores.chunks_exact(TILE_Q).enumerate() {
+        if c == ap || s[lane] - env > best_sq {
+            continue;
+        }
+        let row = &rows[c * dim..(c + 1) * dim];
+        if let Some(sq) = resume_sq_abort(x, row, 0.0, 0, best_sq) {
+            stats.completed += 1;
+            if sq < best_sq || (sq == best_sq && c < best_pos) {
+                best_sq = sq;
+                best_pos = c;
+            }
+        }
+    }
+    (best_pos, best_sq)
+}
+
+/// Tiled nearest-center assignment over gathered candidate rows. At and
+/// below [`TILE_EXACT_MAX_DIM`] coordinates queries take the direct
+/// exact tile ([`assign_sq_tiled_exact`]); above it they stream through
+/// the dot-form [`tile_score_block`] in tiles of [`TILE_Q`] and winners
+/// resolve exactly through [`nearest_from_scores`]. Either way outputs
+/// (positions, exact squared distances, tie-breaks) are bit-identical to
+/// the scalar scan; only the cost of losing candidates changes.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn assign_sq_tiled(
+    points: &PointSet,
+    ids: &[usize],
+    rows: &[f64],
+    root_norms: &[f64],
+    sq_norms: &[f64],
+    dim: usize,
+    pos: &mut [usize],
+    dist: &mut [f64],
+    stats: &mut ScanStats,
+) {
+    if dim <= TILE_EXACT_MAX_DIM {
+        return assign_sq_tiled_exact(points, ids, rows, dim, pos, dist, stats);
+    }
+    let k = sq_norms.len();
+    let n = ids.len();
+    debug_assert_eq!(pos.len(), n);
+    debug_assert_eq!(dist.len(), n);
+    // One conservative norm bound covers every candidate, so the error
+    // envelope hoists to a single multiply per query instead of two per
+    // candidate. Widening `‖c‖` to `max ‖c‖` only enlarges the envelope,
+    // which can never flip an exact-vs-skip decision the wrong way.
+    let rmax = root_norms.iter().fold(0.0f64, |a, &b| a.max(b));
+    let mut xt = vec![0.0f64; dim * TILE_Q];
+    let mut scores = vec![0.0f64; TILE_Q * k];
+    let mut q = 0usize;
+    while q < n {
+        let tq = TILE_Q.min(n - q);
+        let mut xnorm = [0.0f64; TILE_Q];
+        let mut env = [0.0f64; TILE_Q];
+        let mut amin = [0.0f64; TILE_Q];
+        let mut apos = [0usize; TILE_Q];
+        for t in 0..TILE_Q {
+            // Short tails repeat the tile's first query: the lanes stay
+            // full and the duplicate outputs are simply not read back.
+            let x = points.point(ids[q + t.min(tq - 1)]);
+            for (d, &xv) in x.iter().enumerate() {
+                xt[d * TILE_Q + t] = xv;
+            }
+            let nsq = dot_approx(x, x);
+            xnorm[t] = nsq;
+            let spread = nsq.sqrt() + rmax;
+            env[t] = TILE_EPS * spread * spread;
+        }
+        tile_score_block(
+            &xt,
+            &xnorm,
+            rows,
+            sq_norms,
+            dim,
+            &mut scores,
+            &mut amin,
+            &mut apos,
+        );
+        stats.tiled += (tq * k) as u64;
+        for t in 0..tq {
+            let x = points.point(ids[q + t]);
+            let (bp, bsq) = nearest_from_scores(x, rows, dim, env[t], &scores, t, apos[t], stats);
+            pos[q + t] = bp;
+            dist[q + t] = bsq;
+        }
+        q += tq;
+    }
 }
 
 pub struct CenterBlock {
     dim: usize,
     rows: Vec<f64>,
     root_norms: Vec<f64>,
+    sq_norms: Vec<f64>,
     recorder: RecorderHandle,
 }
 
@@ -794,14 +1234,16 @@ impl CenterBlock {
             rows.len().is_multiple_of(dim),
             "flat center buffer length mismatch"
         );
-        let root_norms: Vec<f64> = rows
+        let sq_norms: Vec<f64> = rows
             .chunks_exact(dim)
-            .map(|r| r.iter().map(|&v| v * v).sum::<f64>().sqrt())
+            .map(|r| r.iter().map(|&v| v * v).sum::<f64>())
             .collect();
+        let root_norms: Vec<f64> = sq_norms.iter().map(|&n| n.sqrt()).collect();
         Self {
             dim,
             rows,
             root_norms,
+            sq_norms,
             recorder: RecorderHandle::noop(),
         }
     }
@@ -864,32 +1306,81 @@ impl CenterBlock {
     /// Assigns the given rows of `points` to their nearest centers with
     /// exact *squared* distances (the means/Lloyd form — no square roots
     /// anywhere on the path).
+    ///
+    /// Dispatches per shape: low-dimensional blocks (where the screened
+    /// partial-distance scan cannot pay for itself) run the register-
+    /// blocked tile pass (`assign_sq_tiled`); everything else runs the
+    /// screened scan. Either way the outputs are bit-identical to the
+    /// scalar loop.
     pub fn assign_sq(&self, points: &PointSet, ids: &[usize], threads: ThreadBudget) -> Assignment {
         assert!(!self.is_empty(), "assign over an empty center block");
         assert_eq!(points.dim(), self.dim, "dimension mismatch");
         let mut out = Assignment::new();
         out.pos.resize(ids.len(), 0);
         out.dist.resize(ids.len(), 0.0);
+        let tiled = tiled_engages(self.dim, self.len());
         par_chunks_mut2(threads, &mut out.pos, &mut out.dist, |start, pos, dist| {
-            let mut screen = Vec::with_capacity(self.len());
             let mut stats = ScanStats::default();
-            for (o, (p, d)) in pos.iter_mut().zip(dist.iter_mut()).enumerate() {
-                let x = points.point(ids[start + o]);
-                let (bp, bd) = nearest_row_pruned(
-                    x,
+            if tiled {
+                assign_sq_tiled(
+                    points,
+                    &ids[start..start + pos.len()],
                     &self.rows,
                     &self.root_norms,
+                    &self.sq_norms,
                     self.dim,
-                    &mut screen,
+                    pos,
+                    dist,
                     &mut stats,
                 );
-                *p = bp;
-                *d = bd;
+            } else {
+                let mut screen = Vec::with_capacity(self.len());
+                for (o, (p, d)) in pos.iter_mut().zip(dist.iter_mut()).enumerate() {
+                    let x = points.point(ids[start + o]);
+                    let (bp, bd) = nearest_row_pruned(
+                        x,
+                        &self.rows,
+                        &self.root_norms,
+                        self.dim,
+                        &mut screen,
+                        &mut stats,
+                    );
+                    *p = bp;
+                    *d = bd;
+                }
             }
             // One flush per chunk: the collector's counters are atomics,
             // so concurrent chunk flushes stay exact.
             stats.flush(&self.recorder, pos.len() as u64);
         });
+        out
+    }
+
+    /// [`Self::assign_sq`] scanning the queries in the given order (a
+    /// permutation of `0..ids.len()`), with results scattered back to
+    /// the original slots. Per-query results are independent, so the
+    /// output is identical to [`Self::assign_sq`] for *any* permutation;
+    /// a locality-preserving order
+    /// ([`zorder_permutation`](crate::layout::zorder_permutation)) keeps
+    /// spatial neighbors adjacent in the scan, which makes the pruning
+    /// incumbents and branch behavior coherent when `ids` is scattered.
+    pub fn assign_sq_ordered(
+        &self,
+        points: &PointSet,
+        ids: &[usize],
+        order: &[usize],
+        threads: ThreadBudget,
+    ) -> Assignment {
+        assert_eq!(order.len(), ids.len(), "order must permute the queries");
+        let permuted: Vec<usize> = order.iter().map(|&s| ids[s]).collect();
+        let inner = self.assign_sq(points, &permuted, threads);
+        let mut out = Assignment::new();
+        out.pos.resize(ids.len(), 0);
+        out.dist.resize(ids.len(), 0.0);
+        for (s, &e) in order.iter().enumerate() {
+            out.pos[e] = inner.pos[s];
+            out.dist[e] = inner.dist[s];
+        }
         out
     }
 
@@ -900,6 +1391,281 @@ impl CenterBlock {
         out.clear();
         out.resize(self.len(), 0.0);
         sq_dists_row(coords, &self.rows, self.dim, out);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Triangle-inequality bounds for iterative callers (Hamerly-style).
+// ---------------------------------------------------------------------------
+
+/// Inflation applied to computed center drifts and the skip test's upper
+/// side. Bound maintenance accrues at most a few ulps of rounding per
+/// iteration; a 1e-9 relative margin over-covers fifty iterations of it
+/// by four orders of magnitude, so a skip can never hide a true winner —
+/// and exact ties can never skip (the test demands strict margin-wide
+/// domination), so tie-breaks are preserved.
+const BOUND_INFLATE: f64 = 1.0 + 1e-9;
+
+/// Deflation applied to the skip test's lower side (see
+/// [`BOUND_INFLATE`]).
+const BOUND_DEFLATE: f64 = 1.0 - 1e-9;
+
+/// Per-query bound state of a [`BoundedAssigner`], kept in scan order.
+#[derive(Clone, Copy, Debug)]
+struct BoundState {
+    /// Lower bound on the distance to every center *other than* the
+    /// assigned one (root domain, conservatively deflated).
+    lower: f64,
+    /// Assigned center position (into the caller's center list).
+    assigned: usize,
+}
+
+/// Nearest-center assignment for *iterative* callers (Lloyd): per-query
+/// triangle-inequality bounds let iterations after the first skip the
+/// full candidate scan for most queries.
+///
+/// The assigner keeps, per query, the assigned center and a lower bound
+/// `l` on the distance to every other center. When the centers move, `l`
+/// shrinks by the largest center drift; the exact distance `u` to the
+/// (moved) assigned center is recomputed — the output needs it anyway —
+/// and whenever `u < l` holds with margin to spare, no other center can
+/// possibly have won: the query pays for **one** distance instead of
+/// `k`. Queries whose bound cannot certify the winner fall back to the
+/// screened top-2 scan, which also refreshes their bounds.
+///
+/// Outputs are bit-identical to a fresh [`CenterBlock::assign_sq`] per
+/// iteration at any thread budget: skips fire only on strict
+/// margin-separated domination (never on ties), and every emitted
+/// distance is the canonical [`sq_dist`] sum. Queries are scanned in
+/// Morton/Z-order over a privately gathered copy of the coordinates
+/// (contiguous and locality-sorted — the cache-aware layout pass), with
+/// results scattered back to original slots.
+///
+/// The query set (`points`, `ids`) must stay fixed across calls; the
+/// state re-initializes when `ids` or the center count changes.
+pub struct BoundedAssigner {
+    dim: usize,
+    n: usize,
+    /// Ids of the previous call (detects query-set changes).
+    ids: Vec<usize>,
+    /// Scan position → entry index (Z-order permutation of the queries).
+    order: Vec<usize>,
+    /// Query rows gathered in scan order.
+    qrows: Vec<f64>,
+    /// Per-query bounds, in scan order.
+    state: Vec<BoundState>,
+    /// Centers of the previous call (drift reference).
+    prev: Option<CenterBlock>,
+    /// Scan-order results, scattered to output slots after each pass.
+    perm_pos: Vec<usize>,
+    perm_dist: Vec<f64>,
+    recorder: RecorderHandle,
+}
+
+impl BoundedAssigner {
+    /// A fresh assigner with no recorder.
+    pub fn new() -> Self {
+        Self::with_recorder(RecorderHandle::noop())
+    }
+
+    /// A fresh assigner flushing exact scan/skip counters to `recorder`
+    /// (one flush per query chunk per call).
+    pub fn with_recorder(recorder: RecorderHandle) -> Self {
+        Self {
+            dim: 0,
+            n: 0,
+            ids: Vec::new(),
+            order: Vec::new(),
+            qrows: Vec::new(),
+            state: Vec::new(),
+            prev: None,
+            perm_pos: Vec::new(),
+            perm_dist: Vec::new(),
+            recorder,
+        }
+    }
+
+    /// Assigns every id to its nearest center with exact squared
+    /// distances, reusing bounds from the previous call when the center
+    /// list has merely drifted. `centers` is the current center
+    /// coordinates (row per center; positions must stay stable across
+    /// calls for the bounds to apply — Lloyd's centroid list is).
+    pub fn assign_sq(
+        &mut self,
+        points: &PointSet,
+        ids: &[usize],
+        centers: &[Vec<f64>],
+        threads: ThreadBudget,
+        out: &mut Assignment,
+    ) {
+        assert!(!centers.is_empty(), "assign requires candidates");
+        let dim = points.dim();
+        let k = centers.len();
+        let n = ids.len();
+        out.pos.clear();
+        out.pos.resize(n, 0);
+        out.dist.clear();
+        out.dist.resize(n, 0.0);
+        if n == 0 {
+            return;
+        }
+        let block = CenterBlock::from_rows(dim, centers);
+        let fresh = match &self.prev {
+            Some(prev) => prev.len() != k || self.dim != dim || self.n != n || self.ids != ids,
+            None => true,
+        };
+        if fresh {
+            self.init(points, ids, dim);
+            self.full_pass(&block, threads);
+        } else {
+            self.bounded_pass(&block, threads);
+        }
+        for (s, &e) in self.order.iter().enumerate() {
+            out.pos[e] = self.perm_pos[s];
+            out.dist[e] = self.perm_dist[s];
+        }
+        self.prev = Some(block);
+    }
+
+    /// Gathers the query rows in Z-order and resets the bound state.
+    fn init(&mut self, points: &PointSet, ids: &[usize], dim: usize) {
+        let n = ids.len();
+        self.dim = dim;
+        self.n = n;
+        self.ids = ids.to_vec();
+        self.order = crate::layout::zorder_permutation(points, ids);
+        self.qrows.clear();
+        self.qrows.reserve(n * dim);
+        for &e in &self.order {
+            self.qrows.extend_from_slice(points.point(ids[e]));
+        }
+        self.state.clear();
+        self.state.resize(
+            n,
+            BoundState {
+                lower: 0.0,
+                assigned: 0,
+            },
+        );
+        self.perm_pos.clear();
+        self.perm_pos.resize(n, 0);
+        self.perm_dist.clear();
+        self.perm_dist.resize(n, 0.0);
+    }
+
+    /// Full screened top-2 scan for every query: seeds the bounds.
+    fn full_pass(&mut self, block: &CenterBlock, threads: ThreadBudget) {
+        let dim = self.dim;
+        let qrows = &self.qrows;
+        let rec = &self.recorder;
+        par_chunks_mut3(
+            threads,
+            &mut self.state,
+            &mut self.perm_pos,
+            &mut self.perm_dist,
+            |start, st, pos, dist| {
+                let mut screen = Vec::with_capacity(block.len());
+                let mut stats = ScanStats::default();
+                for (o, ((s, p), d)) in st
+                    .iter_mut()
+                    .zip(pos.iter_mut())
+                    .zip(dist.iter_mut())
+                    .enumerate()
+                {
+                    let x = &qrows[(start + o) * dim..(start + o + 1) * dim];
+                    let (c1, _c2, b1, b2) = top2_row_pruned(
+                        x,
+                        &block.rows,
+                        &block.root_norms,
+                        dim,
+                        &mut screen,
+                        &mut stats,
+                    );
+                    s.assigned = c1;
+                    s.lower = b2.sqrt();
+                    *p = c1;
+                    *d = b1;
+                }
+                stats.flush(rec, pos.len() as u64);
+            },
+        );
+    }
+
+    /// Drift-updated pass: certify-or-rescan per query.
+    fn bounded_pass(&mut self, block: &CenterBlock, threads: ThreadBudget) {
+        let dim = self.dim;
+        let prev = self
+            .prev
+            .as_ref()
+            .expect("bounded pass follows a full pass");
+        // Per-center drift ‖c_new − c_old‖, conservatively inflated; the
+        // lower bound on "every other center" shrinks by the largest.
+        let drift: Vec<f64> = prev
+            .rows
+            .chunks_exact(dim)
+            .zip(block.rows.chunks_exact(dim))
+            .map(|(a, b)| sq_dist(a, b).sqrt() * BOUND_INFLATE)
+            .collect();
+        let max_drift = drift.iter().cloned().fold(0.0f64, f64::max);
+        let qrows = &self.qrows;
+        let rec = &self.recorder;
+        par_chunks_mut3(
+            threads,
+            &mut self.state,
+            &mut self.perm_pos,
+            &mut self.perm_dist,
+            |start, st, pos, dist| {
+                let mut screen = Vec::with_capacity(block.len());
+                let mut stats = ScanStats::default();
+                for (o, ((s, p), d)) in st
+                    .iter_mut()
+                    .zip(pos.iter_mut())
+                    .zip(dist.iter_mut())
+                    .enumerate()
+                {
+                    let x = &qrows[(start + o) * dim..(start + o + 1) * dim];
+                    let a = s.assigned;
+                    let l = (s.lower - max_drift).max(0.0);
+                    // The output contract needs the exact distance to the
+                    // winner regardless, so tighten the upper bound with
+                    // it and test once: one canonical sum instead of k.
+                    let row = &block.rows[a * dim..(a + 1) * dim];
+                    let sq_a = resume_sq_abort(x, row, 0.0, 0, f64::INFINITY)
+                        .expect("infinite limit never aborts");
+                    let u = sq_a.sqrt();
+                    if u * BOUND_INFLATE < l * BOUND_DEFLATE {
+                        // Margin-certified: no other center can have won,
+                        // and the margin rules out exact ties entirely.
+                        s.lower = l;
+                        stats.scanned += 1;
+                        stats.completed += 1;
+                        stats.bound_skips += 1;
+                        *p = a;
+                        *d = sq_a;
+                    } else {
+                        let (c1, _c2, b1, b2) = top2_row_pruned(
+                            x,
+                            &block.rows,
+                            &block.root_norms,
+                            dim,
+                            &mut screen,
+                            &mut stats,
+                        );
+                        s.assigned = c1;
+                        s.lower = b2.sqrt();
+                        *p = c1;
+                        *d = b1;
+                    }
+                }
+                stats.flush(rec, pos.len() as u64);
+            },
+        );
+    }
+}
+
+impl Default for BoundedAssigner {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -977,11 +1743,12 @@ mod tests {
         assert_eq!(sq, 1.0);
         assert_eq!(stats.scanned, 4);
 
-        let (c1, d1, d2) =
+        let (c1, c2, d1, d2) =
             top2_row_pruned(&[0.0, 0.0], &rows, &root_norms, 2, &mut screen, &mut stats);
         assert_eq!(c1, 1);
+        assert_eq!(c2, 2); // the duplicate row is the runner-up
         assert_eq!(d1, 1.0);
-        assert_eq!(d2, 1.0); // the duplicate row is the runner-up
+        assert_eq!(d2, 1.0);
     }
 
     #[test]

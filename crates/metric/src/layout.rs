@@ -1,0 +1,167 @@
+//! Cache-aware scan-order layout: Morton/Z-order permutations.
+//!
+//! Blocked kernels walk their query list in whatever order the caller
+//! supplies; when neighbouring queries are far apart in space, the
+//! screened scans take wildly different branch paths and the gathered
+//! row buffer has no reuse structure. A Morton (Z-order) sort groups
+//! spatially close points into adjacent scan slots, so consecutive
+//! queries tend to prune against the same centers with similar bounds.
+//!
+//! The permutation reorders **only the scan order of the queries** —
+//! each query's result depends on nothing but its own coordinates and
+//! the (untouched) center list, so scattering results back to original
+//! slots reproduces the unpermuted output bit-for-bit. Centers are never
+//! reordered: their positions feed the `(sq, pos)` lex tie-break.
+
+use crate::points::PointSet;
+
+/// Coordinates interleaved into one Morton key. Past this many
+/// dimensions extra axes add nothing to locality (keys would get under
+/// 8 bits per axis), so only the leading axes are encoded.
+const MORTON_MAX_DIMS: usize = 8;
+
+/// Bits of the quantized value actually interleaved per axis.
+fn bits_per_axis(d_used: usize) -> u32 {
+    ((64 / d_used) as u32).min(16)
+}
+
+/// Z-order permutation of `ids`: `perm[s]` is the entry index (into
+/// `ids`) scanned at slot `s`. Deterministic — keys tie-break on entry
+/// index — and always a valid permutation of `0..ids.len()`, including
+/// degenerate inputs (constant axes, single point, dim 0).
+pub fn zorder_permutation(points: &PointSet, ids: &[usize]) -> Vec<usize> {
+    let n = ids.len();
+    let dim = points.dim();
+    let mut perm: Vec<usize> = (0..n).collect();
+    if n < 2 || dim == 0 {
+        return perm;
+    }
+    let d_used = dim.min(MORTON_MAX_DIMS);
+    let bits = bits_per_axis(d_used);
+    let cells = (1u64 << bits) - 1;
+
+    // Bounding box over the encoded axes.
+    let mut lo = vec![f64::INFINITY; d_used];
+    let mut hi = vec![f64::NEG_INFINITY; d_used];
+    for &id in ids {
+        let p = points.point(id);
+        for (a, &v) in p.iter().take(d_used).enumerate() {
+            if v < lo[a] {
+                lo[a] = v;
+            }
+            if v > hi[a] {
+                hi[a] = v;
+            }
+        }
+    }
+    let scale: Vec<f64> = lo
+        .iter()
+        .zip(&hi)
+        .map(|(&l, &h)| {
+            let span = h - l;
+            if span > 0.0 && span.is_finite() {
+                cells as f64 / span
+            } else {
+                0.0
+            }
+        })
+        .collect();
+
+    let keys: Vec<u64> = ids
+        .iter()
+        .map(|&id| {
+            let p = points.point(id);
+            let mut key = 0u64;
+            for a in 0..d_used {
+                let q = ((p[a] - lo[a]) * scale[a]).clamp(0.0, cells as f64) as u64;
+                // Interleave: bit b of axis a lands at b*d_used + a.
+                for b in 0..bits {
+                    key |= ((q >> b) & 1) << (b as usize * d_used + a);
+                }
+            }
+            key
+        })
+        .collect();
+
+    perm.sort_by_key(|&e| (keys[e], e));
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(rows: &[&[f64]]) -> PointSet {
+        let dim = rows[0].len();
+        let mut flat = Vec::new();
+        for r in rows {
+            flat.extend_from_slice(r);
+        }
+        PointSet::from_flat(dim, flat)
+    }
+
+    fn is_permutation(perm: &[usize], n: usize) -> bool {
+        let mut seen = vec![false; n];
+        perm.iter().all(|&e| {
+            if e >= n || seen[e] {
+                return false;
+            }
+            seen[e] = true;
+            true
+        }) && perm.len() == n
+    }
+
+    #[test]
+    fn permutation_is_valid_and_deterministic() {
+        let ps = set(&[
+            &[0.0, 0.0],
+            &[10.0, 10.0],
+            &[0.1, 0.2],
+            &[9.9, 9.8],
+            &[5.0, 5.0],
+        ]);
+        let ids = vec![0, 1, 2, 3, 4];
+        let p1 = zorder_permutation(&ps, &ids);
+        let p2 = zorder_permutation(&ps, &ids);
+        assert!(is_permutation(&p1, ids.len()));
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn groups_spatial_neighbors() {
+        let ps = set(&[&[0.0, 0.0], &[10.0, 10.0], &[0.1, 0.2], &[9.9, 9.8]]);
+        let perm = zorder_permutation(&ps, &[0, 1, 2, 3]);
+        // The two near-origin points occupy adjacent scan slots, as do
+        // the two far ones.
+        let slot = |e: usize| perm.iter().position(|&x| x == e).unwrap();
+        assert_eq!(slot(0).abs_diff(slot(2)), 1);
+        assert_eq!(slot(1).abs_diff(slot(3)), 1);
+    }
+
+    #[test]
+    fn degenerate_inputs_still_permute() {
+        let ps = set(&[&[3.0], &[3.0], &[3.0]]);
+        let perm = zorder_permutation(&ps, &[0, 1, 2]);
+        assert!(is_permutation(&perm, 3));
+        // Constant axis: falls back to input order via the index tie-break.
+        assert_eq!(perm, vec![0, 1, 2]);
+
+        let one = zorder_permutation(&ps, &[2]);
+        assert_eq!(one, vec![0]);
+    }
+
+    #[test]
+    fn high_dim_uses_leading_axes() {
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for i in 0..6 {
+            let mut r = vec![i as f64; 32];
+            r[0] = (5 - i) as f64;
+            rows.push(r);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let ps = set(&refs);
+        let ids: Vec<usize> = (0..6).collect();
+        let perm = zorder_permutation(&ps, &ids);
+        assert!(is_permutation(&perm, 6));
+    }
+}

@@ -14,18 +14,40 @@
 //! * [`encode`] — the compact wire encoding used to charge *actual bytes* to
 //!   every message in the coordinator model (the paper's `B`);
 //! * [`kernel`] — the bulk distance layer: blocked nearest-center kernels
-//!   ([`NearestAssigner`], [`CenterBlock`]) and the [`ThreadBudget`] that
-//!   caps intra-kernel parallelism so it composes with sweep- and
-//!   site-level threading instead of oversubscribing.
+//!   ([`NearestAssigner`], [`CenterBlock`], [`BoundedAssigner`]) and the
+//!   [`ThreadBudget`] that caps intra-kernel parallelism so it composes
+//!   with sweep- and site-level threading instead of oversubscribing;
+//! * [`layout`] — cache-aware scan-order permutations (Morton/Z-order)
+//!   that group spatially close queries into adjacent slots before a
+//!   blocked scan, with results scattered back to original positions.
 //!
-//! # The kernel layer
+//! # The kernel layer (v2)
 //!
 //! Every solver's hot path is "distances from one point to many
 //! candidates". The [`Metric`] trait therefore carries bulk hooks
 //! ([`Metric::dist_to_many`], [`Metric::assign_block`], …) next to the
 //! one-pair [`Metric::dist`]; concrete metrics override them with blocked
 //! kernels ([`EuclideanMetric`] uses `‖x‖² + ‖c‖² − 2x·c` with precomputed
-//! squared norms and exact winner resolution). The contract is strict:
+//! squared norms and exact winner resolution). Three v2 mechanisms sit
+//! behind those hooks, each engaging only where it wins:
+//!
+//! * **GEMM-style tiles** — low dimensions with enough candidates run a
+//!   register-blocked micro-kernel: queries transposed into lane-major
+//!   tiles of [`kernel::TILE_Q`], dot-form scores accumulated with
+//!   `chunks_exact` so LLVM autovectorizes, and every winner re-resolved
+//!   through the canonical scalar sum (an absolute error envelope on the
+//!   approximate scores decides which candidates can be skipped safely).
+//! * **Triangle-inequality bounds** — iterative callers (Lloyd) hold a
+//!   [`BoundedAssigner`] whose per-query lower bounds shrink by center
+//!   drift each round, so most queries pay one exact distance instead of
+//!   `k` after the first iteration; skips fire only on margin-separated
+//!   strict domination, never on ties.
+//! * **Z-order layout** — [`BoundedAssigner`] gathers its queries into a
+//!   Morton-sorted contiguous buffer ([`layout::zorder_permutation`]), so
+//!   neighbouring scan slots prune against similar centers; centers are
+//!   never reordered (their positions feed the tie-break).
+//!
+//! The contract is strict and unchanged by all three:
 //! bulk results — selected ids, tie-breaks, and distance values — equal
 //! the scalar loop's bit for bit ([`SquaredMetric`]'s squared routing is
 //! the one documented ~1-ulp exception), so protocol transcripts stay
@@ -40,6 +62,7 @@
 pub mod cost;
 pub mod encode;
 pub mod kernel;
+pub mod layout;
 pub mod metric;
 pub mod points;
 pub mod truncated;
@@ -51,8 +74,10 @@ pub use cost::{
 };
 pub use encode::{WireReader, WireWriter};
 pub use kernel::{
-    sq_dists_to_coords, Assignment, Assignment2, CenterBlock, NearestAssigner, ThreadBudget,
+    sq_dists_to_coords, Assignment, Assignment2, Assignment2C, BoundedAssigner, CenterBlock,
+    NearestAssigner, ThreadBudget,
 };
+pub use layout::zorder_permutation;
 pub use metric::{CrossMetric, EuclideanMetric, MatrixMetric, Metric, SquaredMetric};
 pub use points::{PointId, PointSet};
 pub use truncated::TruncatedMetric;

@@ -187,6 +187,67 @@ pub trait Metric: Sync {
             d2[e] = b2;
         }
     }
+
+    /// [`Metric::assign2_block`] that also reports the runner-up's
+    /// *position* — the state incremental local search maintains across
+    /// swaps. Both slots follow the scalar two-slot update (strict `<`,
+    /// first candidate wins ties), so `(d1, c1)` and `(d2, c2)` are the
+    /// two lexicographically smallest `(distance, position)` pairs.
+    fn assign2c_block(
+        &self,
+        ids: &[usize],
+        centers: &[usize],
+        c1: &mut [usize],
+        c2: &mut [usize],
+        d1: &mut [f64],
+        d2: &mut [f64],
+    ) {
+        for (e, &i) in ids.iter().enumerate() {
+            let (mut bc1, mut bc2, mut b1, mut b2) = (0usize, 0usize, f64::INFINITY, f64::INFINITY);
+            for (pos, &c) in centers.iter().enumerate() {
+                let d = self.dist(i, c);
+                if d < b1 {
+                    b2 = b1;
+                    bc2 = bc1;
+                    b1 = d;
+                    bc1 = pos;
+                } else if d < b2 {
+                    b2 = d;
+                    bc2 = pos;
+                }
+            }
+            c1[e] = bc1;
+            c2[e] = bc2;
+            d1[e] = b1;
+            d2[e] = b2;
+        }
+    }
+
+    /// Per-query norms supporting [`Metric::relax_min_block_bounded`]'s
+    /// O(1) skip test. Empty (the default) means the metric has no such
+    /// bound and callers should use the plain [`Metric::relax_min_block`];
+    /// the farthest-first traversal computes this once and amortizes it
+    /// over every relax round.
+    fn relax_norms(&self, _ids: &[usize]) -> Vec<f64> {
+        Vec::new()
+    }
+
+    /// [`Metric::relax_min_block`] with per-query norms from
+    /// [`Metric::relax_norms`]: overrides may use the reverse triangle
+    /// inequality `|‖x‖ − ‖c‖| ≤ d(x, c)` to skip queries whose incumbent
+    /// already beats that lower bound, at O(1) per query instead of
+    /// O(dim). State after the call is identical to the scalar loop.
+    fn relax_min_block_bounded(
+        &self,
+        c: usize,
+        ids: &[usize],
+        _norms: &[f64],
+        best_d: &mut [f64],
+        best_pos: &mut [usize],
+        mark: usize,
+    ) {
+        self.relax_min_block(c, ids, best_d, best_pos, mark);
+    }
 }
 
 impl<M: Metric + ?Sized> Metric for &M {
@@ -242,6 +303,31 @@ impl<M: Metric + ?Sized> Metric for &M {
         d2: &mut [f64],
     ) {
         (**self).assign2_block(ids, centers, c1, d1, d2)
+    }
+    fn assign2c_block(
+        &self,
+        ids: &[usize],
+        centers: &[usize],
+        c1: &mut [usize],
+        c2: &mut [usize],
+        d1: &mut [f64],
+        d2: &mut [f64],
+    ) {
+        (**self).assign2c_block(ids, centers, c1, c2, d1, d2)
+    }
+    fn relax_norms(&self, ids: &[usize]) -> Vec<f64> {
+        (**self).relax_norms(ids)
+    }
+    fn relax_min_block_bounded(
+        &self,
+        c: usize,
+        ids: &[usize],
+        norms: &[f64],
+        best_d: &mut [f64],
+        best_pos: &mut [usize],
+        mark: usize,
+    ) {
+        (**self).relax_min_block_bounded(c, ids, norms, best_d, best_pos, mark)
     }
 }
 
@@ -323,13 +409,29 @@ impl Metric for EuclideanMetric<'_> {
     ) {
         // Pruned dot form with precomputed norms; winners are resolved
         // exactly (see `nearest_row_pruned`), so ids and distances match
-        // the scalar scan bit for bit.
+        // the scalar scan bit for bit. In the low-dimension band where
+        // the partial-distance screen degenerates, the tiled GEMM-style
+        // micro-kernel runs instead (same exact resolution).
         let g = crate::kernel::gather_rows(self.points, centers);
         let dim = self.points.dim();
-        let mut screen = Vec::with_capacity(centers.len());
         // Discarded tally: the trait carries no recorder; bulk callers
         // count queries coarsely at the NearestAssigner layer instead.
         let mut stats = crate::kernel::ScanStats::default();
+        if crate::kernel::tiled_engages(dim, centers.len()) {
+            crate::kernel::assign_sq_tiled(
+                self.points,
+                ids,
+                &g.rows,
+                &g.root_norms,
+                &g.sq_norms,
+                dim,
+                pos,
+                dist,
+                &mut stats,
+            );
+            return;
+        }
+        let mut screen = Vec::with_capacity(centers.len());
         for ((p, d), &i) in pos.iter_mut().zip(dist.iter_mut()).zip(ids) {
             let (bp, bsq) = nearest_row_pruned(
                 self.points.point(i),
@@ -407,7 +509,7 @@ impl Metric for EuclideanMetric<'_> {
         let mut screen = Vec::with_capacity(centers.len());
         let mut stats = crate::kernel::ScanStats::default();
         for (e, &i) in ids.iter().enumerate() {
-            let (bc, b1, b2) = top2_row_pruned(
+            let (bc, _, b1, b2) = top2_row_pruned(
                 self.points.point(i),
                 &g.rows,
                 &g.root_norms,
@@ -418,6 +520,90 @@ impl Metric for EuclideanMetric<'_> {
             c1[e] = bc;
             d1[e] = b1.sqrt();
             d2[e] = b2.sqrt();
+        }
+    }
+
+    fn assign2c_block(
+        &self,
+        ids: &[usize],
+        centers: &[usize],
+        c1: &mut [usize],
+        c2: &mut [usize],
+        d1: &mut [f64],
+        d2: &mut [f64],
+    ) {
+        let g = crate::kernel::gather_rows(self.points, centers);
+        let dim = self.points.dim();
+        let mut screen = Vec::with_capacity(centers.len());
+        let mut stats = crate::kernel::ScanStats::default();
+        for (e, &i) in ids.iter().enumerate() {
+            let (bc1, bc2, b1, b2) = top2_row_pruned(
+                self.points.point(i),
+                &g.rows,
+                &g.root_norms,
+                dim,
+                &mut screen,
+                &mut stats,
+            );
+            c1[e] = bc1;
+            c2[e] = bc2;
+            d1[e] = b1.sqrt();
+            d2[e] = b2.sqrt();
+        }
+    }
+
+    fn relax_norms(&self, ids: &[usize]) -> Vec<f64> {
+        ids.iter()
+            .map(|&i| {
+                let p = self.points.point(i);
+                p.iter().map(|v| v * v).sum::<f64>().sqrt()
+            })
+            .collect()
+    }
+
+    fn relax_min_block_bounded(
+        &self,
+        c: usize,
+        ids: &[usize],
+        norms: &[f64],
+        best_d: &mut [f64],
+        best_pos: &mut [usize],
+        mark: usize,
+    ) {
+        if norms.is_empty() {
+            self.relax_min_block(c, ids, best_d, best_pos, mark);
+            return;
+        }
+        // Reverse triangle inequality: d(x, c) ≥ |‖x‖ − ‖c‖|. Deflated by
+        // a margin that over-covers the norms' rounding error, the bound
+        // certifies "cannot beat the incumbent" in O(1) per query — the
+        // skip leaves exactly the state the scalar loop would keep.
+        let row = self.points.point(c);
+        let rc = row.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let prune = self.points.dim() > RELAX_PRUNE_MIN_DIM;
+        for (((bd, bp), &i), &nx) in best_d
+            .iter_mut()
+            .zip(best_pos.iter_mut())
+            .zip(ids)
+            .zip(norms)
+        {
+            if (nx - rc).abs() - 1e-9 * (nx + rc) >= *bd {
+                continue;
+            }
+            let x = self.points.point(i);
+            let d = if prune && bd.is_finite() {
+                let bb = *bd * *bd;
+                match crate::kernel::resume_sq_abort(x, row, 0.0, 0, bb + bb * 1e-9) {
+                    Some(sq) => sq.sqrt(),
+                    None => continue,
+                }
+            } else {
+                sq_dist(x, row).sqrt()
+            };
+            if d < *bd {
+                *bd = d;
+                *bp = mark;
+            }
         }
     }
 }
@@ -479,6 +665,24 @@ impl<M: Metric> Metric for SquaredMetric<M> {
         d2: &mut [f64],
     ) {
         self.inner.assign2_block(ids, centers, c1, d1, d2);
+        for (a, b) in d1.iter_mut().zip(d2.iter_mut()) {
+            *a *= *a;
+            *b *= *b;
+        }
+    }
+
+    fn assign2c_block(
+        &self,
+        ids: &[usize],
+        centers: &[usize],
+        c1: &mut [usize],
+        c2: &mut [usize],
+        d1: &mut [f64],
+        d2: &mut [f64],
+    ) {
+        // Monotone squaring: the inner metric's two lex-smallest pairs
+        // are this metric's two lex-smallest pairs.
+        self.inner.assign2c_block(ids, centers, c1, c2, d1, d2);
         for (a, b) in d1.iter_mut().zip(d2.iter_mut()) {
             *a *= *a;
             *b *= *b;

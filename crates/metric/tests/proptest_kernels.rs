@@ -49,18 +49,26 @@ fn scalar_nearest<M: Metric>(m: &M, i: usize, centers: &[usize]) -> (usize, f64)
 
 /// Scalar reference for the two-slot nearest/second-nearest update.
 fn scalar_top2<M: Metric>(m: &M, i: usize, centers: &[usize]) -> (usize, f64, f64) {
-    let (mut c1, mut d1, mut d2) = (0usize, f64::INFINITY, f64::INFINITY);
+    let (c1, _, d1, d2) = scalar_top2c(m, i, centers);
+    (c1, d1, d2)
+}
+
+/// Scalar reference for the two-slot update *with both positions*.
+fn scalar_top2c<M: Metric>(m: &M, i: usize, centers: &[usize]) -> (usize, usize, f64, f64) {
+    let (mut c1, mut c2, mut d1, mut d2) = (0usize, 0usize, f64::INFINITY, f64::INFINITY);
     for (pos, &c) in centers.iter().enumerate() {
         let d = m.dist(i, c);
         if d < d1 {
             d2 = d1;
+            c2 = c1;
             d1 = d;
             c1 = pos;
         } else if d < d2 {
             d2 = d;
+            c2 = pos;
         }
     }
-    (c1, d1, d2)
+    (c1, c2, d1, d2)
 }
 
 /// Pins every bulk hook of `m` against the scalar loops. `exact` demands
@@ -108,6 +116,18 @@ fn check_metric<M: Metric>(m: &M, centers: &[usize], exact: bool) {
             assert!(close(a2.d2[e], s2), "assign2 d2 {} vs {}", a2.d2[e], s2);
         }
 
+        // assign2c ≡ scalar two-slot update with positions.
+        let a2c = assigner.assign2c(&ids, centers);
+        for (e, &i) in ids.iter().enumerate() {
+            let (sc1, sc2, s1, s2) = scalar_top2c(m, i, centers);
+            assert_eq!(a2c.c1[e], sc1, "assign2c winner for id {}", i);
+            if centers.len() > 1 {
+                assert_eq!(a2c.c2[e], sc2, "assign2c runner-up for id {}", i);
+            }
+            assert!(close(a2c.d1[e], s1), "assign2c d1 {} vs {}", a2c.d1[e], s1);
+            assert!(close(a2c.d2[e], s2), "assign2c d2 {} vs {}", a2c.d2[e], s2);
+        }
+
         // dist_to_many ≡ scalar dist loop.
         let mut bulk = Vec::new();
         for &i in &ids {
@@ -140,6 +160,32 @@ fn check_metric<M: Metric>(m: &M, centers: &[usize], exact: bool) {
         } else {
             for (a, b) in bulk_d.iter().zip(&ref_d) {
                 assert!(close(*a, *b), "relax_min {} vs {}", a, b);
+            }
+        }
+
+        // relax_min_bounded (norm-bound O(1) skips) ≡ the same scalar loop.
+        let norms = m.relax_norms(&ids);
+        let mut nb_d: Vec<f64> = ids.iter().map(|&i| (i % 3) as f64 * 1e3).collect();
+        nb_d[0] = f64::INFINITY;
+        let mut nb_p = vec![0usize; ids.len()];
+        let mut ref_d = nb_d.clone();
+        let mut ref_p = nb_p.clone();
+        for (mark, &c) in centers.iter().enumerate() {
+            assigner.relax_min_bounded(c, &ids, &norms, &mut nb_d, &mut nb_p, mark);
+            for (e, &i) in ids.iter().enumerate() {
+                let d = m.dist(i, c);
+                if d < ref_d[e] {
+                    ref_d[e] = d;
+                    ref_p[e] = mark;
+                }
+            }
+        }
+        assert_eq!(&nb_p, &ref_p, "relax_min_bounded marks");
+        if exact {
+            assert_eq!(&nb_d, &ref_d, "relax_min_bounded distances");
+        } else {
+            for (a, b) in nb_d.iter().zip(&ref_d) {
+                assert!(close(*a, *b), "relax_min_bounded {} vs {}", a, b);
             }
         }
 
@@ -245,6 +291,91 @@ proptest! {
                 prop_assert_eq!(a.pos[q], sp, "query {}", q);
                 prop_assert_eq!(a.dist[q], sd, "query {}", q);
             }
+        }
+    }
+
+    #[test]
+    fn euclidean_dims_bulk_equals_scalar(
+        dim_ix in 0usize..4,
+        seed_rows in proptest::collection::vec(proptest::collection::vec(-1e4f64..1e4, 128), 2..8),
+        dup in proptest::collection::vec(any::<bool>(), 8),
+        picks in proptest::collection::vec(any::<usize>(), 8..12),
+    ) {
+        // One sweep over the dims the kernels branch on: 2 (below the
+        // tiled band), 4 (tiled GEMM micro-kernel), 32 and 128 (screened
+        // partial-distance scans). Duplicated rows force ties; `picks`
+        // can repeat, so coincident centers occur too.
+        let dims = [2usize, 4, 32, 128];
+        let dim = dims[dim_ix];
+        let mut all = Vec::new();
+        for (i, r) in seed_rows.iter().enumerate() {
+            let row: Vec<f64> = r[..dim].to_vec();
+            all.push(row.clone());
+            if dup.get(i).copied().unwrap_or(false) {
+                all.push(row);
+            }
+        }
+        let ps = PointSet::from_rows(&all);
+        let m = EuclideanMetric::new(&ps);
+        let centers = center_subset(ps.len(), &picks);
+        check_metric(&m, &centers, true);
+    }
+
+    #[test]
+    fn bounded_assigner_matches_fresh_blocked_pass(
+        ps in arb_points_with_ties(12, 3),
+        picks in proptest::collection::vec(any::<usize>(), 1..6),
+        shift in proptest::collection::vec(-1.0f64..1.0, 3),
+    ) {
+        // A BoundedAssigner driven through drifting centers (Lloyd's
+        // shape) must reproduce a fresh blocked pass bit for bit every
+        // iteration, at every thread budget — including iterations where
+        // the bounds certify most winners and skip the scan.
+        let ids: Vec<usize> = (0..ps.len()).collect();
+        let center_ids = center_subset(ps.len(), &picks);
+        let base: Vec<Vec<f64>> =
+            center_ids.iter().map(|&c| ps.point(c).to_vec()).collect();
+        for threads in [ThreadBudget::serial(), ThreadBudget::new(4)] {
+            let mut centers = base.clone();
+            let mut bounded = BoundedAssigner::new();
+            let mut out = Assignment::default();
+            for iter in 0..4 {
+                bounded.assign_sq(&ps, &ids, &centers, threads, &mut out);
+                let block = CenterBlock::from_rows(ps.dim(), &centers);
+                let fresh = block.assign_sq(&ps, &ids, threads);
+                prop_assert_eq!(&out.pos, &fresh.pos, "iter {} {:?}", iter, threads);
+                prop_assert_eq!(&out.dist, &fresh.dist, "iter {} {:?}", iter, threads);
+                // Drift half the centers (iteration 1 drifts nothing at
+                // all — the all-skip case); the rest stay coincident with
+                // their previous position.
+                for (ci, c) in centers.iter_mut().enumerate() {
+                    if iter > 0 && ci % 2 == 0 {
+                        for (x, s) in c.iter_mut().zip(&shift) {
+                            *x += s * iter as f64 * 0.1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zorder_scan_order_is_invisible(
+        ps in arb_points_with_ties(12, 4),
+        picks in proptest::collection::vec(any::<usize>(), 1..6),
+    ) {
+        // Scanning queries in Morton order (and scattering back) must be
+        // indistinguishable from the caller's order.
+        let center_ids = center_subset(ps.len(), &picks);
+        let centers = ps.subset(&center_ids);
+        let block = CenterBlock::new(&centers);
+        let ids: Vec<usize> = (0..ps.len()).collect();
+        let order = zorder_permutation(&ps, &ids);
+        for threads in [ThreadBudget::serial(), ThreadBudget::new(4)] {
+            let plain = block.assign_sq(&ps, &ids, threads);
+            let ordered = block.assign_sq_ordered(&ps, &ids, &order, threads);
+            prop_assert_eq!(&plain.pos, &ordered.pos);
+            prop_assert_eq!(&plain.dist, &ordered.dist);
         }
     }
 

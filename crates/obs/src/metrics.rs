@@ -465,11 +465,15 @@ impl MetricsSummary {
         let counters = v
             .get("counters")
             .ok_or("metrics: missing 'counters' object")?;
+        // Counters added after the schema's introduction read as zero
+        // when absent, so summaries written before they existed still
+        // parse; the original set stays required.
         for c in Counter::ALL {
-            s.counters[c.index()] = counters
-                .get(c.name())
-                .and_then(Json::as_u64)
-                .ok_or_else(|| format!("metrics: missing counter '{}'", c.name()))?;
+            s.counters[c.index()] = match counters.get(c.name()).and_then(Json::as_u64) {
+                Some(n) => n,
+                None if c.optional_in_v1() => 0,
+                None => return Err(format!("metrics: missing counter '{}'", c.name())),
+            };
         }
         Ok(s)
     }

@@ -64,10 +64,18 @@ pub enum Counter {
     SyncsRun,
     /// Parameter sweeps: grid cells completed.
     SweepCellsDone,
+    /// Kernel queries whose full candidate scan was skipped because
+    /// maintained triangle-inequality bounds already proved the winner
+    /// (the `BoundedAssigner` fast path — the query paid for one
+    /// distance instead of `k`).
+    BoundSkips,
+    /// Candidate scores produced by the tiled dot-form micro-kernel
+    /// (rows × centers pushed through the GEMM-style tiles).
+    TileScores,
 }
 
 /// Number of distinct [`Counter`] identities.
-pub const COUNTER_COUNT: usize = 7;
+pub const COUNTER_COUNT: usize = 9;
 
 impl Counter {
     /// All counters, in index order.
@@ -79,6 +87,8 @@ impl Counter {
         Counter::SummariesMerged,
         Counter::SyncsRun,
         Counter::SweepCellsDone,
+        Counter::BoundSkips,
+        Counter::TileScores,
     ];
 
     /// Dense index of this counter (its slot in counter arrays).
@@ -91,6 +101,8 @@ impl Counter {
             Counter::SummariesMerged => 4,
             Counter::SyncsRun => 5,
             Counter::SweepCellsDone => 6,
+            Counter::BoundSkips => 7,
+            Counter::TileScores => 8,
         }
     }
 
@@ -104,7 +116,17 @@ impl Counter {
             Counter::SummariesMerged => "summaries_merged",
             Counter::SyncsRun => "syncs_run",
             Counter::SweepCellsDone => "sweep_cells_done",
+            Counter::BoundSkips => "bound_skips",
+            Counter::TileScores => "tile_scores",
         }
+    }
+
+    /// Whether this counter postdates the `dpc.trace/v1` schema's
+    /// introduction. Later additions read as zero when absent so older
+    /// traces and summaries still parse; the original set stays
+    /// required — a missing one is a malformed document, not a zero.
+    pub fn optional_in_v1(self) -> bool {
+        matches!(self, Counter::BoundSkips | Counter::TileScores)
     }
 }
 

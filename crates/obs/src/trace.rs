@@ -218,8 +218,15 @@ impl Trace {
                     bytes: uint("bytes")?,
                 }),
                 "counters" => {
+                    // Counters added after the schema's introduction read
+                    // as zero when absent, so traces recorded before they
+                    // existed still parse; the original set stays required.
                     for c in Counter::ALL {
-                        counters[c.index()] = uint(c.name())?;
+                        counters[c.index()] = match v.get(c.name()).and_then(Json::as_u64) {
+                            Some(n) => n,
+                            None if c.optional_in_v1() => 0,
+                            None => return Err(bad(&format!("missing counter '{}'", c.name()))),
+                        };
                     }
                 }
                 other => return Err(bad(&format!("unknown event '{other}'"))),

@@ -118,6 +118,19 @@ pub struct Artifact {
     /// the schema stays [`ARTIFACT_SCHEMA`] because readers that ignore
     /// unknown fields are unaffected.
     pub metrics: Option<MetricsSummary>,
+    /// Wire codec the protocol messages travelled through
+    /// ([`crate::JobBuilder::encoding`]). Absent for raw runs, so their
+    /// serialized form is byte-identical to pre-codec artifacts.
+    pub encoding: Option<String>,
+    /// Pre-codec payload bytes the same run would have moved raw
+    /// (present exactly when [`Self::encoding`] is; [`Self::bytes`]
+    /// already holds the compressed total).
+    pub bytes_raw: Option<usize>,
+    /// Measured objective delta against an exact raw run, signed
+    /// relative: `(cost - cost_raw) / cost_raw`. `Some(0.0)` for
+    /// lossless codecs; absent for raw runs and for lossy streaming
+    /// sessions (the stream cannot be replayed for a baseline).
+    pub quality_delta: Option<f64>,
 }
 
 impl Artifact {
@@ -142,6 +155,15 @@ impl Artifact {
     /// Total sites dropped across all rounds (after retries).
     pub fn total_dropouts(&self) -> usize {
         self.round_stats.iter().map(|r| r.dropouts).sum()
+    }
+
+    /// Raw-over-compressed byte ratio of an encoded run (1.0 for raw
+    /// runs, where no codec frame existed to shrink anything).
+    pub fn compression_ratio(&self) -> f64 {
+        match self.bytes_raw {
+            Some(raw) if self.bytes > 0 => raw as f64 / self.bytes as f64,
+            _ => 1.0,
+        }
     }
 
     /// On-demand quality evaluation: re-scores this artifact's centers
@@ -171,6 +193,17 @@ impl Artifact {
                 "transport: {t}, simulated network {:.3}ms\n",
                 self.network_ms
             ));
+        }
+        if let (Some(e), Some(raw)) = (&self.encoding, self.bytes_raw) {
+            out.push_str(&format!(
+                "encoding: {e}, bytes {raw}B -> {}B ({:.2}x)",
+                self.bytes,
+                self.compression_ratio()
+            ));
+            if let Some(qd) = self.quality_delta {
+                out.push_str(&format!(", quality delta {:+.4}%", qd * 100.0));
+            }
+            out.push('\n');
         }
         if let Some(lp) = self.live_points {
             out.push_str(&format!("live summary points: {lp}\n"));
@@ -235,6 +268,15 @@ impl Artifact {
         ));
         if let Some(t) = &self.transport {
             s.push_str(&format!(",\"transport\":\"{}\"", json::escape(t)));
+        }
+        if let Some(e) = &self.encoding {
+            s.push_str(&format!(",\"encoding\":\"{}\"", json::escape(e)));
+        }
+        if let Some(raw) = self.bytes_raw {
+            s.push_str(&format!(",\"bytes_raw\":{raw}"));
+        }
+        if let Some(qd) = self.quality_delta {
+            s.push_str(&format!(",\"quality_delta\":{}", json_f64(qd)));
         }
         if let Some(lp) = self.live_points {
             s.push_str(&format!(",\"live_points\":{lp}"));
@@ -378,6 +420,9 @@ impl Artifact {
                 Some(m) => Some(MetricsSummary::from_json(m)?),
                 None => None,
             },
+            encoding: v.get("encoding").and_then(Json::as_str).map(String::from),
+            bytes_raw: v.get("bytes_raw").and_then(Json::as_usize),
+            quality_delta: v.get("quality_delta").and_then(Json::as_f64),
         })
     }
 }
@@ -425,6 +470,9 @@ mod tests {
             syncs: None,
             points_per_sec: Some(1000.0),
             metrics: None,
+            encoding: None,
+            bytes_raw: None,
+            quality_delta: None,
         }
     }
 
@@ -538,6 +586,39 @@ mod tests {
         let plain = sample().to_json();
         assert!(!plain.contains("\"metrics\""));
         assert_eq!(Artifact::from_json(&plain).unwrap().metrics, None);
+    }
+
+    #[test]
+    fn codec_fields_round_trip_render_and_stay_absent_for_raw() {
+        // Raw artifacts never mention the codec — byte-compatibility
+        // with pre-codec consumers and goldens.
+        let raw_doc = sample().to_json();
+        assert!(!raw_doc.contains("encoding"), "{raw_doc}");
+        assert!(!raw_doc.contains("bytes_raw"), "{raw_doc}");
+        assert!(!raw_doc.contains("quality_delta"), "{raw_doc}");
+        assert_eq!(sample().compression_ratio(), 1.0);
+        assert!(!sample().text().contains("encoding:"));
+
+        let mut a = sample();
+        a.encoding = Some("f16".into());
+        a.bytes_raw = Some(250);
+        a.quality_delta = Some(0.0125);
+        let doc = a.to_json();
+        assert!(
+            doc.contains("\"encoding\":\"f16\",\"bytes_raw\":250,\"quality_delta\":0.0125"),
+            "{doc}"
+        );
+        let back = Artifact::from_json(&doc).unwrap();
+        assert_eq!(back.encoding.as_deref(), Some("f16"));
+        assert_eq!(back.bytes_raw, Some(250));
+        assert_eq!(back.quality_delta, Some(0.0125));
+        assert_eq!(back.to_json(), doc);
+        assert!((a.compression_ratio() - 2.5).abs() < 1e-12);
+        let text = a.text();
+        assert!(
+            text.contains("encoding: f16, bytes 250B -> 100B (2.50x), quality delta +1.2500%"),
+            "{text}"
+        );
     }
 
     #[test]

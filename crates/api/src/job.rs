@@ -5,6 +5,7 @@
 use crate::artifact::{round_breakdowns, Artifact};
 use crate::data::Dataset;
 use crate::error::{ConfigError, ConfigWarning};
+use dpc_codec::Encoding;
 use dpc_coordinator::{FaultPlan, LinkModel, RunOptions, TransportKind};
 use dpc_core::{
     evaluate_on_full_data_recorded, merge_shards, run_distributed_center, run_distributed_median,
@@ -118,6 +119,16 @@ impl Job {
         matches!(self, Job::UncertainMedian | Job::CenterG { .. })
     }
 
+    /// True when the job's wire messages go through the codec layer
+    /// (the uncertain protocols and the non-protocol jobs always run
+    /// [`Encoding::Raw`]).
+    fn uses_encoding(&self) -> bool {
+        matches!(
+            self,
+            Job::Median | Job::Means | Job::Center | Job::OneRound { .. } | Job::Continuous { .. }
+        )
+    }
+
     /// True for the streaming kinds (which also accept row-at-a-time
     /// ingest through [`ValidJob::session`]).
     fn is_streaming(&self) -> bool {
@@ -209,6 +220,7 @@ pub struct JobBuilder {
     transport: TransportKind,
     link: LinkModel,
     transport_set: bool,
+    encoding: Encoding,
     threads: usize,
     dropout: f64,
     fault_seed: u64,
@@ -240,6 +252,7 @@ impl JobBuilder {
             transport: TransportKind::Channel,
             link: LinkModel::ideal(),
             transport_set: false,
+            encoding: Encoding::Raw,
             threads: 1,
             dropout: 0.0,
             fault_seed: 0,
@@ -377,6 +390,19 @@ impl JobBuilder {
         self
     }
 
+    /// Selects the wire codec protocol messages travel through
+    /// ([`Encoding::Raw`] by default, which is byte-identical to not
+    /// having a codec at all). A no-effect warning on jobs whose
+    /// messages never go through the codec layer (uncertain protocols,
+    /// single-machine streaming, centralized jobs).
+    pub fn encoding(mut self, encoding: Encoding) -> Self {
+        if !self.job.uses_encoding() {
+            self.unused_knobs.push("encoding");
+        }
+        self.encoding = encoding;
+        self
+    }
+
     /// Sets the simulated link model.
     pub fn link(mut self, link: LinkModel) -> Self {
         if link.latency != std::time::Duration::ZERO || link.bandwidth.is_finite() {
@@ -451,6 +477,17 @@ impl JobBuilder {
     pub fn metrics(mut self, on: bool) -> Self {
         self.metrics = on;
         self
+    }
+
+    /// The encoding the run will actually use: the configured one on
+    /// codec-aware jobs, [`Encoding::Raw`] everywhere else (where the
+    /// knob already produced a no-effect warning).
+    fn effective_encoding(&self) -> Encoding {
+        if self.job.uses_encoding() {
+            self.encoding
+        } else {
+            Encoding::Raw
+        }
     }
 
     /// The fault plan this configuration injects into protocol runs.
@@ -531,6 +568,9 @@ impl JobBuilder {
             syncs: None,
             points_per_sec: None,
             metrics: None,
+            encoding: None,
+            bytes_raw: None,
+            quality_delta: None,
         }
     }
 
@@ -805,7 +845,44 @@ impl ValidJob {
         artifact
     }
 
+    /// Measured objective delta of a codec run against the exact
+    /// ([`Encoding::Raw`]) baseline: `(cost - cost_raw) / cost_raw`,
+    /// signed. Lossless codecs are `Some(0.0)` by construction — no
+    /// baseline rerun; `Raw` has nothing to compare against (`None`).
+    fn quality_delta(
+        &self,
+        encoding: Encoding,
+        cost: f64,
+        raw_cost: impl FnOnce() -> f64,
+    ) -> Option<f64> {
+        if encoding == Encoding::Raw {
+            return None;
+        }
+        if encoding.is_lossless() {
+            return Some(0.0);
+        }
+        let raw = raw_cost();
+        Some((cost - raw) / raw.abs().max(1e-9))
+    }
+
     fn run_median_family(&self, data: &Dataset, rec: &RecorderHandle) -> Artifact {
+        let enc = self.spec.effective_encoding();
+        let mut artifact = self.run_median_encoded(data, rec, enc);
+        // Lossy codecs pay one silent Raw rerun to measure the quality
+        // side of the bytes/quality trade they bought.
+        artifact.quality_delta = self.quality_delta(enc, artifact.cost, || {
+            self.run_median_encoded(data, &RecorderHandle::noop(), Encoding::Raw)
+                .cost
+        });
+        artifact
+    }
+
+    fn run_median_encoded(
+        &self,
+        data: &Dataset,
+        rec: &RecorderHandle,
+        encoding: Encoding,
+    ) -> Artifact {
         let s = &self.spec;
         let shards = data.point_shards(s.sites, s.strategy, s.seed);
         let means = matches!(
@@ -820,6 +897,7 @@ impl ValidJob {
         cfg.eps = s.eps;
         cfg.rho = s.rho;
         cfg.threads = self.kernel_threads();
+        cfg.encoding = encoding;
         if means {
             cfg = cfg.means();
         }
@@ -859,11 +937,27 @@ impl ValidJob {
     }
 
     fn run_center_family(&self, data: &Dataset, rec: &RecorderHandle) -> Artifact {
+        let enc = self.spec.effective_encoding();
+        let mut artifact = self.run_center_encoded(data, rec, enc);
+        artifact.quality_delta = self.quality_delta(enc, artifact.cost, || {
+            self.run_center_encoded(data, &RecorderHandle::noop(), Encoding::Raw)
+                .cost
+        });
+        artifact
+    }
+
+    fn run_center_encoded(
+        &self,
+        data: &Dataset,
+        rec: &RecorderHandle,
+        encoding: Encoding,
+    ) -> Artifact {
         let s = &self.spec;
         let shards = data.point_shards(s.sites, s.strategy, s.seed);
         let mut cfg = CenterConfig::new(s.k, s.t);
         cfg.rho = s.rho;
         cfg.threads = self.kernel_threads();
+        cfg.encoding = encoding;
         let out = if matches!(s.job, Job::OneRound { .. }) {
             run_one_round_center(&shards, cfg, self.run_options(rec))
         } else {
@@ -962,12 +1056,22 @@ impl ValidJob {
     }
 
     fn protocol_artifact(&self, n: usize, stats: &dpc_coordinator::CommStats) -> Artifact {
+        // Raw artifacts carry no codec fields at all, so their JSON
+        // stays byte-identical to pre-codec output.
+        let enc = self.spec.effective_encoding();
+        let (encoding, bytes_raw) = if enc == Encoding::Raw {
+            (None, None)
+        } else {
+            (Some(enc.name().to_string()), Some(stats.raw_bytes()))
+        };
         Artifact {
             bytes: stats.total_bytes(),
             rounds: stats.num_rounds(),
             round_stats: round_breakdowns(stats),
             transport: Some(self.spec.transport.name().to_string()),
             network_ms: stats.network_time().as_secs_f64() * 1e3,
+            encoding,
+            bytes_raw,
             ..self.base_artifact(n)
         }
     }
@@ -1100,7 +1204,8 @@ impl StreamSession {
                     .sync_every(sync_every)
                     .transport(spec.transport)
                     .link(spec.link)
-                    .faults(spec.fault_plan());
+                    .faults(spec.fault_plan())
+                    .encoding(spec.effective_encoding());
                     SessionMode::Continuous(
                         ContinuousCluster::new(dim, spec.sites, ccfg)
                             .with_recorder(self.recorder.clone()),
@@ -1173,7 +1278,23 @@ impl StreamSession {
                     round_stats.extend(round_breakdowns(&rec.stats));
                 }
                 let rec = c.latest().expect("sync just ran");
+                let enc = spec.effective_encoding();
+                let (encoding, bytes_raw) = if enc == Encoding::Raw {
+                    (None, None)
+                } else {
+                    (
+                        Some(enc.name().to_string()),
+                        Some(c.history.iter().map(|r| r.stats.raw_bytes()).sum()),
+                    )
+                };
+                // No Raw baseline rerun here: a continuous stream cannot
+                // be replayed from inside the session, so only lossless
+                // codecs get a (trivially zero) quality delta.
+                let quality_delta = (enc != Encoding::Raw && enc.is_lossless()).then_some(0.0);
                 Artifact {
+                    encoding,
+                    bytes_raw,
+                    quality_delta,
                     centers: centers_to_rows(&rec.centers),
                     cost: rec.cost,
                     budget,
@@ -1402,6 +1523,73 @@ mod tests {
         let art = vj.run();
         assert_eq!(art.transport, None);
         assert!(art.cost.is_finite());
+    }
+
+    #[test]
+    fn encoded_jobs_carry_codec_accounting() {
+        let pts = mix(300, 4);
+        let raw = Job::median(3, 4)
+            .sites(3)
+            .eps(0.5)
+            .points(pts.clone())
+            .validate()
+            .unwrap()
+            .run();
+        assert_eq!(raw.encoding, None);
+        assert_eq!(raw.bytes_raw, None);
+        assert_eq!(raw.quality_delta, None);
+
+        // Lossy: fewer bytes, exact raw accounting, measured delta.
+        let f32_run = Job::median(3, 4)
+            .sites(3)
+            .eps(0.5)
+            .encoding(Encoding::F32)
+            .points(pts.clone())
+            .validate()
+            .unwrap()
+            .run();
+        assert_eq!(f32_run.encoding.as_deref(), Some("f32"));
+        assert_eq!(f32_run.bytes_raw, Some(raw.bytes));
+        assert!(
+            f32_run.bytes < raw.bytes,
+            "{} vs {}",
+            f32_run.bytes,
+            raw.bytes
+        );
+        let qd = f32_run.quality_delta.expect("lossy runs measure quality");
+        assert!(qd.abs() <= 0.05, "f32 quality delta too large: {qd}");
+
+        // Lossless: identical answer, zero delta by construction.
+        let delta_run = Job::median(3, 4)
+            .sites(3)
+            .eps(0.5)
+            .encoding(Encoding::Delta)
+            .points(pts.clone())
+            .validate()
+            .unwrap()
+            .run();
+        assert_eq!(delta_run.centers, raw.centers);
+        assert_eq!(delta_run.cost, raw.cost);
+        assert_eq!(delta_run.quality_delta, Some(0.0));
+
+        // Jobs whose wire never sees the codec warn and stay raw.
+        let vj = Job::subquadratic(2, 1)
+            .encoding(Encoding::F16)
+            .points(mix(100, 1))
+            .validate()
+            .unwrap();
+        assert!(
+            vj.warnings().iter().any(|w| matches!(
+                w,
+                ConfigWarning::KnobUnused {
+                    knob: "encoding",
+                    ..
+                }
+            )),
+            "{:?}",
+            vj.warnings()
+        );
+        assert_eq!(vj.run().encoding, None);
     }
 
     #[test]

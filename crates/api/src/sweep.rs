@@ -4,6 +4,7 @@
 use crate::artifact::Artifact;
 use crate::error::ConfigError;
 use crate::job::{JobBuilder, ValidJob};
+use dpc_codec::Encoding;
 use dpc_coordinator::TransportKind;
 use dpc_obs::{Counter, Event, RecorderHandle};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -20,6 +21,7 @@ enum Axis {
     Transport(Vec<TransportKind>),
     SyncEvery(Vec<u64>),
     Block(Vec<usize>),
+    Encoding(Vec<Encoding>),
 }
 
 impl Axis {
@@ -33,6 +35,7 @@ impl Axis {
             Axis::Transport(_) => "transport",
             Axis::SyncEvery(_) => "sync_every",
             Axis::Block(_) => "block",
+            Axis::Encoding(_) => "encoding",
         }
     }
 
@@ -46,6 +49,7 @@ impl Axis {
             Axis::Transport(v) => v.len(),
             Axis::SyncEvery(v) => v.len(),
             Axis::Block(v) => v.len(),
+            Axis::Encoding(v) => v.len(),
         }
     }
 
@@ -59,6 +63,7 @@ impl Axis {
             Axis::Transport(v) => b.transport(v[idx]),
             Axis::SyncEvery(v) => b.sync_every(v[idx]),
             Axis::Block(v) => b.block(v[idx]),
+            Axis::Encoding(v) => b.encoding(v[idx]),
         }
     }
 }
@@ -152,6 +157,13 @@ impl Sweep {
     /// Adds a block-size axis (streaming jobs).
     pub fn blocks(mut self, values: &[usize]) -> Self {
         self.axes.push(Axis::Block(values.to_vec()));
+        self
+    }
+
+    /// Adds a wire-codec axis: the same job at every encoding, tracing
+    /// out the bytes ⇄ quality frontier in one grid.
+    pub fn encodings(mut self, values: &[Encoding]) -> Self {
+        self.axes.push(Axis::Encoding(values.to_vec()));
         self
     }
 
@@ -259,6 +271,10 @@ const TABLE_COLUMNS: &[&str] = &[
     "network_ms",
     "live_points",
     "syncs",
+    // Codec columns last, so pre-codec CSV consumers keep their
+    // positional reads (empty for raw cells).
+    "encoding",
+    "bytes_raw",
 ];
 
 fn table_row(a: &Artifact) -> Vec<String> {
@@ -278,6 +294,8 @@ fn table_row(a: &Artifact) -> Vec<String> {
         a.network_ms.to_string(),
         a.live_points.map(|v| v.to_string()).unwrap_or_default(),
         a.syncs.map(|v| v.to_string()).unwrap_or_default(),
+        a.encoding.clone().unwrap_or_default(),
+        a.bytes_raw.map(|v| v.to_string()).unwrap_or_default(),
     ]
 }
 
@@ -358,6 +376,27 @@ mod tests {
         // A dataless base is a typed error from run(), not a worker panic.
         let err = Sweep::grid(Job::median(2, 1)).k(&[2]).run().unwrap_err();
         assert_eq!(err, ConfigError::MissingData { job: "median" });
+    }
+
+    #[test]
+    fn encoding_axis_traces_the_frontier() {
+        let arts = Sweep::grid(base())
+            .encodings(&[Encoding::Raw, Encoding::Delta])
+            .parallelism(2)
+            .run()
+            .unwrap();
+        assert_eq!(arts.len(), 2);
+        assert_eq!(arts[0].encoding, None);
+        assert_eq!(arts[1].encoding.as_deref(), Some("delta"));
+        // Lossless codec: same solution, and the encoded cell's raw
+        // accounting reproduces the raw cell's wire total exactly.
+        assert_eq!(arts[0].centers, arts[1].centers);
+        assert_eq!(arts[1].bytes_raw, Some(arts[0].bytes));
+        assert_eq!(arts[1].quality_delta, Some(0.0));
+        let csv = csv_table(&arts);
+        let header = csv.lines().next().unwrap();
+        assert!(header.ends_with("encoding,bytes_raw"), "{header}");
+        assert!(csv.contains(",delta,"), "{csv}");
     }
 
     #[test]

@@ -80,6 +80,9 @@ fn main() {
     if want("transport") {
         t1_transport(threads);
     }
+    if want("codec") {
+        c1_codec();
+    }
     if want("a1") {
         a1_grid();
     }
@@ -1162,6 +1165,112 @@ fn t1_transport(threads_override: Option<usize>) {
     }
     println!("expect: channel ~ inline + worker overhead; tcp adds framing/syscalls;");
     println!("network_ms scales linearly in latency and is backend-identical.");
+}
+
+/// C1 — the bicriteria compression frontier: wire bytes vs clustering
+/// objective for every codec, on clustered workloads at two dimensions.
+fn c1_codec() {
+    header(
+        "C1",
+        "wire codecs: bytes vs objective frontier for median/means at dim 2 and 16",
+    );
+    let (k, t, sites, n) = (4usize, 24usize, 4usize, 1200usize);
+
+    let mut rows = Vec::new();
+    let mut frontier_met = false;
+    println!(
+        "{:>9} {:>4} {:>9} {:>9} {:>9} {:>7} {:>10} | ratio = raw/compressed",
+        "objective", "dim", "encoding", "bytes", "raw", "ratio", "delta_pct"
+    );
+    for dim in [2usize, 16] {
+        let mix = gaussian_blobs(BlobsSpec {
+            clusters: k,
+            points: n,
+            outliers: t,
+            dim,
+            seed: 41_000 + dim as u64,
+            ..Default::default()
+        });
+        let shards = partition(
+            &mix.points,
+            sites,
+            PartitionStrategy::Random,
+            &mix.outlier_ids,
+            77,
+        );
+        let data = Dataset::Shards(shards);
+        for objective in ["median", "means"] {
+            let job = |enc: Encoding| {
+                let b = match objective {
+                    "means" => Job::means(k, t),
+                    _ => Job::median(k, t),
+                };
+                b.data(data.clone()).encoding(enc)
+            };
+            let raw = job_artifact(job(Encoding::Raw));
+            for enc in Encoding::ALL {
+                let a = if enc == Encoding::Raw {
+                    raw.clone()
+                } else {
+                    job_artifact(job(enc))
+                };
+                let raw_bytes = a.bytes_raw.unwrap_or(a.bytes);
+                assert_eq!(
+                    raw_bytes, raw.bytes,
+                    "{objective}/dim{dim}/{enc}: raw byte totals must match the raw run"
+                );
+                let ratio = raw_bytes as f64 / a.bytes as f64;
+                let delta = a.quality_delta.unwrap_or(0.0);
+                // The frontier target: some lossy or reference mode buys
+                // >= 1.5x fewer bytes for <= 5% objective movement.
+                if enc != Encoding::Raw && ratio >= 1.5 && delta.abs() <= 0.05 {
+                    frontier_met = true;
+                }
+                println!(
+                    "{:>9} {:>4} {:>9} {:>9} {:>9} {:>7.2} {:>+10.3}",
+                    objective,
+                    dim,
+                    enc.name(),
+                    a.bytes,
+                    raw_bytes,
+                    ratio,
+                    delta * 100.0
+                );
+                rows.push(format!(
+                    concat!(
+                        "{{\"objective\":\"{}\",\"dim\":{},\"encoding\":\"{}\",",
+                        "\"bytes\":{},\"bytes_raw\":{},\"ratio\":{:.4},",
+                        "\"cost\":{:.6},\"quality_delta\":{:.6}}}"
+                    ),
+                    objective,
+                    dim,
+                    enc.name(),
+                    a.bytes,
+                    raw_bytes,
+                    ratio,
+                    a.cost,
+                    delta
+                ));
+            }
+        }
+    }
+
+    let json = format!(
+        "{{\"experiment\":\"codec\",\"frontier_target_met\":{},\"rows\":[{}]}}\n",
+        frontier_met,
+        rows.join(",")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_codec.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nrecorded -> BENCH_codec.json"),
+        Err(e) => println!("\ncould not write BENCH_codec.json: {e}"),
+    }
+    assert!(
+        frontier_met,
+        "no lossy/reference mode reached 1.5x bytes at <= 5% objective delta"
+    );
+    println!("expect: f32/f16 ratios grow with dim (coords dominate at dim 16);");
+    println!("delta/rlz stay lossless (delta_pct exactly 0) at modest ratios.");
 }
 
 /// A1 — ablation: geometric grid resolution rho.

@@ -1,6 +1,7 @@
 //! Hand-rolled argument parsing (no external CLI dependency).
 
 use dpc::api::TraceFormat;
+use dpc::codec::Encoding;
 use dpc::coordinator::TransportKind;
 use std::fmt;
 use std::time::Duration;
@@ -81,6 +82,8 @@ pub struct SweepSpec {
     pub sites: Vec<usize>,
     /// Transport backends.
     pub transports: Vec<TransportKind>,
+    /// Wire codecs (the bytes ⇄ quality frontier axis).
+    pub encodings: Vec<Encoding>,
     /// Concurrent cells (0 = one per CPU).
     pub parallelism: usize,
 }
@@ -94,6 +97,7 @@ impl SweepSpec {
             eps: vec![1.0],
             sites: vec![4],
             transports: vec![TransportKind::Channel],
+            encodings: vec![Encoding::Raw],
             parallelism: 0,
         }
     }
@@ -124,6 +128,8 @@ pub struct Options {
     pub json: bool,
     /// Transport backend the distributed protocols execute on.
     pub transport: TransportKind,
+    /// Wire codec protocol messages travel through (`raw` = off).
+    pub encoding: Encoding,
     /// Simulated one-way per-message link latency.
     pub latency: Duration,
     /// Simulated link bandwidth in bytes/sec (infinite = off).
@@ -182,9 +188,9 @@ commands:
   subquadratic       centralized subquadratic (k,2t)-median (Theorem 3.10)
   stream             streaming (k,t) clustering over rows in arrival order
   sweep <protocol>   cartesian parameter sweep over median|means|center;
-                     --k/--t/--eps/--sites/--transport accept comma lists
-                     (e.g. --k 2,4 --transport channel,tcp); prints a CSV
-                     table (or a JSON artifact array with --json)
+                     --k/--t/--eps/--sites/--transport/--encoding accept
+                     comma lists (e.g. --k 2,4 --encoding raw,f16); prints
+                     a CSV table (or a JSON artifact array with --json)
 
 options:
   --k <int>        number of centers            (default 5)
@@ -203,6 +209,12 @@ transport options (distributed commands and stream --sync-every):
                              'channel' keeps one persistent in-process
                              worker per site; 'tcp' runs each site behind
                              a loopback socket with length-prefixed frames
+  --encoding <enc>           wire codec for protocol messages (default
+                             raw): raw keeps the exact bytes; f32/f16
+                             quantize coordinates lossily; delta packs
+                             sorted coordinates losslessly; rlz codes a
+                             summary against the previous sync's summary
+                             (continuous stream mode)
   --latency <dur>            simulated one-way per-message latency, e.g.
                              5ms, 250us, 1s (bare numbers are ms)
   --bandwidth <rate>         simulated link bandwidth in bytes/sec with
@@ -265,6 +277,7 @@ fn default_options(command: Command) -> Options {
         sync_every: 0,
         objective: StreamObjective::Median,
         transport: TransportKind::Channel,
+        encoding: Encoding::Raw,
         latency: Duration::ZERO,
         bandwidth: f64::INFINITY,
         threads: 1,
@@ -310,6 +323,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, ParseError> {
             "--sync-every" => opts.sync_every = parse_num(&take_value(&mut i)?, "--sync-every")?,
             "--objective" => opts.objective = StreamObjective::parse(&take_value(&mut i)?)?,
             "--transport" => opts.transport = parse_transport(&take_value(&mut i)?)?,
+            "--encoding" => opts.encoding = parse_encoding(&take_value(&mut i)?)?,
             "--latency" => opts.latency = parse_duration(&take_value(&mut i)?, "--latency")?,
             "--bandwidth" => opts.bandwidth = parse_bandwidth(&take_value(&mut i)?)?,
             "--threads" => opts.threads = parse_num(&take_value(&mut i)?, "--threads")?,
@@ -407,6 +421,10 @@ fn parse_sweep(args: &[String]) -> Result<Options, ParseError> {
                     parse_transport(s)
                 })?
             }
+            "--encoding" => {
+                spec.encodings =
+                    parse_list(&take_value(&mut i)?, "--encoding", |s, _| parse_encoding(s))?
+            }
             "--parallelism" => {
                 spec.parallelism = parse_num(&take_value(&mut i)?, "--parallelism")?;
                 if spec.parallelism == 0 {
@@ -461,6 +479,11 @@ fn parse_trace_format(s: &str) -> Result<TraceFormat, ParseError> {
             "unknown trace format '{other}' (jsonl|chrome)"
         ))),
     }
+}
+
+fn parse_encoding(s: &str) -> Result<Encoding, ParseError> {
+    Encoding::parse(s)
+        .ok_or_else(|| ParseError(format!("unknown encoding '{s}' (raw|f32|f16|delta|rlz)")))
 }
 
 fn parse_transport(s: &str) -> Result<TransportKind, ParseError> {
@@ -780,6 +803,46 @@ mod tests {
         // Missing input.
         assert!(parse_args(&sv(&["sweep", "median", "--k", "2"])).is_err());
         assert!(parse_args(&sv(&["sweep", "median", "--parallelism", "0", "a.csv"])).is_err());
+    }
+
+    #[test]
+    fn encoding_flags() {
+        let o = parse_args(&sv(&["median", "--encoding", "f16", "x.csv"])).unwrap();
+        assert_eq!(o.encoding, Encoding::F16);
+        // Default: raw, exactly the pre-codec wire.
+        let o = parse_args(&sv(&["median", "x.csv"])).unwrap();
+        assert_eq!(o.encoding, Encoding::Raw);
+        // Stream continuous mode takes it too.
+        let o = parse_args(&sv(&[
+            "stream",
+            "--sync-every",
+            "100",
+            "--encoding",
+            "rlz",
+            "s.csv",
+        ]))
+        .unwrap();
+        assert_eq!(o.encoding, Encoding::Rlz);
+        // Sweep axis: comma list.
+        let o = parse_args(&sv(&[
+            "sweep",
+            "median",
+            "--encoding",
+            "raw,f32,delta",
+            "grid.csv",
+        ]))
+        .unwrap();
+        let s = o.sweep.unwrap();
+        assert_eq!(
+            s.encodings,
+            vec![Encoding::Raw, Encoding::F32, Encoding::Delta]
+        );
+        // Default sweep axis is raw only.
+        let o = parse_args(&sv(&["sweep", "median", "grid.csv"])).unwrap();
+        assert_eq!(o.sweep.unwrap().encodings, vec![Encoding::Raw]);
+        // Rejections.
+        assert!(parse_args(&sv(&["median", "--encoding", "gzip", "x.csv"])).is_err());
+        assert!(parse_args(&sv(&["sweep", "median", "--encoding", "raw,zip", "g.csv"])).is_err());
     }
 
     #[test]

@@ -92,6 +92,12 @@ fn apply_common(opts: &Options, mut b: JobBuilder) -> JobBuilder {
     if opts.transport != TransportKind::Channel {
         b = b.transport(opts.transport);
     }
+    // Same convention for the wire codec: the default (raw) never
+    // reaches the builder, so codec-free commands stay warning-free
+    // unless the user actually asked for an encoding.
+    if opts.encoding != Encoding::Raw {
+        b = b.encoding(opts.encoding);
+    }
     if opts.delta > 0.0 {
         b = b.delta(opts.delta);
     }
@@ -173,7 +179,11 @@ fn sweep_for(opts: &Options, base: JobBuilder) -> Sweep {
         .t(&spec.t)
         .eps(&spec.eps)
         .sites(&spec.sites)
-        .transports(&spec.transports);
+        .transports(&spec.transports)
+        // Last axis varies fastest: each parameter point's encodings sit
+        // on adjacent rows, reading directly as its bytes ⇄ quality
+        // frontier.
+        .encodings(&spec.encodings);
     if spec.parallelism > 0 {
         sweep = sweep.parallelism(spec.parallelism);
     }
@@ -758,6 +768,92 @@ mod tests {
         // A sweep with an invalid cell fails fast.
         let o = opts(&["sweep", "median", "--k", "0,2", "in.csv"]);
         assert!(execute_sweep(&o, toy_csv().as_bytes()).is_err());
+    }
+
+    #[test]
+    fn encoding_flag_end_to_end() {
+        let raw = opts(&["median", "--k", "2", "--t", "1", "--sites", "3", "in.csv"]);
+        let a = execute(&raw, toy_csv().as_bytes()).unwrap();
+        let f16 = opts(&[
+            "median",
+            "--k",
+            "2",
+            "--t",
+            "1",
+            "--sites",
+            "3",
+            "--encoding",
+            "f16",
+            "in.csv",
+        ]);
+        let b = execute(&f16, toy_csv().as_bytes()).unwrap();
+        assert_eq!(b.encoding.as_deref(), Some("f16"));
+        assert_eq!(b.bytes_raw, Some(a.bytes));
+        assert!(b.bytes < a.bytes, "{} vs {}", b.bytes, a.bytes);
+        assert!(b.quality_delta.is_some());
+        // The text report renders the raw -> compressed line.
+        assert!(b.text().contains("encoding: f16, bytes "), "{}", b.text());
+        assert!(b.to_json().contains("\"encoding\":\"f16\""));
+        // Raw artifacts never mention the codec.
+        assert_eq!(a.encoding, None);
+        assert!(!a.to_json().contains("encoding"));
+        // A no-effect combo warns but still runs.
+        let o = opts(&["subquadratic", "--k", "2", "--encoding", "delta", "x.csv"]);
+        let w = preflight(&o).unwrap();
+        assert!(
+            w.iter().any(|w| matches!(
+                w,
+                ConfigWarning::KnobUnused {
+                    knob: "encoding",
+                    ..
+                }
+            )),
+            "{w:?}"
+        );
+        assert!(execute(&o, toy_csv().as_bytes()).is_ok());
+    }
+
+    #[test]
+    fn sweep_encoding_axis_emits_the_frontier() {
+        let o = opts(&[
+            "sweep",
+            "median",
+            "--k",
+            "4",
+            "--t",
+            "4",
+            "--sites",
+            "3",
+            "--encoding",
+            "raw,f32,delta",
+            "blobs:n=300,dim=16,clusters=4,outliers=4,seed=9",
+        ]);
+        let arts = execute_sweep(&o, std::io::empty()).unwrap();
+        assert_eq!(arts.len(), 3);
+        let raw = &arts[0];
+        assert_eq!(raw.encoding, None);
+        for enc in &arts[1..] {
+            // Every encoded cell's raw accounting reproduces the raw
+            // cell's wire total exactly.
+            assert_eq!(enc.bytes_raw, Some(raw.bytes));
+        }
+        // The quantizing codec strictly compresses this 16-dim workload.
+        assert!(
+            arts[1].bytes * 3 < raw.bytes * 2,
+            "f32 should beat 1.5x: {} vs {}",
+            arts[1].bytes,
+            raw.bytes
+        );
+        // The lossless cell reproduces the raw answer bit for bit.
+        assert_eq!(arts[2].centers, raw.centers);
+        assert_eq!(arts[2].cost, raw.cost);
+        let table = dpc::api::csv_table(&arts);
+        assert!(table
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with("encoding,bytes_raw"));
+        assert!(table.contains(",f32,"), "{table}");
     }
 
     #[test]

@@ -1,0 +1,258 @@
+//! Lossless delta coding of coordinate blocks.
+//!
+//! Coordinate spans of the same width are pooled into one virtual
+//! matrix (rows = points, columns = dimensions), the rows are sorted by
+//! an order-preserving integer image of their coordinates, and each
+//! column ships as zig-zag varint residuals between consecutive sorted
+//! rows. Clustered workloads — the paper's whole setting — have many
+//! near-identical points, so sorted neighbours agree in their high bits
+//! and the residuals collapse to short varints. A permutation (one
+//! varint per row) restores the original order, keeping the mode
+//! bit-exact, NaN included.
+
+use crate::{push_varint, read_varint, skeleton, Codec, CoordSpan, Encoding};
+
+/// Order-preserving bijection `f64 bits → u64`: negative values map
+/// below positives and the usual `<` order on finite doubles becomes
+/// unsigned integer order.
+fn f64_to_ord(v: f64) -> u64 {
+    let bits = v.to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits ^ (1 << 63)
+    }
+}
+
+/// Inverse of [`f64_to_ord`].
+fn ord_to_f64(m: u64) -> f64 {
+    let bits = if m >> 63 == 1 { m ^ (1 << 63) } else { !m };
+    f64::from_bits(bits)
+}
+
+fn zigzag(d: i64) -> u64 {
+    ((d << 1) ^ (d >> 63)) as u64
+}
+
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+/// Spans pooled by width, each group listing `(span index, row count)`
+/// in first-occurrence order.
+fn group_by_dim(spans: &[CoordSpan]) -> Vec<(usize, Vec<usize>)> {
+    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (i, s) in spans.iter().enumerate() {
+        match groups.iter_mut().find(|(dim, _)| *dim == s.dim) {
+            Some((_, members)) => members.push(i),
+            None => groups.push((s.dim, vec![i])),
+        }
+    }
+    groups
+}
+
+/// [`Encoding::Delta`].
+pub struct DeltaCodec;
+
+impl Codec for DeltaCodec {
+    fn encoding(&self) -> Encoding {
+        Encoding::Delta
+    }
+
+    fn encode_body(&self, payload: &[u8], spans: &[CoordSpan], _dict: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(payload.len() / 2 + 16);
+        skeleton::write(&mut out, payload, spans);
+        for (dim, members) in group_by_dim(spans) {
+            // Pool the group's rows in span order.
+            let mut rows: Vec<Vec<u64>> = Vec::new();
+            for &m in &members {
+                let values = skeleton::span_values(payload, &spans[m]);
+                for r in 0..spans[m].rows {
+                    rows.push(
+                        values[r * dim..(r + 1) * dim]
+                            .iter()
+                            .map(|&v| f64_to_ord(v))
+                            .collect(),
+                    );
+                }
+            }
+            let mut order: Vec<usize> = (0..rows.len()).collect();
+            order.sort_by(|&a, &b| rows[a].cmp(&rows[b]));
+            // Permutation: the original row index of each sorted row.
+            for &o in &order {
+                push_varint(&mut out, o as u64);
+            }
+            // Column-major residuals over the sorted rows. (The range
+            // loop is the clearest shape here: rows are visited in
+            // `order`, not linearly, so an iterator over `rows` would
+            // invert the real access pattern.)
+            #[allow(clippy::needless_range_loop)]
+            for col in 0..dim {
+                let mut prev = 0u64;
+                for &o in &order {
+                    let cur = rows[o][col];
+                    push_varint(&mut out, zigzag(cur.wrapping_sub(prev) as i64));
+                    prev = cur;
+                }
+            }
+        }
+        out
+    }
+
+    fn decode_body(&self, body: &[u8], raw_len: usize, _dict: &[u8]) -> Vec<u8> {
+        let mut pos = 0usize;
+        let (mut payload, spans) = skeleton::read(body, &mut pos);
+        for (dim, members) in group_by_dim(&spans) {
+            let total_rows: usize = members.iter().map(|&m| spans[m].rows).sum();
+            let order: Vec<usize> = (0..total_rows)
+                .map(|_| read_varint(body, &mut pos) as usize)
+                .collect();
+            let mut rows = vec![vec![0u64; dim]; total_rows];
+            // Mirrors the encoder's column-major walk (see encode_body).
+            #[allow(clippy::needless_range_loop)]
+            for col in 0..dim {
+                let mut prev = 0u64;
+                for &o in &order {
+                    prev = prev.wrapping_add(unzigzag(read_varint(body, &mut pos)) as u64);
+                    rows[o][col] = prev;
+                }
+            }
+            // Scatter the pooled rows back into the group's spans.
+            let mut next = 0usize;
+            for &m in &members {
+                let span = &spans[m];
+                let values: Vec<f64> = rows[next..next + span.rows]
+                    .iter()
+                    .flat_map(|r| r.iter().map(|&m| ord_to_f64(m)))
+                    .collect();
+                next += span.rows;
+                skeleton::write_span_values(&mut payload, span, &values);
+            }
+        }
+        assert_eq!(pos, body.len(), "delta codec: trailing bytes in body");
+        assert_eq!(payload.len(), raw_len, "delta codec: length mismatch");
+        payload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ord_mapping_is_monotone_and_invertible() {
+        let vals = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -2.5,
+            -0.0,
+            0.0,
+            1e-300,
+            3.25,
+            f64::INFINITY,
+        ];
+        for w in vals.windows(2) {
+            assert!(f64_to_ord(w[0]) < f64_to_ord(w[1]), "{:?}", w);
+        }
+        for v in vals.iter().chain(&[f64::NAN]) {
+            assert_eq!(ord_to_f64(f64_to_ord(*v)).to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for d in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(d)), d);
+        }
+    }
+
+    fn roundtrip(values: &[f64], spans: &[CoordSpan]) {
+        let payload: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let body = DeltaCodec.encode_body(&payload, spans, &[]);
+        let back = DeltaCodec.decode_body(&body, payload.len(), &[]);
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn bit_exact_including_nan_and_interleaved_spans() {
+        let values = [
+            1.0,
+            2.0,
+            f64::NAN,
+            -0.0,
+            1.0000001,
+            2.0000001,
+            1e300,
+            -1e300,
+        ];
+        // Two separate 2-wide spans with a gap byte between them would
+        // need a real payload; here spans tile the buffer: two spans of
+        // dim 2 and one of dim 4 exercise the grouping.
+        roundtrip(
+            &values,
+            &[
+                CoordSpan {
+                    start: 0,
+                    rows: 2,
+                    dim: 2,
+                },
+                CoordSpan {
+                    start: 32,
+                    rows: 1,
+                    dim: 4,
+                },
+            ],
+        );
+        // Per-point spans (the interleaved point+weight pattern).
+        roundtrip(
+            &values,
+            &[
+                CoordSpan {
+                    start: 0,
+                    rows: 1,
+                    dim: 2,
+                },
+                CoordSpan {
+                    start: 16,
+                    rows: 1,
+                    dim: 2,
+                },
+                CoordSpan {
+                    start: 32,
+                    rows: 1,
+                    dim: 2,
+                },
+                CoordSpan {
+                    start: 48,
+                    rows: 1,
+                    dim: 2,
+                },
+            ],
+        );
+    }
+
+    #[test]
+    fn clustered_rows_compress() {
+        // 64 near-identical 4-d points: sorted residuals are tiny.
+        let mut values = Vec::new();
+        for i in 0..64 {
+            for d in 0..4 {
+                values.push(100.0 + (i % 8) as f64 + d as f64 * 0.5);
+            }
+        }
+        let payload: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let spans = [CoordSpan {
+            start: 0,
+            rows: 64,
+            dim: 4,
+        }];
+        let body = DeltaCodec.encode_body(&payload, &spans, &[]);
+        assert!(
+            body.len() * 2 < payload.len(),
+            "delta did not reach 2x on clustered rows: {} vs {}",
+            body.len(),
+            payload.len()
+        );
+        assert_eq!(DeltaCodec.decode_body(&body, payload.len(), &[]), payload);
+    }
+}

@@ -1,0 +1,191 @@
+//! Reference-based (RLZ-style) lossless coding.
+//!
+//! The payload is parsed greedily into copy/literal phrases against a
+//! reference dictionary the caller supplies — in the continuous
+//! protocol, each site's previous sync summary, so round `r+1`'s
+//! summary ships as a handful of copies plus the coordinates that
+//! actually drifted. With an empty dictionary the mode degrades to one
+//! literal phrase (a few bytes of overhead over raw).
+//!
+//! The body leads with an FNV-1a checksum of the dictionary. A decoder
+//! holding any other reference — the classic desync failure of
+//! reference coding — panics immediately instead of silently
+//! reconstructing corrupt coordinates.
+
+use crate::{push_varint, read_varint, Codec, CoordSpan, Encoding};
+use std::collections::HashMap;
+
+/// Minimum copy length: shorter matches cost more to describe than to
+/// ship literally (anchor width; also the hash width).
+const MIN_MATCH: usize = 8;
+
+/// Cap on remembered positions per anchor hash — keeps pathological
+/// dictionaries (one repeated byte) linear.
+const MAX_CHAIN: usize = 8;
+
+/// 64-bit FNV-1a over the dictionary bytes.
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn anchor(data: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(data[at..at + MIN_MATCH].try_into().unwrap())
+}
+
+fn common_prefix(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
+}
+
+/// Phrase tokens: `varint head` where the low bit selects the kind and
+/// the rest is the length. Copy: `head = len << 1 | 1`, then
+/// `varint offset` into the dictionary. Literal: `head = len << 1`,
+/// then `len` raw bytes.
+fn push_literal(out: &mut Vec<u8>, lit: &[u8]) {
+    if lit.is_empty() {
+        return;
+    }
+    push_varint(out, (lit.len() as u64) << 1);
+    out.extend_from_slice(lit);
+}
+
+/// [`Encoding::Rlz`].
+pub struct RlzCodec;
+
+impl Codec for RlzCodec {
+    fn encoding(&self) -> Encoding {
+        Encoding::Rlz
+    }
+
+    fn encode_body(&self, payload: &[u8], _spans: &[CoordSpan], dict: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(payload.len() / 4 + 16);
+        out.extend_from_slice(&fnv1a(dict).to_le_bytes());
+        // Index the dictionary by 8-byte anchors.
+        let mut index: HashMap<u64, Vec<usize>> = HashMap::new();
+        if dict.len() >= MIN_MATCH {
+            for at in 0..=dict.len() - MIN_MATCH {
+                let slots = index.entry(anchor(dict, at)).or_default();
+                if slots.len() < MAX_CHAIN {
+                    slots.push(at);
+                }
+            }
+        }
+        let mut lit_start = 0usize;
+        let mut i = 0usize;
+        while i + MIN_MATCH <= payload.len() {
+            let best = index
+                .get(&anchor(payload, i))
+                .into_iter()
+                .flatten()
+                .map(|&at| (common_prefix(&payload[i..], &dict[at..]), at))
+                .max();
+            match best {
+                Some((len, at)) if len >= MIN_MATCH => {
+                    push_literal(&mut out, &payload[lit_start..i]);
+                    push_varint(&mut out, ((len as u64) << 1) | 1);
+                    push_varint(&mut out, at as u64);
+                    i += len;
+                    lit_start = i;
+                }
+                _ => i += 1,
+            }
+        }
+        push_literal(&mut out, &payload[lit_start..]);
+        out
+    }
+
+    fn decode_body(&self, body: &[u8], raw_len: usize, dict: &[u8]) -> Vec<u8> {
+        assert!(body.len() >= 8, "rlz codec: truncated body");
+        let want = u64::from_le_bytes(body[..8].try_into().unwrap());
+        assert_eq!(
+            want,
+            fnv1a(dict),
+            "RLZ reference mismatch: this frame was encoded against a \
+             different dictionary (checksum {want:#018x}); refusing to \
+             decode rather than silently corrupt the payload"
+        );
+        let mut out = Vec::with_capacity(raw_len);
+        let mut pos = 8usize;
+        while pos < body.len() {
+            let head = read_varint(body, &mut pos);
+            let len = (head >> 1) as usize;
+            if head & 1 == 1 {
+                let at = read_varint(body, &mut pos) as usize;
+                let end = at.checked_add(len).expect("rlz codec: copy overflow");
+                assert!(
+                    end <= dict.len(),
+                    "rlz codec: copy [{at}, {end}) exceeds the {}-byte dictionary",
+                    dict.len()
+                );
+                out.extend_from_slice(&dict[at..end]);
+            } else {
+                out.extend_from_slice(&body[pos..pos + len]);
+                pos += len;
+            }
+        }
+        assert_eq!(out.len(), raw_len, "rlz codec: length mismatch");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(payload: &[u8], dict: &[u8]) -> usize {
+        let body = RlzCodec.encode_body(payload, &[], dict);
+        assert_eq!(RlzCodec.decode_body(&body, payload.len(), dict), payload);
+        body.len()
+    }
+
+    #[test]
+    fn empty_dictionary_degrades_to_literals() {
+        let payload: Vec<u8> = (0u8..=200).collect();
+        let n = roundtrip(&payload, &[]);
+        assert!(n <= payload.len() + 12, "{n}");
+        roundtrip(&[], &[]);
+    }
+
+    #[test]
+    fn identical_payload_collapses_to_one_copy() {
+        let dict: Vec<u8> = (0..400).map(|i| (i * 7 % 251) as u8).collect();
+        let n = roundtrip(&dict, &dict);
+        assert!(n <= 8 + 6, "identical payload should be one copy: {n}");
+    }
+
+    #[test]
+    fn drifted_payload_mixes_copies_and_literals() {
+        let dict: Vec<u8> = (0..512).map(|i| (i * 13 % 241) as u8).collect();
+        let mut payload = dict.clone();
+        // Perturb a few scattered bytes — the drifted-summary shape.
+        for &at in &[40usize, 200, 333] {
+            payload[at] ^= 0xff;
+        }
+        let n = roundtrip(&payload, &dict);
+        assert!(n < payload.len() / 4, "drifted payload barely changed: {n}");
+    }
+
+    #[test]
+    #[should_panic(expected = "RLZ reference mismatch")]
+    fn wrong_reference_fails_loudly() {
+        let dict: Vec<u8> = (0..256).map(|i| i as u8).collect();
+        let body = RlzCodec.encode_body(&dict, &[], &dict);
+        let mut wrong = dict.clone();
+        wrong[10] = 99;
+        RlzCodec.decode_body(&body, dict.len(), &wrong);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn out_of_range_copy_is_rejected() {
+        let dict = [1u8, 2, 3];
+        let mut body = fnv1a(&dict).to_le_bytes().to_vec();
+        push_varint(&mut body, (100u64 << 1) | 1); // copy of len 100
+        push_varint(&mut body, 0);
+        RlzCodec.decode_body(&body, 100, &dict);
+    }
+}

@@ -13,8 +13,9 @@ use crate::stats::{CommStats, RoundStats};
 use crate::tcp::TcpTransport;
 use crate::transport::{InlineTransport, LinkModel, Transport, TransportKind};
 use bytes::Bytes;
+use dpc_codec::Encoding;
 use dpc_obs::json::dur_to_ns;
-use dpc_obs::{Event, FaultKind, RecorderHandle};
+use dpc_obs::{Counter, Event, FaultKind, RecorderHandle};
 use std::time::{Duration, Instant};
 
 /// Per-site protocol logic.
@@ -78,6 +79,14 @@ pub struct RunOptions {
     /// driver free of recording overhead (one cached-bool branch per
     /// round).
     pub recorder: RecorderHandle,
+    /// Wire encoding the protocol's messages were framed with. The
+    /// driver itself never encodes or decodes — algorithms frame their
+    /// own payloads — but it needs the configured encoding to read raw
+    /// payload sizes out of codec frame headers for the
+    /// [`RoundStats::raw_bytes_down`]/[`RoundStats::raw_bytes_up`]
+    /// accounting. [`Encoding::Raw`] (the default) charges raw ==
+    /// compressed and skips the header peek entirely.
+    pub encoding: Encoding,
 }
 
 impl Default for RunOptions {
@@ -97,6 +106,7 @@ impl RunOptions {
             link: LinkModel::ideal(),
             faults: FaultPlan::none(),
             recorder: RecorderHandle::noop(),
+            encoding: Encoding::Raw,
         }
     }
 
@@ -129,6 +139,12 @@ impl RunOptions {
     /// Attaches a structured-event recorder.
     pub fn recorder(mut self, recorder: RecorderHandle) -> Self {
         self.recorder = recorder;
+        self
+    }
+
+    /// Declares the wire encoding the protocol frames its messages with.
+    pub fn encoding(mut self, encoding: Encoding) -> Self {
+        self.encoding = encoding;
         self
     }
 }
@@ -343,6 +359,30 @@ pub fn drive<T: Transport + ?Sized, C: Coordinator>(
             .iter()
             .map(|r| r.as_ref().map_or(0, |r| r.payload.len()))
             .collect();
+        // Raw (pre-codec) payload sizes come from the codec frame
+        // headers; under `Raw` no header exists and raw == compressed.
+        let (raw_down, raw_up) = if options.encoding == Encoding::Raw {
+            (down.iter().sum::<usize>(), up.iter().sum::<usize>())
+        } else {
+            let raw_down = delivery
+                .iter()
+                .flatten()
+                .map(|m| dpc_codec::peek_raw_len(m))
+                .sum::<usize>();
+            let raw_up = site_replies
+                .iter()
+                .flatten()
+                .map(|r| dpc_codec::peek_raw_len(&r.payload))
+                .sum::<usize>();
+            (raw_down, raw_up)
+        };
+        if on && options.encoding != Encoding::Raw {
+            rec.add(Counter::BytesRaw, (raw_down + raw_up) as u64);
+            rec.add(
+                Counter::BytesCompressed,
+                (down.iter().sum::<usize>() + up.iter().sum::<usize>()) as u64,
+            );
+        }
         let dropouts = delivery.iter().filter(|m| m.is_none()).count();
         // Per-site simulated time: fault waits plus, for responders, the
         // link's down-then-up exchange; the round costs the slowest slot
@@ -374,6 +414,8 @@ pub fn drive<T: Transport + ?Sized, C: Coordinator>(
             dropouts,
             retries,
             degraded: dropouts > 0,
+            raw_bytes_down: raw_down,
+            raw_bytes_up: raw_up,
         });
         if on {
             let last = stats.rounds.last().expect("round just recorded");

@@ -34,6 +34,12 @@ pub struct RoundStats {
     /// True when at least one site missed the round — the coordinator
     /// proceeded over the responders only.
     pub degraded: bool,
+    /// Raw (pre-codec) payload bytes from the coordinator to sites this
+    /// round. Equals the sum of [`RoundStats::coordinator_to_sites`]
+    /// when the protocol runs uncompressed (`Encoding::Raw`).
+    pub raw_bytes_down: usize,
+    /// Raw (pre-codec) payload bytes from sites to the coordinator.
+    pub raw_bytes_up: usize,
 }
 
 impl RoundStats {
@@ -119,6 +125,26 @@ impl CommStats {
     /// of the sites.
     pub fn degraded_rounds(&self) -> usize {
         self.rounds.iter().filter(|r| r.degraded).count()
+    }
+
+    /// Raw (pre-codec) bytes in both directions over all rounds. Equal
+    /// to [`CommStats::total_bytes`] when the run was uncompressed.
+    pub fn raw_bytes(&self) -> usize {
+        self.rounds
+            .iter()
+            .map(|r| r.raw_bytes_down + r.raw_bytes_up)
+            .sum()
+    }
+
+    /// Compression ratio raw/compressed of the whole execution (1.0 for
+    /// an uncompressed or byte-free run; above 1.0 means the codec
+    /// shrank the traffic).
+    pub fn compression_ratio(&self) -> f64 {
+        let compressed = self.total_bytes();
+        if compressed == 0 {
+            return 1.0;
+        }
+        self.raw_bytes() as f64 / compressed as f64
     }
 
     /// Simulated end-to-end wall clock of the protocol: per round, the

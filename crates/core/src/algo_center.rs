@@ -28,6 +28,7 @@ use crate::hull::{geometric_grid, ConvexProfile};
 use crate::wire::{DistributedSolution, PreclusterMsg, ThresholdMsg};
 use bytes::Bytes;
 use dpc_cluster::{charikar_center, gonzalez_with, CenterParams, GonzalezOrdering};
+use dpc_codec::Encoding;
 use dpc_coordinator::{
     run_protocol, Coordinator, CoordinatorStep, ProtocolOutput, RunOptions, Site,
 };
@@ -49,6 +50,9 @@ pub struct CenterConfig {
     /// Thread budget for the bulk kernels (site Gonzalez relax, weight
     /// attachment, coordinator disk scans). Wall-clock only.
     pub threads: ThreadBudget,
+    /// Wire encoding every protocol message is framed with
+    /// ([`Encoding::Raw`] keeps the exact legacy byte layout).
+    pub encoding: Encoding,
 }
 
 impl CenterConfig {
@@ -60,7 +64,14 @@ impl CenterConfig {
             rho: 2.0,
             charikar: CenterParams::default(),
             threads: ThreadBudget::serial(),
+            encoding: Encoding::Raw,
         }
+    }
+
+    /// Frames every protocol message with the given wire encoding.
+    pub fn encoding(mut self, encoding: Encoding) -> Self {
+        self.encoding = encoding;
+        self
     }
 
     /// Caps the bulk-kernel thread budget.
@@ -74,7 +85,8 @@ impl CenterConfig {
         w.put_varint(self.k as u64);
         w.put_varint(self.t as u64);
         w.put_f64(self.rho);
-        w.finish()
+        // Framed for uniform driver accounting; sites never decode it.
+        dpc_codec::frame(self.encoding, w, &[])
     }
 }
 
@@ -119,7 +131,7 @@ impl<'a> CenterSite<'a> {
             let mut w = WireWriter::new();
             profile.encode(&mut w);
             self.profile = Some(profile);
-            return w.finish();
+            return dpc_codec::frame(self.cfg.encoding, w, &[]);
         }
         let m = EuclideanMetric::new(self.data);
         let ids: Vec<usize> = (0..n).collect();
@@ -138,7 +150,7 @@ impl<'a> CenterSite<'a> {
         let mut w = WireWriter::new();
         profile.encode(&mut w);
         self.profile = Some(profile);
-        w.finish()
+        dpc_codec::frame(self.cfg.encoding, w, &[])
     }
 
     /// Sorted-prefix rule on the *shipped* profile (identical bytes on both
@@ -160,7 +172,7 @@ impl<'a> CenterSite<'a> {
     }
 
     fn respond_threshold(&mut self, msg: &Bytes) -> Bytes {
-        let thr = ThresholdMsg::decode(msg.clone());
+        let thr = ThresholdMsg::decode_with(self.cfg.encoding, msg.clone());
         let n = self.data.len();
         if n == 0 {
             return PreclusterMsg {
@@ -169,7 +181,7 @@ impl<'a> CenterSite<'a> {
                 outliers: PointSet::new(self.data.dim()),
                 t_i: 0,
             }
-            .encode();
+            .encode_with(self.cfg.encoding);
         }
         let ti = if thr.exceptional {
             let prof = self.profile.as_ref().expect("profile built");
@@ -195,7 +207,7 @@ impl<'a> CenterSite<'a> {
             outliers: PointSet::new(self.data.dim()),
             t_i: ti as u64,
         }
-        .encode()
+        .encode_with(self.cfg.encoding)
     }
 }
 
@@ -237,11 +249,13 @@ impl Coordinator for CenterCoordinator {
                     .iter()
                     .flatten()
                     .map(|b| {
-                        let mut r = dpc_metric::WireReader::new(b.clone());
+                        let payload = dpc_codec::unframe(self.cfg.encoding, b.clone(), &[]);
+                        let mut r = dpc_metric::WireReader::new(payload);
                         ConvexProfile::decode(&mut r)
                     })
                     .collect();
-                let msg_for = |threshold: f64, i0: u64, q0: u64| {
+                let enc = self.cfg.encoding;
+                let msg_for = move |threshold: f64, i0: u64, q0: u64| {
                     move |i: usize| {
                         ThresholdMsg {
                             threshold,
@@ -249,7 +263,7 @@ impl Coordinator for CenterCoordinator {
                             q0,
                             exceptional: i as u64 == i0,
                         }
-                        .encode()
+                        .encode_with(enc)
                     }
                 };
                 let msgs = if profiles.is_empty() || self.cfg.t == 0 {
@@ -278,10 +292,11 @@ impl Coordinator for CenterCoordinator {
 
 impl CenterCoordinator {
     fn solve_final(&mut self, replies: Vec<Option<Bytes>>) -> DistributedSolution {
+        let enc = self.cfg.encoding;
         let msgs: Vec<PreclusterMsg> = replies
             .into_iter()
             .flatten()
-            .map(PreclusterMsg::decode)
+            .map(|b| PreclusterMsg::decode_with(enc, b))
             .collect();
         let dim = msgs
             .iter()
@@ -333,6 +348,7 @@ pub fn run_distributed_center(
     options: RunOptions,
 ) -> ProtocolOutput<DistributedSolution> {
     assert!(!shards.is_empty(), "need at least one site");
+    let options = options.encoding(cfg.encoding);
     let dim = shards[0].dim();
     let mut sites: Vec<Box<dyn Site + '_>> = shards
         .iter()

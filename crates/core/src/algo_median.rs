@@ -30,6 +30,7 @@ use dpc_cluster::{
     median_bicriteria, median_bicriteria_relaxed_centers, BicriteriaParams, LocalSearchParams,
     Solution,
 };
+use dpc_codec::Encoding;
 use dpc_coordinator::{
     run_protocol, Coordinator, CoordinatorStep, ProtocolOutput, RunOptions, Site,
 };
@@ -78,6 +79,11 @@ pub struct MedianConfig {
     /// coordinator solvers. Wall-clock only — transcripts, selected
     /// centers, and costs are identical at any budget.
     pub threads: ThreadBudget,
+    /// Wire encoding every protocol message is framed with.
+    /// [`Encoding::Raw`] (the default) keeps the exact legacy byte
+    /// layout; lossy encodings narrow shipped coordinates within the
+    /// codec's declared per-coordinate error envelope.
+    pub encoding: Encoding,
 }
 
 impl MedianConfig {
@@ -94,7 +100,14 @@ impl MedianConfig {
             ls: LocalSearchParams::default(),
             relax_centers: false,
             threads: ThreadBudget::serial(),
+            encoding: Encoding::Raw,
         }
+    }
+
+    /// Frames every protocol message with the given wire encoding.
+    pub fn encoding(mut self, encoding: Encoding) -> Self {
+        self.encoding = encoding;
+        self
     }
 
     /// Caps the bulk-kernel thread budget (per site / coordinator solve).
@@ -143,7 +156,10 @@ impl MedianConfig {
         w.put_f64(self.eps);
         w.put_varint(u64::from(self.means));
         w.put_varint(u64::from(self.variant == DeltaVariant::CountsOnly));
-        w.finish()
+        // The kick is framed like every other message so the driver can
+        // account raw vs compressed bytes uniformly (sites are handed
+        // their config at construction and never decode it).
+        dpc_codec::frame(self.encoding, w, &[])
     }
 }
 
@@ -268,12 +284,14 @@ impl<'a> MedianSite<'a> {
         let mut w = WireWriter::new();
         profile.encode(&mut w);
         self.profile = Some(profile);
-        w.finish()
+        // Profiles are (count, cost) pairs with no coordinate spans:
+        // bit-exact under every encoding.
+        dpc_codec::frame(self.cfg.encoding, w, &[])
     }
 
     /// Round 1: derive `t_i`, pick/merge the local solution, ship it.
     fn respond_threshold(&mut self, msg: &Bytes) -> Bytes {
-        let thr = ThresholdMsg::decode(msg.clone());
+        let thr = ThresholdMsg::decode_with(self.cfg.encoding, msg.clone());
         let prof = self.profile.as_ref().expect("profile built in round 0");
         let n = self.data.len();
         if n == 0 {
@@ -283,7 +301,7 @@ impl<'a> MedianSite<'a> {
                 outliers: PointSet::new(self.data.dim()),
                 t_i: 0,
             }
-            .encode();
+            .encode_with(self.cfg.encoding);
         }
         let ship = self.cfg.variant == DeltaVariant::ShipOutliers;
 
@@ -300,7 +318,7 @@ impl<'a> MedianSite<'a> {
             let s1 = &self.sols[self.grid_index(lo_v)];
             let s2 = &self.sols[self.grid_index(hi_v)];
             let merged = self.merge_local(s1, s2, ti);
-            return precluster_msg(self.data, &merged, false, ti).encode();
+            return precluster_msg(self.data, &merged, false, ti).encode_with(self.cfg.encoding);
         }
 
         let ti = site_budget_from_threshold(prof, self.site_id, self.cfg.t, &thr);
@@ -310,7 +328,7 @@ impl<'a> MedianSite<'a> {
         let centers = self.sols[gi].centers.clone();
         let budget = (ti.min(n)) as f64;
         let sol = local_evaluate(self.data, self.cfg.means, centers, budget, self.cfg.threads);
-        precluster_msg(self.data, &sol, ship, ti).encode()
+        precluster_msg(self.data, &sol, ship, ti).encode_with(self.cfg.encoding)
     }
 
     fn grid_index(&self, q: usize) -> usize {
@@ -374,11 +392,13 @@ impl Coordinator for MedianCoordinator {
                     .iter()
                     .flatten()
                     .map(|b| {
-                        let mut r = dpc_metric::WireReader::new(b.clone());
+                        let payload = dpc_codec::unframe(self.cfg.encoding, b.clone(), &[]);
+                        let mut r = dpc_metric::WireReader::new(payload);
                         ConvexProfile::decode(&mut r)
                     })
                     .collect();
-                let msg_for = |threshold: f64, i0: u64, q0: u64| {
+                let enc = self.cfg.encoding;
+                let msg_for = move |threshold: f64, i0: u64, q0: u64| {
                     move |i: usize| {
                         ThresholdMsg {
                             threshold,
@@ -386,7 +406,7 @@ impl Coordinator for MedianCoordinator {
                             q0,
                             exceptional: i as u64 == i0,
                         }
-                        .encode()
+                        .encode_with(enc)
                     }
                 };
                 let msgs = if profiles.is_empty() || self.cfg.t == 0 {
@@ -422,10 +442,11 @@ impl MedianCoordinator {
     /// out contribute nothing — their points are simply absent from the
     /// merged instance.
     fn solve_final(&mut self, replies: Vec<Option<Bytes>>) -> DistributedSolution {
+        let enc = self.cfg.encoding;
         let msgs: Vec<PreclusterMsg> = replies
             .into_iter()
             .flatten()
-            .map(PreclusterMsg::decode)
+            .map(|b| PreclusterMsg::decode_with(enc, b))
             .collect();
         let dim = msgs
             .iter()
@@ -530,6 +551,8 @@ pub fn run_distributed_median(
     options: RunOptions,
 ) -> ProtocolOutput<DistributedSolution> {
     assert!(!shards.is_empty(), "need at least one site");
+    // The driver needs the encoding to account raw vs compressed bytes.
+    let options = options.encoding(cfg.encoding);
     let dim = shards[0].dim();
     let mut sites: Vec<Box<dyn Site + '_>> = shards
         .iter()
@@ -705,6 +728,41 @@ mod tests {
         );
         assert_eq!(a.output.centers, b.output.centers);
         assert_eq!(a.stats.total_bytes(), b.stats.total_bytes());
+    }
+
+    #[test]
+    fn encoded_protocols_run_and_stay_close() {
+        let shards = shards_with_outliers();
+        let opts = || RunOptions {
+            parallel: false,
+            ..Default::default()
+        };
+        let raw = run_distributed_median(&shards, MedianConfig::new(2, 3), opts());
+        let (raw_cost, _) =
+            evaluate_on_full_data(&shards, &raw.output.centers, 6, Objective::Median);
+        for enc in [Encoding::F32, Encoding::F16, Encoding::Delta, Encoding::Rlz] {
+            let cfg = MedianConfig::new(2, 3).encoding(enc);
+            let out = run_distributed_median(&shards, cfg, opts());
+            // Message *sizes* are value-independent, so the pre-codec byte
+            // totals must match the uncompressed run exactly.
+            assert_eq!(
+                out.stats.raw_bytes(),
+                raw.stats.total_bytes(),
+                "{enc}: raw accounting"
+            );
+            if enc.is_lossless() {
+                assert_eq!(out.output.centers, raw.output.centers, "{enc}: lossless");
+            }
+            let (cost, _) =
+                evaluate_on_full_data(&shards, &out.output.centers, 6, Objective::Median);
+            // Lossy narrowing perturbs shipped coordinates within the
+            // declared envelope; the objective moves by at most a hair on
+            // this well-separated instance.
+            assert!(
+                (cost - raw_cost).abs() <= 0.05 * raw_cost.max(1.0),
+                "{enc}: cost {cost} vs raw {raw_cost}"
+            );
+        }
     }
 
     #[test]

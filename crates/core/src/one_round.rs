@@ -18,7 +18,7 @@ use dpc_coordinator::{
     run_protocol, Coordinator, CoordinatorStep, ProtocolOutput, RunOptions, Site,
 };
 use dpc_metric::{
-    EuclideanMetric, NearestAssigner, Objective, PointSet, SquaredMetric, WeightedSet,
+    EuclideanMetric, NearestAssigner, Objective, PointSet, SquaredMetric, WeightedSet, WireWriter,
 };
 
 /// Site for the 1-round median/means protocol: one shot, full hedge.
@@ -39,7 +39,7 @@ impl Site for OneRoundMedianSite<'_> {
                 outliers: PointSet::new(self.data.dim()),
                 t_i: 0,
             }
-            .encode();
+            .encode_with(self.cfg.encoding);
         }
         let t_local = self.cfg.t.min(n);
         let mut params = BicriteriaParams {
@@ -87,7 +87,8 @@ impl Site for OneRoundMedianSite<'_> {
                 self.cfg.threads,
             )
         };
-        crate::algo_median::precluster_msg(self.data, &sol, true, t_local).encode()
+        crate::algo_median::precluster_msg(self.data, &sol, true, t_local)
+            .encode_with(self.cfg.encoding)
     }
 }
 
@@ -103,14 +104,21 @@ impl Coordinator for OneRoundMedianCoordinator {
 
     fn step(&mut self, round: usize, replies: Vec<Option<Bytes>>) -> CoordinatorStep {
         match round {
-            0 => CoordinatorStep::Broadcast(Bytes::new()),
+            // The empty kick still travels inside a codec frame so the
+            // driver can read a raw length out of every delivered payload.
+            0 => CoordinatorStep::Broadcast(dpc_codec::frame(
+                self.cfg.encoding,
+                WireWriter::new(),
+                &[],
+            )),
             1 => {
                 // One-round degradation is trivial: merge whatever
                 // summaries arrived.
+                let enc = self.cfg.encoding;
                 let msgs: Vec<PreclusterMsg> = replies
                     .into_iter()
                     .flatten()
-                    .map(PreclusterMsg::decode)
+                    .map(|b| PreclusterMsg::decode_with(enc, b))
                     .collect();
                 let dim = msgs
                     .iter()
@@ -194,6 +202,7 @@ pub fn run_one_round_median(
     options: RunOptions,
 ) -> ProtocolOutput<DistributedSolution> {
     assert!(!shards.is_empty(), "need at least one site");
+    let options = options.encoding(cfg.encoding);
     let dim = shards[0].dim();
     let mut sites: Vec<Box<dyn Site + '_>> = shards
         .iter()
@@ -232,7 +241,7 @@ impl Site for OneRoundCenterSite<'_> {
                 outliers: PointSet::new(self.data.dim()),
                 t_i: 0,
             }
-            .encode();
+            .encode_with(self.cfg.encoding);
         }
         let m = EuclideanMetric::new(self.data);
         let ids: Vec<usize> = (0..n).collect();
@@ -250,7 +259,7 @@ impl Site for OneRoundCenterSite<'_> {
             outliers: PointSet::new(self.data.dim()),
             t_i: self.cfg.t as u64,
         }
-        .encode()
+        .encode_with(self.cfg.encoding)
     }
 }
 
@@ -266,12 +275,17 @@ impl Coordinator for OneRoundCenterCoordinator {
 
     fn step(&mut self, round: usize, replies: Vec<Option<Bytes>>) -> CoordinatorStep {
         match round {
-            0 => CoordinatorStep::Broadcast(Bytes::new()),
+            0 => CoordinatorStep::Broadcast(dpc_codec::frame(
+                self.cfg.encoding,
+                WireWriter::new(),
+                &[],
+            )),
             1 => {
+                let enc = self.cfg.encoding;
                 let msgs: Vec<PreclusterMsg> = replies
                     .into_iter()
                     .flatten()
-                    .map(PreclusterMsg::decode)
+                    .map(|b| PreclusterMsg::decode_with(enc, b))
                     .collect();
                 let dim = msgs
                     .iter()
@@ -332,6 +346,7 @@ pub fn run_one_round_center(
     options: RunOptions,
 ) -> ProtocolOutput<DistributedSolution> {
     assert!(!shards.is_empty(), "need at least one site");
+    let options = options.encoding(cfg.encoding);
     let dim = shards[0].dim();
     let mut sites: Vec<Box<dyn Site + '_>> = shards
         .iter()

@@ -6,6 +6,7 @@
 //! `B = 8·dim` bytes and counts cost `O(log n)` bits (varints).
 
 use bytes::Bytes;
+use dpc_codec::Encoding;
 use dpc_metric::{PointSet, WireReader, WireWriter};
 
 /// A preclustering summary sent from a site to the coordinator in the final
@@ -25,8 +26,7 @@ pub struct PreclusterMsg {
 }
 
 impl PreclusterMsg {
-    /// Serializes the summary.
-    pub fn encode(&self) -> Bytes {
+    fn write(&self) -> WireWriter {
         let mut w = WireWriter::new();
         w.put_varint(self.centers.dim() as u64);
         w.put_varint(self.centers.len() as u64);
@@ -39,7 +39,27 @@ impl PreclusterMsg {
             w.put_point(p);
         }
         w.put_varint(self.t_i);
-        w.finish()
+        w
+    }
+
+    /// Serializes the summary uncompressed.
+    pub fn encode(&self) -> Bytes {
+        self.write().finish()
+    }
+
+    /// Serializes the summary inside a codec frame. `Encoding::Raw`
+    /// produces the same bytes as [`Self::encode`] (no frame header).
+    /// Center and outlier coordinates are subject to the codec's
+    /// (possibly lossy) coordinate transform; weights and counts are
+    /// always exact.
+    pub fn encode_with(&self, encoding: Encoding) -> Bytes {
+        dpc_codec::frame(encoding, self.write(), &[])
+    }
+
+    /// Deserializes a summary produced by [`Self::encode_with`] with the
+    /// same encoding.
+    pub fn decode_with(encoding: Encoding, buf: Bytes) -> Self {
+        Self::decode(dpc_codec::unframe(encoding, buf, &[]))
     }
 
     /// Deserializes a summary produced by [`Self::encode`].
@@ -95,6 +115,23 @@ impl ThresholdMsg {
         w.put_varint(self.q0);
         w.put_varint(u64::from(self.exceptional));
         w.finish()
+    }
+
+    /// Serializes the message inside a codec frame. The payload carries
+    /// no coordinate spans, so every encoding keeps it bit-exact.
+    pub fn encode_with(&self, encoding: Encoding) -> Bytes {
+        let mut w = WireWriter::new();
+        w.put_f64(self.threshold);
+        w.put_varint(self.i0);
+        w.put_varint(self.q0);
+        w.put_varint(u64::from(self.exceptional));
+        dpc_codec::frame(encoding, w, &[])
+    }
+
+    /// Deserializes a message produced by [`Self::encode_with`] with the
+    /// same encoding.
+    pub fn decode_with(encoding: Encoding, buf: Bytes) -> Self {
+        Self::decode(dpc_codec::unframe(encoding, buf, &[]))
     }
 
     /// Deserializes the message.

@@ -17,6 +17,9 @@
 //! * [`cluster`] — centralized substrates (Gonzalez, Charikar-style
 //!   `(k,t)`-center, Lagrangian bicriteria `(k,t)`-median/means, Lloyd,
 //!   exact oracles);
+//! * [`codec`] — the wire codec subsystem: pluggable lossless and lossy
+//!   message encodings (`raw`/`f32`/`f16`/`delta`/`rlz`) that trade wire
+//!   bytes against solution quality;
 //! * [`coordinator`] — the transport-abstracted coordinator-model
 //!   runtime: persistent in-process site workers or loopback TCP sockets
 //!   behind one `Transport` trait, exact byte accounting, and a simulated
@@ -93,6 +96,7 @@
 
 pub use dpc_api as api;
 pub use dpc_cluster as cluster;
+pub use dpc_codec as codec;
 pub use dpc_coordinator as coordinator;
 pub use dpc_core as core;
 pub use dpc_metric as metric;
@@ -198,6 +202,7 @@ pub mod prelude {
         charikar_center, exact_best, gonzalez, lloyd_kmeans, median_bicriteria, BicriteriaParams,
         CenterParams, LloydParams, LocalSearchParams, Solution,
     };
+    pub use dpc_codec::Encoding;
     pub use dpc_coordinator::{CommStats, FaultPlan, LinkModel, RunOptions, TransportKind};
     pub use dpc_core::{
         evaluate_on_full_data, merge_shards, CenterConfig, DeltaVariant, MedianConfig,

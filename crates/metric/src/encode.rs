@@ -13,10 +13,41 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+/// A run of coordinate doubles inside an encoded message: `rows`
+/// consecutive points of `dim` doubles each, starting at byte offset
+/// `start`. [`WireWriter`] records one span per [`WireWriter::put_point`]
+/// / [`WireWriter::put_f64_slice`] call (merging adjacent calls of the
+/// same width), so a codec layered above the wire format can transform
+/// coordinate payloads without knowing any message's structure. Scalars
+/// written through [`WireWriter::put_f64`] (weights, costs, thresholds)
+/// are deliberately *not* spans and stay exact under every codec.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoordSpan {
+    /// Byte offset of the first double.
+    pub start: usize,
+    /// Number of points (rows) in the run.
+    pub rows: usize,
+    /// Doubles per point.
+    pub dim: usize,
+}
+
+impl CoordSpan {
+    /// Total doubles covered by the span.
+    pub fn values(&self) -> usize {
+        self.rows * self.dim
+    }
+
+    /// Byte length of the span (`values() * 8`).
+    pub fn byte_len(&self) -> usize {
+        self.values() * 8
+    }
+}
+
 /// Serializer with byte accounting.
 #[derive(Debug, Default)]
 pub struct WireWriter {
     buf: BytesMut,
+    spans: Vec<CoordSpan>,
 }
 
 impl WireWriter {
@@ -24,6 +55,7 @@ impl WireWriter {
     pub fn new() -> Self {
         Self {
             buf: BytesMut::new(),
+            spans: Vec::new(),
         }
     }
 
@@ -42,9 +74,37 @@ impl WireWriter {
         self.buf.freeze()
     }
 
+    /// Finishes and returns the encoded message together with the
+    /// coordinate spans recorded while writing it (the codec entry
+    /// point; plain [`WireWriter::finish`] drops the spans).
+    pub fn finish_with_spans(self) -> (Bytes, Vec<CoordSpan>) {
+        (self.buf.freeze(), self.spans)
+    }
+
     /// Writes an IEEE-754 double (8 bytes, little endian).
     pub fn put_f64(&mut self, v: f64) {
         self.buf.put_f64_le(v);
+    }
+
+    /// Records `dim` doubles about to be written at the current offset
+    /// as coordinate data, merging with the previous span when the two
+    /// are contiguous and the widths match.
+    fn note_span(&mut self, dim: usize) {
+        if dim == 0 {
+            return;
+        }
+        let start = self.buf.len();
+        if let Some(last) = self.spans.last_mut() {
+            if last.dim == dim && last.start + last.byte_len() == start {
+                last.rows += 1;
+                return;
+            }
+        }
+        self.spans.push(CoordSpan {
+            start,
+            rows: 1,
+            dim,
+        });
     }
 
     /// Writes an unsigned integer as a LEB128 varint (1–10 bytes).
@@ -63,6 +123,7 @@ impl WireWriter {
     /// Writes a point as `dim` doubles (the caller fixes `dim` contextually,
     /// so it is not re-encoded per point).
     pub fn put_point(&mut self, coords: &[f64]) {
+        self.note_span(coords.len());
         for &c in coords {
             self.put_f64(c);
         }
@@ -71,6 +132,7 @@ impl WireWriter {
     /// Writes a length-prefixed list of doubles.
     pub fn put_f64_slice(&mut self, vs: &[f64]) {
         self.put_varint(vs.len() as u64);
+        self.note_span(vs.len());
         for &v in vs {
             self.put_f64(v);
         }

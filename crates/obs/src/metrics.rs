@@ -432,6 +432,7 @@ impl MetricsSummary {
             .collect();
         let counters: Vec<String> = Counter::ALL
             .iter()
+            .filter(|c| self.counters[c.index()] != 0 || !c.omitted_when_zero())
             .map(|c| format!("\"{}\":{}", c.name(), self.counters[c.index()]))
             .collect();
         parts.push(format!("\"counters\":{{{}}}", counters.join(",")));

@@ -72,10 +72,19 @@ pub enum Counter {
     /// Candidate scores produced by the tiled dot-form micro-kernel
     /// (rows × centers pushed through the GEMM-style tiles).
     TileScores,
+    /// Raw (pre-compression) payload bytes moved by protocols running a
+    /// non-raw wire [`Encoding`](https://docs.rs/dpc_codec) — what the
+    /// same run would have charged without the codec.
+    BytesRaw,
+    /// Compressed (on-wire) payload bytes moved by protocols running a
+    /// non-raw wire encoding. Zero (with [`Counter::BytesRaw`]) on raw
+    /// runs, which is what keeps their traces byte-identical to the
+    /// pre-codec goldens.
+    BytesCompressed,
 }
 
 /// Number of distinct [`Counter`] identities.
-pub const COUNTER_COUNT: usize = 9;
+pub const COUNTER_COUNT: usize = 11;
 
 impl Counter {
     /// All counters, in index order.
@@ -89,6 +98,8 @@ impl Counter {
         Counter::SweepCellsDone,
         Counter::BoundSkips,
         Counter::TileScores,
+        Counter::BytesRaw,
+        Counter::BytesCompressed,
     ];
 
     /// Dense index of this counter (its slot in counter arrays).
@@ -103,6 +114,8 @@ impl Counter {
             Counter::SweepCellsDone => 6,
             Counter::BoundSkips => 7,
             Counter::TileScores => 8,
+            Counter::BytesRaw => 9,
+            Counter::BytesCompressed => 10,
         }
     }
 
@@ -118,6 +131,8 @@ impl Counter {
             Counter::SweepCellsDone => "sweep_cells_done",
             Counter::BoundSkips => "bound_skips",
             Counter::TileScores => "tile_scores",
+            Counter::BytesRaw => "bytes_raw",
+            Counter::BytesCompressed => "bytes_compressed",
         }
     }
 
@@ -126,7 +141,22 @@ impl Counter {
     /// traces and summaries still parse; the original set stays
     /// required — a missing one is a malformed document, not a zero.
     pub fn optional_in_v1(self) -> bool {
-        matches!(self, Counter::BoundSkips | Counter::TileScores)
+        matches!(
+            self,
+            Counter::BoundSkips
+                | Counter::TileScores
+                | Counter::BytesRaw
+                | Counter::BytesCompressed
+        )
+    }
+
+    /// Whether the JSONL counters line drops this counter when it is
+    /// zero. Only counters added *after* a zero literal for them was
+    /// already pinned into checked-in golden traces may set this —
+    /// omitting them keeps pre-codec traces byte-identical, and
+    /// [`Self::optional_in_v1`] makes the absence parse back as zero.
+    pub fn omitted_when_zero(self) -> bool {
+        matches!(self, Counter::BytesRaw | Counter::BytesCompressed)
     }
 }
 

@@ -113,6 +113,7 @@ impl Trace {
         }
         let totals: Vec<String> = Counter::ALL
             .iter()
+            .filter(|c| self.counters[c.index()] != 0 || !c.omitted_when_zero())
             .map(|c| format!("\"{}\":{}", c.name(), self.counters[c.index()]))
             .collect();
         out.push_str(&format!("{{\"ev\":\"counters\",{}}}\n", totals.join(",")));

@@ -24,6 +24,7 @@ use crate::engine::{StreamConfig, StreamEngine};
 use crate::wire::SummaryMsg;
 use bytes::Bytes;
 use dpc_cluster::Solution;
+use dpc_codec::Encoding;
 use dpc_coordinator::{
     run_protocol, CommStats, Coordinator, CoordinatorStep, FaultPlan, LinkModel, RunOptions, Site,
     TransportKind,
@@ -32,6 +33,7 @@ use dpc_core::wire::ThresholdMsg;
 use dpc_core::{allocate_outliers, geometric_grid, site_budget_from_threshold, ConvexProfile};
 use dpc_metric::{EuclideanMetric, Objective, PointSet, SquaredMetric, WeightedSet, WireWriter};
 use dpc_obs::{Counter, Event, RecorderHandle};
+use std::sync::{Arc, Mutex};
 
 use crate::summary::solve_weighted;
 
@@ -60,6 +62,11 @@ pub struct ContinuousConfig {
     /// next — crash-stop aliveness is scoped to a single protocol
     /// execution, not the fleet's lifetime.
     pub faults: FaultPlan,
+    /// Wire encoding every sync message is framed with. Under
+    /// [`Encoding::Rlz`] each site's round-1 summary upload is
+    /// reference-coded against its summary from the *previous* sync —
+    /// the continuous mode's natural dictionary.
+    pub encoding: Encoding,
 }
 
 impl ContinuousConfig {
@@ -75,7 +82,14 @@ impl ContinuousConfig {
             transport: TransportKind::Channel,
             link: LinkModel::ideal(),
             faults: FaultPlan::none(),
+            encoding: Encoding::Raw,
         }
+    }
+
+    /// Frames every sync message with the given wire encoding.
+    pub fn encoding(mut self, encoding: Encoding) -> Self {
+        self.encoding = encoding;
+        self
     }
 
     /// Switches the sync protocol's transport backend.
@@ -110,7 +124,8 @@ impl ContinuousConfig {
         w.put_f64(self.rho);
         w.put_f64(self.eps);
         w.put_varint(u64::from(self.stream.objective == Objective::Means));
-        w.finish()
+        // Framed like every sync message for uniform driver accounting.
+        dpc_codec::frame(self.encoding, w, &[])
     }
 }
 
@@ -130,7 +145,7 @@ pub struct SyncRecord {
 }
 
 /// A fleet of streaming sites plus the periodic sync machinery.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct ContinuousCluster {
     cfg: ContinuousConfig,
     dim: usize,
@@ -138,8 +153,35 @@ pub struct ContinuousCluster {
     ingested: u64,
     since_sync: u64,
     recorder: RecorderHandle,
+    /// Per-site RLZ dictionary slot: the raw bytes of the summary the
+    /// site uploaded in its last *delivered* sync round. A site writes
+    /// its slot exactly when the coordinator receives its reply (the
+    /// fault plan decides delivery before the site runs), so encoder and
+    /// decoder always agree on the reference.
+    prev_summaries: Vec<Arc<Mutex<Option<Bytes>>>>,
     /// Every sync executed so far, in order.
     pub history: Vec<SyncRecord>,
+}
+
+impl Clone for ContinuousCluster {
+    fn clone(&self) -> Self {
+        Self {
+            cfg: self.cfg.clone(),
+            dim: self.dim,
+            sites: self.sites.clone(),
+            ingested: self.ingested,
+            since_sync: self.since_sync,
+            recorder: self.recorder.clone(),
+            // Deep-copy the dictionary slots: a cloned fleet must not
+            // mutate the original's RLZ references.
+            prev_summaries: self
+                .prev_summaries
+                .iter()
+                .map(|s| Arc::new(Mutex::new(s.lock().unwrap().clone())))
+                .collect(),
+            history: self.history.clone(),
+        }
+    }
 }
 
 impl ContinuousCluster {
@@ -160,6 +202,7 @@ impl ContinuousCluster {
             sites: (0..sites)
                 .map(|_| StreamEngine::new(dim, cfg.stream))
                 .collect(),
+            prev_summaries: (0..sites).map(|_| Arc::new(Mutex::new(None))).collect(),
             cfg,
             dim,
             ingested: 0,
@@ -250,12 +293,27 @@ impl ContinuousCluster {
             .iter()
             .enumerate()
             .map(|(i, (pts, w))| {
-                Box::new(SummarySite::new(pts, w, i, self.cfg.clone())) as Box<dyn Site + '_>
+                Box::new(SummarySite::new(
+                    pts,
+                    w,
+                    i,
+                    self.cfg.clone(),
+                    Arc::clone(&self.prev_summaries[i]),
+                )) as Box<dyn Site + '_>
             })
+            .collect();
+        // Snapshot the pre-sync dictionaries now: sites overwrite their
+        // slots with this sync's summaries while the protocol runs, and
+        // the coordinator must decode against the *previous* ones.
+        let dicts: Vec<Bytes> = self
+            .prev_summaries
+            .iter()
+            .map(|s| s.lock().unwrap().clone().unwrap_or_default())
             .collect();
         let coordinator = SyncCoordinator {
             cfg: self.cfg.clone(),
             dim: self.dim,
+            dicts,
             result: None,
         };
         // Each sync gets an independently-seeded copy of the fault plan:
@@ -271,7 +329,7 @@ impl ContinuousCluster {
                 link: self.cfg.link,
                 faults,
                 recorder: self.recorder.clone(),
-                ..Default::default()
+                ..RunOptions::new().encoding(self.cfg.encoding)
             },
         );
         let (centers, cost, excluded_weight) = out.output;
@@ -301,22 +359,43 @@ struct SummarySite<'a> {
     w: &'a WeightedSet,
     site_id: usize,
     cfg: ContinuousConfig,
+    /// This site's RLZ dictionary slot (see
+    /// [`ContinuousCluster::prev_summaries`]): read to reference-code
+    /// this sync's upload, then overwritten with its raw bytes.
+    prev: Arc<Mutex<Option<Bytes>>>,
     grid: Vec<usize>,
     sols: Vec<Solution>,
     profile: Option<ConvexProfile>,
 }
 
 impl<'a> SummarySite<'a> {
-    fn new(pts: &'a PointSet, w: &'a WeightedSet, site_id: usize, cfg: ContinuousConfig) -> Self {
+    fn new(
+        pts: &'a PointSet,
+        w: &'a WeightedSet,
+        site_id: usize,
+        cfg: ContinuousConfig,
+        prev: Arc<Mutex<Option<Bytes>>>,
+    ) -> Self {
         Self {
             pts,
             w,
             site_id,
             cfg,
+            prev,
             grid: Vec::new(),
             sols: Vec::new(),
             profile: None,
         }
+    }
+
+    /// Frames this sync's summary upload against the previous sync's
+    /// summary, then installs the new raw bytes as the next dictionary.
+    fn ship_summary(&self, msg: &SummaryMsg) -> Bytes {
+        let mut slot = self.prev.lock().unwrap();
+        let dict = slot.clone().unwrap_or_default();
+        let framed = msg.encode_with(self.cfg.encoding, &dict);
+        *slot = Some(msg.encode());
+        framed
     }
 
     fn evaluate(&self, centers: Vec<usize>, budget: f64) -> Solution {
@@ -365,15 +444,15 @@ impl<'a> SummarySite<'a> {
         let mut w = WireWriter::new();
         profile.encode(&mut w);
         self.profile = Some(profile);
-        w.finish()
+        dpc_codec::frame(self.cfg.encoding, w, &[])
     }
 
     /// Round 1: derive `t_i` (the shared Algorithm 1 line 12–13 rule),
     /// re-evaluate the matching grid solution, ship the weighted summary.
     fn respond_threshold(&mut self, msg: &Bytes) -> Bytes {
-        let thr = ThresholdMsg::decode(msg.clone());
+        let thr = ThresholdMsg::decode_with(self.cfg.encoding, msg.clone());
         if self.w.is_empty() {
-            return SummaryMsg::empty(self.pts.dim()).encode();
+            return self.ship_summary(&SummaryMsg::empty(self.pts.dim()));
         }
         let prof = self.profile.as_ref().expect("profile built in round 0");
         let ti = site_budget_from_threshold(prof, self.site_id, self.cfg.stream.t, &thr);
@@ -387,7 +466,9 @@ impl<'a> SummarySite<'a> {
         // then ship every live entry as a weighted outlier).
         let budget = (ti as f64).min(self.w.total_weight());
         let sol = self.evaluate(centers, budget);
-        SummaryMsg::from_solution(self.pts, self.w, &sol, ti as u64).encode()
+        self.ship_summary(&SummaryMsg::from_solution(
+            self.pts, self.w, &sol, ti as u64,
+        ))
     }
 }
 
@@ -405,6 +486,9 @@ impl Site for SummarySite<'_> {
 struct SyncCoordinator {
     cfg: ContinuousConfig,
     dim: usize,
+    /// Per-site decode dictionaries: each site's previous-sync summary,
+    /// snapshotted before this sync's protocol started.
+    dicts: Vec<Bytes>,
     result: Option<(PointSet, f64, f64)>,
 }
 
@@ -430,12 +514,14 @@ impl Coordinator for SyncCoordinator {
                     .iter()
                     .flatten()
                     .map(|b| {
-                        let mut r = dpc_metric::WireReader::new(b.clone());
+                        let payload = dpc_codec::unframe(self.cfg.encoding, b.clone(), &[]);
+                        let mut r = dpc_metric::WireReader::new(payload);
                         ConvexProfile::decode(&mut r)
                     })
                     .collect();
                 let t = self.cfg.stream.t;
-                let msg_for = |threshold: f64, i0: u64, q0: u64| {
+                let enc = self.cfg.encoding;
+                let msg_for = move |threshold: f64, i0: u64, q0: u64| {
                     move |i: usize| {
                         ThresholdMsg {
                             threshold,
@@ -443,7 +529,7 @@ impl Coordinator for SyncCoordinator {
                             q0,
                             exceptional: i as u64 == i0,
                         }
-                        .encode()
+                        .encode_with(enc)
                     }
                 };
                 let msgs = if profiles.is_empty() || t == 0 {
@@ -476,8 +562,12 @@ impl SyncCoordinator {
     fn solve_final(&self, replies: Vec<Option<Bytes>>) -> (PointSet, f64, f64) {
         let msgs: Vec<SummaryMsg> = replies
             .into_iter()
-            .flatten()
-            .map(SummaryMsg::decode)
+            .enumerate()
+            .filter_map(|(i, r)| {
+                // Decode site i's upload against site i's dictionary: the
+                // responder index must survive the drop-out filter.
+                r.map(|b| SummaryMsg::decode_with(self.cfg.encoding, b, &self.dicts[i]))
+            })
             .collect();
         let dim = msgs
             .iter()
@@ -640,6 +730,45 @@ mod tests {
         c.ingest(0, &[1.0, 1.0]);
         let idx = c.sync_if_stale();
         assert_eq!((idx, c.history.len()), (1, 2), "stale ingest forces a sync");
+    }
+
+    #[test]
+    fn rlz_sync_references_previous_summary() {
+        // A slowly drifting fleet produces near-identical consecutive
+        // summaries; once the first sync seeds the per-site dictionaries,
+        // RLZ syncs must (a) pick exactly the centers a Raw run picks
+        // (lossless) and (b) spend visibly fewer wire bytes than their
+        // own raw payloads.
+        let run = |encoding: Encoding| {
+            let cfg = ContinuousConfig {
+                stream: StreamConfig::new(3, 2).block(64),
+                ..ContinuousConfig::new(3, 2)
+            }
+            .sync_every(u64::MAX)
+            .encoding(encoding);
+            let mut c = ContinuousCluster::new(2, 3, cfg);
+            feed(&mut c, 600);
+            c.sync(); // seeds the dictionaries
+            feed(&mut c, 60); // small drift
+            c.sync(); // reference-coded against sync 0
+            c
+        };
+        let raw = run(Encoding::Raw);
+        let rlz = run(Encoding::Rlz);
+        let (raw_rec, rlz_rec) = (&raw.history[1], &rlz.history[1]);
+        assert_eq!(raw_rec.centers.len(), rlz_rec.centers.len());
+        for i in 0..raw_rec.centers.len() {
+            assert_eq!(raw_rec.centers.point(i), rlz_rec.centers.point(i));
+        }
+        assert_eq!(raw_rec.cost, rlz_rec.cost, "RLZ is lossless");
+        // Pre-codec sizes match the raw run; wire bytes shrink on the
+        // dictionary-backed second sync.
+        assert_eq!(rlz_rec.stats.raw_bytes(), raw_rec.stats.total_bytes());
+        assert!(
+            rlz_rec.stats.compression_ratio() > 1.2,
+            "second-sync ratio {}",
+            rlz_rec.stats.compression_ratio()
+        );
     }
 
     #[test]

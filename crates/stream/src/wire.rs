@@ -12,6 +12,7 @@
 
 use bytes::Bytes;
 use dpc_cluster::Solution;
+use dpc_codec::Encoding;
 use dpc_metric::{PointSet, WeightedSet, WireReader, WireWriter};
 
 /// A site's weighted summary, shipped in the final sync round.
@@ -81,8 +82,7 @@ impl SummaryMsg {
         );
     }
 
-    /// Serializes the summary.
-    pub fn encode(&self) -> Bytes {
+    fn write(&self) -> WireWriter {
         let mut w = WireWriter::new();
         w.put_varint(self.centers.dim() as u64);
         w.put_varint(self.centers.len() as u64);
@@ -96,7 +96,30 @@ impl SummaryMsg {
             w.put_f64(self.outlier_weights[i]);
         }
         w.put_varint(self.t_i);
-        w.finish()
+        w
+    }
+
+    /// Serializes the summary uncompressed.
+    pub fn encode(&self) -> Bytes {
+        self.write().finish()
+    }
+
+    /// Serializes the summary inside a codec frame. Under
+    /// [`Encoding::Rlz`] the `dict` is the site's *previous* sync
+    /// summary (its raw [`Self::encode`] bytes): consecutive summaries
+    /// of a slowly drifting stream share most of their bytes, which is
+    /// exactly what reference coding exploits. Other encodings ignore
+    /// the dictionary; [`Encoding::Raw`] produces [`Self::encode`]'s
+    /// bytes unchanged.
+    pub fn encode_with(&self, encoding: Encoding, dict: &[u8]) -> Bytes {
+        dpc_codec::frame(encoding, self.write(), dict)
+    }
+
+    /// Deserializes a summary produced by [`Self::encode_with`] with the
+    /// same encoding and dictionary. An RLZ frame whose dictionary does
+    /// not match panics rather than silently corrupting coordinates.
+    pub fn decode_with(encoding: Encoding, buf: Bytes, dict: &[u8]) -> Self {
+        Self::decode(dpc_codec::unframe(encoding, buf, dict))
     }
 
     /// Deserializes a summary produced by [`Self::encode`].

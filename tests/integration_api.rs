@@ -123,6 +123,9 @@ fn artifact_json_schema_is_pinned() {
         syncs: None,
         points_per_sec: Some(1000.0),
         metrics: None,
+        encoding: None,
+        bytes_raw: None,
+        quality_delta: None,
     };
     let golden = include_str!("golden/artifact.json");
     assert_eq!(

@@ -109,3 +109,33 @@ fn link_model_is_deterministic_and_additive_across_backends() {
     assert!(nets[0] >= Duration::from_millis(12), "2 rounds x 2 x 3ms");
     assert!(nets.iter().all(|&n| n == nets[0]), "{nets:?}");
 }
+
+#[test]
+fn wire_encodings_are_backend_invariant_and_raw_stays_byte_identical() {
+    let (shards, _) = test_util::mixture_shards(3, 4, 400, 6, PartitionStrategy::Random, 23, 0);
+    let cfg = MedianConfig::new(3, 6);
+    // The pre-codec wire format: default config (encoding unset).
+    let base = run_distributed_median(&shards, cfg, RunOptions::sequential());
+    for options in options_matrix() {
+        // `encoding=raw` must leave every per-round, per-site charge
+        // byte-identical to that baseline on Inline, Channel and Tcp.
+        let raw = run_distributed_median(&shards, cfg.encoding(Encoding::Raw), options.clone());
+        assert_eq!(raw.output.centers, base.output.centers, "raw centers");
+        assert_charges_identical("explicit raw", &base.stats, &raw.stats);
+        assert_eq!(raw.stats.raw_bytes(), raw.stats.total_bytes(), "raw ratio");
+        // Every other mode decodes successfully on every backend and
+        // reports the exact uncompressed byte total it stands in for.
+        for enc in [Encoding::F32, Encoding::F16, Encoding::Delta, Encoding::Rlz] {
+            let out = run_distributed_median(&shards, cfg.encoding(enc), options.clone());
+            assert!(out.output.coordinator_cost.is_finite(), "{enc}");
+            assert_eq!(out.stats.raw_bytes(), base.stats.total_bytes(), "{enc}");
+            if enc.is_lossless() {
+                assert_eq!(out.output.centers, base.output.centers, "{enc}");
+                assert_eq!(
+                    out.output.coordinator_cost, base.output.coordinator_cost,
+                    "{enc}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Offline stand-in for the `half` crate (f16 conversion subset).
+//!
+//! The build environment has no registry access, so this vendored crate
+//! provides exactly the surface `dpc_codec` uses: the [`f16`] storage
+//! type with `from_f64` / `to_f64` / `from_bits` / `to_bits` and the
+//! IEEE-754 binary16 constants. Conversions round to nearest, ties to
+//! even, and handle subnormals, infinities and NaN — the same results
+//! as the real crate's software path. Swap this directory for the real
+//! crate when a registry is available; no call sites need to change.
+
+/// A 16-bit IEEE-754 binary16 floating-point number, stored as its bit
+/// pattern.
+#[allow(non_camel_case_types)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct f16(u16);
+
+impl f16 {
+    /// Largest finite binary16 value (65504).
+    pub const MAX: f16 = f16(0x7bff);
+    /// Smallest positive subnormal binary16 value (2⁻²⁴).
+    pub const MIN_POSITIVE_SUBNORMAL: f16 = f16(0x0001);
+
+    /// Reinterprets a raw bit pattern as a binary16 value.
+    pub const fn from_bits(bits: u16) -> f16 {
+        f16(bits)
+    }
+
+    /// The raw bit pattern.
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts from `f32`, rounding to nearest (ties to even).
+    pub fn from_f32(v: f32) -> f16 {
+        let bits = v.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xff) as i32;
+        let frac = bits & 0x7f_ffff;
+        if exp == 0xff {
+            // Infinity or NaN; keep NaN payloads non-zero.
+            let payload = if frac == 0 { 0 } else { 0x200 | (frac >> 13) as u16 };
+            return f16(sign | 0x7c00 | payload);
+        }
+        // Unbiased exponent of the f32 value.
+        let e = exp - 127;
+        if e > 15 {
+            // Overflows binary16: round to infinity.
+            return f16(sign | 0x7c00);
+        }
+        if e < -25 {
+            // Below half the smallest subnormal: rounds to zero.
+            return f16(sign);
+        }
+        // Significand with the implicit leading one (24 bits), except for
+        // f32 subnormals, which are far below the binary16 subnormal
+        // range and were caught above.
+        let sig = 0x80_0000 | frac;
+        // Shift so the result keeps 11 significant bits (10 stored).
+        // Normal results shift by 13; subnormal results shift more.
+        let shift = if e < -14 { 13 + (-14 - e) } else { 13 } as u32;
+        let halfway = 1u32 << (shift - 1);
+        let rem = sig & ((1 << shift) - 1);
+        let mut out = (sig >> shift) as u16;
+        if rem > halfway || (rem == halfway && out & 1 == 1) {
+            out += 1; // may carry into the exponent, which is correct
+        }
+        if e >= -14 {
+            // Re-bias the exponent; `out` still contains the implicit bit
+            // at position 10, so add the exponent field around it.
+            let exp16 = (e + 15) as u16;
+            f16(sign | ((exp16 - 1) << 10).wrapping_add(out))
+        } else {
+            f16(sign | out)
+        }
+    }
+
+    /// Converts from `f64` by way of `f32`.
+    ///
+    /// Double rounding (f64 → f32 → f16) can differ from a single
+    /// rounding by at most one ulp of binary16; `dpc_codec`'s declared
+    /// error envelope covers it.
+    pub fn from_f64(v: f64) -> f16 {
+        f16::from_f32(v as f32)
+    }
+
+    /// Converts to `f32` exactly (binary16 ⊂ binary32).
+    pub fn to_f32(self) -> f32 {
+        let sign = u32::from(self.0 & 0x8000) << 16;
+        let exp = (self.0 >> 10) & 0x1f;
+        let frac = u32::from(self.0 & 0x3ff);
+        match exp {
+            0 => {
+                if frac == 0 {
+                    f32::from_bits(sign)
+                } else {
+                    // Subnormal: value = frac · 2⁻²⁴.
+                    let v = frac as f32 * (1.0 / (1 << 24) as f32);
+                    if sign != 0 {
+                        -v
+                    } else {
+                        v
+                    }
+                }
+            }
+            0x1f => {
+                if frac == 0 {
+                    f32::from_bits(sign | 0x7f80_0000)
+                } else {
+                    f32::from_bits(sign | 0x7fc0_0000 | (frac << 13))
+                }
+            }
+            _ => {
+                let exp32 = u32::from(exp) + (127 - 15);
+                f32::from_bits(sign | (exp32 << 23) | (frac << 13))
+            }
+        }
+    }
+
+    /// Converts to `f64` exactly (binary16 ⊂ binary64).
+    pub fn to_f64(self) -> f64 {
+        f64::from(self.to_f32())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_round_trip() {
+        for v in [0.0f64, -0.0, 1.0, -1.0, 0.5, 2.0, 65504.0, 1024.0, 0.25] {
+            assert_eq!(f16::from_f64(v).to_f64(), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn signs_and_specials() {
+        assert_eq!(f16::from_f64(f64::INFINITY).to_bits(), 0x7c00);
+        assert_eq!(f16::from_f64(f64::NEG_INFINITY).to_bits(), 0xfc00);
+        assert!(f16::from_f64(f64::NAN).to_f64().is_nan());
+        assert_eq!(f16::from_f64(-0.0).to_bits(), 0x8000);
+        // Overflow rounds to infinity.
+        assert_eq!(f16::from_f64(1e6).to_bits(), 0x7c00);
+        // Underflow rounds to (signed) zero.
+        assert_eq!(f16::from_f64(1e-9).to_bits(), 0x0000);
+        assert_eq!(f16::from_f64(-1e-9).to_bits(), 0x8000);
+    }
+
+    #[test]
+    fn subnormals() {
+        // Smallest subnormal is 2⁻²⁴.
+        let tiny = (2.0f64).powi(-24);
+        assert_eq!(f16::from_f64(tiny).to_bits(), 0x0001);
+        assert_eq!(f16::from_bits(0x0001).to_f64(), tiny);
+        // Largest subnormal.
+        let big_sub = 1023.0 * tiny;
+        assert_eq!(f16::from_f64(big_sub).to_f64(), big_sub);
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2⁻¹¹ is exactly halfway between 1 and 1 + 2⁻¹⁰: ties to
+        // even keep 1.0.
+        let halfway = 1.0 + (2.0f64).powi(-11);
+        assert_eq!(f16::from_f64(halfway).to_f64(), 1.0);
+        // Just above halfway rounds up.
+        let above = 1.0 + (2.0f64).powi(-11) + (2.0f64).powi(-20);
+        assert_eq!(f16::from_f64(above).to_f64(), 1.0 + (2.0f64).powi(-10));
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // |x - f16(x)| ≤ |x|·2⁻¹⁰ + 2⁻²⁴ over a wide sweep.
+        let mut x = 1e-8f64;
+        while x < 6e4 {
+            for v in [x, -x] {
+                let back = f16::from_f64(v).to_f64();
+                let eps = v.abs() * (2.0f64).powi(-10) + (2.0f64).powi(-24);
+                assert!((v - back).abs() <= eps, "{v} -> {back}");
+            }
+            x *= 1.37;
+        }
+    }
+}

@@ -508,9 +508,11 @@ impl JobBuilder {
     }
 
     /// Caps the bulk-kernel thread budget inside the solvers (site-side
-    /// assignment, coordinator scoring). Defaults to 1 so jobs compose
-    /// with [`crate::Sweep`] workers and per-site transport threads
-    /// without oversubscribing; results are identical at any budget.
+    /// assignment, coordinator scoring) and, on the mux transport, the
+    /// coordinator's event-loop shard pool. Defaults to 1 so jobs
+    /// compose with [`crate::Sweep`] workers and per-site transport
+    /// threads without oversubscribing; results are identical at any
+    /// budget.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
@@ -712,6 +714,17 @@ impl JobBuilder {
                 resolved.sites = shards;
             }
         }
+        // After site-count resolution: a mux shard budget beyond the
+        // site count leaves event-loop shards with no connections.
+        if resolved.transport == TransportKind::Mux
+            && resolved.job.uses_runtime()
+            && resolved.threads > resolved.sites
+        {
+            warnings.push(ConfigWarning::MuxShardsExceedSites {
+                shards: resolved.threads,
+                sites: resolved.sites,
+            });
+        }
 
         Ok(ValidJob {
             spec: resolved,
@@ -758,9 +771,12 @@ impl ValidJob {
             parallel: self.spec.parallel,
             faults: self.spec.fault_plan(),
             recorder: rec.clone(),
+            // The thread budget doubles as the mux backend's event-loop
+            // shard budget (other backends ignore it).
             ..RunOptions::new()
                 .transport(self.spec.transport)
                 .link(self.spec.link)
+                .shards(self.spec.threads)
         }
     }
 
@@ -1590,6 +1606,45 @@ mod tests {
             vj.warnings()
         );
         assert_eq!(vj.run().encoding, None);
+    }
+
+    #[test]
+    fn mux_shard_budget_beyond_sites_warns_but_runs() {
+        let vj = Job::median(2, 1)
+            .transport(TransportKind::Mux)
+            .sites(2)
+            .threads(8)
+            .points(mix(100, 1))
+            .validate()
+            .unwrap();
+        assert!(
+            vj.warnings().iter().any(|w| matches!(
+                w,
+                ConfigWarning::MuxShardsExceedSites {
+                    shards: 8,
+                    sites: 2
+                }
+            )),
+            "{:?}",
+            vj.warnings()
+        );
+        let art = vj.run();
+        assert_eq!(art.sites, 2);
+        // A budget within the site count is clean.
+        let vj = Job::median(2, 1)
+            .transport(TransportKind::Mux)
+            .sites(4)
+            .threads(2)
+            .points(mix(100, 1))
+            .validate()
+            .unwrap();
+        assert!(
+            !vj.warnings()
+                .iter()
+                .any(|w| matches!(w, ConfigWarning::MuxShardsExceedSites { .. })),
+            "{:?}",
+            vj.warnings()
+        );
     }
 
     #[test]

@@ -205,10 +205,15 @@ options:
   --json           emit JSON (includes per-round comm/compute stats)
 
 transport options (distributed commands and stream --sync-every):
-  --transport <channel|tcp>  message-passing backend (default channel):
-                             'channel' keeps one persistent in-process
-                             worker per site; 'tcp' runs each site behind
-                             a loopback socket with length-prefixed frames
+  --transport <channel|tcp|mux>  message-passing backend (default
+                             channel): 'channel' keeps one persistent
+                             in-process worker per site; 'tcp' runs each
+                             site behind a loopback socket with
+                             length-prefixed frames; 'mux' keeps the tcp
+                             site workers but multiplexes the coordinator
+                             side onto a fixed pool of poll(2) event-loop
+                             shards (set by --threads), so thousands of
+                             sites fit in one process
   --encoding <enc>           wire codec for protocol messages (default
                              raw): raw keeps the exact bytes; f32/f16
                              quantize coordinates lossily; delta packs
@@ -490,8 +495,9 @@ fn parse_transport(s: &str) -> Result<TransportKind, ParseError> {
     match s {
         "channel" => Ok(TransportKind::Channel),
         "tcp" => Ok(TransportKind::Tcp),
+        "mux" => Ok(TransportKind::Mux),
         other => Err(ParseError(format!(
-            "unknown transport '{other}' (channel|tcp)"
+            "unknown transport '{other}' (channel|tcp|mux)"
         ))),
     }
 }
@@ -671,6 +677,8 @@ mod tests {
         assert_eq!(o.transport, TransportKind::Tcp);
         assert_eq!(o.latency, Duration::from_millis(5));
         assert_eq!(o.bandwidth, 10e6);
+        let o = parse_args(&sv(&["median", "--transport", "mux", "x.csv"])).unwrap();
+        assert_eq!(o.transport, TransportKind::Mux);
         // Defaults.
         let o = parse_args(&sv(&["median", "x.csv"])).unwrap();
         assert_eq!(o.transport, TransportKind::Channel);
@@ -762,7 +770,7 @@ mod tests {
             "--t",
             "1,8",
             "--transport",
-            "channel,tcp",
+            "channel,tcp,mux",
             "--sites",
             "3",
             "--parallelism",
@@ -782,7 +790,11 @@ mod tests {
         assert_eq!(s.sites, vec![3]);
         assert_eq!(
             s.transports,
-            vec![TransportKind::Channel, TransportKind::Tcp]
+            vec![
+                TransportKind::Channel,
+                TransportKind::Tcp,
+                TransportKind::Mux
+            ]
         );
         assert_eq!(s.parallelism, 2);
     }

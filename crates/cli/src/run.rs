@@ -580,6 +580,33 @@ mod tests {
     }
 
     #[test]
+    fn mux_transport_end_to_end_matches_channel() {
+        let base = opts(&["median", "--k", "2", "--t", "1", "--sites", "3", "in.csv"]);
+        let mux = opts(&[
+            "median",
+            "--k",
+            "2",
+            "--t",
+            "1",
+            "--sites",
+            "3",
+            "--transport",
+            "mux",
+            "--threads",
+            "2",
+            "in.csv",
+        ]);
+        let a = execute(&base, toy_csv().as_bytes()).unwrap();
+        let b = execute(&mux, toy_csv().as_bytes()).unwrap();
+        assert_eq!(a.transport.as_deref(), Some("channel"));
+        assert_eq!(b.transport.as_deref(), Some("mux"));
+        // The event-loop backend moves the same bytes to the same answer.
+        assert_eq!(a.bytes, b.bytes);
+        assert_eq!(a.centers, b.centers);
+        assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
     fn fault_flags_end_to_end() {
         // Seeded dropout degrades rounds but the protocol still answers;
         // identical flags reproduce the identical artifact.

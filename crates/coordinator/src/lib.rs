@@ -24,9 +24,17 @@
 //!   site with an mpsc mailbox (sites are spawned once per execution, not
 //!   once per round); the [`TcpTransport`] backend puts every site behind
 //!   a loopback TCP socket with length-prefixed frames, proving the wire
-//!   formats round-trip a real socket; [`InlineTransport`] runs sites
-//!   sequentially for deterministic tests. Select one via
-//!   [`RunOptions::transport`].
+//!   formats round-trip a real socket; the [`MuxTransport`] backend keeps
+//!   those TCP site workers but multiplexes the coordinator side onto a
+//!   fixed pool of event-loop shards — sites partitioned round-robin,
+//!   non-blocking sockets, one `poll(2)` readiness loop per shard driving
+//!   `WriteHeader → WriteBody → ReadHeader → ReadBody` state machines
+//!   with reusable buffers and vectored writes — so one process sustains
+//!   thousands of sites with O(shards) coordinator threads (the `poll`
+//!   syscall comes from the thin vendored `sys_poll` FFI wrapper, same
+//!   no-registry discipline as the rest of `vendor/`);
+//!   [`InlineTransport`] runs sites sequentially for deterministic
+//!   tests. Select one via [`RunOptions::transport`].
 //! * **The link model** ([`LinkModel`]) simulates per-message latency and
 //!   bandwidth, folded into [`RoundStats::network`], so the
 //!   communication-vs-time trade-off is a measurable, tunable axis: the
@@ -46,6 +54,7 @@
 
 pub mod channel;
 pub mod fault;
+pub mod mux;
 pub mod protocol;
 pub mod stats;
 pub mod tcp;
@@ -53,6 +62,7 @@ pub mod transport;
 
 pub use channel::ChannelTransport;
 pub use fault::{Attempt, FaultPlan};
+pub use mux::MuxTransport;
 pub use protocol::{
     drive, run_protocol, Coordinator, CoordinatorStep, ProtocolOutput, RunOptions, Site,
 };

@@ -9,6 +9,7 @@
 
 use crate::channel::ChannelTransport;
 use crate::fault::{Attempt, FaultPlan};
+use crate::mux::MuxTransport;
 use crate::stats::{CommStats, RoundStats};
 use crate::tcp::TcpTransport;
 use crate::transport::{InlineTransport, LinkModel, Transport, TransportKind};
@@ -87,6 +88,13 @@ pub struct RunOptions {
     /// accounting. [`Encoding::Raw`] (the default) charges raw ==
     /// compressed and skips the header peek entirely.
     pub encoding: Encoding,
+    /// Event-loop shard budget for [`TransportKind::Mux`] (ignored by
+    /// every other backend). `None` (the default) derives the pool size
+    /// from [`std::thread::available_parallelism`]; whatever the
+    /// source, [`MuxTransport::start`] clamps it to `1..=sites`. Shard
+    /// count never affects results — only coordinator-side thread
+    /// count and wall clock.
+    pub shards: Option<usize>,
 }
 
 impl Default for RunOptions {
@@ -107,6 +115,7 @@ impl RunOptions {
             faults: FaultPlan::none(),
             recorder: RecorderHandle::noop(),
             encoding: Encoding::Raw,
+            shards: None,
         }
     }
 
@@ -147,6 +156,12 @@ impl RunOptions {
         self.encoding = encoding;
         self
     }
+
+    /// Sets the mux backend's event-loop shard budget.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
+        self
+    }
 }
 
 /// Result of a protocol execution.
@@ -184,6 +199,14 @@ pub fn run_protocol<C: Coordinator>(
         }),
         TransportKind::Tcp => std::thread::scope(|scope| {
             let mut transport = TcpTransport::start(scope, sites);
+            drive(&mut transport, coordinator, options)
+        }),
+        TransportKind::Mux => std::thread::scope(|scope| {
+            let shards = options.shards.unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            });
+            let recorder = options.recorder.clone();
+            let mut transport = MuxTransport::start(scope, sites, shards, recorder);
             drive(&mut transport, coordinator, options)
         }),
     }
@@ -538,6 +561,8 @@ mod tests {
         for options in [
             RunOptions::new(),
             RunOptions::new().transport(TransportKind::Tcp),
+            RunOptions::new().transport(TransportKind::Mux),
+            RunOptions::new().transport(TransportKind::Mux).shards(2),
         ] {
             let out = run_with(options);
             assert_eq!(out.output, base.output);
@@ -712,7 +737,10 @@ mod tests {
         let base = run_tolerant(RunOptions::sequential().faults(plan.clone()));
         for options in [
             RunOptions::new().faults(plan.clone()),
-            RunOptions::new().transport(TransportKind::Tcp).faults(plan),
+            RunOptions::new()
+                .transport(TransportKind::Tcp)
+                .faults(plan.clone()),
+            RunOptions::new().transport(TransportKind::Mux).faults(plan),
         ] {
             let out = run_tolerant(options);
             assert_eq!(out.output, base.output);
@@ -876,7 +904,11 @@ mod tests {
             }
             fn finish(self) {}
         }
-        for transport in [TransportKind::Channel, TransportKind::Tcp] {
+        for transport in [
+            TransportKind::Channel,
+            TransportKind::Tcp,
+            TransportKind::Mux,
+        ] {
             let mut sites: Vec<Box<dyn Site>> = vec![
                 Box::new(PickySite { expect: 7 }),
                 Box::new(PickySite { expect: 9 }),

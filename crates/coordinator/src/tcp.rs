@@ -18,18 +18,45 @@
 //! byte, which no amount of in-process simulation establishes.
 //!
 //! `TCP_NODELAY` is set on both ends — rounds are strict request/reply
-//! exchanges, exactly the pattern Nagle's algorithm penalizes.
+//! exchanges, exactly the pattern Nagle's algorithm penalizes. Frames
+//! go out through `write_frame`: one vectored write carries the
+//! header and the payload together, so a small protocol round costs one
+//! syscall in each direction instead of two.
 
 use crate::protocol::Site;
 use crate::transport::{SiteReply, Transport};
 use bytes::Bytes;
-use std::io::{Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::thread::Scope;
 use std::time::{Duration, Instant};
 
 /// Shutdown sentinel in the `round` header field.
-const SHUTDOWN: u32 = u32::MAX;
+pub(crate) const SHUTDOWN: u32 = u32::MAX;
+
+/// Writes `header` then `body` as a single vectored write, looping on
+/// short writes (a kernel may accept any prefix of the two buffers).
+/// Shared by both directions of this backend and by the mux site
+/// workers — the frame layouts differ only in header contents.
+pub(crate) fn write_frame<W: Write>(conn: &mut W, header: &[u8], body: &[u8]) -> io::Result<()> {
+    let total = header.len() + body.len();
+    let mut written = 0usize;
+    while written < total {
+        let res = if written < header.len() {
+            conn.write_vectored(&[IoSlice::new(&header[written..]), IoSlice::new(body)])
+        } else {
+            conn.write(&body[written - header.len()..])
+        };
+        match res {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => written += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
 
 /// The loopback-socket backend. See the module docs.
 pub struct TcpTransport {
@@ -63,8 +90,16 @@ impl TcpTransport {
     }
 }
 
-/// One site's serving loop: read a frame, run the site, reply.
-fn serve_site(site: &mut (dyn Site + '_), mut conn: TcpStream, site_id: usize) {
+/// One site's serving loop: read a frame, run the site, reply. Shared
+/// with the mux backend — site workers are identical there; only the
+/// coordinator side differs.
+pub(crate) fn serve_site(site: &mut (dyn Site + '_), mut conn: TcpStream, site_id: usize) {
+    // Abortive close on the worker end: this side closes only after
+    // consuming the shutdown frame (both directions provably drained),
+    // and the RST spares both sockets 60 s of TIME_WAIT — at thousands
+    // of sites per run, a torn-down fleet would otherwise degrade every
+    // following run while the kernel's connection table drains.
+    sys_poll::set_abortive_close(conn.as_raw_fd()).ok();
     loop {
         let mut header = [0u8; 8];
         if conn.read_exact(&mut header).is_err() {
@@ -84,11 +119,10 @@ fn serve_site(site: &mut (dyn Site + '_), mut conn: TcpStream, site_id: usize) {
         let compute = t0.elapsed();
         let body = reply.as_ref();
         let len = u32::try_from(body.len()).expect("reply fits a u32 length prefix");
-        let mut frame = Vec::with_capacity(12 + body.len());
-        frame.extend_from_slice(&(compute.as_nanos() as u64).to_le_bytes());
-        frame.extend_from_slice(&len.to_le_bytes());
-        frame.extend_from_slice(body);
-        if conn.write_all(&frame).is_err() {
+        let mut header = [0u8; 12];
+        header[..8].copy_from_slice(&(compute.as_nanos() as u64).to_le_bytes());
+        header[8..].copy_from_slice(&len.to_le_bytes());
+        if write_frame(&mut conn, &header, body).is_err() {
             return;
         }
     }
@@ -112,13 +146,10 @@ impl Transport for TcpTransport {
             let Some(msg) = msg else { continue };
             let body = msg.as_ref();
             let len = u32::try_from(body.len()).expect("message fits a u32 length prefix");
-            let mut frame = Vec::with_capacity(8 + body.len());
-            frame.extend_from_slice(&round.to_le_bytes());
-            frame.extend_from_slice(&len.to_le_bytes());
-            frame.extend_from_slice(body);
-            stream
-                .write_all(&frame)
-                .expect("write request frame to site");
+            let mut header = [0u8; 8];
+            header[..4].copy_from_slice(&round.to_le_bytes());
+            header[4..].copy_from_slice(&len.to_le_bytes());
+            write_frame(stream, &header, body).expect("write request frame to site");
         }
         // Gather in site order.
         self.streams

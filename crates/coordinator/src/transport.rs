@@ -9,7 +9,7 @@
 //! is deliberately not charged, because the paper's communication bounds
 //! are stated over message contents.
 //!
-//! Three backends exist:
+//! Four backends exist:
 //!
 //! * [`InlineTransport`] — sites execute sequentially on the caller's
 //!   thread. Deterministic timing; used when `RunOptions::parallel` is
@@ -20,6 +20,11 @@
 //! * [`crate::TcpTransport`] — each site behind a loopback TCP socket
 //!   speaking length-prefixed frames, proving the wire formats survive a
 //!   real socket.
+//! * [`crate::MuxTransport`] — the same site workers and wire frames as
+//!   TCP, but the coordinator drives all connections through a fixed
+//!   pool of `poll(2)` event-loop shards, so its thread count is
+//!   O(shards) instead of O(sites) — the high-fanout backend for
+//!   thousands of sites in one process.
 
 use crate::protocol::Site;
 use bytes::Bytes;
@@ -63,6 +68,11 @@ pub enum TransportKind {
     /// Each site served by a worker behind a loopback TCP socket with
     /// length-prefixed frames.
     Tcp,
+    /// TCP site workers multiplexed onto a fixed pool of coordinator
+    /// event-loop shards (non-blocking sockets + `poll(2)` readiness
+    /// loops); coordinator threads scale with the shard budget, not the
+    /// site count.
+    Mux,
 }
 
 impl TransportKind {
@@ -71,6 +81,7 @@ impl TransportKind {
         match self {
             TransportKind::Channel => "channel",
             TransportKind::Tcp => "tcp",
+            TransportKind::Mux => "mux",
         }
     }
 }
@@ -244,6 +255,7 @@ mod tests {
     fn kind_names() {
         assert_eq!(TransportKind::Channel.name(), "channel");
         assert_eq!(TransportKind::Tcp.name(), "tcp");
+        assert_eq!(TransportKind::Mux.name(), "mux");
         assert_eq!(TransportKind::default(), TransportKind::Channel);
     }
 }

@@ -162,7 +162,7 @@ proptest! {
 
     /// (a) Same fault seed ⇒ byte-identical transcript — which sites
     /// dropped, what everyone else replied, what got charged, and the
-    /// simulated clock — on all three backends.
+    /// simulated clock — on all four backends.
     #[test]
     fn fault_schedule_is_transport_independent(
         (sites, plan) in arb_plan(),
@@ -173,6 +173,7 @@ proptest! {
         for options in [
             RunOptions::new().faults(faults.clone()),
             RunOptions::new().faults(faults.clone()).transport(TransportKind::Tcp),
+            RunOptions::new().faults(faults.clone()).transport(TransportKind::Mux).shards(2),
         ] {
             let (out, stats) = run_faulty_plan(&plan, sites, options.clone());
             prop_assert_eq!(&out, &base_out, "transcript diverged on {:?}", options.transport);
@@ -351,8 +352,12 @@ fn planned_crash_is_exact() {
         RunOptions::sequential().faults(faults.clone()),
         RunOptions::new().faults(faults.clone()),
         RunOptions::new()
-            .faults(faults)
+            .faults(faults.clone())
             .transport(TransportKind::Tcp),
+        RunOptions::new()
+            .faults(faults)
+            .transport(TransportKind::Mux)
+            .shards(2),
     ] {
         let (out, stats) = run_faulty_plan(&plan, 3, options);
         assert!(out[0].iter().all(|r| r.is_some()), "round 0 is clean");

@@ -1,7 +1,8 @@
 //! Trace determinism across backends: for any protocol plan and any
 //! fault seed, the JSONL trace (`dpc.trace/v1`) recorded by the driver
-//! must be *byte-identical* on the inline, channel-worker, and loopback
-//! TCP transports — and a [`MetricsReport`] aggregated from the replayed
+//! must be *byte-identical* on the inline, channel-worker, loopback TCP,
+//! and multiplexed event-loop transports — and a [`MetricsReport`]
+//! aggregated from the replayed
 //! trace must reconcile bit-for-bit with the run's own [`CommStats`].
 
 use bytes::Bytes;
@@ -160,9 +161,11 @@ fn arb_plan() -> impl Strategy<Value = (usize, Vec<Vec<Vec<u8>>>)> {
 proptest! {
     #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
 
-    /// For any plan and fault seed: all three backends record the same
+    /// For any plan and fault seed: all four backends record the same
     /// JSONL bytes, and each run's replayed metrics reconcile with its
-    /// own `CommStats`.
+    /// own `CommStats`. Mux is the sharpest case: its shard-poll events
+    /// and wakeup counter are wall-clock-only and must never leak into
+    /// the deterministic schema.
     #[test]
     fn traces_are_byte_identical_across_backends(
         (sites, plan) in arb_plan(),
@@ -182,6 +185,7 @@ proptest! {
         for options in [
             RunOptions::new(),                                  // channel workers
             RunOptions::new().transport(TransportKind::Tcp),    // loopback sockets
+            RunOptions::new().transport(TransportKind::Mux).shards(2), // event loops
         ] {
             let transport = options.transport;
             let (jsonl, _, stats) =
@@ -230,7 +234,18 @@ fn faulted_trace_replays_exactly() {
         0x5eed,
         RunOptions::new()
             .transport(TransportKind::Tcp)
-            .faults(faults),
+            .faults(faults.clone()),
     );
     assert_eq!(tcp_jsonl, jsonl);
+    // So does mux, despite recording shard-poll wakeups internally.
+    let (mux_jsonl, _, _) = run_traced(
+        &plan,
+        3,
+        0x5eed,
+        RunOptions::new()
+            .transport(TransportKind::Mux)
+            .shards(2)
+            .faults(faults),
+    );
+    assert_eq!(mux_jsonl, jsonl);
 }

@@ -1,7 +1,8 @@
 //! Cross-backend equivalence: for any protocol, the inline, persistent
-//! channel-worker, and loopback TCP transports must produce the same
-//! output and *byte-identical* [`CommStats`] charges — timing is the
-//! only thing allowed to differ between backends.
+//! channel-worker, loopback TCP, and multiplexed event-loop transports
+//! must produce the same output and *byte-identical* [`CommStats`]
+//! charges — timing is the only thing allowed to differ between
+//! backends.
 
 use bytes::Bytes;
 use dpc_coordinator::{
@@ -131,6 +132,7 @@ proptest! {
         for options in [
             RunOptions::new(),                                  // persistent channel workers
             RunOptions::new().transport(TransportKind::Tcp),    // loopback sockets
+            RunOptions::new().transport(TransportKind::Mux).shards(2), // event loops
         ] {
             let (out, stats) = run_plan(&plan, sites, options.clone());
             prop_assert_eq!(&out, &base_out, "output diverged on {:?}", options.transport);
@@ -152,4 +154,13 @@ fn large_frames_cross_the_socket_intact() {
         tcp_stats.rounds[0].coordinator_to_sites,
         vec![256 * 1024; 2]
     );
+    // The non-blocking mux state machines hit WouldBlock mid-frame on
+    // payloads this size; the same bytes must still arrive.
+    let (mux_out, mux_stats) = run_plan(
+        &plan,
+        2,
+        RunOptions::new().transport(TransportKind::Mux).shards(1),
+    );
+    assert_eq!(base_out, mux_out);
+    assert_charges_identical(&base_stats, &mux_stats);
 }

@@ -81,10 +81,17 @@ pub enum Counter {
     /// runs, which is what keeps their traces byte-identical to the
     /// pre-codec goldens.
     BytesCompressed,
+    /// Mux transport: readiness-loop wakeups (`poll(2)` returns) across
+    /// all event-loop shards. The value depends on kernel scheduling
+    /// and socket-buffer timing, so it is the one *wall-clock* counter:
+    /// never serialized into the deterministic JSONL schema
+    /// ([`Counter::wall_clock_only`]), only surfaced by metrics
+    /// digests.
+    PollWakeups,
 }
 
 /// Number of distinct [`Counter`] identities.
-pub const COUNTER_COUNT: usize = 11;
+pub const COUNTER_COUNT: usize = 12;
 
 impl Counter {
     /// All counters, in index order.
@@ -100,6 +107,7 @@ impl Counter {
         Counter::TileScores,
         Counter::BytesRaw,
         Counter::BytesCompressed,
+        Counter::PollWakeups,
     ];
 
     /// Dense index of this counter (its slot in counter arrays).
@@ -116,6 +124,7 @@ impl Counter {
             Counter::TileScores => 8,
             Counter::BytesRaw => 9,
             Counter::BytesCompressed => 10,
+            Counter::PollWakeups => 11,
         }
     }
 
@@ -133,6 +142,7 @@ impl Counter {
             Counter::TileScores => "tile_scores",
             Counter::BytesRaw => "bytes_raw",
             Counter::BytesCompressed => "bytes_compressed",
+            Counter::PollWakeups => "poll_wakeups",
         }
     }
 
@@ -147,6 +157,7 @@ impl Counter {
                 | Counter::TileScores
                 | Counter::BytesRaw
                 | Counter::BytesCompressed
+                | Counter::PollWakeups
         )
     }
 
@@ -156,7 +167,22 @@ impl Counter {
     /// omitting them keeps pre-codec traces byte-identical, and
     /// [`Self::optional_in_v1`] makes the absence parse back as zero.
     pub fn omitted_when_zero(self) -> bool {
-        matches!(self, Counter::BytesRaw | Counter::BytesCompressed)
+        matches!(
+            self,
+            Counter::BytesRaw | Counter::BytesCompressed | Counter::PollWakeups
+        )
+    }
+
+    /// Whether this counter measures wall-clock scheduling rather than
+    /// a deterministic quantity. Wall-clock counters are excluded from
+    /// the JSONL counters line *unconditionally* (the same rule that
+    /// drops `Event::Plan`), so traces of seeded runs stay
+    /// byte-identical across transport backends; they reach reports
+    /// through [`MetricsSummary`](crate::MetricsSummary), which already
+    /// carries wall-clock fields. Parsing relies on
+    /// [`Self::optional_in_v1`] to read the absence back as zero.
+    pub fn wall_clock_only(self) -> bool {
+        matches!(self, Counter::PollWakeups)
     }
 }
 
@@ -268,6 +294,18 @@ pub enum Event {
         cell: usize,
         /// Total cells in the grid.
         total: usize,
+    },
+    /// One mux-transport event-loop shard finished its share of a round
+    /// (wall-clock only — the wakeup count depends on kernel scheduling,
+    /// so the event is excluded from the JSONL schema).
+    ShardPoll {
+        /// Round index.
+        round: usize,
+        /// Shard index within the event-loop pool.
+        shard: usize,
+        /// `poll(2)` wakeups the shard's readiness loop took to finish
+        /// the round.
+        wakeups: u64,
     },
 }
 

@@ -109,11 +109,14 @@ impl Trace {
                     ));
                 }
                 Event::CellDone { .. } => {} // worker-thread arrival order
+                Event::ShardPoll { .. } => {} // poll-wakeup counts are wall-clock only
             }
         }
         let totals: Vec<String> = Counter::ALL
             .iter()
-            .filter(|c| self.counters[c.index()] != 0 || !c.omitted_when_zero())
+            .filter(|c| {
+                !c.wall_clock_only() && (self.counters[c.index()] != 0 || !c.omitted_when_zero())
+            })
             .map(|c| format!("\"{}\":{}", c.name(), self.counters[c.index()]))
             .collect();
         out.push_str(&format!("{{\"ev\":\"counters\",{}}}\n", totals.join(",")));
@@ -472,6 +475,30 @@ mod tests {
             }
         }
         assert_eq!(a.to_jsonl(), b.to_jsonl());
+    }
+
+    #[test]
+    fn wall_clock_counters_and_shard_polls_never_serialize() {
+        // A mux run records ShardPoll events and a nonzero PollWakeups
+        // total, but both depend on kernel scheduling — the JSONL form
+        // must be byte-identical to the same run without them, and the
+        // replay reads the counter back as zero.
+        let mut t = sample();
+        t.counters[Counter::PollWakeups.index()] = 17;
+        t.events.push(Event::ShardPoll {
+            round: 0,
+            shard: 1,
+            wakeups: 9,
+        });
+        let text = t.to_jsonl();
+        assert_eq!(text, sample().to_jsonl());
+        assert!(!text.contains("poll_wakeups"));
+        let back = Trace::from_jsonl(&text).unwrap();
+        assert_eq!(back.counters[Counter::PollWakeups.index()], 0);
+        assert!(!back
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::ShardPoll { .. })));
     }
 
     #[test]

@@ -15,8 +15,9 @@
 //! like the one-shot protocols. The sync executes on the same
 //! transport-abstracted runtime as the batch protocols
 //! ([`dpc_coordinator::run_protocol`]): one [`TransportKind`] /
-//! [`LinkModel`] switch moves both paths between in-process channels and
-//! loopback TCP, with identical byte accounting. Because sites summarize
+//! [`LinkModel`] switch moves both paths between in-process channels,
+//! loopback TCP, and the multiplexed event-loop backend, with identical
+//! byte accounting. Because sites summarize
 //! locally, a sync costs `O((s·k + t)·B)` regardless of how many points
 //! arrived since the last one.
 
@@ -668,10 +669,11 @@ mod tests {
     }
 
     #[test]
-    fn tcp_sync_matches_channel_sync() {
+    fn socket_syncs_match_channel_sync() {
         // One backend switch covers the streaming path too: the same
-        // fleet synced over loopback TCP must charge the same bytes and
-        // pick the same centers as the in-process backends.
+        // fleet synced over loopback TCP or the mux event loops must
+        // charge the same bytes and pick the same centers as the
+        // in-process backends.
         let run = |transport: TransportKind| {
             let cfg = ContinuousConfig {
                 stream: StreamConfig::new(2, 1).block(32),
@@ -686,16 +688,18 @@ mod tests {
             (rec.stats, rec.centers, rec.cost)
         };
         let (a_stats, a_centers, a_cost) = run(TransportKind::Channel);
-        let (b_stats, b_centers, b_cost) = run(TransportKind::Tcp);
-        assert_eq!(a_stats.num_rounds(), b_stats.num_rounds());
-        for (ra, rb) in a_stats.rounds.iter().zip(&b_stats.rounds) {
-            assert_eq!(ra.coordinator_to_sites, rb.coordinator_to_sites);
-            assert_eq!(ra.sites_to_coordinator, rb.sites_to_coordinator);
-        }
-        assert_eq!(a_cost, b_cost);
-        assert_eq!(a_centers.len(), b_centers.len());
-        for i in 0..a_centers.len() {
-            assert_eq!(a_centers.point(i), b_centers.point(i));
+        for backend in [TransportKind::Tcp, TransportKind::Mux] {
+            let (b_stats, b_centers, b_cost) = run(backend);
+            assert_eq!(a_stats.num_rounds(), b_stats.num_rounds());
+            for (ra, rb) in a_stats.rounds.iter().zip(&b_stats.rounds) {
+                assert_eq!(ra.coordinator_to_sites, rb.coordinator_to_sites);
+                assert_eq!(ra.sites_to_coordinator, rb.sites_to_coordinator);
+            }
+            assert_eq!(a_cost, b_cost);
+            assert_eq!(a_centers.len(), b_centers.len());
+            for i in 0..a_centers.len() {
+                assert_eq!(a_centers.point(i), b_centers.point(i));
+            }
         }
     }
 

@@ -1,7 +1,8 @@
 //! Cross-backend equivalence of the real protocols: every distributed
 //! algorithm in the workspace must produce the same solution and
 //! byte-identical per-round charges whether its messages ride the
-//! persistent channel workers or a real loopback TCP socket.
+//! persistent channel workers, a real loopback TCP socket, or the
+//! multiplexed event-loop backend.
 
 use dpc::coordinator::CommStats;
 use dpc::prelude::*;
@@ -30,11 +31,13 @@ fn assert_charges_identical(label: &str, a: &CommStats, b: &CommStats) {
     }
 }
 
-fn options_matrix() -> [RunOptions; 3] {
+fn options_matrix() -> [RunOptions; 4] {
     [
         RunOptions::sequential(),
         RunOptions::new(), // parallel persistent channel workers
         RunOptions::new().transport(TransportKind::Tcp),
+        // Two event-loop shards exercise the round-robin scatter/gather.
+        RunOptions::new().transport(TransportKind::Mux).shards(2),
     ]
 }
 
@@ -44,9 +47,9 @@ fn check<F>(label: &str, run: F)
 where
     F: Fn(RunOptions) -> (PointSet, f64, CommStats),
 {
-    let [baseline, channel, tcp] = options_matrix();
+    let [baseline, channel, tcp, mux] = options_matrix();
     let (base_centers, base_cost, base_stats) = run(baseline);
-    for options in [channel, tcp] {
+    for options in [channel, tcp, mux] {
         let (centers, cost, stats) = run(options);
         assert_eq!(centers, base_centers, "{label}: centers diverged");
         assert_eq!(cost, base_cost, "{label}: cost diverged");
@@ -118,7 +121,7 @@ fn wire_encodings_are_backend_invariant_and_raw_stays_byte_identical() {
     let base = run_distributed_median(&shards, cfg, RunOptions::sequential());
     for options in options_matrix() {
         // `encoding=raw` must leave every per-round, per-site charge
-        // byte-identical to that baseline on Inline, Channel and Tcp.
+        // byte-identical to that baseline on every backend.
         let raw = run_distributed_median(&shards, cfg.encoding(Encoding::Raw), options.clone());
         assert_eq!(raw.output.centers, base.output.centers, "raw centers");
         assert_charges_identical("explicit raw", &base.stats, &raw.stats);

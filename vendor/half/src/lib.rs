@@ -38,7 +38,11 @@ impl f16 {
         let frac = bits & 0x7f_ffff;
         if exp == 0xff {
             // Infinity or NaN; keep NaN payloads non-zero.
-            let payload = if frac == 0 { 0 } else { 0x200 | (frac >> 13) as u16 };
+            let payload = if frac == 0 {
+                0
+            } else {
+                0x200 | (frac >> 13) as u16
+            };
             return f16(sign | 0x7c00 | payload);
         }
         // Unbiased exponent of the f32 value.

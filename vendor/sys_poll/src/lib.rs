@@ -1,0 +1,221 @@
+//! Thin, dependency-free wrappers over the POSIX socket syscalls the
+//! multiplexed transport needs: `poll(2)` for its readiness loops, and
+//! a `setsockopt(SO_LINGER)` shim for abortive fleet teardown.
+//!
+//! The workspace builds with no registry access, so instead of `libc`
+//! or a full reactor crate this module declares the two foreign
+//! functions directly and exposes safe, EINTR-retrying entry points
+//! over them. It follows the same vendoring discipline as the other
+//! `vendor/` stand-ins: exactly the API subset the workspace uses,
+//! documented for replacement — once a registry is reachable, swap the
+//! `extern` declarations for `libc::poll` / `libc::setsockopt` (the
+//! types below are layout-compatible with `libc::pollfd` /
+//! `libc::linger`).
+//!
+//! Only Unix targets are supported; that is where the workspace's
+//! loopback-socket transports run.
+
+#![cfg(unix)]
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// Data may be read without blocking (`POLLIN`).
+pub const POLLIN: i16 = 0x001;
+/// Writing is possible without blocking (`POLLOUT`).
+pub const POLLOUT: i16 = 0x004;
+/// Error condition on the descriptor (output only; `POLLERR`).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (output only; `POLLHUP`).
+pub const POLLHUP: i16 = 0x010;
+
+/// One entry of the `poll(2)` descriptor array, layout-compatible with
+/// the kernel's `struct pollfd`.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    /// The file descriptor to watch (a negative value makes the kernel
+    /// ignore the entry, which callers use to mask finished slots
+    /// without re-packing the array).
+    pub fd: RawFd,
+    /// Requested events ([`POLLIN`] / [`POLLOUT`] bits).
+    pub events: i16,
+    /// Returned events, filled by the kernel on each call.
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// A descriptor registered for `events`, with `revents` cleared.
+    pub fn new(fd: RawFd, events: i16) -> Self {
+        Self {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// True when the kernel flagged any bit of `mask` (or an error /
+    /// hang-up condition, which `poll` reports regardless of the
+    /// requested set) on the last call.
+    pub fn ready(&self, mask: i16) -> bool {
+        self.revents & (mask | POLLERR | POLLHUP) != 0
+    }
+}
+
+/// `struct linger`, layout-compatible with the kernel's.
+#[repr(C)]
+struct Linger {
+    l_onoff: std::ffi::c_int,
+    l_linger: std::ffi::c_int,
+}
+
+#[cfg(target_os = "linux")]
+const SOL_SOCKET: std::ffi::c_int = 1;
+#[cfg(target_os = "linux")]
+const SO_LINGER: std::ffi::c_int = 13;
+#[cfg(not(target_os = "linux"))]
+const SOL_SOCKET: std::ffi::c_int = 0xffff;
+#[cfg(not(target_os = "linux"))]
+const SO_LINGER: std::ffi::c_int = 0x0080;
+
+extern "C" {
+    // int poll(struct pollfd *fds, nfds_t nfds, int timeout);
+    // `nfds_t` is `unsigned long` on every Unix ABI this workspace
+    // targets; `timeout` is milliseconds, -1 for "block indefinitely".
+    fn poll(fds: *mut PollFd, nfds: std::ffi::c_ulong, timeout: std::ffi::c_int)
+        -> std::ffi::c_int;
+
+    // int setsockopt(int sockfd, int level, int optname,
+    //                const void *optval, socklen_t optlen);
+    fn setsockopt(
+        sockfd: RawFd,
+        level: std::ffi::c_int,
+        optname: std::ffi::c_int,
+        optval: *const std::ffi::c_void,
+        optlen: u32,
+    ) -> std::ffi::c_int;
+}
+
+/// Arms `SO_LINGER {on, 0}` on a connected socket: its eventual close
+/// sends `RST` instead of walking the `FIN` handshake, so neither end
+/// lingers in `TIME_WAIT`.
+///
+/// This is an *abortive* close — any unsent or unread data on the
+/// connection is discarded with the reset — so it is only correct on a
+/// socket whose application protocol has a final message after which
+/// both directions are provably drained. The transports use it on the
+/// site-worker end, which closes only after consuming the coordinator's
+/// shutdown frame: without it, every torn-down fleet parks two sockets
+/// per site in `TIME_WAIT` for 60 s, and back-to-back thousand-site
+/// runs degrade several-fold as the kernel's connection table fills.
+pub fn set_abortive_close(fd: RawFd) -> io::Result<()> {
+    let linger = Linger {
+        l_onoff: 1,
+        l_linger: 0,
+    };
+    let rc = unsafe {
+        setsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_LINGER,
+            (&linger as *const Linger).cast(),
+            std::mem::size_of::<Linger>() as u32,
+        )
+    };
+    if rc == 0 {
+        Ok(())
+    } else {
+        Err(io::Error::last_os_error())
+    }
+}
+
+/// Blocks until at least one registered descriptor is ready (or the
+/// timeout elapses), returning how many entries have non-zero
+/// `revents`. `None` blocks indefinitely; sub-millisecond non-zero
+/// timeouts round up to 1 ms so a short wait never degenerates into a
+/// busy spin. `EINTR` is retried internally.
+pub fn poll_fds(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+    let ms: std::ffi::c_int = match timeout {
+        None => -1,
+        Some(d) if d.is_zero() => 0,
+        Some(d) => d
+            .as_millis()
+            .max(1)
+            .min(std::ffi::c_int::MAX as u128)
+            .try_into()
+            .expect("clamped to c_int::MAX"),
+    };
+    loop {
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as std::ffi::c_ulong, ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn connected_socket_is_writable_and_becomes_readable() {
+        let (a, mut b) = pair();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLOUT)];
+        assert_eq!(poll_fds(&mut fds, None).unwrap(), 1);
+        assert!(fds[0].ready(POLLOUT));
+
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, Some(Duration::ZERO)).unwrap(), 0);
+        assert!(!fds[0].ready(POLLIN));
+        b.write_all(b"x").unwrap();
+        assert_eq!(poll_fds(&mut fds, Some(Duration::from_secs(5))).unwrap(), 1);
+        assert!(fds[0].ready(POLLIN));
+    }
+
+    #[test]
+    fn negative_fd_entries_are_ignored() {
+        let (a, _b) = pair();
+        let mut fds = [PollFd::new(-1, POLLIN), PollFd::new(a.as_raw_fd(), POLLOUT)];
+        assert_eq!(poll_fds(&mut fds, None).unwrap(), 1);
+        assert_eq!(fds[0].revents, 0);
+        assert!(fds[1].ready(POLLOUT));
+    }
+
+    #[test]
+    fn abortive_close_skips_the_fin_handshake() {
+        use std::io::Read;
+        let (a, mut b) = pair();
+        set_abortive_close(a.as_raw_fd()).unwrap();
+        drop(a);
+        // The reset surfaces on the peer as an error (ECONNRESET) or,
+        // if the read races the RST delivery, as an immediate EOF —
+        // never as a hang.
+        let mut buf = [0u8; 1];
+        assert!(matches!(b.read(&mut buf), Ok(0) | Err(_)));
+    }
+
+    #[test]
+    fn hangup_is_reported_as_ready() {
+        let (a, b) = pair();
+        drop(b);
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, Some(Duration::from_secs(5))).unwrap(), 1);
+        assert!(fds[0].ready(POLLIN));
+    }
+}
